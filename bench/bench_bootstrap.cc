@@ -1,0 +1,127 @@
+// A3/extension — bootstrap stability of the cuisine trees.
+//
+// The paper gives no confidence for its dendrograms (§VIII asks for
+// better validation); this bench resamples the pattern feature columns
+// 200 times, refits the tree, and reports the bootstrap support of each
+// clade of the reference tree plus the most stable cuisine pairs.
+//
+// Artifact: per-clade bootstrap support of the Jaccard pattern tree.
+// Timings: one bootstrap replicate; the full 200-replicate run.
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "cluster/bootstrap.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "core/cluster_labels.h"
+
+namespace cuisine {
+namespace {
+
+Result<Dendrogram> TreeFromFeatures(const Matrix& features,
+                                    const std::vector<std::string>& labels) {
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kJaccard);
+  CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,
+                           HierarchicalCluster(d, LinkageMethod::kAverage));
+  return Dendrogram::FromLinkage(steps, labels);
+}
+
+void PrintArtifact() {
+  const PatternFeatureSpace& space = bench::PaperFeatures();
+  auto reference = TreeFromFeatures(space.features, space.cuisine_names);
+  CUISINE_CHECK(reference.ok());
+
+  BootstrapOptions opt;
+  opt.replicates = 200;
+  opt.num_clusters = 6;
+  auto result = BootstrapStability(
+      *reference,
+      [&](Rng* rng) -> Result<Dendrogram> {
+        return TreeFromFeatures(ResampleColumns(space.features, rng),
+                                space.cuisine_names);
+      },
+      opt);
+  CUISINE_CHECK(result.ok()) << result.status();
+
+  bench::PrintArtifactHeader(
+      "Bootstrap support of the Jaccard pattern tree's clades "
+      "(200 column-resampled replicates)");
+  auto labels = LabelClusters(*reference, space, /*max_patterns=*/0);
+  CUISINE_CHECK(labels.ok());
+  TextTable table({"Merge", "Members", "Support"});
+  for (std::size_t s = 0; s < result->clade_support.size(); ++s) {
+    const auto& members = (*labels)[s].members;
+    std::string member_list;
+    if (members.size() <= 4) {
+      member_list = Join(members, ", ");
+    } else {
+      member_list = members[0] + ", " + members[1] + ", ... (" +
+                    std::to_string(members.size()) + " cuisines)";
+    }
+    table.AddRow({std::to_string(s), member_list,
+                  FormatDouble(result->clade_support[s], 2)});
+  }
+  std::cout << table.Render();
+
+  // Most stable cross-cuisine pairs at the k=6 cut.
+  bench::PrintArtifactHeader(
+      "Most stable cuisine pairs (co-clustering rate at k=6)");
+  std::vector<std::tuple<double, std::size_t, std::size_t>> pairs;
+  for (std::size_t i = 0; i < 26; ++i) {
+    for (std::size_t j = i + 1; j < 26; ++j) {
+      pairs.emplace_back(result->co_clustering(i, j), i, j);
+    }
+  }
+  std::sort(pairs.rbegin(), pairs.rend());
+  for (std::size_t p = 0; p < 12; ++p) {
+    auto [rate, i, j] = pairs[p];
+    std::cout << "  " << space.cuisine_names[i] << " + "
+              << space.cuisine_names[j] << ": " << FormatDouble(rate, 2)
+              << "\n";
+  }
+}
+
+void BM_OneBootstrapReplicate(benchmark::State& state) {
+  const PatternFeatureSpace& space = bench::PaperFeatures();
+  Rng rng(5);
+  for (auto _ : state) {
+    auto tree = TreeFromFeatures(ResampleColumns(space.features, &rng),
+                                 space.cuisine_names);
+    CUISINE_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_OneBootstrapReplicate)->Unit(benchmark::kMicrosecond);
+
+void BM_FullBootstrap(benchmark::State& state) {
+  const PatternFeatureSpace& space = bench::PaperFeatures();
+  auto reference = TreeFromFeatures(space.features, space.cuisine_names);
+  CUISINE_CHECK(reference.ok());
+  BootstrapOptions opt;
+  opt.replicates = static_cast<std::size_t>(state.range(0));
+  opt.num_clusters = 6;
+  for (auto _ : state) {
+    auto result = BootstrapStability(
+        *reference,
+        [&](Rng* rng) -> Result<Dendrogram> {
+          return TreeFromFeatures(ResampleColumns(space.features, rng),
+                                  space.cuisine_names);
+        },
+        opt);
+    CUISINE_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->replicates_used);
+  }
+}
+BENCHMARK(BM_FullBootstrap)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

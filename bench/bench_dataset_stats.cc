@@ -1,0 +1,71 @@
+// E9 — §III dataset statistics: corpus shape vs the paper's reported
+// numbers (118,171 recipes over 26 cuisines; 20,280 / 268 / 69 item
+// vocabularies; ~10 / ~12 / ~3 items per recipe; 14,601 recipes without
+// utensil information).
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  bench::PrintArtifactHeader("§III dataset statistics (paper vs measured)");
+  DatasetStats stats = bench::PaperCorpus().ComputeStats();
+  TextTable table({"Statistic", "Paper", "Measured"});
+  table.AddRow({"recipes", "118,171 (Table I sum)",
+                FormatCount(stats.num_recipes)});
+  table.AddRow({"cuisines", "26", std::to_string(stats.num_cuisines)});
+  table.AddRow({"unique ingredients", "20,280",
+                FormatCount(stats.num_ingredients)});
+  table.AddRow({"unique processes", "268",
+                std::to_string(stats.num_processes)});
+  table.AddRow({"unique utensils", "69", std::to_string(stats.num_utensils)});
+  table.AddRow({"avg ingredients / recipe", "~10",
+                FormatDouble(stats.avg_ingredients_per_recipe, 2)});
+  table.AddRow({"avg processes / recipe", "~12",
+                FormatDouble(stats.avg_processes_per_recipe, 2)});
+  table.AddRow({"avg utensils / recipe", "~3",
+                FormatDouble(stats.avg_utensils_per_recipe, 2)});
+  table.AddRow({"recipes without utensils", "14,601",
+                FormatCount(stats.recipes_without_utensils)});
+  std::cout << table.Render();
+
+  std::cout << "\nPer-cuisine recipe counts (Table I column 2):\n";
+  const Dataset& ds = bench::PaperCorpus();
+  for (CuisineId c = 0; c < ds.num_cuisines(); ++c) {
+    std::cout << "  " << ds.CuisineName(c) << ": "
+              << FormatCount(ds.CuisineRecipeCount(c)) << "\n";
+  }
+}
+
+void BM_ComputeStats(benchmark::State& state) {
+  const Dataset& ds = bench::PaperCorpus();
+  for (auto _ : state) {
+    DatasetStats stats = ds.ComputeStats();
+    benchmark::DoNotOptimize(stats.num_recipes);
+  }
+}
+BENCHMARK(BM_ComputeStats)->Unit(benchmark::kMillisecond);
+
+void BM_CuisineTransactionExtraction(benchmark::State& state) {
+  const Dataset& ds = bench::PaperCorpus();
+  for (auto _ : state) {
+    for (CuisineId c = 0; c < ds.num_cuisines(); ++c) {
+      TransactionDb db = TransactionDb::FromCuisine(ds, c);
+      benchmark::DoNotOptimize(db.size());
+    }
+  }
+}
+BENCHMARK(BM_CuisineTransactionExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// E2 — Figure 1: elbow method for cluster identification.
+//
+// Artifact: the WCSS-vs-k curve over the pattern feature matrix and the
+// elbow-strength verdict (the paper finds *no* sharp elbow, motivating
+// HAC over K-means for this categorical data).
+// Timings: k-means at several k, and the full sweep.
+
+#include "bench_util.h"
+#include "cluster/elbow.h"
+#include "cluster/kmedoids.h"
+#include "cluster/silhouette.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  bench::PrintArtifactHeader(
+      "Figure 1 — elbow analysis (WCSS vs k) on cuisine pattern features");
+  auto analysis = ComputeElbow(bench::PaperFeatures().features, 1, 15);
+  CUISINE_CHECK(analysis.ok()) << analysis.status();
+  std::cout << analysis->ToString();
+  std::cout << (analysis->strength < 0.35
+                    ? "verdict: no sharp elbow (matches the paper's Fig 1 "
+                      "finding)\n"
+                    : "verdict: sharp elbow detected (DIVERGES from the "
+                      "paper)\n");
+
+  // §VI-B extension: the paper argues partitional K-means suits this
+  // categorical data poorly. Compare silhouette quality of K-means
+  // (Euclidean), K-medoids (Jaccard — the categorical-appropriate
+  // partitional method) and an HAC flat cut, across k.
+  bench::PrintArtifactHeader(
+      "K-means vs K-medoids(Jaccard) vs HAC cut — silhouette by k");
+  const Matrix& features = bench::PaperFeatures().features;
+  auto jaccard = CondensedDistanceMatrix::FromFeatures(
+      features, DistanceMetric::kJaccard);
+  Dendrogram hac = bench::PatternTree(DistanceMetric::kJaccard);
+  TextTable table({"k", "kmeans (euclid sil)", "kmedoids (jaccard sil)",
+                   "HAC cut (jaccard sil)"});
+  for (std::size_t k = 2; k <= 8; ++k) {
+    KMeansOptions kopt;
+    kopt.k = k;
+    auto km = KMeansCluster(features, kopt);
+    CUISINE_CHECK(km.ok());
+    auto km_sil = SilhouetteScore(features, km->labels);
+
+    KMedoidsOptions mopt;
+    mopt.k = k;
+    auto kmed = KMedoidsCluster(jaccard, mopt);
+    CUISINE_CHECK(kmed.ok());
+    auto kmed_sil = SilhouetteScore(jaccard, kmed->labels);
+
+    auto cut = hac.CutToClusters(k);
+    CUISINE_CHECK(cut.ok());
+    auto hac_sil = SilhouetteScore(jaccard, *cut);
+
+    table.AddRow({std::to_string(k),
+                  FormatDouble(km_sil.value_or(0.0), 3),
+                  FormatDouble(kmed_sil.value_or(0.0), 3),
+                  FormatDouble(hac_sil.value_or(0.0), 3)});
+  }
+  std::cout << table.Render();
+}
+
+void BM_KMeansAtK(benchmark::State& state) {
+  const Matrix& features = bench::PaperFeatures().features;
+  KMeansOptions opt;
+  opt.k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto result = KMeansCluster(features, opt);
+    CUISINE_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->wcss);
+  }
+}
+BENCHMARK(BM_KMeansAtK)->Arg(2)->Arg(5)->Arg(10)->Arg(15)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FullElbowSweep(benchmark::State& state) {
+  const Matrix& features = bench::PaperFeatures().features;
+  for (auto _ : state) {
+    auto analysis = ComputeElbow(features, 1, 15);
+    CUISINE_CHECK(analysis.ok());
+    benchmark::DoNotOptimize(analysis->strength);
+  }
+}
+BENCHMARK(BM_FullElbowSweep)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

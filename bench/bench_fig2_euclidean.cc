@@ -1,0 +1,44 @@
+// E3 — Figure 2: hierarchical agglomerative clustering of cuisines on
+// mined patterns with Euclidean pdist.
+//
+// Artifact: the Euclidean dendrogram (ASCII + Newick) and its similarity
+// to the geographic reference.
+// Timings: pdist + HAC at paper scale.
+
+#include "bench_util.h"
+
+namespace cuisine {
+namespace {
+
+void BM_PdistEuclidean(benchmark::State& state) {
+  const Matrix& features = bench::PaperFeatures().features;
+  for (auto _ : state) {
+    auto d = CondensedDistanceMatrix::FromFeatures(
+        features, DistanceMetric::kEuclidean);
+    benchmark::DoNotOptimize(d.size());
+  }
+}
+BENCHMARK(BM_PdistEuclidean)->Unit(benchmark::kMicrosecond);
+
+void BM_FullEuclideanTree(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tree = ClusterPatternFeatures(bench::PaperFeatures(),
+                                       DistanceMetric::kEuclidean,
+                                       LinkageMethod::kAverage);
+    CUISINE_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_FullEuclideanTree)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::bench::PrintTreeArtifact(
+      "Figure 2 — HAC on mined patterns, Euclidean distance",
+      cuisine::bench::PatternTree(cuisine::DistanceMetric::kEuclidean));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,40 @@
+// E4 — Figure 3: hierarchical agglomerative clustering of cuisines on
+// mined patterns with Cosine pdist.
+
+#include "bench_util.h"
+
+namespace cuisine {
+namespace {
+
+void BM_PdistCosine(benchmark::State& state) {
+  const Matrix& features = bench::PaperFeatures().features;
+  for (auto _ : state) {
+    auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                   DistanceMetric::kCosine);
+    benchmark::DoNotOptimize(d.size());
+  }
+}
+BENCHMARK(BM_PdistCosine)->Unit(benchmark::kMicrosecond);
+
+void BM_FullCosineTree(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tree = ClusterPatternFeatures(bench::PaperFeatures(),
+                                       DistanceMetric::kCosine,
+                                       LinkageMethod::kAverage);
+    CUISINE_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_FullCosineTree)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::bench::PrintTreeArtifact(
+      "Figure 3 — HAC on mined patterns, Cosine distance",
+      cuisine::bench::PatternTree(cuisine::DistanceMetric::kCosine));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

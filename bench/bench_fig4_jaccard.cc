@@ -1,0 +1,40 @@
+// E5 — Figure 4: hierarchical agglomerative clustering of cuisines on
+// mined patterns with Jaccard pdist.
+
+#include "bench_util.h"
+
+namespace cuisine {
+namespace {
+
+void BM_PdistJaccard(benchmark::State& state) {
+  const Matrix& features = bench::PaperFeatures().features;
+  for (auto _ : state) {
+    auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                   DistanceMetric::kJaccard);
+    benchmark::DoNotOptimize(d.size());
+  }
+}
+BENCHMARK(BM_PdistJaccard)->Unit(benchmark::kMicrosecond);
+
+void BM_FullJaccardTree(benchmark::State& state) {
+  for (auto _ : state) {
+    auto tree = ClusterPatternFeatures(bench::PaperFeatures(),
+                                       DistanceMetric::kJaccard,
+                                       LinkageMethod::kAverage);
+    CUISINE_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_FullJaccardTree)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::bench::PrintTreeArtifact(
+      "Figure 4 — HAC on mined patterns, Jaccard distance",
+      cuisine::bench::PatternTree(cuisine::DistanceMetric::kJaccard));
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

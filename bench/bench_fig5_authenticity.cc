@@ -1,0 +1,78 @@
+// E6 — Figure 5: hierarchical agglomerative clustering based on
+// authenticity of ingredients.
+//
+// Artifact: the authenticity dendrogram plus each cuisine's most/least
+// authentic ingredients (the "culinary fingerprint" of §V-B).
+// Timings: prevalence matrix, authenticity transform, full Fig-5 pipeline.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/authenticity_pipeline.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  const Dataset& ds = bench::PaperCorpus();
+  auto tree = AuthenticityCluster(ds);
+  CUISINE_CHECK(tree.ok()) << tree.status();
+  bench::PrintTreeArtifact(
+      "Figure 5 — HAC on ingredient authenticity (relative prevalence)",
+      *tree);
+
+  bench::PrintArtifactHeader(
+      "Culinary fingerprints — top authentic ingredients per cuisine");
+  auto am = ComputeAuthenticity(ds);
+  CUISINE_CHECK(am.ok());
+  for (CuisineId c = 0; c < ds.num_cuisines(); ++c) {
+    std::cout << ds.CuisineName(c) << ": ";
+    bool first = true;
+    for (const AuthenticItem& item : am->MostAuthentic(c, 5)) {
+      if (!first) std::cout << ", ";
+      std::cout << ds.vocabulary().Name(item.item) << " ("
+                << FormatDouble(item.score, 2) << ")";
+      first = false;
+    }
+    std::cout << "\n";
+  }
+}
+
+void BM_PrevalenceMatrix(benchmark::State& state) {
+  const Dataset& ds = bench::PaperCorpus();
+  for (auto _ : state) {
+    auto pm = PrevalenceMatrix::Compute(ds);
+    CUISINE_CHECK(pm.ok());
+    benchmark::DoNotOptimize(pm->num_items());
+  }
+}
+BENCHMARK(BM_PrevalenceMatrix)->Unit(benchmark::kMillisecond);
+
+void BM_AuthenticityTransform(benchmark::State& state) {
+  auto pm = PrevalenceMatrix::Compute(bench::PaperCorpus());
+  CUISINE_CHECK(pm.ok());
+  for (auto _ : state) {
+    AuthenticityMatrix am = AuthenticityMatrix::From(*pm);
+    benchmark::DoNotOptimize(am.matrix().rows());
+  }
+}
+BENCHMARK(BM_AuthenticityTransform)->Unit(benchmark::kMillisecond);
+
+void BM_FullAuthenticityPipeline(benchmark::State& state) {
+  const Dataset& ds = bench::PaperCorpus();
+  for (auto _ : state) {
+    auto tree = AuthenticityCluster(ds);
+    CUISINE_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_FullAuthenticityPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// E7 — Figure 6: hierarchical agglomerative clustering based on
+// geographical distance of regions (the validation reference).
+
+#include "bench_util.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  bench::PrintArtifactHeader(
+      "Figure 6 — HAC on geographical distance of the 26 regions");
+  const Dendrogram& tree = bench::PaperGeoTree();
+  std::cout << tree.RenderAscii();
+  std::cout << "\nnewick: " << tree.ToNewick() << "\n";
+}
+
+void BM_GeoDistanceMatrix(benchmark::State& state) {
+  const auto& regions = WorldRegions();
+  for (auto _ : state) {
+    auto d = GeoDistanceMatrix(regions);
+    benchmark::DoNotOptimize(d.size());
+  }
+}
+BENCHMARK(BM_GeoDistanceMatrix)->Unit(benchmark::kMicrosecond);
+
+void BM_GeoCluster(benchmark::State& state) {
+  std::vector<std::string> names;
+  for (const Region& r : WorldRegions()) names.push_back(r.name);
+  for (auto _ : state) {
+    auto tree = GeoCluster(names);
+    CUISINE_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_leaves());
+  }
+}
+BENCHMARK(BM_GeoCluster)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

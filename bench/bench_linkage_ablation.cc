@@ -1,0 +1,103 @@
+// A2 — linkage ablation (DESIGN.md §5.2): the paper never states its HAC
+// linkage. This bench sweeps all five supported criteria on every tree
+// (pattern trees x 3 metrics + authenticity) and reports geo-similarity
+// and the §VII deviation checks for each, justifying the repository
+// defaults (average for pattern trees, ward for authenticity).
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "core/authenticity_pipeline.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  bench::PrintArtifactHeader(
+      "Linkage ablation — geo-similarity of each linkage x feature choice");
+  TextTable table({"Linkage", "Features", "Coph corr", "Triplet", "CA-FR",
+                   "IN-NA"});
+  const LinkageMethod methods[] = {
+      LinkageMethod::kSingle, LinkageMethod::kComplete,
+      LinkageMethod::kAverage, LinkageMethod::kWeighted, LinkageMethod::kWard};
+  for (LinkageMethod method : methods) {
+    for (auto metric : {DistanceMetric::kEuclidean, DistanceMetric::kCosine,
+                        DistanceMetric::kJaccard}) {
+      Dendrogram tree = bench::PatternTree(metric, method);
+      auto sim = CompareTreeToGeo("t", tree, bench::PaperGeoTree());
+      auto dev = CheckHistoricalDeviations("t", tree);
+      CUISINE_CHECK(sim.ok());
+      CUISINE_CHECK(dev.ok());
+      table.AddRow({std::string(LinkageMethodName(method)),
+                    std::string("patterns/") +
+                        std::string(DistanceMetricName(metric)),
+                    FormatDouble(sim->cophenetic_correlation, 3),
+                    FormatDouble(sim->triplet_agreement, 3),
+                    dev->canada_closer_to_france_than_us ? "yes" : "no",
+                    dev->india_closer_to_north_africa_than_neighbors ? "yes"
+                                                                     : "no"});
+    }
+    AuthenticityClusterOptions opt;
+    opt.linkage = method;
+    auto tree = AuthenticityCluster(bench::PaperCorpus(), opt);
+    CUISINE_CHECK(tree.ok());
+    auto sim = CompareTreeToGeo("a", *tree, bench::PaperGeoTree());
+    auto dev = CheckHistoricalDeviations("a", *tree);
+    CUISINE_CHECK(sim.ok());
+    CUISINE_CHECK(dev.ok());
+    table.AddRow({std::string(LinkageMethodName(method)), "authenticity",
+                  FormatDouble(sim->cophenetic_correlation, 3),
+                  FormatDouble(sim->triplet_agreement, 3),
+                  dev->canada_closer_to_france_than_us ? "yes" : "no",
+                  dev->india_closer_to_north_africa_than_neighbors ? "yes"
+                                                                   : "no"});
+    table.AddRule();
+  }
+  std::cout << table.Render();
+}
+
+void BM_Linkage(benchmark::State& state) {
+  auto method = static_cast<LinkageMethod>(state.range(0));
+  auto d = CondensedDistanceMatrix::FromFeatures(
+      bench::PaperFeatures().features, DistanceMetric::kEuclidean);
+  for (auto _ : state) {
+    auto steps = HierarchicalCluster(d, method);
+    CUISINE_CHECK(steps.ok());
+    benchmark::DoNotOptimize(steps->size());
+  }
+  state.SetLabel(std::string(LinkageMethodName(method)));
+}
+BENCHMARK(BM_Linkage)->DenseRange(0, 4)->Unit(benchmark::kMicrosecond);
+
+// HAC scaling in the number of observations (the implementation is the
+// O(n^3) textbook algorithm; n = 26 in the paper).
+void BM_LinkageScaling(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(9);
+  Matrix features(n, 8);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      features(r, c) = rng.UniformDouble(0, 1);
+    }
+  }
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  for (auto _ : state) {
+    auto steps = HierarchicalCluster(d, LinkageMethod::kAverage);
+    CUISINE_CHECK(steps.ok());
+    benchmark::DoNotOptimize(steps->size());
+  }
+}
+BENCHMARK(BM_LinkageScaling)->Arg(26)->Arg(100)->Arg(300)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E1 — Table I: significant patterns mined from cuisines across the world.
+//
+// Artifact: the reproduced Table I (per-cuisine signature supports and
+// frequent-pattern counts next to the paper's values) plus aggregate
+// calibration error.
+// Timings: corpus generation and the full 26-cuisine FP-Growth run.
+
+#include "bench_util.h"
+#include "core/report.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  bench::PrintArtifactHeader(
+      "Table I — significant patterns per cuisine (paper vs measured)");
+  auto rows = BuildTable1(bench::PaperCorpus(), bench::PaperPatterns(),
+                          BuildWorldCuisineSpecs());
+  CUISINE_CHECK(rows.ok()) << rows.status();
+  std::cout << RenderTable1(*rows);
+  Table1Accuracy acc = ComputeTable1Accuracy(*rows);
+  std::cout << "\nsignature support error: mean="
+            << acc.mean_abs_support_error
+            << " max=" << acc.max_abs_support_error
+            << " missing=" << acc.signatures_missing
+            << "\npattern count relative error: mean="
+            << acc.mean_rel_count_error << "\n";
+}
+
+void BM_GenerateCorpus(benchmark::State& state) {
+  GeneratorOptions opt;
+  opt.scale = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto ds = GenerateRecipeDb(opt);
+    CUISINE_CHECK(ds.ok());
+    benchmark::DoNotOptimize(ds->num_recipes());
+  }
+  state.SetLabel("scale=" + std::to_string(state.range(0)) + "%");
+}
+BENCHMARK(BM_GenerateCorpus)->Arg(10)->Arg(50)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MineAllCuisinesFpGrowth(benchmark::State& state) {
+  const Dataset& ds = bench::PaperCorpus();
+  MinerOptions opt;
+  opt.min_support = kPaperMinSupport;
+  for (auto _ : state) {
+    auto mined = MineAllCuisines(ds, opt);
+    CUISINE_CHECK(mined.ok());
+    benchmark::DoNotOptimize(mined->size());
+  }
+}
+BENCHMARK(BM_MineAllCuisinesFpGrowth)->Unit(benchmark::kMillisecond);
+
+void BM_BuildTable1Report(benchmark::State& state) {
+  auto specs = BuildWorldCuisineSpecs();
+  for (auto _ : state) {
+    auto rows = BuildTable1(bench::PaperCorpus(), bench::PaperPatterns(),
+                            specs);
+    CUISINE_CHECK(rows.ok());
+    benchmark::DoNotOptimize(rows->size());
+  }
+}
+BENCHMARK(BM_BuildTable1Report)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

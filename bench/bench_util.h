@@ -1,0 +1,101 @@
+// Shared helpers for the reproduction benchmarks.
+//
+// Every bench binary does two things:
+//   1. prints the paper artifact it regenerates (a table or the data
+//      series behind a figure), so the full `for b in build/bench/*` run
+//      reproduces the paper's evaluation end-to-end, and
+//   2. registers google-benchmark timings for the computational kernels
+//      involved.
+//
+// The paper-scale corpus is generated once per process and cached.
+
+#ifndef CUISINE_BENCH_BENCH_UTIL_H_
+#define CUISINE_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "common/logging.h"
+#include "core/pipeline.h"
+
+namespace cuisine {
+namespace bench {
+
+/// The paper-scale synthetic RecipeDB (scale 1, seed 2020), generated on
+/// first use and cached for the process lifetime.
+inline const Dataset& PaperCorpus() {
+  static const Dataset* corpus = [] {
+    auto ds = GenerateRecipeDb(GeneratorOptions{});
+    CUISINE_CHECK(ds.ok()) << ds.status();
+    return new Dataset(std::move(ds).value());
+  }();
+  return *corpus;
+}
+
+/// Per-cuisine FP-Growth patterns at the paper's 0.2 support, cached.
+inline const std::vector<CuisinePatterns>& PaperPatterns() {
+  static const std::vector<CuisinePatterns>* patterns = [] {
+    MinerOptions opt;
+    opt.min_support = kPaperMinSupport;
+    auto mined = MineAllCuisines(PaperCorpus(), opt);
+    CUISINE_CHECK(mined.ok()) << mined.status();
+    return new std::vector<CuisinePatterns>(std::move(mined).value());
+  }();
+  return *patterns;
+}
+
+/// The §VI-A pattern feature space (binary encoding), cached.
+inline const PatternFeatureSpace& PaperFeatures() {
+  static const PatternFeatureSpace* space = [] {
+    auto built = BuildPatternFeatures(PaperCorpus(), PaperPatterns());
+    CUISINE_CHECK(built.ok()) << built.status();
+    return new PatternFeatureSpace(std::move(built).value());
+  }();
+  return *space;
+}
+
+/// Geographic reference tree over the corpus cuisines (Fig 6), cached.
+inline const Dendrogram& PaperGeoTree() {
+  static const Dendrogram* tree = [] {
+    auto geo = GeoCluster(PaperCorpus().cuisine_names(),
+                          LinkageMethod::kAverage);
+    CUISINE_CHECK(geo.ok()) << geo.status();
+    return new Dendrogram(std::move(geo).value());
+  }();
+  return *tree;
+}
+
+/// Banner for the artifact section of a bench binary's output.
+inline void PrintArtifactHeader(const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << title << "\n"
+            << "================================================================\n";
+}
+
+/// Builds a metric dendrogram over the paper features (Figs 2-4 pipeline).
+inline Dendrogram PatternTree(DistanceMetric metric,
+                              LinkageMethod method = LinkageMethod::kAverage) {
+  auto tree = ClusterPatternFeatures(PaperFeatures(), metric, method);
+  CUISINE_CHECK(tree.ok()) << tree.status();
+  return std::move(tree).value();
+}
+
+/// Prints a dendrogram artifact plus its geo-similarity summary line.
+inline void PrintTreeArtifact(const std::string& figure,
+                              const Dendrogram& tree) {
+  PrintArtifactHeader(figure);
+  std::cout << tree.RenderAscii();
+  auto sim = CompareTreeToGeo("tree", tree, PaperGeoTree());
+  CUISINE_CHECK(sim.ok());
+  std::cout << "\nvs geographic reference: cophenetic_corr="
+            << sim->cophenetic_correlation
+            << " fowlkes_mallows_bk=" << sim->fowlkes_mallows_bk
+            << " triplet_agreement=" << sim->triplet_agreement << "\n"
+            << "newick: " << tree.ToNewick() << "\n";
+}
+
+}  // namespace bench
+}  // namespace cuisine
+
+#endif  // CUISINE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,111 @@
+// E8 — §VII validation: quantitative comparison of every cuisine tree
+// against the geographic reference, plus the historical-deviation claims
+// (Canada-France, India-Northern-Africa).
+//
+// Artifact: the tree-vs-geo score table and the per-claim verdicts.
+// Timings: the full end-to-end pipeline.
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+
+namespace cuisine {
+namespace {
+
+void PrintArtifact() {
+  PipelineConfig config;
+  config.run_elbow = false;
+  auto run = RunPipeline(config);
+  CUISINE_CHECK(run.ok()) << run.status();
+
+  bench::PrintArtifactHeader(
+      "§VII validation — cuisine trees vs geographic reference");
+  TextTable table({"Tree", "Cophenetic corr", "Fowlkes-Mallows Bk",
+                   "Triplet agreement"});
+  for (const auto& sim : run->validation.tree_vs_geo) {
+    table.AddRow({sim.tree_name,
+                  FormatDouble(sim.cophenetic_correlation, 3),
+                  FormatDouble(sim.fowlkes_mallows_bk, 3),
+                  FormatDouble(sim.triplet_agreement, 3)});
+  }
+  std::cout << table.Render();
+
+  std::cout << "\npaper claim: Euclidean is the most geography-like of the "
+               "three pattern trees -> "
+            << (run->validation.euclidean_most_geographic_of_patterns
+                    ? "reproduced"
+                    : "NOT reproduced (cosine/jaccard score slightly "
+                      "higher; see EXPERIMENTS.md)")
+            << "\npaper claim: authenticity tree similar-yet-better than "
+               "Euclidean -> "
+            << (run->validation.authenticity_at_least_euclidean
+                    ? "reproduced"
+                    : "NOT reproduced")
+            << "\n";
+  for (const auto& dev : run->validation.deviations) {
+    std::cout << "\n[" << dev.tree_name << " tree]"
+              << "\n  Canadian closer to French than to US: "
+              << (dev.canada_closer_to_france_than_us ? "yes (reproduced)"
+                                                      : "NO")
+              << "\n  Indian Subcontinent closer to Northern Africa than to "
+                 "Thai/Southeast Asian: "
+              << (dev.india_closer_to_north_africa_than_neighbors
+                      ? "yes (reproduced)"
+                      : "NO")
+              << "\n";
+  }
+
+  // DESIGN.md §5.3 ablation: binary vs support-weighted pattern encoding.
+  bench::PrintArtifactHeader(
+      "Encoding ablation — binary vs support-weighted pattern features "
+      "(Euclidean tree vs geography)");
+  auto weighted_space = BuildPatternFeatures(
+      run->dataset, run->mined, PatternEncoding::kSupport);
+  CUISINE_CHECK(weighted_space.ok());
+  auto weighted_tree = ClusterPatternFeatures(
+      *weighted_space, DistanceMetric::kEuclidean, LinkageMethod::kAverage);
+  CUISINE_CHECK(weighted_tree.ok());
+  auto weighted_sim =
+      CompareTreeToGeo("support-weighted", *weighted_tree, *run->geo_tree);
+  CUISINE_CHECK(weighted_sim.ok());
+  const TreeGeoSimilarity& binary_sim = run->validation.tree_vs_geo[0];
+  TextTable enc({"Encoding", "Cophenetic corr", "Triplet agreement"});
+  enc.AddRow({"binary (paper)",
+              FormatDouble(binary_sim.cophenetic_correlation, 3),
+              FormatDouble(binary_sim.triplet_agreement, 3)});
+  enc.AddRow({"support-weighted",
+              FormatDouble(weighted_sim->cophenetic_correlation, 3),
+              FormatDouble(weighted_sim->triplet_agreement, 3)});
+  std::cout << enc.Render();
+}
+
+void BM_EndToEndPipeline(benchmark::State& state) {
+  PipelineConfig config;
+  config.run_elbow = false;
+  for (auto _ : state) {
+    auto run = RunPipeline(config);
+    CUISINE_CHECK(run.ok());
+    benchmark::DoNotOptimize(run->table1.size());
+  }
+}
+BENCHMARK(BM_EndToEndPipeline)->Unit(benchmark::kMillisecond);
+
+void BM_TreeComparison(benchmark::State& state) {
+  Dendrogram tree = bench::PatternTree(DistanceMetric::kEuclidean);
+  for (auto _ : state) {
+    auto sim = CompareTreeToGeo("euclidean", tree, bench::PaperGeoTree());
+    CUISINE_CHECK(sim.ok());
+    benchmark::DoNotOptimize(sim->triplet_agreement);
+  }
+}
+BENCHMARK(BM_TreeComparison)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  cuisine::PrintArtifact();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

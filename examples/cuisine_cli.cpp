@@ -1,0 +1,315 @@
+// cuisine_cli: command-line front end for the whole library.
+//
+//   cuisine_cli generate   [--scale S] [--seed N] [--out recipes.csv]
+//   cuisine_cli stats      [--scale S] [--seed N] [--in recipes.csv]
+//   cuisine_cli mine       --cuisine NAME [--support P] [--algo fpgrowth|
+//                          apriori|eclat] [--closed] [--maximal] [--top K]
+//   cuisine_cli tree       [--source patterns|authenticity|geo]
+//                          [--metric euclidean|cosine|jaccard]
+//                          [--linkage single|complete|average|weighted|ward]
+//                          [--newick out.nwk] [--labels]
+//   cuisine_cli fingerprint --cuisine NAME [--top K]
+//   cuisine_cli validate
+//   cuisine_cli export     [--patterns out.csv] [--features out.csv]
+//
+// Every command generates (or loads) the calibrated corpus first; use
+// --scale to work with a smaller one.
+
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "core/cluster_labels.h"
+#include "core/export.h"
+#include "core/pipeline.h"
+#include "data/recipe_io.h"
+#include "mining/condensed_patterns.h"
+
+namespace {
+
+using cuisine::FormatDouble;
+
+// Minimal --flag / --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "";
+        }
+      }
+    }
+  }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() || it->second.empty() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    double v = fallback;
+    cuisine::ParseDouble(it->second, &v);
+    return v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+cuisine::Result<cuisine::Dataset> LoadOrGenerate(const Args& args) {
+  if (args.Has("in")) {
+    return cuisine::LoadDatasetCsv(args.Get("in", ""));
+  }
+  cuisine::GeneratorOptions opt;
+  opt.scale = args.GetDouble("scale", 1.0);
+  opt.seed = static_cast<std::uint64_t>(args.GetDouble("seed", 2020));
+  return cuisine::GenerateRecipeDb(opt);
+}
+
+int Fail(const cuisine::Status& status) {
+  std::cerr << "error: " << status << "\n";
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  auto ds = LoadOrGenerate(args);
+  if (!ds.ok()) return Fail(ds.status());
+  std::string out = args.Get("out", "recipes.csv");
+  cuisine::Status st = cuisine::SaveDatasetCsv(*ds, out);
+  if (!st.ok()) return Fail(st);
+  std::cout << "wrote " << cuisine::FormatCount(ds->num_recipes())
+            << " recipes to " << out << "\n";
+  return 0;
+}
+
+int CmdStats(const Args& args) {
+  auto ds = LoadOrGenerate(args);
+  if (!ds.ok()) return Fail(ds.status());
+  std::cout << ds->ComputeStats().ToString() << "\n";
+  for (cuisine::CuisineId c = 0; c < ds->num_cuisines(); ++c) {
+    std::cout << "  " << ds->CuisineName(c) << ": "
+              << cuisine::FormatCount(ds->CuisineRecipeCount(c)) << "\n";
+  }
+  return 0;
+}
+
+int CmdMine(const Args& args) {
+  auto ds = LoadOrGenerate(args);
+  if (!ds.ok()) return Fail(ds.status());
+  std::string name = args.Get("cuisine", "Korean");
+  cuisine::CuisineId id = ds->FindCuisine(name);
+  if (id == cuisine::kInvalidCuisineId) {
+    return Fail(cuisine::Status::NotFound("unknown cuisine: " + name));
+  }
+  auto algo_result =
+      [&]() -> cuisine::Result<cuisine::MinerAlgorithm> {
+    std::string algo = args.Get("algo", "fpgrowth");
+    if (algo == "fpgrowth") return cuisine::MinerAlgorithm::kFpGrowth;
+    if (algo == "apriori") return cuisine::MinerAlgorithm::kApriori;
+    if (algo == "eclat") return cuisine::MinerAlgorithm::kEclat;
+    return cuisine::Status::InvalidArgument("unknown algo: " + algo);
+  }();
+  if (!algo_result.ok()) return Fail(algo_result.status());
+
+  cuisine::MinerOptions opt;
+  opt.min_support = args.GetDouble("support", 0.2);
+  auto db = cuisine::TransactionDb::FromCuisine(*ds, id);
+  auto patterns = cuisine::Mine(*algo_result, db, opt);
+  if (!patterns.ok()) return Fail(patterns.status());
+
+  std::vector<cuisine::FrequentItemset> shown = *patterns;
+  std::string kind = "frequent";
+  if (args.Has("closed")) {
+    shown = cuisine::FilterClosed(*patterns);
+    kind = "closed";
+  } else if (args.Has("maximal")) {
+    shown = cuisine::FilterMaximal(*patterns);
+    kind = "maximal";
+  }
+  cuisine::SortPatternsBySupport(&shown);
+  std::size_t top = static_cast<std::size_t>(args.GetDouble("top", 25));
+  if (shown.size() > top) shown.resize(top);
+
+  std::cout << name << ": " << patterns->size() << " frequent patterns ("
+            << kind << " shown: " << shown.size() << ")\n";
+  cuisine::TextTable table({"Pattern", "Support", "Count"});
+  for (const auto& p : shown) {
+    table.AddRow({p.items.ToString(ds->vocabulary()),
+                  FormatDouble(p.support, 3), std::to_string(p.count)});
+  }
+  std::cout << table.Render();
+  return 0;
+}
+
+int CmdTree(const Args& args) {
+  auto ds = LoadOrGenerate(args);
+  if (!ds.ok()) return Fail(ds.status());
+  std::string source = args.Get("source", "patterns");
+  auto linkage = cuisine::ParseLinkageMethod(args.Get("linkage", "average"));
+  if (!linkage.ok()) return Fail(linkage.status());
+
+  if (source == "geo") {
+    auto tree = cuisine::GeoCluster(ds->cuisine_names(), *linkage);
+    if (!tree.ok()) return Fail(tree.status());
+    std::cout << tree->RenderAscii();
+    if (args.Has("newick")) {
+      cuisine::Status st = cuisine::SaveNewick(*tree, args.Get("newick", ""));
+      if (!st.ok()) return Fail(st);
+    }
+    return 0;
+  }
+  if (source == "authenticity") {
+    cuisine::AuthenticityClusterOptions opt;
+    opt.linkage = *linkage;
+    auto tree = cuisine::AuthenticityCluster(*ds, opt);
+    if (!tree.ok()) return Fail(tree.status());
+    std::cout << tree->RenderAscii();
+    if (args.Has("newick")) {
+      cuisine::Status st = cuisine::SaveNewick(*tree, args.Get("newick", ""));
+      if (!st.ok()) return Fail(st);
+    }
+    return 0;
+  }
+  if (source != "patterns") {
+    return Fail(cuisine::Status::InvalidArgument(
+        "unknown --source (patterns|authenticity|geo): " + source));
+  }
+  auto metric = cuisine::ParseDistanceMetric(args.Get("metric", "euclidean"));
+  if (!metric.ok()) return Fail(metric.status());
+  cuisine::MinerOptions mopt;
+  mopt.min_support = args.GetDouble("support", 0.2);
+  auto mined = cuisine::MineAllCuisines(*ds, mopt);
+  if (!mined.ok()) return Fail(mined.status());
+  auto space = cuisine::BuildPatternFeatures(*ds, *mined);
+  if (!space.ok()) return Fail(space.status());
+  auto tree = cuisine::ClusterPatternFeatures(*space, *metric, *linkage);
+  if (!tree.ok()) return Fail(tree.status());
+  std::cout << tree->RenderAscii();
+  if (args.Has("labels")) {
+    auto labels = cuisine::LabelClusters(*tree, *space);
+    if (!labels.ok()) return Fail(labels.status());
+    std::cout << "\n" << cuisine::RenderClusterLabels(*labels);
+  }
+  if (args.Has("newick")) {
+    cuisine::Status st = cuisine::SaveNewick(*tree, args.Get("newick", ""));
+    if (!st.ok()) return Fail(st);
+  }
+  return 0;
+}
+
+int CmdFingerprint(const Args& args) {
+  auto ds = LoadOrGenerate(args);
+  if (!ds.ok()) return Fail(ds.status());
+  std::string name = args.Get("cuisine", "Korean");
+  cuisine::CuisineId id = ds->FindCuisine(name);
+  if (id == cuisine::kInvalidCuisineId) {
+    return Fail(cuisine::Status::NotFound("unknown cuisine: " + name));
+  }
+  auto am = cuisine::ComputeAuthenticity(*ds);
+  if (!am.ok()) return Fail(am.status());
+  std::size_t top = static_cast<std::size_t>(args.GetDouble("top", 10));
+  std::cout << name << " — most authentic:\n";
+  for (const auto& item : am->MostAuthentic(id, top)) {
+    std::cout << "  " << ds->vocabulary().Name(item.item) << "  "
+              << FormatDouble(item.score, 3) << "\n";
+  }
+  std::cout << name << " — least authentic:\n";
+  for (const auto& item : am->LeastAuthentic(id, top)) {
+    std::cout << "  " << ds->vocabulary().Name(item.item) << "  "
+              << FormatDouble(item.score, 3) << "\n";
+  }
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  cuisine::PipelineConfig config;
+  config.generator.scale = args.GetDouble("scale", 1.0);
+  config.generator.seed =
+      static_cast<std::uint64_t>(args.GetDouble("seed", 2020));
+  config.run_elbow = false;
+  auto run = cuisine::RunPipeline(config);
+  if (!run.ok()) return Fail(run.status());
+  cuisine::TextTable table(
+      {"Tree", "Cophenetic corr", "Fowlkes-Mallows Bk", "Triplet"});
+  for (const auto& sim : run->validation.tree_vs_geo) {
+    table.AddRow({sim.tree_name, FormatDouble(sim.cophenetic_correlation, 3),
+                  FormatDouble(sim.fowlkes_mallows_bk, 3),
+                  FormatDouble(sim.triplet_agreement, 3)});
+  }
+  std::cout << table.Render();
+  for (const auto& dev : run->validation.deviations) {
+    std::cout << dev.tree_name << ": Canada-France "
+              << (dev.canada_closer_to_france_than_us ? "yes" : "no")
+              << ", India-NorthAfrica "
+              << (dev.india_closer_to_north_africa_than_neighbors ? "yes"
+                                                                  : "no")
+              << "\n";
+  }
+  return 0;
+}
+
+int CmdExport(const Args& args) {
+  auto ds = LoadOrGenerate(args);
+  if (!ds.ok()) return Fail(ds.status());
+  cuisine::MinerOptions opt;
+  opt.min_support = args.GetDouble("support", 0.2);
+  auto mined = cuisine::MineAllCuisines(*ds, opt);
+  if (!mined.ok()) return Fail(mined.status());
+  if (args.Has("patterns")) {
+    cuisine::Status st = cuisine::SavePatternsCsv(
+        ds->vocabulary(), *mined, args.Get("patterns", "patterns.csv"));
+    if (!st.ok()) return Fail(st);
+    std::cout << "wrote " << args.Get("patterns", "patterns.csv") << "\n";
+  }
+  if (args.Has("features")) {
+    auto space = cuisine::BuildPatternFeatures(*ds, *mined);
+    if (!space.ok()) return Fail(space.status());
+    cuisine::Status st = cuisine::SaveFeatureMatrixCsv(
+        *space, args.Get("features", "features.csv"));
+    if (!st.ok()) return Fail(st);
+    std::cout << "wrote " << args.Get("features", "features.csv") << "\n";
+  }
+  return 0;
+}
+
+void Usage() {
+  std::cout <<
+      "usage: cuisine_cli <command> [flags]\n"
+      "commands:\n"
+      "  generate     write the synthetic corpus to CSV\n"
+      "  stats        corpus statistics (vs paper §III)\n"
+      "  mine         frequent patterns of one cuisine\n"
+      "  tree         cuisine dendrogram (patterns|authenticity|geo)\n"
+      "  fingerprint  authenticity fingerprint of one cuisine\n"
+      "  validate     §VII tree-vs-geography validation\n"
+      "  export       patterns / feature matrix CSVs\n"
+      "common flags: --scale S --seed N --in recipes.csv\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  std::string command = argv[1];
+  Args args(argc, argv);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "stats") return CmdStats(args);
+  if (command == "mine") return CmdMine(args);
+  if (command == "tree") return CmdTree(args);
+  if (command == "fingerprint") return CmdFingerprint(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "export") return CmdExport(args);
+  Usage();
+  return 1;
+}

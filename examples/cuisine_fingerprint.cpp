@@ -1,0 +1,80 @@
+// Cuisine fingerprint: the authenticity view of one cuisine (paper §V-B).
+//
+// Prints the most and least authentic ingredients — the items whose
+// relative prevalence most strongly identifies the cuisine, positively
+// (over-represented vs the rest of the world) and negatively
+// (conspicuously avoided) — and the cuisine's nearest neighbours in
+// authenticity space.
+//
+// Usage: cuisine_fingerprint [cuisine] [top_k]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "cluster/pdist.h"
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "core/authenticity_pipeline.h"
+#include "data/generator.h"
+
+int main(int argc, char** argv) {
+  std::string cuisine_name = argc > 1 ? argv[1] : "Indian Subcontinent";
+  std::size_t top_k = argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2]))
+                               : 10;
+
+  auto dataset = cuisine::GenerateRecipeDb(cuisine::GeneratorOptions{});
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  cuisine::CuisineId id = dataset->FindCuisine(cuisine_name);
+  if (id == cuisine::kInvalidCuisineId) {
+    std::cerr << "unknown cuisine '" << cuisine_name << "'\n";
+    return 1;
+  }
+
+  auto am = cuisine::ComputeAuthenticity(*dataset);
+  if (!am.ok()) {
+    std::cerr << am.status() << "\n";
+    return 1;
+  }
+  const cuisine::Vocabulary& vocab = dataset->vocabulary();
+
+  std::cout << "culinary fingerprint of " << cuisine_name << " ("
+            << dataset->CuisineRecipeCount(id) << " recipes)\n\n";
+
+  cuisine::TextTable positive({"Most authentic ingredient", "p_i^c"});
+  for (const auto& item : am->MostAuthentic(id, top_k)) {
+    positive.AddRow({cuisine::DisplayItemName(vocab.Name(item.item)),
+                     cuisine::FormatDouble(item.score, 3)});
+  }
+  std::cout << positive.Render() << "\n";
+
+  cuisine::TextTable negative({"Least authentic (avoided) ingredient",
+                               "p_i^c"});
+  for (const auto& item : am->LeastAuthentic(id, top_k)) {
+    negative.AddRow({cuisine::DisplayItemName(vocab.Name(item.item)),
+                     cuisine::FormatDouble(item.score, 3)});
+  }
+  std::cout << negative.Render() << "\n";
+
+  // Nearest cuisines in authenticity feature space.
+  auto d = cuisine::CondensedDistanceMatrix::FromFeatures(
+      am->FeatureMatrix(), cuisine::DistanceMetric::kEuclidean);
+  std::vector<std::pair<double, cuisine::CuisineId>> neighbors;
+  for (cuisine::CuisineId other = 0; other < dataset->num_cuisines();
+       ++other) {
+    if (other == id) continue;
+    neighbors.emplace_back(d.at(id, other), other);
+  }
+  std::sort(neighbors.begin(), neighbors.end());
+  std::cout << "nearest cuisines by authenticity profile:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, neighbors.size());
+       ++i) {
+    std::cout << "  " << dataset->CuisineName(neighbors[i].second)
+              << "  (distance "
+              << cuisine::FormatDouble(neighbors[i].first, 3) << ")\n";
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Example: the full cuisine-tree study (Figs 1-6 + §VII validation).
+//
+// Runs the end-to-end pipeline: generate the corpus, mine per-cuisine
+// patterns, build the Euclidean/Cosine/Jaccard pattern dendrograms, the
+// authenticity dendrogram and the geographic reference tree, run the
+// elbow analysis, and print the validation scores the paper argues from.
+//
+// Usage: cuisine_tree [scale] [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  cuisine::PipelineConfig config;
+  if (argc > 1) config.generator.scale = std::atof(argv[1]);
+  if (argc > 2) {
+    config.generator.seed = static_cast<std::uint64_t>(std::atoll(argv[2]));
+  }
+
+  auto result = cuisine::RunPipeline(config);
+  if (!result.ok()) {
+    std::cerr << "pipeline failed: " << result.status() << "\n";
+    return 1;
+  }
+
+  std::cout << "=== Fig 2: HAC on mined patterns, Euclidean ===\n"
+            << result->euclidean_tree->RenderAscii() << "\n";
+  std::cout << "=== Fig 3: HAC on mined patterns, Cosine ===\n"
+            << result->cosine_tree->RenderAscii() << "\n";
+  std::cout << "=== Fig 4: HAC on mined patterns, Jaccard ===\n"
+            << result->jaccard_tree->RenderAscii() << "\n";
+  std::cout << "=== Fig 5: HAC on ingredient authenticity ===\n"
+            << result->authenticity_tree->RenderAscii() << "\n";
+  std::cout << "=== Fig 6: HAC on geographic distance ===\n"
+            << result->geo_tree->RenderAscii() << "\n";
+
+  std::cout << "=== Fig 1: elbow analysis (WCSS vs k) ===\n"
+            << result->elbow.ToString() << "\n";
+
+  std::cout << "=== Validation (tree vs geographic reference) ===\n";
+  cuisine::TextTable table(
+      {"Tree", "Cophenetic corr", "Fowlkes-Mallows Bk", "Triplet agreement"});
+  for (const auto& sim : result->validation.tree_vs_geo) {
+    table.AddRow({sim.tree_name,
+                  cuisine::FormatDouble(sim.cophenetic_correlation, 3),
+                  cuisine::FormatDouble(sim.fowlkes_mallows_bk, 3),
+                  cuisine::FormatDouble(sim.triplet_agreement, 3)});
+  }
+  std::cout << table.Render();
+  std::cout << "euclidean most geographic of the pattern trees: "
+            << (result->validation.euclidean_most_geographic_of_patterns
+                    ? "yes"
+                    : "no")
+            << "\nauthenticity at least as geographic as euclidean: "
+            << (result->validation.authenticity_at_least_euclidean ? "yes"
+                                                                   : "no")
+            << "\n";
+  for (const auto& dev : result->validation.deviations) {
+    std::cout << dev.tree_name << ": Canada closer to France than US: "
+              << (dev.canada_closer_to_france_than_us ? "yes" : "no")
+              << "; India closer to N.Africa than Thai/SE-Asia: "
+              << (dev.india_closer_to_north_africa_than_neighbors ? "yes"
+                                                                  : "no")
+              << "\n";
+  }
+  return 0;
+}

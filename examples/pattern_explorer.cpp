@@ -1,0 +1,83 @@
+// Pattern explorer: dig into one cuisine's mined patterns and the
+// association rules they imply (the paper's §IV analysis, interactive).
+//
+// Usage: pattern_explorer [cuisine] [min_support] [min_confidence]
+//   cuisine         e.g. "Korean" (default), "Indian Subcontinent", ...
+//   min_support     default 0.2 (the paper's threshold)
+//   min_confidence  default 0.6
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/text_table.h"
+#include "data/generator.h"
+#include "mining/association_rules.h"
+#include "mining/miner.h"
+
+int main(int argc, char** argv) {
+  std::string cuisine_name = argc > 1 ? argv[1] : "Korean";
+  double min_support = argc > 2 ? std::atof(argv[2]) : 0.2;
+  double min_confidence = argc > 3 ? std::atof(argv[3]) : 0.6;
+
+  auto dataset = cuisine::GenerateRecipeDb(cuisine::GeneratorOptions{});
+  if (!dataset.ok()) {
+    std::cerr << dataset.status() << "\n";
+    return 1;
+  }
+  cuisine::CuisineId id = dataset->FindCuisine(cuisine_name);
+  if (id == cuisine::kInvalidCuisineId) {
+    std::cerr << "unknown cuisine '" << cuisine_name << "'. Available:\n";
+    for (const std::string& name : dataset->cuisine_names()) {
+      std::cerr << "  " << name << "\n";
+    }
+    return 1;
+  }
+
+  cuisine::TransactionDb db =
+      cuisine::TransactionDb::FromCuisine(*dataset, id);
+  cuisine::MinerOptions opt;
+  opt.min_support = min_support;
+  auto patterns = cuisine::MineFpGrowth(db, opt);
+  if (!patterns.ok()) {
+    std::cerr << patterns.status() << "\n";
+    return 1;
+  }
+
+  std::cout << cuisine_name << ": " << db.size() << " recipes, "
+            << patterns->size() << " frequent patterns at support >= "
+            << min_support << "\n\n";
+
+  cuisine::SortPatternsBySupport(&*patterns);
+  cuisine::TextTable table({"Pattern", "Support", "Count"});
+  std::size_t shown = 0;
+  for (const cuisine::FrequentItemset& p : *patterns) {
+    if (p.items.size() < 2 && shown >= 5) continue;  // favour compounds
+    table.AddRow({p.items.ToString(dataset->vocabulary()),
+                  cuisine::FormatDouble(p.support, 3),
+                  std::to_string(p.count)});
+    if (++shown >= 20) break;
+  }
+  std::cout << table.Render();
+
+  cuisine::RuleOptions ropt;
+  ropt.min_confidence = min_confidence;
+  ropt.min_lift = 1.05;
+  auto rules = cuisine::GenerateRules(*patterns, ropt);
+  if (!rules.ok()) {
+    std::cerr << rules.status() << "\n";
+    return 1;
+  }
+  cuisine::SortRulesByLift(&*rules);
+  std::cout << "\ntop association rules (confidence >= " << min_confidence
+            << ", lift > 1.05):\n";
+  std::size_t limit = 12;
+  for (const cuisine::AssociationRule& r : *rules) {
+    std::cout << "  " << r.ToString(dataset->vocabulary()) << "\n";
+    if (--limit == 0) break;
+  }
+  if (rules->empty()) {
+    std::cout << "  (none at these thresholds)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Render figures: regenerate Figs 2-6 of the paper as standalone SVG
+// files from the calibrated corpus.
+//
+// Usage: render_figures [output_dir]   (default: current directory)
+
+#include <iostream>
+#include <string>
+
+#include "cluster/svg_render.h"
+#include "core/pipeline.h"
+
+int main(int argc, char** argv) {
+  std::string dir = argc > 1 ? argv[1] : ".";
+
+  cuisine::PipelineConfig config;
+  config.run_elbow = false;
+  auto run = cuisine::RunPipeline(config);
+  if (!run.ok()) {
+    std::cerr << "pipeline failed: " << run.status() << "\n";
+    return 1;
+  }
+
+  struct Figure {
+    const cuisine::Dendrogram* tree;
+    const char* file;
+    const char* title;
+    const char* axis;
+  };
+  const Figure figures[] = {
+      {&*run->euclidean_tree, "fig2_euclidean.svg",
+       "Fig 2 - HAC on mined patterns (Euclidean)", "Euclidean distance"},
+      {&*run->cosine_tree, "fig3_cosine.svg",
+       "Fig 3 - HAC on mined patterns (Cosine)", "Cosine distance"},
+      {&*run->jaccard_tree, "fig4_jaccard.svg",
+       "Fig 4 - HAC on mined patterns (Jaccard)", "Jaccard distance"},
+      {&*run->authenticity_tree, "fig5_authenticity.svg",
+       "Fig 5 - HAC on ingredient authenticity", "Ward distance"},
+      {&*run->geo_tree, "fig6_geo.svg",
+       "Fig 6 - HAC on geographical distance", "distance (km)"},
+  };
+  for (const Figure& figure : figures) {
+    cuisine::SvgOptions opt;
+    opt.title = figure.title;
+    opt.axis_label = figure.axis;
+    opt.color_clusters = 6;
+    std::string path = dir + "/" + figure.file;
+    cuisine::Status st = cuisine::SaveSvg(*figure.tree, path, opt);
+    if (!st.ok()) {
+      std::cerr << "failed to write " << path << ": " << st << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "authenticity/authenticity.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace cuisine {
+
+AuthenticityMatrix AuthenticityMatrix::From(
+    const PrevalenceMatrix& prevalence) {
+  const Matrix& p = prevalence.matrix();
+  const std::size_t n_cuisines = p.rows();
+  const std::size_t n_items = p.cols();
+
+  AuthenticityMatrix am;
+  am.items_ = prevalence.items();
+  am.item_to_col_.assign(
+      am.items_.empty() ? 0 : am.items_.back() + 1, -1);
+  for (std::size_t j = 0; j < am.items_.size(); ++j) {
+    am.item_to_col_[am.items_[j]] = static_cast<std::int32_t>(j);
+  }
+  am.matrix_ = Matrix(n_cuisines, n_items, 0.0);
+  if (n_cuisines == 0) return am;
+
+  // p_i^c = P_i^c − mean over the *other* cuisines
+  //       = P_i^c − (sum_k P_i^k − P_i^c) / (n−1).
+  std::vector<double> col_sums(n_items, 0.0);
+  for (std::size_t c = 0; c < n_cuisines; ++c) {
+    for (std::size_t j = 0; j < n_items; ++j) col_sums[j] += p(c, j);
+  }
+  if (n_cuisines == 1) {
+    // Degenerate: no "other cuisines"; relative prevalence is prevalence.
+    for (std::size_t j = 0; j < n_items; ++j) am.matrix_(0, j) = p(0, j);
+    return am;
+  }
+  const double denom = static_cast<double>(n_cuisines - 1);
+  for (std::size_t c = 0; c < n_cuisines; ++c) {
+    for (std::size_t j = 0; j < n_items; ++j) {
+      double others_mean = (col_sums[j] - p(c, j)) / denom;
+      am.matrix_(c, j) = p(c, j) - others_mean;
+    }
+  }
+  return am;
+}
+
+double AuthenticityMatrix::Score(CuisineId cuisine, ItemId item) const {
+  CUISINE_CHECK_LT(cuisine, matrix_.rows());
+  if (item >= item_to_col_.size()) return 0.0;
+  std::int32_t col = item_to_col_[item];
+  return col < 0 ? 0.0 : matrix_(cuisine, static_cast<std::size_t>(col));
+}
+
+namespace {
+std::vector<AuthenticItem> SortedRow(const Matrix& m,
+                                     const std::vector<ItemId>& items,
+                                     CuisineId cuisine, std::size_t k,
+                                     bool descending) {
+  std::vector<AuthenticItem> all;
+  all.reserve(items.size());
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    all.push_back(AuthenticItem{items[j], m(cuisine, j)});
+  }
+  std::sort(all.begin(), all.end(),
+            [descending](const AuthenticItem& a, const AuthenticItem& b) {
+              if (a.score != b.score) {
+                return descending ? a.score > b.score : a.score < b.score;
+              }
+              return a.item < b.item;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+}  // namespace
+
+std::vector<AuthenticItem> AuthenticityMatrix::MostAuthentic(
+    CuisineId cuisine, std::size_t k) const {
+  CUISINE_CHECK_LT(cuisine, matrix_.rows());
+  return SortedRow(matrix_, items_, cuisine, k, /*descending=*/true);
+}
+
+std::vector<AuthenticItem> AuthenticityMatrix::LeastAuthentic(
+    CuisineId cuisine, std::size_t k) const {
+  CUISINE_CHECK_LT(cuisine, matrix_.rows());
+  return SortedRow(matrix_, items_, cuisine, k, /*descending=*/false);
+}
+
+}  // namespace cuisine

@@ -1,0 +1,61 @@
+// Relative prevalence / authenticity (paper eq. 2, after Ahn et al. 2011):
+//
+//   p_i^c = P_i^c − ⟨P_i^k⟩_{k≠c}
+//
+// Positive values mark items over-represented in a cuisine relative to the
+// rest of the world; negative values mark items the cuisine conspicuously
+// avoids. Both tails form the cuisine's "culinary fingerprint" (§V-B) and
+// the rows are the feature vectors behind Fig 5's dendrogram.
+
+#ifndef CUISINE_AUTHENTICITY_AUTHENTICITY_H_
+#define CUISINE_AUTHENTICITY_AUTHENTICITY_H_
+
+#include <string>
+#include <vector>
+
+#include "authenticity/prevalence.h"
+
+namespace cuisine {
+
+/// One (item, authenticity score) entry of a fingerprint.
+struct AuthenticItem {
+  ItemId item = kInvalidItemId;
+  double score = 0.0;
+};
+
+/// Cuisines x items relative-prevalence matrix.
+class AuthenticityMatrix {
+ public:
+  /// Derives relative prevalence from a prevalence matrix.
+  static AuthenticityMatrix From(const PrevalenceMatrix& prevalence);
+
+  /// rows = cuisines, cols = items() (same column map as the source).
+  const Matrix& matrix() const { return matrix_; }
+  const std::vector<ItemId>& items() const { return items_; }
+
+  /// Authenticity score of `item` in `cuisine` (0 for pruned items).
+  double Score(CuisineId cuisine, ItemId item) const;
+
+  /// The k most over-represented items of a cuisine (descending score).
+  std::vector<AuthenticItem> MostAuthentic(CuisineId cuisine,
+                                           std::size_t k) const;
+
+  /// The k most under-represented items (ascending score — most negative
+  /// first). With per-cuisine prevalence these are items ubiquitous
+  /// elsewhere but rare here.
+  std::vector<AuthenticItem> LeastAuthentic(CuisineId cuisine,
+                                            std::size_t k) const;
+
+  /// Rows as a feature matrix for clustering (identity accessor, named
+  /// for call-site clarity).
+  const Matrix& FeatureMatrix() const { return matrix_; }
+
+ private:
+  Matrix matrix_;
+  std::vector<ItemId> items_;
+  std::vector<std::int32_t> item_to_col_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_AUTHENTICITY_AUTHENTICITY_H_

@@ -1,0 +1,76 @@
+#include "authenticity/prevalence.h"
+
+#include "common/logging.h"
+
+namespace cuisine {
+
+Result<PrevalenceMatrix> PrevalenceMatrix::Compute(
+    const Dataset& dataset, const PrevalenceOptions& options) {
+  if (dataset.num_cuisines() == 0) {
+    return Status::InvalidArgument("dataset has no cuisines");
+  }
+  if (dataset.num_recipes() == 0) {
+    return Status::InvalidArgument("dataset has no recipes");
+  }
+  const Vocabulary& vocab = dataset.vocabulary();
+  const std::size_t vocab_size = vocab.size();
+
+  // Corpus-wide counts for pruning.
+  std::vector<std::size_t> total_counts(vocab_size, 0);
+  for (const Recipe& r : dataset.recipes()) {
+    for (ItemId item : r.items) ++total_counts[item];
+  }
+
+  PrevalenceMatrix pm;
+  pm.item_to_col_.assign(vocab_size, -1);
+  for (ItemId item = 0; item < vocab_size; ++item) {
+    if (options.category && vocab.Category(item) != *options.category) {
+      continue;
+    }
+    if (total_counts[item] < options.min_total_count) continue;
+    pm.item_to_col_[item] = static_cast<std::int32_t>(pm.items_.size());
+    pm.items_.push_back(item);
+  }
+  if (pm.items_.empty()) {
+    return Status::InvalidArgument(
+        "no items survive the prevalence filters (category/min_total_count)");
+  }
+
+  pm.matrix_ = Matrix(dataset.num_cuisines(), pm.items_.size(), 0.0);
+  for (const Recipe& r : dataset.recipes()) {
+    for (ItemId item : r.items) {
+      std::int32_t col = pm.item_to_col_[item];
+      if (col >= 0) {
+        pm.matrix_(r.cuisine, static_cast<std::size_t>(col)) += 1.0;
+      }
+    }
+  }
+
+  for (CuisineId c = 0; c < dataset.num_cuisines(); ++c) {
+    double denom =
+        options.normalization == PrevalenceOptions::Normalization::kPerCuisine
+            ? static_cast<double>(dataset.CuisineRecipeCount(c))
+            : static_cast<double>(dataset.num_recipes());
+    if (denom == 0.0) continue;  // empty cuisine row stays zero
+    for (std::size_t j = 0; j < pm.items_.size(); ++j) {
+      pm.matrix_(c, j) /= denom;
+    }
+  }
+  return pm;
+}
+
+double PrevalenceMatrix::Prevalence(CuisineId cuisine, ItemId item) const {
+  CUISINE_CHECK_LT(cuisine, matrix_.rows());
+  if (item >= item_to_col_.size()) return 0.0;
+  std::int32_t col = item_to_col_[item];
+  return col < 0 ? 0.0 : matrix_(cuisine, static_cast<std::size_t>(col));
+}
+
+std::optional<std::size_t> PrevalenceMatrix::ColumnOf(ItemId item) const {
+  if (item >= item_to_col_.size() || item_to_col_[item] < 0) {
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(item_to_col_[item]);
+}
+
+}  // namespace cuisine

@@ -1,0 +1,69 @@
+// Prevalence matrix (paper eq. 1): P_i^c — the fraction of cuisine c's
+// recipes containing item i.
+//
+// Note on notation: the paper writes P_i^c = n_i^c / N_C and glosses N_C
+// as "total number of recipes in the dataset", but the metric it cites
+// (Ahn et al. 2011, flavor-network authenticity) normalises by the number
+// of recipes *in the cuisine*. We default to the per-cuisine definition —
+// corpus-wide normalisation would simply rank cuisines by size — and offer
+// the literal corpus normalisation as an option for comparison.
+
+#ifndef CUISINE_AUTHENTICITY_PREVALENCE_H_
+#define CUISINE_AUTHENTICITY_PREVALENCE_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace cuisine {
+
+/// Prevalence computation options.
+struct PrevalenceOptions {
+  enum class Normalization {
+    kPerCuisine,  ///< n_i^c / N^c (Ahn et al.; default)
+    kCorpus,      ///< n_i^c / N (paper's literal eq. 1)
+  };
+  Normalization normalization = Normalization::kPerCuisine;
+
+  /// Restrict to one category (Fig 5 uses ingredients); nullopt = all.
+  std::optional<ItemCategory> category = ItemCategory::kIngredient;
+
+  /// Drop items appearing in fewer than this many recipes corpus-wide
+  /// (prunes the 20k-ingredient rare tail that carries no signal).
+  std::size_t min_total_count = 5;
+};
+
+/// Cuisines x items prevalence matrix with the item-id column map.
+class PrevalenceMatrix {
+ public:
+  /// Computes prevalences over the whole dataset.
+  static Result<PrevalenceMatrix> Compute(const Dataset& dataset,
+                                          const PrevalenceOptions& options = {});
+
+  /// rows = cuisines (dataset order), cols = items().
+  const Matrix& matrix() const { return matrix_; }
+
+  /// Column item ids (ascending).
+  const std::vector<ItemId>& items() const { return items_; }
+
+  std::size_t num_cuisines() const { return matrix_.rows(); }
+  std::size_t num_items() const { return items_.size(); }
+
+  /// Prevalence of item (by id) in cuisine; 0 if the item was pruned.
+  double Prevalence(CuisineId cuisine, ItemId item) const;
+
+  /// Column index of `item`, or nullopt if pruned.
+  std::optional<std::size_t> ColumnOf(ItemId item) const;
+
+ private:
+  Matrix matrix_;
+  std::vector<ItemId> items_;
+  std::vector<std::int32_t> item_to_col_;  // -1 = pruned
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_AUTHENTICITY_PREVALENCE_H_

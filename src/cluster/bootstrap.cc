@@ -1,0 +1,99 @@
+#include "cluster/bootstrap.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+// Leaf sets of every internal node (by merge step).
+std::vector<std::set<std::size_t>> CladeSets(const Dendrogram& tree) {
+  const std::size_t n = tree.num_leaves();
+  std::vector<std::set<std::size_t>> sets(2 * n - 1);
+  for (std::size_t i = 0; i < n; ++i) sets[i] = {i};
+  std::vector<std::set<std::size_t>> clades;
+  for (std::size_t s = 0; s < tree.steps().size(); ++s) {
+    const LinkageStep& step = tree.steps()[s];
+    std::set<std::size_t> merged = sets[step.left];
+    merged.insert(sets[step.right].begin(), sets[step.right].end());
+    sets[n + s] = merged;
+    clades.push_back(std::move(merged));
+  }
+  return clades;
+}
+
+}  // namespace
+
+Matrix ResampleColumns(const Matrix& features, Rng* rng) {
+  Matrix out(features.rows(), features.cols());
+  for (std::size_t c = 0; c < features.cols(); ++c) {
+    std::size_t source = static_cast<std::size_t>(
+        rng->UniformInt(features.cols()));
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+      out(r, c) = features(r, source);
+    }
+  }
+  return out;
+}
+
+Result<BootstrapResult> BootstrapStability(const Dendrogram& reference,
+                                           const TreeBuilder& builder,
+                                           const BootstrapOptions& options) {
+  if (options.replicates == 0) {
+    return Status::InvalidArgument("need at least 1 replicate");
+  }
+  const std::size_t n = reference.num_leaves();
+  if (options.num_clusters == 0 || options.num_clusters > n) {
+    return Status::InvalidArgument("num_clusters must be in [1, n]");
+  }
+  std::vector<std::set<std::size_t>> reference_clades = CladeSets(reference);
+
+  BootstrapResult result;
+  result.co_clustering = Matrix(n, n, 0.0);
+  result.clade_support.assign(reference_clades.size(), 0.0);
+
+  Rng master(options.seed);
+  for (std::size_t rep = 0; rep < options.replicates; ++rep) {
+    Rng rng = master.Fork(rep + 1);
+    CUISINE_ASSIGN_OR_RETURN(Dendrogram tree, builder(&rng));
+    if (tree.num_leaves() != n) {
+      return Status::InvalidArgument(
+          "replicate tree has a different leaf count");
+    }
+    ++result.replicates_used;
+
+    // Co-clustering at the configured cut.
+    CUISINE_ASSIGN_OR_RETURN(std::vector<int> labels,
+                             tree.CutToClusters(options.num_clusters));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        if (labels[i] == labels[j]) {
+          result.co_clustering(i, j) += 1.0;
+          if (i != j) result.co_clustering(j, i) += 1.0;
+        }
+      }
+    }
+
+    // Clade recovery.
+    std::vector<std::set<std::size_t>> clades = CladeSets(tree);
+    std::set<std::set<std::size_t>> clade_index(clades.begin(), clades.end());
+    for (std::size_t c = 0; c < reference_clades.size(); ++c) {
+      if (clade_index.count(reference_clades[c])) {
+        result.clade_support[c] += 1.0;
+      }
+    }
+  }
+
+  double denom = static_cast<double>(result.replicates_used);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      result.co_clustering(i, j) /= denom;
+    }
+  }
+  for (double& support : result.clade_support) support /= denom;
+  return result;
+}
+
+}  // namespace cuisine

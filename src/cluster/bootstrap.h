@@ -1,0 +1,61 @@
+// Bootstrap stability of hierarchical clusterings.
+//
+// The paper has no quantified confidence on its dendrograms (§VIII calls
+// for better validation); this module adds the standard bootstrap: refit
+// the tree on resampled data many times and measure, for every pair of
+// observations, how often they co-cluster — and per tree clade, how often
+// it reappears (its bootstrap *support*, as on phylogenetic trees).
+
+#ifndef CUISINE_CLUSTER_BOOTSTRAP_H_
+#define CUISINE_CLUSTER_BOOTSTRAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Bootstrap configuration.
+struct BootstrapOptions {
+  std::size_t replicates = 100;
+  std::uint64_t seed = 7;
+  /// Cut depth used for the co-clustering matrix.
+  std::size_t num_clusters = 5;
+};
+
+/// A replicate builder: given a replicate RNG, produce a tree over the
+/// same observations (e.g. re-generate features from resampled recipes,
+/// or perturb the feature matrix).
+using TreeBuilder = std::function<Result<Dendrogram>(Rng*)>;
+
+/// Bootstrap outputs.
+struct BootstrapResult {
+  /// co_clustering(i, j) = fraction of replicates where i and j landed in
+  /// the same flat cluster at `num_clusters`.
+  Matrix co_clustering;
+  /// For each clade (internal node, by merge step) of the reference
+  /// tree: fraction of replicates whose tree contains the exact same
+  /// leaf set as a clade.
+  std::vector<double> clade_support;
+  std::size_t replicates_used = 0;
+};
+
+/// Runs the bootstrap: `builder` is invoked once per replicate.
+/// `reference` provides the clades scored in `clade_support`.
+Result<BootstrapResult> BootstrapStability(const Dendrogram& reference,
+                                           const TreeBuilder& builder,
+                                           const BootstrapOptions& options);
+
+/// Column-resamples a feature matrix (sampling pattern columns with
+/// replacement) — the standard feature-bootstrap for pattern-based
+/// cuisine trees where rows (cuisines) are fixed.
+Matrix ResampleColumns(const Matrix& features, Rng* rng);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_BOOTSTRAP_H_

@@ -1,0 +1,253 @@
+#include "cluster/dendrogram.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+Result<Dendrogram> Dendrogram::FromLinkage(
+    const std::vector<LinkageStep>& steps, std::vector<std::string> labels) {
+  const std::size_t n = steps.size() + 1;
+  if (labels.size() != n) {
+    return Status::InvalidArgument(
+        "label count " + std::to_string(labels.size()) +
+        " does not match leaf count " + std::to_string(n));
+  }
+  Dendrogram tree;
+  tree.num_leaves_ = n;
+  tree.labels_ = std::move(labels);
+  tree.steps_ = steps;
+  tree.nodes_.resize(2 * n - 1);
+  std::vector<bool> used(2 * n - 1, false);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    tree.nodes_[i].leaf = i;
+    tree.nodes_[i].count = 1;
+  }
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const LinkageStep& step = steps[s];
+    std::size_t id = n + s;
+    if (step.left >= id || step.right >= id || step.left == step.right) {
+      return Status::InvalidArgument("linkage step " + std::to_string(s) +
+                                     " references invalid cluster ids");
+    }
+    if (used[step.left] || used[step.right]) {
+      return Status::InvalidArgument("linkage step " + std::to_string(s) +
+                                     " reuses an already-merged cluster");
+    }
+    used[step.left] = true;
+    used[step.right] = true;
+    Node& node = tree.nodes_[id];
+    node.left = static_cast<int>(step.left);
+    node.right = static_cast<int>(step.right);
+    node.height = step.distance;
+    node.count =
+        tree.nodes_[step.left].count + tree.nodes_[step.right].count;
+    if (node.count != step.size) {
+      return Status::InvalidArgument(
+          "linkage step " + std::to_string(s) + " size mismatch: declared " +
+          std::to_string(step.size) + ", actual " +
+          std::to_string(node.count));
+    }
+  }
+  tree.root_ = static_cast<int>(2 * n - 2);
+  return tree;
+}
+
+double Dendrogram::RootHeight() const {
+  return num_leaves_ <= 1 ? 0.0 : nodes_[root_].height;
+}
+
+void Dendrogram::CollectLeaves(int node, std::vector<std::size_t>* out) const {
+  const Node& nd = nodes_[node];
+  if (nd.left < 0) {
+    out->push_back(nd.leaf);
+    return;
+  }
+  CollectLeaves(nd.left, out);
+  CollectLeaves(nd.right, out);
+}
+
+std::vector<std::size_t> Dendrogram::LeafOrder() const {
+  std::vector<std::size_t> order;
+  order.reserve(num_leaves_);
+  CollectLeaves(root_, &order);
+  return order;
+}
+
+std::vector<std::string> Dendrogram::OrderedLabels() const {
+  std::vector<std::string> out;
+  out.reserve(num_leaves_);
+  for (std::size_t leaf : LeafOrder()) out.push_back(labels_[leaf]);
+  return out;
+}
+
+Result<std::vector<int>> Dendrogram::CutToClusters(std::size_t k) const {
+  if (k == 0 || k > num_leaves_) {
+    return Status::InvalidArgument("k must be in [1, " +
+                                   std::to_string(num_leaves_) + "], got " +
+                                   std::to_string(k));
+  }
+  // Union the first n−k merges.
+  std::vector<int> parent(2 * num_leaves_ - 1);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](int x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  const std::size_t merges = num_leaves_ - k;
+  for (std::size_t s = 0; s < merges; ++s) {
+    int id = static_cast<int>(num_leaves_ + s);
+    parent[find(static_cast<int>(steps_[s].left))] = id;
+    parent[find(static_cast<int>(steps_[s].right))] = id;
+  }
+  // Renumber components by first appearance in leaf display order.
+  std::vector<int> labels(num_leaves_, -1);
+  std::vector<int> component_label(2 * num_leaves_ - 1, -1);
+  int next = 0;
+  for (std::size_t leaf : LeafOrder()) {
+    int root = find(static_cast<int>(leaf));
+    if (component_label[root] < 0) component_label[root] = next++;
+    labels[leaf] = component_label[root];
+  }
+  return labels;
+}
+
+std::vector<int> Dendrogram::CutAtHeight(double height) const {
+  std::size_t merges = 0;
+  while (merges < steps_.size() && steps_[merges].distance <= height) {
+    ++merges;
+  }
+  auto result = CutToClusters(num_leaves_ - merges);
+  CUISINE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+CondensedDistanceMatrix Dendrogram::CopheneticDistances() const {
+  CondensedDistanceMatrix d(num_leaves_);
+  std::vector<std::vector<std::size_t>> leaves_under(nodes_.size());
+  for (std::size_t i = 0; i < num_leaves_; ++i) leaves_under[i] = {i};
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    std::size_t id = num_leaves_ + s;
+    const Node& node = nodes_[id];
+    const auto& left = leaves_under[node.left];
+    const auto& right = leaves_under[node.right];
+    for (std::size_t a : left) {
+      for (std::size_t b : right) {
+        d.set(a, b, node.height);
+      }
+    }
+    auto& merged = leaves_under[id];
+    merged.reserve(left.size() + right.size());
+    merged.insert(merged.end(), left.begin(), left.end());
+    merged.insert(merged.end(), right.begin(), right.end());
+  }
+  return d;
+}
+
+namespace {
+struct AsciiBlock {
+  std::vector<std::string> lines;
+  std::size_t attach = 0;  // row of the connector for the parent
+};
+}  // namespace
+
+std::string Dendrogram::RenderAscii() const {
+  // Recursive lambda building blocks bottom-up (root at the left).
+  auto render = [&](auto&& self, int node) -> AsciiBlock {
+    const Node& nd = nodes_[node];
+    if (nd.left < 0) {
+      return AsciiBlock{{"-- " + labels_[nd.leaf]}, 0};
+    }
+    AsciiBlock l = self(self, nd.left);
+    AsciiBlock r = self(self, nd.right);
+    AsciiBlock out;
+    out.lines.reserve(l.lines.size() + r.lines.size() + 1);
+    for (std::size_t i = 0; i < l.lines.size(); ++i) {
+      const char* prefix = i < l.attach ? "   "
+                           : i == l.attach ? ".--"
+                                           : "|  ";
+      out.lines.push_back(prefix + l.lines[i]);
+    }
+    out.attach = out.lines.size();
+    out.lines.push_back("+ [h=" + FormatDouble(nd.height, 3) + "]");
+    for (std::size_t i = 0; i < r.lines.size(); ++i) {
+      const char* prefix = i < r.attach ? "|  "
+                           : i == r.attach ? "'--"
+                                           : "   ";
+      out.lines.push_back(prefix + r.lines[i]);
+    }
+    return out;
+  };
+
+  if (num_leaves_ == 1) return "-- " + labels_[0] + "\n";
+  AsciiBlock block = render(render, root_);
+  std::string out;
+  for (const std::string& line : block.lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string Dendrogram::NewickNode(int node, double parent_height) const {
+  const Node& nd = nodes_[node];
+  double branch = std::max(0.0, parent_height - nd.height);
+  if (nd.left < 0) {
+    // Escape label characters Newick reserves.
+    std::string safe = labels_[nd.leaf];
+    for (char& c : safe) {
+      if (c == '(' || c == ')' || c == ',' || c == ':' || c == ';') c = '_';
+      if (c == ' ') c = '_';
+    }
+    return safe + ":" + FormatDouble(branch, 6);
+  }
+  return "(" + NewickNode(nd.left, nd.height) + "," +
+         NewickNode(nd.right, nd.height) + "):" + FormatDouble(branch, 6);
+}
+
+std::string Dendrogram::ToNewick() const {
+  if (num_leaves_ == 1) return labels_[0] + ";";
+  return NewickNode(root_, nodes_[root_].height) + ";";
+}
+
+std::vector<Dendrogram::PlotLink> Dendrogram::PlotLinks() const {
+  // Leaf x positions follow display order (scipy convention: 5, 15, ...).
+  std::vector<double> x_of_node(nodes_.size(), 0.0);
+  std::vector<double> y_of_node(nodes_.size(), 0.0);
+  std::vector<std::size_t> order = LeafOrder();
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    x_of_node[order[pos]] = 5.0 + 10.0 * static_cast<double>(pos);
+  }
+
+  std::vector<PlotLink> links;
+  links.reserve(steps_.size());
+  for (std::size_t s = 0; s < steps_.size(); ++s) {
+    std::size_t id = num_leaves_ + s;
+    const Node& node = nodes_[id];
+    PlotLink link;
+    link.x_left = x_of_node[node.left];
+    link.x_right = x_of_node[node.right];
+    link.y_left = y_of_node[node.left];
+    link.y_right = y_of_node[node.right];
+    link.y_top = node.height;
+    // Drawn order: left child may sit right of the right child in x;
+    // normalise so x_left <= x_right.
+    if (link.x_left > link.x_right) {
+      std::swap(link.x_left, link.x_right);
+      std::swap(link.y_left, link.y_right);
+    }
+    links.push_back(link);
+    x_of_node[id] = 0.5 * (link.x_left + link.x_right);
+    y_of_node[id] = node.height;
+  }
+  return links;
+}
+
+}  // namespace cuisine

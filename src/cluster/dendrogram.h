@@ -1,0 +1,100 @@
+// Dendrogram: the tree produced by hierarchical clustering, with the
+// operations the paper's figures and validation need — leaf ordering,
+// ASCII rendering (Figs 2-6 are dendrogram plots), Newick export, flat
+// cuts, and cophenetic distances.
+
+#ifndef CUISINE_CLUSTER_DENDROGRAM_H_
+#define CUISINE_CLUSTER_DENDROGRAM_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/linkage.h"
+#include "cluster/pdist.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Binary merge tree over `num_leaves` labelled observations.
+class Dendrogram {
+ public:
+  /// Builds from a linkage matrix. `labels.size()` must equal the leaf
+  /// count implied by `steps` (steps.size() + 1).
+  static Result<Dendrogram> FromLinkage(const std::vector<LinkageStep>& steps,
+                                        std::vector<std::string> labels);
+
+  std::size_t num_leaves() const { return num_leaves_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+
+  /// Height (merge distance) of the root; 0 for a single leaf.
+  double RootHeight() const;
+
+  /// Leaves in dendrogram display order (left-to-right traversal, left
+  /// child = smaller cluster id — matches scipy's default orientation).
+  std::vector<std::size_t> LeafOrder() const;
+
+  /// Labels in display order.
+  std::vector<std::string> OrderedLabels() const;
+
+  /// Flat clustering with exactly `k` clusters (undo the last k−1
+  /// merges). Returns one label in [0, k) per leaf, numbered by first
+  /// appearance in leaf order. k must be in [1, num_leaves].
+  Result<std::vector<int>> CutToClusters(std::size_t k) const;
+
+  /// Flat clustering with every merge above `height` undone.
+  std::vector<int> CutAtHeight(double height) const;
+
+  /// Cophenetic distances: for leaves (i, j), the merge height at which
+  /// they first share a cluster.
+  CondensedDistanceMatrix CopheneticDistances() const;
+
+  /// Multi-line ASCII rendering (root at the left, leaves at the right),
+  /// one leaf label per line — the textual analogue of Figs 2-6.
+  std::string RenderAscii() const;
+
+  /// Newick serialisation with branch lengths (heights differences),
+  /// e.g. "((US:1.2,UK:1.2):0.8,French:2.0);".
+  std::string ToNewick() const;
+
+  /// Plot geometry for one merge: the classic ⊓-shaped link (scipy
+  /// dendrogram icoord/dcoord). Leaf i in display order sits at
+  /// x = 5 + 10*i, y = 0; each link joins its two children's apexes.
+  struct PlotLink {
+    double x_left = 0.0;    // child apex x positions
+    double x_right = 0.0;
+    double y_left = 0.0;    // child apex heights (0 for leaves)
+    double y_right = 0.0;
+    double y_top = 0.0;     // this merge's height
+  };
+
+  /// Links in merge order — everything needed to draw Figs 2-6 with any
+  /// plotting backend.
+  std::vector<PlotLink> PlotLinks() const;
+
+  /// The merge steps this tree was built from.
+  const std::vector<LinkageStep>& steps() const { return steps_; }
+
+ private:
+  struct Node {
+    int left = -1;   // node index; -1 for leaves
+    int right = -1;
+    double height = 0.0;
+    std::size_t leaf = 0;   // valid for leaves
+    std::size_t count = 1;  // leaves under this node
+  };
+
+  Dendrogram() = default;
+
+  void CollectLeaves(int node, std::vector<std::size_t>* out) const;
+  std::string NewickNode(int node, double parent_height) const;
+
+  std::size_t num_leaves_ = 0;
+  std::vector<std::string> labels_;
+  std::vector<Node> nodes_;  // 0..n-1 leaves, then internal nodes
+  int root_ = -1;
+  std::vector<LinkageStep> steps_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_DENDROGRAM_H_

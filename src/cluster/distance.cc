@@ -1,0 +1,128 @@
+#include "cluster/distance.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+std::string_view DistanceMetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return "euclidean";
+    case DistanceMetric::kSquaredEuclidean:
+      return "sqeuclidean";
+    case DistanceMetric::kManhattan:
+      return "manhattan";
+    case DistanceMetric::kCosine:
+      return "cosine";
+    case DistanceMetric::kJaccard:
+      return "jaccard";
+    case DistanceMetric::kHamming:
+      return "hamming";
+  }
+  return "?";
+}
+
+Result<DistanceMetric> ParseDistanceMetric(std::string_view name) {
+  std::string lower = ToLowerAscii(name);
+  if (lower == "euclidean") return DistanceMetric::kEuclidean;
+  if (lower == "sqeuclidean" || lower == "squared_euclidean") {
+    return DistanceMetric::kSquaredEuclidean;
+  }
+  if (lower == "manhattan" || lower == "cityblock") {
+    return DistanceMetric::kManhattan;
+  }
+  if (lower == "cosine") return DistanceMetric::kCosine;
+  if (lower == "jaccard") return DistanceMetric::kJaccard;
+  if (lower == "hamming") return DistanceMetric::kHamming;
+  return Status::InvalidArgument("unknown distance metric: " +
+                                 std::string(name));
+}
+
+double SquaredEuclideanDistance(std::span<const double> a,
+                                std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  return std::sqrt(SquaredEuclideanDistance(a, b));
+}
+
+double ManhattanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += std::fabs(a[i] - b[i]);
+  return s;
+}
+
+double CosineDistance(std::span<const double> a, std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na == 0.0 && nb == 0.0) return 0.0;
+  if (na == 0.0 || nb == 0.0) return 1.0;
+  double sim = dot / (std::sqrt(na) * std::sqrt(nb));
+  // Clamp numerical drift so identical vectors report exactly 0.
+  if (sim > 1.0) sim = 1.0;
+  if (sim < -1.0) sim = -1.0;
+  return 1.0 - sim;
+}
+
+double JaccardDistance(std::span<const double> a, std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  std::size_t both = 0, either = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bool pa = a[i] != 0.0;
+    bool pb = b[i] != 0.0;
+    if (pa && pb) ++both;
+    if (pa || pb) ++either;
+  }
+  if (either == 0) return 0.0;
+  return 1.0 - static_cast<double>(both) / static_cast<double>(either);
+}
+
+double HammingDistance(std::span<const double> a, std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if ((a[i] != 0.0) != (b[i] != 0.0)) ++diff;
+  }
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+double Distance(DistanceMetric metric, std::span<const double> a,
+                std::span<const double> b) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean:
+      return EuclideanDistance(a, b);
+    case DistanceMetric::kSquaredEuclidean:
+      return SquaredEuclideanDistance(a, b);
+    case DistanceMetric::kManhattan:
+      return ManhattanDistance(a, b);
+    case DistanceMetric::kCosine:
+      return CosineDistance(a, b);
+    case DistanceMetric::kJaccard:
+      return JaccardDistance(a, b);
+    case DistanceMetric::kHamming:
+      return HammingDistance(a, b);
+  }
+  CUISINE_CHECK(false) << "unreachable metric";
+  return 0.0;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,57 @@
+// Distance metrics between feature vectors (paper eqs. 3-5).
+//
+// The paper's formulas are written loosely (e.g. its "Jaccard" shows
+// union/intersection); we implement the standard definitions the cited
+// toolchain (scipy.spatial.distance.pdist) actually computes:
+//   euclidean(u,v) = ||u − v||_2
+//   cosine(u,v)    = 1 − u·v / (||u|| ||v||)
+//   jaccard(u,v)   = 1 − |u ∧ v| / |u ∨ v|   (on binarised vectors)
+
+#ifndef CUISINE_CLUSTER_DISTANCE_H_
+#define CUISINE_CLUSTER_DISTANCE_H_
+
+#include <span>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Supported metrics.
+enum class DistanceMetric {
+  kEuclidean,
+  kSquaredEuclidean,
+  kManhattan,
+  kCosine,
+  kJaccard,
+  kHamming,
+};
+
+std::string_view DistanceMetricName(DistanceMetric metric);
+
+/// Parses "euclidean" / "cosine" / "jaccard" / ... (case-insensitive).
+Result<DistanceMetric> ParseDistanceMetric(std::string_view name);
+
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+double SquaredEuclideanDistance(std::span<const double> a,
+                                std::span<const double> b);
+double ManhattanDistance(std::span<const double> a, std::span<const double> b);
+
+/// 1 − cosine similarity. Zero vectors are treated as distance 0 to
+/// themselves and 1 to anything non-zero (scipy convention is NaN; a
+/// finite convention keeps downstream clustering total).
+double CosineDistance(std::span<const double> a, std::span<const double> b);
+
+/// Jaccard distance on binarised vectors (non-zero = present).
+double JaccardDistance(std::span<const double> a, std::span<const double> b);
+
+/// Fraction of coordinates whose binarised values differ.
+double HammingDistance(std::span<const double> a, std::span<const double> b);
+
+/// Metric dispatch.
+double Distance(DistanceMetric metric, std::span<const double> a,
+                std::span<const double> b);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_DISTANCE_H_

@@ -1,0 +1,75 @@
+#include "cluster/elbow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cuisine {
+
+std::string ElbowAnalysis::ToString() const {
+  std::ostringstream os;
+  os << "k,wcss\n";
+  for (const ElbowPoint& p : curve) {
+    os << p.k << "," << FormatDouble(p.wcss, 4) << "\n";
+  }
+  os << "elbow_k="
+     << (elbow_k ? std::to_string(*elbow_k) : std::string("none"))
+     << " strength=" << FormatDouble(strength, 3) << "\n";
+  return os.str();
+}
+
+ElbowAnalysis AnalyzeElbowCurve(std::vector<ElbowPoint> curve) {
+  ElbowAnalysis out;
+  out.curve = std::move(curve);
+  if (out.curve.size() < 3) return out;
+
+  // Normalize both axes to [0,1] and measure each interior point's drop
+  // below the endpoint chord (kneedle-style knee detection).
+  const double k0 = static_cast<double>(out.curve.front().k);
+  const double k1 = static_cast<double>(out.curve.back().k);
+  const double w0 = out.curve.front().wcss;
+  const double w1 = out.curve.back().wcss;
+  if (k1 <= k0 || w0 <= w1) {
+    // Flat or rising curve: no elbow.
+    return out;
+  }
+  double best = 0.0;
+  std::optional<std::size_t> best_k;
+  for (std::size_t i = 1; i + 1 < out.curve.size(); ++i) {
+    double x = (static_cast<double>(out.curve[i].k) - k0) / (k1 - k0);
+    double y = (out.curve[i].wcss - w1) / (w0 - w1);  // 1 at k0, 0 at k1
+    double chord = 1.0 - x;  // normalized straight line from (0,1) to (1,0)
+    double drop = chord - y;
+    if (drop > best) {
+      best = drop;
+      best_k = out.curve[i].k;
+    }
+  }
+  out.strength = best;
+  out.elbow_k = best_k;
+  return out;
+}
+
+Result<ElbowAnalysis> ComputeElbow(const Matrix& features, std::size_t k_min,
+                                   std::size_t k_max,
+                                   const KMeansOptions& base) {
+  if (k_min == 0 || k_min > k_max) {
+    return Status::InvalidArgument("need 1 <= k_min <= k_max");
+  }
+  k_max = std::min(k_max, features.rows());
+  if (k_max < k_min) {
+    return Status::InvalidArgument("k_min exceeds number of observations");
+  }
+  std::vector<ElbowPoint> curve;
+  for (std::size_t k = k_min; k <= k_max; ++k) {
+    KMeansOptions opt = base;
+    opt.k = k;
+    CUISINE_ASSIGN_OR_RETURN(KMeansResult res, KMeansCluster(features, opt));
+    curve.push_back(ElbowPoint{k, res.wcss});
+  }
+  return AnalyzeElbowCurve(std::move(curve));
+}
+
+}  // namespace cuisine

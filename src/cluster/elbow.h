@@ -1,0 +1,52 @@
+// Elbow analysis (paper Fig 1): sweep k, record WCSS, and quantify
+// whether the curve has a sharp elbow. The paper's finding is negative —
+// "no sharp edge or elbow like structure is obtained" on the cuisine
+// pattern features — so the analysis reports an elbow *strength* that the
+// reproduction can assert is weak.
+
+#ifndef CUISINE_CLUSTER_ELBOW_H_
+#define CUISINE_CLUSTER_ELBOW_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/kmeans.h"
+
+namespace cuisine {
+
+/// One point of the WCSS-vs-k curve.
+struct ElbowPoint {
+  std::size_t k = 0;
+  double wcss = 0.0;
+};
+
+/// Result of an elbow sweep.
+struct ElbowAnalysis {
+  std::vector<ElbowPoint> curve;
+
+  /// k with the maximum normalized distance below the chord joining the
+  /// curve's endpoints (kneedle-style); nullopt for degenerate curves.
+  std::optional<std::size_t> elbow_k;
+
+  /// That maximum distance, normalized to [0, 1]. A sharp elbow scores
+  /// high (≳ 0.4); a featureless convex decay — the paper's Fig 1 — stays
+  /// low.
+  double strength = 0.0;
+
+  /// Renders "k wcss" rows (the data behind Fig 1).
+  std::string ToString() const;
+};
+
+/// Sweeps k in [k_min, k_max] (clamped to the number of rows), running
+/// k-means with `base` options at each k.
+Result<ElbowAnalysis> ComputeElbow(const Matrix& features, std::size_t k_min,
+                                   std::size_t k_max,
+                                   const KMeansOptions& base = {});
+
+/// Analyzes a precomputed curve (exposed for tests with synthetic WCSS).
+ElbowAnalysis AnalyzeElbowCurve(std::vector<ElbowPoint> curve);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_ELBOW_H_

@@ -1,0 +1,160 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cuisine {
+
+namespace {
+
+// k-means++ seeding: first centroid uniform, then proportional to squared
+// distance to the nearest chosen centroid.
+Matrix SeedPlusPlus(const Matrix& features, std::size_t k, Rng* rng) {
+  const std::size_t n = features.rows();
+  Matrix centroids(k, features.cols());
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = static_cast<std::size_t>(rng->UniformInt(n));
+  for (std::size_t c = 0; c < features.cols(); ++c) {
+    centroids(0, c) = features(first, c);
+  }
+  for (std::size_t chosen = 1; chosen < k; ++chosen) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double d = SquaredDistance(features.row(i), centroids.row(chosen - 1));
+      min_sq[i] = std::min(min_sq[i], d);
+    }
+    std::size_t next = rng->WeightedChoice(min_sq);
+    for (std::size_t c = 0; c < features.cols(); ++c) {
+      centroids(chosen, c) = features(next, c);
+    }
+  }
+  return centroids;
+}
+
+struct SingleRun {
+  std::vector<int> labels;
+  Matrix centroids;
+  double wcss = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+SingleRun RunLloyd(const Matrix& features, const KMeansOptions& opt,
+                   Rng* rng) {
+  const std::size_t n = features.rows();
+  const std::size_t k = opt.k;
+  SingleRun run;
+  run.centroids = SeedPlusPlus(features, k, rng);
+  run.labels.assign(n, 0);
+
+  double prev_wcss = std::numeric_limits<double>::infinity();
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    run.iterations = iter + 1;
+    // Assignment step.
+    double wcss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = SquaredDistance(features.row(i), run.centroids.row(c));
+        if (d < best) {
+          best = d;
+          best_c = static_cast<int>(c);
+        }
+      }
+      run.labels[i] = best_c;
+      wcss += best;
+    }
+    run.wcss = wcss;
+    if (prev_wcss - wcss <= opt.tolerance) {
+      run.converged = true;
+      break;
+    }
+    prev_wcss = wcss;
+
+    // Update step; empty clusters are re-seeded on the farthest point.
+    Matrix sums(k, features.cols(), 0.0);
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t c = static_cast<std::size_t>(run.labels[i]);
+      ++counts[c];
+      for (std::size_t d = 0; d < features.cols(); ++d) {
+        sums(c, d) += features(i, d);
+      }
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed on the point farthest from its centroid.
+        double worst = -1.0;
+        std::size_t worst_i = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          double d = SquaredDistance(
+              features.row(i),
+              run.centroids.row(static_cast<std::size_t>(run.labels[i])));
+          if (d > worst) {
+            worst = d;
+            worst_i = i;
+          }
+        }
+        for (std::size_t d = 0; d < features.cols(); ++d) {
+          run.centroids(c, d) = features(worst_i, d);
+        }
+        continue;
+      }
+      for (std::size_t d = 0; d < features.cols(); ++d) {
+        run.centroids(c, d) = sums(c, d) / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return run;
+}
+
+}  // namespace
+
+double ComputeWcss(const Matrix& features, const std::vector<int>& labels,
+                   const Matrix& centroids) {
+  CUISINE_CHECK_EQ(labels.size(), features.rows());
+  double wcss = 0.0;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    wcss += SquaredDistance(features.row(i),
+                            centroids.row(static_cast<std::size_t>(labels[i])));
+  }
+  return wcss;
+}
+
+Result<KMeansResult> KMeansCluster(const Matrix& features,
+                                   const KMeansOptions& options) {
+  if (features.rows() == 0) {
+    return Status::InvalidArgument("cannot cluster an empty feature matrix");
+  }
+  if (options.k == 0 || options.k > features.rows()) {
+    return Status::InvalidArgument(
+        "k must be in [1, " + std::to_string(features.rows()) + "], got " +
+        std::to_string(options.k));
+  }
+  if (options.restarts == 0) {
+    return Status::InvalidArgument("restarts must be >= 1");
+  }
+
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.wcss = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    Rng run_rng = rng.Fork(r + 1);
+    SingleRun run = RunLloyd(features, options, &run_rng);
+    if (run.wcss < best.wcss) {
+      best.labels = std::move(run.labels);
+      best.centroids = std::move(run.centroids);
+      best.wcss = run.wcss;
+      best.iterations = run.iterations;
+      best.converged = run.converged;
+    }
+  }
+  return best;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,46 @@
+// K-means (Lloyd's algorithm with k-means++ seeding and restarts) — the
+// paper's §VI-B comparison point whose elbow analysis (Fig 1) fails to
+// find a natural k on the pattern features.
+
+#ifndef CUISINE_CLUSTER_KMEANS_H_
+#define CUISINE_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// K-means configuration.
+struct KMeansOptions {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  /// Independent k-means++ initialisations; the best WCSS run wins.
+  std::size_t restarts = 10;
+  std::uint64_t seed = 42;
+  /// Convergence threshold on WCSS improvement between iterations.
+  double tolerance = 1e-8;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  std::vector<int> labels;  // one cluster index per row
+  Matrix centroids;         // k x dims
+  double wcss = 0.0;        // within-cluster sum of squared distances
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Clusters the rows of `features` into `options.k` groups.
+Result<KMeansResult> KMeansCluster(const Matrix& features,
+                                   const KMeansOptions& options);
+
+/// WCSS of an existing assignment (exposed for tests and the elbow sweep).
+double ComputeWcss(const Matrix& features, const std::vector<int>& labels,
+                   const Matrix& centroids);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_KMEANS_H_

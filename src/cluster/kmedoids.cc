@@ -1,0 +1,123 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+struct SingleRun {
+  std::vector<int> labels;
+  std::vector<std::size_t> medoids;
+  double cost = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+// Assigns every observation to its nearest medoid; returns total cost.
+double Assign(const CondensedDistanceMatrix& d,
+              const std::vector<std::size_t>& medoids,
+              std::vector<int>* labels) {
+  double cost = 0.0;
+  for (std::size_t i = 0; i < d.n(); ++i) {
+    double best = std::numeric_limits<double>::infinity();
+    int best_c = 0;
+    for (std::size_t c = 0; c < medoids.size(); ++c) {
+      double dist = d.at(i, medoids[c]);
+      if (dist < best) {
+        best = dist;
+        best_c = static_cast<int>(c);
+      }
+    }
+    (*labels)[i] = best_c;
+    cost += best;
+  }
+  return cost;
+}
+
+SingleRun RunPam(const CondensedDistanceMatrix& d, const KMedoidsOptions& opt,
+                 Rng* rng) {
+  const std::size_t n = d.n();
+  SingleRun run;
+  // Random distinct initial medoids.
+  run.medoids = rng->SampleWithoutReplacement(n, opt.k);
+  run.labels.assign(n, 0);
+  run.cost = Assign(d, run.medoids, &run.labels);
+
+  for (std::size_t iter = 0; iter < opt.max_iterations; ++iter) {
+    run.iterations = iter + 1;
+    // Update step: each cluster's medoid becomes the member minimising
+    // the total distance to the other members.
+    bool changed = false;
+    for (std::size_t c = 0; c < run.medoids.size(); ++c) {
+      double best_total = std::numeric_limits<double>::infinity();
+      std::size_t best_medoid = run.medoids[c];
+      for (std::size_t candidate = 0; candidate < n; ++candidate) {
+        if (run.labels[candidate] != static_cast<int>(c)) continue;
+        double total = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (run.labels[j] == static_cast<int>(c)) {
+            total += d.at(candidate, j);
+          }
+        }
+        if (total < best_total) {
+          best_total = total;
+          best_medoid = candidate;
+        }
+      }
+      if (best_medoid != run.medoids[c]) {
+        run.medoids[c] = best_medoid;
+        changed = true;
+      }
+    }
+    double cost = Assign(d, run.medoids, &run.labels);
+    if (!changed && cost >= run.cost - 1e-12) {
+      run.cost = cost;
+      run.converged = true;
+      break;
+    }
+    run.cost = cost;
+  }
+  return run;
+}
+
+}  // namespace
+
+Result<KMedoidsResult> KMedoidsCluster(
+    const CondensedDistanceMatrix& distances, const KMedoidsOptions& options) {
+  const std::size_t n = distances.n();
+  if (n == 0) {
+    return Status::InvalidArgument("empty distance matrix");
+  }
+  if (options.k == 0 || options.k > n) {
+    return Status::InvalidArgument("k must be in [1, " + std::to_string(n) +
+                                   "], got " + std::to_string(options.k));
+  }
+  if (options.restarts == 0) {
+    return Status::InvalidArgument("restarts must be >= 1");
+  }
+  Rng rng(options.seed);
+  KMedoidsResult best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    Rng run_rng = rng.Fork(r + 1);
+    SingleRun run = RunPam(distances, options, &run_rng);
+    if (run.cost < best.cost) {
+      best.labels = std::move(run.labels);
+      best.medoids = std::move(run.medoids);
+      best.cost = run.cost;
+      best.iterations = run.iterations;
+      best.converged = run.converged;
+    }
+  }
+  std::sort(best.medoids.begin(), best.medoids.end());
+  // Renumber labels to match sorted medoid order for determinism.
+  // (Assign again with sorted medoids.)
+  Assign(distances, best.medoids, &best.labels);
+  return best;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,46 @@
+// K-medoids (PAM-style) clustering over an arbitrary distance matrix.
+//
+// The paper argues (§VI-B, citing Joshi & Kaur) that K-means handles its
+// categorical pattern features poorly; K-medoids is the standard
+// partitional alternative for non-Euclidean / categorical data since it
+// only needs pairwise distances (e.g. Jaccard on binary pattern vectors).
+// Included as ablation A3: partitional-categorical vs HAC.
+
+#ifndef CUISINE_CLUSTER_KMEDOIDS_H_
+#define CUISINE_CLUSTER_KMEDOIDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/pdist.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// K-medoids configuration.
+struct KMedoidsOptions {
+  std::size_t k = 2;
+  std::size_t max_iterations = 100;
+  std::size_t restarts = 10;
+  std::uint64_t seed = 42;
+};
+
+/// Result of a K-medoids run.
+struct KMedoidsResult {
+  std::vector<int> labels;          // cluster index per observation
+  std::vector<std::size_t> medoids; // observation index per cluster
+  /// Total distance of every observation to its medoid.
+  double cost = 0.0;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// Clusters the observations of `distances` into `options.k` groups by
+/// alternating medoid update (the member minimising total in-cluster
+/// distance) and reassignment, best of `restarts` random initialisations.
+Result<KMedoidsResult> KMedoidsCluster(const CondensedDistanceMatrix& distances,
+                                       const KMedoidsOptions& options);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_KMEDOIDS_H_

@@ -1,0 +1,46 @@
+#include "cluster/label_encoder.h"
+
+#include <algorithm>
+
+namespace cuisine {
+
+void LabelEncoder::Fit(const std::vector<std::string>& values) {
+  classes_ = values;
+  std::sort(classes_.begin(), classes_.end());
+  classes_.erase(std::unique(classes_.begin(), classes_.end()),
+                 classes_.end());
+  index_.clear();
+  index_.reserve(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    index_.emplace(classes_[i], static_cast<int>(i));
+  }
+}
+
+Result<int> LabelEncoder::Transform(const std::string& value) const {
+  auto it = index_.find(value);
+  if (it == index_.end()) {
+    return Status::NotFound("label not seen during Fit: " + value);
+  }
+  return it->second;
+}
+
+Result<std::vector<int>> LabelEncoder::Transform(
+    const std::vector<std::string>& values) const {
+  std::vector<int> out;
+  out.reserve(values.size());
+  for (const std::string& v : values) {
+    CUISINE_ASSIGN_OR_RETURN(int code, Transform(v));
+    out.push_back(code);
+  }
+  return out;
+}
+
+Result<std::string> LabelEncoder::InverseTransform(int code) const {
+  if (code < 0 || static_cast<std::size_t>(code) >= classes_.size()) {
+    return Status::OutOfRange("label code out of range: " +
+                              std::to_string(code));
+  }
+  return classes_[static_cast<std::size_t>(code)];
+}
+
+}  // namespace cuisine

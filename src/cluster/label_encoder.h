@@ -1,0 +1,46 @@
+// Label encoding of categorical strings (sklearn LabelEncoder equivalent;
+// paper §VI-A encodes the union of 'string patterns' this way before
+// vectorizing).
+
+#ifndef CUISINE_CLUSTER_LABEL_ENCODER_H_
+#define CUISINE_CLUSTER_LABEL_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Maps string categories to dense integer codes, assigned in sorted
+/// order of the distinct fit values (matching sklearn's behaviour).
+class LabelEncoder {
+ public:
+  LabelEncoder() = default;
+
+  /// Learns the classes from `values` (duplicates fine).
+  void Fit(const std::vector<std::string>& values);
+
+  /// Code of `value`; NotFound if unseen during Fit.
+  Result<int> Transform(const std::string& value) const;
+
+  /// Codes for all of `values`.
+  Result<std::vector<int>> Transform(
+      const std::vector<std::string>& values) const;
+
+  /// Original string of `code`; OutOfRange for bad codes.
+  Result<std::string> InverseTransform(int code) const;
+
+  /// Distinct classes in code order.
+  const std::vector<std::string>& classes() const { return classes_; }
+  std::size_t num_classes() const { return classes_.size(); }
+
+ private:
+  std::vector<std::string> classes_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_LABEL_ENCODER_H_

@@ -1,0 +1,140 @@
+#include "cluster/linkage.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+std::string_view LinkageMethodName(LinkageMethod method) {
+  switch (method) {
+    case LinkageMethod::kSingle:
+      return "single";
+    case LinkageMethod::kComplete:
+      return "complete";
+    case LinkageMethod::kAverage:
+      return "average";
+    case LinkageMethod::kWeighted:
+      return "weighted";
+    case LinkageMethod::kWard:
+      return "ward";
+  }
+  return "?";
+}
+
+Result<LinkageMethod> ParseLinkageMethod(std::string_view name) {
+  std::string lower = ToLowerAscii(name);
+  if (lower == "single") return LinkageMethod::kSingle;
+  if (lower == "complete") return LinkageMethod::kComplete;
+  if (lower == "average" || lower == "upgma") return LinkageMethod::kAverage;
+  if (lower == "weighted" || lower == "wpgma") return LinkageMethod::kWeighted;
+  if (lower == "ward") return LinkageMethod::kWard;
+  return Status::InvalidArgument("unknown linkage method: " +
+                                 std::string(name));
+}
+
+namespace {
+
+// Lance–Williams distance update for merging clusters a and b (sizes na,
+// nb) and measuring against cluster k (size nk), given the pre-merge
+// distances dak, dbk and dab.
+double LanceWilliams(LinkageMethod method, double dak, double dbk, double dab,
+                     double na, double nb, double nk) {
+  switch (method) {
+    case LinkageMethod::kSingle:
+      return std::min(dak, dbk);
+    case LinkageMethod::kComplete:
+      return std::max(dak, dbk);
+    case LinkageMethod::kAverage:
+      return (na * dak + nb * dbk) / (na + nb);
+    case LinkageMethod::kWeighted:
+      return 0.5 * (dak + dbk);
+    case LinkageMethod::kWard: {
+      double t = na + nb + nk;
+      double sq = ((na + nk) * dak * dak + (nb + nk) * dbk * dbk -
+                   nk * dab * dab) /
+                  t;
+      return std::sqrt(std::max(0.0, sq));
+    }
+  }
+  CUISINE_CHECK(false) << "unreachable linkage method";
+  return 0.0;
+}
+
+}  // namespace
+
+Result<std::vector<LinkageStep>> HierarchicalCluster(
+    const CondensedDistanceMatrix& distances, LinkageMethod method) {
+  const std::size_t n = distances.n();
+  if (n == 0) return Status::InvalidArgument("cannot cluster 0 observations");
+  std::vector<LinkageStep> steps;
+  if (n == 1) return steps;
+  steps.reserve(n - 1);
+
+  // Working full matrix in slot space; slot i initially holds leaf i.
+  Matrix d = distances.ToSquare();
+  std::vector<bool> active(n, true);
+  std::vector<std::size_t> cluster_id(n);
+  std::vector<double> size(n, 1.0);
+  for (std::size_t i = 0; i < n; ++i) cluster_id[i] = i;
+
+  for (std::size_t step = 0; step + 1 < n; ++step) {
+    // Find the closest active pair (deterministic tie-break on ids).
+    std::size_t best_i = 0, best_j = 0;
+    double best = std::numeric_limits<double>::infinity();
+    bool found = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        double dij = d(i, j);
+        bool better = dij < best;
+        if (!better && dij == best && found) {
+          auto key = std::minmax(cluster_id[i], cluster_id[j]);
+          auto best_key = std::minmax(cluster_id[best_i], cluster_id[best_j]);
+          better = key < best_key;
+        }
+        if (better || !found) {
+          best = dij;
+          best_i = i;
+          best_j = j;
+          found = true;
+        }
+      }
+    }
+    CUISINE_CHECK(found);
+
+    double na = size[best_i], nb = size[best_j], dab = d(best_i, best_j);
+    LinkageStep s;
+    s.left = std::min(cluster_id[best_i], cluster_id[best_j]);
+    s.right = std::max(cluster_id[best_i], cluster_id[best_j]);
+    s.distance = dab;
+    s.size = static_cast<std::size_t>(na + nb);
+    steps.push_back(s);
+
+    // Merge j into i; update distances to all other active slots.
+    for (std::size_t k = 0; k < n; ++k) {
+      if (!active[k] || k == best_i || k == best_j) continue;
+      double updated = LanceWilliams(method, d(best_i, k), d(best_j, k), dab,
+                                     na, nb, size[k]);
+      d(best_i, k) = updated;
+      d(k, best_i) = updated;
+    }
+    active[best_j] = false;
+    size[best_i] = na + nb;
+    cluster_id[best_i] = n + step;
+  }
+  return steps;
+}
+
+bool IsMonotone(const std::vector<LinkageStep>& steps) {
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    if (steps[i].distance + 1e-12 < steps[i - 1].distance) return false;
+  }
+  return true;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,54 @@
+// Hierarchical agglomerative clustering over a condensed distance matrix
+// using the Lance–Williams update, producing a scipy-style linkage matrix.
+//
+// Cluster ids follow the scipy convention: 0..n−1 are the original
+// observations; the cluster created by step s (0-based) has id n + s.
+
+#ifndef CUISINE_CLUSTER_LINKAGE_H_
+#define CUISINE_CLUSTER_LINKAGE_H_
+
+#include <string_view>
+#include <vector>
+
+#include "cluster/pdist.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Linkage criteria. The paper never states its choice; `kAverage` is the
+/// default used for the Fig 2-5 reproductions, and bench_linkage_ablation
+/// sweeps all of them (DESIGN.md §5.2).
+enum class LinkageMethod {
+  kSingle,
+  kComplete,
+  kAverage,   // UPGMA
+  kWeighted,  // WPGMA
+  kWard,      // minimum variance (expects Euclidean input distances)
+};
+
+std::string_view LinkageMethodName(LinkageMethod method);
+Result<LinkageMethod> ParseLinkageMethod(std::string_view name);
+
+/// One agglomeration: clusters `left` and `right` merged at `distance`
+/// into a cluster of `size` observations.
+struct LinkageStep {
+  std::size_t left = 0;
+  std::size_t right = 0;
+  double distance = 0.0;
+  std::size_t size = 0;
+};
+
+/// Runs HAC; returns the n−1 merge steps in merge order.
+///
+/// Merge selection is deterministic: the minimum-distance active pair,
+/// ties broken by the smaller (left, right) cluster-id pair.
+Result<std::vector<LinkageStep>> HierarchicalCluster(
+    const CondensedDistanceMatrix& distances, LinkageMethod method);
+
+/// True iff merge distances are non-decreasing (no inversions). All five
+/// supported methods are monotone; exposed for property tests.
+bool IsMonotone(const std::vector<LinkageStep>& steps);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_LINKAGE_H_

@@ -1,0 +1,90 @@
+#include "cluster/pdist.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace cuisine {
+
+std::size_t CondensedDistanceMatrix::CondensedIndex(std::size_t i,
+                                                    std::size_t j) const {
+  CUISINE_CHECK_LT(i, j);
+  CUISINE_CHECK_LT(j, n_);
+  // Standard scipy condensed indexing.
+  return n_ * i - i * (i + 1) / 2 + (j - i - 1);
+}
+
+double CondensedDistanceMatrix::at(std::size_t i, std::size_t j) const {
+  CUISINE_CHECK_LT(i, n_);
+  CUISINE_CHECK_LT(j, n_);
+  if (i == j) return 0.0;
+  return i < j ? values_[CondensedIndex(i, j)] : values_[CondensedIndex(j, i)];
+}
+
+void CondensedDistanceMatrix::set(std::size_t i, std::size_t j, double value) {
+  CUISINE_CHECK_NE(i, j);
+  if (i < j) {
+    values_[CondensedIndex(i, j)] = value;
+  } else {
+    values_[CondensedIndex(j, i)] = value;
+  }
+}
+
+CondensedDistanceMatrix CondensedDistanceMatrix::FromFeatures(
+    const Matrix& features, DistanceMetric metric) {
+  CondensedDistanceMatrix d(features.rows());
+  for (std::size_t i = 0; i + 1 < features.rows(); ++i) {
+    for (std::size_t j = i + 1; j < features.rows(); ++j) {
+      d.set(i, j, Distance(metric, features.row(i), features.row(j)));
+    }
+  }
+  return d;
+}
+
+Result<CondensedDistanceMatrix> CondensedDistanceMatrix::FromSquare(
+    const Matrix& square, double tolerance) {
+  if (square.rows() != square.cols()) {
+    return Status::InvalidArgument("distance matrix must be square, got " +
+                                   std::to_string(square.rows()) + "x" +
+                                   std::to_string(square.cols()));
+  }
+  for (std::size_t i = 0; i < square.rows(); ++i) {
+    if (std::fabs(square(i, i)) > tolerance) {
+      return Status::InvalidArgument("non-zero diagonal at " +
+                                     std::to_string(i));
+    }
+    for (std::size_t j = i + 1; j < square.cols(); ++j) {
+      if (std::fabs(square(i, j) - square(j, i)) > tolerance) {
+        return Status::InvalidArgument("asymmetric distances at (" +
+                                       std::to_string(i) + "," +
+                                       std::to_string(j) + ")");
+      }
+      if (square(i, j) < -tolerance) {
+        return Status::InvalidArgument("negative distance at (" +
+                                       std::to_string(i) + "," +
+                                       std::to_string(j) + ")");
+      }
+    }
+  }
+  CondensedDistanceMatrix d(square.rows());
+  for (std::size_t i = 0; i + 1 < square.rows(); ++i) {
+    for (std::size_t j = i + 1; j < square.cols(); ++j) {
+      d.set(i, j, square(i, j));
+    }
+  }
+  return d;
+}
+
+Matrix CondensedDistanceMatrix::ToSquare() const {
+  Matrix m(n_, n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = i + 1; j < n_; ++j) {
+      double v = at(i, j);
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  return m;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,57 @@
+// Condensed pairwise distance matrix (scipy `pdist` equivalent, §VI-A):
+// the upper triangle of an n x n symmetric distance matrix stored as a
+// flat vector of n(n−1)/2 entries.
+
+#ifndef CUISINE_CLUSTER_PDIST_H_
+#define CUISINE_CLUSTER_PDIST_H_
+
+#include <vector>
+
+#include "cluster/distance.h"
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Symmetric pairwise distances in condensed form.
+class CondensedDistanceMatrix {
+ public:
+  CondensedDistanceMatrix() = default;
+
+  /// n observations, all distances zero.
+  explicit CondensedDistanceMatrix(std::size_t n)
+      : n_(n), values_(n < 2 ? 0 : n * (n - 1) / 2, 0.0) {}
+
+  /// Row-wise pdist over a feature matrix.
+  static CondensedDistanceMatrix FromFeatures(const Matrix& features,
+                                              DistanceMetric metric);
+
+  /// Validates and condenses a full square matrix (must be symmetric with
+  /// zero diagonal up to `tolerance`).
+  static Result<CondensedDistanceMatrix> FromSquare(const Matrix& square,
+                                                    double tolerance = 1e-9);
+
+  std::size_t n() const { return n_; }
+  std::size_t size() const { return values_.size(); }
+
+  /// Distance between observations i and j (0 when i == j).
+  double at(std::size_t i, std::size_t j) const;
+  void set(std::size_t i, std::size_t j, double value);
+
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Expands to the full symmetric square matrix.
+  Matrix ToSquare() const;
+
+  /// Index into values() for i < j.
+  std::size_t CondensedIndex(std::size_t i, std::size_t j) const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<double> values_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_PDIST_H_

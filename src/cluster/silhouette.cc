@@ -1,0 +1,95 @@
+#include "cluster/silhouette.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace cuisine {
+
+Result<double> SilhouetteScore(const CondensedDistanceMatrix& distances,
+                               const std::vector<int>& labels) {
+  const std::size_t n = distances.n();
+  if (labels.size() != n) {
+    return Status::InvalidArgument("labels/distances size mismatch");
+  }
+  if (n < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  std::map<int, std::size_t> cluster_sizes;
+  for (int label : labels) {
+    if (label < 0) {
+      return Status::InvalidArgument("labels must be non-negative");
+    }
+    ++cluster_sizes[label];
+  }
+  if (cluster_sizes.size() < 2) {
+    return Status::InvalidArgument(
+        "silhouette requires at least 2 clusters");
+  }
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cluster_sizes.at(labels[i]) == 1) {
+      continue;  // singleton: s(i) = 0
+    }
+    // Mean distance to every cluster.
+    std::map<int, double> sums;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      sums[labels[j]] += distances.at(i, j);
+    }
+    double a = sums[labels[i]] /
+               static_cast<double>(cluster_sizes.at(labels[i]) - 1);
+    double b = std::numeric_limits<double>::infinity();
+    for (const auto& [label, sum] : sums) {
+      if (label == labels[i]) continue;
+      b = std::min(b, sum / static_cast<double>(cluster_sizes.at(label)));
+    }
+    double denom = std::max(a, b);
+    total += denom > 0.0 ? (b - a) / denom : 0.0;
+  }
+  return total / static_cast<double>(n);
+}
+
+Result<double> SilhouetteScore(const Matrix& features,
+                               const std::vector<int>& labels,
+                               DistanceMetric metric) {
+  return SilhouetteScore(
+      CondensedDistanceMatrix::FromFeatures(features, metric), labels);
+}
+
+Result<double> AdjustedRandIndex(const std::vector<int>& labels_a,
+                                 const std::vector<int>& labels_b) {
+  if (labels_a.size() != labels_b.size()) {
+    return Status::InvalidArgument("label vectors differ in length");
+  }
+  const std::size_t n = labels_a.size();
+  if (n < 2) {
+    return Status::InvalidArgument("need at least 2 points");
+  }
+  std::map<std::pair<int, int>, std::size_t> joint;
+  std::map<int, std::size_t> count_a, count_b;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++joint[{labels_a[i], labels_b[i]}];
+    ++count_a[labels_a[i]];
+    ++count_b[labels_b[i]];
+  }
+  auto comb2 = [](std::size_t m) {
+    return static_cast<double>(m) * static_cast<double>(m - 1) / 2.0;
+  };
+  double index = 0.0;
+  for (const auto& [key, m] : joint) index += comb2(m);
+  double sum_a = 0.0, sum_b = 0.0;
+  for (const auto& [key, m] : count_a) sum_a += comb2(m);
+  for (const auto& [key, m] : count_b) sum_b += comb2(m);
+  double expected = sum_a * sum_b / comb2(n);
+  double max_index = 0.5 * (sum_a + sum_b);
+  if (max_index == expected) {
+    // Both partitions are all-singletons or one-cluster: identical by
+    // convention when they induce the same pair structure.
+    return index == expected ? 1.0 : 0.0;
+  }
+  return (index - expected) / (max_index - expected);
+}
+
+}  // namespace cuisine

@@ -1,0 +1,37 @@
+// Cluster-quality scores: silhouette coefficient (for flat clusterings
+// over a feature matrix or a distance matrix) and the Adjusted Rand
+// Index (chance-corrected agreement of two labelings).
+//
+// The paper validates its trees only against geography; these scores add
+// the internal-quality view (used by bench_fig1_elbow's extension and
+// the K-means vs HAC comparison).
+
+#ifndef CUISINE_CLUSTER_SILHOUETTE_H_
+#define CUISINE_CLUSTER_SILHOUETTE_H_
+
+#include <vector>
+
+#include "cluster/pdist.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Mean silhouette coefficient of a labeling over precomputed pairwise
+/// distances. Labels must be non-negative; singleton clusters score 0
+/// (sklearn convention). Requires at least 2 clusters and 2 points.
+Result<double> SilhouetteScore(const CondensedDistanceMatrix& distances,
+                               const std::vector<int>& labels);
+
+/// Convenience: computes distances from feature rows first.
+Result<double> SilhouetteScore(const Matrix& features,
+                               const std::vector<int>& labels,
+                               DistanceMetric metric = DistanceMetric::kEuclidean);
+
+/// Adjusted Rand Index between two labelings of the same points, in
+/// [-1, 1]; 1 = identical partitions, ~0 = chance agreement.
+Result<double> AdjustedRandIndex(const std::vector<int>& labels_a,
+                                 const std::vector<int>& labels_b);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_SILHOUETTE_H_

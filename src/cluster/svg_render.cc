@@ -1,0 +1,169 @@
+#include "cluster/svg_render.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+namespace {
+
+// XML-escapes a label.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// Categorical link colors for cluster highlighting.
+const char* ClusterColor(int cluster) {
+  static constexpr const char* kColors[] = {
+      "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+      "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f"};
+  return kColors[cluster % 10];
+}
+
+}  // namespace
+
+std::string RenderSvg(const Dendrogram& tree, const SvgOptions& opt) {
+  const std::size_t n = tree.num_leaves();
+  const int title_space = opt.title.empty() ? 0 : opt.font_size + 14;
+  const int axis_space = 26;
+  const int height = static_cast<int>(n) * opt.row_height +
+                     2 * opt.margin + title_space + axis_space;
+  const double plot_left = opt.margin;
+  const double plot_right =
+      static_cast<double>(opt.width - opt.margin - opt.label_width);
+  const double plot_top = opt.margin + title_space;
+
+  const double root_height = std::max(tree.RootHeight(), 1e-12);
+  // Height axis: root at the far left, leaves (h = 0) at plot_right.
+  auto hx = [&](double h) {
+    return plot_right - (h / root_height) * (plot_right - plot_left);
+  };
+  // Leaf axis: PlotLinks x coordinates are 5 + 10i.
+  auto py = [&](double x) {
+    return plot_top + (x / 10.0) * opt.row_height + opt.row_height * 0.5 -
+           5.0;
+  };
+
+  // Optional cluster coloring: a link whose top height is below the cut
+  // gets its cluster's color; links above the cut stay neutral.
+  std::vector<int> leaf_cluster;
+  double cut_height = -1.0;
+  if (opt.color_clusters > 0 && opt.color_clusters <= n) {
+    auto cut = tree.CutToClusters(opt.color_clusters);
+    CUISINE_CHECK(cut.ok());
+    leaf_cluster = std::move(cut).value();
+    const auto& steps = tree.steps();
+    std::size_t merges = n - opt.color_clusters;
+    cut_height = merges == 0 ? -1.0 : steps[merges - 1].distance;
+  }
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opt.width
+      << "\" height=\"" << height << "\" viewBox=\"0 0 " << opt.width << " "
+      << height << "\">\n";
+  svg << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!opt.title.empty()) {
+    svg << "<text x=\"" << opt.width / 2 << "\" y=\""
+        << opt.margin + opt.font_size / 2
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        << "font-size=\"" << opt.font_size + 2 << "\" font-weight=\"bold\">"
+        << Escape(opt.title) << "</text>\n";
+  }
+
+  // Links (⊐ shapes, horizontal orientation).
+  std::vector<std::size_t> order = tree.LeafOrder();
+  std::vector<int> position_cluster(n, 0);
+  if (!leaf_cluster.empty()) {
+    for (std::size_t pos = 0; pos < order.size(); ++pos) {
+      position_cluster[pos] = leaf_cluster[order[pos]];
+    }
+  }
+  auto links = tree.PlotLinks();
+  for (const auto& link : links) {
+    std::string color = opt.line_color;
+    if (!leaf_cluster.empty() && link.y_top <= cut_height + 1e-12) {
+      // All leaves under this link share one cluster; sample via x_left.
+      std::size_t pos = static_cast<std::size_t>((link.x_left - 5.0) / 10.0);
+      if (pos < n) color = ClusterColor(position_cluster[pos]);
+    }
+    svg << "<path fill=\"none\" stroke=\"" << color
+        << "\" stroke-width=\"1.6\" d=\"M " << FormatDouble(hx(link.y_left), 2)
+        << " " << FormatDouble(py(link.x_left), 2) << " L "
+        << FormatDouble(hx(link.y_top), 2) << " "
+        << FormatDouble(py(link.x_left), 2) << " L "
+        << FormatDouble(hx(link.y_top), 2) << " "
+        << FormatDouble(py(link.x_right), 2) << " L "
+        << FormatDouble(hx(link.y_right), 2) << " "
+        << FormatDouble(py(link.x_right), 2) << "\"/>\n";
+  }
+
+  // Leaf labels (display order top to bottom).
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    svg << "<text x=\"" << FormatDouble(plot_right + 8, 2) << "\" y=\""
+        << FormatDouble(py(5.0 + 10.0 * static_cast<double>(pos)) +
+                            opt.font_size * 0.35,
+                        2)
+        << "\" font-family=\"sans-serif\" font-size=\"" << opt.font_size
+        << "\">" << Escape(tree.labels()[order[pos]]) << "</text>\n";
+  }
+
+  // Height axis with 5 ticks.
+  double axis_y = plot_top + static_cast<double>(n) * opt.row_height + 10;
+  svg << "<line x1=\"" << FormatDouble(plot_left, 2) << "\" y1=\""
+      << FormatDouble(axis_y, 2) << "\" x2=\"" << FormatDouble(plot_right, 2)
+      << "\" y2=\"" << FormatDouble(axis_y, 2)
+      << "\" stroke=\"#444\" stroke-width=\"1\"/>\n";
+  for (int t = 0; t <= 4; ++t) {
+    double h = root_height * (4 - t) / 4.0;
+    double x = hx(h);
+    svg << "<line x1=\"" << FormatDouble(x, 2) << "\" y1=\""
+        << FormatDouble(axis_y, 2) << "\" x2=\"" << FormatDouble(x, 2)
+        << "\" y2=\"" << FormatDouble(axis_y + 4, 2)
+        << "\" stroke=\"#444\" stroke-width=\"1\"/>\n";
+    svg << "<text x=\"" << FormatDouble(x, 2) << "\" y=\""
+        << FormatDouble(axis_y + 16, 2)
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        << "font-size=\"" << opt.font_size - 2 << "\">"
+        << FormatDouble(h, root_height >= 10 ? 0 : 2) << "</text>\n";
+  }
+  if (!opt.axis_label.empty()) {
+    svg << "<text x=\"" << FormatDouble((plot_left + plot_right) / 2, 2)
+        << "\" y=\"" << FormatDouble(axis_y + 16, 2)
+        << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+        << "font-size=\"" << opt.font_size - 2 << "\" dy=\"12\">"
+        << Escape(opt.axis_label) << "</text>\n";
+  }
+
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+Status SaveSvg(const Dendrogram& tree, const std::string& path,
+               const SvgOptions& options) {
+  return WriteStringToFile(path, RenderSvg(tree, options));
+}
+
+}  // namespace cuisine

@@ -1,0 +1,39 @@
+// SVG rendering of dendrograms — regenerates the paper's Figs 2-6 as
+// standalone image files (horizontal orientation, heights growing to the
+// left of the labels, like the paper's plots).
+
+#ifndef CUISINE_CLUSTER_SVG_RENDER_H_
+#define CUISINE_CLUSTER_SVG_RENDER_H_
+
+#include <string>
+
+#include "cluster/dendrogram.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Rendering options.
+struct SvgOptions {
+  int width = 960;             // total canvas width in px
+  int row_height = 22;         // vertical space per leaf
+  int margin = 28;             // outer margin
+  int label_width = 210;       // space reserved for leaf labels
+  int font_size = 13;
+  std::string title;           // optional title line
+  std::string line_color = "#1f77b4";
+  std::string axis_label;      // e.g. "Euclidean distance"
+  /// Highlight flat clusters at this count with distinct link colors;
+  /// 0 disables.
+  std::size_t color_clusters = 0;
+};
+
+/// Renders the dendrogram as a complete standalone SVG document.
+std::string RenderSvg(const Dendrogram& tree, const SvgOptions& options = {});
+
+/// Writes the SVG to `path`.
+Status SaveSvg(const Dendrogram& tree, const std::string& path,
+               const SvgOptions& options = {});
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_SVG_RENDER_H_

@@ -1,0 +1,136 @@
+#include "cluster/tree_compare.h"
+
+#include <cmath>
+#include <map>
+
+namespace cuisine {
+
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y) {
+  if (x.size() != y.size() || x.empty()) return 0.0;
+  const double n = static_cast<double>(x.size());
+  double mx = 0.0, my = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    mx += x[i];
+    my += y[i];
+  }
+  mx /= n;
+  my /= n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+Result<double> CopheneticCorrelation(const Dendrogram& tree,
+                                     const CondensedDistanceMatrix& original) {
+  if (tree.num_leaves() != original.n()) {
+    return Status::InvalidArgument(
+        "tree has " + std::to_string(tree.num_leaves()) +
+        " leaves but distance matrix has " + std::to_string(original.n()));
+  }
+  CondensedDistanceMatrix coph = tree.CopheneticDistances();
+  return PearsonCorrelation(coph.values(), original.values());
+}
+
+Result<double> CopheneticTreeSimilarity(const Dendrogram& a,
+                                        const Dendrogram& b) {
+  if (a.num_leaves() != b.num_leaves()) {
+    return Status::InvalidArgument("trees have different leaf counts");
+  }
+  CondensedDistanceMatrix ca = a.CopheneticDistances();
+  CondensedDistanceMatrix cb = b.CopheneticDistances();
+  return PearsonCorrelation(ca.values(), cb.values());
+}
+
+Result<double> FowlkesMallows(const std::vector<int>& labels_a,
+                              const std::vector<int>& labels_b) {
+  if (labels_a.size() != labels_b.size()) {
+    return Status::InvalidArgument("label vectors differ in length");
+  }
+  if (labels_a.empty()) {
+    return Status::InvalidArgument("empty label vectors");
+  }
+  // Contingency counts.
+  std::map<std::pair<int, int>, std::size_t> joint;
+  std::map<int, std::size_t> count_a, count_b;
+  for (std::size_t i = 0; i < labels_a.size(); ++i) {
+    ++joint[{labels_a[i], labels_b[i]}];
+    ++count_a[labels_a[i]];
+    ++count_b[labels_b[i]];
+  }
+  auto pairs = [](std::size_t m) {
+    return static_cast<double>(m) * static_cast<double>(m - 1) / 2.0;
+  };
+  double tk = 0.0;  // co-clustered in both
+  for (const auto& [key, m] : joint) tk += pairs(m);
+  double pk = 0.0, qk = 0.0;
+  for (const auto& [key, m] : count_a) pk += pairs(m);
+  for (const auto& [key, m] : count_b) qk += pairs(m);
+  if (pk == 0.0 || qk == 0.0) {
+    // All-singleton clusterings: identical by convention.
+    return 1.0;
+  }
+  return tk / std::sqrt(pk * qk);
+}
+
+Result<double> FowlkesMallowsBk(const Dendrogram& a, const Dendrogram& b,
+                                std::size_t max_k) {
+  if (a.num_leaves() != b.num_leaves()) {
+    return Status::InvalidArgument("trees have different leaf counts");
+  }
+  max_k = std::min(max_k, a.num_leaves() - 1);
+  if (max_k < 2) {
+    return Status::InvalidArgument("need max_k >= 2");
+  }
+  double total = 0.0;
+  std::size_t terms = 0;
+  for (std::size_t k = 2; k <= max_k; ++k) {
+    CUISINE_ASSIGN_OR_RETURN(std::vector<int> la, a.CutToClusters(k));
+    CUISINE_ASSIGN_OR_RETURN(std::vector<int> lb, b.CutToClusters(k));
+    CUISINE_ASSIGN_OR_RETURN(double bk, FowlkesMallows(la, lb));
+    total += bk;
+    ++terms;
+  }
+  return total / static_cast<double>(terms);
+}
+
+Result<double> TripletAgreement(const Dendrogram& a, const Dendrogram& b) {
+  if (a.num_leaves() != b.num_leaves()) {
+    return Status::InvalidArgument("trees have different leaf counts");
+  }
+  const std::size_t n = a.num_leaves();
+  if (n < 3) {
+    return Status::InvalidArgument("need at least 3 leaves");
+  }
+  CondensedDistanceMatrix ca = a.CopheneticDistances();
+  CondensedDistanceMatrix cb = b.CopheneticDistances();
+
+  // Which of the three pairs is strictly the closest; -1 when tied.
+  auto innermost = [](const CondensedDistanceMatrix& d, std::size_t x,
+                      std::size_t y, std::size_t z) -> int {
+    double dxy = d.at(x, y), dxz = d.at(x, z), dyz = d.at(y, z);
+    if (dxy < dxz && dxy < dyz) return 0;
+    if (dxz < dxy && dxz < dyz) return 1;
+    if (dyz < dxy && dyz < dxz) return 2;
+    return -1;
+  };
+
+  std::size_t agree = 0, total = 0;
+  for (std::size_t x = 0; x < n; ++x) {
+    for (std::size_t y = x + 1; y < n; ++y) {
+      for (std::size_t z = y + 1; z < n; ++z) {
+        ++total;
+        if (innermost(ca, x, y, z) == innermost(cb, x, y, z)) ++agree;
+      }
+    }
+  }
+  return static_cast<double>(agree) / static_cast<double>(total);
+}
+
+}  // namespace cuisine

@@ -1,0 +1,48 @@
+// Tree-similarity metrics used to make §VII's qualitative validation
+// ("the Euclidean tree is most similar to the geographical clustering")
+// quantitative: cophenetic correlation, Fowlkes–Mallows B_k, and triplet
+// agreement between dendrograms over the same leaf set.
+
+#ifndef CUISINE_CLUSTER_TREE_COMPARE_H_
+#define CUISINE_CLUSTER_TREE_COMPARE_H_
+
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Pearson correlation of two equal-length vectors; 0 when either side
+/// has zero variance.
+double PearsonCorrelation(const std::vector<double>& x,
+                          const std::vector<double>& y);
+
+/// Cophenetic correlation coefficient of a tree against the original
+/// pairwise distances it was built from (scipy `cophenet`).
+Result<double> CopheneticCorrelation(const Dendrogram& tree,
+                                     const CondensedDistanceMatrix& original);
+
+/// Correlation of the cophenetic distances of two trees over the same
+/// leaf index space — a global structural-similarity score in [-1, 1].
+Result<double> CopheneticTreeSimilarity(const Dendrogram& a,
+                                        const Dendrogram& b);
+
+/// Fowlkes–Mallows index of two flat clusterings (same length label
+/// vectors), in [0, 1].
+Result<double> FowlkesMallows(const std::vector<int>& labels_a,
+                              const std::vector<int>& labels_b);
+
+/// Mean Fowlkes–Mallows B_k across cuts k = 2..max_k of both trees
+/// (the classic dendrogram-comparison procedure).
+Result<double> FowlkesMallowsBk(const Dendrogram& a, const Dendrogram& b,
+                                std::size_t max_k);
+
+/// Fraction of leaf triples {x,y,z} on which the two trees agree about
+/// which pair is the closest (lowest cophenetic distance, i.e. which pair
+/// splits off together). Exhaustive O(n^3); n is 26 here.
+Result<double> TripletAgreement(const Dendrogram& a, const Dendrogram& b);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CLUSTER_TREE_COMPARE_H_

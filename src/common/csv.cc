@@ -1,0 +1,174 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace cuisine {
+
+namespace {
+
+// Incremental RFC-4180 parser over the full document. Handles CRLF and LF.
+class CsvParser {
+ public:
+  CsvParser(std::string_view text, char delim) : text_(text), delim_(delim) {}
+
+  Result<std::vector<CsvRow>> Parse() {
+    std::vector<CsvRow> rows;
+    CsvRow row;
+    std::string field;
+    enum class State { kFieldStart, kUnquoted, kQuoted, kQuoteInQuoted };
+    State state = State::kFieldStart;
+
+    auto end_field = [&]() {
+      row.push_back(std::move(field));
+      field.clear();
+    };
+    auto end_row = [&]() {
+      end_field();
+      rows.push_back(std::move(row));
+      row.clear();
+    };
+
+    for (std::size_t i = 0; i < text_.size(); ++i) {
+      char c = text_[i];
+      if (c == '\r') {
+        // Normalise CRLF / stray CR to LF semantics.
+        if (state == State::kQuoted) {
+          field.push_back(c);
+        }
+        continue;
+      }
+      switch (state) {
+        case State::kFieldStart:
+          if (c == '"') {
+            state = State::kQuoted;
+          } else if (c == delim_) {
+            end_field();
+          } else if (c == '\n') {
+            end_row();
+          } else {
+            field.push_back(c);
+            state = State::kUnquoted;
+          }
+          break;
+        case State::kUnquoted:
+          if (c == delim_) {
+            end_field();
+            state = State::kFieldStart;
+          } else if (c == '\n') {
+            end_row();
+            state = State::kFieldStart;
+          } else {
+            field.push_back(c);
+          }
+          break;
+        case State::kQuoted:
+          if (c == '"') {
+            state = State::kQuoteInQuoted;
+          } else {
+            field.push_back(c);
+          }
+          break;
+        case State::kQuoteInQuoted:
+          if (c == '"') {
+            field.push_back('"');
+            state = State::kQuoted;
+          } else if (c == delim_) {
+            end_field();
+            state = State::kFieldStart;
+          } else if (c == '\n') {
+            end_row();
+            state = State::kFieldStart;
+          } else {
+            return Status::ParseError(
+                "unexpected character after closing quote at offset " +
+                std::to_string(i));
+          }
+          break;
+      }
+    }
+
+    if (state == State::kQuoted) {
+      return Status::ParseError("unterminated quoted field at end of input");
+    }
+    // Flush the final record unless the document ended exactly at a row
+    // boundary (trailing newline) with nothing pending.
+    if (state != State::kFieldStart || !field.empty() || !row.empty()) {
+      end_row();
+    } else if (!text_.empty() && text_.back() != '\n' && text_.back() != '\r') {
+      end_row();
+    }
+    return rows;
+  }
+
+ private:
+  std::string_view text_;
+  char delim_;
+};
+
+}  // namespace
+
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text, char delim) {
+  return CsvParser(text, delim).Parse();
+}
+
+Result<CsvRow> ParseCsvLine(std::string_view line, char delim) {
+  CUISINE_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ParseCsv(line, delim));
+  if (rows.empty()) return CsvRow{};
+  if (rows.size() > 1) {
+    return Status::ParseError("expected a single CSV record, got " +
+                              std::to_string(rows.size()));
+  }
+  return std::move(rows[0]);
+}
+
+std::string EscapeCsvField(std::string_view field, char delim) {
+  bool needs_quote = false;
+  for (char c : field) {
+    if (c == '"' || c == delim || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string WriteCsv(const std::vector<CsvRow>& rows, char delim) {
+  std::string out;
+  for (const CsvRow& row : rows) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(delim);
+      out += EscapeCsvField(row[i], delim);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for reading: " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure: " + path);
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path, std::string_view contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for writing: " + path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  if (!out) return Status::IOError("write failure: " + path);
+  return Status::OK();
+}
+
+}  // namespace cuisine

@@ -1,0 +1,45 @@
+// Minimal RFC-4180 CSV reader/writer used for dataset import/export.
+//
+// Supports quoted fields with embedded delimiters, quotes ("" escape) and
+// newlines. The reader is strict: unbalanced quotes are a ParseError.
+
+#ifndef CUISINE_COMMON_CSV_H_
+#define CUISINE_COMMON_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cuisine {
+
+/// One parsed CSV record (row of fields).
+using CsvRow = std::vector<std::string>;
+
+/// Parses an entire CSV document from a string.
+///
+/// \param text the document contents.
+/// \param delim field delimiter (default ',').
+/// \return all rows, or ParseError on malformed quoting. A trailing final
+///   newline does not produce an empty last row.
+Result<std::vector<CsvRow>> ParseCsv(std::string_view text, char delim = ',');
+
+/// Parses a single CSV line (no embedded newlines).
+Result<CsvRow> ParseCsvLine(std::string_view line, char delim = ',');
+
+/// Escapes one field for CSV output, quoting only when necessary.
+std::string EscapeCsvField(std::string_view field, char delim = ',');
+
+/// Serialises rows to CSV text with '\n' record separators.
+std::string WriteCsv(const std::vector<CsvRow>& rows, char delim = ',');
+
+/// Reads a whole file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `path`, truncating any existing file.
+Status WriteStringToFile(const std::string& path, std::string_view contents);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_CSV_H_

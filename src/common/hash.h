@@ -1,0 +1,48 @@
+// Hashing helpers: FNV-1a for byte ranges, 64-bit mixing, and combinators
+// for hashing sequences (used by itemset interning and pattern dedup).
+
+#ifndef CUISINE_COMMON_HASH_H_
+#define CUISINE_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace cuisine {
+
+/// FNV-1a over a byte range.
+inline std::uint64_t Fnv1a(std::string_view bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Strong 64-bit finalizer (murmur3 fmix64).
+inline std::uint64_t Mix64(std::uint64_t h) {
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+/// Order-sensitive combinator (boost::hash_combine style, 64-bit).
+inline std::uint64_t HashCombine(std::uint64_t seed, std::uint64_t v) {
+  return seed ^ (Mix64(v) + 0x9E3779B97F4A7C15ULL + (seed << 12) + (seed >> 4));
+}
+
+/// Hash of an integer sequence, order-sensitive.
+template <typename Int>
+std::uint64_t HashSequence(const std::vector<Int>& xs) {
+  std::uint64_t h = 0x9AE16A3B2F90404FULL;
+  for (Int x : xs) h = HashCombine(h, static_cast<std::uint64_t>(x));
+  return HashCombine(h, xs.size());
+}
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_HASH_H_

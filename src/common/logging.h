@@ -1,0 +1,84 @@
+// Minimal leveled logging with CHECK macros.
+//
+// Logging goes to stderr. The severity threshold is process-global and can
+// be raised to silence benchmarks / tests.
+
+#ifndef CUISINE_COMMON_LOGGING_H_
+#define CUISINE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace cuisine {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Returns the current process-global minimum severity that will be emitted.
+LogLevel GetLogLevel();
+
+/// Sets the process-global minimum severity. Messages below `level` are
+/// dropped.
+void SetLogLevel(LogLevel level);
+
+std::string_view LogLevelName(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with timestamp and level) on
+/// destruction. Fatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when the message is below threshold.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace cuisine
+
+#define CUISINE_LOG_INTERNAL(level)                                     \
+  ::cuisine::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define CUISINE_LOG(severity)                                           \
+  !(static_cast<int>(::cuisine::LogLevel::k##severity) >=               \
+    static_cast<int>(::cuisine::GetLogLevel()))                         \
+      ? static_cast<void>(0)                                            \
+      : ::cuisine::internal::LogMessageVoidify() &                      \
+            CUISINE_LOG_INTERNAL(::cuisine::LogLevel::k##severity)
+
+/// Aborts with a message when `condition` does not hold. Active in all
+/// build types: these guard internal invariants, not user input.
+#define CUISINE_CHECK(condition)                                        \
+  (condition) ? static_cast<void>(0)                                    \
+              : ::cuisine::internal::LogMessageVoidify() &              \
+                    CUISINE_LOG_INTERNAL(::cuisine::LogLevel::kFatal)   \
+                        << "Check failed: " #condition " "
+
+#define CUISINE_CHECK_EQ(a, b) CUISINE_CHECK((a) == (b))
+#define CUISINE_CHECK_NE(a, b) CUISINE_CHECK((a) != (b))
+#define CUISINE_CHECK_LT(a, b) CUISINE_CHECK((a) < (b))
+#define CUISINE_CHECK_LE(a, b) CUISINE_CHECK((a) <= (b))
+#define CUISINE_CHECK_GT(a, b) CUISINE_CHECK((a) > (b))
+#define CUISINE_CHECK_GE(a, b) CUISINE_CHECK((a) >= (b))
+
+#endif  // CUISINE_COMMON_LOGGING_H_

@@ -1,0 +1,105 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace cuisine {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    CUISINE_CHECK_EQ(rows[r].size(), m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::RowVector(std::size_t r) const {
+  auto view = row(r);
+  return {view.begin(), view.end()};
+}
+
+std::vector<double> Matrix::ColVector(std::size_t c) const {
+  CUISINE_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> out(cols_, 0.0);
+  if (rows_ == 0) return out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += (*this)(r, c);
+  }
+  for (double& v : out) v /= static_cast<double>(rows_);
+  return out;
+}
+
+std::vector<double> Matrix::RowSums() const {
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c);
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MaxAbsDiff(const Matrix& other) const {
+  CUISINE_CHECK_EQ(rows_, other.rows_);
+  CUISINE_CHECK_EQ(cols_, other.cols_);
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - other.data_[i]));
+  }
+  return m;
+}
+
+std::string Matrix::ToString(int digits) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) os << ' ';
+      os << FormatDouble((*this)(r, c), digits);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(std::span<const double> a) { return std::sqrt(Dot(a, a)); }
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  CUISINE_CHECK_EQ(a.size(), b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,106 @@
+// Dense row-major matrix of doubles plus small vector helpers.
+//
+// This is deliberately minimal: the clustering pipeline needs row views,
+// fill, and a handful of reductions — not a full BLAS.
+
+#ifndef CUISINE_COMMON_MATRIX_H_
+#define CUISINE_COMMON_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace cuisine {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Creates a rows x cols matrix initialised to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested vectors; all inner vectors must share one length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c) {
+    CUISINE_CHECK_LT(r, rows_);
+    CUISINE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double at(std::size_t r, std::size_t c) const {
+    CUISINE_CHECK_LT(r, rows_);
+    CUISINE_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Mutable / const view of one row.
+  std::span<double> row(std::size_t r) {
+    CUISINE_CHECK_LT(r, rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    CUISINE_CHECK_LT(r, rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  /// Copies row `r` out as a vector.
+  std::vector<double> RowVector(std::size_t r) const;
+
+  /// Copies column `c` out as a vector.
+  std::vector<double> ColVector(std::size_t c) const;
+
+  /// Per-column means (empty matrix -> empty vector).
+  std::vector<double> ColMeans() const;
+
+  /// Per-row sums.
+  std::vector<double> RowSums() const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Frobenius-style total of all entries.
+  double Sum() const;
+
+  /// Element-wise maximum absolute difference against `other`;
+  /// matrices must have identical shapes.
+  double MaxAbsDiff(const Matrix& other) const;
+
+  const std::vector<double>& data() const { return data_; }
+
+  /// Debug rendering with `digits` decimals, one row per line.
+  std::string ToString(int digits = 3) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Dot product of equal-length spans.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) norm.
+double Norm2(std::span<const double> a);
+
+/// Squared Euclidean distance between equal-length spans.
+double SquaredDistance(std::span<const double> a, std::span<const double> b);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_MATRIX_H_

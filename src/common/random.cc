@@ -1,0 +1,186 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace cuisine {
+
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+  // Avoid the all-zero state (cannot occur from splitmix64, but be safe).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::Next() {
+  // xoshiro256**
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  CUISINE_CHECK_GT(bound, 0u);
+  // Lemire's nearly-divisionless method.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::UniformInRange(std::int64_t lo, std::int64_t hi) {
+  CUISINE_CHECK_LE(lo, hi);
+  std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(UniformInt(span));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+std::size_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 64.0) {
+    // Knuth's multiplication method.
+    double limit = std::exp(-mean);
+    double product = UniformDouble();
+    std::size_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction for large means.
+  double v = Gaussian(mean, std::sqrt(mean));
+  return v <= 0.0 ? 0 : static_cast<std::size_t>(v + 0.5);
+}
+
+double Rng::Gaussian() {
+  // Box-Muller; draw u1 in (0,1].
+  double u1 = 1.0 - UniformDouble();
+  double u2 = UniformDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+std::size_t Rng::WeightedChoice(const std::vector<double>& weights) {
+  if (weights.empty()) return 0;
+  double total = 0.0;
+  for (double w : weights) total += std::max(0.0, w);
+  if (total <= 0.0) return static_cast<std::size_t>(UniformInt(weights.size()));
+  double target = UniformDouble() * total;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += std::max(0.0, weights[i]);
+    if (target < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t k) {
+  k = std::min(k, n);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: shuffle a full index vector prefix.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(UniformInt(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  // Sparse case: Floyd's algorithm.
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t j = n - k; j < n; ++j) {
+    std::size_t t = static_cast<std::size_t>(UniformInt(j + 1));
+    if (seen.insert(t).second) {
+      out.push_back(t);
+    } else {
+      seen.insert(j);
+      out.push_back(j);
+    }
+  }
+  return out;
+}
+
+Rng Rng::Fork(std::uint64_t stream_id) {
+  return Rng(Next() ^ (stream_id * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+}
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) {
+  CUISINE_CHECK_GT(n, 0u);
+  CUISINE_CHECK_GT(s, 0.0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  for (double& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  double u = rng->UniformDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t i) const {
+  CUISINE_CHECK_LT(i, cdf_.size());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace cuisine

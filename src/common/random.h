@@ -1,0 +1,102 @@
+// Deterministic pseudo-random generation for reproducible experiments.
+//
+// `Rng` wraps the splitmix64/xoshiro256** generators with the sampling
+// helpers the data generator needs: uniform ints/doubles, Bernoulli,
+// Poisson, Zipf, weighted choice and Fisher-Yates shuffles. Everything is
+// seeded explicitly; there is no global RNG state.
+
+#ifndef CUISINE_COMMON_RANDOM_H_
+#define CUISINE_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cuisine {
+
+/// A small fast deterministic RNG (xoshiro256** seeded via splitmix64).
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield identical streams on every
+  /// platform (no use of std::random_device / distribution objects whose
+  /// output is implementation-defined).
+  explicit Rng(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0. Uses rejection
+  /// sampling (Lemire) to avoid modulo bias.
+  std::uint64_t UniformInt(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t UniformInRange(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability `p` (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  std::size_t Poisson(double mean);
+
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  /// Index sampled proportionally to non-negative `weights`.
+  /// Returns weights.size() == 0 ? 0 : a valid index; all-zero weights
+  /// degenerate to uniform.
+  std::size_t WeightedChoice(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->size() < 2) return;
+    for (std::size_t i = v->size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(i + 1));
+      using std::swap;
+      swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (Floyd's algorithm order is
+  /// not preserved; result is unsorted). k is clamped to n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Forks an independent generator whose stream does not overlap usefully
+  /// with this one (seeded from the parent stream + a stream id).
+  Rng Fork(std::uint64_t stream_id);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Precomputed Zipf(s) sampler over ranks 1..n (returned values are
+/// 0-based indices). Build once, sample many times in O(log n).
+class ZipfDistribution {
+ public:
+  /// \param n number of ranks (> 0).
+  /// \param s exponent (> 0); s≈1 matches natural-language style tails.
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Draws a 0-based rank.
+  std::size_t Sample(Rng* rng) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of 0-based rank `i`.
+  double Pmf(std::size_t i) const;
+
+ private:
+  std::vector<double> cdf_;  // cumulative, cdf_.back() == 1.0
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_RANDOM_H_

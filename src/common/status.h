@@ -1,0 +1,181 @@
+// Status / Result error handling primitives.
+//
+// The library does not throw exceptions across public API boundaries.
+// Functions that can fail return a `Status`, or a `Result<T>` when they
+// also produce a value (the Arrow/RocksDB idiom).
+
+#ifndef CUISINE_COMMON_STATUS_H_
+#define CUISINE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace cuisine {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kParseError = 7,
+  kInternal = 8,
+  kNotImplemented = 9,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail: a code plus a free-form message.
+///
+/// `Status::OK()` is cheap (no allocation). Error statuses carry a message
+/// describing the failure in terms of the caller's inputs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Returns the OK status.
+  static Status OK() { return Status(); }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  /// True iff the status is OK.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// The failure message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T, or an error Status explaining why the value could
+/// not be produced.
+///
+/// Usage:
+///   Result<Dataset> r = LoadDataset(path);
+///   if (!r.ok()) return r.status();
+///   Dataset& ds = r.value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result constructed from OK status without a value");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The error status; Status::OK() when a value is present.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value. Must only be called when `ok()`.
+  const T& value() const& {
+    assert(ok() && "Result::value() called on error result");
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok() && "Result::value() called on error result");
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok() && "Result::value() called on error result");
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Returns the value, or `fallback` if this result is an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define CUISINE_RETURN_NOT_OK(expr)                  \
+  do {                                               \
+    ::cuisine::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                       \
+  } while (false)
+
+/// Evaluates a Result expression; on error returns its status, otherwise
+/// assigns the value to `lhs`.
+#define CUISINE_ASSIGN_OR_RETURN(lhs, rexpr)         \
+  auto CUISINE_CONCAT_(res_, __LINE__) = (rexpr);    \
+  if (!CUISINE_CONCAT_(res_, __LINE__).ok())         \
+    return CUISINE_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(CUISINE_CONCAT_(res_, __LINE__)).value()
+
+#define CUISINE_CONCAT_IMPL_(a, b) a##b
+#define CUISINE_CONCAT_(a, b) CUISINE_CONCAT_IMPL_(a, b)
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_STATUS_H_

@@ -1,0 +1,59 @@
+// String helpers used across the library: trimming, splitting, joining,
+// case folding, slug/canonical forms for item names, and small formatting
+// helpers.
+
+#ifndef CUISINE_COMMON_STRING_UTIL_H_
+#define CUISINE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuisine {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view TrimWhitespace(std::string_view s);
+
+/// Splits `s` on `delim`. Adjacent delimiters yield empty fields;
+/// an empty input yields a single empty field (CSV semantics).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits `s` on `delim`, trims each field, and drops empty fields.
+std::vector<std::string> SplitAndTrim(std::string_view s, char delim);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-cases `s`.
+std::string ToLowerAscii(std::string_view s);
+
+/// True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True iff `s` ends with `suffix`.
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Canonical item-name form: lower-case, inner whitespace runs collapsed
+/// to single '_', leading/trailing whitespace removed.
+/// "Soy  Sauce " -> "soy_sauce".
+std::string CanonicalItemName(std::string_view name);
+
+/// Reverses CanonicalItemName for display: '_' -> ' '.
+std::string DisplayItemName(std::string_view canonical);
+
+/// Formats `value` with `digits` digits after the decimal point.
+std::string FormatDouble(double value, int digits);
+
+/// "1,234,567" style thousands-grouped rendering of a non-negative count.
+std::string FormatCount(std::size_t n);
+
+/// Parses a double; returns false (leaving *out untouched) on any
+/// non-numeric or trailing garbage input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Parses a non-negative integer with the same strictness.
+bool ParseSizeT(std::string_view s, std::size_t* out);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_STRING_UTIL_H_

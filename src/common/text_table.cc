@@ -1,0 +1,59 @@
+#include "common/text_table.h"
+
+#include <algorithm>
+
+namespace cuisine {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(Row{std::move(row), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::AddRule() { pending_rule_ = true; }
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_line = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_rule = [&]() {
+    std::string line = "+";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      line += std::string(widths[c] + 2, '-') + "+";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  out += render_rule();
+  out += render_line(header_);
+  out += render_rule();
+  for (const Row& row : rows_) {
+    if (row.rule_before) out += render_rule();
+    out += render_line(row.cells);
+  }
+  out += render_rule();
+  return out;
+}
+
+}  // namespace cuisine

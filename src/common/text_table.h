@@ -1,0 +1,47 @@
+// Aligned plain-text table renderer for console reports (Table-I style
+// output in benches and examples).
+
+#ifndef CUISINE_COMMON_TEXT_TABLE_H_
+#define CUISINE_COMMON_TEXT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace cuisine {
+
+/// Builds an aligned monospace table.
+///
+///   TextTable t({"Region", "Recipes", "Support"});
+///   t.AddRow({"Korean", "668", "0.34"});
+///   std::cout << t.Render();
+class TextTable {
+ public:
+  /// \param header column titles; fixes the column count.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a data row. Rows shorter than the header are right-padded
+  /// with empty cells; longer rows are truncated.
+  void AddRow(std::vector<std::string> row);
+
+  /// Inserts a horizontal rule before the next added row.
+  void AddRule();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with single-space-padded pipe separators and a rule under
+  /// the header.
+  std::string Render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_TEXT_TABLE_H_

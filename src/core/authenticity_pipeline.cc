@@ -1,0 +1,26 @@
+#include "core/authenticity_pipeline.h"
+
+namespace cuisine {
+
+Result<AuthenticityMatrix> ComputeAuthenticity(
+    const Dataset& dataset, const PrevalenceOptions& options) {
+  CUISINE_ASSIGN_OR_RETURN(PrevalenceMatrix prevalence,
+                           PrevalenceMatrix::Compute(dataset, options));
+  return AuthenticityMatrix::From(prevalence);
+}
+
+Result<Dendrogram> AuthenticityCluster(
+    const Dataset& dataset, const AuthenticityClusterOptions& options) {
+  if (dataset.num_cuisines() < 2) {
+    return Status::InvalidArgument("need at least 2 cuisines to cluster");
+  }
+  CUISINE_ASSIGN_OR_RETURN(AuthenticityMatrix authenticity,
+                           ComputeAuthenticity(dataset, options.prevalence));
+  CondensedDistanceMatrix d = CondensedDistanceMatrix::FromFeatures(
+      authenticity.FeatureMatrix(), options.metric);
+  CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,
+                           HierarchicalCluster(d, options.linkage));
+  return Dendrogram::FromLinkage(steps, dataset.cuisine_names());
+}
+
+}  // namespace cuisine

@@ -1,0 +1,35 @@
+// Authenticity-based clustering pipeline (paper §V-B, Fig 5): ingredient
+// prevalence -> relative prevalence (authenticity) feature vectors -> HAC.
+
+#ifndef CUISINE_CORE_AUTHENTICITY_PIPELINE_H_
+#define CUISINE_CORE_AUTHENTICITY_PIPELINE_H_
+
+#include "authenticity/authenticity.h"
+#include "cluster/dendrogram.h"
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace cuisine {
+
+/// Options for the Fig-5 pipeline.
+struct AuthenticityClusterOptions {
+  PrevalenceOptions prevalence;  // defaults: ingredients, per-cuisine norm
+  DistanceMetric metric = DistanceMetric::kEuclidean;
+  /// Ward (minimum variance) — principled for Euclidean feature rows and,
+  /// in the linkage ablation (bench_linkage_ablation), the choice that
+  /// recovers both §VII historical deviations on the authenticity tree.
+  LinkageMethod linkage = LinkageMethod::kWard;
+};
+
+/// Runs prevalence -> authenticity -> pdist -> HAC and returns the
+/// cuisine dendrogram (leaf labels are cuisine names in dataset order).
+Result<Dendrogram> AuthenticityCluster(
+    const Dataset& dataset, const AuthenticityClusterOptions& options = {});
+
+/// Intermediate access: the authenticity features used by Fig 5.
+Result<AuthenticityMatrix> ComputeAuthenticity(
+    const Dataset& dataset, const PrevalenceOptions& options = {});
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CORE_AUTHENTICITY_PIPELINE_H_

@@ -1,0 +1,102 @@
+#include "core/cluster_labels.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cuisine {
+
+Result<std::vector<ClusterLabel>> LabelClusters(
+    const Dendrogram& tree, const PatternFeatureSpace& space,
+    std::size_t max_patterns) {
+  const std::size_t n = tree.num_leaves();
+  if (n != space.cuisine_names.size()) {
+    return Status::InvalidArgument(
+        "tree leaf count does not match feature space");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (tree.labels()[i] != space.cuisine_names[i]) {
+      return Status::InvalidArgument(
+          "tree labels and feature space cuisines disagree at index " +
+          std::to_string(i));
+    }
+  }
+  const Matrix& f = space.features;
+  const std::size_t num_patterns = f.cols();
+
+  // How many cuisines carry each pattern (for distinctiveness ranking).
+  std::vector<std::size_t> global_counts(num_patterns, 0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < num_patterns; ++c) {
+      if (f(r, c) != 0.0) ++global_counts[c];
+    }
+  }
+
+  // Members per cluster id, built bottom-up.
+  std::vector<std::vector<std::size_t>> members(2 * n - 1);
+  for (std::size_t i = 0; i < n; ++i) members[i] = {i};
+
+  std::vector<ClusterLabel> labels;
+  labels.reserve(tree.steps().size());
+  for (std::size_t s = 0; s < tree.steps().size(); ++s) {
+    const LinkageStep& step = tree.steps()[s];
+    std::size_t id = n + s;
+    members[id] = members[step.left];
+    members[id].insert(members[id].end(), members[step.right].begin(),
+                       members[step.right].end());
+
+    ClusterLabel label;
+    label.step = s;
+    label.height = step.distance;
+    for (std::size_t leaf : members[id]) {
+      label.members.push_back(space.cuisine_names[leaf]);
+    }
+    std::sort(label.members.begin(), label.members.end());
+
+    // Patterns present in every member, most distinctive first.
+    std::vector<std::pair<std::size_t, std::size_t>> shared;  // (global, col)
+    for (std::size_t c = 0; c < num_patterns; ++c) {
+      bool in_all = true;
+      for (std::size_t leaf : members[id]) {
+        if (f(leaf, c) == 0.0) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) shared.emplace_back(global_counts[c], c);
+    }
+    std::sort(shared.begin(), shared.end());
+    for (std::size_t i = 0; i < std::min(max_patterns, shared.size()); ++i) {
+      CUISINE_ASSIGN_OR_RETURN(
+          std::string pattern,
+          space.encoder.InverseTransform(
+              static_cast<int>(shared[i].second)));
+      label.shared_patterns.push_back(std::move(pattern));
+    }
+    labels.push_back(std::move(label));
+  }
+  return labels;
+}
+
+std::string RenderClusterLabels(const std::vector<ClusterLabel>& labels) {
+  std::ostringstream os;
+  for (const ClusterLabel& label : labels) {
+    os << "merge " << label.step << " @ " << label.height << ": {";
+    for (std::size_t i = 0; i < label.members.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << label.members[i];
+    }
+    os << "}\n  shared: ";
+    if (label.shared_patterns.empty()) {
+      os << "(none)";
+    } else {
+      for (std::size_t i = 0; i < label.shared_patterns.size(); ++i) {
+        if (i > 0) os << " | ";
+        os << label.shared_patterns[i];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cuisine

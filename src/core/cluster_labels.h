@@ -1,0 +1,42 @@
+// Cluster labeling after FIHC (Fung et al. 2003): describe each internal
+// node of a cuisine dendrogram by the frequent patterns its member
+// cuisines *share* — the human-readable "why are these together".
+
+#ifndef CUISINE_CORE_CLUSTER_LABELS_H_
+#define CUISINE_CORE_CLUSTER_LABELS_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "common/status.h"
+#include "core/fihc.h"
+
+namespace cuisine {
+
+/// Description of one merge in the tree.
+struct ClusterLabel {
+  /// Index of the merge step (cluster id = num_leaves + step).
+  std::size_t step = 0;
+  double height = 0.0;
+  /// Member cuisine names of the merged cluster.
+  std::vector<std::string> members;
+  /// String patterns present in *every* member (up to `max_patterns`,
+  /// most-distinctive first: patterns shared by fewer cuisines overall
+  /// sort earlier).
+  std::vector<std::string> shared_patterns;
+};
+
+/// Labels every internal node of `tree` against the pattern feature
+/// space it was clustered from. The tree's leaves must match
+/// `space.cuisine_names` (same order).
+Result<std::vector<ClusterLabel>> LabelClusters(
+    const Dendrogram& tree, const PatternFeatureSpace& space,
+    std::size_t max_patterns = 5);
+
+/// Renders labels as an indented report (one line per merge, bottom-up).
+std::string RenderClusterLabels(const std::vector<ClusterLabel>& labels);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CORE_CLUSTER_LABELS_H_

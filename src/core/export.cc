@@ -1,0 +1,96 @@
+#include "core/export.h"
+
+#include <cmath>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+std::string PatternsToCsv(const Vocabulary& vocab,
+                          const std::vector<CuisinePatterns>& mined) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"cuisine", "pattern", "size", "support", "count"});
+  for (const CuisinePatterns& cp : mined) {
+    for (const FrequentItemset& p : cp.patterns) {
+      rows.push_back({cp.cuisine_name, StringPattern(vocab, p.items),
+                      std::to_string(p.items.size()),
+                      FormatDouble(p.support, 6), std::to_string(p.count)});
+    }
+  }
+  return WriteCsv(rows);
+}
+
+Status SavePatternsCsv(const Vocabulary& vocab,
+                       const std::vector<CuisinePatterns>& mined,
+                       const std::string& path) {
+  return WriteStringToFile(path, PatternsToCsv(vocab, mined));
+}
+
+std::string FeatureMatrixToCsv(const PatternFeatureSpace& space) {
+  std::vector<CsvRow> rows;
+  CsvRow header;
+  header.push_back("cuisine");
+  for (const std::string& pattern : space.encoder.classes()) {
+    header.push_back(pattern);
+  }
+  rows.push_back(std::move(header));
+  for (std::size_t r = 0; r < space.features.rows(); ++r) {
+    CsvRow row;
+    row.push_back(space.cuisine_names[r]);
+    for (std::size_t c = 0; c < space.features.cols(); ++c) {
+      row.push_back(FormatDouble(space.features(r, c), 6));
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(rows);
+}
+
+Status SaveFeatureMatrixCsv(const PatternFeatureSpace& space,
+                            const std::string& path) {
+  return WriteStringToFile(path, FeatureMatrixToCsv(space));
+}
+
+std::string LinkageToCsv(const Dendrogram& tree) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"left", "right", "distance", "size"});
+  for (const LinkageStep& step : tree.steps()) {
+    rows.push_back({std::to_string(step.left), std::to_string(step.right),
+                    FormatDouble(step.distance, 6),
+                    std::to_string(step.size)});
+  }
+  return WriteCsv(rows);
+}
+
+std::string PlotLinksToCsv(const Dendrogram& tree) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"x_left", "x_right", "y_left", "y_right", "y_top"});
+  for (const Dendrogram::PlotLink& link : tree.PlotLinks()) {
+    rows.push_back({FormatDouble(link.x_left, 3), FormatDouble(link.x_right, 3),
+                    FormatDouble(link.y_left, 6),
+                    FormatDouble(link.y_right, 6),
+                    FormatDouble(link.y_top, 6)});
+  }
+  return WriteCsv(rows);
+}
+
+std::string RulesToCsv(const Vocabulary& vocab,
+                       const std::vector<AssociationRule>& rules) {
+  std::vector<CsvRow> rows;
+  rows.push_back({"antecedent", "consequent", "support", "confidence",
+                  "lift", "leverage", "conviction"});
+  for (const AssociationRule& r : rules) {
+    rows.push_back({r.antecedent.ToString(vocab), r.consequent.ToString(vocab),
+                    FormatDouble(r.support, 6), FormatDouble(r.confidence, 6),
+                    FormatDouble(r.lift, 6), FormatDouble(r.leverage, 6),
+                    std::isinf(r.conviction) ? "inf"
+                                             : FormatDouble(r.conviction, 6)});
+  }
+  return WriteCsv(rows);
+}
+
+Status SaveNewick(const Dendrogram& tree, const std::string& path) {
+  return WriteStringToFile(path, tree.ToNewick() + "\n");
+}
+
+}  // namespace cuisine

@@ -1,0 +1,50 @@
+// Result exporters: serialise mined patterns, feature matrices and
+// dendrograms to CSV / Newick files so downstream tooling (plotting
+// scripts, the paper's original notebooks) can consume the reproduction's
+// outputs.
+
+#ifndef CUISINE_CORE_EXPORT_H_
+#define CUISINE_CORE_EXPORT_H_
+
+#include <string>
+
+#include "cluster/dendrogram.h"
+#include "common/status.h"
+#include "core/fihc.h"
+#include "mining/association_rules.h"
+#include "mining/pattern_set.h"
+
+namespace cuisine {
+
+/// CSV of all per-cuisine patterns: cuisine,pattern,size,support,count.
+std::string PatternsToCsv(const Vocabulary& vocab,
+                          const std::vector<CuisinePatterns>& mined);
+Status SavePatternsCsv(const Vocabulary& vocab,
+                       const std::vector<CuisinePatterns>& mined,
+                       const std::string& path);
+
+/// CSV of the cuisine x pattern feature matrix, with a header row of
+/// string patterns and a leading cuisine column.
+std::string FeatureMatrixToCsv(const PatternFeatureSpace& space);
+Status SaveFeatureMatrixCsv(const PatternFeatureSpace& space,
+                            const std::string& path);
+
+/// CSV of a linkage matrix (scipy Z format): left,right,distance,size.
+std::string LinkageToCsv(const Dendrogram& tree);
+
+/// CSV of the dendrogram plot geometry (scipy icoord/dcoord equivalent):
+/// x_left,x_right,y_left,y_right,y_top — one ⊓ link per merge, ready for
+/// any plotting backend to redraw Figs 2-6.
+std::string PlotLinksToCsv(const Dendrogram& tree);
+
+/// CSV of association rules:
+/// antecedent,consequent,support,confidence,lift,leverage,conviction.
+std::string RulesToCsv(const Vocabulary& vocab,
+                       const std::vector<AssociationRule>& rules);
+
+/// Writes the Newick serialisation of a tree.
+Status SaveNewick(const Dendrogram& tree, const std::string& path);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CORE_EXPORT_H_

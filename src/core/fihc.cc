@@ -1,0 +1,50 @@
+#include "core/fihc.h"
+
+namespace cuisine {
+
+Result<PatternFeatureSpace> BuildPatternFeatures(
+    const Dataset& dataset, const std::vector<CuisinePatterns>& mined,
+    PatternEncoding encoding) {
+  if (mined.empty()) {
+    return Status::InvalidArgument("no mined cuisines supplied");
+  }
+  const Vocabulary& vocab = dataset.vocabulary();
+
+  PatternFeatureSpace space;
+  std::vector<std::string> alphabet = UnionStringPatterns(vocab, mined);
+  if (alphabet.empty()) {
+    return Status::FailedPrecondition(
+        "no frequent patterns were mined in any cuisine; lower min_support");
+  }
+  space.encoder.Fit(alphabet);
+
+  space.features = Matrix(mined.size(), space.encoder.num_classes(), 0.0);
+  space.cuisine_names.reserve(mined.size());
+  for (std::size_t row = 0; row < mined.size(); ++row) {
+    const CuisinePatterns& cp = mined[row];
+    space.cuisine_names.push_back(cp.cuisine_name);
+    for (const FrequentItemset& p : cp.patterns) {
+      CUISINE_ASSIGN_OR_RETURN(
+          int col, space.encoder.Transform(StringPattern(vocab, p.items)));
+      double value =
+          encoding == PatternEncoding::kBinary ? 1.0 : p.support;
+      space.features(row, static_cast<std::size_t>(col)) = value;
+    }
+  }
+  return space;
+}
+
+Result<Dendrogram> ClusterPatternFeatures(const PatternFeatureSpace& space,
+                                          DistanceMetric metric,
+                                          LinkageMethod method) {
+  if (space.features.rows() < 2) {
+    return Status::InvalidArgument("need at least 2 cuisines to cluster");
+  }
+  CondensedDistanceMatrix d =
+      CondensedDistanceMatrix::FromFeatures(space.features, metric);
+  CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,
+                           HierarchicalCluster(d, method));
+  return Dendrogram::FromLinkage(steps, space.cuisine_names);
+}
+
+}  // namespace cuisine

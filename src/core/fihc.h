@@ -1,0 +1,55 @@
+// Frequent-Itemset-based Hierarchical Clustering of cuisines (paper §V-A,
+// §VI-A, after Fung et al.'s FIHC):
+//
+//   1. mine each cuisine's frequent patterns (FP-Growth @ 0.2),
+//   2. canonicalise each pattern to a sorted 'string pattern',
+//   3. label-encode the union of string patterns across all cuisines,
+//   4. build one feature vector per cuisine over that alphabet,
+//   5. pdist (Euclidean / Cosine / Jaccard) + HAC -> dendrogram
+//      (Figs 2, 3, 4).
+
+#ifndef CUISINE_CORE_FIHC_H_
+#define CUISINE_CORE_FIHC_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "cluster/label_encoder.h"
+#include "common/matrix.h"
+#include "common/status.h"
+#include "data/dataset.h"
+#include "mining/pattern_set.h"
+
+namespace cuisine {
+
+/// How a cuisine's mined patterns become feature values.
+enum class PatternEncoding {
+  /// 1 if the cuisine mined the pattern, else 0 (the paper's categorical
+  /// encoding; Jaccard distance requires this).
+  kBinary,
+  /// The pattern's support in the cuisine (0 if not mined) — the
+  /// support-weighted ablation of DESIGN.md §5.3.
+  kSupport,
+};
+
+/// The cuisine x pattern feature space.
+struct PatternFeatureSpace {
+  std::vector<std::string> cuisine_names;   // row labels
+  LabelEncoder encoder;                     // pattern alphabet
+  Matrix features;                          // cuisines x patterns
+};
+
+/// Steps 2-4: builds the feature space from per-cuisine mined patterns.
+Result<PatternFeatureSpace> BuildPatternFeatures(
+    const Dataset& dataset, const std::vector<CuisinePatterns>& mined,
+    PatternEncoding encoding = PatternEncoding::kBinary);
+
+/// Step 5 for one metric: pdist + HAC over the feature rows.
+Result<Dendrogram> ClusterPatternFeatures(const PatternFeatureSpace& space,
+                                          DistanceMetric metric,
+                                          LinkageMethod method);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CORE_FIHC_H_

@@ -1,0 +1,173 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+namespace cuisine {
+
+namespace {
+
+// Leaf index of `label` in `tree`, or -1.
+int LeafIndexOf(const Dendrogram& tree, const std::string& label) {
+  const auto& labels = tree.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == label) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Result<TreeGeoSimilarity> CompareTreeToGeo(const std::string& name,
+                                           const Dendrogram& tree,
+                                           const Dendrogram& geo) {
+  TreeGeoSimilarity sim;
+  sim.tree_name = name;
+  CUISINE_ASSIGN_OR_RETURN(sim.cophenetic_correlation,
+                           CopheneticTreeSimilarity(tree, geo));
+  CUISINE_ASSIGN_OR_RETURN(sim.fowlkes_mallows_bk,
+                           FowlkesMallowsBk(tree, geo, /*max_k=*/10));
+  CUISINE_ASSIGN_OR_RETURN(sim.triplet_agreement, TripletAgreement(tree, geo));
+  return sim;
+}
+
+Result<HistoricalDeviationCheck> CheckHistoricalDeviations(
+    const std::string& name, const Dendrogram& tree) {
+  HistoricalDeviationCheck check;
+  check.tree_name = name;
+  CondensedDistanceMatrix coph = tree.CopheneticDistances();
+
+  int canadian = LeafIndexOf(tree, "Canadian");
+  int french = LeafIndexOf(tree, "French");
+  int us = LeafIndexOf(tree, "US");
+  int indian = LeafIndexOf(tree, "Indian Subcontinent");
+  int nafrica = LeafIndexOf(tree, "Northern Africa");
+  int thai = LeafIndexOf(tree, "Thai");
+  int seasian = LeafIndexOf(tree, "Southeast Asian");
+  if (canadian < 0 || french < 0 || us < 0 || indian < 0 || nafrica < 0 ||
+      thai < 0 || seasian < 0) {
+    return Status::NotFound(
+        "tree is missing one of the cuisines needed for the §VII deviation "
+        "checks");
+  }
+  auto d = [&](int a, int b) {
+    return coph.at(static_cast<std::size_t>(a), static_cast<std::size_t>(b));
+  };
+  check.canada_closer_to_france_than_us =
+      d(canadian, french) < d(canadian, us);
+  check.india_closer_to_north_africa_than_neighbors =
+      d(indian, nafrica) < d(indian, thai) &&
+      d(indian, nafrica) < d(indian, seasian);
+  return check;
+}
+
+Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
+                                            const PipelineConfig& config) {
+  PipelineResult result;
+  result.dataset = std::move(dataset);
+  const Dataset& ds = result.dataset;
+
+  // Table I: per-cuisine mining.
+  CUISINE_ASSIGN_OR_RETURN(
+      result.mined, MineAllCuisines(ds, config.miner, config.algorithm));
+  {
+    // Specs matched by name; unmatched cuisines get empty expectations.
+    std::vector<CuisineSpec> specs = BuildWorldCuisineSpecs();
+    std::vector<CuisineSpec> matched;
+    for (const CuisinePatterns& cp : result.mined) {
+      const CuisineSpec* found = nullptr;
+      for (const CuisineSpec& s : specs) {
+        if (s.name == cp.cuisine_name) {
+          found = &s;
+          break;
+        }
+      }
+      if (found != nullptr) {
+        matched.push_back(*found);
+      } else {
+        CuisineSpec blank;
+        blank.name = cp.cuisine_name;
+        matched.push_back(std::move(blank));
+      }
+    }
+    CUISINE_ASSIGN_OR_RETURN(result.table1,
+                             BuildTable1(ds, result.mined, matched));
+  }
+
+  // Figs 2-4: pattern feature space + three metric dendrograms.
+  CUISINE_ASSIGN_OR_RETURN(
+      result.features, BuildPatternFeatures(ds, result.mined, config.encoding));
+  CUISINE_ASSIGN_OR_RETURN(
+      Dendrogram euclid,
+      ClusterPatternFeatures(result.features, DistanceMetric::kEuclidean,
+                             config.linkage));
+  result.euclidean_tree = std::move(euclid);
+  CUISINE_ASSIGN_OR_RETURN(
+      Dendrogram cosine,
+      ClusterPatternFeatures(result.features, DistanceMetric::kCosine,
+                             config.linkage));
+  result.cosine_tree = std::move(cosine);
+  CUISINE_ASSIGN_OR_RETURN(
+      Dendrogram jaccard,
+      ClusterPatternFeatures(result.features, DistanceMetric::kJaccard,
+                             config.linkage));
+  result.jaccard_tree = std::move(jaccard);
+
+  // Fig 5: authenticity tree.
+  CUISINE_ASSIGN_OR_RETURN(Dendrogram auth,
+                           AuthenticityCluster(ds, config.authenticity));
+  result.authenticity_tree = std::move(auth);
+
+  // Fig 6: geographic reference.
+  CUISINE_ASSIGN_OR_RETURN(Dendrogram geo,
+                           GeoCluster(ds.cuisine_names(), config.linkage));
+  result.geo_tree = std::move(geo);
+
+  // Fig 1: elbow sweep on the pattern features.
+  if (config.run_elbow) {
+    CUISINE_ASSIGN_OR_RETURN(
+        result.elbow, ComputeElbow(result.features.features,
+                                   config.elbow_k_min, config.elbow_k_max));
+  }
+
+  // §VII validation.
+  ValidationReport& v = result.validation;
+  const Dendrogram& geo_tree = *result.geo_tree;
+  CUISINE_ASSIGN_OR_RETURN(
+      TreeGeoSimilarity sim_e,
+      CompareTreeToGeo("euclidean", *result.euclidean_tree, geo_tree));
+  CUISINE_ASSIGN_OR_RETURN(
+      TreeGeoSimilarity sim_c,
+      CompareTreeToGeo("cosine", *result.cosine_tree, geo_tree));
+  CUISINE_ASSIGN_OR_RETURN(
+      TreeGeoSimilarity sim_j,
+      CompareTreeToGeo("jaccard", *result.jaccard_tree, geo_tree));
+  CUISINE_ASSIGN_OR_RETURN(
+      TreeGeoSimilarity sim_a,
+      CompareTreeToGeo("authenticity", *result.authenticity_tree, geo_tree));
+  v.euclidean_most_geographic_of_patterns =
+      sim_e.cophenetic_correlation >= sim_c.cophenetic_correlation &&
+      sim_e.cophenetic_correlation >= sim_j.cophenetic_correlation;
+  v.authenticity_at_least_euclidean =
+      sim_a.cophenetic_correlation >= sim_e.cophenetic_correlation;
+  v.tree_vs_geo = {sim_e, sim_c, sim_j, sim_a};
+
+  for (const auto* tree :
+       {&result.euclidean_tree, &result.authenticity_tree}) {
+    const std::string name =
+        tree == &result.euclidean_tree ? "euclidean" : "authenticity";
+    auto check = CheckHistoricalDeviations(name, **tree);
+    if (check.ok()) {
+      v.deviations.push_back(std::move(check).value());
+    }
+    // Missing cuisines (small test corpora) simply skip the check.
+  }
+  return result;
+}
+
+Result<PipelineResult> RunPipeline(const PipelineConfig& config) {
+  CUISINE_ASSIGN_OR_RETURN(Dataset dataset,
+                           GenerateRecipeDb(config.generator));
+  return RunPipelineOnDataset(std::move(dataset), config);
+}
+
+}  // namespace cuisine

@@ -1,0 +1,107 @@
+// End-to-end reproduction pipeline: generate (or accept) a corpus, mine
+// per-cuisine patterns, build the three pattern dendrograms (Figs 2-4),
+// the authenticity dendrogram (Fig 5), the geographic reference tree
+// (Fig 6), the elbow analysis (Fig 1), and the §VII validation report.
+
+#ifndef CUISINE_CORE_PIPELINE_H_
+#define CUISINE_CORE_PIPELINE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/elbow.h"
+#include "cluster/tree_compare.h"
+#include "core/authenticity_pipeline.h"
+#include "core/fihc.h"
+#include "core/report.h"
+#include "data/generator.h"
+#include "geo/geo_cluster.h"
+
+namespace cuisine {
+
+/// Pipeline configuration (defaults = the paper's settings where stated,
+/// DESIGN.md choices where the paper is silent).
+struct PipelineConfig {
+  GeneratorOptions generator;
+  MinerOptions miner{/*min_support=*/kPaperMinSupport,
+                     /*max_pattern_size=*/0};
+  MinerAlgorithm algorithm = MinerAlgorithm::kFpGrowth;
+  PatternEncoding encoding = PatternEncoding::kBinary;
+  /// Linkage for the pattern trees (Figs 2-4) and geo tree (Fig 6).
+  LinkageMethod linkage = LinkageMethod::kAverage;
+  /// The authenticity tree (Fig 5) options.
+  AuthenticityClusterOptions authenticity;
+  /// Elbow sweep bounds (Fig 1).
+  std::size_t elbow_k_min = 1;
+  std::size_t elbow_k_max = 15;
+  /// Skip the (relatively expensive) elbow sweep when false.
+  bool run_elbow = true;
+};
+
+/// How similar one tree is to the geographic reference.
+struct TreeGeoSimilarity {
+  std::string tree_name;
+  double cophenetic_correlation = 0.0;  // vs geo cophenetic distances
+  double fowlkes_mallows_bk = 0.0;      // mean B_k, k = 2..10
+  double triplet_agreement = 0.0;
+};
+
+/// §VII claim checks evaluated on one tree.
+struct HistoricalDeviationCheck {
+  std::string tree_name;
+  /// cophenetic(Canadian, French) < cophenetic(Canadian, US)?
+  bool canada_closer_to_france_than_us = false;
+  /// cophenetic(Indian Subcontinent, Northern Africa) < both
+  /// cophenetic(Indian, Thai) and cophenetic(Indian, Southeast Asian)?
+  bool india_closer_to_north_africa_than_neighbors = false;
+};
+
+/// Everything §VII reports.
+struct ValidationReport {
+  std::vector<TreeGeoSimilarity> tree_vs_geo;  // euclidean/cosine/jaccard/auth
+  std::vector<HistoricalDeviationCheck> deviations;
+
+  /// Convenience flags for the paper's two ordering claims.
+  bool euclidean_most_geographic_of_patterns = false;
+  bool authenticity_at_least_euclidean = false;
+};
+
+/// All pipeline outputs.
+struct PipelineResult {
+  Dataset dataset;
+  std::vector<CuisinePatterns> mined;
+  PatternFeatureSpace features;
+
+  std::optional<Dendrogram> euclidean_tree;   // Fig 2
+  std::optional<Dendrogram> cosine_tree;      // Fig 3
+  std::optional<Dendrogram> jaccard_tree;     // Fig 4
+  std::optional<Dendrogram> authenticity_tree;  // Fig 5
+  std::optional<Dendrogram> geo_tree;           // Fig 6
+
+  ElbowAnalysis elbow;                        // Fig 1
+  std::vector<Table1Row> table1;              // Table I
+  ValidationReport validation;                // §VII
+};
+
+/// Runs the whole pipeline on a freshly generated corpus.
+Result<PipelineResult> RunPipeline(const PipelineConfig& config = {});
+
+/// Runs the analysis stages on an existing corpus (e.g. loaded from CSV).
+/// The Table-1 comparison uses the calibrated specs matched by cuisine
+/// name; cuisines without a spec get an empty signature list.
+Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
+                                            const PipelineConfig& config = {});
+
+/// Computes the three geo-similarity scores of `tree` against `geo`.
+Result<TreeGeoSimilarity> CompareTreeToGeo(const std::string& name,
+                                           const Dendrogram& tree,
+                                           const Dendrogram& geo);
+
+/// Evaluates the §VII historical-deviation claims on one tree.
+Result<HistoricalDeviationCheck> CheckHistoricalDeviations(
+    const std::string& name, const Dendrogram& tree);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CORE_PIPELINE_H_

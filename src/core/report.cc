@@ -1,0 +1,103 @@
+#include "core/report.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "common/text_table.h"
+
+namespace cuisine {
+
+Result<std::vector<Table1Row>> BuildTable1(
+    const Dataset& dataset, const std::vector<CuisinePatterns>& mined,
+    const std::vector<CuisineSpec>& specs) {
+  std::vector<Table1Row> rows;
+  rows.reserve(mined.size());
+  const Vocabulary& vocab = dataset.vocabulary();
+  for (const CuisinePatterns& cp : mined) {
+    const CuisineSpec* spec = nullptr;
+    for (const CuisineSpec& s : specs) {
+      if (s.name == cp.cuisine_name) {
+        spec = &s;
+        break;
+      }
+    }
+    if (spec == nullptr) {
+      return Status::NotFound("no calibrated spec for cuisine: " +
+                              cp.cuisine_name);
+    }
+    Table1Row row;
+    row.region = cp.cuisine_name;
+    row.num_recipes = cp.num_recipes;
+    row.paper_pattern_count = spec->paper_pattern_count;
+    row.measured_pattern_count = cp.patterns.size();
+    for (const SignatureExpectation& sig : spec->signatures) {
+      SignatureComparison cmp;
+      cmp.pattern = sig.pattern;
+      cmp.paper_support = sig.support;
+      cmp.measured_support = cp.SupportOf(vocab, sig.pattern);
+      row.signatures.push_back(std::move(cmp));
+    }
+    auto top = cp.TopK(1);
+    if (!top.empty()) {
+      row.top_pattern = StringPattern(vocab, top[0].items);
+      row.top_pattern_support = top[0].support;
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string RenderTable1(const std::vector<Table1Row>& rows) {
+  TextTable table({"Region", "Recipes", "Signature pattern", "Paper supp",
+                   "Measured supp", "Paper #pat", "Measured #pat"});
+  for (const Table1Row& row : rows) {
+    bool first = true;
+    for (const SignatureComparison& sig : row.signatures) {
+      table.AddRow({first ? row.region : "",
+                    first ? FormatCount(row.num_recipes) : "",
+                    sig.pattern, FormatDouble(sig.paper_support, 2),
+                    sig.measured_support
+                        ? FormatDouble(*sig.measured_support, 2)
+                        : "-",
+                    first ? std::to_string(row.paper_pattern_count) : "",
+                    first ? std::to_string(row.measured_pattern_count) : ""});
+      first = false;
+    }
+    if (row.signatures.empty()) {
+      table.AddRow({row.region, FormatCount(row.num_recipes), "-", "-", "-",
+                    std::to_string(row.paper_pattern_count),
+                    std::to_string(row.measured_pattern_count)});
+    }
+  }
+  return table.Render();
+}
+
+Table1Accuracy ComputeTable1Accuracy(const std::vector<Table1Row>& rows) {
+  Table1Accuracy acc;
+  std::size_t n_sigs = 0;
+  std::size_t n_rows = 0;
+  for (const Table1Row& row : rows) {
+    for (const SignatureComparison& sig : row.signatures) {
+      if (!sig.measured_support) {
+        ++acc.signatures_missing;
+        continue;
+      }
+      double err = std::fabs(*sig.measured_support - sig.paper_support);
+      acc.mean_abs_support_error += err;
+      acc.max_abs_support_error = std::max(acc.max_abs_support_error, err);
+      ++n_sigs;
+    }
+    if (row.paper_pattern_count > 0) {
+      acc.mean_rel_count_error +=
+          std::fabs(static_cast<double>(row.measured_pattern_count) -
+                    static_cast<double>(row.paper_pattern_count)) /
+          static_cast<double>(row.paper_pattern_count);
+      ++n_rows;
+    }
+  }
+  if (n_sigs > 0) acc.mean_abs_support_error /= static_cast<double>(n_sigs);
+  if (n_rows > 0) acc.mean_rel_count_error /= static_cast<double>(n_rows);
+  return acc;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,61 @@
+// Table-I reporting: for each cuisine, the measured signature-pattern
+// supports and frequent-pattern counts next to the paper's values.
+
+#ifndef CUISINE_CORE_REPORT_H_
+#define CUISINE_CORE_REPORT_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/cuisine_profiles.h"
+#include "data/dataset.h"
+#include "mining/pattern_set.h"
+
+namespace cuisine {
+
+/// One signature-pattern comparison within a Table-I row.
+struct SignatureComparison {
+  std::string pattern;                   // display form ("a + b")
+  double paper_support = 0.0;
+  std::optional<double> measured_support;  // nullopt: not mined
+};
+
+/// One reproduced Table-I row.
+struct Table1Row {
+  std::string region;
+  std::size_t num_recipes = 0;
+  std::vector<SignatureComparison> signatures;
+  std::size_t paper_pattern_count = 0;
+  std::size_t measured_pattern_count = 0;
+  /// The highest-support mined pattern overall (informative: Table I lists
+  /// *significant* patterns, which need not be the absolute top).
+  std::string top_pattern;
+  double top_pattern_support = 0.0;
+};
+
+/// Builds the reproduced Table I by joining mined patterns with the
+/// calibrated specs' Table-I expectations. `mined` must be in dataset
+/// cuisine order (as produced by MineAllCuisines); `specs` are matched to
+/// cuisines by name.
+Result<std::vector<Table1Row>> BuildTable1(
+    const Dataset& dataset, const std::vector<CuisinePatterns>& mined,
+    const std::vector<CuisineSpec>& specs);
+
+/// Renders the comparison as an aligned text table.
+std::string RenderTable1(const std::vector<Table1Row>& rows);
+
+/// Summary error metrics over the table: mean absolute support error of
+/// measured vs paper signatures, and mean relative pattern-count error.
+struct Table1Accuracy {
+  double mean_abs_support_error = 0.0;
+  double max_abs_support_error = 0.0;
+  double mean_rel_count_error = 0.0;
+  std::size_t signatures_missing = 0;  // signatures not mined at all
+};
+Table1Accuracy ComputeTable1Accuracy(const std::vector<Table1Row>& rows);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_CORE_REPORT_H_

@@ -1,0 +1,801 @@
+#include "data/cuisine_profiles.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small builders
+// ---------------------------------------------------------------------------
+
+ProfileItem Ing(std::string name) {
+  return ProfileItem{std::move(name), ItemCategory::kIngredient};
+}
+ProfileItem Proc(std::string name) {
+  return ProfileItem{std::move(name), ItemCategory::kProcess};
+}
+ProfileItem Uten(std::string name) {
+  return ProfileItem{std::move(name), ItemCategory::kUtensil};
+}
+
+ProfileMotif M(std::vector<ProfileItem> items, double p) {
+  return ProfileMotif{std::move(items), p};
+}
+
+// Patterns are mined at minsup 0.2; motifs at or above this margin are
+// treated as reliably frequent by the analytic estimator, and calibration
+// targets below it are raised to it so threshold-edge signatures do not
+// vanish to sampling noise.
+constexpr double kEstimateThreshold = 0.215;
+
+// Frequent patterns produced by cross-products of independent motifs that
+// the subset estimator cannot see. Subtracted from the filler budget.
+constexpr int kCrossSlack = 3;
+
+bool SameItem(const ProfileItem& a, const ProfileItem& b) {
+  return CanonicalItemName(a.name) == CanonicalItemName(b.name);
+}
+
+bool MotifIntersects(const ProfileMotif& motif,
+                     const std::vector<ProfileItem>& items) {
+  for (const ProfileItem& mi : motif.items) {
+    for (const ProfileItem& i : items) {
+      if (SameItem(mi, i)) return true;
+    }
+  }
+  return false;
+}
+
+bool HasUtensil(const std::vector<ProfileItem>& items) {
+  for (const ProfileItem& i : items) {
+    if (i.category == ItemCategory::kUtensil) return true;
+  }
+  return false;
+}
+
+// Fraction of recipes generated without utensil information (must match
+// GeneratorOptions::no_utensil_fraction for utensil calibration to hold).
+constexpr double kNoUtensilFraction =
+    static_cast<double>(kPaperRecipesWithoutUtensils) / kPaperTotalRecipes;
+
+// The generator up-scales utensil-bearing motifs by 1/(1−f) and then
+// strips utensils from the f-fraction of no-utensil recipes. Calibration
+// of utensil itemsets therefore works in that *adjusted* probability
+// space (see Calibrate below).
+double AdjustedProbability(const ProfileMotif& motif) {
+  if (!HasUtensil(motif.items)) return motif.probability;
+  return std::min(0.98, motif.probability / (1.0 - kNoUtensilFraction));
+}
+
+// Exact probability (under motif independence) that every item of `items`
+// appears in a recipe, via inclusion-exclusion over item subsets:
+//   P(all) = Σ_{S ⊆ items} (−1)^{|S|} P(none of S present),
+//   P(none of S) = Π over motifs intersecting S of (1 − p).
+// With `adjusted`, motif probabilities are the generator-adjusted ones.
+double ItemsetMarginal(const std::vector<ProfileMotif>& motifs,
+                       const std::vector<ProfileItem>& items, bool adjusted) {
+  const std::size_t k = items.size();
+  CUISINE_CHECK_GT(k, 0u);
+  CUISINE_CHECK_LE(k, 16u);
+  double total = 0.0;
+  for (std::size_t mask = 0; mask < (1u << k); ++mask) {
+    std::vector<ProfileItem> subset;
+    for (std::size_t b = 0; b < k; ++b) {
+      if (mask & (1u << b)) subset.push_back(items[b]);
+    }
+    double none = 1.0;
+    if (!subset.empty()) {
+      for (const ProfileMotif& motif : motifs) {
+        if (MotifIntersects(motif, subset)) {
+          none *= (1.0 - (adjusted ? AdjustedProbability(motif)
+                                   : motif.probability));
+        }
+      }
+    }
+    total += (std::popcount(mask) % 2 == 0) ? none : -none;
+  }
+  return total;
+}
+
+// Adds a motif over `items` sized so that the itemset's *observed* support
+// equals `target` exactly (independence model). If the marginal already
+// meets the target nothing is added: calibration can only raise supports.
+//
+// Derivation: a new motif covering all of `items` with probability x
+// multiplies every "none of S" term (S nonempty) by (1−x), so
+//   1 − P_new(all) = (1 − x)(1 − P_old(all)).
+//
+// Utensil itemsets are handled in the generator-adjusted space: their
+// observed support is (1−f)·P_adj(all present), so we solve for the
+// adjusted top-up x_adj at target/(1−f) and store x = x_adj·(1−f), which
+// the generator's per-motif rescale maps back to x_adj.
+void Calibrate(CuisineSpec* spec, std::vector<ProfileItem> items,
+               double target) {
+  const bool utensil = HasUtensil(items);
+  const double scale = utensil ? 1.0 - kNoUtensilFraction : 1.0;
+  double eff_target = std::min(0.97, target / scale);
+  double current = ItemsetMarginal(spec->motifs, items, utensil);
+  double miss = 1.0 - current;
+  double want_miss = 1.0 - eff_target;
+  if (miss <= want_miss + 1e-9) return;  // already at/above target
+  double x_adj = 1.0 - want_miss / miss;
+  spec->motifs.push_back(M(std::move(items), x_adj * scale));
+}
+
+// Registers a Table-I expectation and calibrates the generator to it.
+// Targets below the reliability margin are calibrated to the margin so
+// the pattern is mined despite sampling noise (the reported expectation
+// keeps the paper's value).
+void SigCal(CuisineSpec* spec, std::vector<ProfileItem> items,
+            double table_support) {
+  std::vector<std::string> names;
+  for (const ProfileItem& i : items) names.push_back(i.name);
+  spec->signatures.push_back(
+      SignatureExpectation{Join(names, " + "), table_support});
+  Calibrate(spec, std::move(items), std::max(table_support, kEstimateThreshold));
+}
+
+// ---------------------------------------------------------------------------
+// Staples: pan-cuisine basics. These create the "skewed generic patterns"
+// the paper remarks on in §IV (salt / onion / add / cook everywhere).
+// ---------------------------------------------------------------------------
+
+struct StapleOverrides {
+  double salt = 0.37;
+  double onion = 0.14;
+};
+
+void AddStaples(CuisineSpec* spec, const StapleOverrides& o = {}) {
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("salt")}, o.salt));
+  m.push_back(M({Proc("add")}, 0.44));
+  m.push_back(M({Proc("heat")}, 0.31));
+  m.push_back(M({Proc("cook")}, 0.24));
+  m.push_back(M({Proc("mix")}, 0.23));
+  m.push_back(M({Proc("stir")}, 0.17));
+  m.push_back(M({Proc("chop")}, 0.12));
+  m.push_back(M({Proc("serve")}, 0.10));
+  m.push_back(M({Ing("onion")}, o.onion));
+  m.push_back(M({Ing("garlic")}, 0.10));
+  m.push_back(M({Ing("sugar")}, 0.10));
+  m.push_back(M({Ing("water")}, 0.12));
+  m.push_back(M({Ing("black pepper")}, 0.15));
+  m.push_back(M({Ing("egg")}, 0.12));
+  m.push_back(M({Ing("flour")}, 0.10));
+  m.push_back(M({Ing("butter")}, 0.08));
+  m.push_back(M({Uten("bowl")}, 0.24));
+  m.push_back(M({Uten("pan")}, 0.14));
+  m.push_back(M({Uten("pot")}, 0.10));
+  m.push_back(M({Uten("knife")}, 0.08));
+  m.push_back(M({Uten("oven")}, 0.10));
+  m.push_back(M({Uten("skillet")}, 0.06));
+}
+
+// ---------------------------------------------------------------------------
+// Regional blocks: itemsets shared across geographically / historically
+// related cuisines — what gives the Figs 2-6 dendrograms their structure.
+// The headline item of each block is left slightly *below* strength `s`
+// (0.8·s solo motif) so that Table-I signature calibration can top it up
+// to the exact reported support where the paper pins it.
+// Sub-threshold strengths are invisible to pattern mining but still move
+// the authenticity features (§VII's graded-relationships remark).
+// ---------------------------------------------------------------------------
+
+void EuroButterBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("butter"), Ing("salt")}, 0.45 * s));
+  m.push_back(M({Ing("cream")}, 0.55 * s));
+  m.push_back(M({Ing("butter")}, 0.65 * s));
+}
+
+void MediterraneanBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("olive oil"), Ing("garlic clove")}, 0.35 * s));
+  m.push_back(M({Ing("garlic clove")}, 0.60 * s));
+  m.push_back(M({Ing("tomato")}, 0.50 * s));
+  m.push_back(M({Ing("olive oil")}, 0.65 * s));
+}
+
+void EastAsianBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("soy sauce"), Proc("add"), Proc("heat")}, 0.33 * s));
+  m.push_back(M({Ing("ginger")}, 0.50 * s));
+  m.push_back(M({Ing("green onion")}, 0.50 * s));
+  m.push_back(M({Ing("sesame oil")}, 0.45 * s));
+  m.push_back(M({Ing("soy sauce")}, 0.65 * s));
+}
+
+void SoutheastAsianBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("fish sauce"), Proc("add"), Proc("heat")}, 0.33 * s));
+  m.push_back(M({Ing("coconut milk")}, 0.50 * s));
+  m.push_back(M({Ing("lime")}, 0.40 * s));
+  m.push_back(M({Ing("fish sauce")}, 0.65 * s));
+}
+
+void SpiceBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("cumin")}, 0.65 * s));
+  m.push_back(M({Ing("coriander")}, 0.60 * s));
+  m.push_back(M({Ing("cinnamon")}, 0.55 * s));
+  m.push_back(M({Ing("turmeric")}, 0.48 * s));
+  m.push_back(M({Ing("chili powder")}, 0.45 * s));
+  m.push_back(M({Ing("ginger")}, 0.35 * s));
+}
+
+void NewWorldBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Ing("cilantro")}, 0.65 * s));
+  m.push_back(M({Ing("lime juice")}, 0.45 * s));
+  m.push_back(M({Ing("corn")}, 0.40 * s));
+  m.push_back(M({Ing("black beans")}, 0.35 * s));
+  m.push_back(M({Ing("tortilla")}, 0.30 * s));
+}
+
+void AngloBakingBlock(CuisineSpec* spec, double s) {
+  if (s <= 0.0) return;
+  auto& m = spec->motifs;
+  m.push_back(M({Proc("bake"), Proc("preheat"), Uten("oven")}, 0.50 * s));
+  m.push_back(M({Proc("bake")}, 0.45 * s));
+  m.push_back(M({Proc("preheat")}, 0.35 * s));
+  m.push_back(M({Ing("vanilla")}, 0.30 * s));
+  m.push_back(M({Uten("oven")}, 0.65 * s));
+}
+
+// ---------------------------------------------------------------------------
+// Analytic pattern-count estimate (used by the filler budget): enumerates
+// every subset of every motif, accumulates the covered-by-motif marginal,
+// and counts distinct subsets clearing the threshold. Cross-products of
+// different motifs are not modelled (kCrossSlack covers the few that
+// matter).
+// ---------------------------------------------------------------------------
+
+using ItemKey = std::vector<std::string>;  // sorted canonical names
+
+std::size_t EstimatePatternCount(const std::vector<ProfileMotif>& motifs) {
+  std::map<ItemKey, double> complement;  // subset -> Π(1 − p) over coverers
+  for (const ProfileMotif& motif : motifs) {
+    const std::size_t k = motif.items.size();
+    CUISINE_CHECK_LE(k, 16u);
+    for (std::size_t mask = 1; mask < (1u << k); ++mask) {
+      ItemKey key;
+      for (std::size_t b = 0; b < k; ++b) {
+        if (mask & (1u << b)) {
+          key.push_back(CanonicalItemName(motif.items[b].name));
+        }
+      }
+      std::sort(key.begin(), key.end());
+      key.erase(std::unique(key.begin(), key.end()), key.end());
+      auto [it, inserted] = complement.emplace(std::move(key), 1.0);
+      it->second *= (1.0 - motif.probability);
+    }
+  }
+  std::size_t count = 0;
+  for (const auto& [key, comp] : complement) {
+    if (1.0 - comp >= kEstimateThreshold) ++count;
+  }
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Fillers: cuisine-specific correlated ingredient groups added to close
+// the gap between the structural motifs and Table I's per-cuisine pattern
+// count. A k-item motif above threshold contributes 2^k − 1 frequent
+// patterns at the cost of only k·p expected extra ingredients per recipe,
+// which keeps the ~10-ingredients-per-recipe average (§III) intact.
+// ---------------------------------------------------------------------------
+
+// A share of a cuisine's filler budget drawn from a named regional pool.
+// Pool templates are deterministic (same items, sizes and probabilities
+// for every cuisine using the pool), and every cuisine takes a *prefix*
+// of the pool's template sequence — so two cuisines sharing a pool mine a
+// common prefix of identical frequent patterns. This is what gives the
+// pattern feature space its regional overlap structure (Figs 2-4): the
+// real RecipeDB corpus shares regional pattern vocabulary the same way.
+struct PoolShare {
+  const char* pool;
+  double fraction;  // of the filler pattern budget
+};
+
+namespace filler_detail {
+
+// Template t of a pool: size cycles through {5,3,4,2,3}, probability
+// cycles through a small jittered band above the mining threshold.
+int TemplateSize(int t) {
+  // Ascending-first so cuisines with small filler budgets still take a
+  // shared template (regional overlap must reach the smallest cuisines).
+  static constexpr int kSizes[] = {2, 3, 4, 5, 3};
+  return kSizes[t % 5];
+}
+double TemplateProbability(int t) {
+  static constexpr double kProbs[] = {0.24, 0.23, 0.225, 0.22, 0.235};
+  return kProbs[t % 5];
+}
+// Frequent patterns a template contributes: all non-empty subsets.
+long TemplatePatterns(int t) { return (1L << TemplateSize(t)) - 1; }
+
+// Curated plausible ingredient names per regional pool, consumed in
+// template order. Names are globally unique (no collisions with staples,
+// block items or other pools) so the pools stay statistically disjoint.
+const std::vector<std::string>& PoolNames(const std::string& pool) {
+  static const std::map<std::string, std::vector<std::string>> kNames = {
+      {"west european",
+       {"thyme", "leek", "white wine", "dijon mustard", "shallot", "parsley",
+        "bay leaf", "celery", "carrot", "potato", "beef stock", "red wine",
+        "rosemary", "nutmeg", "chives", "creme fraiche", "gruyere", "bacon",
+        "apple", "mushroom", "tarragon", "cabbage", "horseradish",
+        "juniper"}},
+      {"mediterranean",
+       {"oregano", "feta", "eggplant", "zucchini", "chickpea", "lemon zest",
+        "capers", "olives", "pine nuts", "mint", "yogurt", "paprika",
+        "saffron", "sun dried tomato", "artichoke", "basil", "bell pepper",
+        "couscous", "tahini", "sumac", "red onion", "fennel", "halloumi",
+        "grape leaves"}},
+      {"east asian",
+       {"rice vinegar", "scallion", "tofu", "mirin", "star anise",
+        "bok choy", "hoisin sauce", "oyster sauce", "rice wine",
+        "sichuan pepper", "napa cabbage", "shiitake", "daikon", "seaweed",
+        "miso", "wasabi", "gochujang", "kimchi", "sake", "dashi", "udon",
+        "edamame", "five spice", "lotus root"}},
+      {"se asian",
+       {"lemongrass", "galangal", "thai basil", "kaffir lime leaf",
+        "shrimp paste", "palm sugar", "tamarind", "rice noodle",
+        "bird chili", "pandan", "peanut", "bean sprout", "fried shallot",
+        "jasmine rice", "curry paste", "coconut cream", "water spinach",
+        "holy basil", "sticky rice", "banana leaf", "mung bean",
+        "cilantro root", "dried shrimp", "fish paste"}},
+      {"indo african",
+       {"garam masala", "ghee", "cardamom", "clove", "fenugreek",
+        "mustard seed", "curry leaf", "basmati rice", "paneer", "red lentil",
+        "okra", "harissa", "preserved lemon", "ras el hanout", "dates",
+        "almond", "sesame seed", "rose water", "millet", "sorghum",
+        "berbere", "groundnut paste", "dried apricot", "pigeon pea"}},
+      {"new world",
+       {"avocado", "jalapeno", "queso fresco", "cacao", "epazote",
+        "plantain", "yucca", "achiote", "poblano", "tomatillo",
+        "pinto beans", "chipotle", "mexican oregano", "masa", "quinoa",
+        "aji amarillo", "sweet potato", "squash", "allspice", "habanero",
+        "hominy", "sofrito", "culantro", "annatto"}},
+  };
+  static const std::vector<std::string> kEmpty;
+  auto it = kNames.find(pool);
+  return it == kNames.end() ? kEmpty : it->second;
+}
+
+// Cumulative item count of templates 0..t-1 (offset of template t's
+// first item in the pool's name list).
+int TemplateItemOffset(int t) {
+  int offset = 0;
+  for (int i = 0; i < t; ++i) offset += TemplateSize(i);
+  return offset;
+}
+
+// Name of item `i` of template `t` in `pool`, falling back to a synthetic
+// name once the curated list is exhausted.
+std::string PoolItemName(const std::string& pool, int t, int i) {
+  int index = TemplateItemOffset(t) + i;
+  const auto& names = PoolNames(pool);
+  if (static_cast<std::size_t>(index) < names.size()) {
+    return names[static_cast<std::size_t>(index)];
+  }
+  return pool + " ingredient " + std::to_string(index);
+}
+
+}  // namespace filler_detail
+
+void AddFillers(CuisineSpec* spec, const std::vector<PoolShare>& shares = {}) {
+  std::size_t estimate = EstimatePatternCount(spec->motifs);
+  long need = static_cast<long>(spec->paper_pattern_count) -
+              static_cast<long>(estimate) - kCrossSlack;
+  if (need <= 0) {
+    spec->estimated_pattern_count = EstimatePatternCount(spec->motifs);
+    return;
+  }
+  double ingredient_budget = 7.0;  // expected extra ingredients per recipe
+
+  auto add_template_motif = [&](const std::string& prefix, int t) {
+    const int size = filler_detail::TemplateSize(t);
+    const double p = filler_detail::TemplateProbability(t);
+    std::vector<ProfileItem> items;
+    items.reserve(size);
+    for (int i = 0; i < size; ++i) {
+      items.push_back(Ing(filler_detail::PoolItemName(prefix, t, i)));
+    }
+    spec->motifs.push_back(M(std::move(items), p));
+    ingredient_budget -= size * p;
+  };
+
+  // 1. Regional pool prefixes. A template is taken only when at least
+  // half of its patterns are still needed, bounding the overshoot.
+  const long total_need = need;
+  for (const PoolShare& share : shares) {
+    long pool_target = static_cast<long>(share.fraction *
+                                         static_cast<double>(total_need));
+    int t = 0;
+    while (need > 0 && ingredient_budget > 0.3 &&
+           pool_target >= (filler_detail::TemplatePatterns(t) + 1) / 2) {
+      add_template_motif(share.pool, t);
+      pool_target -= filler_detail::TemplatePatterns(t);
+      need -= filler_detail::TemplatePatterns(t);
+      ++t;
+    }
+  }
+
+  // 2. Cuisine-unique remainder.
+  std::string slug = CanonicalItemName(spec->name);
+  int filler_index = 0;
+  auto make_unique_motif = [&](int size, double p) {
+    std::vector<ProfileItem> items;
+    items.reserve(size);
+    for (int i = 0; i < size; ++i) {
+      items.push_back(
+          Ing(slug + " specialty " + std::to_string(filler_index++)));
+    }
+    spec->motifs.push_back(M(std::move(items), p));
+    ingredient_budget -= size * p;
+  };
+  while (need > 0 && ingredient_budget > 0.3) {
+    if (need >= 31) {
+      make_unique_motif(5, 0.22);
+      need -= 31;
+    } else if (need >= 15) {
+      make_unique_motif(4, 0.225);
+      need -= 15;
+    } else if (need >= 7) {
+      make_unique_motif(3, 0.23);
+      need -= 7;
+    } else if (need >= 3) {
+      make_unique_motif(2, 0.235);
+      need -= 3;
+    } else {
+      make_unique_motif(1, 0.24);
+      need -= 1;
+    }
+  }
+  spec->estimated_pattern_count = EstimatePatternCount(spec->motifs);
+}
+
+CuisineSpec MakeSpec(std::string name, std::size_t recipes, double lat,
+                     double lon, std::size_t paper_patterns) {
+  CuisineSpec s;
+  s.name = std::move(name);
+  s.recipe_count = recipes;
+  s.latitude = lat;
+  s.longitude = lon;
+  s.paper_pattern_count = paper_patterns;
+  return s;
+}
+
+}  // namespace
+
+// The 26 cuisines in Table-I order. Each entry: staples, regional blocks,
+// then SigCal calls for every Table-I expectation (larger itemsets first —
+// calibrating a compound raises its members' marginals, so singles are
+// topped up afterwards), then fillers to close the pattern-count gap.
+std::vector<CuisineSpec> BuildWorldCuisineSpecs() {
+  std::vector<CuisineSpec> specs;
+  specs.reserve(26);
+
+  {
+    // Australian: Butter @ 0.24, 29 patterns.
+    CuisineSpec s = MakeSpec("Australian", 5823, -25.0, 134.0, 29);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.15);
+    AngloBakingBlock(&s, 0.24);
+    SigCal(&s, {Ing("butter")}, 0.24);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Belgian: Butter + salt @ 0.24, 51 patterns.
+    CuisineSpec s = MakeSpec("Belgian", 1060, 50.8, 4.4, 51);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.26);
+    SigCal(&s, {Ing("butter"), Ing("salt")}, 0.24);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Canadian: Onion @ 0.20, 31 patterns. The EuroButter strength encodes
+    // the French colonial tie (§VII: Canadian clusters with French, not US).
+    CuisineSpec s = MakeSpec("Canadian", 6700, 56.0, -106.0, 31);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.28);
+    AngloBakingBlock(&s, 0.24);
+    SigCal(&s, {Ing("onion")}, 0.20);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Caribbean: Garlic Clove @ 0.24, 32 patterns.
+    CuisineSpec s = MakeSpec("Caribbean", 3026, 18.0, -72.0, 32);
+    s.tail_region = "new world";
+    AddStaples(&s);
+    NewWorldBlock(&s, 0.17);
+    SpiceBlock(&s, 0.12);
+    SigCal(&s, {Ing("garlic clove")}, 0.24);
+    AddFillers(&s, {{"new world", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Central American: Onion @ 0.30, 38 patterns.
+    CuisineSpec s = MakeSpec("Central American", 460, 12.8, -85.0, 38);
+    s.tail_region = "new world";
+    AddStaples(&s);
+    NewWorldBlock(&s, 0.28);
+    SigCal(&s, {Ing("onion")}, 0.30);
+    AddFillers(&s, {{"new world", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Chinese and Mongolian: Soy sauce + add + heat @ 0.27, 88 patterns.
+    CuisineSpec s = MakeSpec("Chinese and Mongolian", 5896, 38.0, 105.0, 88);
+    s.tail_region = "east asian";
+    AddStaples(&s);
+    EastAsianBlock(&s, 0.50);
+    SoutheastAsianBlock(&s, 0.08);
+    SigCal(&s, {Ing("soy sauce"), Proc("add"), Proc("heat")}, 0.27);
+    AddFillers(&s, {{"east asian", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Deutschland: Onion @ 0.29, 54 patterns.
+    CuisineSpec s = MakeSpec("Deutschland", 4323, 51.0, 10.0, 54);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.24);
+    SigCal(&s, {Ing("onion")}, 0.29);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Eastern European: Cream @ 0.30, 60 patterns.
+    CuisineSpec s = MakeSpec("Eastern European", 2503, 50.0, 25.0, 60);
+    s.tail_region = "west european";
+    StapleOverrides o;
+    o.onion = 0.22;
+    AddStaples(&s, o);
+    EuroButterBlock(&s, 0.20);
+    SigCal(&s, {Ing("cream")}, 0.30);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // French: skillet @ 0.21, 60 patterns.
+    CuisineSpec s = MakeSpec("French", 6381, 46.6, 2.2, 60);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.32);
+    MediterraneanBlock(&s, 0.12);
+    SigCal(&s, {Uten("skillet")}, 0.21);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Greek: Olive Oil @ 0.40, 43 patterns.
+    CuisineSpec s = MakeSpec("Greek", 4185, 39.0, 22.0, 43);
+    s.tail_region = "mediterranean";
+    AddStaples(&s);
+    MediterraneanBlock(&s, 0.40);
+    SigCal(&s, {Ing("olive oil")}, 0.40);
+    AddFillers(&s, {{"mediterranean", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Indian Subcontinent: Onion + add + heat + salt @ 0.22, 119 patterns.
+    CuisineSpec s = MakeSpec("Indian Subcontinent", 6464, 22.0, 78.0, 119);
+    s.tail_region = "indo african";
+    StapleOverrides o;
+    o.onion = 0.18;
+    AddStaples(&s, o);
+    SpiceBlock(&s, 0.40);  // shared with Northern Africa (§VII)
+    SigCal(&s, {Ing("onion"), Proc("add"), Proc("heat"), Ing("salt")}, 0.22);
+    AddFillers(&s, {{"indo african", 0.75}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Irish: Butter @ 0.32, 41 patterns.
+    CuisineSpec s = MakeSpec("Irish", 2532, 53.3, -7.7, 41);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.25);
+    AngloBakingBlock(&s, 0.22);
+    SigCal(&s, {Ing("butter")}, 0.32);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Italian: Parmesan cheese @ 0.31, 63 patterns.
+    CuisineSpec s = MakeSpec("Italian", 16582, 42.8, 12.8, 63);
+    s.tail_region = "mediterranean";
+    AddStaples(&s);
+    MediterraneanBlock(&s, 0.30);
+    SigCal(&s, {Ing("parmesan cheese")}, 0.31);
+    AddFillers(&s, {{"mediterranean", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Japanese: Soy Sauce @ 0.45, 45 patterns.
+    CuisineSpec s = MakeSpec("Japanese", 2041, 36.5, 138.0, 45);
+    s.tail_region = "east asian";
+    AddStaples(&s);
+    EastAsianBlock(&s, 0.45);
+    SigCal(&s, {Ing("soy sauce")}, 0.45);
+    AddFillers(&s, {{"east asian", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Mexican: cilantro @ 0.25, 33 patterns.
+    CuisineSpec s = MakeSpec("Mexican", 14463, 23.6, -102.5, 33);
+    s.tail_region = "new world";
+    AddStaples(&s);
+    NewWorldBlock(&s, 0.25);
+    SpiceBlock(&s, 0.14);
+    SigCal(&s, {Ing("cilantro")}, 0.25);
+    AddFillers(&s, {{"new world", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Rest Africa: Onion + add + heat @ 0.20, 51 patterns.
+    CuisineSpec s = MakeSpec("Rest Africa", 2740, 0.0, 20.0, 51);
+    s.tail_region = "indo african";
+    AddStaples(&s);
+    SpiceBlock(&s, 0.17);
+    MediterraneanBlock(&s, 0.10);
+    SigCal(&s, {Ing("onion"), Proc("add"), Proc("heat")}, 0.20);
+    AddFillers(&s, {{"indo african", 0.60}, {"mediterranean", 0.20}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // South American: Onion + salt @ 0.21, 62 patterns.
+    CuisineSpec s = MakeSpec("South American", 7176, -15.0, -60.0, 62);
+    s.tail_region = "new world";
+    AddStaples(&s);
+    NewWorldBlock(&s, 0.19);
+    MediterraneanBlock(&s, 0.12);
+    SigCal(&s, {Ing("onion"), Ing("salt")}, 0.21);
+    AddFillers(&s, {{"new world", 0.70}, {"mediterranean", 0.15}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Southeast Asian: Fish sauce @ 0.24, 69 patterns.
+    CuisineSpec s = MakeSpec("Southeast Asian", 1940, 5.0, 110.0, 69);
+    s.tail_region = "se asian";
+    AddStaples(&s);
+    SoutheastAsianBlock(&s, 0.24);
+    EastAsianBlock(&s, 0.17);
+    SigCal(&s, {Ing("fish sauce")}, 0.24);
+    AddFillers(&s, {{"se asian", 0.60}, {"east asian", 0.25}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Spanish and Portuguese: Olive Oil @ 0.31, 67 patterns.
+    CuisineSpec s = MakeSpec("Spanish and Portuguese", 2844, 40.0, -4.0, 67);
+    s.tail_region = "mediterranean";
+    AddStaples(&s);
+    MediterraneanBlock(&s, 0.31);
+    SigCal(&s, {Ing("olive oil")}, 0.31);
+    AddFillers(&s, {{"mediterranean", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Thai: Fish sauce + add + heat @ 0.23, 73 patterns.
+    CuisineSpec s = MakeSpec("Thai", 2605, 15.8, 101.0, 73);
+    s.tail_region = "se asian";
+    AddStaples(&s);
+    SoutheastAsianBlock(&s, 0.42);
+    EastAsianBlock(&s, 0.14);
+    SigCal(&s, {Ing("fish sauce"), Proc("add"), Proc("heat")}, 0.23);
+    AddFillers(&s, {{"se asian", 0.60}, {"east asian", 0.25}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Korean: Soy sauce + sesame oil @ 0.34 and
+    //         green onion + sesame oil @ 0.24; 85 patterns.
+    CuisineSpec s = MakeSpec("Korean", 668, 36.5, 128.0, 85);
+    s.tail_region = "east asian";
+    AddStaples(&s);
+    EastAsianBlock(&s, 0.30);
+    SigCal(&s, {Ing("soy sauce"), Ing("sesame oil")}, 0.34);
+    SigCal(&s, {Ing("green onion"), Ing("sesame oil")}, 0.24);
+    AddFillers(&s, {{"east asian", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Middle Eastern: Salt + bowl @ 0.22 and Lemon Juice @ 0.22; 46 patterns.
+    CuisineSpec s = MakeSpec("Middle Eastern", 3905, 29.0, 45.0, 46);
+    s.tail_region = "mediterranean";
+    AddStaples(&s);
+    MediterraneanBlock(&s, 0.18);
+    SpiceBlock(&s, 0.15);
+    SigCal(&s, {Ing("salt"), Uten("bowl")}, 0.22);
+    SigCal(&s, {Ing("lemon juice")}, 0.22);
+    AddFillers(&s, {{"mediterranean", 0.55}, {"indo african", 0.30}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Northern Africa: cumin + cinnamon @ 0.21, cumin + olive oil @ 0.22,
+    // cumin + salt @ 0.22; 134 patterns (the richest cuisine in Table I).
+    CuisineSpec s = MakeSpec("Northern Africa", 1611, 28.0, 10.0, 134);
+    s.tail_region = "indo african";
+    AddStaples(&s);
+    SpiceBlock(&s, 0.30);  // shared with the Indian Subcontinent (§VII)
+    MediterraneanBlock(&s, 0.22);
+    SigCal(&s, {Ing("cumin"), Ing("cinnamon")}, 0.21);
+    SigCal(&s, {Ing("cumin"), Ing("olive oil")}, 0.22);
+    SigCal(&s, {Ing("cumin"), Ing("salt")}, 0.22);
+    AddFillers(&s, {{"indo african", 0.45}, {"mediterranean", 0.40}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // Scandinavian: Butter + Salt @ 0.22 and Salt + Sugar @ 0.21; 52.
+    CuisineSpec s = MakeSpec("Scandinavian", 2811, 62.0, 15.0, 52);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.24);
+    AngloBakingBlock(&s, 0.23);
+    SigCal(&s, {Ing("butter"), Ing("salt")}, 0.22);
+    SigCal(&s, {Ing("salt"), Ing("sugar")}, 0.21);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // UK: Butter @ 0.37 and Salt + Sugar @ 0.21; 45 patterns.
+    CuisineSpec s = MakeSpec("UK", 4401, 54.0, -2.5, 45);
+    s.tail_region = "west european";
+    AddStaples(&s);
+    EuroButterBlock(&s, 0.30);
+    AngloBakingBlock(&s, 0.30);
+    SigCal(&s, {Ing("salt"), Ing("sugar")}, 0.21);
+    SigCal(&s, {Ing("butter")}, 0.37);
+    AddFillers(&s, {{"west european", 0.85}});
+    specs.push_back(std::move(s));
+  }
+  {
+    // US: Oven @ 0.46, Bake + preheat + oven + bowl @ 0.22, Onion @ 0.25;
+    // 67 patterns.
+    CuisineSpec s = MakeSpec("US", 5031, 39.8, -98.5, 67);
+    s.tail_region = "new world";
+    AddStaples(&s);
+    AngloBakingBlock(&s, 0.30);
+    EuroButterBlock(&s, 0.14);
+    NewWorldBlock(&s, 0.10);
+    SigCal(&s, {Proc("bake"), Proc("preheat"), Uten("oven"), Uten("bowl")},
+           0.22);
+    SigCal(&s, {Uten("oven")}, 0.46);
+    SigCal(&s, {Ing("onion")}, 0.25);
+    AddFillers(&s, {{"west european", 0.35}, {"new world", 0.45}});
+    specs.push_back(std::move(s));
+  }
+
+  std::size_t total = 0;
+  for (const CuisineSpec& s : specs) total += s.recipe_count;
+  CUISINE_CHECK_EQ(total, kPaperTotalRecipes);
+  return specs;
+}
+
+std::vector<std::string> WorldCuisineNames() {
+  std::vector<std::string> names;
+  for (const CuisineSpec& s : BuildWorldCuisineSpecs()) names.push_back(s.name);
+  return names;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,116 @@
+#include "data/dataset.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+std::string DatasetStats::ToString() const {
+  std::ostringstream os;
+  os << "recipes=" << FormatCount(num_recipes)
+     << " cuisines=" << num_cuisines
+     << " vocab(ingredients=" << FormatCount(num_ingredients)
+     << ", processes=" << num_processes << ", utensils=" << num_utensils
+     << ")"
+     << " per-recipe avg(ingredients=" << FormatDouble(avg_ingredients_per_recipe, 1)
+     << ", processes=" << FormatDouble(avg_processes_per_recipe, 1)
+     << ", utensils=" << FormatDouble(avg_utensils_per_recipe, 1) << ")"
+     << " recipes-without-utensils=" << FormatCount(recipes_without_utensils);
+  return os.str();
+}
+
+CuisineId Dataset::InternCuisine(std::string_view name) {
+  std::string key(name);
+  auto it = cuisine_index_.find(key);
+  if (it != cuisine_index_.end()) return it->second;
+  CuisineId id = static_cast<CuisineId>(cuisine_names_.size());
+  cuisine_index_.emplace(std::move(key), id);
+  cuisine_names_.emplace_back(name);
+  per_cuisine_.emplace_back();
+  return id;
+}
+
+CuisineId Dataset::FindCuisine(std::string_view name) const {
+  auto it = cuisine_index_.find(std::string(name));
+  return it == cuisine_index_.end() ? kInvalidCuisineId : it->second;
+}
+
+const std::string& Dataset::CuisineName(CuisineId id) const {
+  CUISINE_CHECK_LT(id, cuisine_names_.size());
+  return cuisine_names_[id];
+}
+
+Status Dataset::AddRecipe(Recipe recipe) {
+  if (recipe.cuisine >= cuisine_names_.size()) {
+    return Status::InvalidArgument(
+        "recipe references unknown cuisine id " +
+        std::to_string(recipe.cuisine));
+  }
+  for (ItemId item : recipe.items) {
+    if (item >= vocab_.size()) {
+      return Status::InvalidArgument("recipe references unknown item id " +
+                                     std::to_string(item));
+    }
+  }
+  recipe.Normalize();
+  recipe.id = static_cast<std::uint32_t>(recipes_.size());
+  per_cuisine_[recipe.cuisine].push_back(recipe.id);
+  recipes_.push_back(std::move(recipe));
+  return Status::OK();
+}
+
+const std::vector<std::uint32_t>& Dataset::CuisineRecipes(CuisineId id) const {
+  CUISINE_CHECK_LT(id, per_cuisine_.size());
+  return per_cuisine_[id];
+}
+
+std::size_t Dataset::CountRecipesWithItem(ItemId item) const {
+  std::size_t n = 0;
+  for (const Recipe& r : recipes_) {
+    if (r.Contains(item)) ++n;
+  }
+  return n;
+}
+
+std::size_t Dataset::CountRecipesWithItem(CuisineId cuisine,
+                                          ItemId item) const {
+  std::size_t n = 0;
+  for (std::uint32_t idx : CuisineRecipes(cuisine)) {
+    if (recipes_[idx].Contains(item)) ++n;
+  }
+  return n;
+}
+
+DatasetStats Dataset::ComputeStats() const {
+  DatasetStats s;
+  s.num_recipes = recipes_.size();
+  s.num_cuisines = cuisine_names_.size();
+  s.num_ingredients = vocab_.CategoryCount(ItemCategory::kIngredient);
+  s.num_processes = vocab_.CategoryCount(ItemCategory::kProcess);
+  s.num_utensils = vocab_.CategoryCount(ItemCategory::kUtensil);
+
+  std::size_t total[kNumItemCategories] = {0, 0, 0};
+  for (const Recipe& r : recipes_) {
+    std::size_t utensils_here = 0;
+    for (ItemId item : r.items) {
+      ItemCategory cat = vocab_.Category(item);
+      ++total[static_cast<int>(cat)];
+      if (cat == ItemCategory::kUtensil) ++utensils_here;
+    }
+    if (utensils_here == 0) ++s.recipes_without_utensils;
+  }
+  if (!recipes_.empty()) {
+    double n = static_cast<double>(recipes_.size());
+    s.avg_ingredients_per_recipe =
+        static_cast<double>(total[static_cast<int>(ItemCategory::kIngredient)]) / n;
+    s.avg_processes_per_recipe =
+        static_cast<double>(total[static_cast<int>(ItemCategory::kProcess)]) / n;
+    s.avg_utensils_per_recipe =
+        static_cast<double>(total[static_cast<int>(ItemCategory::kUtensil)]) / n;
+  }
+  return s;
+}
+
+}  // namespace cuisine

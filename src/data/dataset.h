@@ -1,0 +1,95 @@
+// Dataset: the RecipeDB-shaped corpus — a shared vocabulary, the 26
+// cuisine labels, and all recipes with per-cuisine index, plus the summary
+// statistics the paper reports in §III.
+
+#ifndef CUISINE_DATA_DATASET_H_
+#define CUISINE_DATA_DATASET_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/recipe.h"
+#include "data/vocabulary.h"
+
+namespace cuisine {
+
+/// Per-dataset summary statistics (paper §III).
+struct DatasetStats {
+  std::size_t num_recipes = 0;
+  std::size_t num_cuisines = 0;
+  std::size_t num_ingredients = 0;  // vocabulary sizes, not usage counts
+  std::size_t num_processes = 0;
+  std::size_t num_utensils = 0;
+  double avg_ingredients_per_recipe = 0.0;
+  double avg_processes_per_recipe = 0.0;
+  double avg_utensils_per_recipe = 0.0;
+  /// Recipes carrying no utensil information at all (paper: 14,601).
+  std::size_t recipes_without_utensils = 0;
+
+  std::string ToString() const;
+};
+
+/// In-memory recipe corpus grouped into cuisines.
+///
+/// Recipes are appended via AddRecipe and then the per-cuisine index is
+/// maintained incrementally; cuisine ids are interned on first use.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Mutable vocabulary (item interning happens through here).
+  Vocabulary& vocabulary() { return vocab_; }
+  const Vocabulary& vocabulary() const { return vocab_; }
+
+  /// Interns a cuisine name, returning its dense id.
+  CuisineId InternCuisine(std::string_view name);
+
+  /// Id for a cuisine name or kInvalidCuisineId.
+  CuisineId FindCuisine(std::string_view name) const;
+
+  /// Name of cuisine `id`; id must be valid.
+  const std::string& CuisineName(CuisineId id) const;
+
+  std::size_t num_cuisines() const { return cuisine_names_.size(); }
+  const std::vector<std::string>& cuisine_names() const {
+    return cuisine_names_;
+  }
+
+  /// Appends a recipe. `recipe.cuisine` must be a valid interned id and
+  /// `recipe.items` must reference interned items; the recipe is
+  /// normalized (sorted/deduped) and assigned its dataset-wide id.
+  Status AddRecipe(Recipe recipe);
+
+  std::size_t num_recipes() const { return recipes_.size(); }
+  const Recipe& recipe(std::size_t i) const { return recipes_[i]; }
+  const std::vector<Recipe>& recipes() const { return recipes_; }
+
+  /// Indices (into recipes()) of one cuisine's recipes, append order.
+  const std::vector<std::uint32_t>& CuisineRecipes(CuisineId id) const;
+
+  std::size_t CuisineRecipeCount(CuisineId id) const {
+    return CuisineRecipes(id).size();
+  }
+
+  /// Number of recipes (optionally restricted to one cuisine) containing
+  /// item `item`. O(recipes) — intended for tests and reports.
+  std::size_t CountRecipesWithItem(ItemId item) const;
+  std::size_t CountRecipesWithItem(CuisineId cuisine, ItemId item) const;
+
+  /// Computes §III-style statistics over the whole corpus.
+  DatasetStats ComputeStats() const;
+
+ private:
+  Vocabulary vocab_;
+  std::vector<std::string> cuisine_names_;
+  std::unordered_map<std::string, CuisineId> cuisine_index_;
+  std::vector<Recipe> recipes_;
+  std::vector<std::vector<std::uint32_t>> per_cuisine_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_DATA_DATASET_H_

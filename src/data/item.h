@@ -1,0 +1,43 @@
+// Typed items: a recipe is an unordered set of ingredients, processes and
+// utensils (paper §III). Items are interned to dense 32-bit ids by
+// `Vocabulary`; the category is a property of the id.
+
+#ifndef CUISINE_DATA_ITEM_H_
+#define CUISINE_DATA_ITEM_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace cuisine {
+
+/// Dense item identifier (index into the Vocabulary).
+using ItemId = std::uint32_t;
+
+/// Sentinel for "no such item".
+inline constexpr ItemId kInvalidItemId = 0xFFFFFFFFu;
+
+/// Which of the three entity kinds an item belongs to.
+enum class ItemCategory : std::uint8_t {
+  kIngredient = 0,
+  kProcess = 1,
+  kUtensil = 2,
+};
+
+inline constexpr int kNumItemCategories = 3;
+
+/// Stable display name for a category.
+inline std::string_view ItemCategoryName(ItemCategory c) {
+  switch (c) {
+    case ItemCategory::kIngredient:
+      return "ingredient";
+    case ItemCategory::kProcess:
+      return "process";
+    case ItemCategory::kUtensil:
+      return "utensil";
+  }
+  return "?";
+}
+
+}  // namespace cuisine
+
+#endif  // CUISINE_DATA_ITEM_H_

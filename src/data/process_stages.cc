@@ -1,0 +1,61 @@
+#include "data/process_stages.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace cuisine {
+
+CookingStage ProcessStage(const Vocabulary& vocab, ItemId item) {
+  static const std::unordered_map<std::string, CookingStage> kStages = {
+      {"preheat", CookingStage::kSetup},
+      {"chop", CookingStage::kPrep},
+      {"slice", CookingStage::kPrep},
+      {"dice", CookingStage::kPrep},
+      {"peel", CookingStage::kPrep},
+      {"marinate", CookingStage::kPrep},
+      {"add", CookingStage::kCombine},
+      {"mix", CookingStage::kCombine},
+      {"combine", CookingStage::kCombine},
+      {"whisk", CookingStage::kCombine},
+      {"heat", CookingStage::kHeat},
+      {"boil", CookingStage::kHeat},
+      {"fry", CookingStage::kHeat},
+      {"saute", CookingStage::kHeat},
+      {"cook", CookingStage::kCook},
+      {"bake", CookingStage::kCook},
+      {"simmer", CookingStage::kCook},
+      {"roast", CookingStage::kCook},
+      {"grill", CookingStage::kCook},
+      {"stir", CookingStage::kFinish},
+      {"garnish", CookingStage::kFinish},
+      {"serve", CookingStage::kFinish},
+  };
+  const std::string& name = vocab.Name(item);
+  auto it = kStages.find(name);
+  if (it != kStages.end()) return it->second;
+  // Deterministic pseudo-stage for synthetic techniques: spread across
+  // the prep..finish range based on the *name*, not the id, so the stage
+  // survives vocabulary renumbering (e.g. a CSV round trip).
+  return static_cast<CookingStage>(1 + Fnv1a(name) % 5);
+}
+
+std::vector<ItemId> OrderedProcessSteps(const Vocabulary& vocab,
+                                        const Recipe& recipe) {
+  std::vector<ItemId> steps;
+  for (ItemId item : recipe.items) {
+    if (vocab.Category(item) == ItemCategory::kProcess) {
+      steps.push_back(item);
+    }
+  }
+  std::sort(steps.begin(), steps.end(), [&](ItemId a, ItemId b) {
+    int sa = static_cast<int>(ProcessStage(vocab, a));
+    int sb = static_cast<int>(ProcessStage(vocab, b));
+    if (sa != sb) return sa < sb;
+    return vocab.Name(a) < vocab.Name(b);
+  });
+  return steps;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,43 @@
+// Canonical cooking-stage ordering of processes.
+//
+// RecipeDB recipes carry ordered instruction steps; the paper flattens
+// them to sets (§III) but names "Sequential Pattern Mining" in §VII and
+// lists process ordering as future work. This module reconstructs a
+// deterministic step ordering for a recipe: every process has a cooking
+// *stage* (prep -> combine -> heat -> finish), and a recipe's steps are
+// its process items ordered by (stage, item id). The ordering is a pure
+// function of the item set, so it survives CSV round trips.
+
+#ifndef CUISINE_DATA_PROCESS_STAGES_H_
+#define CUISINE_DATA_PROCESS_STAGES_H_
+
+#include <vector>
+
+#include "data/recipe.h"
+#include "data/vocabulary.h"
+
+namespace cuisine {
+
+/// Cooking stages in execution order.
+enum class CookingStage : int {
+  kSetup = 0,    // preheat
+  kPrep = 1,     // chop, slice, ...
+  kCombine = 2,  // add, mix, ...
+  kHeat = 3,     // heat, boil, fry, ...
+  kCook = 4,     // cook, bake, simmer, ...
+  kFinish = 5,   // stir, garnish, serve, ...
+};
+
+/// Stage of a process item. Named processes use the curated table;
+/// unknown processes get a deterministic stage derived from the name so
+/// the ordering is stable across runs and datasets.
+CookingStage ProcessStage(const Vocabulary& vocab, ItemId item);
+
+/// The recipe's process items ordered by (stage, canonical name) — the
+/// reconstructed step sequence fed to the sequential miner.
+std::vector<ItemId> OrderedProcessSteps(const Vocabulary& vocab,
+                                        const Recipe& recipe);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_DATA_PROCESS_STAGES_H_

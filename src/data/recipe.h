@@ -1,0 +1,43 @@
+// Recipe record: the paper treats each recipe as an *unordered set* of
+// ingredients, processes and utensils (§III). Items are stored as a sorted,
+// duplicate-free vector of ItemIds, which doubles as the transaction
+// representation fed to the miners.
+
+#ifndef CUISINE_DATA_RECIPE_H_
+#define CUISINE_DATA_RECIPE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "data/item.h"
+
+namespace cuisine {
+
+/// Dense cuisine identifier (index into Dataset::cuisine_names()).
+using CuisineId = std::uint16_t;
+
+inline constexpr CuisineId kInvalidCuisineId = 0xFFFFu;
+
+/// One recipe = cuisine label + sorted unique item set.
+struct Recipe {
+  std::uint32_t id = 0;
+  CuisineId cuisine = kInvalidCuisineId;
+  /// Sorted ascending, no duplicates.
+  std::vector<ItemId> items;
+
+  /// Sorts and dedups `items` (call after bulk insertion).
+  void Normalize() {
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+  }
+
+  /// Binary-search membership test; requires normalized items.
+  bool Contains(ItemId item) const {
+    return std::binary_search(items.begin(), items.end(), item);
+  }
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_DATA_RECIPE_H_

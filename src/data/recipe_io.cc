@@ -1,0 +1,80 @@
+#include "data/recipe_io.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+namespace {
+constexpr const char* kHeader[] = {"cuisine", "ingredients", "processes",
+                                   "utensils"};
+}  // namespace
+
+std::string DatasetToCsv(const Dataset& dataset) {
+  std::vector<CsvRow> rows;
+  rows.reserve(dataset.num_recipes() + 1);
+  rows.push_back({kHeader[0], kHeader[1], kHeader[2], kHeader[3]});
+  const Vocabulary& vocab = dataset.vocabulary();
+  for (const Recipe& r : dataset.recipes()) {
+    std::vector<std::string> by_cat[kNumItemCategories];
+    for (ItemId item : r.items) {
+      by_cat[static_cast<int>(vocab.Category(item))].push_back(
+          vocab.Name(item));
+    }
+    rows.push_back({dataset.CuisineName(r.cuisine),
+                    Join(by_cat[0], ";"), Join(by_cat[1], ";"),
+                    Join(by_cat[2], ";")});
+  }
+  return WriteCsv(rows);
+}
+
+Result<Dataset> DatasetFromCsv(const std::string& text) {
+  CUISINE_ASSIGN_OR_RETURN(std::vector<CsvRow> rows, ParseCsv(text));
+  if (rows.empty()) {
+    return Status::ParseError("empty dataset CSV");
+  }
+  const CsvRow& header = rows[0];
+  if (header.size() != 4 || header[0] != kHeader[0] ||
+      header[1] != kHeader[1] || header[2] != kHeader[2] ||
+      header[3] != kHeader[3]) {
+    return Status::ParseError(
+        "bad dataset CSV header; expected cuisine,ingredients,processes,"
+        "utensils");
+  }
+  Dataset ds;
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const CsvRow& row = rows[i];
+    if (row.size() != 4) {
+      return Status::ParseError("row " + std::to_string(i) + " has " +
+                                std::to_string(row.size()) +
+                                " fields, expected 4");
+    }
+    if (TrimWhitespace(row[0]).empty()) {
+      return Status::ParseError("row " + std::to_string(i) +
+                                " has an empty cuisine name");
+    }
+    Recipe recipe;
+    recipe.cuisine = ds.InternCuisine(TrimWhitespace(row[0]));
+    const ItemCategory cats[3] = {ItemCategory::kIngredient,
+                                  ItemCategory::kProcess,
+                                  ItemCategory::kUtensil};
+    for (int c = 0; c < 3; ++c) {
+      for (const std::string& name : SplitAndTrim(row[c + 1], ';')) {
+        recipe.items.push_back(ds.vocabulary().Intern(name, cats[c]));
+      }
+    }
+    CUISINE_RETURN_NOT_OK(ds.AddRecipe(std::move(recipe)));
+  }
+  return ds;
+}
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  return WriteStringToFile(path, DatasetToCsv(dataset));
+}
+
+Result<Dataset> LoadDatasetCsv(const std::string& path) {
+  CUISINE_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  return DatasetFromCsv(text);
+}
+
+}  // namespace cuisine

@@ -1,0 +1,35 @@
+// CSV import/export for datasets.
+//
+// Format (one recipe per record):
+//   cuisine,ingredients,processes,utensils
+// where the three item columns are ';'-separated canonical item names.
+// Loading rebuilds the vocabulary from the names actually used, so a
+// save/load round trip preserves recipes and per-cuisine structure but
+// not unused padding vocabulary (documented in DESIGN.md).
+
+#ifndef CUISINE_DATA_RECIPE_IO_H_
+#define CUISINE_DATA_RECIPE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+
+namespace cuisine {
+
+/// Serialises the dataset to CSV text (with header).
+std::string DatasetToCsv(const Dataset& dataset);
+
+/// Parses a dataset from CSV text produced by DatasetToCsv (or compatible
+/// hand-written files). Unknown columns are rejected.
+Result<Dataset> DatasetFromCsv(const std::string& text);
+
+/// Writes the dataset to `path`.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Loads a dataset from `path`.
+Result<Dataset> LoadDatasetCsv(const std::string& path);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_DATA_RECIPE_IO_H_

@@ -1,0 +1,91 @@
+#include "data/vocabulary.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace cuisine {
+
+ItemId Vocabulary::Intern(std::string_view name, ItemCategory category) {
+  std::string canon = CanonicalItemName(name);
+  CUISINE_CHECK(!canon.empty()) << "cannot intern empty item name";
+  auto alias_it = aliases_.find(canon);
+  if (alias_it != aliases_.end()) return alias_it->second;
+  auto it = index_.find(canon);
+  if (it != index_.end()) return it->second;
+  ItemId id = static_cast<ItemId>(names_.size());
+  index_.emplace(canon, id);
+  names_.push_back(std::move(canon));
+  categories_.push_back(category);
+  ++category_counts_[static_cast<int>(category)];
+  return id;
+}
+
+ItemId Vocabulary::Find(std::string_view name) const {
+  std::string canon = CanonicalItemName(name);
+  auto alias_it = aliases_.find(canon);
+  if (alias_it != aliases_.end()) return alias_it->second;
+  auto it = index_.find(canon);
+  return it == index_.end() ? kInvalidItemId : it->second;
+}
+
+Status Vocabulary::RegisterAlias(std::string_view alias,
+                                 std::string_view canonical_name) {
+  std::string alias_canon = CanonicalItemName(alias);
+  if (alias_canon.empty()) {
+    return Status::InvalidArgument("empty alias");
+  }
+  if (index_.count(alias_canon) || aliases_.count(alias_canon)) {
+    return Status::AlreadyExists("'" + alias_canon +
+                                 "' is already a name or alias");
+  }
+  std::string target = CanonicalItemName(canonical_name);
+  auto it = index_.find(target);
+  if (it == index_.end()) {
+    // Allow chaining onto an existing alias's target.
+    auto alias_it = aliases_.find(target);
+    if (alias_it == aliases_.end()) {
+      return Status::NotFound("unknown canonical item: " + target);
+    }
+    aliases_.emplace(std::move(alias_canon), alias_it->second);
+    return Status::OK();
+  }
+  aliases_.emplace(std::move(alias_canon), it->second);
+  return Status::OK();
+}
+
+bool Vocabulary::IsAlias(std::string_view name) const {
+  return aliases_.count(CanonicalItemName(name)) > 0;
+}
+
+Result<ItemId> Vocabulary::Require(std::string_view name) const {
+  ItemId id = Find(name);
+  if (id == kInvalidItemId) {
+    return Status::InvalidArgument("unknown item: " + std::string(name));
+  }
+  return id;
+}
+
+const std::string& Vocabulary::Name(ItemId id) const {
+  CUISINE_CHECK_LT(id, names_.size());
+  return names_[id];
+}
+
+ItemCategory Vocabulary::Category(ItemId id) const {
+  CUISINE_CHECK_LT(id, categories_.size());
+  return categories_[id];
+}
+
+std::size_t Vocabulary::CategoryCount(ItemCategory category) const {
+  return category_counts_[static_cast<int>(category)];
+}
+
+std::vector<ItemId> Vocabulary::CategoryItems(ItemCategory category) const {
+  std::vector<ItemId> out;
+  out.reserve(CategoryCount(category));
+  for (ItemId id = 0; id < names_.size(); ++id) {
+    if (categories_[id] == category) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace cuisine

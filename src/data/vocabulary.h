@@ -1,0 +1,86 @@
+// Interned vocabulary of recipe items.
+//
+// Maps canonical item names (see CanonicalItemName) to dense ItemIds and
+// records each item's category. The RecipeDB reproduction uses one shared
+// vocabulary across all 26 cuisines so that ids are comparable everywhere.
+
+#ifndef CUISINE_DATA_VOCABULARY_H_
+#define CUISINE_DATA_VOCABULARY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "data/item.h"
+
+namespace cuisine {
+
+/// Bidirectional name <-> id map with per-item categories.
+///
+/// Ids are assigned densely in insertion order; lookups are O(1).
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Interns `name` (canonicalised) with the given category; returns the
+  /// existing id if already present. Re-interning with a *different*
+  /// category keeps the original category (first writer wins) — RecipeDB
+  /// item names are unique across categories in practice.
+  ItemId Intern(std::string_view name, ItemCategory category);
+
+  /// Id for `name`, or kInvalidItemId if absent. `name` is canonicalised
+  /// before lookup.
+  ItemId Find(std::string_view name) const;
+
+  /// Id for `name`, or InvalidArgument if absent.
+  Result<ItemId> Require(std::string_view name) const;
+
+  /// Canonical name of `id`. `id` must be valid.
+  const std::string& Name(ItemId id) const;
+
+  /// Category of `id`. `id` must be valid.
+  ItemCategory Category(ItemId id) const;
+
+  /// Number of interned items.
+  std::size_t size() const { return names_.size(); }
+
+  /// Number of items in one category.
+  std::size_t CategoryCount(ItemCategory category) const;
+
+  /// All ids in one category, ascending.
+  std::vector<ItemId> CategoryItems(ItemCategory category) const;
+
+  bool Contains(std::string_view name) const {
+    return Find(name) != kInvalidItemId;
+  }
+
+  /// Registers `alias` as an alternative name for the existing item
+  /// `canonical_name` ("scallion" -> "green onion"). Afterwards Find and
+  /// Intern of the alias resolve to the canonical item's id. Handling
+  /// ingredient aliases is the paper's own future-work item (§VIII).
+  ///
+  /// Errors: NotFound if `canonical_name` is unknown; AlreadyExists if
+  /// `alias` is already a primary name or an alias; InvalidArgument for
+  /// an empty alias.
+  Status RegisterAlias(std::string_view alias,
+                       std::string_view canonical_name);
+
+  /// True iff `name` resolves through the alias table.
+  bool IsAlias(std::string_view name) const;
+
+  /// Number of registered aliases.
+  std::size_t alias_count() const { return aliases_.size(); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<ItemCategory> categories_;
+  std::unordered_map<std::string, ItemId> index_;
+  std::unordered_map<std::string, ItemId> aliases_;
+  std::size_t category_counts_[kNumItemCategories] = {0, 0, 0};
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_DATA_VOCABULARY_H_

@@ -1,0 +1,41 @@
+#include "geo/geo_cluster.h"
+
+#include "geo/haversine.h"
+
+namespace cuisine {
+
+CondensedDistanceMatrix GeoDistanceMatrix(const std::vector<Region>& regions) {
+  CondensedDistanceMatrix d(regions.size());
+  for (std::size_t i = 0; i + 1 < regions.size(); ++i) {
+    for (std::size_t j = i + 1; j < regions.size(); ++j) {
+      d.set(i, j, HaversineKm(regions[i].latitude, regions[i].longitude,
+                              regions[j].latitude, regions[j].longitude));
+    }
+  }
+  return d;
+}
+
+Result<CondensedDistanceMatrix> GeoDistanceMatrixFor(
+    const std::vector<std::string>& cuisine_names) {
+  std::vector<Region> regions;
+  regions.reserve(cuisine_names.size());
+  for (const std::string& name : cuisine_names) {
+    std::optional<Region> r = FindRegion(name);
+    if (!r) {
+      return Status::NotFound("no geographic region for cuisine: " + name);
+    }
+    regions.push_back(*r);
+  }
+  return GeoDistanceMatrix(regions);
+}
+
+Result<Dendrogram> GeoCluster(const std::vector<std::string>& cuisine_names,
+                              LinkageMethod method) {
+  CUISINE_ASSIGN_OR_RETURN(CondensedDistanceMatrix d,
+                           GeoDistanceMatrixFor(cuisine_names));
+  CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,
+                           HierarchicalCluster(d, method));
+  return Dendrogram::FromLinkage(steps, cuisine_names);
+}
+
+}  // namespace cuisine

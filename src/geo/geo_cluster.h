@@ -1,0 +1,33 @@
+// Geographic clustering of cuisine regions (paper Fig 6): haversine
+// pairwise distances between region centroids, then HAC — the validation
+// reference the pattern/authenticity trees are compared against.
+
+#ifndef CUISINE_GEO_GEO_CLUSTER_H_
+#define CUISINE_GEO_GEO_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "cluster/linkage.h"
+#include "cluster/pdist.h"
+#include "common/status.h"
+#include "geo/regions.h"
+
+namespace cuisine {
+
+/// Haversine distances (km) between the given regions, condensed.
+CondensedDistanceMatrix GeoDistanceMatrix(const std::vector<Region>& regions);
+
+/// Resolves `cuisine_names` against WorldRegions() (NotFound on a miss)
+/// and returns their pairwise haversine distances in the given order.
+Result<CondensedDistanceMatrix> GeoDistanceMatrixFor(
+    const std::vector<std::string>& cuisine_names);
+
+/// Full Fig-6 pipeline: geo distances for `cuisine_names` + HAC.
+Result<Dendrogram> GeoCluster(const std::vector<std::string>& cuisine_names,
+                              LinkageMethod method = LinkageMethod::kAverage);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_GEO_GEO_CLUSTER_H_

@@ -1,0 +1,29 @@
+// Great-circle distance between two (lat, lon) points.
+
+#ifndef CUISINE_GEO_HAVERSINE_H_
+#define CUISINE_GEO_HAVERSINE_H_
+
+#include <cmath>
+
+namespace cuisine {
+
+inline constexpr double kEarthRadiusKm = 6371.0;
+
+/// Haversine great-circle distance in kilometres. Inputs in degrees.
+inline double HaversineKm(double lat1, double lon1, double lat2, double lon2) {
+  constexpr double kDegToRad = M_PI / 180.0;
+  double phi1 = lat1 * kDegToRad;
+  double phi2 = lat2 * kDegToRad;
+  double dphi = (lat2 - lat1) * kDegToRad;
+  double dlambda = (lon2 - lon1) * kDegToRad;
+  double a = std::sin(dphi / 2) * std::sin(dphi / 2) +
+             std::cos(phi1) * std::cos(phi2) * std::sin(dlambda / 2) *
+                 std::sin(dlambda / 2);
+  // Clamp against floating-point drift before asin.
+  a = a < 0.0 ? 0.0 : (a > 1.0 ? 1.0 : a);
+  return 2.0 * kEarthRadiusKm * std::asin(std::sqrt(a));
+}
+
+}  // namespace cuisine
+
+#endif  // CUISINE_GEO_HAVERSINE_H_

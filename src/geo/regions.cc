@@ -1,0 +1,27 @@
+#include "geo/regions.h"
+
+#include "data/cuisine_profiles.h"
+
+namespace cuisine {
+
+const std::vector<Region>& WorldRegions() {
+  // Derived from the calibrated cuisine specs so the geo module can never
+  // drift out of sync with the generator's region list.
+  static const std::vector<Region> kRegions = [] {
+    std::vector<Region> regions;
+    for (const CuisineSpec& spec : BuildWorldCuisineSpecs()) {
+      regions.push_back(Region{spec.name, spec.latitude, spec.longitude});
+    }
+    return regions;
+  }();
+  return kRegions;
+}
+
+std::optional<Region> FindRegion(const std::string& cuisine_name) {
+  for (const Region& r : WorldRegions()) {
+    if (r.name == cuisine_name) return r;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,33 @@
+// Geographic ground truth for the 26 cuisine regions (paper Fig 6): a
+// representative centroid per region plus helpers to look regions up by
+// cuisine name.
+
+#ifndef CUISINE_GEO_REGIONS_H_
+#define CUISINE_GEO_REGIONS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cuisine {
+
+/// One cuisine region's geographic anchor.
+struct Region {
+  std::string name;  // matches the Dataset cuisine name exactly
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// The 26 regions in Table-I order, with representative centroids
+/// (multi-country regions use the area centroid of the dominant
+/// recipe-contributing countries).
+const std::vector<Region>& WorldRegions();
+
+/// Region for `cuisine_name`, or nullopt.
+std::optional<Region> FindRegion(const std::string& cuisine_name);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_GEO_REGIONS_H_

@@ -1,0 +1,125 @@
+// Apriori (Agrawal & Srikant, VLDB 1994) — the paper's reference [1] and
+// our level-wise baseline: generate size-(k+1) candidates by prefix join
+// of frequent size-k itemsets, prune by the anti-monotone property, then
+// count supports with one database scan per level.
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+// Joins two sorted k-itemsets sharing their first k-1 items into a
+// (k+1)-candidate; returns false when the prefixes differ.
+bool JoinPrefix(const std::vector<ItemId>& a, const std::vector<ItemId>& b,
+                std::vector<ItemId>* out) {
+  std::size_t k = a.size();
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  if (a[k - 1] >= b[k - 1]) return false;
+  *out = a;
+  out->push_back(b[k - 1]);
+  return true;
+}
+
+// True iff every k-subset of `candidate` is frequent.
+bool AllSubsetsFrequent(
+    const std::vector<ItemId>& candidate,
+    const std::unordered_set<Itemset, ItemsetHash>& frequent_k) {
+  std::vector<ItemId> subset(candidate.size() - 1);
+  for (std::size_t skip = 0; skip < candidate.size(); ++skip) {
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < candidate.size(); ++i) {
+      if (i != skip) subset[j++] = candidate[i];
+    }
+    if (!frequent_k.count(Itemset(subset))) return false;
+  }
+  return true;
+}
+
+// True iff sorted `needle` ⊆ sorted `haystack`.
+bool SortedSubset(const std::vector<ItemId>& needle,
+                  const std::vector<ItemId>& haystack) {
+  return std::includes(haystack.begin(), haystack.end(), needle.begin(),
+                       needle.end());
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> MineApriori(const TransactionDb& db,
+                                                 const MinerOptions& options) {
+  CUISINE_RETURN_NOT_OK(options.Validate());
+  std::vector<FrequentItemset> out;
+  if (db.empty()) return out;
+
+  const std::size_t min_count = options.MinCount(db.size());
+  const double n = static_cast<double>(db.size());
+
+  // Level 1.
+  std::unordered_map<ItemId, std::size_t> counts;
+  for (const auto& t : db.transactions()) {
+    for (ItemId item : t) ++counts[item];
+  }
+  std::vector<std::vector<ItemId>> level;  // frequent k-itemsets, sorted ids
+  for (const auto& [item, count] : counts) {
+    if (count >= min_count) {
+      level.push_back({item});
+      out.push_back(FrequentItemset{Itemset({item}), count, count / n});
+    }
+  }
+  std::sort(level.begin(), level.end());
+
+  std::size_t k = 1;
+  while (!level.empty()) {
+    ++k;
+    if (options.max_pattern_size != 0 && k > options.max_pattern_size) break;
+
+    // Candidate generation with subset pruning.
+    std::unordered_set<Itemset, ItemsetHash> frequent_k(level.size());
+    for (const auto& items : level) frequent_k.insert(Itemset(items));
+
+    std::vector<std::vector<ItemId>> candidates;
+    for (std::size_t i = 0; i < level.size(); ++i) {
+      for (std::size_t j = i + 1; j < level.size(); ++j) {
+        std::vector<ItemId> cand;
+        if (!JoinPrefix(level[i], level[j], &cand)) {
+          // level is sorted: once prefixes diverge, later j's diverge too.
+          break;
+        }
+        if (AllSubsetsFrequent(cand, frequent_k)) {
+          candidates.push_back(std::move(cand));
+        }
+      }
+    }
+    if (candidates.empty()) break;
+
+    // Support counting: one scan.
+    std::vector<std::size_t> cand_counts(candidates.size(), 0);
+    for (const auto& t : db.transactions()) {
+      if (t.size() < k) continue;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (SortedSubset(candidates[c], t)) ++cand_counts[c];
+      }
+    }
+
+    std::vector<std::vector<ItemId>> next_level;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (cand_counts[c] >= min_count) {
+        out.push_back(FrequentItemset{Itemset(candidates[c]), cand_counts[c],
+                                      cand_counts[c] / n});
+        next_level.push_back(std::move(candidates[c]));
+      }
+    }
+    std::sort(next_level.begin(), next_level.end());
+    level = std::move(next_level);
+  }
+
+  SortPatternsCanonical(&out);
+  return out;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,98 @@
+#include "mining/association_rules.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace cuisine {
+
+std::string AssociationRule::ToString(const Vocabulary& vocab) const {
+  std::string out = "{" + antecedent.ToString(vocab) + "} => {" +
+                    consequent.ToString(vocab) + "}";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                " (supp=%.3f conf=%.3f lift=%.2f)", support, confidence,
+                lift);
+  out += buf;
+  return out;
+}
+
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& patterns, const RuleOptions& options) {
+  if (options.min_confidence < 0.0 || options.min_confidence > 1.0) {
+    return Status::InvalidArgument("min_confidence must be in [0, 1]");
+  }
+  std::unordered_map<Itemset, double, ItemsetHash> support;
+  support.reserve(patterns.size());
+  for (const FrequentItemset& p : patterns) {
+    support.emplace(p.items, p.support);
+  }
+
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& p : patterns) {
+    const std::size_t k = p.items.size();
+    if (k < 2) continue;
+    if (k > 20) {
+      return Status::InvalidArgument(
+          "itemset too large for exhaustive rule enumeration (size " +
+          std::to_string(k) + ")");
+    }
+    const auto& ids = p.items.items();
+    // Every proper non-empty subset as antecedent.
+    for (std::uint32_t mask = 1; mask + 1 < (1u << k); ++mask) {
+      std::vector<ItemId> ante, cons;
+      for (std::size_t b = 0; b < k; ++b) {
+        if (mask & (1u << b)) {
+          ante.push_back(ids[b]);
+        } else {
+          cons.push_back(ids[b]);
+        }
+      }
+      if (options.max_antecedent_size != 0 &&
+          ante.size() > options.max_antecedent_size) {
+        continue;
+      }
+      Itemset antecedent(std::move(ante));
+      Itemset consequent(std::move(cons));
+      auto ante_it = support.find(antecedent);
+      auto cons_it = support.find(consequent);
+      if (ante_it == support.end() || cons_it == support.end()) {
+        return Status::NotFound(
+            "pattern collection is not downward-closed: missing subset "
+            "support (was the complete miner output supplied?)");
+      }
+      double confidence = p.support / ante_it->second;
+      if (confidence + 1e-12 < options.min_confidence) continue;
+      double cons_support = cons_it->second;
+      double lift = confidence / cons_support;
+      if (lift + 1e-12 < options.min_lift) continue;
+
+      AssociationRule rule;
+      rule.antecedent = std::move(antecedent);
+      rule.consequent = std::move(consequent);
+      rule.support = p.support;
+      rule.confidence = confidence;
+      rule.lift = lift;
+      rule.leverage = p.support - ante_it->second * cons_support;
+      rule.conviction =
+          confidence >= 1.0
+              ? std::numeric_limits<double>::infinity()
+              : (1.0 - cons_support) / (1.0 - confidence);
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+void SortRulesByLift(std::vector<AssociationRule>* rules) {
+  std::sort(rules->begin(), rules->end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              if (a.confidence != b.confidence)
+                return a.confidence > b.confidence;
+              if (a.antecedent != b.antecedent)
+                return a.antecedent < b.antecedent;
+              return a.consequent < b.consequent;
+            });
+}
+
+}  // namespace cuisine

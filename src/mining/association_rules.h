@@ -1,0 +1,55 @@
+// Association-rule generation from mined frequent itemsets
+// (antecedent => consequent with confidence / lift / leverage / conviction).
+//
+// The paper frames its pattern analysis as "association rule discovery and
+// frequent pattern mining" [1]; rules power the pattern-explorer example
+// and the rule-quality tests.
+
+#ifndef CUISINE_MINING_ASSOCIATION_RULES_H_
+#define CUISINE_MINING_ASSOCIATION_RULES_H_
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "mining/itemset.h"
+
+namespace cuisine {
+
+/// One association rule antecedent => consequent.
+struct AssociationRule {
+  Itemset antecedent;
+  Itemset consequent;
+  double support = 0.0;     // support(antecedent ∪ consequent)
+  double confidence = 0.0;  // support(A ∪ C) / support(A)
+  double lift = 0.0;        // confidence / support(C)
+  double leverage = 0.0;    // support(A∪C) − support(A)·support(C)
+  /// (1 − support(C)) / (1 − confidence); +inf for confidence 1.
+  double conviction = 0.0;
+
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// Rule-generation thresholds.
+struct RuleOptions {
+  double min_confidence = 0.5;
+  double min_lift = 0.0;
+  /// Maximum antecedent size; 0 = unlimited.
+  std::size_t max_antecedent_size = 0;
+};
+
+/// Generates all rules from `patterns` meeting the thresholds.
+///
+/// `patterns` must be the *complete* frequent-itemset collection for its
+/// database (every subset of every pattern present) — miner outputs
+/// satisfy this; a violation yields NotFound for the missing subset.
+Result<std::vector<AssociationRule>> GenerateRules(
+    const std::vector<FrequentItemset>& patterns, const RuleOptions& options);
+
+/// Sorts rules by descending lift, ties by descending confidence.
+void SortRulesByLift(std::vector<AssociationRule>* rules);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_ASSOCIATION_RULES_H_

@@ -1,0 +1,99 @@
+#include "mining/condensed_patterns.h"
+
+#include <algorithm>
+#include <map>
+
+namespace cuisine {
+namespace {
+
+// Groups pattern indices by size, largest first — a pattern's proper
+// supersets are all strictly larger, so the scans below only need to
+// look at bigger groups.
+std::map<std::size_t, std::vector<std::size_t>, std::greater<>>
+GroupBySize(const std::vector<FrequentItemset>& patterns) {
+  std::map<std::size_t, std::vector<std::size_t>, std::greater<>> groups;
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    groups[patterns[i].items.size()].push_back(i);
+  }
+  return groups;
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& patterns) {
+  auto groups = GroupBySize(patterns);
+  std::vector<FrequentItemset> closed;
+  for (const auto& [size, indices] : groups) {
+    for (std::size_t i : indices) {
+      bool has_equal_support_superset = false;
+      for (const auto& [bigger_size, bigger] : groups) {
+        if (bigger_size <= size) break;  // descending map: done
+        for (std::size_t j : bigger) {
+          if (patterns[j].count == patterns[i].count &&
+              patterns[j].items.ContainsAll(patterns[i].items)) {
+            has_equal_support_superset = true;
+            break;
+          }
+        }
+        if (has_equal_support_superset) break;
+      }
+      if (!has_equal_support_superset) closed.push_back(patterns[i]);
+    }
+  }
+  SortPatternsCanonical(&closed);
+  return closed;
+}
+
+std::vector<FrequentItemset> FilterMaximal(
+    const std::vector<FrequentItemset>& patterns) {
+  auto groups = GroupBySize(patterns);
+  std::vector<FrequentItemset> maximal;
+  for (const auto& [size, indices] : groups) {
+    for (std::size_t i : indices) {
+      bool has_frequent_superset = false;
+      for (const auto& [bigger_size, bigger] : groups) {
+        if (bigger_size <= size) break;
+        for (std::size_t j : bigger) {
+          if (patterns[j].items.ContainsAll(patterns[i].items)) {
+            has_frequent_superset = true;
+            break;
+          }
+        }
+        if (has_frequent_superset) break;
+      }
+      if (!has_frequent_superset) maximal.push_back(patterns[i]);
+    }
+  }
+  SortPatternsCanonical(&maximal);
+  return maximal;
+}
+
+Result<double> SupportFromClosed(const std::vector<FrequentItemset>& closed,
+                                 const Itemset& items) {
+  double best = -1.0;
+  for (const FrequentItemset& c : closed) {
+    if (c.items.ContainsAll(items)) best = std::max(best, c.support);
+  }
+  if (best < 0.0) {
+    return Status::NotFound("no closed superset: itemset is not frequent");
+  }
+  return best;
+}
+
+CondensationStats ComputeCondensationStats(
+    const std::vector<FrequentItemset>& patterns) {
+  CondensationStats stats;
+  stats.total = patterns.size();
+  stats.closed = FilterClosed(patterns).size();
+  stats.maximal = FilterMaximal(patterns).size();
+  if (stats.total > 0) {
+    stats.closed_ratio =
+        static_cast<double>(stats.closed) / static_cast<double>(stats.total);
+    stats.maximal_ratio =
+        static_cast<double>(stats.maximal) / static_cast<double>(stats.total);
+  }
+  return stats;
+}
+
+}  // namespace cuisine

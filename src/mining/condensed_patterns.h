@@ -1,0 +1,50 @@
+// Condensed pattern representations: closed and maximal frequent
+// itemsets.
+//
+// The paper's §VI-A deduplicates mined patterns via frozensets; the
+// principled equivalents are the *closed* patterns (no superset with the
+// same support — lossless: every frequent itemset's support is the
+// maximum support over its closed supersets) and the *maximal* patterns
+// (no frequent superset at all — lossy but smallest).
+
+#ifndef CUISINE_MINING_CONDENSED_PATTERNS_H_
+#define CUISINE_MINING_CONDENSED_PATTERNS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mining/itemset.h"
+
+namespace cuisine {
+
+/// Filters a complete frequent-itemset collection down to the closed
+/// ones. Input order does not matter; output is canonical order.
+std::vector<FrequentItemset> FilterClosed(
+    const std::vector<FrequentItemset>& patterns);
+
+/// Filters down to the maximal frequent itemsets (canonical order).
+std::vector<FrequentItemset> FilterMaximal(
+    const std::vector<FrequentItemset>& patterns);
+
+/// Reconstructs the support of `items` from a closed-pattern collection:
+/// the maximum support among closed supersets of `items`. NotFound when
+/// no closed superset exists (i.e. `items` was not frequent).
+Result<double> SupportFromClosed(const std::vector<FrequentItemset>& closed,
+                                 const Itemset& items);
+
+/// Summary of how much a condensed representation saves.
+struct CondensationStats {
+  std::size_t total = 0;
+  std::size_t closed = 0;
+  std::size_t maximal = 0;
+  double closed_ratio = 0.0;   // closed / total
+  double maximal_ratio = 0.0;  // maximal / total
+};
+
+/// Computes all three set sizes in one pass over `patterns`.
+CondensationStats ComputeCondensationStats(
+    const std::vector<FrequentItemset>& patterns);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_CONDENSED_PATTERNS_H_

@@ -1,0 +1,91 @@
+// Eclat: depth-first frequent-itemset mining over the vertical layout.
+// Each item maps to its sorted tid-list; extensions intersect tid-lists,
+// so support counting is a merge instead of a database scan.
+
+#include <algorithm>
+#include <map>
+
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+using TidList = std::vector<std::uint32_t>;
+
+TidList Intersect(const TidList& a, const TidList& b) {
+  TidList out;
+  out.reserve(std::min(a.size(), b.size()));
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+struct EclatContext {
+  std::size_t min_count = 1;
+  double n = 1.0;
+  std::size_t max_pattern_size = 0;
+  std::vector<FrequentItemset>* out = nullptr;
+};
+
+// `prefix_items` is the current itemset; `extensions` are (item, tidlist)
+// pairs with item > every prefix item, each already frequent.
+void Extend(const std::vector<ItemId>& prefix_items,
+            const std::vector<std::pair<ItemId, TidList>>& extensions,
+            EclatContext* ctx) {
+  for (std::size_t i = 0; i < extensions.size(); ++i) {
+    const auto& [item, tids] = extensions[i];
+    std::vector<ItemId> items = prefix_items;
+    items.push_back(item);
+    ctx->out->push_back(FrequentItemset{
+        Itemset(items), tids.size(),
+        static_cast<double>(tids.size()) / ctx->n});
+
+    if (ctx->max_pattern_size != 0 &&
+        items.size() >= ctx->max_pattern_size) {
+      continue;
+    }
+    std::vector<std::pair<ItemId, TidList>> next;
+    for (std::size_t j = i + 1; j < extensions.size(); ++j) {
+      TidList joint = Intersect(tids, extensions[j].second);
+      if (joint.size() >= ctx->min_count) {
+        next.emplace_back(extensions[j].first, std::move(joint));
+      }
+    }
+    if (!next.empty()) Extend(items, next, ctx);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> MineEclat(const TransactionDb& db,
+                                               const MinerOptions& options) {
+  CUISINE_RETURN_NOT_OK(options.Validate());
+  std::vector<FrequentItemset> out;
+  if (db.empty()) return out;
+
+  const std::size_t min_count = options.MinCount(db.size());
+
+  // Vertical layout (ordered map keeps extensions in ascending item order,
+  // which makes the enumeration canonical).
+  std::map<ItemId, TidList> vertical;
+  for (std::uint32_t tid = 0; tid < db.size(); ++tid) {
+    for (ItemId item : db[tid]) vertical[item].push_back(tid);
+  }
+
+  EclatContext ctx;
+  ctx.min_count = min_count;
+  ctx.n = static_cast<double>(db.size());
+  ctx.max_pattern_size = options.max_pattern_size;
+  ctx.out = &out;
+
+  std::vector<std::pair<ItemId, TidList>> roots;
+  for (auto& [item, tids] : vertical) {
+    if (tids.size() >= min_count) roots.emplace_back(item, std::move(tids));
+  }
+  Extend({}, roots, &ctx);
+
+  SortPatternsCanonical(&out);
+  return out;
+}
+
+}  // namespace cuisine

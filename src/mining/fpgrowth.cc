@@ -1,0 +1,94 @@
+// FP-Growth (mining frequent patterns without candidate generation).
+//
+// Recursively projects the FP-tree on each header item (ascending
+// frequency), emitting suffix-extended itemsets. Single-path subtrees are
+// enumerated directly (the classic optimization) when short enough.
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "mining/fptree.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+struct MineContext {
+  std::size_t min_count = 1;
+  std::size_t total_transactions = 0;
+  std::size_t max_pattern_size = 0;  // 0 = unlimited
+  std::vector<FrequentItemset>* out = nullptr;
+
+  bool SizeCapped(std::size_t size) const {
+    return max_pattern_size != 0 && size > max_pattern_size;
+  }
+
+  void Emit(Itemset items, std::size_t count) {
+    if (SizeCapped(items.size())) return;
+    FrequentItemset f;
+    f.items = std::move(items);
+    f.count = count;
+    f.support = static_cast<double>(count) /
+                static_cast<double>(total_transactions);
+    out->push_back(std::move(f));
+  }
+};
+
+void MineTree(const FpTree& tree, const Itemset& suffix, MineContext* ctx) {
+  // Single-path optimization (Han et al. §3.3): a chain of k nodes yields
+  // exactly the 2^k − 1 non-empty node subsets, each supported by the
+  // minimum count along the chosen nodes — no recursion needed.
+  if (tree.IsSinglePath()) {
+    auto path = tree.SinglePathItems();
+    if (!path.empty() && path.size() <= 20) {
+      for (std::uint32_t mask = 1; mask < (1u << path.size()); ++mask) {
+        std::vector<ItemId> items = suffix.items();
+        std::size_t count = std::numeric_limits<std::size_t>::max();
+        for (std::size_t b = 0; b < path.size(); ++b) {
+          if (mask & (1u << b)) {
+            items.push_back(path[b].first);
+            count = std::min(count, path[b].second);
+          }
+        }
+        ctx->Emit(Itemset(std::move(items)), count);
+      }
+      return;
+    }
+    // Pathologically long chains fall through to the generic recursion.
+  }
+  for (ItemId item : tree.HeaderItemsAscending()) {
+    std::size_t count = tree.ItemCount(item);
+    Itemset extended = suffix.With(item);
+    if (ctx->SizeCapped(extended.size())) continue;
+    ctx->Emit(extended, count);
+    FpTree conditional = tree.Conditional(item, ctx->min_count);
+    if (!conditional.empty()) {
+      MineTree(conditional, extended, ctx);
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FrequentItemset>> MineFpGrowth(const TransactionDb& db,
+                                                  const MinerOptions& options) {
+  CUISINE_RETURN_NOT_OK(options.Validate());
+  std::vector<FrequentItemset> out;
+  if (db.empty()) return out;
+
+  MineContext ctx;
+  ctx.min_count = options.MinCount(db.size());
+  ctx.total_transactions = db.size();
+  ctx.max_pattern_size = options.max_pattern_size;
+  ctx.out = &out;
+
+  FpTree tree(db, ctx.min_count);
+  if (!tree.empty()) {
+    MineTree(tree, Itemset(), &ctx);
+  }
+  SortPatternsCanonical(&out);
+  return out;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,153 @@
+#include "mining/fptree.h"
+
+#include <algorithm>
+
+namespace cuisine {
+
+FpTree::FpTree(const TransactionDb& db, std::size_t min_count) {
+  nodes_.emplace_back();  // root
+  if (min_count == 0) min_count = 1;  // "keep all" semantics
+
+  // Pass 1: global item counts.
+  std::unordered_map<ItemId, std::size_t> counts;
+  for (const auto& t : db.transactions()) {
+    for (ItemId item : t) ++counts[item];
+  }
+  for (const auto& [item, count] : counts) {
+    if (count >= min_count) {
+      header_.emplace(item, HeaderEntry{count, -1});
+    }
+  }
+  if (header_.empty()) return;
+
+  // Pass 2: insert ordered, filtered transactions.
+  for (const auto& t : db.transactions()) {
+    std::vector<ItemId> ordered = FilterAndOrder(t);
+    if (!ordered.empty()) Insert(ordered, 1);
+  }
+}
+
+std::vector<ItemId> FpTree::FilterAndOrder(
+    const std::vector<ItemId>& items) const {
+  std::vector<ItemId> out;
+  out.reserve(items.size());
+  for (ItemId item : items) {
+    if (header_.count(item)) out.push_back(item);
+  }
+  std::sort(out.begin(), out.end(), [&](ItemId a, ItemId b) {
+    std::size_t ca = header_.at(a).total_count;
+    std::size_t cb = header_.at(b).total_count;
+    if (ca != cb) return ca > cb;
+    return a < b;
+  });
+  return out;
+}
+
+void FpTree::Insert(const std::vector<ItemId>& ordered_items,
+                    std::size_t count) {
+  std::int32_t current = 0;  // root
+  for (ItemId item : ordered_items) {
+    std::int32_t child = -1;
+    for (const auto& [cid, cnode] : nodes_[current].children) {
+      if (cid == item) {
+        child = cnode;
+        break;
+      }
+    }
+    if (child < 0) {
+      child = static_cast<std::int32_t>(nodes_.size());
+      Node node;
+      node.item = item;
+      node.parent = current;
+      HeaderEntry& entry = header_.at(item);
+      node.header_next = entry.first_node;
+      entry.first_node = child;
+      // NOTE: push_back may reallocate; take children reference afterwards.
+      nodes_.push_back(std::move(node));
+      nodes_[current].children.emplace_back(item, child);
+    }
+    nodes_[child].count += count;
+    current = child;
+  }
+}
+
+std::vector<ItemId> FpTree::HeaderItemsAscending() const {
+  std::vector<ItemId> items;
+  items.reserve(header_.size());
+  for (const auto& [item, entry] : header_) items.push_back(item);
+  std::sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+    std::size_t ca = header_.at(a).total_count;
+    std::size_t cb = header_.at(b).total_count;
+    if (ca != cb) return ca < cb;
+    return a > b;
+  });
+  return items;
+}
+
+std::size_t FpTree::ItemCount(ItemId item) const {
+  auto it = header_.find(item);
+  return it == header_.end() ? 0 : it->second.total_count;
+}
+
+std::vector<std::pair<std::vector<ItemId>, std::size_t>>
+FpTree::ConditionalPatternBase(ItemId item) const {
+  std::vector<std::pair<std::vector<ItemId>, std::size_t>> base;
+  auto it = header_.find(item);
+  if (it == header_.end()) return base;
+  for (std::int32_t n = it->second.first_node; n >= 0;
+       n = nodes_[n].header_next) {
+    std::vector<ItemId> prefix;
+    for (std::int32_t p = nodes_[n].parent; p > 0; p = nodes_[p].parent) {
+      prefix.push_back(nodes_[p].item);
+    }
+    std::reverse(prefix.begin(), prefix.end());
+    if (!prefix.empty()) {
+      base.emplace_back(std::move(prefix), nodes_[n].count);
+    }
+  }
+  return base;
+}
+
+FpTree FpTree::Conditional(ItemId item, std::size_t min_count) const {
+  auto base = ConditionalPatternBase(item);
+
+  FpTree tree;
+  tree.nodes_.emplace_back();  // root
+
+  std::unordered_map<ItemId, std::size_t> counts;
+  for (const auto& [prefix, mult] : base) {
+    for (ItemId i : prefix) counts[i] += mult;
+  }
+  for (const auto& [i, count] : counts) {
+    if (count >= min_count) tree.header_.emplace(i, HeaderEntry{count, -1});
+  }
+  if (tree.header_.empty()) return tree;
+
+  for (const auto& [prefix, mult] : base) {
+    std::vector<ItemId> ordered = tree.FilterAndOrder(prefix);
+    if (!ordered.empty()) tree.Insert(ordered, mult);
+  }
+  return tree;
+}
+
+bool FpTree::IsSinglePath() const {
+  std::int32_t current = 0;
+  while (true) {
+    const auto& children = nodes_[current].children;
+    if (children.empty()) return true;
+    if (children.size() > 1) return false;
+    current = children[0].second;
+  }
+}
+
+std::vector<std::pair<ItemId, std::size_t>> FpTree::SinglePathItems() const {
+  std::vector<std::pair<ItemId, std::size_t>> path;
+  std::int32_t current = 0;
+  while (!nodes_[current].children.empty()) {
+    current = nodes_[current].children[0].second;
+    path.emplace_back(nodes_[current].item, nodes_[current].count);
+  }
+  return path;
+}
+
+}  // namespace cuisine

@@ -1,0 +1,86 @@
+// FP-tree (Han, Pei, Yin 2000): the prefix-tree structure behind
+// FP-Growth. Transactions are inserted with items reordered by descending
+// global frequency so that common prefixes share nodes; per-item header
+// chains link all nodes of an item for conditional-pattern-base extraction.
+
+#ifndef CUISINE_MINING_FPTREE_H_
+#define CUISINE_MINING_FPTREE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/item.h"
+#include "mining/transaction.h"
+
+namespace cuisine {
+
+/// Arena-allocated FP-tree with header table.
+class FpTree {
+ public:
+  /// Builds the tree over `db` keeping only items with absolute support
+  /// >= `min_count`.
+  FpTree(const TransactionDb& db, std::size_t min_count);
+
+  /// True iff no frequent item survived the threshold.
+  bool empty() const { return header_.empty(); }
+
+  /// Frequent items in ascending total-count order (the order FP-Growth
+  /// processes suffixes in).
+  std::vector<ItemId> HeaderItemsAscending() const;
+
+  /// Total count of `item` across the tree (0 if not frequent).
+  std::size_t ItemCount(ItemId item) const;
+
+  /// Conditional pattern base of `item`: for every tree path ending at an
+  /// `item` node, the prefix items (exclusive) with that node's count.
+  /// Returned as (transaction, multiplicity) pairs.
+  std::vector<std::pair<std::vector<ItemId>, std::size_t>>
+  ConditionalPatternBase(ItemId item) const;
+
+  /// Builds the conditional FP-tree for `item` at `min_count`.
+  FpTree Conditional(ItemId item, std::size_t min_count) const;
+
+  /// Number of tree nodes (excluding the root); exposed for tests and
+  /// memory accounting.
+  std::size_t NodeCount() const { return nodes_.size() - 1; }
+
+  /// True iff the tree consists of a single chain from the root.
+  bool IsSinglePath() const;
+
+  /// The (item, count) chain from the root, top-down. Only valid when
+  /// IsSinglePath(); counts are non-increasing along the chain.
+  std::vector<std::pair<ItemId, std::size_t>> SinglePathItems() const;
+
+ private:
+  struct Node {
+    ItemId item = kInvalidItemId;
+    std::size_t count = 0;
+    std::int32_t parent = -1;
+    std::int32_t header_next = -1;  // next node of the same item
+    // Children as (item, node index); linear scan — alphabets are small.
+    std::vector<std::pair<ItemId, std::int32_t>> children;
+  };
+
+  struct HeaderEntry {
+    std::size_t total_count = 0;
+    std::int32_t first_node = -1;
+  };
+
+  // Private raw constructor for Conditional().
+  FpTree() = default;
+
+  // Inserts one (ordered) transaction with multiplicity `count`.
+  void Insert(const std::vector<ItemId>& ordered_items, std::size_t count);
+
+  // Orders `items` by descending total count (ties: ascending id),
+  // dropping infrequent ones.
+  std::vector<ItemId> FilterAndOrder(const std::vector<ItemId>& items) const;
+
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+  std::unordered_map<ItemId, HeaderEntry> header_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_FPTREE_H_

@@ -1,0 +1,71 @@
+#include "mining/itemset.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace cuisine {
+
+Itemset::Itemset(std::vector<ItemId> items) : items_(std::move(items)) {
+  std::sort(items_.begin(), items_.end());
+  items_.erase(std::unique(items_.begin(), items_.end()), items_.end());
+}
+
+bool Itemset::Contains(ItemId item) const {
+  return std::binary_search(items_.begin(), items_.end(), item);
+}
+
+bool Itemset::ContainsAll(const Itemset& other) const {
+  return std::includes(items_.begin(), items_.end(), other.items_.begin(),
+                       other.items_.end());
+}
+
+Itemset Itemset::Union(const Itemset& other) const {
+  std::vector<ItemId> out;
+  out.reserve(items_.size() + other.items_.size());
+  std::set_union(items_.begin(), items_.end(), other.items_.begin(),
+                 other.items_.end(), std::back_inserter(out));
+  Itemset result;
+  result.items_ = std::move(out);
+  return result;
+}
+
+Itemset Itemset::Difference(const Itemset& other) const {
+  std::vector<ItemId> out;
+  std::set_difference(items_.begin(), items_.end(), other.items_.begin(),
+                      other.items_.end(), std::back_inserter(out));
+  Itemset result;
+  result.items_ = std::move(out);
+  return result;
+}
+
+Itemset Itemset::With(ItemId item) const {
+  std::vector<ItemId> out = items_;
+  out.push_back(item);
+  return Itemset(std::move(out));
+}
+
+std::string Itemset::ToString(const Vocabulary& vocab) const {
+  std::vector<std::string> names;
+  names.reserve(items_.size());
+  for (ItemId id : items_) names.push_back(vocab.Name(id));
+  std::sort(names.begin(), names.end());
+  return Join(names, " + ");
+}
+
+void SortPatternsCanonical(std::vector<FrequentItemset>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+}
+
+void SortPatternsBySupport(std::vector<FrequentItemset>* patterns) {
+  std::sort(patterns->begin(), patterns->end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.items < b.items;
+            });
+}
+
+}  // namespace cuisine

@@ -1,0 +1,82 @@
+// Canonical itemsets and the frequent-itemset result type shared by all
+// three miners (FP-Growth, Apriori, Eclat).
+
+#ifndef CUISINE_MINING_ITEMSET_H_
+#define CUISINE_MINING_ITEMSET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "data/item.h"
+#include "data/vocabulary.h"
+
+namespace cuisine {
+
+/// A canonical (sorted ascending, duplicate-free) set of item ids.
+class Itemset {
+ public:
+  Itemset() = default;
+
+  /// Canonicalises `items` (sorts + dedups).
+  explicit Itemset(std::vector<ItemId> items);
+
+  const std::vector<ItemId>& items() const { return items_; }
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  ItemId operator[](std::size_t i) const { return items_[i]; }
+
+  /// Binary-search membership.
+  bool Contains(ItemId item) const;
+
+  /// True iff every item of `other` is contained in *this.
+  bool ContainsAll(const Itemset& other) const;
+
+  /// Union / difference with canonical results.
+  Itemset Union(const Itemset& other) const;
+  Itemset Difference(const Itemset& other) const;
+
+  /// New itemset with `item` added.
+  Itemset With(ItemId item) const;
+
+  std::uint64_t Hash() const { return HashSequence(items_); }
+
+  bool operator==(const Itemset& other) const { return items_ == other.items_; }
+  bool operator!=(const Itemset& other) const { return !(*this == other); }
+  /// Lexicographic id order — the canonical sort for miner outputs.
+  bool operator<(const Itemset& other) const { return items_ < other.items_; }
+
+  /// "a + b + c" with names sorted lexicographically — the paper's
+  /// 'string pattern' canonical form (§VI-A).
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<ItemId> items_;
+};
+
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& s) const {
+    return static_cast<std::size_t>(s.Hash());
+  }
+};
+
+/// One mined frequent itemset.
+struct FrequentItemset {
+  Itemset items;
+  /// Absolute number of supporting transactions.
+  std::size_t count = 0;
+  /// count / |database|.
+  double support = 0.0;
+};
+
+/// Sorts patterns into the canonical order (itemset id-lexicographic),
+/// making miner outputs directly comparable.
+void SortPatternsCanonical(std::vector<FrequentItemset>* patterns);
+
+/// Sorts by descending support, ties by canonical itemset order.
+void SortPatternsBySupport(std::vector<FrequentItemset>* patterns);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_ITEMSET_H_

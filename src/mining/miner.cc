@@ -1,0 +1,47 @@
+#include "mining/miner.h"
+
+#include <cmath>
+
+namespace cuisine {
+
+std::size_t MinerOptions::MinCount(std::size_t num_transactions) const {
+  double raw = min_support * static_cast<double>(num_transactions);
+  auto count = static_cast<std::size_t>(std::ceil(raw - 1e-9));
+  return count == 0 ? 1 : count;
+}
+
+Status MinerOptions::Validate() const {
+  if (!(min_support > 0.0) || min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1], got " +
+                                   std::to_string(min_support));
+  }
+  return Status::OK();
+}
+
+std::string_view MinerAlgorithmName(MinerAlgorithm algo) {
+  switch (algo) {
+    case MinerAlgorithm::kFpGrowth:
+      return "fpgrowth";
+    case MinerAlgorithm::kApriori:
+      return "apriori";
+    case MinerAlgorithm::kEclat:
+      return "eclat";
+  }
+  return "?";
+}
+
+Result<std::vector<FrequentItemset>> Mine(MinerAlgorithm algo,
+                                          const TransactionDb& db,
+                                          const MinerOptions& options) {
+  switch (algo) {
+    case MinerAlgorithm::kFpGrowth:
+      return MineFpGrowth(db, options);
+    case MinerAlgorithm::kApriori:
+      return MineApriori(db, options);
+    case MinerAlgorithm::kEclat:
+      return MineEclat(db, options);
+  }
+  return Status::InvalidArgument("unknown miner algorithm");
+}
+
+}  // namespace cuisine

@@ -1,0 +1,62 @@
+// Common options & entry points for the three frequent-itemset miners.
+//
+// All miners return the *identical* complete set of frequent itemsets for
+// a given database and threshold (property-tested); they differ only in
+// algorithm and therefore runtime (see bench_miners).
+
+#ifndef CUISINE_MINING_MINER_H_
+#define CUISINE_MINING_MINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "mining/itemset.h"
+#include "mining/transaction.h"
+
+namespace cuisine {
+
+/// Threshold and bounds shared by all miners.
+struct MinerOptions {
+  /// Relative support threshold in (0, 1]. The paper uses 0.2 (§IV).
+  double min_support = 0.2;
+
+  /// Maximum itemset size to report; 0 = unlimited.
+  std::size_t max_pattern_size = 0;
+
+  /// Converts the relative threshold to an absolute transaction count
+  /// (ceil, at least 1).
+  std::size_t MinCount(std::size_t num_transactions) const;
+
+  /// Validates field ranges.
+  Status Validate() const;
+};
+
+/// Which algorithm to run (used by benches/ablation sweeps).
+enum class MinerAlgorithm {
+  kFpGrowth,
+  kApriori,
+  kEclat,
+};
+
+std::string_view MinerAlgorithmName(MinerAlgorithm algo);
+
+/// Mines all frequent itemsets with FP-Growth (Han et al., 2000).
+Result<std::vector<FrequentItemset>> MineFpGrowth(const TransactionDb& db,
+                                                  const MinerOptions& options);
+
+/// Mines all frequent itemsets with Apriori (Agrawal & Srikant, 1994).
+Result<std::vector<FrequentItemset>> MineApriori(const TransactionDb& db,
+                                                 const MinerOptions& options);
+
+/// Mines all frequent itemsets with Eclat (vertical tid-set intersection).
+Result<std::vector<FrequentItemset>> MineEclat(const TransactionDb& db,
+                                               const MinerOptions& options);
+
+/// Dispatches on `algo`.
+Result<std::vector<FrequentItemset>> Mine(MinerAlgorithm algo,
+                                          const TransactionDb& db,
+                                          const MinerOptions& options);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_MINER_H_

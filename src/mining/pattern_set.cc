@@ -1,0 +1,72 @@
+#include "mining/pattern_set.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace cuisine {
+
+std::string CanonicalStringPattern(const std::string& pattern) {
+  std::vector<std::string> parts;
+  for (const std::string& raw : Split(pattern, '+')) {
+    std::string canon = CanonicalItemName(raw);
+    if (!canon.empty()) parts.push_back(std::move(canon));
+  }
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  return Join(parts, " + ");
+}
+
+std::string StringPattern(const Vocabulary& vocab, const Itemset& items) {
+  return items.ToString(vocab);
+}
+
+std::optional<double> CuisinePatterns::SupportOf(
+    const Vocabulary& vocab, const std::string& string_pattern) const {
+  std::string target = CanonicalStringPattern(string_pattern);
+  for (const FrequentItemset& p : patterns) {
+    if (StringPattern(vocab, p.items) == target) return p.support;
+  }
+  return std::nullopt;
+}
+
+std::vector<FrequentItemset> CuisinePatterns::TopK(std::size_t k) const {
+  std::vector<FrequentItemset> out = patterns;
+  SortPatternsBySupport(&out);
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<CuisinePatterns>> MineAllCuisines(
+    const Dataset& dataset, const MinerOptions& options,
+    MinerAlgorithm algo) {
+  std::vector<CuisinePatterns> all;
+  all.reserve(dataset.num_cuisines());
+  for (CuisineId c = 0; c < dataset.num_cuisines(); ++c) {
+    TransactionDb db = TransactionDb::FromCuisine(dataset, c);
+    CUISINE_ASSIGN_OR_RETURN(std::vector<FrequentItemset> patterns,
+                             Mine(algo, db, options));
+    CuisinePatterns cp;
+    cp.cuisine = c;
+    cp.cuisine_name = dataset.CuisineName(c);
+    cp.num_recipes = db.size();
+    cp.patterns = std::move(patterns);
+    SortPatternsBySupport(&cp.patterns);
+    all.push_back(std::move(cp));
+  }
+  return all;
+}
+
+std::vector<std::string> UnionStringPatterns(
+    const Vocabulary& vocab, const std::vector<CuisinePatterns>& all) {
+  std::set<std::string> unique;
+  for (const CuisinePatterns& cp : all) {
+    for (const FrequentItemset& p : cp.patterns) {
+      unique.insert(StringPattern(vocab, p.items));
+    }
+  }
+  return {unique.begin(), unique.end()};
+}
+
+}  // namespace cuisine

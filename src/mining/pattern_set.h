@@ -1,0 +1,57 @@
+// Per-cuisine pattern collections and the paper's 'string pattern'
+// canonicalisation (§VI-A): every mined itemset is rendered as a sorted
+// "a + b + c" string; the union of string patterns across cuisines becomes
+// the categorical feature alphabet for clustering.
+
+#ifndef CUISINE_MINING_PATTERN_SET_H_
+#define CUISINE_MINING_PATTERN_SET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "mining/itemset.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+
+/// The mined patterns of a single cuisine.
+struct CuisinePatterns {
+  CuisineId cuisine = kInvalidCuisineId;
+  std::string cuisine_name;
+  std::size_t num_recipes = 0;
+  /// Sorted by descending support (ties canonical).
+  std::vector<FrequentItemset> patterns;
+
+  /// Support of the pattern whose canonical string form equals
+  /// `string_pattern` ("a + b + c", any order of " + "-separated names);
+  /// nullopt if not mined.
+  std::optional<double> SupportOf(const Vocabulary& vocab,
+                                  const std::string& string_pattern) const;
+
+  /// Top-k by support.
+  std::vector<FrequentItemset> TopK(std::size_t k) const;
+};
+
+/// Mines each cuisine separately (the paper's per-region FP-Growth runs).
+Result<std::vector<CuisinePatterns>> MineAllCuisines(
+    const Dataset& dataset, const MinerOptions& options,
+    MinerAlgorithm algo = MinerAlgorithm::kFpGrowth);
+
+/// Canonical string form of a pattern given as " + "-separated names
+/// (sorts the parts, canonicalises each name).
+std::string CanonicalStringPattern(const std::string& pattern);
+
+/// Canonical string form of a mined itemset.
+std::string StringPattern(const Vocabulary& vocab, const Itemset& items);
+
+/// The union of canonical string patterns across all cuisines, sorted —
+/// the label-encoding alphabet of §VI-A.
+std::vector<std::string> UnionStringPatterns(
+    const Vocabulary& vocab, const std::vector<CuisinePatterns>& all);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_PATTERN_SET_H_

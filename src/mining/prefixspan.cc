@@ -1,0 +1,143 @@
+#include "mining/prefixspan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/string_util.h"
+#include "data/process_stages.h"
+
+namespace cuisine {
+
+SequenceDb SequenceDb::FromCuisine(const Dataset& dataset,
+                                   CuisineId cuisine) {
+  SequenceDb db;
+  for (std::uint32_t idx : dataset.CuisineRecipes(cuisine)) {
+    db.Add(OrderedProcessSteps(dataset.vocabulary(), dataset.recipe(idx)));
+  }
+  return db;
+}
+
+std::string FrequentSequence::ToString(const Vocabulary& vocab) const {
+  std::vector<std::string> names;
+  names.reserve(sequence.size());
+  for (ItemId id : sequence) names.push_back(vocab.Name(id));
+  return Join(names, " -> ");
+}
+
+namespace {
+
+// A projected database: for each still-matching database sequence, the
+// offset from which further pattern elements may match.
+struct Projection {
+  std::uint32_t seq = 0;
+  std::uint32_t offset = 0;
+};
+
+struct SpanContext {
+  const SequenceDb* db = nullptr;
+  std::size_t min_count = 1;
+  std::size_t max_length = 0;
+  std::vector<FrequentSequence>* out = nullptr;
+};
+
+void Span(const std::vector<ItemId>& prefix,
+          const std::vector<Projection>& projections, SpanContext* ctx) {
+  if (ctx->max_length != 0 && prefix.size() >= ctx->max_length) return;
+
+  // Count each item's supporting sequences in the projected database
+  // (first occurrence at/after the offset).
+  std::map<ItemId, std::size_t> counts;  // ordered: deterministic output
+  for (const Projection& p : projections) {
+    const auto& seq = (*ctx->db)[p.seq];
+    // Distinct items in the suffix.
+    std::vector<ItemId> seen;
+    for (std::size_t i = p.offset; i < seq.size(); ++i) {
+      if (std::find(seen.begin(), seen.end(), seq[i]) == seen.end()) {
+        seen.push_back(seq[i]);
+        ++counts[seq[i]];
+      }
+    }
+  }
+
+  for (const auto& [item, count] : counts) {
+    if (count < ctx->min_count) continue;
+    std::vector<ItemId> extended = prefix;
+    extended.push_back(item);
+
+    FrequentSequence fs;
+    fs.sequence = extended;
+    fs.count = count;
+    fs.support = static_cast<double>(count) /
+                 static_cast<double>(ctx->db->size());
+    ctx->out->push_back(std::move(fs));
+
+    // Project: advance each sequence past its first occurrence of item.
+    std::vector<Projection> next;
+    next.reserve(count);
+    for (const Projection& p : projections) {
+      const auto& seq = (*ctx->db)[p.seq];
+      for (std::size_t i = p.offset; i < seq.size(); ++i) {
+        if (seq[i] == item) {
+          next.push_back(
+              Projection{p.seq, static_cast<std::uint32_t>(i + 1)});
+          break;
+        }
+      }
+    }
+    Span(extended, next, ctx);
+  }
+}
+
+}  // namespace
+
+Result<std::vector<FrequentSequence>> MinePrefixSpan(
+    const SequenceDb& db, const SequenceMinerOptions& options) {
+  if (!(options.min_support > 0.0) || options.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0, 1]");
+  }
+  std::vector<FrequentSequence> out;
+  if (db.empty()) return out;
+
+  double raw = options.min_support * static_cast<double>(db.size());
+  std::size_t min_count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(raw - 1e-9)));
+
+  SpanContext ctx;
+  ctx.db = &db;
+  ctx.min_count = min_count;
+  ctx.max_length = options.max_length;
+  ctx.out = &out;
+
+  std::vector<Projection> all;
+  all.reserve(db.size());
+  for (std::uint32_t i = 0; i < db.size(); ++i) {
+    all.push_back(Projection{i, 0});
+  }
+  Span({}, all, &ctx);
+
+  std::sort(out.begin(), out.end(),
+            [](const FrequentSequence& a, const FrequentSequence& b) {
+              if (a.sequence.size() != b.sequence.size()) {
+                return a.sequence.size() < b.sequence.size();
+              }
+              return a.sequence < b.sequence;
+            });
+  return out;
+}
+
+std::size_t CountContainingSequences(const SequenceDb& db,
+                                     const std::vector<ItemId>& pattern) {
+  std::size_t count = 0;
+  for (std::size_t s = 0; s < db.size(); ++s) {
+    const auto& seq = db[s];
+    std::size_t matched = 0;
+    for (ItemId item : seq) {
+      if (matched < pattern.size() && item == pattern[matched]) ++matched;
+    }
+    if (matched == pattern.size()) ++count;
+  }
+  return count;
+}
+
+}  // namespace cuisine

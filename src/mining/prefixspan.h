@@ -1,0 +1,75 @@
+// PrefixSpan sequential pattern mining (Pei et al., 2001) over ordered
+// item sequences — the sequential counterpart of FP-Growth, applied here
+// to reconstructed cooking-step sequences (see data/process_stages.h).
+//
+// A sequence s = <a, b, c> is *contained* in a database sequence t iff
+// s is a (not necessarily contiguous) subsequence of t; its support is
+// the fraction of database sequences containing it.
+
+#ifndef CUISINE_MINING_PREFIXSPAN_H_
+#define CUISINE_MINING_PREFIXSPAN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "data/item.h"
+
+namespace cuisine {
+
+/// Ordered-sequence database (duplicates within a sequence allowed).
+class SequenceDb {
+ public:
+  SequenceDb() = default;
+  explicit SequenceDb(std::vector<std::vector<ItemId>> sequences)
+      : sequences_(std::move(sequences)) {}
+
+  void Add(std::vector<ItemId> sequence) {
+    sequences_.push_back(std::move(sequence));
+  }
+
+  std::size_t size() const { return sequences_.size(); }
+  bool empty() const { return sequences_.empty(); }
+  const std::vector<ItemId>& operator[](std::size_t i) const {
+    return sequences_[i];
+  }
+
+  /// Builds the cooking-step sequence database of one cuisine
+  /// (OrderedProcessSteps of each recipe).
+  static SequenceDb FromCuisine(const Dataset& dataset, CuisineId cuisine);
+
+ private:
+  std::vector<std::vector<ItemId>> sequences_;
+};
+
+/// One mined sequential pattern.
+struct FrequentSequence {
+  std::vector<ItemId> sequence;
+  std::size_t count = 0;
+  double support = 0.0;
+
+  /// "a -> b -> c" rendering.
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// Sequential-miner thresholds.
+struct SequenceMinerOptions {
+  double min_support = 0.2;
+  /// Maximum pattern length; 0 = unlimited.
+  std::size_t max_length = 0;
+};
+
+/// Mines the complete set of frequent sequences with PrefixSpan.
+/// Output is sorted by (length, sequence) for determinism.
+Result<std::vector<FrequentSequence>> MinePrefixSpan(
+    const SequenceDb& db, const SequenceMinerOptions& options);
+
+/// Reference support counter (naive subsequence test) — used by tests to
+/// cross-check PrefixSpan counts.
+std::size_t CountContainingSequences(const SequenceDb& db,
+                                     const std::vector<ItemId>& pattern);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_PREFIXSPAN_H_

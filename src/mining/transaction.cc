@@ -1,0 +1,46 @@
+#include "mining/transaction.h"
+
+#include <algorithm>
+
+namespace cuisine {
+
+void TransactionDb::Add(std::vector<ItemId> transaction) {
+  std::sort(transaction.begin(), transaction.end());
+  transaction.erase(std::unique(transaction.begin(), transaction.end()),
+                    transaction.end());
+  transactions_.push_back(std::move(transaction));
+}
+
+std::size_t TransactionDb::ItemUniverseSize() const {
+  std::size_t max_id = 0;
+  bool any = false;
+  for (const auto& t : transactions_) {
+    if (!t.empty()) {
+      max_id = std::max(max_id, static_cast<std::size_t>(t.back()));
+      any = true;
+    }
+  }
+  return any ? max_id + 1 : 0;
+}
+
+TransactionDb TransactionDb::FromCuisine(const Dataset& dataset,
+                                         CuisineId cuisine) {
+  std::vector<std::vector<ItemId>> txs;
+  const auto& indices = dataset.CuisineRecipes(cuisine);
+  txs.reserve(indices.size());
+  for (std::uint32_t idx : indices) {
+    txs.push_back(dataset.recipe(idx).items);
+  }
+  return TransactionDb(std::move(txs));
+}
+
+TransactionDb TransactionDb::FromDataset(const Dataset& dataset) {
+  std::vector<std::vector<ItemId>> txs;
+  txs.reserve(dataset.num_recipes());
+  for (const Recipe& r : dataset.recipes()) {
+    txs.push_back(r.items);
+  }
+  return TransactionDb(std::move(txs));
+}
+
+}  // namespace cuisine

@@ -1,0 +1,54 @@
+// Transaction database: the miners' input format.
+//
+// A transaction is a sorted duplicate-free vector of ItemIds — exactly the
+// normalized `Recipe::items` representation, so building a per-cuisine
+// database from a Dataset is a cheap copy.
+
+#ifndef CUISINE_MINING_TRANSACTION_H_
+#define CUISINE_MINING_TRANSACTION_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/item.h"
+
+namespace cuisine {
+
+/// A bag of transactions over interned items.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+
+  /// Takes ownership of pre-built transactions; each must be sorted and
+  /// duplicate-free (normalized recipes are).
+  explicit TransactionDb(std::vector<std::vector<ItemId>> transactions)
+      : transactions_(std::move(transactions)) {}
+
+  /// Adds one transaction (canonicalises it).
+  void Add(std::vector<ItemId> transaction);
+
+  std::size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+  const std::vector<ItemId>& operator[](std::size_t i) const {
+    return transactions_[i];
+  }
+  const std::vector<std::vector<ItemId>>& transactions() const {
+    return transactions_;
+  }
+
+  /// Largest item id referenced + 1 (0 for an empty db).
+  std::size_t ItemUniverseSize() const;
+
+  /// Builds the transaction database of one cuisine's recipes.
+  static TransactionDb FromCuisine(const Dataset& dataset, CuisineId cuisine);
+
+  /// Builds the transaction database of the whole corpus.
+  static TransactionDb FromDataset(const Dataset& dataset);
+
+ private:
+  std::vector<std::vector<ItemId>> transactions_;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_MINING_TRANSACTION_H_

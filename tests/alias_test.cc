@@ -1,0 +1,91 @@
+// Tests for ingredient aliases (§VIII future work: "future analysis need
+// to account for the aliases").
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "data/vocabulary.h"
+
+namespace cuisine {
+namespace {
+
+TEST(AliasTest, RegisterAndResolve) {
+  Vocabulary v;
+  ItemId green_onion = v.Intern("green onion", ItemCategory::kIngredient);
+  ASSERT_TRUE(v.RegisterAlias("scallion", "green onion").ok());
+  EXPECT_EQ(v.Find("scallion"), green_onion);
+  EXPECT_EQ(v.Find("Scallion "), green_onion);  // canonicalised lookup
+  EXPECT_TRUE(v.IsAlias("scallion"));
+  EXPECT_FALSE(v.IsAlias("green onion"));
+  EXPECT_EQ(v.alias_count(), 1u);
+}
+
+TEST(AliasTest, InternOfAliasReturnsCanonicalId) {
+  Vocabulary v;
+  ItemId cilantro = v.Intern("cilantro", ItemCategory::kIngredient);
+  ASSERT_TRUE(v.RegisterAlias("fresh coriander", "cilantro").ok());
+  // Interning the alias must NOT create a new item.
+  EXPECT_EQ(v.Intern("fresh coriander", ItemCategory::kIngredient), cilantro);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(AliasTest, UnknownCanonicalRejected) {
+  Vocabulary v;
+  auto s = v.RegisterAlias("scallion", "green onion");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+TEST(AliasTest, DuplicateAliasRejected) {
+  Vocabulary v;
+  v.Intern("green onion", ItemCategory::kIngredient);
+  v.Intern("spring onion", ItemCategory::kIngredient);
+  ASSERT_TRUE(v.RegisterAlias("scallion", "green onion").ok());
+  auto dup = v.RegisterAlias("scallion", "spring onion");
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AliasTest, AliasCannotShadowExistingName) {
+  Vocabulary v;
+  v.Intern("butter", ItemCategory::kIngredient);
+  v.Intern("ghee", ItemCategory::kIngredient);
+  auto shadow = v.RegisterAlias("ghee", "butter");
+  EXPECT_FALSE(shadow.ok());
+  EXPECT_EQ(shadow.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(AliasTest, EmptyAliasRejected) {
+  Vocabulary v;
+  v.Intern("butter", ItemCategory::kIngredient);
+  EXPECT_FALSE(v.RegisterAlias("  ", "butter").ok());
+}
+
+TEST(AliasTest, ChainedAliasResolvesToSameId) {
+  Vocabulary v;
+  ItemId id = v.Intern("green onion", ItemCategory::kIngredient);
+  ASSERT_TRUE(v.RegisterAlias("scallion", "green onion").ok());
+  // Aliasing onto an alias lands on the same canonical id.
+  ASSERT_TRUE(v.RegisterAlias("salad onion", "scallion").ok());
+  EXPECT_EQ(v.Find("salad onion"), id);
+}
+
+TEST(AliasTest, AliasesMergeRecipeItems) {
+  // The practical effect the paper wants: recipes mentioning either name
+  // count toward one item.
+  Dataset ds;
+  ItemId green_onion =
+      ds.vocabulary().Intern("green onion", ItemCategory::kIngredient);
+  ASSERT_TRUE(ds.vocabulary().RegisterAlias("scallion", "green onion").ok());
+  CuisineId korean = ds.InternCuisine("Korean");
+  for (const char* name : {"green onion", "scallion", "scallion"}) {
+    Recipe r;
+    r.cuisine = korean;
+    r.items = {ds.vocabulary().Intern(name, ItemCategory::kIngredient)};
+    ASSERT_TRUE(ds.AddRecipe(std::move(r)).ok());
+  }
+  EXPECT_EQ(ds.CountRecipesWithItem(green_onion), 3u);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,176 @@
+#include "mining/association_rules.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+// DB where {1,2} is strongly associated: supports 1:0.8, 2:0.6, {1,2}:0.6.
+TransactionDb RuleDb() {
+  TransactionDb db;
+  db.Add({1, 2});
+  db.Add({1, 2});
+  db.Add({1, 2});
+  db.Add({1});
+  db.Add({3});
+  return db;
+}
+
+std::vector<FrequentItemset> MinedPatterns(double min_support = 0.2) {
+  MinerOptions opt;
+  opt.min_support = min_support;
+  auto result = MineFpGrowth(RuleDb(), opt);
+  CUISINE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+const AssociationRule* FindRule(const std::vector<AssociationRule>& rules,
+                                const Itemset& ante, const Itemset& cons) {
+  for (const auto& r : rules) {
+    if (r.antecedent == ante && r.consequent == cons) return &r;
+  }
+  return nullptr;
+}
+
+TEST(RulesTest, ConfidenceAndLift) {
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  auto rules = GenerateRules(MinedPatterns(), opt);
+  ASSERT_TRUE(rules.ok());
+  // 1 => 2: conf = 0.6/0.8 = 0.75, lift = 0.75/0.6 = 1.25
+  const AssociationRule* r = FindRule(*rules, Itemset({1}), Itemset({2}));
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->support, 0.6);
+  EXPECT_DOUBLE_EQ(r->confidence, 0.75);
+  EXPECT_DOUBLE_EQ(r->lift, 1.25);
+  // leverage = 0.6 − 0.8·0.6 = 0.12
+  EXPECT_NEAR(r->leverage, 0.12, 1e-12);
+  // conviction = (1 − 0.6)/(1 − 0.75) = 1.6
+  EXPECT_NEAR(r->conviction, 1.6, 1e-12);
+
+  // 2 => 1: conf = 0.6/0.6 = 1.0, conviction = +inf
+  const AssociationRule* r2 = FindRule(*rules, Itemset({2}), Itemset({1}));
+  ASSERT_NE(r2, nullptr);
+  EXPECT_DOUBLE_EQ(r2->confidence, 1.0);
+  EXPECT_TRUE(std::isinf(r2->conviction));
+}
+
+TEST(RulesTest, MinConfidenceFilters) {
+  RuleOptions opt;
+  opt.min_confidence = 0.9;
+  auto rules = GenerateRules(MinedPatterns(), opt);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& r : *rules) {
+    EXPECT_GE(r.confidence, 0.9 - 1e-12);
+  }
+  EXPECT_NE(FindRule(*rules, Itemset({2}), Itemset({1})), nullptr);
+  EXPECT_EQ(FindRule(*rules, Itemset({1}), Itemset({2})), nullptr);
+}
+
+TEST(RulesTest, MinLiftFilters) {
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  opt.min_lift = 1.3;
+  auto rules = GenerateRules(MinedPatterns(), opt);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& r : *rules) EXPECT_GE(r.lift, 1.3 - 1e-12);
+}
+
+TEST(RulesTest, MaxAntecedentSize) {
+  TransactionDb db;
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  MinerOptions mopt;
+  mopt.min_support = 0.5;
+  auto patterns = MineFpGrowth(db, mopt);
+  ASSERT_TRUE(patterns.ok());
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  opt.max_antecedent_size = 1;
+  auto rules = GenerateRules(*patterns, opt);
+  ASSERT_TRUE(rules.ok());
+  for (const auto& r : *rules) EXPECT_EQ(r.antecedent.size(), 1u);
+}
+
+TEST(RulesTest, NoRulesFromSingletonsOnly) {
+  TransactionDb db;
+  db.Add({1});
+  db.Add({2});
+  MinerOptions mopt;
+  mopt.min_support = 0.5;
+  auto patterns = MineFpGrowth(db, mopt);
+  ASSERT_TRUE(patterns.ok());
+  auto rules = GenerateRules(*patterns, RuleOptions{});
+  ASSERT_TRUE(rules.ok());
+  EXPECT_TRUE(rules->empty());
+}
+
+TEST(RulesTest, IncompleteCollectionRejected) {
+  // A 2-itemset without its subsets present -> NotFound.
+  std::vector<FrequentItemset> broken;
+  broken.push_back({Itemset({1, 2}), 3, 0.6});
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  auto rules = GenerateRules(broken, opt);
+  EXPECT_FALSE(rules.ok());
+  EXPECT_EQ(rules.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RulesTest, InvalidConfidenceRejected) {
+  RuleOptions opt;
+  opt.min_confidence = 1.5;
+  EXPECT_FALSE(GenerateRules(MinedPatterns(), opt).ok());
+}
+
+TEST(RulesTest, RuleCountForTriple) {
+  // A frequent triple yields 2^3 − 2 = 6 rules at zero thresholds.
+  TransactionDb db;
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  MinerOptions mopt;
+  mopt.min_support = 0.9;
+  auto patterns = MineFpGrowth(db, mopt);
+  ASSERT_TRUE(patterns.ok());
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  auto rules = GenerateRules(*patterns, opt);
+  ASSERT_TRUE(rules.ok());
+  // pairs contribute 2 rules each (3 pairs), the triple contributes 6.
+  EXPECT_EQ(rules->size(), 3u * 2u + 6u);
+}
+
+TEST(RulesTest, SortByLift) {
+  RuleOptions opt;
+  opt.min_confidence = 0.0;
+  auto rules = GenerateRules(MinedPatterns(), opt);
+  ASSERT_TRUE(rules.ok());
+  SortRulesByLift(&*rules);
+  for (std::size_t i = 1; i < rules->size(); ++i) {
+    EXPECT_GE((*rules)[i - 1].lift, (*rules)[i].lift - 1e-12);
+  }
+}
+
+TEST(RulesTest, ToStringMentionsMetrics) {
+  Vocabulary v;
+  ItemId soy = v.Intern("soy", ItemCategory::kIngredient);
+  ItemId oil = v.Intern("oil", ItemCategory::kIngredient);
+  AssociationRule r;
+  r.antecedent = Itemset({soy});
+  r.consequent = Itemset({oil});
+  r.support = 0.3;
+  r.confidence = 0.9;
+  r.lift = 2.0;
+  std::string s = r.ToString(v);
+  EXPECT_NE(s.find("soy"), std::string::npos);
+  EXPECT_NE(s.find("=>"), std::string::npos);
+  EXPECT_NE(s.find("lift"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,191 @@
+#include "authenticity/authenticity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cuisine {
+namespace {
+
+// 3-cuisine corpus with known prevalences:
+//   A (4 recipes): soy in 4 (1.0), salt in 2 (0.5)
+//   B (2 recipes): soy in 1 (0.5), salt in 2 (1.0)
+//   C (4 recipes): salt in 1 (0.25), fish in 4 (1.0)
+Dataset ThreeCuisineDataset() {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy", ItemCategory::kIngredient);
+  ItemId salt = ds.vocabulary().Intern("salt", ItemCategory::kIngredient);
+  ItemId fish = ds.vocabulary().Intern("fish", ItemCategory::kIngredient);
+  ItemId add = ds.vocabulary().Intern("add", ItemCategory::kProcess);
+  CuisineId a = ds.InternCuisine("A");
+  CuisineId b = ds.InternCuisine("B");
+  CuisineId c = ds.InternCuisine("C");
+  auto put = [&](CuisineId cu, std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = cu;
+    r.items = std::move(items);
+    CUISINE_CHECK(ds.AddRecipe(std::move(r)).ok());
+  };
+  put(a, {soy, salt, add});
+  put(a, {soy, salt});
+  put(a, {soy});
+  put(a, {soy});
+  put(b, {soy, salt});
+  put(b, {salt});
+  put(c, {fish, salt});
+  put(c, {fish});
+  put(c, {fish});
+  put(c, {fish});
+  return ds;
+}
+
+PrevalenceOptions NoPruning() {
+  PrevalenceOptions opt;
+  opt.min_total_count = 1;
+  return opt;
+}
+
+TEST(PrevalenceTest, PerCuisineNormalization) {
+  Dataset ds = ThreeCuisineDataset();
+  auto pm = PrevalenceMatrix::Compute(ds, NoPruning());
+  ASSERT_TRUE(pm.ok());
+  ItemId soy = ds.vocabulary().Find("soy");
+  ItemId salt = ds.vocabulary().Find("salt");
+  ItemId fish = ds.vocabulary().Find("fish");
+  EXPECT_DOUBLE_EQ(pm->Prevalence(0, soy), 1.0);
+  EXPECT_DOUBLE_EQ(pm->Prevalence(1, soy), 0.5);
+  EXPECT_DOUBLE_EQ(pm->Prevalence(2, soy), 0.0);
+  EXPECT_DOUBLE_EQ(pm->Prevalence(0, salt), 0.5);
+  EXPECT_DOUBLE_EQ(pm->Prevalence(1, salt), 1.0);
+  EXPECT_DOUBLE_EQ(pm->Prevalence(2, salt), 0.25);
+  EXPECT_DOUBLE_EQ(pm->Prevalence(2, fish), 1.0);
+}
+
+TEST(PrevalenceTest, CorpusNormalization) {
+  Dataset ds = ThreeCuisineDataset();
+  PrevalenceOptions opt = NoPruning();
+  opt.normalization = PrevalenceOptions::Normalization::kCorpus;
+  auto pm = PrevalenceMatrix::Compute(ds, opt);
+  ASSERT_TRUE(pm.ok());
+  ItemId soy = ds.vocabulary().Find("soy");
+  EXPECT_DOUBLE_EQ(pm->Prevalence(0, soy), 0.4);  // 4 / 10 recipes
+}
+
+TEST(PrevalenceTest, CategoryFilterDropsProcesses) {
+  Dataset ds = ThreeCuisineDataset();
+  auto pm = PrevalenceMatrix::Compute(ds, NoPruning());
+  ASSERT_TRUE(pm.ok());
+  ItemId add = ds.vocabulary().Find("add");
+  EXPECT_FALSE(pm->ColumnOf(add).has_value());
+  EXPECT_DOUBLE_EQ(pm->Prevalence(0, add), 0.0);
+  EXPECT_EQ(pm->num_items(), 3u);  // soy, salt, fish
+}
+
+TEST(PrevalenceTest, NoFilterIncludesAllCategories) {
+  Dataset ds = ThreeCuisineDataset();
+  PrevalenceOptions opt = NoPruning();
+  opt.category = std::nullopt;
+  auto pm = PrevalenceMatrix::Compute(ds, opt);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm->num_items(), 4u);
+}
+
+TEST(PrevalenceTest, MinTotalCountPrunes) {
+  Dataset ds = ThreeCuisineDataset();
+  PrevalenceOptions opt;
+  opt.min_total_count = 5;  // soy has 5, salt 5, fish 4
+  auto pm = PrevalenceMatrix::Compute(ds, opt);
+  ASSERT_TRUE(pm.ok());
+  EXPECT_EQ(pm->num_items(), 2u);
+  EXPECT_FALSE(pm->ColumnOf(ds.vocabulary().Find("fish")).has_value());
+}
+
+TEST(PrevalenceTest, EmptyDatasetRejected) {
+  Dataset empty;
+  EXPECT_FALSE(PrevalenceMatrix::Compute(empty).ok());
+}
+
+TEST(PrevalenceTest, OverPruningRejected) {
+  Dataset ds = ThreeCuisineDataset();
+  PrevalenceOptions opt;
+  opt.min_total_count = 1000;
+  EXPECT_FALSE(PrevalenceMatrix::Compute(ds, opt).ok());
+}
+
+TEST(AuthenticityTest, RelativePrevalenceFormula) {
+  Dataset ds = ThreeCuisineDataset();
+  auto pm = PrevalenceMatrix::Compute(ds, NoPruning());
+  ASSERT_TRUE(pm.ok());
+  AuthenticityMatrix am = AuthenticityMatrix::From(*pm);
+
+  ItemId soy = ds.vocabulary().Find("soy");
+  // p_soy^A = 1.0 − mean(0.5, 0.0) = 0.75
+  EXPECT_DOUBLE_EQ(am.Score(0, soy), 0.75);
+  // p_soy^B = 0.5 − mean(1.0, 0.0) = 0.0
+  EXPECT_DOUBLE_EQ(am.Score(1, soy), 0.0);
+  // p_soy^C = 0.0 − mean(1.0, 0.5) = −0.75
+  EXPECT_DOUBLE_EQ(am.Score(2, soy), -0.75);
+}
+
+TEST(AuthenticityTest, ScoresColumnsSumConsistently) {
+  // For each item, sum over cuisines of (P − mean-of-others) equals
+  // sum(P)·(1 − 1) = 0 when n=... actually: sum_c p_i^c =
+  // sum_c P_i^c − sum_c (S − P_i^c)/(n−1) = S − (nS − S)/(n−1) = 0.
+  Dataset ds = ThreeCuisineDataset();
+  auto pm = PrevalenceMatrix::Compute(ds, NoPruning());
+  ASSERT_TRUE(pm.ok());
+  AuthenticityMatrix am = AuthenticityMatrix::From(*pm);
+  for (std::size_t j = 0; j < am.items().size(); ++j) {
+    double total = 0;
+    for (std::size_t c = 0; c < 3; ++c) total += am.matrix()(c, j);
+    EXPECT_NEAR(total, 0.0, 1e-12);
+  }
+}
+
+TEST(AuthenticityTest, MostAndLeastAuthentic) {
+  Dataset ds = ThreeCuisineDataset();
+  auto pm = PrevalenceMatrix::Compute(ds, NoPruning());
+  ASSERT_TRUE(pm.ok());
+  AuthenticityMatrix am = AuthenticityMatrix::From(*pm);
+
+  ItemId soy = ds.vocabulary().Find("soy");
+  ItemId fish = ds.vocabulary().Find("fish");
+
+  auto top_a = am.MostAuthentic(0, 1);
+  ASSERT_EQ(top_a.size(), 1u);
+  EXPECT_EQ(top_a[0].item, soy);
+
+  auto bottom_a = am.LeastAuthentic(0, 1);
+  ASSERT_EQ(bottom_a.size(), 1u);
+  EXPECT_EQ(bottom_a[0].item, fish);  // fish ubiquitous in C, absent in A
+
+  auto top_c = am.MostAuthentic(2, 1);
+  EXPECT_EQ(top_c[0].item, fish);
+}
+
+TEST(AuthenticityTest, TopKClampedToItemCount) {
+  Dataset ds = ThreeCuisineDataset();
+  auto pm = PrevalenceMatrix::Compute(ds, NoPruning());
+  ASSERT_TRUE(pm.ok());
+  AuthenticityMatrix am = AuthenticityMatrix::From(*pm);
+  EXPECT_EQ(am.MostAuthentic(0, 100).size(), 3u);
+}
+
+TEST(AuthenticityTest, SingleCuisineDegenerates) {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy", ItemCategory::kIngredient);
+  CuisineId a = ds.InternCuisine("A");
+  Recipe r;
+  r.cuisine = a;
+  r.items = {soy};
+  ASSERT_TRUE(ds.AddRecipe(std::move(r)).ok());
+  PrevalenceOptions opt;
+  opt.min_total_count = 1;
+  auto pm = PrevalenceMatrix::Compute(ds, opt);
+  ASSERT_TRUE(pm.ok());
+  AuthenticityMatrix am = AuthenticityMatrix::From(*pm);
+  EXPECT_DOUBLE_EQ(am.Score(0, soy), 1.0);  // falls back to prevalence
+}
+
+}  // namespace
+}  // namespace cuisine

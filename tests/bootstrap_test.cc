@@ -1,0 +1,166 @@
+#include "cluster/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cuisine {
+namespace {
+
+// Two clear 1-D blobs: {0, 1} and {10, 11}; a third loner at 100.
+Matrix StableFeatures() {
+  return Matrix::FromRows({{0, 0.2}, {1, 0.1}, {10, 0.1}, {11, 0.2},
+                           {100, 0.0}});
+}
+
+Result<Dendrogram> BuildTree(const Matrix& features) {
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,
+                           HierarchicalCluster(d, LinkageMethod::kAverage));
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    labels.push_back("L" + std::to_string(i));
+  }
+  return Dendrogram::FromLinkage(steps, labels);
+}
+
+TEST(ResampleColumnsTest, PreservesShapeAndValues) {
+  Rng rng(3);
+  Matrix features = StableFeatures();
+  Matrix resampled = ResampleColumns(features, &rng);
+  EXPECT_EQ(resampled.rows(), features.rows());
+  EXPECT_EQ(resampled.cols(), features.cols());
+  // Every column of the resample is one of the original columns.
+  for (std::size_t c = 0; c < resampled.cols(); ++c) {
+    bool matches_some = false;
+    for (std::size_t src = 0; src < features.cols(); ++src) {
+      bool all_equal = true;
+      for (std::size_t r = 0; r < features.rows(); ++r) {
+        if (resampled(r, c) != features(r, src)) {
+          all_equal = false;
+          break;
+        }
+      }
+      matches_some |= all_equal;
+    }
+    EXPECT_TRUE(matches_some);
+  }
+}
+
+TEST(BootstrapTest, StableStructureGetsFullSupport) {
+  Matrix features = StableFeatures();
+  auto reference = BuildTree(features);
+  ASSERT_TRUE(reference.ok());
+
+  // Replicates perturb features with tiny noise: structure is stable.
+  BootstrapOptions opt;
+  opt.replicates = 30;
+  opt.num_clusters = 3;
+  auto result = BootstrapStability(
+      *reference,
+      [&](Rng* rng) -> Result<Dendrogram> {
+        Matrix noisy = features;
+        for (std::size_t r = 0; r < noisy.rows(); ++r) {
+          for (std::size_t c = 0; c < noisy.cols(); ++c) {
+            noisy(r, c) += rng->Gaussian(0, 0.01);
+          }
+        }
+        return BuildTree(noisy);
+      },
+      opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->replicates_used, 30u);
+  // {0,1} and {2,3} co-cluster always; cross-blob never (at k=3).
+  EXPECT_DOUBLE_EQ(result->co_clustering(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(result->co_clustering(2, 3), 1.0);
+  EXPECT_DOUBLE_EQ(result->co_clustering(0, 2), 0.0);
+  EXPECT_DOUBLE_EQ(result->co_clustering(0, 4), 0.0);
+  // Diagonal is always 1.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(result->co_clustering(i, i), 1.0);
+  }
+  // The {0,1} and {2,3} clades reappear in every replicate.
+  ASSERT_EQ(result->clade_support.size(), 4u);
+  EXPECT_DOUBLE_EQ(result->clade_support[0], 1.0);
+  EXPECT_DOUBLE_EQ(result->clade_support[1], 1.0);
+}
+
+TEST(BootstrapTest, RandomisedStructureGetsLowSupport) {
+  Matrix features = StableFeatures();
+  auto reference = BuildTree(features);
+  ASSERT_TRUE(reference.ok());
+
+  // Replicates are pure noise: reference clades should rarely reappear.
+  BootstrapOptions opt;
+  opt.replicates = 40;
+  opt.num_clusters = 3;
+  auto result = BootstrapStability(
+      *reference,
+      [&](Rng* rng) -> Result<Dendrogram> {
+        Matrix random(features.rows(), features.cols());
+        for (std::size_t r = 0; r < random.rows(); ++r) {
+          for (std::size_t c = 0; c < random.cols(); ++c) {
+            random(r, c) = rng->UniformDouble(0, 100);
+          }
+        }
+        return BuildTree(random);
+      },
+      opt);
+  ASSERT_TRUE(result.ok());
+  // The first (tightest) reference clade should have clearly sub-1
+  // support under pure noise.
+  EXPECT_LT(result->clade_support[0], 0.9);
+  // The root clade (all leaves) is always recovered by construction.
+  EXPECT_DOUBLE_EQ(result->clade_support.back(), 1.0);
+}
+
+TEST(BootstrapTest, Validation) {
+  auto reference = BuildTree(StableFeatures());
+  ASSERT_TRUE(reference.ok());
+  auto builder = [&](Rng*) -> Result<Dendrogram> {
+    return BuildTree(StableFeatures());
+  };
+  BootstrapOptions opt;
+  opt.replicates = 0;
+  EXPECT_FALSE(BootstrapStability(*reference, builder, opt).ok());
+  opt.replicates = 5;
+  opt.num_clusters = 0;
+  EXPECT_FALSE(BootstrapStability(*reference, builder, opt).ok());
+  opt.num_clusters = 99;
+  EXPECT_FALSE(BootstrapStability(*reference, builder, opt).ok());
+}
+
+TEST(BootstrapTest, BuilderErrorPropagates) {
+  auto reference = BuildTree(StableFeatures());
+  ASSERT_TRUE(reference.ok());
+  BootstrapOptions opt;
+  opt.replicates = 3;
+  opt.num_clusters = 2;
+  auto result = BootstrapStability(
+      *reference,
+      [](Rng*) -> Result<Dendrogram> {
+        return Status::Internal("builder exploded");
+      },
+      opt);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(BootstrapTest, LeafCountMismatchRejected) {
+  auto reference = BuildTree(StableFeatures());
+  ASSERT_TRUE(reference.ok());
+  BootstrapOptions opt;
+  opt.replicates = 2;
+  opt.num_clusters = 2;
+  auto result = BootstrapStability(
+      *reference,
+      [](Rng*) -> Result<Dendrogram> {
+        return BuildTree(Matrix::FromRows({{0.0}, {1.0}, {2.0}}));
+      },
+      opt);
+  EXPECT_FALSE(result.ok());
+}
+
+}  // namespace
+}  // namespace cuisine

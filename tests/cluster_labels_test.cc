@@ -1,0 +1,119 @@
+#include "core/cluster_labels.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+// A and B share {soy}; C is disjoint ({fish}).
+Dataset SharedDataset() {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy", ItemCategory::kIngredient);
+  ItemId oil = ds.vocabulary().Intern("oil", ItemCategory::kIngredient);
+  ItemId fish = ds.vocabulary().Intern("fish", ItemCategory::kIngredient);
+  CuisineId a = ds.InternCuisine("A");
+  CuisineId b = ds.InternCuisine("B");
+  CuisineId c = ds.InternCuisine("C");
+  auto put = [&](CuisineId cu, std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = cu;
+    r.items = std::move(items);
+    CUISINE_CHECK(ds.AddRecipe(std::move(r)).ok());
+  };
+  put(a, {soy, oil});
+  put(a, {soy});
+  put(b, {soy});
+  put(b, {soy});
+  put(c, {fish});
+  put(c, {fish});
+  return ds;
+}
+
+struct Fixture {
+  Dataset ds = SharedDataset();
+  PatternFeatureSpace space;
+  Dendrogram tree;
+
+  static Fixture Make() {
+    Fixture f;
+    MinerOptions opt;
+    opt.min_support = 0.5;
+    auto mined = MineAllCuisines(f.ds, opt);
+    CUISINE_CHECK(mined.ok());
+    auto space = BuildPatternFeatures(f.ds, *mined);
+    CUISINE_CHECK(space.ok());
+    f.space = std::move(space).value();
+    auto tree = ClusterPatternFeatures(f.space, DistanceMetric::kJaccard,
+                                       LinkageMethod::kAverage);
+    CUISINE_CHECK(tree.ok());
+    f.tree = std::move(tree).value();
+    return f;
+  }
+
+ private:
+  Fixture() : tree(MakeEmptyTree()) {}
+  static Dendrogram MakeEmptyTree() {
+    auto t = Dendrogram::FromLinkage({}, {"x"});
+    CUISINE_CHECK(t.ok());
+    return std::move(t).value();
+  }
+};
+
+TEST(ClusterLabelsTest, LabelsEveryMerge) {
+  Fixture f = Fixture::Make();
+  auto labels = LabelClusters(f.tree, f.space);
+  ASSERT_TRUE(labels.ok());
+  ASSERT_EQ(labels->size(), 2u);  // 3 leaves -> 2 merges
+  // First merge joins A and B (shared soy).
+  EXPECT_EQ((*labels)[0].members, (std::vector<std::string>{"A", "B"}));
+  ASSERT_FALSE((*labels)[0].shared_patterns.empty());
+  EXPECT_EQ((*labels)[0].shared_patterns[0], "soy");
+  // Final merge has no shared pattern (C shares nothing).
+  EXPECT_EQ((*labels)[1].members.size(), 3u);
+  EXPECT_TRUE((*labels)[1].shared_patterns.empty());
+}
+
+TEST(ClusterLabelsTest, MaxPatternsCaps) {
+  Fixture f = Fixture::Make();
+  auto labels = LabelClusters(f.tree, f.space, 0);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_TRUE((*labels)[0].shared_patterns.empty());
+}
+
+TEST(ClusterLabelsTest, HeightsMatchTree) {
+  Fixture f = Fixture::Make();
+  auto labels = LabelClusters(f.tree, f.space);
+  ASSERT_TRUE(labels.ok());
+  for (std::size_t s = 0; s < labels->size(); ++s) {
+    EXPECT_DOUBLE_EQ((*labels)[s].height, f.tree.steps()[s].distance);
+  }
+}
+
+TEST(ClusterLabelsTest, MismatchedTreeRejected) {
+  Fixture f = Fixture::Make();
+  // A tree over different labels.
+  Matrix features = Matrix::FromRows({{0}, {1}, {5}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  auto other = Dendrogram::FromLinkage(*steps, {"X", "Y", "Z"});
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(LabelClusters(*other, f.space).ok());
+}
+
+TEST(ClusterLabelsTest, RenderMentionsMembersAndPatterns) {
+  Fixture f = Fixture::Make();
+  auto labels = LabelClusters(f.tree, f.space);
+  ASSERT_TRUE(labels.ok());
+  std::string text = RenderClusterLabels(*labels);
+  EXPECT_NE(text.find("{A, B}"), std::string::npos);
+  EXPECT_NE(text.find("soy"), std::string::npos);
+  EXPECT_NE(text.find("(none)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,136 @@
+#include "common/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cuisine {
+namespace {
+
+TEST(ParseCsvTest, SimpleRows) {
+  auto rows = ParseCsv("a,b\nc,d\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(ParseCsvTest, NoTrailingNewline) {
+  auto rows = ParseCsv("a,b\nc,d");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 2u);
+}
+
+TEST(ParseCsvTest, TrailingNewlineDoesNotAddEmptyRow) {
+  auto rows = ParseCsv("a\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 1u);
+}
+
+TEST(ParseCsvTest, EmptyInput) {
+  auto rows = ParseCsv("");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST(ParseCsvTest, QuotedFieldWithDelimiter) {
+  auto rows = ParseCsv("\"a,b\",c\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"a,b", "c"}));
+}
+
+TEST(ParseCsvTest, EscapedQuote) {
+  auto rows = ParseCsv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"say \"hi\"", "x"}));
+}
+
+TEST(ParseCsvTest, QuotedNewline) {
+  auto rows = ParseCsv("\"line1\nline2\",b\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(ParseCsvTest, CrlfNormalised) {
+  auto rows = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (CsvRow{"c", "d"}));
+}
+
+TEST(ParseCsvTest, EmptyFields) {
+  auto rows = ParseCsv(",,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"", "", ""}));
+}
+
+TEST(ParseCsvTest, UnterminatedQuoteIsError) {
+  auto rows = ParseCsv("\"abc\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseCsvTest, GarbageAfterClosingQuoteIsError) {
+  auto rows = ParseCsv("\"abc\"x,y\n");
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseCsvTest, CustomDelimiter) {
+  auto rows = ParseCsv("a;b;c\n", ';');
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0], (CsvRow{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, SingleRecord) {
+  auto row = ParseCsvLine("x,y,z");
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(*row, (CsvRow{"x", "y", "z"}));
+}
+
+TEST(ParseCsvLineTest, MultipleRecordsRejected) {
+  auto row = ParseCsvLine("a\nb");
+  EXPECT_FALSE(row.ok());
+}
+
+TEST(EscapeCsvFieldTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(EscapeCsvField("a\nb"), "\"a\nb\"");
+}
+
+TEST(WriteCsvTest, RoundTrip) {
+  std::vector<CsvRow> rows = {
+      {"cuisine", "items"},
+      {"Korean", "soy sauce;sesame oil"},
+      {"with,comma", "with\"quote"},
+      {"multi\nline", ""},
+  };
+  std::string text = WriteCsv(rows);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(FileIoTest, WriteReadRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cuisine_csv_test.txt")
+          .string();
+  ASSERT_TRUE(WriteStringToFile(path, "hello\nworld").ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_EQ(*contents, "hello\nworld");
+  std::remove(path.c_str());
+}
+
+TEST(FileIoTest, MissingFileIsIOError) {
+  auto contents = ReadFileToString("/nonexistent/path/to/file.csv");
+  EXPECT_FALSE(contents.ok());
+  EXPECT_EQ(contents.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,142 @@
+#include "data/cuisine_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cuisine {
+namespace {
+
+TEST(CuisineProfilesTest, TwentySixCuisines) {
+  auto specs = BuildWorldCuisineSpecs();
+  EXPECT_EQ(specs.size(), 26u);
+  EXPECT_EQ(WorldCuisineNames().size(), 26u);
+}
+
+TEST(CuisineProfilesTest, RecipeCountsMatchTable1Total) {
+  auto specs = BuildWorldCuisineSpecs();
+  std::size_t total = 0;
+  for (const auto& s : specs) total += s.recipe_count;
+  EXPECT_EQ(total, kPaperTotalRecipes);
+  EXPECT_EQ(total, 118171u);
+}
+
+TEST(CuisineProfilesTest, NamesUniqueAndNonEmpty) {
+  auto specs = BuildWorldCuisineSpecs();
+  std::set<std::string> names;
+  for (const auto& s : specs) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+  }
+}
+
+TEST(CuisineProfilesTest, Table1RowsPresent) {
+  auto specs = BuildWorldCuisineSpecs();
+  // Spot-check a few rows against the paper's Table I.
+  auto find = [&](const std::string& name) -> const CuisineSpec& {
+    for (const auto& s : specs) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "missing " << name;
+    static CuisineSpec dummy;
+    return dummy;
+  };
+  EXPECT_EQ(find("Korean").recipe_count, 668u);
+  EXPECT_EQ(find("Korean").paper_pattern_count, 85u);
+  EXPECT_EQ(find("Italian").recipe_count, 16582u);
+  EXPECT_EQ(find("Northern Africa").paper_pattern_count, 134u);
+  EXPECT_EQ(find("Indian Subcontinent").paper_pattern_count, 119u);
+  EXPECT_EQ(find("Australian").paper_pattern_count, 29u);
+}
+
+TEST(CuisineProfilesTest, EverySpecHasSignatures) {
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    EXPECT_FALSE(s.signatures.empty()) << s.name;
+    for (const auto& sig : s.signatures) {
+      EXPECT_GT(sig.support, 0.0);
+      EXPECT_LT(sig.support, 1.0);
+      EXPECT_FALSE(sig.pattern.empty());
+    }
+  }
+}
+
+TEST(CuisineProfilesTest, KoreanHasTwoSignatures) {
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    if (s.name == "Korean") {
+      ASSERT_EQ(s.signatures.size(), 2u);
+      EXPECT_EQ(s.signatures[0].pattern, "soy sauce + sesame oil");
+      EXPECT_DOUBLE_EQ(s.signatures[0].support, 0.34);
+      EXPECT_EQ(s.signatures[1].pattern, "green onion + sesame oil");
+    }
+  }
+}
+
+TEST(CuisineProfilesTest, MotifProbabilitiesValid) {
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    for (const auto& m : s.motifs) {
+      EXPECT_GT(m.probability, 0.0) << s.name;
+      EXPECT_LE(m.probability, 1.0) << s.name;
+      EXPECT_FALSE(m.items.empty()) << s.name;
+      EXPECT_LE(m.items.size(), 8u) << s.name;
+    }
+  }
+}
+
+TEST(CuisineProfilesTest, EstimatedPatternCountsNearPaper) {
+  // The analytic estimator (used to budget fillers) should land within
+  // 25% of the paper's per-cuisine count; the generator tests check the
+  // *measured* counts more tightly.
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    double rel =
+        std::abs(static_cast<double>(s.estimated_pattern_count) -
+                 static_cast<double>(s.paper_pattern_count)) /
+        static_cast<double>(s.paper_pattern_count);
+    EXPECT_LT(rel, 0.25) << s.name << ": estimated "
+                         << s.estimated_pattern_count << " vs paper "
+                         << s.paper_pattern_count;
+  }
+}
+
+TEST(CuisineProfilesTest, GeographicCoordinatesInRange) {
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    EXPECT_GE(s.latitude, -90.0) << s.name;
+    EXPECT_LE(s.latitude, 90.0) << s.name;
+    EXPECT_GE(s.longitude, -180.0) << s.name;
+    EXPECT_LE(s.longitude, 180.0) << s.name;
+  }
+}
+
+TEST(CuisineProfilesTest, TailRegionsCoverKnownGroups) {
+  std::set<std::string> regions;
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    EXPECT_FALSE(s.tail_region.empty()) << s.name;
+    regions.insert(s.tail_region);
+  }
+  EXPECT_EQ(regions.size(), 6u);  // west euro / med / ea / sea / indo / nw
+}
+
+TEST(CuisineProfilesTest, HistoricalTiesEncoded) {
+  // The §VII deviations must be visible in the profile structure itself:
+  // Indian Subcontinent and Northern Africa share the indo-african tail
+  // region; Canadian shares the west-european region with French.
+  std::string india_region, nafrica_region, canada_region, france_region,
+      us_region;
+  for (const auto& s : BuildWorldCuisineSpecs()) {
+    if (s.name == "Indian Subcontinent") india_region = s.tail_region;
+    if (s.name == "Northern Africa") nafrica_region = s.tail_region;
+    if (s.name == "Canadian") canada_region = s.tail_region;
+    if (s.name == "French") france_region = s.tail_region;
+    if (s.name == "US") us_region = s.tail_region;
+  }
+  EXPECT_EQ(india_region, nafrica_region);
+  EXPECT_EQ(canada_region, france_region);
+  EXPECT_NE(canada_region, us_region);
+}
+
+TEST(CuisineProfilesTest, PaperConstants) {
+  EXPECT_DOUBLE_EQ(kPaperMinSupport, 0.2);
+  EXPECT_EQ(kPaperRecipesWithoutUtensils, 14601u);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,110 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+class DatasetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    salt_ = ds_.vocabulary().Intern("salt", ItemCategory::kIngredient);
+    add_ = ds_.vocabulary().Intern("add", ItemCategory::kProcess);
+    bowl_ = ds_.vocabulary().Intern("bowl", ItemCategory::kUtensil);
+    korean_ = ds_.InternCuisine("Korean");
+    thai_ = ds_.InternCuisine("Thai");
+  }
+
+  Recipe Make(CuisineId cuisine, std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = cuisine;
+    r.items = std::move(items);
+    return r;
+  }
+
+  Dataset ds_;
+  ItemId salt_ = 0, add_ = 0, bowl_ = 0;
+  CuisineId korean_ = 0, thai_ = 0;
+};
+
+TEST_F(DatasetTest, InternCuisineIsIdempotent) {
+  EXPECT_EQ(ds_.InternCuisine("Korean"), korean_);
+  EXPECT_EQ(ds_.num_cuisines(), 2u);
+  EXPECT_EQ(ds_.CuisineName(korean_), "Korean");
+}
+
+TEST_F(DatasetTest, FindCuisine) {
+  EXPECT_EQ(ds_.FindCuisine("Thai"), thai_);
+  EXPECT_EQ(ds_.FindCuisine("Martian"), kInvalidCuisineId);
+}
+
+TEST_F(DatasetTest, AddRecipeNormalizesItems) {
+  ASSERT_TRUE(ds_.AddRecipe(Make(korean_, {bowl_, salt_, salt_, add_})).ok());
+  const Recipe& r = ds_.recipe(0);
+  EXPECT_EQ(r.items, (std::vector<ItemId>{salt_, add_, bowl_}));
+  EXPECT_EQ(r.id, 0u);
+  EXPECT_TRUE(r.Contains(salt_));
+  EXPECT_FALSE(r.Contains(salt_ + 100));
+}
+
+TEST_F(DatasetTest, AddRecipeRejectsUnknownCuisine) {
+  Status s = ds_.AddRecipe(Make(99, {salt_}));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatasetTest, AddRecipeRejectsUnknownItem) {
+  Status s = ds_.AddRecipe(Make(korean_, {9999}));
+  EXPECT_FALSE(s.ok());
+}
+
+TEST_F(DatasetTest, PerCuisineIndex) {
+  ASSERT_TRUE(ds_.AddRecipe(Make(korean_, {salt_})).ok());
+  ASSERT_TRUE(ds_.AddRecipe(Make(thai_, {add_})).ok());
+  ASSERT_TRUE(ds_.AddRecipe(Make(korean_, {bowl_})).ok());
+  EXPECT_EQ(ds_.CuisineRecipeCount(korean_), 2u);
+  EXPECT_EQ(ds_.CuisineRecipeCount(thai_), 1u);
+  EXPECT_EQ(ds_.CuisineRecipes(korean_), (std::vector<std::uint32_t>{0, 2}));
+}
+
+TEST_F(DatasetTest, CountRecipesWithItem) {
+  ASSERT_TRUE(ds_.AddRecipe(Make(korean_, {salt_, add_})).ok());
+  ASSERT_TRUE(ds_.AddRecipe(Make(korean_, {salt_})).ok());
+  ASSERT_TRUE(ds_.AddRecipe(Make(thai_, {salt_})).ok());
+  EXPECT_EQ(ds_.CountRecipesWithItem(salt_), 3u);
+  EXPECT_EQ(ds_.CountRecipesWithItem(korean_, salt_), 2u);
+  EXPECT_EQ(ds_.CountRecipesWithItem(thai_, add_), 0u);
+}
+
+TEST_F(DatasetTest, ComputeStats) {
+  ASSERT_TRUE(ds_.AddRecipe(Make(korean_, {salt_, add_, bowl_})).ok());
+  ASSERT_TRUE(ds_.AddRecipe(Make(thai_, {salt_})).ok());
+  DatasetStats stats = ds_.ComputeStats();
+  EXPECT_EQ(stats.num_recipes, 2u);
+  EXPECT_EQ(stats.num_cuisines, 2u);
+  EXPECT_EQ(stats.num_ingredients, 1u);
+  EXPECT_EQ(stats.num_processes, 1u);
+  EXPECT_EQ(stats.num_utensils, 1u);
+  EXPECT_DOUBLE_EQ(stats.avg_ingredients_per_recipe, 1.0);
+  EXPECT_DOUBLE_EQ(stats.avg_processes_per_recipe, 0.5);
+  EXPECT_DOUBLE_EQ(stats.avg_utensils_per_recipe, 0.5);
+  EXPECT_EQ(stats.recipes_without_utensils, 1u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST_F(DatasetTest, EmptyStats) {
+  Dataset empty;
+  DatasetStats stats = empty.ComputeStats();
+  EXPECT_EQ(stats.num_recipes, 0u);
+  EXPECT_DOUBLE_EQ(stats.avg_ingredients_per_recipe, 0.0);
+}
+
+TEST(RecipeTest, NormalizeSortsAndDedups) {
+  Recipe r;
+  r.items = {5, 1, 3, 1, 5};
+  r.Normalize();
+  EXPECT_EQ(r.items, (std::vector<ItemId>{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace cuisine

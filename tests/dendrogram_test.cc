@@ -1,0 +1,182 @@
+#include "cluster/dendrogram.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+// Line points 0,1,4,10 with single linkage:
+// merges: (0,1)@1 -> 4, (2,4)@3 -> 5, (3,5)@6 -> 6(root).
+Dendrogram LineTree() {
+  Matrix features = Matrix::FromRows({{0}, {1}, {4}, {10}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  CUISINE_CHECK(steps.ok());
+  auto tree = Dendrogram::FromLinkage(*steps, {"a", "b", "c", "d"});
+  CUISINE_CHECK(tree.ok());
+  return std::move(tree).value();
+}
+
+TEST(DendrogramTest, BasicProperties) {
+  Dendrogram tree = LineTree();
+  EXPECT_EQ(tree.num_leaves(), 4u);
+  EXPECT_DOUBLE_EQ(tree.RootHeight(), 6.0);
+  EXPECT_EQ(tree.steps().size(), 3u);
+}
+
+TEST(DendrogramTest, LeafOrderIsTreeTraversal) {
+  Dendrogram tree = LineTree();
+  // Root = (3, 5): leaf d first, then subtree (2,4) -> c, then (a, b).
+  EXPECT_EQ(tree.OrderedLabels(),
+            (std::vector<std::string>{"d", "c", "a", "b"}));
+  auto order = tree.LeafOrder();
+  EXPECT_EQ(order, (std::vector<std::size_t>{3, 2, 0, 1}));
+}
+
+TEST(DendrogramTest, LabelCountMismatchRejected) {
+  Matrix features = Matrix::FromRows({{0}, {1}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_FALSE(Dendrogram::FromLinkage(*steps, {"only-one"}).ok());
+}
+
+TEST(DendrogramTest, MalformedLinkageRejected) {
+  // Step references itself.
+  std::vector<LinkageStep> bad = {{0, 2, 1.0, 2}};
+  EXPECT_FALSE(Dendrogram::FromLinkage(bad, {"a", "b"}).ok());
+  // Reuses a cluster.
+  std::vector<LinkageStep> reuse = {{0, 1, 1.0, 2}, {0, 2, 2.0, 3}};
+  EXPECT_FALSE(Dendrogram::FromLinkage(reuse, {"a", "b", "c"}).ok());
+  // Declared size wrong.
+  std::vector<LinkageStep> size = {{0, 1, 1.0, 3}};
+  EXPECT_FALSE(Dendrogram::FromLinkage(size, {"a", "b"}).ok());
+}
+
+TEST(DendrogramTest, CutToClusters) {
+  Dendrogram tree = LineTree();
+  auto k1 = tree.CutToClusters(1);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_EQ(*k1, (std::vector<int>{0, 0, 0, 0}));
+
+  auto k2 = tree.CutToClusters(2);
+  ASSERT_TRUE(k2.ok());
+  // {d} vs {a,b,c}; labels numbered by leaf order (d first).
+  EXPECT_EQ(*k2, (std::vector<int>{1, 1, 1, 0}));
+
+  auto k3 = tree.CutToClusters(3);
+  ASSERT_TRUE(k3.ok());
+  EXPECT_EQ(*k3, (std::vector<int>{2, 2, 1, 0}));
+
+  auto k4 = tree.CutToClusters(4);
+  ASSERT_TRUE(k4.ok());
+  std::set<int> unique(k4->begin(), k4->end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(DendrogramTest, CutBoundsChecked) {
+  Dendrogram tree = LineTree();
+  EXPECT_FALSE(tree.CutToClusters(0).ok());
+  EXPECT_FALSE(tree.CutToClusters(5).ok());
+}
+
+TEST(DendrogramTest, CutAtHeight) {
+  Dendrogram tree = LineTree();
+  // Heights: 1, 3, 6. Components are numbered by first appearance in the
+  // display leaf order (d, c, a, b).
+  EXPECT_EQ(tree.CutAtHeight(0.5), (std::vector<int>{2, 3, 1, 0}));
+  EXPECT_EQ(tree.CutAtHeight(1.0), (std::vector<int>{2, 2, 1, 0}));
+  EXPECT_EQ(tree.CutAtHeight(3.5), (std::vector<int>{1, 1, 1, 0}));
+  EXPECT_EQ(tree.CutAtHeight(100.0), (std::vector<int>{0, 0, 0, 0}));
+}
+
+TEST(DendrogramTest, CopheneticDistances) {
+  Dendrogram tree = LineTree();
+  auto coph = tree.CopheneticDistances();
+  EXPECT_DOUBLE_EQ(coph.at(0, 1), 1.0);  // a,b merge at 1
+  EXPECT_DOUBLE_EQ(coph.at(0, 2), 3.0);  // a,c at 3
+  EXPECT_DOUBLE_EQ(coph.at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(coph.at(0, 3), 6.0);  // anything with d at 6
+  EXPECT_DOUBLE_EQ(coph.at(2, 3), 6.0);
+}
+
+TEST(DendrogramTest, CopheneticIsUltrametric) {
+  // max(d(x,z), d(y,z)) >= d(x,y) for all triples, for random trees.
+  Rng rng(31337);
+  Matrix features(10, 3);
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      features(r, c) = rng.UniformDouble(0, 5);
+    }
+  }
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kAverage);
+  ASSERT_TRUE(steps.ok());
+  std::vector<std::string> labels;
+  for (int i = 0; i < 10; ++i) labels.push_back("L" + std::to_string(i));
+  auto tree = Dendrogram::FromLinkage(*steps, labels);
+  ASSERT_TRUE(tree.ok());
+  auto coph = tree->CopheneticDistances();
+  for (std::size_t x = 0; x < 10; ++x) {
+    for (std::size_t y = x + 1; y < 10; ++y) {
+      for (std::size_t z = 0; z < 10; ++z) {
+        if (z == x || z == y) continue;
+        EXPECT_GE(std::max(coph.at(x, z), coph.at(y, z)),
+                  coph.at(x, y) - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(DendrogramTest, RenderAsciiContainsAllLabelsAndHeights) {
+  Dendrogram tree = LineTree();
+  std::string art = tree.RenderAscii();
+  for (const char* label : {"a", "b", "c", "d"}) {
+    EXPECT_NE(art.find(std::string("-- ") + label), std::string::npos);
+  }
+  EXPECT_NE(art.find("[h=6.000]"), std::string::npos);
+  EXPECT_NE(art.find("[h=1.000]"), std::string::npos);
+  // 4 leaves + 3 junction lines = 7 lines.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 7);
+}
+
+TEST(DendrogramTest, NewickWellFormed) {
+  Dendrogram tree = LineTree();
+  std::string newick = tree.ToNewick();
+  EXPECT_EQ(newick.back(), ';');
+  EXPECT_EQ(std::count(newick.begin(), newick.end(), '('),
+            std::count(newick.begin(), newick.end(), ')'));
+  EXPECT_NE(newick.find("a:"), std::string::npos);
+  EXPECT_NE(newick.find("d:"), std::string::npos);
+}
+
+TEST(DendrogramTest, NewickEscapesReservedChars) {
+  Matrix features = Matrix::FromRows({{0}, {1}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  auto tree = Dendrogram::FromLinkage(*steps, {"a,b(c)", "x y"});
+  ASSERT_TRUE(tree.ok());
+  std::string newick = tree->ToNewick();
+  EXPECT_NE(newick.find("a_b_c_"), std::string::npos);
+  EXPECT_NE(newick.find("x_y"), std::string::npos);
+}
+
+TEST(DendrogramTest, BranchLengthsSumToRootHeight) {
+  // For an ultrametric tree every root-to-leaf path length equals the
+  // root height; spot-check via the Newick of the line tree.
+  Dendrogram tree = LineTree();
+  // Leaf d attaches directly at the root: branch length 6.
+  EXPECT_NE(tree.ToNewick().find("d:6.000000"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cuisine

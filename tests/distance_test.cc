@@ -1,0 +1,142 @@
+#include "cluster/distance.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+using V = std::vector<double>;
+
+TEST(DistanceTest, Euclidean) {
+  EXPECT_DOUBLE_EQ(EuclideanDistance(V{0, 0}, V{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(V{1, 1}, V{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(SquaredEuclideanDistance(V{0, 0}, V{3, 4}), 25.0);
+}
+
+TEST(DistanceTest, Manhattan) {
+  EXPECT_DOUBLE_EQ(ManhattanDistance(V{1, 2}, V{4, -2}), 7.0);
+}
+
+TEST(DistanceTest, CosineOrthogonalAndParallel) {
+  EXPECT_DOUBLE_EQ(CosineDistance(V{1, 0}, V{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(V{2, 0}, V{5, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(V{1, 1}, V{-1, -1}), 2.0);
+}
+
+TEST(DistanceTest, CosineScaleInvariant) {
+  V a{1, 2, 3}, b{4, 5, 6}, a2{10, 20, 30};
+  EXPECT_NEAR(CosineDistance(a, b), CosineDistance(a2, b), 1e-12);
+}
+
+TEST(DistanceTest, CosineZeroVectorConvention) {
+  EXPECT_DOUBLE_EQ(CosineDistance(V{0, 0}, V{0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(V{0, 0}, V{1, 2}), 1.0);
+}
+
+TEST(DistanceTest, JaccardBinary) {
+  // a = {1,1,0,0}, b = {1,0,1,0}: both=1, either=3 -> 1 - 1/3.
+  EXPECT_NEAR(JaccardDistance(V{1, 1, 0, 0}, V{1, 0, 1, 0}), 2.0 / 3, 1e-12);
+  EXPECT_DOUBLE_EQ(JaccardDistance(V{1, 1}, V{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(V{1, 0}, V{0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(V{0, 0}, V{0, 0}), 0.0);
+}
+
+TEST(DistanceTest, JaccardBinarisesNonzero) {
+  EXPECT_DOUBLE_EQ(JaccardDistance(V{0.5, 2.0}, V{3.0, 0.1}), 0.0);
+}
+
+TEST(DistanceTest, Hamming) {
+  EXPECT_DOUBLE_EQ(HammingDistance(V{1, 0, 1, 0}, V{1, 1, 0, 0}), 0.5);
+  EXPECT_DOUBLE_EQ(HammingDistance(V{}, V{}), 0.0);
+}
+
+TEST(DistanceTest, DispatchMatchesDirectCalls) {
+  V a{1, 2, 0}, b{0, 2, 3};
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kEuclidean, a, b),
+                   EuclideanDistance(a, b));
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kCosine, a, b),
+                   CosineDistance(a, b));
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kJaccard, a, b),
+                   JaccardDistance(a, b));
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kManhattan, a, b),
+                   ManhattanDistance(a, b));
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kHamming, a, b),
+                   HammingDistance(a, b));
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kSquaredEuclidean, a, b),
+                   SquaredEuclideanDistance(a, b));
+}
+
+TEST(DistanceTest, ParseNames) {
+  EXPECT_EQ(*ParseDistanceMetric("euclidean"), DistanceMetric::kEuclidean);
+  EXPECT_EQ(*ParseDistanceMetric("Cosine"), DistanceMetric::kCosine);
+  EXPECT_EQ(*ParseDistanceMetric("JACCARD"), DistanceMetric::kJaccard);
+  EXPECT_EQ(*ParseDistanceMetric("cityblock"), DistanceMetric::kManhattan);
+  EXPECT_FALSE(ParseDistanceMetric("euclidish").ok());
+}
+
+TEST(DistanceTest, NameRoundTrip) {
+  for (auto m : {DistanceMetric::kEuclidean, DistanceMetric::kCosine,
+                 DistanceMetric::kJaccard, DistanceMetric::kManhattan,
+                 DistanceMetric::kHamming, DistanceMetric::kSquaredEuclidean}) {
+    auto parsed = ParseDistanceMetric(DistanceMetricName(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, m);
+  }
+}
+
+// Metric axioms on random vectors (symmetry, identity, triangle for the
+// true metrics).
+class MetricAxiomsTest : public ::testing::TestWithParam<DistanceMetric> {};
+
+TEST_P(MetricAxiomsTest, SymmetryIdentityNonNegativity) {
+  Rng rng(404);
+  for (int trial = 0; trial < 50; ++trial) {
+    V a(8), b(8);
+    for (int i = 0; i < 8; ++i) {
+      a[i] = rng.Bernoulli(0.5) ? rng.UniformDouble() : 0.0;
+      b[i] = rng.Bernoulli(0.5) ? rng.UniformDouble() : 0.0;
+    }
+    double dab = Distance(GetParam(), a, b);
+    double dba = Distance(GetParam(), b, a);
+    EXPECT_DOUBLE_EQ(dab, dba);
+    EXPECT_GE(dab, 0.0);
+    EXPECT_NEAR(Distance(GetParam(), a, a), 0.0, 1e-12);
+  }
+}
+
+TEST_P(MetricAxiomsTest, TriangleInequalityOnBinaryVectors) {
+  if (GetParam() == DistanceMetric::kCosine ||
+      GetParam() == DistanceMetric::kSquaredEuclidean) {
+    GTEST_SKIP() << "not a metric";
+  }
+  Rng rng(405);
+  for (int trial = 0; trial < 100; ++trial) {
+    V a(10), b(10), c(10);
+    for (int i = 0; i < 10; ++i) {
+      a[i] = rng.Bernoulli(0.4);
+      b[i] = rng.Bernoulli(0.4);
+      c[i] = rng.Bernoulli(0.4);
+    }
+    double ab = Distance(GetParam(), a, b);
+    double bc = Distance(GetParam(), b, c);
+    double ac = Distance(GetParam(), a, c);
+    EXPECT_LE(ac, ab + bc + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, MetricAxiomsTest,
+    ::testing::Values(DistanceMetric::kEuclidean, DistanceMetric::kCosine,
+                      DistanceMetric::kJaccard, DistanceMetric::kManhattan,
+                      DistanceMetric::kHamming,
+                      DistanceMetric::kSquaredEuclidean),
+    [](const auto& info) {
+      return std::string(DistanceMetricName(info.param));
+    });
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,107 @@
+#include "cluster/elbow.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(AnalyzeElbowTest, SharpElbowDetected) {
+  // Steep drop until k=3, then flat: classic elbow at 3.
+  std::vector<ElbowPoint> curve = {{1, 100}, {2, 50}, {3, 10},
+                                   {4, 9},   {5, 8},  {6, 7}};
+  ElbowAnalysis a = AnalyzeElbowCurve(curve);
+  ASSERT_TRUE(a.elbow_k.has_value());
+  EXPECT_EQ(*a.elbow_k, 3u);
+  EXPECT_GT(a.strength, 0.4);
+}
+
+TEST(AnalyzeElbowTest, LinearDecayHasNoElbow) {
+  std::vector<ElbowPoint> curve;
+  for (std::size_t k = 1; k <= 10; ++k) {
+    curve.push_back({k, 100.0 - 10.0 * static_cast<double>(k)});
+  }
+  ElbowAnalysis a = AnalyzeElbowCurve(curve);
+  EXPECT_LT(a.strength, 0.05);
+}
+
+TEST(AnalyzeElbowTest, ConvexDecayIsWeak) {
+  // Smooth geometric decay: some curvature but no sharp knee.
+  std::vector<ElbowPoint> curve;
+  double w = 100;
+  for (std::size_t k = 1; k <= 12; ++k) {
+    curve.push_back({k, w});
+    w *= 0.85;
+  }
+  ElbowAnalysis a = AnalyzeElbowCurve(curve);
+  EXPECT_LT(a.strength, 0.35);
+}
+
+TEST(AnalyzeElbowTest, DegenerateCurves) {
+  EXPECT_FALSE(AnalyzeElbowCurve({}).elbow_k.has_value());
+  EXPECT_FALSE(AnalyzeElbowCurve({{1, 5}, {2, 4}}).elbow_k.has_value());
+  // Flat curve.
+  ElbowAnalysis flat = AnalyzeElbowCurve({{1, 5}, {2, 5}, {3, 5}});
+  EXPECT_FALSE(flat.elbow_k.has_value());
+  EXPECT_DOUBLE_EQ(flat.strength, 0.0);
+  // Rising curve.
+  ElbowAnalysis rising = AnalyzeElbowCurve({{1, 1}, {2, 2}, {3, 3}});
+  EXPECT_FALSE(rising.elbow_k.has_value());
+}
+
+TEST(AnalyzeElbowTest, ToStringListsCurve) {
+  ElbowAnalysis a = AnalyzeElbowCurve({{1, 10}, {2, 5}, {3, 4}});
+  std::string s = a.ToString();
+  EXPECT_NE(s.find("k,wcss"), std::string::npos);
+  EXPECT_NE(s.find("elbow_k="), std::string::npos);
+  EXPECT_NE(s.find("strength="), std::string::npos);
+}
+
+TEST(ComputeElbowTest, BlobDataHasElbowAtTrueK) {
+  // 3 well-separated blobs: the elbow should be at or near k=3.
+  std::vector<std::vector<double>> rows;
+  for (double cx : {0.0, 50.0, 100.0}) {
+    for (int i = 0; i < 6; ++i) {
+      rows.push_back({cx + 0.1 * i, cx - 0.1 * i});
+    }
+  }
+  Matrix features = Matrix::FromRows(rows);
+  KMeansOptions base;
+  base.restarts = 10;
+  base.seed = 5;
+  auto analysis = ComputeElbow(features, 1, 8, base);
+  ASSERT_TRUE(analysis.ok());
+  ASSERT_EQ(analysis->curve.size(), 8u);
+  ASSERT_TRUE(analysis->elbow_k.has_value());
+  EXPECT_EQ(*analysis->elbow_k, 3u);
+  EXPECT_GT(analysis->strength, 0.5);
+}
+
+TEST(ComputeElbowTest, CurveMonotoneOnBlobs) {
+  Matrix features = Matrix::FromRows(
+      {{0, 0}, {1, 0}, {5, 5}, {6, 5}, {10, 0}, {11, 0}, {3, 9}, {4, 9}});
+  KMeansOptions base;
+  base.restarts = 10;
+  auto analysis = ComputeElbow(features, 1, 6, base);
+  ASSERT_TRUE(analysis.ok());
+  for (std::size_t i = 1; i < analysis->curve.size(); ++i) {
+    EXPECT_LE(analysis->curve[i].wcss,
+              analysis->curve[i - 1].wcss * 1.02 + 1e-9);
+  }
+}
+
+TEST(ComputeElbowTest, ClampsKMaxToRows) {
+  Matrix features = Matrix::FromRows({{0}, {1}, {2}});
+  auto analysis = ComputeElbow(features, 1, 100);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_EQ(analysis->curve.size(), 3u);
+}
+
+TEST(ComputeElbowTest, InvalidBounds) {
+  Matrix features = Matrix::FromRows({{0}, {1}});
+  EXPECT_FALSE(ComputeElbow(features, 0, 5).ok());
+  EXPECT_FALSE(ComputeElbow(features, 5, 2).ok());
+  EXPECT_FALSE(ComputeElbow(features, 3, 3).ok());  // k_min > rows
+}
+
+}  // namespace
+}  // namespace cuisine

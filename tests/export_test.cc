@@ -1,0 +1,118 @@
+#include "core/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/logging.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+Dataset TinyDataset() {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy", ItemCategory::kIngredient);
+  ItemId oil = ds.vocabulary().Intern("oil", ItemCategory::kIngredient);
+  CuisineId a = ds.InternCuisine("A");
+  CuisineId b = ds.InternCuisine("B");
+  auto put = [&](CuisineId c, std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = c;
+    r.items = std::move(items);
+    CUISINE_CHECK(ds.AddRecipe(std::move(r)).ok());
+  };
+  put(a, {soy, oil});
+  put(a, {soy});
+  put(b, {oil});
+  put(b, {oil});
+  return ds;
+}
+
+std::vector<CuisinePatterns> Mined(const Dataset& ds) {
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  CUISINE_CHECK(mined.ok());
+  return std::move(mined).value();
+}
+
+TEST(ExportTest, PatternsCsvParsesBack) {
+  Dataset ds = TinyDataset();
+  std::string csv = PatternsToCsv(ds.vocabulary(), Mined(ds));
+  auto rows = ParseCsv(csv);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_GE(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0],
+            (CsvRow{"cuisine", "pattern", "size", "support", "count"}));
+  // A: soy(1.0), oil(0.5), soy+oil(0.5); B: oil(1.0) -> 4 data rows.
+  EXPECT_EQ(rows->size(), 5u);
+  bool found = false;
+  for (const CsvRow& row : *rows) {
+    if (row[0] == "A" && row[1] == "oil + soy") {
+      found = true;
+      EXPECT_EQ(row[2], "2");
+      EXPECT_EQ(row[4], "1");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExportTest, FeatureMatrixCsvShape) {
+  Dataset ds = TinyDataset();
+  auto space = BuildPatternFeatures(ds, Mined(ds));
+  ASSERT_TRUE(space.ok());
+  auto rows = ParseCsv(FeatureMatrixToCsv(*space));
+  ASSERT_TRUE(rows.ok());
+  // header + 2 cuisines.
+  ASSERT_EQ(rows->size(), 3u);
+  // alphabet: oil, oil+soy, soy -> 1 + 3 columns.
+  EXPECT_EQ((*rows)[0].size(), 4u);
+  EXPECT_EQ((*rows)[1][0], "A");
+  EXPECT_EQ((*rows)[2][0], "B");
+}
+
+TEST(ExportTest, LinkageCsv) {
+  Matrix features = Matrix::FromRows({{0}, {1}, {5}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  auto tree = Dendrogram::FromLinkage(*steps, {"a", "b", "c"});
+  ASSERT_TRUE(tree.ok());
+  auto rows = ParseCsv(LinkageToCsv(*tree));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);  // header + 2 merges
+  EXPECT_EQ((*rows)[1], (CsvRow{"0", "1", "1.000000", "2"}));
+}
+
+TEST(ExportTest, FileExports) {
+  Dataset ds = TinyDataset();
+  auto mined = Mined(ds);
+  auto dir = std::filesystem::temp_directory_path();
+  std::string ppath = (dir / "cuisine_patterns_test.csv").string();
+  std::string npath = (dir / "cuisine_tree_test.nwk").string();
+
+  ASSERT_TRUE(SavePatternsCsv(ds.vocabulary(), mined, ppath).ok());
+  auto contents = ReadFileToString(ppath);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("cuisine,pattern"), std::string::npos);
+
+  auto space = BuildPatternFeatures(ds, mined);
+  ASSERT_TRUE(space.ok());
+  auto tree = ClusterPatternFeatures(*space, DistanceMetric::kJaccard,
+                                     LinkageMethod::kAverage);
+  ASSERT_TRUE(tree.ok());
+  ASSERT_TRUE(SaveNewick(*tree, npath).ok());
+  auto newick = ReadFileToString(npath);
+  ASSERT_TRUE(newick.ok());
+  EXPECT_NE(newick->find(";"), std::string::npos);
+
+  std::remove(ppath.c_str());
+  std::remove(npath.c_str());
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,124 @@
+#include "core/fihc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+// Three cuisines: A and B share the {soy} pattern; C is disjoint.
+Dataset SharedPatternDataset() {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy", ItemCategory::kIngredient);
+  ItemId oil = ds.vocabulary().Intern("oil", ItemCategory::kIngredient);
+  ItemId fish = ds.vocabulary().Intern("fish", ItemCategory::kIngredient);
+  CuisineId a = ds.InternCuisine("A");
+  CuisineId b = ds.InternCuisine("B");
+  CuisineId c = ds.InternCuisine("C");
+  auto put = [&](CuisineId cu, std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = cu;
+    r.items = std::move(items);
+    CUISINE_CHECK(ds.AddRecipe(std::move(r)).ok());
+  };
+  put(a, {soy});
+  put(a, {soy, oil});
+  put(b, {soy});
+  put(b, {soy});
+  put(c, {fish});
+  put(c, {fish});
+  return ds;
+}
+
+std::vector<CuisinePatterns> MineShared(const Dataset& ds) {
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  CUISINE_CHECK(mined.ok());
+  return std::move(mined).value();
+}
+
+TEST(FihcTest, BinaryFeatureMatrixShape) {
+  Dataset ds = SharedPatternDataset();
+  auto space = BuildPatternFeatures(ds, MineShared(ds));
+  ASSERT_TRUE(space.ok());
+  // Patterns: A: soy, oil, soy+oil; B: soy; C: fish.
+  // Union alphabet: fish, oil, oil+soy, soy = 4.
+  EXPECT_EQ(space->features.rows(), 3u);
+  EXPECT_EQ(space->features.cols(), 4u);
+  EXPECT_EQ(space->encoder.num_classes(), 4u);
+  EXPECT_EQ(space->cuisine_names,
+            (std::vector<std::string>{"A", "B", "C"}));
+}
+
+TEST(FihcTest, BinaryEncodingIsMembership) {
+  Dataset ds = SharedPatternDataset();
+  auto space = BuildPatternFeatures(ds, MineShared(ds));
+  ASSERT_TRUE(space.ok());
+  int soy_col = *space->encoder.Transform(std::string("soy"));
+  int fish_col = *space->encoder.Transform(std::string("fish"));
+  EXPECT_DOUBLE_EQ(space->features(0, soy_col), 1.0);
+  EXPECT_DOUBLE_EQ(space->features(1, soy_col), 1.0);
+  EXPECT_DOUBLE_EQ(space->features(2, soy_col), 0.0);
+  EXPECT_DOUBLE_EQ(space->features(2, fish_col), 1.0);
+}
+
+TEST(FihcTest, SupportEncodingUsesSupports) {
+  Dataset ds = SharedPatternDataset();
+  auto space =
+      BuildPatternFeatures(ds, MineShared(ds), PatternEncoding::kSupport);
+  ASSERT_TRUE(space.ok());
+  int soy_col = *space->encoder.Transform(std::string("soy"));
+  EXPECT_DOUBLE_EQ(space->features(0, soy_col), 1.0);  // 2/2 recipes
+  int oil_col = *space->encoder.Transform(std::string("oil"));
+  EXPECT_DOUBLE_EQ(space->features(0, oil_col), 0.5);
+}
+
+TEST(FihcTest, ClusterGroupsSharedPatternCuisines) {
+  Dataset ds = SharedPatternDataset();
+  auto space = BuildPatternFeatures(ds, MineShared(ds));
+  ASSERT_TRUE(space.ok());
+  for (auto metric : {DistanceMetric::kEuclidean, DistanceMetric::kCosine,
+                      DistanceMetric::kJaccard}) {
+    auto tree =
+        ClusterPatternFeatures(*space, metric, LinkageMethod::kAverage);
+    ASSERT_TRUE(tree.ok()) << DistanceMetricName(metric);
+    auto cut = tree->CutToClusters(2);
+    ASSERT_TRUE(cut.ok());
+    EXPECT_EQ((*cut)[0], (*cut)[1]) << DistanceMetricName(metric);
+    EXPECT_NE((*cut)[0], (*cut)[2]) << DistanceMetricName(metric);
+  }
+}
+
+TEST(FihcTest, EmptyMinedRejected) {
+  Dataset ds = SharedPatternDataset();
+  EXPECT_FALSE(BuildPatternFeatures(ds, {}).ok());
+}
+
+TEST(FihcTest, NoPatternsAnywhereIsFailedPrecondition) {
+  Dataset ds = SharedPatternDataset();
+  std::vector<CuisinePatterns> empty_mined(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    empty_mined[i].cuisine = static_cast<CuisineId>(i);
+    empty_mined[i].cuisine_name = ds.CuisineName(static_cast<CuisineId>(i));
+  }
+  auto space = BuildPatternFeatures(ds, empty_mined);
+  EXPECT_FALSE(space.ok());
+  EXPECT_EQ(space.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(FihcTest, SingleCuisineCannotCluster) {
+  Dataset ds = SharedPatternDataset();
+  auto mined = MineShared(ds);
+  mined.resize(1);
+  auto space = BuildPatternFeatures(ds, mined);
+  ASSERT_TRUE(space.ok());
+  EXPECT_FALSE(ClusterPatternFeatures(*space, DistanceMetric::kEuclidean,
+                                      LinkageMethod::kAverage)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,112 @@
+#include "mining/fptree.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TransactionDb ClassicDb() {
+  // The canonical example from Han et al. (2000), items renamed to ints:
+  // f=0 c=1 a=2 b=3 m=4 p=5 (plus infrequent extras filtered at minsup 3).
+  TransactionDb db;
+  db.Add({0, 2, 1, 6, 7, 4, 5});     // f a c d g i m p
+  db.Add({2, 3, 1, 0, 8, 4, 9});     // a b c f l m o
+  db.Add({3, 0, 10, 11, 9});         // b f h j o
+  db.Add({3, 1, 12, 13, 5});         // b c k s p
+  db.Add({2, 0, 1, 14, 8, 5, 4, 15});  // a f c e l p m n
+  return db;
+}
+
+TEST(FpTreeTest, HeaderCountsMatchManualCounts) {
+  FpTree tree(ClassicDb(), 3);
+  EXPECT_EQ(tree.ItemCount(0), 4u);  // f
+  EXPECT_EQ(tree.ItemCount(1), 4u);  // c
+  EXPECT_EQ(tree.ItemCount(2), 3u);  // a
+  EXPECT_EQ(tree.ItemCount(3), 3u);  // b
+  EXPECT_EQ(tree.ItemCount(4), 3u);  // m
+  EXPECT_EQ(tree.ItemCount(5), 3u);  // p
+  EXPECT_EQ(tree.ItemCount(6), 0u);  // infrequent: filtered
+}
+
+TEST(FpTreeTest, NodeCountMatchesHanExample) {
+  // The Han et al. FP-tree for this DB has 11 nodes.
+  FpTree tree(ClassicDb(), 3);
+  EXPECT_EQ(tree.NodeCount(), 11u);
+}
+
+TEST(FpTreeTest, EmptyWhenNothingFrequent) {
+  TransactionDb db;
+  db.Add({1});
+  db.Add({2});
+  FpTree tree(db, 2);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.HeaderItemsAscending().empty());
+}
+
+TEST(FpTreeTest, HeaderItemsAscendingByCount) {
+  FpTree tree(ClassicDb(), 3);
+  auto items = tree.HeaderItemsAscending();
+  ASSERT_EQ(items.size(), 6u);
+  for (std::size_t i = 1; i < items.size(); ++i) {
+    EXPECT_LE(tree.ItemCount(items[i - 1]), tree.ItemCount(items[i]));
+  }
+}
+
+TEST(FpTreeTest, ConditionalPatternBaseForP) {
+  FpTree tree(ClassicDb(), 3);
+  // p (=5) has two paths: fcam:2 and cb:1.
+  auto base = tree.ConditionalPatternBase(5);
+  ASSERT_EQ(base.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& [prefix, count] : base) total += count;
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(FpTreeTest, ConditionalTreeForPKeepsOnlyC) {
+  FpTree tree(ClassicDb(), 3);
+  FpTree cond = tree.Conditional(5, 3);
+  EXPECT_FALSE(cond.empty());
+  EXPECT_EQ(cond.ItemCount(1), 3u);  // c appears 3 times with p
+  EXPECT_EQ(cond.ItemCount(0), 0u);  // f only twice: filtered
+}
+
+TEST(FpTreeTest, ConditionalOfMissingItemIsEmpty) {
+  FpTree tree(ClassicDb(), 3);
+  EXPECT_TRUE(tree.Conditional(42, 3).empty());
+  EXPECT_TRUE(tree.ConditionalPatternBase(42).empty());
+}
+
+TEST(FpTreeTest, SinglePathDetection) {
+  TransactionDb db;
+  db.Add({1, 2, 3});
+  db.Add({1, 2});
+  db.Add({1});
+  FpTree tree(db, 1);
+  EXPECT_TRUE(tree.IsSinglePath());
+
+  TransactionDb forked;
+  forked.Add({1, 2});
+  forked.Add({3, 4});
+  FpTree tree2(forked, 1);
+  EXPECT_FALSE(tree2.IsSinglePath());
+}
+
+TEST(FpTreeTest, MinCountZeroTreatedAsOne) {
+  TransactionDb db;
+  db.Add({1});
+  FpTree tree(db, 0);
+  EXPECT_FALSE(tree.empty());
+  EXPECT_EQ(tree.ItemCount(1), 1u);
+}
+
+TEST(FpTreeTest, SharedPrefixCompression) {
+  TransactionDb db;
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  FpTree tree(db, 1);
+  EXPECT_EQ(tree.NodeCount(), 3u);  // one chain, counts 3 each
+}
+
+}  // namespace
+}  // namespace cuisine

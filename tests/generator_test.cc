@@ -1,0 +1,247 @@
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mining/miner.h"
+#include "mining/pattern_set.h"
+
+namespace cuisine {
+namespace {
+
+// Small-scale corpus shared across cheap tests.
+class GeneratorSmallTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    GeneratorOptions opt;
+    opt.scale = 0.05;
+    opt.seed = 99;
+    auto ds = GenerateRecipeDb(opt);
+    ASSERT_TRUE(ds.ok()) << ds.status();
+    dataset_ = new Dataset(std::move(ds).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* GeneratorSmallTest::dataset_ = nullptr;
+
+TEST_F(GeneratorSmallTest, TwentySixCuisines) {
+  EXPECT_EQ(dataset_->num_cuisines(), 26u);
+}
+
+TEST_F(GeneratorSmallTest, ScaledRecipeCounts) {
+  auto specs = BuildWorldCuisineSpecs();
+  for (const auto& spec : specs) {
+    CuisineId id = dataset_->FindCuisine(spec.name);
+    ASSERT_NE(id, kInvalidCuisineId) << spec.name;
+    std::size_t expected = std::max<std::size_t>(
+        25, static_cast<std::size_t>(std::llround(spec.recipe_count * 0.05)));
+    EXPECT_EQ(dataset_->CuisineRecipeCount(id), expected) << spec.name;
+  }
+}
+
+TEST_F(GeneratorSmallTest, VocabularySizesExact) {
+  DatasetStats stats = dataset_->ComputeStats();
+  EXPECT_EQ(stats.num_ingredients, 20280u);
+  EXPECT_EQ(stats.num_processes, 268u);
+  EXPECT_EQ(stats.num_utensils, 69u);
+}
+
+TEST_F(GeneratorSmallTest, RecipesAreNormalized) {
+  for (std::size_t i = 0; i < std::min<std::size_t>(200, dataset_->num_recipes());
+       ++i) {
+    const Recipe& r = dataset_->recipe(i);
+    EXPECT_TRUE(std::is_sorted(r.items.begin(), r.items.end()));
+    EXPECT_EQ(std::adjacent_find(r.items.begin(), r.items.end()),
+              r.items.end());
+    EXPECT_FALSE(r.items.empty());
+  }
+}
+
+TEST_F(GeneratorSmallTest, PerRecipeAveragesNearPaper) {
+  DatasetStats stats = dataset_->ComputeStats();
+  EXPECT_NEAR(stats.avg_ingredients_per_recipe, 10.0, 1.5);
+  EXPECT_NEAR(stats.avg_processes_per_recipe, 12.0, 1.5);
+  EXPECT_NEAR(stats.avg_utensils_per_recipe, 3.0, 0.8);
+}
+
+TEST_F(GeneratorSmallTest, NoUtensilFractionNearPaper) {
+  DatasetStats stats = dataset_->ComputeStats();
+  double fraction = static_cast<double>(stats.recipes_without_utensils) /
+                    static_cast<double>(stats.num_recipes);
+  EXPECT_NEAR(fraction, 14601.0 / 118171.0, 0.01);
+}
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  GeneratorOptions opt;
+  opt.scale = 0.02;
+  opt.seed = 7;
+  auto a = GenerateRecipeDb(opt);
+  auto b = GenerateRecipeDb(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_recipes(), b->num_recipes());
+  for (std::size_t i = 0; i < a->num_recipes(); ++i) {
+    EXPECT_EQ(a->recipe(i).items, b->recipe(i).items) << "recipe " << i;
+    EXPECT_EQ(a->recipe(i).cuisine, b->recipe(i).cuisine);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorOptions a_opt, b_opt;
+  a_opt.scale = b_opt.scale = 0.02;
+  a_opt.seed = 1;
+  b_opt.seed = 2;
+  auto a = GenerateRecipeDb(a_opt);
+  auto b = GenerateRecipeDb(b_opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < std::min(a->num_recipes(), b->num_recipes());
+       ++i) {
+    if (a->recipe(i).items != b->recipe(i).items) ++differing;
+  }
+  EXPECT_GT(differing, a->num_recipes() / 2);
+}
+
+TEST(GeneratorTest, InvalidScaleRejected) {
+  GeneratorOptions opt;
+  opt.scale = 0.0;
+  EXPECT_FALSE(GenerateRecipeDb(opt).ok());
+  opt.scale = 1.5;
+  EXPECT_FALSE(GenerateRecipeDb(opt).ok());
+}
+
+TEST(GeneratorTest, EmptySpecsRejected) {
+  EXPECT_FALSE(GenerateRecipeDbFromSpecs({}, GeneratorOptions{}).ok());
+}
+
+TEST(GeneratorTest, TooSmallVocabularyRejected) {
+  GeneratorOptions opt;
+  opt.scale = 0.02;
+  opt.total_ingredients = 100;  // far below what the specs intern
+  auto ds = GenerateRecipeDb(opt);
+  EXPECT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorTest, CustomSpecGeneratesCalibratedSupports) {
+  // A hand-rolled 2-cuisine universe: motif supports should be recovered
+  // by direct counting within ~3 sigma.
+  CuisineSpec a;
+  a.name = "A";
+  a.recipe_count = 4000;
+  a.motifs.push_back(
+      ProfileMotif{{{"anchovy", ItemCategory::kIngredient}}, 0.5});
+  CuisineSpec b;
+  b.name = "B";
+  b.recipe_count = 4000;
+  b.motifs.push_back(
+      ProfileMotif{{{"basil", ItemCategory::kIngredient}}, 0.3});
+
+  GeneratorOptions opt;
+  opt.seed = 5;
+  auto ds = GenerateRecipeDbFromSpecs({a, b}, opt);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+
+  CuisineId ca = ds->FindCuisine("A");
+  CuisineId cb = ds->FindCuisine("B");
+  ItemId anchovy = ds->vocabulary().Find("anchovy");
+  ItemId basil = ds->vocabulary().Find("basil");
+  ASSERT_NE(anchovy, kInvalidItemId);
+  ASSERT_NE(basil, kInvalidItemId);
+
+  double pa = static_cast<double>(ds->CountRecipesWithItem(ca, anchovy)) /
+              static_cast<double>(ds->CuisineRecipeCount(ca));
+  double pb = static_cast<double>(ds->CountRecipesWithItem(cb, basil)) /
+              static_cast<double>(ds->CuisineRecipeCount(cb));
+  EXPECT_NEAR(pa, 0.5, 0.03);
+  EXPECT_NEAR(pb, 0.3, 0.03);
+  // Cross-cuisine leakage of signature items comes only from the rare
+  // pool, which never reuses named items.
+  EXPECT_EQ(ds->CountRecipesWithItem(cb, anchovy), 0u);
+}
+
+// Full-scale calibration: the flagship reproduction property. Generation
+// plus mining takes < 1s, so this runs in the normal suite.
+TEST(GeneratorCalibrationTest, FullScaleMatchesTable1) {
+  GeneratorOptions opt;  // defaults: scale 1, seed 2020
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+
+  DatasetStats stats = ds->ComputeStats();
+  EXPECT_EQ(stats.num_recipes, 118171u);
+  EXPECT_EQ(stats.recipes_without_utensils, 14601u);
+  EXPECT_EQ(stats.num_ingredients, 20280u);
+  EXPECT_EQ(stats.num_processes, 268u);
+  EXPECT_EQ(stats.num_utensils, 69u);
+
+  MinerOptions miner;
+  miner.min_support = kPaperMinSupport;
+  auto mined = MineAllCuisines(*ds, miner);
+  ASSERT_TRUE(mined.ok());
+
+  auto specs = BuildWorldCuisineSpecs();
+  const Vocabulary& vocab = ds->vocabulary();
+  double total_err = 0.0;
+  std::size_t n_sigs = 0;
+  for (const auto& spec : specs) {
+    const CuisinePatterns* cp = nullptr;
+    for (const auto& candidate : *mined) {
+      if (candidate.cuisine_name == spec.name) cp = &candidate;
+    }
+    ASSERT_NE(cp, nullptr) << spec.name;
+
+    // Every Table-I signature is mined, at about the right support.
+    for (const auto& sig : spec.signatures) {
+      auto measured = cp->SupportOf(vocab, sig.pattern);
+      ASSERT_TRUE(measured.has_value())
+          << spec.name << ": signature '" << sig.pattern << "' not mined";
+      EXPECT_NEAR(*measured, sig.support, 0.06)
+          << spec.name << ": " << sig.pattern;
+      total_err += std::abs(*measured - sig.support);
+      ++n_sigs;
+    }
+
+    // Pattern counts land near the paper's.
+    double rel =
+        std::abs(static_cast<double>(cp->patterns.size()) -
+                 static_cast<double>(spec.paper_pattern_count)) /
+        static_cast<double>(spec.paper_pattern_count);
+    EXPECT_LT(rel, 0.30) << spec.name << ": " << cp->patterns.size() << " vs "
+                         << spec.paper_pattern_count;
+  }
+  // Aggregate accuracy is much tighter than the per-row bounds.
+  EXPECT_LT(total_err / static_cast<double>(n_sigs), 0.025);
+}
+
+
+TEST(GeneratorTest, DefaultAliasesRegistered) {
+  GeneratorOptions opt;
+  opt.scale = 0.01;
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok());
+  const Vocabulary& v = ds->vocabulary();
+  EXPECT_TRUE(v.IsAlias("spring onion"));
+  EXPECT_EQ(v.Find("spring onion"), v.Find("green onion"));
+  EXPECT_EQ(v.Find("soya sauce"), v.Find("soy sauce"));
+  EXPECT_GE(v.alias_count(), 5u);
+}
+
+TEST(GeneratorTest, AliasRegistrationCanBeDisabled) {
+  GeneratorOptions opt;
+  opt.scale = 0.01;
+  opt.register_default_aliases = false;
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->vocabulary().alias_count(), 0u);
+  EXPECT_EQ(ds->vocabulary().Find("spring onion"), kInvalidItemId);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,98 @@
+#include "geo/geo_cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/haversine.h"
+
+namespace cuisine {
+namespace {
+
+TEST(HaversineTest, ZeroDistanceToSelf) {
+  EXPECT_DOUBLE_EQ(HaversineKm(48.85, 2.35, 48.85, 2.35), 0.0);
+}
+
+TEST(HaversineTest, KnownCityPairs) {
+  // Paris (48.8566, 2.3522) — London (51.5074, -0.1278): ~343-344 km.
+  EXPECT_NEAR(HaversineKm(48.8566, 2.3522, 51.5074, -0.1278), 344.0, 5.0);
+  // New York (40.7128, -74.0060) — Tokyo (35.6762, 139.6503): ~10,850 km.
+  EXPECT_NEAR(HaversineKm(40.7128, -74.0060, 35.6762, 139.6503), 10850.0,
+              100.0);
+}
+
+TEST(HaversineTest, Symmetric) {
+  double ab = HaversineKm(10, 20, -30, 140);
+  double ba = HaversineKm(-30, 140, 10, 20);
+  EXPECT_DOUBLE_EQ(ab, ba);
+}
+
+TEST(HaversineTest, Antipodal) {
+  // Half the Earth's circumference ~ 20,015 km.
+  EXPECT_NEAR(HaversineKm(0, 0, 0, 180), M_PI * kEarthRadiusKm, 1.0);
+}
+
+TEST(WorldRegionsTest, TwentySixRegionsMatchingCuisineNames) {
+  const auto& regions = WorldRegions();
+  EXPECT_EQ(regions.size(), 26u);
+  for (const Region& r : regions) {
+    EXPECT_FALSE(r.name.empty());
+    EXPECT_GE(r.latitude, -90.0);
+    EXPECT_LE(r.latitude, 90.0);
+  }
+}
+
+TEST(WorldRegionsTest, FindRegion) {
+  auto korea = FindRegion("Korean");
+  ASSERT_TRUE(korea.has_value());
+  EXPECT_NEAR(korea->latitude, 36.5, 2.0);
+  EXPECT_FALSE(FindRegion("Atlantis").has_value());
+}
+
+TEST(GeoDistanceMatrixTest, NeighborsCloserThanAntipodes) {
+  auto d = GeoDistanceMatrixFor(
+      {"Japanese", "Korean", "French", "Deutschland"});
+  ASSERT_TRUE(d.ok());
+  // Japan-Korea and France-Germany are each < 1500 km; Japan-France huge.
+  EXPECT_LT(d->at(0, 1), 1500.0);
+  EXPECT_LT(d->at(2, 3), 1500.0);
+  EXPECT_GT(d->at(0, 2), 8000.0);
+}
+
+TEST(GeoDistanceMatrixTest, UnknownCuisineRejected) {
+  auto d = GeoDistanceMatrixFor({"Japanese", "Narnian"});
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GeoClusterTest, GroupsGeographicNeighbors) {
+  auto tree = GeoCluster({"Japanese", "Korean", "French", "Deutschland"});
+  ASSERT_TRUE(tree.ok());
+  auto cut = tree->CutToClusters(2);
+  ASSERT_TRUE(cut.ok());
+  EXPECT_EQ((*cut)[0], (*cut)[1]);  // Japan with Korea
+  EXPECT_EQ((*cut)[2], (*cut)[3]);  // France with Germany
+  EXPECT_NE((*cut)[0], (*cut)[2]);
+}
+
+TEST(GeoClusterTest, FullWorldTreeSensibleStructure) {
+  std::vector<std::string> names;
+  for (const Region& r : WorldRegions()) names.push_back(r.name);
+  auto tree = GeoCluster(names);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_leaves(), 26u);
+  auto coph = tree->CopheneticDistances();
+  // East Asian trio merges below the Europe-Asia join.
+  auto idx = [&](const std::string& name) {
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return i;
+    }
+    ADD_FAILURE();
+    return std::size_t{0};
+  };
+  EXPECT_LT(coph.at(idx("Japanese"), idx("Korean")),
+            coph.at(idx("Japanese"), idx("French")));
+  EXPECT_LT(coph.at(idx("UK"), idx("Irish")),
+            coph.at(idx("UK"), idx("Thai")));
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,130 @@
+#include "mining/itemset.h"
+
+#include <gtest/gtest.h>
+
+#include "mining/transaction.h"
+
+namespace cuisine {
+namespace {
+
+TEST(ItemsetTest, CanonicalisesOnConstruction) {
+  Itemset s({3, 1, 2, 1});
+  EXPECT_EQ(s.items(), (std::vector<ItemId>{1, 2, 3}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ItemsetTest, EmptySet) {
+  Itemset s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(ItemsetTest, Contains) {
+  Itemset s({1, 3, 5});
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(2));
+}
+
+TEST(ItemsetTest, ContainsAll) {
+  Itemset big({1, 2, 3, 4});
+  EXPECT_TRUE(big.ContainsAll(Itemset({2, 4})));
+  EXPECT_TRUE(big.ContainsAll(Itemset()));
+  EXPECT_FALSE(big.ContainsAll(Itemset({2, 5})));
+}
+
+TEST(ItemsetTest, UnionAndDifference) {
+  Itemset a({1, 2}), b({2, 3});
+  EXPECT_EQ(a.Union(b).items(), (std::vector<ItemId>{1, 2, 3}));
+  EXPECT_EQ(a.Difference(b).items(), (std::vector<ItemId>{1}));
+  EXPECT_EQ(b.Difference(a).items(), (std::vector<ItemId>{3}));
+}
+
+TEST(ItemsetTest, With) {
+  Itemset s({2});
+  EXPECT_EQ(s.With(1).items(), (std::vector<ItemId>{1, 2}));
+  EXPECT_EQ(s.With(2).items(), (std::vector<ItemId>{2}));
+}
+
+TEST(ItemsetTest, EqualityAndOrdering) {
+  EXPECT_EQ(Itemset({1, 2}), Itemset({2, 1}));
+  EXPECT_NE(Itemset({1}), Itemset({2}));
+  EXPECT_LT(Itemset({1}), Itemset({1, 2}));
+  EXPECT_LT(Itemset({1, 2}), Itemset({2}));
+}
+
+TEST(ItemsetTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Itemset({1, 2}).Hash(), Itemset({2, 1}).Hash());
+  EXPECT_NE(Itemset({1, 2}).Hash(), Itemset({1, 3}).Hash());
+}
+
+TEST(ItemsetTest, ToStringSortsNames) {
+  Vocabulary v;
+  ItemId soy = v.Intern("soy sauce", ItemCategory::kIngredient);
+  ItemId add = v.Intern("add", ItemCategory::kProcess);
+  Itemset s({soy, add});
+  // names sorted lexicographically: add < soy_sauce
+  EXPECT_EQ(s.ToString(v), "add + soy_sauce");
+}
+
+TEST(SortPatternsTest, CanonicalOrder) {
+  std::vector<FrequentItemset> ps;
+  ps.push_back({Itemset({2}), 1, 0.1});
+  ps.push_back({Itemset({1, 2}), 2, 0.2});
+  ps.push_back({Itemset({1}), 3, 0.3});
+  SortPatternsCanonical(&ps);
+  EXPECT_EQ(ps[0].items, Itemset({1}));
+  EXPECT_EQ(ps[1].items, Itemset({1, 2}));
+  EXPECT_EQ(ps[2].items, Itemset({2}));
+}
+
+TEST(SortPatternsTest, BySupportThenCanonical) {
+  std::vector<FrequentItemset> ps;
+  ps.push_back({Itemset({3}), 1, 0.5});
+  ps.push_back({Itemset({1}), 1, 0.9});
+  ps.push_back({Itemset({2}), 1, 0.5});
+  SortPatternsBySupport(&ps);
+  EXPECT_EQ(ps[0].items, Itemset({1}));
+  EXPECT_EQ(ps[1].items, Itemset({2}));  // tie broken canonically
+  EXPECT_EQ(ps[2].items, Itemset({3}));
+}
+
+TEST(TransactionDbTest, AddCanonicalises) {
+  TransactionDb db;
+  db.Add({3, 1, 1, 2});
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db[0], (std::vector<ItemId>{1, 2, 3}));
+}
+
+TEST(TransactionDbTest, ItemUniverseSize) {
+  TransactionDb db;
+  EXPECT_EQ(db.ItemUniverseSize(), 0u);
+  db.Add({4, 7});
+  db.Add({2});
+  EXPECT_EQ(db.ItemUniverseSize(), 8u);
+}
+
+TEST(TransactionDbTest, FromCuisineAndDataset) {
+  Dataset ds;
+  ItemId salt = ds.vocabulary().Intern("salt", ItemCategory::kIngredient);
+  ItemId soy = ds.vocabulary().Intern("soy", ItemCategory::kIngredient);
+  CuisineId a = ds.InternCuisine("A");
+  CuisineId b = ds.InternCuisine("B");
+  Recipe r1;
+  r1.cuisine = a;
+  r1.items = {salt};
+  Recipe r2;
+  r2.cuisine = b;
+  r2.items = {soy, salt};
+  ASSERT_TRUE(ds.AddRecipe(std::move(r1)).ok());
+  ASSERT_TRUE(ds.AddRecipe(std::move(r2)).ok());
+
+  TransactionDb da = TransactionDb::FromCuisine(ds, a);
+  EXPECT_EQ(da.size(), 1u);
+  EXPECT_EQ(da[0], (std::vector<ItemId>{salt}));
+
+  TransactionDb all = TransactionDb::FromDataset(ds);
+  EXPECT_EQ(all.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,157 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+// Two tight blobs far apart.
+Matrix TwoBlobs() {
+  return Matrix::FromRows({{0.0, 0.0},
+                           {0.1, 0.0},
+                           {0.0, 0.1},
+                           {10.0, 10.0},
+                           {10.1, 10.0},
+                           {10.0, 10.1}});
+}
+
+TEST(KMeansTest, SeparatesTwoBlobs) {
+  KMeansOptions opt;
+  opt.k = 2;
+  opt.seed = 1;
+  auto result = KMeansCluster(TwoBlobs(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels.size(), 6u);
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[0], result->labels[2]);
+  EXPECT_EQ(result->labels[3], result->labels[4]);
+  EXPECT_EQ(result->labels[3], result->labels[5]);
+  EXPECT_NE(result->labels[0], result->labels[3]);
+  EXPECT_LT(result->wcss, 0.1);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(KMeansTest, KEqualsOneGivesGlobalCentroid) {
+  KMeansOptions opt;
+  opt.k = 1;
+  auto result = KMeansCluster(TwoBlobs(), opt);
+  ASSERT_TRUE(result.ok());
+  for (int label : result->labels) EXPECT_EQ(label, 0);
+  auto means = TwoBlobs().ColMeans();
+  EXPECT_NEAR(result->centroids(0, 0), means[0], 1e-9);
+  EXPECT_NEAR(result->centroids(0, 1), means[1], 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroWcss) {
+  KMeansOptions opt;
+  opt.k = 6;
+  opt.restarts = 20;
+  auto result = KMeansCluster(TwoBlobs(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->wcss, 0.0, 1e-12);
+  std::set<int> unique(result->labels.begin(), result->labels.end());
+  EXPECT_EQ(unique.size(), 6u);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  KMeansOptions opt;
+  opt.k = 2;
+  opt.seed = 42;
+  auto a = KMeansCluster(TwoBlobs(), opt);
+  auto b = KMeansCluster(TwoBlobs(), opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_DOUBLE_EQ(a->wcss, b->wcss);
+}
+
+TEST(KMeansTest, InvalidArguments) {
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(KMeansCluster(TwoBlobs(), opt).ok());
+  opt.k = 7;  // > rows
+  EXPECT_FALSE(KMeansCluster(TwoBlobs(), opt).ok());
+  opt.k = 2;
+  opt.restarts = 0;
+  EXPECT_FALSE(KMeansCluster(TwoBlobs(), opt).ok());
+  EXPECT_FALSE(KMeansCluster(Matrix(), KMeansOptions{}).ok());
+}
+
+TEST(KMeansTest, WcssMatchesComputeWcss) {
+  KMeansOptions opt;
+  opt.k = 2;
+  auto result = KMeansCluster(TwoBlobs(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->wcss,
+              ComputeWcss(TwoBlobs(), result->labels, result->centroids),
+              1e-9);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorse) {
+  Rng rng(77);
+  Matrix features(40, 3);
+  for (std::size_t r = 0; r < 40; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      features(r, c) = rng.UniformDouble(0, 10);
+    }
+  }
+  KMeansOptions few;
+  few.k = 5;
+  few.restarts = 1;
+  few.seed = 3;
+  KMeansOptions many = few;
+  many.restarts = 15;
+  auto a = KMeansCluster(features, few);
+  auto b = KMeansCluster(features, many);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->wcss, a->wcss + 1e-9);
+}
+
+TEST(KMeansTest, LabelsWithinRange) {
+  KMeansOptions opt;
+  opt.k = 3;
+  auto result = KMeansCluster(TwoBlobs(), opt);
+  ASSERT_TRUE(result.ok());
+  for (int label : result->labels) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 3);
+  }
+  EXPECT_EQ(result->centroids.rows(), 3u);
+  EXPECT_EQ(result->centroids.cols(), 2u);
+}
+
+// WCSS is monotone non-increasing in k (with enough restarts).
+class KMeansMonotoneTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KMeansMonotoneTest, WcssNonIncreasingInK) {
+  Rng rng(GetParam());
+  Matrix features(30, 4);
+  for (std::size_t r = 0; r < 30; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      features(r, c) = rng.UniformDouble(0, 10);
+    }
+  }
+  double prev = 1e300;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    KMeansOptions opt;
+    opt.k = k;
+    opt.restarts = 12;
+    opt.seed = GetParam();
+    auto result = KMeansCluster(features, opt);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->wcss, prev * 1.02 + 1e-9)
+        << "k=" << k;  // small slack: restarts are heuristic
+    prev = result->wcss;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KMeansMonotoneTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,146 @@
+#include "cluster/kmedoids.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+CondensedDistanceMatrix TwoBlobDistances() {
+  Matrix features = Matrix::FromRows(
+      {{0, 0}, {0.1, 0}, {0, 0.1}, {10, 10}, {10.1, 10}, {10, 10.1}});
+  return CondensedDistanceMatrix::FromFeatures(features,
+                                               DistanceMetric::kEuclidean);
+}
+
+TEST(KMedoidsTest, SeparatesTwoBlobs) {
+  KMedoidsOptions opt;
+  opt.k = 2;
+  auto result = KMedoidsCluster(TwoBlobDistances(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[0], result->labels[2]);
+  EXPECT_EQ(result->labels[3], result->labels[4]);
+  EXPECT_NE(result->labels[0], result->labels[3]);
+  EXPECT_TRUE(result->converged);
+  // Medoids are actual observations, one per blob.
+  ASSERT_EQ(result->medoids.size(), 2u);
+  EXPECT_LT(result->medoids[0], 3u);
+  EXPECT_GE(result->medoids[1], 3u);
+}
+
+TEST(KMedoidsTest, MedoidMinimisesClusterCost) {
+  KMedoidsOptions opt;
+  opt.k = 2;
+  auto d = TwoBlobDistances();
+  auto result = KMedoidsCluster(d, opt);
+  ASSERT_TRUE(result.ok());
+  // Swapping a medoid for any same-cluster member may not lower cost.
+  for (std::size_t c = 0; c < result->medoids.size(); ++c) {
+    double current = 0.0;
+    for (std::size_t j = 0; j < d.n(); ++j) {
+      if (result->labels[j] == static_cast<int>(c)) {
+        current += d.at(result->medoids[c], j);
+      }
+    }
+    for (std::size_t candidate = 0; candidate < d.n(); ++candidate) {
+      if (result->labels[candidate] != static_cast<int>(c)) continue;
+      double alt = 0.0;
+      for (std::size_t j = 0; j < d.n(); ++j) {
+        if (result->labels[j] == static_cast<int>(c)) {
+          alt += d.at(candidate, j);
+        }
+      }
+      EXPECT_GE(alt, current - 1e-9);
+    }
+  }
+}
+
+TEST(KMedoidsTest, KEqualsNZeroCost) {
+  KMedoidsOptions opt;
+  opt.k = 6;
+  opt.restarts = 5;
+  auto result = KMedoidsCluster(TwoBlobDistances(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->cost, 0.0, 1e-12);
+  std::set<std::size_t> medoids(result->medoids.begin(),
+                                result->medoids.end());
+  EXPECT_EQ(medoids.size(), 6u);
+}
+
+TEST(KMedoidsTest, DeterministicForSeed) {
+  KMedoidsOptions opt;
+  opt.k = 2;
+  opt.seed = 99;
+  auto a = KMedoidsCluster(TwoBlobDistances(), opt);
+  auto b = KMedoidsCluster(TwoBlobDistances(), opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->labels, b->labels);
+  EXPECT_EQ(a->medoids, b->medoids);
+  EXPECT_DOUBLE_EQ(a->cost, b->cost);
+}
+
+TEST(KMedoidsTest, WorksOnJaccardBinaryData) {
+  // Binary feature rows: the categorical use case K-means struggles with.
+  Matrix features = Matrix::FromRows({{1, 1, 0, 0, 0},
+                                      {1, 1, 1, 0, 0},
+                                      {1, 1, 0, 1, 0},
+                                      {0, 0, 1, 1, 1},
+                                      {0, 0, 0, 1, 1},
+                                      {0, 1, 1, 1, 1}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kJaccard);
+  KMedoidsOptions opt;
+  opt.k = 2;
+  opt.restarts = 20;
+  auto result = KMedoidsCluster(d, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->labels[0], result->labels[1]);
+  EXPECT_EQ(result->labels[0], result->labels[2]);
+  EXPECT_EQ(result->labels[3], result->labels[4]);
+  EXPECT_EQ(result->labels[3], result->labels[5]);
+  EXPECT_NE(result->labels[0], result->labels[3]);
+}
+
+TEST(KMedoidsTest, Validation) {
+  auto d = TwoBlobDistances();
+  KMedoidsOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(KMedoidsCluster(d, opt).ok());
+  opt.k = 7;
+  EXPECT_FALSE(KMedoidsCluster(d, opt).ok());
+  opt.k = 2;
+  opt.restarts = 0;
+  EXPECT_FALSE(KMedoidsCluster(d, opt).ok());
+  EXPECT_FALSE(KMedoidsCluster(CondensedDistanceMatrix(0), KMedoidsOptions{})
+                   .ok());
+}
+
+TEST(KMedoidsTest, CostNonIncreasingInK) {
+  Rng rng(12);
+  Matrix features(20, 3);
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      features(r, c) = rng.UniformDouble(0, 5);
+    }
+  }
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  double prev = 1e300;
+  for (std::size_t k = 1; k <= 6; ++k) {
+    KMedoidsOptions opt;
+    opt.k = k;
+    opt.restarts = 15;
+    auto result = KMedoidsCluster(d, opt);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->cost, prev * 1.02 + 1e-9);
+    prev = result->cost;
+  }
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,80 @@
+#include "cluster/label_encoder.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(LabelEncoderTest, FitSortsClasses) {
+  LabelEncoder enc;
+  enc.Fit({"pear", "apple", "plum", "apple"});
+  EXPECT_EQ(enc.num_classes(), 3u);
+  EXPECT_EQ(enc.classes(),
+            (std::vector<std::string>{"apple", "pear", "plum"}));
+}
+
+TEST(LabelEncoderTest, TransformKnown) {
+  LabelEncoder enc;
+  enc.Fit({"b", "a", "c"});
+  EXPECT_EQ(*enc.Transform(std::string("a")), 0);
+  EXPECT_EQ(*enc.Transform(std::string("b")), 1);
+  EXPECT_EQ(*enc.Transform(std::string("c")), 2);
+}
+
+TEST(LabelEncoderTest, TransformUnknownIsNotFound) {
+  LabelEncoder enc;
+  enc.Fit({"a"});
+  auto r = enc.Transform(std::string("zz"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(LabelEncoderTest, TransformVector) {
+  LabelEncoder enc;
+  enc.Fit({"x", "y"});
+  auto codes = enc.Transform(std::vector<std::string>{"y", "x", "y"});
+  ASSERT_TRUE(codes.ok());
+  EXPECT_EQ(*codes, (std::vector<int>{1, 0, 1}));
+
+  auto bad = enc.Transform(std::vector<std::string>{"x", "nope"});
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(LabelEncoderTest, InverseTransform) {
+  LabelEncoder enc;
+  enc.Fit({"x", "y"});
+  EXPECT_EQ(*enc.InverseTransform(0), "x");
+  EXPECT_EQ(*enc.InverseTransform(1), "y");
+  EXPECT_FALSE(enc.InverseTransform(2).ok());
+  EXPECT_FALSE(enc.InverseTransform(-1).ok());
+}
+
+TEST(LabelEncoderTest, RoundTrip) {
+  LabelEncoder enc;
+  std::vector<std::string> values = {"soy", "fish", "olive", "soy"};
+  enc.Fit(values);
+  for (const std::string& v : values) {
+    auto code = enc.Transform(v);
+    ASSERT_TRUE(code.ok());
+    EXPECT_EQ(*enc.InverseTransform(*code), v);
+  }
+}
+
+TEST(LabelEncoderTest, RefitReplacesClasses) {
+  LabelEncoder enc;
+  enc.Fit({"a", "b"});
+  enc.Fit({"z"});
+  EXPECT_EQ(enc.num_classes(), 1u);
+  EXPECT_FALSE(enc.Transform(std::string("a")).ok());
+  EXPECT_TRUE(enc.Transform(std::string("z")).ok());
+}
+
+TEST(LabelEncoderTest, EmptyFit) {
+  LabelEncoder enc;
+  enc.Fit({});
+  EXPECT_EQ(enc.num_classes(), 0u);
+  EXPECT_FALSE(enc.Transform(std::string("x")).ok());
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,152 @@
+#include "cluster/linkage.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+// 1-D points 0, 1, 4, 10: merge order is fully determined.
+CondensedDistanceMatrix LineDistances() {
+  Matrix features = Matrix::FromRows({{0}, {1}, {4}, {10}});
+  return CondensedDistanceMatrix::FromFeatures(features,
+                                               DistanceMetric::kEuclidean);
+}
+
+TEST(LinkageTest, SingleLinkageLine) {
+  auto steps = HierarchicalCluster(LineDistances(), LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 3u);
+  // {0,1}@1, then {01,2}@min(4,3)=3, then @min(10,9,6)=6.
+  EXPECT_EQ((*steps)[0].left, 0u);
+  EXPECT_EQ((*steps)[0].right, 1u);
+  EXPECT_DOUBLE_EQ((*steps)[0].distance, 1.0);
+  EXPECT_EQ((*steps)[0].size, 2u);
+  EXPECT_DOUBLE_EQ((*steps)[1].distance, 3.0);
+  EXPECT_EQ((*steps)[1].size, 3u);
+  EXPECT_DOUBLE_EQ((*steps)[2].distance, 6.0);
+  EXPECT_EQ((*steps)[2].size, 4u);
+}
+
+TEST(LinkageTest, CompleteLinkageLine) {
+  auto steps = HierarchicalCluster(LineDistances(), LinkageMethod::kComplete);
+  ASSERT_TRUE(steps.ok());
+  // {0,1}@1, {01,2}@max(4,3)=4, {012,3}@max(10,9,6)=10.
+  EXPECT_DOUBLE_EQ((*steps)[1].distance, 4.0);
+  EXPECT_DOUBLE_EQ((*steps)[2].distance, 10.0);
+}
+
+TEST(LinkageTest, AverageLinkageLine) {
+  auto steps = HierarchicalCluster(LineDistances(), LinkageMethod::kAverage);
+  ASSERT_TRUE(steps.ok());
+  // {01,2}@(4+3)/2=3.5, {012,3}@(10+9+6)/3=25/3.
+  EXPECT_DOUBLE_EQ((*steps)[1].distance, 3.5);
+  EXPECT_NEAR((*steps)[2].distance, 25.0 / 3.0, 1e-12);
+}
+
+TEST(LinkageTest, WeightedLinkageLine) {
+  auto steps = HierarchicalCluster(LineDistances(), LinkageMethod::kWeighted);
+  ASSERT_TRUE(steps.ok());
+  // WPGMA: d({01},2) = (4+3)/2 = 3.5; d({012},3) = (d({01},3)+d(2,3))/2
+  //      = ((10+9)/2 + 6)/2 = (9.5+6)/2 = 7.75.
+  EXPECT_DOUBLE_EQ((*steps)[1].distance, 3.5);
+  EXPECT_DOUBLE_EQ((*steps)[2].distance, 7.75);
+}
+
+TEST(LinkageTest, WardMatchesScipyOnLine) {
+  auto steps = HierarchicalCluster(LineDistances(), LinkageMethod::kWard);
+  ASSERT_TRUE(steps.ok());
+  // Ward distance = sqrt(2|A||B|/(|A|+|B|)) * ||centroid_A - centroid_B||:
+  //   {0},{1}:       sqrt(2*1*1/2) * 1        = 1
+  //   {0,1},{4}:     sqrt(2*2*1/3) * 3.5      = 4.04145188...
+  //   {0,1,4},{10}:  sqrt(2*3*1/4) * (10-5/3) = 10.20620726...
+  EXPECT_DOUBLE_EQ((*steps)[0].distance, 1.0);
+  EXPECT_NEAR((*steps)[1].distance, 4.041451884327381, 1e-9);
+  EXPECT_NEAR((*steps)[2].distance, 10.206207261596576, 1e-9);
+}
+
+TEST(LinkageTest, ClusterIdsFollowScipyConvention) {
+  auto steps = HierarchicalCluster(LineDistances(), LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  // Step 1 merges new cluster 4 (from step 0) with leaf 2.
+  EXPECT_EQ((*steps)[1].left, 2u);
+  EXPECT_EQ((*steps)[1].right, 4u);
+  EXPECT_EQ((*steps)[2].left, 3u);
+  EXPECT_EQ((*steps)[2].right, 5u);
+}
+
+TEST(LinkageTest, SingleObservation) {
+  CondensedDistanceMatrix d(1);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kAverage);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_TRUE(steps->empty());
+}
+
+TEST(LinkageTest, ZeroObservationsRejected) {
+  CondensedDistanceMatrix d(0);
+  EXPECT_FALSE(HierarchicalCluster(d, LinkageMethod::kAverage).ok());
+}
+
+TEST(LinkageTest, TieBreakDeterministic) {
+  // Equilateral: all distances equal; merges must be deterministic
+  // (smallest id pair first).
+  CondensedDistanceMatrix d(3);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 1.0);
+  d.set(1, 2, 1.0);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ((*steps)[0].left, 0u);
+  EXPECT_EQ((*steps)[0].right, 1u);
+}
+
+class LinkageMonotoneTest : public ::testing::TestWithParam<LinkageMethod> {};
+
+TEST_P(LinkageMonotoneTest, RandomDistancesProduceMonotoneMerges) {
+  Rng rng(2025);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 12;
+    Matrix features(n, 4);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < 4; ++c) {
+        features(r, c) = rng.UniformDouble(0, 10);
+      }
+    }
+    auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                   DistanceMetric::kEuclidean);
+    auto steps = HierarchicalCluster(d, GetParam());
+    ASSERT_TRUE(steps.ok());
+    EXPECT_EQ(steps->size(), n - 1);
+    EXPECT_TRUE(IsMonotone(*steps));
+    // Final merge covers all observations.
+    EXPECT_EQ(steps->back().size, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMethods, LinkageMonotoneTest,
+    ::testing::Values(LinkageMethod::kSingle, LinkageMethod::kComplete,
+                      LinkageMethod::kAverage, LinkageMethod::kWeighted,
+                      LinkageMethod::kWard),
+    [](const auto& info) {
+      return std::string(LinkageMethodName(info.param));
+    });
+
+TEST(LinkageTest, ParseNames) {
+  EXPECT_EQ(*ParseLinkageMethod("single"), LinkageMethod::kSingle);
+  EXPECT_EQ(*ParseLinkageMethod("WARD"), LinkageMethod::kWard);
+  EXPECT_EQ(*ParseLinkageMethod("upgma"), LinkageMethod::kAverage);
+  EXPECT_EQ(*ParseLinkageMethod("wpgma"), LinkageMethod::kWeighted);
+  EXPECT_FALSE(ParseLinkageMethod("median").ok());
+}
+
+TEST(LinkageTest, IsMonotoneDetectsInversion) {
+  std::vector<LinkageStep> steps = {{0, 1, 2.0, 2}, {2, 3, 1.0, 3}};
+  EXPECT_FALSE(IsMonotone(steps));
+  steps[1].distance = 2.5;
+  EXPECT_TRUE(IsMonotone(steps));
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,88 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/timer.h"
+
+namespace cuisine {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LoggingTest, LevelRoundTrip) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+}
+
+TEST(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+  EXPECT_EQ(LogLevelName(LogLevel::kFatal), "FATAL");
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreSwallowed) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kError);
+  testing::internal::CaptureStderr();
+  CUISINE_LOG(Info) << "should not appear";
+  CUISINE_LOG(Error) << "should appear";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+}
+
+TEST(LoggingTest, MessageCarriesLevelAndFile) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  CUISINE_LOG(Warning) << "attention";
+  std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
+  EXPECT_NE(err.find("attention"), std::string::npos);
+}
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  testing::internal::CaptureStderr();
+  CUISINE_CHECK(1 + 1 == 2) << "unused";
+  CUISINE_CHECK_EQ(2, 2);
+  CUISINE_CHECK_LT(1, 2);
+  CUISINE_CHECK_LE(2, 2);
+  CUISINE_CHECK_GT(3, 2);
+  CUISINE_CHECK_GE(3, 3);
+  CUISINE_CHECK_NE(1, 2);
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(CheckTest, FailingCheckAborts) {
+  EXPECT_DEATH({ CUISINE_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer timer;
+  double t0 = timer.Seconds();
+  EXPECT_GE(t0, 0.0);
+  // Busy-wait a tiny amount.
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(timer.Seconds(), t0);
+  EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1000.0,
+              timer.Seconds() * 50.0 + 1.0);
+  timer.Reset();
+  EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,102 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+    }
+  }
+}
+
+TEST(MatrixTest, EmptyMatrix) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowView) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+TEST(MatrixTest, RowAndColVector) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.RowVector(0), (std::vector<double>{1, 2}));
+  EXPECT_EQ(m.ColVector(1), (std::vector<double>{2, 4}));
+}
+
+TEST(MatrixTest, ColMeans) {
+  Matrix m = Matrix::FromRows({{1, 4}, {3, 8}});
+  EXPECT_EQ(m.ColMeans(), (std::vector<double>{2, 6}));
+}
+
+TEST(MatrixTest, RowSums) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.RowSums(), (std::vector<double>{3, 7}));
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_DOUBLE_EQ(m.MaxAbsDiff(m.Transposed().Transposed()), 0.0);
+}
+
+TEST(MatrixTest, SumAndMaxAbsDiff) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{1, 2}, {3, 7}});
+  EXPECT_DOUBLE_EQ(a.Sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(MatrixTest, ToStringFormatsRows) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}});
+  EXPECT_EQ(m.ToString(1), "1.0 2.0\n");
+}
+
+TEST(VectorOpsTest, Dot) {
+  std::vector<double> a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  std::vector<double> a = {3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+}
+
+TEST(VectorOpsTest, SquaredDistance) {
+  std::vector<double> a = {1, 2}, b = {4, 6};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,252 @@
+// Cross-miner tests: hand-computed oracles plus the core property that
+// FP-Growth, Apriori and Eclat return identical complete pattern sets.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+TransactionDb TinyDb() {
+  // 4 transactions over items {1,2,3}:
+  //   {1,2} {1,2,3} {1,3} {2}
+  // Supports: 1:3/4, 2:3/4, 3:2/4, {1,2}:2/4, {1,3}:2/4, {2,3}:1/4,
+  // {1,2,3}:1/4.
+  TransactionDb db;
+  db.Add({1, 2});
+  db.Add({1, 2, 3});
+  db.Add({1, 3});
+  db.Add({2});
+  return db;
+}
+
+std::map<Itemset, double> ToMap(const std::vector<FrequentItemset>& ps) {
+  std::map<Itemset, double> m;
+  for (const auto& p : ps) m.emplace(p.items, p.support);
+  return m;
+}
+
+using MinerFn = Result<std::vector<FrequentItemset>> (*)(const TransactionDb&,
+                                                         const MinerOptions&);
+
+class AllMinersTest
+    : public ::testing::TestWithParam<std::pair<const char*, MinerFn>> {};
+
+TEST_P(AllMinersTest, TinyOracleAtHalfSupport) {
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto result = GetParam().second(TinyDb(), opt);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto m = ToMap(*result);
+  ASSERT_EQ(m.size(), 5u);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({1})), 0.75);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({2})), 0.75);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({3})), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({1, 2})), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({1, 3})), 0.5);
+  EXPECT_EQ(m.count(Itemset({2, 3})), 0u);
+  EXPECT_EQ(m.count(Itemset({1, 2, 3})), 0u);
+}
+
+TEST_P(AllMinersTest, FullLatticeAtLowSupport) {
+  MinerOptions opt;
+  opt.min_support = 0.25;  // everything with >= 1 transaction
+  auto result = GetParam().second(TinyDb(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 7u);
+  auto m = ToMap(*result);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({1, 2, 3})), 0.25);
+}
+
+TEST_P(AllMinersTest, NothingFrequentAtFullSupport) {
+  MinerOptions opt;
+  opt.min_support = 1.0;
+  auto result = GetParam().second(TinyDb(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_P(AllMinersTest, UniversalItemAtFullSupport) {
+  TransactionDb db;
+  db.Add({1, 2});
+  db.Add({1, 3});
+  db.Add({1});
+  MinerOptions opt;
+  opt.min_support = 1.0;
+  auto result = GetParam().second(db, opt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].items, Itemset({1}));
+  EXPECT_EQ((*result)[0].count, 3u);
+}
+
+TEST_P(AllMinersTest, EmptyDatabase) {
+  TransactionDb db;
+  MinerOptions opt;
+  auto result = GetParam().second(db, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->empty());
+}
+
+TEST_P(AllMinersTest, InvalidSupportRejected) {
+  MinerOptions opt;
+  opt.min_support = 0.0;
+  EXPECT_FALSE(GetParam().second(TinyDb(), opt).ok());
+  opt.min_support = 1.5;
+  EXPECT_FALSE(GetParam().second(TinyDb(), opt).ok());
+}
+
+TEST_P(AllMinersTest, MaxPatternSizeCaps) {
+  MinerOptions opt;
+  opt.min_support = 0.25;
+  opt.max_pattern_size = 1;
+  auto result = GetParam().second(TinyDb(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);
+  for (const auto& p : *result) EXPECT_EQ(p.items.size(), 1u);
+}
+
+TEST_P(AllMinersTest, SupportsAreCountsOverN) {
+  MinerOptions opt;
+  opt.min_support = 0.25;
+  auto result = GetParam().second(TinyDb(), opt);
+  ASSERT_TRUE(result.ok());
+  for (const auto& p : *result) {
+    EXPECT_DOUBLE_EQ(p.support, p.count / 4.0);
+  }
+}
+
+TEST_P(AllMinersTest, DownwardClosure) {
+  // Every subset of a frequent itemset is frequent with >= support.
+  Rng rng(2024);
+  TransactionDb db;
+  for (int t = 0; t < 200; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId i = 0; i < 12; ++i) {
+      if (rng.Bernoulli(0.3)) items.push_back(i);
+    }
+    db.Add(std::move(items));
+  }
+  MinerOptions opt;
+  opt.min_support = 0.1;
+  auto result = GetParam().second(db, opt);
+  ASSERT_TRUE(result.ok());
+  auto m = ToMap(*result);
+  for (const auto& [items, support] : m) {
+    if (items.size() < 2) continue;
+    for (std::size_t skip = 0; skip < items.size(); ++skip) {
+      std::vector<ItemId> subset;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i != skip) subset.push_back(items[i]);
+      }
+      Itemset sub(subset);
+      ASSERT_TRUE(m.count(sub)) << "missing subset";
+      EXPECT_GE(m.at(sub), support - 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Miners, AllMinersTest,
+    ::testing::Values(std::make_pair("fpgrowth", &MineFpGrowth),
+                      std::make_pair("apriori", &MineApriori),
+                      std::make_pair("eclat", &MineEclat)),
+    [](const auto& info) { return std::string(info.param.first); });
+
+// ---------------------------------------------------------------------------
+// Cross-consistency: the flagship property. Random databases across a
+// sweep of supports must produce identical pattern sets from all three
+// algorithms.
+// ---------------------------------------------------------------------------
+
+struct ConsistencyCase {
+  std::uint64_t seed;
+  double min_support;
+  std::size_t num_transactions;
+  std::size_t alphabet;
+  double density;
+};
+
+class MinerConsistencyTest : public ::testing::TestWithParam<ConsistencyCase> {
+};
+
+TEST_P(MinerConsistencyTest, AllThreeMinersAgree) {
+  const ConsistencyCase& c = GetParam();
+  Rng rng(c.seed);
+  TransactionDb db;
+  for (std::size_t t = 0; t < c.num_transactions; ++t) {
+    std::vector<ItemId> items;
+    for (ItemId i = 0; i < c.alphabet; ++i) {
+      // Vary density per item to create skewed supports.
+      double p = c.density * (1.0 + static_cast<double>(i % 5)) / 3.0;
+      if (rng.Bernoulli(p)) items.push_back(i);
+    }
+    db.Add(std::move(items));
+  }
+  MinerOptions opt;
+  opt.min_support = c.min_support;
+
+  auto fp = MineFpGrowth(db, opt);
+  auto ap = MineApriori(db, opt);
+  auto ec = MineEclat(db, opt);
+  ASSERT_TRUE(fp.ok());
+  ASSERT_TRUE(ap.ok());
+  ASSERT_TRUE(ec.ok());
+
+  // Canonical sort makes them directly comparable.
+  ASSERT_EQ(fp->size(), ap->size());
+  ASSERT_EQ(fp->size(), ec->size());
+  for (std::size_t i = 0; i < fp->size(); ++i) {
+    EXPECT_EQ((*fp)[i].items, (*ap)[i].items);
+    EXPECT_EQ((*fp)[i].count, (*ap)[i].count);
+    EXPECT_EQ((*fp)[i].items, (*ec)[i].items);
+    EXPECT_EQ((*fp)[i].count, (*ec)[i].count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomDbs, MinerConsistencyTest,
+    ::testing::Values(ConsistencyCase{1, 0.10, 100, 10, 0.25},
+                      ConsistencyCase{2, 0.20, 200, 15, 0.30},
+                      ConsistencyCase{3, 0.30, 50, 8, 0.50},
+                      ConsistencyCase{4, 0.05, 300, 12, 0.15},
+                      ConsistencyCase{5, 0.50, 80, 6, 0.60},
+                      ConsistencyCase{6, 0.15, 150, 20, 0.20},
+                      ConsistencyCase{7, 0.25, 400, 10, 0.35},
+                      ConsistencyCase{8, 0.40, 60, 14, 0.45}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+TEST(MinerOptionsTest, MinCountCeil) {
+  MinerOptions opt;
+  opt.min_support = 0.2;
+  EXPECT_EQ(opt.MinCount(10), 2u);
+  EXPECT_EQ(opt.MinCount(11), 3u);  // ceil(2.2)
+  EXPECT_EQ(opt.MinCount(0), 1u);   // floor at 1
+  opt.min_support = 1.0;
+  EXPECT_EQ(opt.MinCount(7), 7u);
+  opt.min_support = 0.001;
+  EXPECT_EQ(opt.MinCount(10), 1u);
+}
+
+TEST(MinerDispatchTest, AlgorithmNamesAndDispatch) {
+  EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kFpGrowth), "fpgrowth");
+  EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kApriori), "apriori");
+  EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kEclat), "eclat");
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  for (auto algo : {MinerAlgorithm::kFpGrowth, MinerAlgorithm::kApriori,
+                    MinerAlgorithm::kEclat}) {
+    auto result = Mine(algo, TinyDb(), opt);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->size(), 5u);
+  }
+}
+
+}  // namespace
+}  // namespace cuisine

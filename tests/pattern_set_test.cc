@@ -1,0 +1,132 @@
+#include "mining/pattern_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cuisine {
+namespace {
+
+Dataset TwoCuisineDataset() {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy sauce", ItemCategory::kIngredient);
+  ItemId oil = ds.vocabulary().Intern("sesame oil", ItemCategory::kIngredient);
+  ItemId fish = ds.vocabulary().Intern("fish sauce", ItemCategory::kIngredient);
+  CuisineId korean = ds.InternCuisine("Korean");
+  CuisineId thai = ds.InternCuisine("Thai");
+  auto add = [&](CuisineId c, std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = c;
+    r.items = std::move(items);
+    CUISINE_CHECK(ds.AddRecipe(std::move(r)).ok());
+  };
+  // Korean: soy+oil in 3/4, soy alone 1/4.
+  add(korean, {soy, oil});
+  add(korean, {soy, oil});
+  add(korean, {soy, oil});
+  add(korean, {soy});
+  // Thai: fish sauce in 2/2.
+  add(thai, {fish});
+  add(thai, {fish, soy});
+  return ds;
+}
+
+TEST(CanonicalStringPatternTest, SortsAndCanonicalises) {
+  EXPECT_EQ(CanonicalStringPattern("Soy Sauce + add"), "add + soy_sauce");
+  EXPECT_EQ(CanonicalStringPattern("b+a"), "a + b");
+  EXPECT_EQ(CanonicalStringPattern("a + a"), "a");
+  EXPECT_EQ(CanonicalStringPattern(""), "");
+}
+
+TEST(MineAllCuisinesTest, PerCuisineResults) {
+  Dataset ds = TwoCuisineDataset();
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_EQ(mined->size(), 2u);
+
+  const CuisinePatterns& korean = (*mined)[0];
+  EXPECT_EQ(korean.cuisine_name, "Korean");
+  EXPECT_EQ(korean.num_recipes, 4u);
+  // soy 1.0, oil 0.75, {soy,oil} 0.75.
+  EXPECT_EQ(korean.patterns.size(), 3u);
+
+  const CuisinePatterns& thai = (*mined)[1];
+  EXPECT_EQ(thai.cuisine_name, "Thai");
+  // fish 1.0, soy 0.5, {fish,soy} 0.5.
+  EXPECT_EQ(thai.patterns.size(), 3u);
+}
+
+TEST(MineAllCuisinesTest, PatternsSortedBySupport) {
+  Dataset ds = TwoCuisineDataset();
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  ASSERT_TRUE(mined.ok());
+  for (const auto& cp : *mined) {
+    for (std::size_t i = 1; i < cp.patterns.size(); ++i) {
+      EXPECT_GE(cp.patterns[i - 1].support, cp.patterns[i].support - 1e-12);
+    }
+  }
+}
+
+TEST(MineAllCuisinesTest, SupportOfLooksUpAnyOrder) {
+  Dataset ds = TwoCuisineDataset();
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  ASSERT_TRUE(mined.ok());
+  const CuisinePatterns& korean = (*mined)[0];
+  auto s1 = korean.SupportOf(ds.vocabulary(), "soy sauce + sesame oil");
+  auto s2 = korean.SupportOf(ds.vocabulary(), "sesame oil + soy sauce");
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_DOUBLE_EQ(*s1, 0.75);
+  EXPECT_EQ(s1, s2);
+  EXPECT_FALSE(
+      korean.SupportOf(ds.vocabulary(), "fish sauce").has_value());
+}
+
+TEST(MineAllCuisinesTest, TopK) {
+  Dataset ds = TwoCuisineDataset();
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  ASSERT_TRUE(mined.ok());
+  auto top = (*mined)[0].TopK(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_DOUBLE_EQ(top[0].support, 1.0);  // soy sauce
+  EXPECT_EQ((*mined)[0].TopK(99).size(), 3u);
+}
+
+TEST(MineAllCuisinesTest, AlgorithmsInterchangeable) {
+  Dataset ds = TwoCuisineDataset();
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto fp = MineAllCuisines(ds, opt, MinerAlgorithm::kFpGrowth);
+  auto ap = MineAllCuisines(ds, opt, MinerAlgorithm::kApriori);
+  auto ec = MineAllCuisines(ds, opt, MinerAlgorithm::kEclat);
+  ASSERT_TRUE(fp.ok());
+  ASSERT_TRUE(ap.ok());
+  ASSERT_TRUE(ec.ok());
+  for (std::size_t c = 0; c < fp->size(); ++c) {
+    EXPECT_EQ((*fp)[c].patterns.size(), (*ap)[c].patterns.size());
+    EXPECT_EQ((*fp)[c].patterns.size(), (*ec)[c].patterns.size());
+  }
+}
+
+TEST(UnionStringPatternsTest, DedupsAcrossCuisines) {
+  Dataset ds = TwoCuisineDataset();
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  ASSERT_TRUE(mined.ok());
+  auto alphabet = UnionStringPatterns(ds.vocabulary(), *mined);
+  // Korean: soy, oil, soy+oil. Thai: fish, soy, fish+soy.
+  // Union: soy, oil, soy+oil, fish, fish+soy = 5.
+  EXPECT_EQ(alphabet.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(alphabet.begin(), alphabet.end()));
+}
+
+}  // namespace
+}  // namespace cuisine

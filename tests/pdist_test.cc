@@ -1,0 +1,80 @@
+#include "cluster/pdist.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(CondensedTest, SizesAndIndexing) {
+  CondensedDistanceMatrix d(4);
+  EXPECT_EQ(d.n(), 4u);
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_EQ(d.CondensedIndex(0, 1), 0u);
+  EXPECT_EQ(d.CondensedIndex(0, 3), 2u);
+  EXPECT_EQ(d.CondensedIndex(1, 2), 3u);
+  EXPECT_EQ(d.CondensedIndex(2, 3), 5u);
+}
+
+TEST(CondensedTest, SetGetSymmetric) {
+  CondensedDistanceMatrix d(3);
+  d.set(0, 2, 5.0);
+  d.set(2, 1, 7.0);  // reversed order
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(2, 0), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 7.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+}
+
+TEST(CondensedTest, SmallN) {
+  CondensedDistanceMatrix d0(0), d1(1);
+  EXPECT_EQ(d0.size(), 0u);
+  EXPECT_EQ(d1.size(), 0u);
+  EXPECT_DOUBLE_EQ(d1.at(0, 0), 0.0);
+}
+
+TEST(CondensedTest, FromFeatures) {
+  Matrix features = Matrix::FromRows({{0, 0}, {3, 4}, {0, 8}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 8.0);
+  EXPECT_DOUBLE_EQ(d.at(1, 2), 5.0);
+}
+
+TEST(CondensedTest, ToSquareRoundTrip) {
+  Matrix features = Matrix::FromRows({{0}, {1}, {4}, {9}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  Matrix square = d.ToSquare();
+  auto back = CondensedDistanceMatrix::FromSquare(square);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->values(), d.values());
+}
+
+TEST(CondensedTest, FromSquareValidation) {
+  Matrix not_square(2, 3);
+  EXPECT_FALSE(CondensedDistanceMatrix::FromSquare(not_square).ok());
+
+  Matrix bad_diag = Matrix::FromRows({{1, 0}, {0, 0}});
+  EXPECT_FALSE(CondensedDistanceMatrix::FromSquare(bad_diag).ok());
+
+  Matrix asym = Matrix::FromRows({{0, 1}, {2, 0}});
+  EXPECT_FALSE(CondensedDistanceMatrix::FromSquare(asym).ok());
+
+  Matrix negative = Matrix::FromRows({{0, -1}, {-1, 0}});
+  EXPECT_FALSE(CondensedDistanceMatrix::FromSquare(negative).ok());
+
+  Matrix good = Matrix::FromRows({{0, 2}, {2, 0}});
+  auto ok = CondensedDistanceMatrix::FromSquare(good);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok->at(0, 1), 2.0);
+}
+
+TEST(CondensedTest, ToleranceAllowsDrift) {
+  Matrix nearly = Matrix::FromRows({{0.0, 1.0}, {1.0 + 1e-12, 0.0}});
+  EXPECT_TRUE(CondensedDistanceMatrix::FromSquare(nearly, 1e-9).ok());
+  EXPECT_FALSE(CondensedDistanceMatrix::FromSquare(nearly, 1e-15).ok());
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,192 @@
+// Integration tests: the full generate -> mine -> cluster -> validate
+// pipeline, including the paper-scale reproduction properties of §VII.
+
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace cuisine {
+namespace {
+
+// One full-scale pipeline run shared by all integration assertions
+// (generation + mining + clustering takes well under a second).
+class FullPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config;  // paper defaults: scale 1, seed 2020
+    auto run = RunPipeline(config);
+    ASSERT_TRUE(run.ok()) << run.status();
+    result_ = new PipelineResult(std::move(run).value());
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    result_ = nullptr;
+  }
+  static PipelineResult* result_;
+};
+
+PipelineResult* FullPipelineTest::result_ = nullptr;
+
+TEST_F(FullPipelineTest, AllFiveTreesProduced) {
+  ASSERT_TRUE(result_->euclidean_tree.has_value());
+  ASSERT_TRUE(result_->cosine_tree.has_value());
+  ASSERT_TRUE(result_->jaccard_tree.has_value());
+  ASSERT_TRUE(result_->authenticity_tree.has_value());
+  ASSERT_TRUE(result_->geo_tree.has_value());
+  for (const auto* tree :
+       {&*result_->euclidean_tree, &*result_->cosine_tree,
+        &*result_->jaccard_tree, &*result_->authenticity_tree,
+        &*result_->geo_tree}) {
+    EXPECT_EQ(tree->num_leaves(), 26u);
+  }
+}
+
+TEST_F(FullPipelineTest, Table1HasAllCuisines) {
+  EXPECT_EQ(result_->table1.size(), 26u);
+  Table1Accuracy acc = ComputeTable1Accuracy(result_->table1);
+  EXPECT_EQ(acc.signatures_missing, 0u);
+  EXPECT_LT(acc.mean_abs_support_error, 0.03);
+  EXPECT_LT(acc.mean_rel_count_error, 0.15);
+}
+
+TEST_F(FullPipelineTest, ElbowCurveDecreasingAndWeak) {
+  ASSERT_GE(result_->elbow.curve.size(), 10u);
+  // WCSS non-increasing (small tolerance: k-means is a heuristic).
+  for (std::size_t i = 1; i < result_->elbow.curve.size(); ++i) {
+    EXPECT_LE(result_->elbow.curve[i].wcss,
+              result_->elbow.curve[i - 1].wcss * 1.05);
+  }
+  // The paper's Fig-1 finding: no sharp elbow on cuisine pattern data.
+  EXPECT_LT(result_->elbow.strength, 0.35);
+}
+
+TEST_F(FullPipelineTest, ValidationComparesFourTrees) {
+  ASSERT_EQ(result_->validation.tree_vs_geo.size(), 4u);
+  std::set<std::string> names;
+  for (const auto& sim : result_->validation.tree_vs_geo) {
+    names.insert(sim.tree_name);
+    EXPECT_GE(sim.fowlkes_mallows_bk, 0.0);
+    EXPECT_LE(sim.fowlkes_mallows_bk, 1.0);
+    EXPECT_GE(sim.triplet_agreement, 0.0);
+    EXPECT_LE(sim.triplet_agreement, 1.0);
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"euclidean", "cosine", "jaccard",
+                                          "authenticity"}));
+}
+
+TEST_F(FullPipelineTest, AllTreesBeatRandomGeoAgreement) {
+  // A random tree agrees with geography on ~1/3 of triplets; every
+  // cuisine tree must do substantially better.
+  for (const auto& sim : result_->validation.tree_vs_geo) {
+    EXPECT_GT(sim.triplet_agreement, 0.45) << sim.tree_name;
+    EXPECT_GT(sim.cophenetic_correlation, 0.2) << sim.tree_name;
+  }
+}
+
+TEST_F(FullPipelineTest, AuthenticityAtLeastAsGeographicAsEuclidean) {
+  // §VII: "the authenticity based clustering gave similar yet better
+  // results than Euclidean distance-based HAC".
+  EXPECT_TRUE(result_->validation.authenticity_at_least_euclidean);
+}
+
+TEST_F(FullPipelineTest, HistoricalDeviationsRecovered) {
+  // §VII: Canadian is closer to French than to US (colonial history),
+  // and Indian Subcontinent closer to Northern Africa than to its
+  // geographic neighbours (shared spices) — on both the pattern-based
+  // Euclidean tree and the authenticity tree.
+  ASSERT_EQ(result_->validation.deviations.size(), 2u);
+  for (const auto& dev : result_->validation.deviations) {
+    EXPECT_TRUE(dev.canada_closer_to_france_than_us) << dev.tree_name;
+    EXPECT_TRUE(dev.india_closer_to_north_africa_than_neighbors)
+        << dev.tree_name;
+  }
+}
+
+TEST_F(FullPipelineTest, RegionalBlocksVisibleInAuthenticityTree) {
+  // The Fig-5 shape: East-Asian cuisines cluster together before joining
+  // European ones.
+  const Dendrogram& tree = *result_->authenticity_tree;
+  auto coph = tree.CopheneticDistances();
+  auto idx = [&](const std::string& name) {
+    const auto& labels = tree.labels();
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == name) return i;
+    }
+    ADD_FAILURE() << name;
+    return std::size_t{0};
+  };
+  EXPECT_LT(coph.at(idx("Japanese"), idx("Korean")),
+            coph.at(idx("Japanese"), idx("French")));
+  EXPECT_LT(coph.at(idx("Greek"), idx("Italian")),
+            coph.at(idx("Greek"), idx("Japanese")));
+  EXPECT_LT(coph.at(idx("Thai"), idx("Southeast Asian")),
+            coph.at(idx("Thai"), idx("UK")));
+}
+
+TEST_F(FullPipelineTest, FeatureSpaceConsistent) {
+  EXPECT_EQ(result_->features.cuisine_names.size(), 26u);
+  EXPECT_EQ(result_->features.features.rows(), 26u);
+  EXPECT_EQ(result_->features.features.cols(),
+            result_->features.encoder.num_classes());
+  // Each cuisine's row sum equals its mined pattern count (binary).
+  auto sums = result_->features.features.RowSums();
+  for (std::size_t c = 0; c < 26; ++c) {
+    EXPECT_DOUBLE_EQ(sums[c],
+                     static_cast<double>(result_->mined[c].patterns.size()));
+  }
+}
+
+// Cheap configuration-level tests on a scaled-down corpus.
+TEST(PipelineConfigTest, SmallScaleRuns) {
+  PipelineConfig config;
+  config.generator.scale = 0.02;
+  config.generator.seed = 11;
+  config.run_elbow = false;
+  auto run = RunPipeline(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->elbow.curve.empty());
+  EXPECT_EQ(run->table1.size(), 26u);
+}
+
+TEST(PipelineConfigTest, AlternativeAlgorithmAndEncoding) {
+  PipelineConfig config;
+  config.generator.scale = 0.02;
+  config.algorithm = MinerAlgorithm::kEclat;
+  config.encoding = PatternEncoding::kSupport;
+  config.linkage = LinkageMethod::kComplete;
+  config.run_elbow = false;
+  auto run = RunPipeline(config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_TRUE(run->euclidean_tree.has_value());
+}
+
+TEST(PipelineConfigTest, RunsOnExternallyBuiltDataset) {
+  GeneratorOptions gen;
+  gen.scale = 0.02;
+  auto ds = GenerateRecipeDb(gen);
+  ASSERT_TRUE(ds.ok());
+  PipelineConfig config;
+  config.run_elbow = false;
+  auto run = RunPipelineOnDataset(std::move(ds).value(), config);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->dataset.num_cuisines(), 26u);
+}
+
+TEST(PipelineHelpersTest, DeviationCheckNeedsCuisines) {
+  // A tree without the required labels is a NotFound.
+  Matrix features = Matrix::FromRows({{0}, {1}, {2}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kAverage);
+  ASSERT_TRUE(steps.ok());
+  auto tree = Dendrogram::FromLinkage(*steps, {"a", "b", "c"});
+  ASSERT_TRUE(tree.ok());
+  auto check = CheckHistoricalDeviations("x", *tree);
+  EXPECT_FALSE(check.ok());
+  EXPECT_EQ(check.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,107 @@
+// Tests for dendrogram plot geometry (the scipy icoord/dcoord analogue)
+// and the corresponding CSV exports.
+
+#include <gtest/gtest.h>
+
+#include "cluster/dendrogram.h"
+#include "common/csv.h"
+#include "common/logging.h"
+#include "core/export.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+// Line points 0,1,4,10, single linkage. Display order: d, c, a, b.
+Dendrogram LineTree() {
+  Matrix features = Matrix::FromRows({{0}, {1}, {4}, {10}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  CUISINE_CHECK(steps.ok());
+  auto tree = Dendrogram::FromLinkage(*steps, {"a", "b", "c", "d"});
+  CUISINE_CHECK(tree.ok());
+  return std::move(tree).value();
+}
+
+TEST(PlotLinksTest, OneLinkPerMerge) {
+  Dendrogram tree = LineTree();
+  auto links = tree.PlotLinks();
+  ASSERT_EQ(links.size(), 3u);
+}
+
+TEST(PlotLinksTest, LeafPositionsAndHeights) {
+  Dendrogram tree = LineTree();
+  auto links = tree.PlotLinks();
+  // Display order d(5), c(15), a(25), b(35).
+  // Merge 0: a+b at height 1 -> link from x=25 to x=35, children at y=0.
+  EXPECT_DOUBLE_EQ(links[0].x_left, 25.0);
+  EXPECT_DOUBLE_EQ(links[0].x_right, 35.0);
+  EXPECT_DOUBLE_EQ(links[0].y_left, 0.0);
+  EXPECT_DOUBLE_EQ(links[0].y_right, 0.0);
+  EXPECT_DOUBLE_EQ(links[0].y_top, 1.0);
+  // Merge 1: c (x=15, y=0) with cluster {a,b} (apex x=30, y=1) at h=3.
+  EXPECT_DOUBLE_EQ(links[1].x_left, 15.0);
+  EXPECT_DOUBLE_EQ(links[1].x_right, 30.0);
+  EXPECT_DOUBLE_EQ(links[1].y_left, 0.0);
+  EXPECT_DOUBLE_EQ(links[1].y_right, 1.0);
+  EXPECT_DOUBLE_EQ(links[1].y_top, 3.0);
+  // Merge 2: d (x=5) with everything (apex x=22.5) at h=6.
+  EXPECT_DOUBLE_EQ(links[2].x_left, 5.0);
+  EXPECT_DOUBLE_EQ(links[2].x_right, 22.5);
+  EXPECT_DOUBLE_EQ(links[2].y_top, 6.0);
+}
+
+TEST(PlotLinksTest, TopsNeverBelowChildren) {
+  Dendrogram tree = LineTree();
+  for (const auto& link : tree.PlotLinks()) {
+    EXPECT_GE(link.y_top, link.y_left);
+    EXPECT_GE(link.y_top, link.y_right);
+    EXPECT_LE(link.x_left, link.x_right);
+  }
+}
+
+TEST(PlotLinksTest, CsvExportParses) {
+  Dendrogram tree = LineTree();
+  auto rows = ParseCsv(PlotLinksToCsv(tree));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 4u);  // header + 3 links
+  EXPECT_EQ((*rows)[0],
+            (CsvRow{"x_left", "x_right", "y_left", "y_right", "y_top"}));
+  EXPECT_EQ((*rows)[1][0], "25.000");
+}
+
+TEST(RulesCsvTest, ExportsAllMetrics) {
+  TransactionDb db;
+  db.Add({1, 2});
+  db.Add({1, 2});
+  db.Add({1});
+  MinerOptions mopt;
+  mopt.min_support = 0.3;
+  auto patterns = MineFpGrowth(db, mopt);
+  ASSERT_TRUE(patterns.ok());
+  RuleOptions ropt;
+  ropt.min_confidence = 0.0;
+  auto rules = GenerateRules(*patterns, ropt);
+  ASSERT_TRUE(rules.ok());
+
+  Vocabulary v;
+  v.Intern("padding0", ItemCategory::kIngredient);  // id 0 unused by db
+  v.Intern("soy", ItemCategory::kIngredient);       // id 1
+  v.Intern("oil", ItemCategory::kIngredient);       // id 2
+
+  auto rows = ParseCsv(RulesToCsv(v, *rules));
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), rules->size() + 1);
+  EXPECT_EQ((*rows)[0][0], "antecedent");
+  bool found_inf = false;
+  for (std::size_t i = 1; i < rows->size(); ++i) {
+    EXPECT_EQ((*rows)[i].size(), 7u);
+    if ((*rows)[i][6] == "inf") found_inf = true;
+  }
+  // oil => soy has confidence 1 -> conviction inf.
+  EXPECT_TRUE(found_inf);
+}
+
+}  // namespace
+}  // namespace cuisine

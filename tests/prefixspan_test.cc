@@ -1,0 +1,236 @@
+#include "mining/prefixspan.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "data/generator.h"
+#include "data/process_stages.h"
+
+namespace cuisine {
+namespace {
+
+// Classic tiny sequence DB:
+//   <1,2,3>, <1,3>, <2,3>, <1,2>
+SequenceDb TinySeqDb() {
+  SequenceDb db;
+  db.Add({1, 2, 3});
+  db.Add({1, 3});
+  db.Add({2, 3});
+  db.Add({1, 2});
+  return db;
+}
+
+const FrequentSequence* FindSeq(const std::vector<FrequentSequence>& mined,
+                                const std::vector<ItemId>& seq) {
+  for (const auto& fs : mined) {
+    if (fs.sequence == seq) return &fs;
+  }
+  return nullptr;
+}
+
+TEST(PrefixSpanTest, HandOracle) {
+  SequenceMinerOptions opt;
+  opt.min_support = 0.5;  // min_count 2
+  auto mined = MinePrefixSpan(TinySeqDb(), opt);
+  ASSERT_TRUE(mined.ok());
+  // Singletons: 1:3, 2:3, 3:3. Pairs: <1,2>:2, <1,3>:2, <2,3>:2.
+  // Triple <1,2,3>:1 -> out.
+  EXPECT_EQ(mined->size(), 6u);
+  ASSERT_NE(FindSeq(*mined, {1, 2}), nullptr);
+  EXPECT_EQ(FindSeq(*mined, {1, 2})->count, 2u);
+  ASSERT_NE(FindSeq(*mined, {2, 3}), nullptr);
+  EXPECT_EQ(FindSeq(*mined, {2, 3})->count, 2u);
+  EXPECT_EQ(FindSeq(*mined, {2, 1}), nullptr);  // order matters
+  EXPECT_EQ(FindSeq(*mined, {1, 2, 3}), nullptr);
+}
+
+TEST(PrefixSpanTest, LowSupportFindsTriple) {
+  SequenceMinerOptions opt;
+  opt.min_support = 0.25;
+  auto mined = MinePrefixSpan(TinySeqDb(), opt);
+  ASSERT_TRUE(mined.ok());
+  ASSERT_NE(FindSeq(*mined, {1, 2, 3}), nullptr);
+  EXPECT_EQ(FindSeq(*mined, {1, 2, 3})->count, 1u);
+}
+
+TEST(PrefixSpanTest, MaxLengthCaps) {
+  SequenceMinerOptions opt;
+  opt.min_support = 0.25;
+  opt.max_length = 1;
+  auto mined = MinePrefixSpan(TinySeqDb(), opt);
+  ASSERT_TRUE(mined.ok());
+  for (const auto& fs : *mined) EXPECT_EQ(fs.sequence.size(), 1u);
+}
+
+TEST(PrefixSpanTest, HandlesRepeatedItems) {
+  SequenceDb db;
+  db.Add({1, 1, 2});
+  db.Add({1, 2, 1});
+  SequenceMinerOptions opt;
+  opt.min_support = 1.0;
+  auto mined = MinePrefixSpan(db, opt);
+  ASSERT_TRUE(mined.ok());
+  // <1,1> occurs in both; <1,2> in both; <2,1> only in the second and
+  // <1,1,2> only in the first, so neither reaches full support.
+  EXPECT_NE(FindSeq(*mined, {1, 1}), nullptr);
+  EXPECT_NE(FindSeq(*mined, {1, 2}), nullptr);
+  EXPECT_EQ(FindSeq(*mined, {2, 1}), nullptr);
+  EXPECT_EQ(FindSeq(*mined, {1, 1, 2}), nullptr);
+  EXPECT_EQ(CountContainingSequences(db, {1, 1, 2}), 1u);
+}
+
+TEST(PrefixSpanTest, EmptyDbAndValidation) {
+  SequenceDb empty;
+  SequenceMinerOptions opt;
+  auto mined = MinePrefixSpan(empty, opt);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_TRUE(mined->empty());
+
+  opt.min_support = 0.0;
+  EXPECT_FALSE(MinePrefixSpan(TinySeqDb(), opt).ok());
+  opt.min_support = 2.0;
+  EXPECT_FALSE(MinePrefixSpan(TinySeqDb(), opt).ok());
+}
+
+TEST(PrefixSpanTest, CountsMatchNaiveCounter) {
+  Rng rng(91);
+  SequenceDb db;
+  for (int s = 0; s < 80; ++s) {
+    std::vector<ItemId> seq;
+    std::size_t len = 2 + rng.UniformInt(6);
+    for (std::size_t i = 0; i < len; ++i) {
+      seq.push_back(static_cast<ItemId>(rng.UniformInt(6)));
+    }
+    db.Add(std::move(seq));
+  }
+  SequenceMinerOptions opt;
+  opt.min_support = 0.2;
+  auto mined = MinePrefixSpan(db, opt);
+  ASSERT_TRUE(mined.ok());
+  EXPECT_FALSE(mined->empty());
+  for (const auto& fs : *mined) {
+    EXPECT_EQ(fs.count, CountContainingSequences(db, fs.sequence))
+        << fs.sequence.size();
+    EXPECT_DOUBLE_EQ(fs.support, fs.count / 80.0);
+  }
+}
+
+TEST(PrefixSpanTest, PrefixSupportAntiMonotone) {
+  Rng rng(92);
+  SequenceDb db;
+  for (int s = 0; s < 60; ++s) {
+    std::vector<ItemId> seq;
+    for (std::size_t i = 0; i < 5; ++i) {
+      seq.push_back(static_cast<ItemId>(rng.UniformInt(4)));
+    }
+    db.Add(std::move(seq));
+  }
+  SequenceMinerOptions opt;
+  opt.min_support = 0.1;
+  auto mined = MinePrefixSpan(db, opt);
+  ASSERT_TRUE(mined.ok());
+  for (const auto& fs : *mined) {
+    if (fs.sequence.size() < 2) continue;
+    std::vector<ItemId> prefix(fs.sequence.begin(), fs.sequence.end() - 1);
+    const FrequentSequence* parent = FindSeq(*mined, prefix);
+    ASSERT_NE(parent, nullptr);
+    EXPECT_GE(parent->count, fs.count);
+  }
+}
+
+TEST(ProcessStagesTest, KnownStages) {
+  Vocabulary v;
+  ItemId preheat = v.Intern("preheat", ItemCategory::kProcess);
+  ItemId chop = v.Intern("chop", ItemCategory::kProcess);
+  ItemId add = v.Intern("add", ItemCategory::kProcess);
+  ItemId heat = v.Intern("heat", ItemCategory::kProcess);
+  ItemId bake = v.Intern("bake", ItemCategory::kProcess);
+  ItemId serve = v.Intern("serve", ItemCategory::kProcess);
+  EXPECT_EQ(ProcessStage(v, preheat), CookingStage::kSetup);
+  EXPECT_EQ(ProcessStage(v, chop), CookingStage::kPrep);
+  EXPECT_EQ(ProcessStage(v, add), CookingStage::kCombine);
+  EXPECT_EQ(ProcessStage(v, heat), CookingStage::kHeat);
+  EXPECT_EQ(ProcessStage(v, bake), CookingStage::kCook);
+  EXPECT_EQ(ProcessStage(v, serve), CookingStage::kFinish);
+}
+
+TEST(ProcessStagesTest, OrderedStepsFollowStages) {
+  Vocabulary v;
+  ItemId serve = v.Intern("serve", ItemCategory::kProcess);
+  ItemId add = v.Intern("add", ItemCategory::kProcess);
+  ItemId preheat = v.Intern("preheat", ItemCategory::kProcess);
+  ItemId salt = v.Intern("salt", ItemCategory::kIngredient);
+
+  Recipe r;
+  r.items = {serve, add, preheat, salt};
+  r.Normalize();
+  Dataset ds;  // only used for the vocabulary type; steps use `v`
+  (void)ds;
+  auto steps = OrderedProcessSteps(v, r);
+  EXPECT_EQ(steps, (std::vector<ItemId>{preheat, add, serve}));
+}
+
+TEST(ProcessStagesTest, UnknownProcessStageDeterministic) {
+  Vocabulary v;
+  ItemId tech = v.Intern("technique 42", ItemCategory::kProcess);
+  CookingStage s1 = ProcessStage(v, tech);
+  CookingStage s2 = ProcessStage(v, tech);
+  EXPECT_EQ(s1, s2);
+  int stage = static_cast<int>(s1);
+  EXPECT_GE(stage, 1);
+  EXPECT_LE(stage, 5);
+}
+
+TEST(SequenceDbTest, FromCuisineOrdersGeneratedRecipes) {
+  GeneratorOptions opt;
+  opt.scale = 0.02;
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok());
+  CuisineId indian = ds->FindCuisine("Indian Subcontinent");
+  ASSERT_NE(indian, kInvalidCuisineId);
+  SequenceDb db = SequenceDb::FromCuisine(*ds, indian);
+  EXPECT_EQ(db.size(), ds->CuisineRecipeCount(indian));
+  // Every step is a process, and stages are non-decreasing.
+  for (std::size_t s = 0; s < std::min<std::size_t>(db.size(), 50); ++s) {
+    int prev = -1;
+    for (ItemId item : db[s]) {
+      EXPECT_EQ(ds->vocabulary().Category(item), ItemCategory::kProcess);
+      int stage = static_cast<int>(ProcessStage(ds->vocabulary(), item));
+      EXPECT_GE(stage, prev);
+      prev = stage;
+    }
+  }
+}
+
+TEST(SequenceDbTest, MiningCuisineStepsFindsCoreFlow) {
+  GeneratorOptions opt;
+  opt.scale = 0.05;
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok());
+  CuisineId thai = ds->FindCuisine("Thai");
+  SequenceDb db = SequenceDb::FromCuisine(*ds, thai);
+  SequenceMinerOptions sopt;
+  sopt.min_support = 0.2;
+  auto mined = MinePrefixSpan(db, sopt);
+  ASSERT_TRUE(mined.ok());
+  // The add -> heat flow is a Thai signature (fish sauce + add + heat).
+  ItemId add = ds->vocabulary().Find("add");
+  ItemId heat = ds->vocabulary().Find("heat");
+  ASSERT_NE(add, kInvalidItemId);
+  ASSERT_NE(heat, kInvalidItemId);
+  const FrequentSequence* flow = FindSeq(*mined, {add, heat});
+  ASSERT_NE(flow, nullptr);
+  EXPECT_GT(flow->support, 0.2);
+}
+
+TEST(FrequentSequenceTest, ToStringArrows) {
+  Vocabulary v;
+  ItemId a = v.Intern("add", ItemCategory::kProcess);
+  ItemId h = v.Intern("heat", ItemCategory::kProcess);
+  FrequentSequence fs;
+  fs.sequence = {a, h};
+  EXPECT_EQ(fs.ToString(v), "add -> heat");
+}
+
+}  // namespace
+}  // namespace cuisine

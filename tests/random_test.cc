@@ -1,0 +1,214 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace cuisine {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformIntInBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.UniformInt(10), 10u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntApproximatelyUniform) {
+  Rng rng(13);
+  const int kBuckets = 8, kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 4 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RngTest, UniformInRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.UniformInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInHalfOpenUnit) {
+  Rng rng(19);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, BernoulliMeanApproximatesP) {
+  Rng rng(29);
+  const int kDraws = 50000;
+  int hits = 0;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.2);
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.2, 0.01);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(31);
+  const int kDraws = 20000;
+  double total = 0;
+  for (int i = 0; i < kDraws; ++i) total += rng.Poisson(6.5);
+  EXPECT_NEAR(total / kDraws, 6.5, 0.15);
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(37);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(rng.Poisson(0.0), 0u);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(41);
+  const int kDraws = 5000;
+  double total = 0;
+  for (int i = 0; i < kDraws; ++i) total += rng.Poisson(100.0);
+  EXPECT_NEAR(total / kDraws, 100.0, 1.5);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(43);
+  const int kDraws = 50000;
+  double sum = 0, sum_sq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kDraws, 1.0, 0.05);
+}
+
+TEST(RngTest, WeightedChoiceRespectsWeights) {
+  Rng rng(47);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.WeightedChoice(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.75, 0.02);
+  EXPECT_NEAR(counts[2] / 20000.0, 0.25, 0.02);
+}
+
+TEST(RngTest, WeightedChoiceAllZeroFallsBackToUniform) {
+  Rng rng(53);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.WeightedChoice(weights));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(59);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(61);
+  for (std::size_t k : {0u, 1u, 5u, 50u, 100u}) {
+    auto sample = rng.SampleWithoutReplacement(100, k);
+    EXPECT_EQ(sample.size(), k);
+    std::set<std::size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), k);
+    for (std::size_t idx : sample) EXPECT_LT(idx, 100u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementClampsK) {
+  Rng rng(67);
+  auto sample = rng.SampleWithoutReplacement(5, 10);
+  EXPECT_EQ(sample.size(), 5u);
+}
+
+TEST(RngTest, ForkedStreamsDiffer) {
+  Rng base(71);
+  Rng a = base.Fork(1);
+  Rng b = base.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution zipf(100, 1.0);
+  double total = 0;
+  for (std::size_t i = 0; i < zipf.size(); ++i) total += zipf.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasing) {
+  ZipfDistribution zipf(50, 0.8);
+  for (std::size_t i = 1; i < zipf.size(); ++i) {
+    EXPECT_LE(zipf.Pmf(i), zipf.Pmf(i - 1) + 1e-12);
+  }
+}
+
+TEST(ZipfTest, SampleMatchesPmfHead) {
+  ZipfDistribution zipf(20, 1.0);
+  Rng rng(73);
+  const int kDraws = 50000;
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(&rng)];
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(kDraws), zipf.Pmf(i), 0.01);
+  }
+}
+
+TEST(ZipfTest, SingleRank) {
+  ZipfDistribution zipf(1, 1.0);
+  Rng rng(79);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(&rng), 0u);
+}
+
+}  // namespace
+}  // namespace cuisine

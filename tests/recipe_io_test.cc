@@ -1,0 +1,128 @@
+#include "data/recipe_io.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "data/generator.h"
+
+namespace cuisine {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset ds;
+  ItemId salt = ds.vocabulary().Intern("salt", ItemCategory::kIngredient);
+  ItemId soy = ds.vocabulary().Intern("soy sauce", ItemCategory::kIngredient);
+  ItemId add = ds.vocabulary().Intern("add", ItemCategory::kProcess);
+  ItemId bowl = ds.vocabulary().Intern("bowl", ItemCategory::kUtensil);
+  CuisineId korean = ds.InternCuisine("Korean");
+  CuisineId thai = ds.InternCuisine("Thai");
+  Recipe r1;
+  r1.cuisine = korean;
+  r1.items = {soy, add, bowl};
+  Recipe r2;
+  r2.cuisine = thai;
+  r2.items = {salt};
+  Recipe r3;  // no processes / utensils
+  r3.cuisine = korean;
+  r3.items = {salt, soy};
+  CUISINE_CHECK(ds.AddRecipe(std::move(r1)).ok());
+  CUISINE_CHECK(ds.AddRecipe(std::move(r2)).ok());
+  CUISINE_CHECK(ds.AddRecipe(std::move(r3)).ok());
+  return ds;
+}
+
+TEST(RecipeIoTest, CsvHasHeaderAndRows) {
+  std::string csv = DatasetToCsv(SmallDataset());
+  EXPECT_EQ(csv.rfind("cuisine,ingredients,processes,utensils\n", 0), 0u);
+  EXPECT_NE(csv.find("Korean"), std::string::npos);
+  EXPECT_NE(csv.find("soy_sauce"), std::string::npos);
+}
+
+TEST(RecipeIoTest, RoundTripPreservesStructure) {
+  Dataset original = SmallDataset();
+  auto loaded = DatasetFromCsv(DatasetToCsv(original));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->num_recipes(), original.num_recipes());
+  EXPECT_EQ(loaded->num_cuisines(), original.num_cuisines());
+  for (std::size_t i = 0; i < original.num_recipes(); ++i) {
+    const Recipe& a = original.recipe(i);
+    const Recipe& b = loaded->recipe(i);
+    EXPECT_EQ(original.CuisineName(a.cuisine), loaded->CuisineName(b.cuisine));
+    // Compare by item *names* (ids may be renumbered).
+    ASSERT_EQ(a.items.size(), b.items.size());
+    std::set<std::string> an, bn;
+    for (ItemId id : a.items) an.insert(original.vocabulary().Name(id));
+    for (ItemId id : b.items) bn.insert(loaded->vocabulary().Name(id));
+    EXPECT_EQ(an, bn);
+  }
+}
+
+TEST(RecipeIoTest, RoundTripPreservesCategories) {
+  Dataset original = SmallDataset();
+  auto loaded = DatasetFromCsv(DatasetToCsv(original));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->vocabulary().Category(loaded->vocabulary().Find("salt")),
+            ItemCategory::kIngredient);
+  EXPECT_EQ(loaded->vocabulary().Category(loaded->vocabulary().Find("add")),
+            ItemCategory::kProcess);
+  EXPECT_EQ(loaded->vocabulary().Category(loaded->vocabulary().Find("bowl")),
+            ItemCategory::kUtensil);
+}
+
+TEST(RecipeIoTest, GeneratedCorpusRoundTrip) {
+  GeneratorOptions opt;
+  opt.scale = 0.01;
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok());
+  auto loaded = DatasetFromCsv(DatasetToCsv(*ds));
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_recipes(), ds->num_recipes());
+  EXPECT_EQ(loaded->num_cuisines(), ds->num_cuisines());
+  DatasetStats a = ds->ComputeStats();
+  DatasetStats b = loaded->ComputeStats();
+  EXPECT_EQ(a.recipes_without_utensils, b.recipes_without_utensils);
+  EXPECT_DOUBLE_EQ(a.avg_ingredients_per_recipe, b.avg_ingredients_per_recipe);
+}
+
+TEST(RecipeIoTest, RejectsBadHeader) {
+  auto r = DatasetFromCsv("region,stuff\nKorean,soy\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(RecipeIoTest, RejectsWrongFieldCount) {
+  auto r = DatasetFromCsv(
+      "cuisine,ingredients,processes,utensils\nKorean,soy\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RecipeIoTest, RejectsEmptyCuisine) {
+  auto r = DatasetFromCsv(
+      "cuisine,ingredients,processes,utensils\n,soy,add,bowl\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(RecipeIoTest, RejectsEmptyDocument) {
+  EXPECT_FALSE(DatasetFromCsv("").ok());
+}
+
+TEST(RecipeIoTest, FileRoundTrip) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cuisine_io_test.csv")
+          .string();
+  Dataset original = SmallDataset();
+  ASSERT_TRUE(SaveDatasetCsv(original, path).ok());
+  auto loaded = LoadDatasetCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_recipes(), original.num_recipes());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cuisine

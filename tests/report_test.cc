@@ -1,0 +1,114 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace cuisine {
+namespace {
+
+Dataset KoreanDataset() {
+  Dataset ds;
+  ItemId soy = ds.vocabulary().Intern("soy sauce", ItemCategory::kIngredient);
+  ItemId oil = ds.vocabulary().Intern("sesame oil", ItemCategory::kIngredient);
+  CuisineId korean = ds.InternCuisine("Korean");
+  auto put = [&](std::vector<ItemId> items) {
+    Recipe r;
+    r.cuisine = korean;
+    r.items = std::move(items);
+    CUISINE_CHECK(ds.AddRecipe(std::move(r)).ok());
+  };
+  put({soy, oil});
+  put({soy, oil});
+  put({soy, oil});
+  put({soy});
+  return ds;
+}
+
+CuisineSpec KoreanSpec() {
+  CuisineSpec spec;
+  spec.name = "Korean";
+  spec.recipe_count = 4;
+  spec.paper_pattern_count = 3;
+  spec.signatures.push_back(
+      SignatureExpectation{"soy sauce + sesame oil", 0.7});
+  spec.signatures.push_back(SignatureExpectation{"kimchi", 0.5});  // missing
+  return spec;
+}
+
+std::vector<CuisinePatterns> Mined(const Dataset& ds) {
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto mined = MineAllCuisines(ds, opt);
+  CUISINE_CHECK(mined.ok());
+  return std::move(mined).value();
+}
+
+TEST(ReportTest, BuildTable1JoinsSpecAndMined) {
+  Dataset ds = KoreanDataset();
+  auto rows = BuildTable1(ds, Mined(ds), {KoreanSpec()});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  const Table1Row& row = (*rows)[0];
+  EXPECT_EQ(row.region, "Korean");
+  EXPECT_EQ(row.num_recipes, 4u);
+  EXPECT_EQ(row.paper_pattern_count, 3u);
+  EXPECT_EQ(row.measured_pattern_count, 3u);  // soy, oil, soy+oil
+  ASSERT_EQ(row.signatures.size(), 2u);
+  ASSERT_TRUE(row.signatures[0].measured_support.has_value());
+  EXPECT_DOUBLE_EQ(*row.signatures[0].measured_support, 0.75);
+  EXPECT_FALSE(row.signatures[1].measured_support.has_value());
+  EXPECT_EQ(row.top_pattern, "soy_sauce");
+  EXPECT_DOUBLE_EQ(row.top_pattern_support, 1.0);
+}
+
+TEST(ReportTest, MissingSpecRejected) {
+  Dataset ds = KoreanDataset();
+  CuisineSpec other;
+  other.name = "Thai";
+  auto rows = BuildTable1(ds, Mined(ds), {other});
+  EXPECT_FALSE(rows.ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ReportTest, RenderContainsSignatureAndCounts) {
+  Dataset ds = KoreanDataset();
+  auto rows = BuildTable1(ds, Mined(ds), {KoreanSpec()});
+  ASSERT_TRUE(rows.ok());
+  std::string table = RenderTable1(*rows);
+  EXPECT_NE(table.find("Korean"), std::string::npos);
+  EXPECT_NE(table.find("soy sauce + sesame oil"), std::string::npos);
+  EXPECT_NE(table.find("0.75"), std::string::npos);
+  EXPECT_NE(table.find("-"), std::string::npos);  // missing signature
+}
+
+TEST(ReportTest, RenderHandlesEmptySignatureList) {
+  Dataset ds = KoreanDataset();
+  CuisineSpec spec = KoreanSpec();
+  spec.signatures.clear();
+  auto rows = BuildTable1(ds, Mined(ds), {spec});
+  ASSERT_TRUE(rows.ok());
+  std::string table = RenderTable1(*rows);
+  EXPECT_NE(table.find("Korean"), std::string::npos);
+}
+
+TEST(ReportTest, AccuracyAggregates) {
+  Dataset ds = KoreanDataset();
+  auto rows = BuildTable1(ds, Mined(ds), {KoreanSpec()});
+  ASSERT_TRUE(rows.ok());
+  Table1Accuracy acc = ComputeTable1Accuracy(*rows);
+  // One measured signature: |0.75 − 0.7| = 0.05.
+  EXPECT_NEAR(acc.mean_abs_support_error, 0.05, 1e-12);
+  EXPECT_NEAR(acc.max_abs_support_error, 0.05, 1e-12);
+  EXPECT_EQ(acc.signatures_missing, 1u);
+  EXPECT_DOUBLE_EQ(acc.mean_rel_count_error, 0.0);  // 3 vs 3
+}
+
+TEST(ReportTest, AccuracyOnEmptyRows) {
+  Table1Accuracy acc = ComputeTable1Accuracy({});
+  EXPECT_DOUBLE_EQ(acc.mean_abs_support_error, 0.0);
+  EXPECT_EQ(acc.signatures_missing, 0u);
+}
+
+}  // namespace
+}  // namespace cuisine

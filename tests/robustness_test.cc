@@ -1,0 +1,197 @@
+// Robustness & failure-injection tests: malformed-input fuzzing for the
+// CSV layer, adversarial mining databases, and cross-seed stability of
+// the reproduction's headline properties.
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/random.h"
+#include "core/pipeline.h"
+#include "data/recipe_io.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CSV fuzzing: random byte soups and mutated valid documents must never
+// crash — every input either parses or returns ParseError.
+// ---------------------------------------------------------------------------
+
+TEST(CsvFuzzTest, RandomByteSoupsNeverCrash) {
+  Rng rng(1234);
+  const char alphabet[] = "abc,\"\n\r;x\t";
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string doc;
+    std::size_t len = rng.UniformInt(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      doc.push_back(alphabet[rng.UniformInt(sizeof(alphabet) - 1)]);
+    }
+    auto rows = ParseCsv(doc);
+    if (rows.ok()) {
+      // Round trip of whatever parsed must re-parse identically.
+      auto again = ParseCsv(WriteCsv(*rows));
+      ASSERT_TRUE(again.ok());
+      EXPECT_EQ(*again, *rows);
+    } else {
+      EXPECT_EQ(rows.status().code(), StatusCode::kParseError);
+    }
+  }
+}
+
+TEST(CsvFuzzTest, MutatedDatasetCsvNeverCrashesLoader) {
+  GeneratorOptions opt;
+  opt.scale = 0.01;
+  auto ds = GenerateRecipeDb(opt);
+  ASSERT_TRUE(ds.ok());
+  std::string csv = DatasetToCsv(*ds);
+  // Truncate to a manageable chunk for mutation.
+  csv.resize(std::min<std::size_t>(csv.size(), 4000));
+
+  Rng rng(77);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = csv;
+    std::size_t flips = 1 + rng.UniformInt(4);
+    for (std::size_t f = 0; f < flips; ++f) {
+      std::size_t pos = rng.UniformInt(mutated.size());
+      mutated[pos] = static_cast<char>('!' + rng.UniformInt(90));
+    }
+    // Must not crash; any Status outcome is acceptable.
+    auto loaded = DatasetFromCsv(mutated);
+    (void)loaded;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial mining inputs.
+// ---------------------------------------------------------------------------
+
+TEST(MinerAdversarialTest, AllTransactionsIdentical) {
+  TransactionDb db;
+  for (int i = 0; i < 50; ++i) db.Add({1, 2, 3, 4});
+  MinerOptions opt;
+  opt.min_support = 1.0;
+  auto patterns = MineFpGrowth(db, opt);
+  ASSERT_TRUE(patterns.ok());
+  EXPECT_EQ(patterns->size(), 15u);  // 2^4 - 1, all at support 1
+  for (const auto& p : *patterns) {
+    EXPECT_DOUBLE_EQ(p.support, 1.0);
+  }
+}
+
+TEST(MinerAdversarialTest, SinglePathOptimizationMatchesBaselines) {
+  // Nested transactions produce a single-path FP-tree, exercising the
+  // fast path; Apriori/Eclat must agree exactly.
+  TransactionDb db;
+  db.Add({1});
+  db.Add({1, 2});
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3, 4});
+  db.Add({1, 2, 3, 4, 5});
+  MinerOptions opt;
+  opt.min_support = 0.2;
+  auto fp = MineFpGrowth(db, opt);
+  auto ap = MineApriori(db, opt);
+  ASSERT_TRUE(fp.ok());
+  ASSERT_TRUE(ap.ok());
+  ASSERT_EQ(fp->size(), ap->size());
+  for (std::size_t i = 0; i < fp->size(); ++i) {
+    EXPECT_EQ((*fp)[i].items, (*ap)[i].items);
+    EXPECT_EQ((*fp)[i].count, (*ap)[i].count);
+  }
+  EXPECT_EQ(fp->size(), 31u);  // all subsets of {1..5}
+}
+
+TEST(MinerAdversarialTest, EmptyTransactionsIgnored) {
+  TransactionDb db;
+  db.Add({});
+  db.Add({1});
+  db.Add({});
+  db.Add({1});
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto patterns = MineFpGrowth(db, opt);
+  ASSERT_TRUE(patterns.ok());
+  ASSERT_EQ(patterns->size(), 1u);
+  EXPECT_EQ((*patterns)[0].count, 2u);
+  EXPECT_DOUBLE_EQ((*patterns)[0].support, 0.5);  // over all 4
+}
+
+TEST(MinerAdversarialTest, WideTransaction) {
+  // One 40-item transaction among narrow ones must not blow up (the
+  // itemset lattice is bounded by the support threshold).
+  TransactionDb db;
+  std::vector<ItemId> wide;
+  for (ItemId i = 0; i < 40; ++i) wide.push_back(i);
+  db.Add(wide);
+  for (int t = 0; t < 9; ++t) db.Add({0, 1});
+  MinerOptions opt;
+  opt.min_support = 0.5;
+  auto patterns = MineFpGrowth(db, opt);
+  ASSERT_TRUE(patterns.ok());
+  // Only {0}, {1}, {0,1} are frequent.
+  EXPECT_EQ(patterns->size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-seed stability of the headline reproduction properties (scaled
+// corpus for speed): Table-I signatures are always mined, and the Fig-5
+// regional clades always appear.
+// ---------------------------------------------------------------------------
+
+class SeedSweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweepTest, SignaturesMinedAtEverySeed) {
+  GeneratorOptions gen;
+  gen.scale = 0.25;
+  gen.seed = GetParam();
+  auto ds = GenerateRecipeDb(gen);
+  ASSERT_TRUE(ds.ok());
+  MinerOptions miner;
+  miner.min_support = kPaperMinSupport;
+  auto mined = MineAllCuisines(*ds, miner);
+  ASSERT_TRUE(mined.ok());
+
+  std::size_t missing = 0;
+  for (const auto& spec : BuildWorldCuisineSpecs()) {
+    const CuisinePatterns* cp = nullptr;
+    for (const auto& candidate : *mined) {
+      if (candidate.cuisine_name == spec.name) cp = &candidate;
+    }
+    ASSERT_NE(cp, nullptr);
+    for (const auto& sig : spec.signatures) {
+      if (!cp->SupportOf(ds->vocabulary(), sig.pattern)) ++missing;
+    }
+  }
+  // 33 signatures; at quarter scale allow at most one threshold-edge
+  // casualty per seed.
+  EXPECT_LE(missing, 1u);
+}
+
+TEST_P(SeedSweepTest, AuthenticityTreeKeepsRegionalClades) {
+  GeneratorOptions gen;
+  gen.scale = 0.25;
+  gen.seed = GetParam();
+  auto ds = GenerateRecipeDb(gen);
+  ASSERT_TRUE(ds.ok());
+  auto tree = AuthenticityCluster(*ds);
+  ASSERT_TRUE(tree.ok());
+  auto coph = tree->CopheneticDistances();
+  auto idx = [&](const std::string& name) {
+    for (std::size_t i = 0; i < tree->labels().size(); ++i) {
+      if (tree->labels()[i] == name) return i;
+    }
+    ADD_FAILURE() << name;
+    return std::size_t{0};
+  };
+  EXPECT_LT(coph.at(idx("Japanese"), idx("Korean")),
+            coph.at(idx("Japanese"), idx("UK")));
+  EXPECT_LT(coph.at(idx("Greek"), idx("Italian")),
+            coph.at(idx("Greek"), idx("Japanese")));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweepTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace cuisine

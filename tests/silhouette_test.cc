@@ -1,0 +1,105 @@
+#include "cluster/silhouette.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+Matrix TwoBlobs() {
+  return Matrix::FromRows(
+      {{0, 0}, {0.1, 0}, {0, 0.1}, {10, 10}, {10.1, 10}, {10, 10.1}});
+}
+
+TEST(SilhouetteTest, PerfectSeparationNearOne) {
+  auto score = SilhouetteScore(TwoBlobs(), {0, 0, 0, 1, 1, 1});
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.95);
+}
+
+TEST(SilhouetteTest, ShuffledLabelsScoreLow) {
+  auto score = SilhouetteScore(TwoBlobs(), {0, 1, 0, 1, 0, 1});
+  ASSERT_TRUE(score.ok());
+  EXPECT_LT(*score, 0.0);
+}
+
+TEST(SilhouetteTest, HandComputed1D) {
+  // Points 0, 1, 5 with labels {0,0,1}.
+  // s(0): a=1, b=5, s=(5-1)/5=0.8
+  // s(1): a=1, b=4, s=(4-1)/4=0.75
+  // s(2): singleton -> 0
+  // mean = (0.8+0.75+0)/3
+  Matrix features = Matrix::FromRows({{0}, {1}, {5}});
+  auto score = SilhouetteScore(features, {0, 0, 1});
+  ASSERT_TRUE(score.ok());
+  EXPECT_NEAR(*score, (0.8 + 0.75 + 0.0) / 3.0, 1e-12);
+}
+
+TEST(SilhouetteTest, Validation) {
+  Matrix features = TwoBlobs();
+  // Label length mismatch.
+  EXPECT_FALSE(SilhouetteScore(features, {0, 1}).ok());
+  // Single cluster.
+  EXPECT_FALSE(SilhouetteScore(features, {0, 0, 0, 0, 0, 0}).ok());
+  // Negative labels.
+  EXPECT_FALSE(SilhouetteScore(features, {0, 0, 0, -1, 1, 1}).ok());
+  // Too few points.
+  Matrix one = Matrix::FromRows({{0.0}});
+  EXPECT_FALSE(SilhouetteScore(one, {0}).ok());
+}
+
+TEST(SilhouetteTest, WorksOnPrecomputedDistances) {
+  CondensedDistanceMatrix d(4);
+  d.set(0, 1, 0.1);
+  d.set(2, 3, 0.1);
+  d.set(0, 2, 9);
+  d.set(0, 3, 9);
+  d.set(1, 2, 9);
+  d.set(1, 3, 9);
+  auto score = SilhouetteScore(d, {0, 0, 1, 1});
+  ASSERT_TRUE(score.ok());
+  EXPECT_GT(*score, 0.95);
+}
+
+TEST(AriTest, IdenticalPartitions) {
+  auto ari = AdjustedRandIndex({0, 0, 1, 1, 2}, {7, 7, 3, 3, 9});
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, IndependentPartitionsNearZero) {
+  // A known sklearn example: ARI({0,0,1,1},{0,1,0,1}) = -0.5.
+  auto ari = AdjustedRandIndex({0, 0, 1, 1}, {0, 1, 0, 1});
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, -0.5, 1e-12);
+}
+
+TEST(AriTest, SklearnDocExample) {
+  // sklearn.metrics.adjusted_rand_score([0,0,1,2],[0,0,1,1]) = 0.5714...
+  auto ari = AdjustedRandIndex({0, 0, 1, 2}, {0, 0, 1, 1});
+  ASSERT_TRUE(ari.ok());
+  EXPECT_NEAR(*ari, 0.5714285714285714, 1e-12);
+}
+
+TEST(AriTest, AllSingletonsIdentical) {
+  auto ari = AdjustedRandIndex({0, 1, 2}, {2, 0, 1});
+  ASSERT_TRUE(ari.ok());
+  EXPECT_DOUBLE_EQ(*ari, 1.0);
+}
+
+TEST(AriTest, Validation) {
+  EXPECT_FALSE(AdjustedRandIndex({0, 1}, {0}).ok());
+  EXPECT_FALSE(AdjustedRandIndex({0}, {0}).ok());
+}
+
+TEST(AriTest, SymmetricInArguments) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {0, 1, 1, 1, 2, 0};
+  auto ab = AdjustedRandIndex(a, b);
+  auto ba = AdjustedRandIndex(b, a);
+  ASSERT_TRUE(ab.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_DOUBLE_EQ(*ab, *ba);
+}
+
+}  // namespace
+}  // namespace cuisine

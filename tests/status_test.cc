@@ -1,0 +1,135 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_TRUE(s.message().empty());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+    std::string_view name;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument,
+       "InvalidArgument"},
+      {Status::NotFound("b"), StatusCode::kNotFound, "NotFound"},
+      {Status::AlreadyExists("c"), StatusCode::kAlreadyExists,
+       "AlreadyExists"},
+      {Status::OutOfRange("d"), StatusCode::kOutOfRange, "OutOfRange"},
+      {Status::FailedPrecondition("e"), StatusCode::kFailedPrecondition,
+       "FailedPrecondition"},
+      {Status::IOError("f"), StatusCode::kIOError, "IOError"},
+      {Status::ParseError("g"), StatusCode::kParseError, "ParseError"},
+      {Status::Internal("h"), StatusCode::kInternal, "Internal"},
+      {Status::NotImplemented("i"), StatusCode::kNotImplemented,
+       "NotImplemented"},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_EQ(StatusCodeToString(c.status.code()), c.name);
+    EXPECT_NE(c.status.ToString().find(c.name), std::string::npos);
+  }
+}
+
+TEST(StatusTest, ToStringIncludesMessage) {
+  Status s = Status::NotFound("missing cuisine");
+  EXPECT_EQ(s.ToString(), "NotFound: missing cuisine");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_NE(Status::NotFound("x"), Status::NotFound("y"));
+  EXPECT_NE(Status::NotFound("x"), Status::Internal("x"));
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::IOError("disk");
+  EXPECT_EQ(os.str(), "IOError: disk");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> good = 7;
+  Result<int> bad = Status::Internal("x");
+  EXPECT_EQ(good.value_or(0), 7);
+  EXPECT_EQ(bad.value_or(9), 9);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("abc");
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  CUISINE_ASSIGN_OR_RETURN(int h, Half(x));
+  return Half(h);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesErrors) {
+  Result<int> ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 2);
+
+  Result<int> odd = Quarter(6);  // 6/2=3 is odd downstream
+  EXPECT_FALSE(odd.ok());
+  EXPECT_EQ(odd.status().code(), StatusCode::kInvalidArgument);
+}
+
+Status NeedsPositive(int x) {
+  if (x <= 0) return Status::OutOfRange("non-positive");
+  return Status::OK();
+}
+
+Status Chain(int x) {
+  CUISINE_RETURN_NOT_OK(NeedsPositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(Chain(1).ok());
+  EXPECT_EQ(Chain(-1).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace cuisine

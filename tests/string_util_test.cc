@@ -1,0 +1,105 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(TrimWhitespaceTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace("\t\na b\r\n"), "a b");
+}
+
+TEST(SplitTest, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitAndTrimTest, DropsEmptyAndTrims) {
+  EXPECT_EQ(SplitAndTrim(" a ; b ;; c ", ';'),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitAndTrim("  ", ';'), (std::vector<std::string>{}));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(ToLowerAsciiTest, Basic) {
+  EXPECT_EQ(ToLowerAscii("AbC123"), "abc123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("soy sauce", "soy"));
+  EXPECT_FALSE(StartsWith("soy", "soy sauce"));
+  EXPECT_TRUE(EndsWith("soy sauce", "sauce"));
+  EXPECT_FALSE(EndsWith("sauce", "soy sauce"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(CanonicalItemNameTest, CollapsesAndLowercases) {
+  EXPECT_EQ(CanonicalItemName("Soy  Sauce "), "soy_sauce");
+  EXPECT_EQ(CanonicalItemName("olive oil"), "olive_oil");
+  EXPECT_EQ(CanonicalItemName("BUTTER"), "butter");
+  EXPECT_EQ(CanonicalItemName("a-b_c d"), "a_b_c_d");
+  EXPECT_EQ(CanonicalItemName("  "), "");
+}
+
+TEST(CanonicalItemNameTest, Idempotent) {
+  std::string once = CanonicalItemName("Garlic  Clove");
+  EXPECT_EQ(CanonicalItemName(once), once);
+}
+
+TEST(DisplayItemNameTest, RoundTripsSpaces) {
+  EXPECT_EQ(DisplayItemName("soy_sauce"), "soy sauce");
+  EXPECT_EQ(DisplayItemName(CanonicalItemName("soy sauce")), "soy sauce");
+}
+
+TEST(FormatDoubleTest, Digits) {
+  EXPECT_EQ(FormatDouble(0.2, 2), "0.20");
+  EXPECT_EQ(FormatDouble(1.23456, 3), "1.235");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatCountTest, Grouping) {
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(118171), "118,171");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+}
+
+TEST(ParseDoubleTest, ValidAndInvalid) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("0.25", &v));
+  EXPECT_DOUBLE_EQ(v, 0.25);
+  EXPECT_TRUE(ParseDouble(" -3.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, -3.5);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("1.5x", &v));
+}
+
+TEST(ParseSizeTTest, ValidAndInvalid) {
+  std::size_t v = 0;
+  EXPECT_TRUE(ParseSizeT("42", &v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(ParseSizeT(" 0 ", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_FALSE(ParseSizeT("-1", &v));
+  EXPECT_FALSE(ParseSizeT("1.5", &v));
+  EXPECT_FALSE(ParseSizeT("", &v));
+}
+
+}  // namespace
+}  // namespace cuisine

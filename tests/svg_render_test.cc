@@ -1,0 +1,100 @@
+#include "cluster/svg_render.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.h"
+#include "common/logging.h"
+
+namespace cuisine {
+namespace {
+
+Dendrogram LineTree() {
+  Matrix features = Matrix::FromRows({{0}, {1}, {4}, {10}});
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  CUISINE_CHECK(steps.ok());
+  auto tree =
+      Dendrogram::FromLinkage(*steps, {"alpha", "beta", "<gamma>", "d&e"});
+  CUISINE_CHECK(tree.ok());
+  return std::move(tree).value();
+}
+
+std::size_t CountOccurrences(const std::string& haystack,
+                             const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = 0; (pos = haystack.find(needle, pos)) !=
+                            std::string::npos;
+       pos += needle.size()) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SvgRenderTest, WellFormedDocument) {
+  std::string svg = RenderSvg(LineTree());
+  EXPECT_EQ(svg.rfind("<svg", 0), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(svg, "<text"), CountOccurrences(svg, "</text>"));
+}
+
+TEST(SvgRenderTest, OnePathPerMergeAndOneLabelPerLeaf) {
+  Dendrogram tree = LineTree();
+  std::string svg = RenderSvg(tree);
+  EXPECT_EQ(CountOccurrences(svg, "<path"), tree.steps().size());
+  // 4 leaf labels + 5 axis tick labels.
+  EXPECT_EQ(CountOccurrences(svg, "<text"), 4u + 5u);
+}
+
+TEST(SvgRenderTest, LabelsAreEscaped) {
+  std::string svg = RenderSvg(LineTree());
+  EXPECT_NE(svg.find("&lt;gamma&gt;"), std::string::npos);
+  EXPECT_NE(svg.find("d&amp;e"), std::string::npos);
+  EXPECT_EQ(svg.find("<gamma>"), std::string::npos);
+}
+
+TEST(SvgRenderTest, TitleAndAxisLabelIncluded) {
+  SvgOptions opt;
+  opt.title = "Fig 2";
+  opt.axis_label = "Euclidean distance";
+  std::string svg = RenderSvg(LineTree(), opt);
+  EXPECT_NE(svg.find("Fig 2"), std::string::npos);
+  EXPECT_NE(svg.find("Euclidean distance"), std::string::npos);
+}
+
+TEST(SvgRenderTest, ClusterColoringUsesMultipleColors) {
+  SvgOptions opt;
+  opt.color_clusters = 2;
+  std::string svg = RenderSvg(LineTree(), opt);
+  // At k=2 the {a,b,c} subtree links are colored; the root link keeps the
+  // neutral color. Expect at least two distinct stroke colors.
+  EXPECT_NE(svg.find("stroke=\"#1f77b4\""), std::string::npos);
+  bool has_second = svg.find("stroke=\"#d62728\"") != std::string::npos ||
+                    svg.find("stroke=\"#2ca02c\"") != std::string::npos;
+  EXPECT_TRUE(has_second);
+}
+
+TEST(SvgRenderTest, SaveToFile) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "cuisine_test.svg").string();
+  ASSERT_TRUE(SaveSvg(LineTree(), path).ok());
+  auto contents = ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+  EXPECT_NE(contents->find("</svg>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SvgRenderTest, HeightsMapMonotonically) {
+  // The root (largest height) must be drawn left of every child apex.
+  Dendrogram tree = LineTree();
+  std::string svg = RenderSvg(tree);
+  // Sanity only: document renders without CHECK failures and contains a
+  // path whose first x coordinate differs from its second.
+  EXPECT_NE(svg.find("M "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,79 @@
+#include "common/text_table.h"
+
+#include <gtest/gtest.h>
+
+#include "common/hash.h"
+
+namespace cuisine {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t({"Region", "N"});
+  t.AddRow({"Korean", "668"});
+  t.AddRow({"US", "5031"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| Region | N    |"), std::string::npos);
+  EXPECT_NE(out.find("| Korean | 668  |"), std::string::npos);
+  EXPECT_NE(out.find("| US     | 5031 |"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"x"});
+  std::string out = t.Render();
+  EXPECT_NE(out.find("| x |   |   |"), std::string::npos);
+}
+
+TEST(TextTableTest, LongRowsTruncated) {
+  TextTable t({"A"});
+  t.AddRow({"x", "overflow"});
+  std::string out = t.Render();
+  EXPECT_EQ(out.find("overflow"), std::string::npos);
+}
+
+TEST(TextTableTest, RuleInsertedBetweenRows) {
+  TextTable t({"A"});
+  t.AddRow({"1"});
+  t.AddRule();
+  t.AddRow({"2"});
+  std::string out = t.Render();
+  // header rule + top + bottom + explicit = 4 rules
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+---", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTableTest, RowCount) {
+  TextTable t({"A"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.AddRow({"1"});
+  t.AddRow({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(HashTest, Fnv1aKnownValues) {
+  // FNV-1a 64-bit of the empty string is the offset basis.
+  EXPECT_EQ(Fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_NE(Fnv1a("a"), Fnv1a("b"));
+}
+
+TEST(HashTest, Mix64ChangesValue) {
+  EXPECT_NE(Mix64(1), 1u);
+  EXPECT_NE(Mix64(1), Mix64(2));
+}
+
+TEST(HashTest, HashSequenceOrderSensitive) {
+  std::vector<int> ab = {1, 2}, ba = {2, 1};
+  EXPECT_NE(HashSequence(ab), HashSequence(ba));
+}
+
+TEST(HashTest, HashSequenceLengthSensitive) {
+  std::vector<int> a = {1}, aa = {1, 0};
+  EXPECT_NE(HashSequence(a), HashSequence(aa));
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,159 @@
+#include "cluster/tree_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace cuisine {
+namespace {
+
+Dendrogram TreeFromPoints(const std::vector<std::vector<double>>& points,
+                          LinkageMethod method = LinkageMethod::kAverage) {
+  Matrix features = Matrix::FromRows(points);
+  auto d = CondensedDistanceMatrix::FromFeatures(features,
+                                                 DistanceMetric::kEuclidean);
+  auto steps = HierarchicalCluster(d, method);
+  CUISINE_CHECK(steps.ok());
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    labels.push_back("L" + std::to_string(i));
+  }
+  auto tree = Dendrogram::FromLinkage(*steps, labels);
+  CUISINE_CHECK(tree.ok());
+  return std::move(tree).value();
+}
+
+TEST(PearsonTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {2, 4, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {6, 4, 2}), -1.0);
+  EXPECT_NEAR(PearsonCorrelation({1, 2, 3, 4}, {1, 3, 2, 4}), 0.8, 1e-12);
+}
+
+TEST(PearsonTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2}, {1}), 0.0);   // length mismatch
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({5, 5, 5}, {1, 2, 3}), 0.0);  // no var
+}
+
+TEST(CopheneticCorrelationTest, PerfectForUltrametricInput) {
+  // Distances that are already ultrametric: the tree reproduces them
+  // exactly, so the correlation is 1.
+  CondensedDistanceMatrix d(3);
+  d.set(0, 1, 1.0);
+  d.set(0, 2, 5.0);
+  d.set(1, 2, 5.0);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kAverage);
+  ASSERT_TRUE(steps.ok());
+  auto tree = Dendrogram::FromLinkage(*steps, {"a", "b", "c"});
+  ASSERT_TRUE(tree.ok());
+  auto corr = CopheneticCorrelation(*tree, d);
+  ASSERT_TRUE(corr.ok());
+  EXPECT_NEAR(*corr, 1.0, 1e-12);
+}
+
+TEST(CopheneticCorrelationTest, SizeMismatchRejected) {
+  Dendrogram tree = TreeFromPoints({{0}, {1}, {5}});
+  CondensedDistanceMatrix wrong(4);
+  EXPECT_FALSE(CopheneticCorrelation(tree, wrong).ok());
+}
+
+TEST(CopheneticTreeSimilarityTest, IdenticalTreesScoreOne) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {5}, {6}, {20}});
+  Dendrogram b = TreeFromPoints({{0}, {1}, {5}, {6}, {20}});
+  auto sim = CopheneticTreeSimilarity(a, b);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(*sim, 1.0, 1e-12);
+}
+
+TEST(CopheneticTreeSimilarityTest, DifferentStructuresScoreLower) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {10}, {11}});
+  // Swap the pairing: 0 with 10, 1 with 11.
+  Dendrogram b = TreeFromPoints({{0}, {10}, {0.5}, {10.5}});
+  auto sim = CopheneticTreeSimilarity(a, b);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_LT(*sim, 0.5);
+}
+
+TEST(FowlkesMallowsTest, IdenticalClusterings) {
+  auto fm = FowlkesMallows({0, 0, 1, 1, 2}, {5, 5, 9, 9, 7});
+  ASSERT_TRUE(fm.ok());
+  EXPECT_DOUBLE_EQ(*fm, 1.0);
+}
+
+TEST(FowlkesMallowsTest, KnownValue) {
+  // A: {0,1},{2,3}; B: {0,2},{1,3}. Co-pairs in both: none -> 0.
+  auto fm = FowlkesMallows({0, 0, 1, 1}, {0, 1, 0, 1});
+  ASSERT_TRUE(fm.ok());
+  EXPECT_DOUBLE_EQ(*fm, 0.0);
+}
+
+TEST(FowlkesMallowsTest, PartialOverlap) {
+  // A: {0,1,2},{3}; B: {0,1},{2,3}.
+  // Tk = |co-pairs in both| = 1 ({0,1}). Pk = 3, Qk = 2.
+  auto fm = FowlkesMallows({0, 0, 0, 1}, {0, 0, 1, 1});
+  ASSERT_TRUE(fm.ok());
+  EXPECT_NEAR(*fm, 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(FowlkesMallowsTest, AllSingletonsConvention) {
+  auto fm = FowlkesMallows({0, 1, 2}, {2, 1, 0});
+  ASSERT_TRUE(fm.ok());
+  EXPECT_DOUBLE_EQ(*fm, 1.0);
+}
+
+TEST(FowlkesMallowsTest, LengthMismatchRejected) {
+  EXPECT_FALSE(FowlkesMallows({0, 1}, {0}).ok());
+  EXPECT_FALSE(FowlkesMallows({}, {}).ok());
+}
+
+TEST(FowlkesMallowsBkTest, IdenticalTrees) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {5}, {6}, {20}, {21}});
+  auto bk = FowlkesMallowsBk(a, a, 5);
+  ASSERT_TRUE(bk.ok());
+  EXPECT_DOUBLE_EQ(*bk, 1.0);
+}
+
+TEST(FowlkesMallowsBkTest, BoundsAndValidation) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {5}});
+  Dendrogram b = TreeFromPoints({{0}, {4}, {5}});
+  auto bk = FowlkesMallowsBk(a, b, 10);  // clamped to n-1
+  ASSERT_TRUE(bk.ok());
+  EXPECT_GE(*bk, 0.0);
+  EXPECT_LE(*bk, 1.0);
+
+  Dendrogram tiny = TreeFromPoints({{0}, {1}});
+  EXPECT_FALSE(FowlkesMallowsBk(tiny, tiny, 10).ok());  // max_k < 2
+}
+
+TEST(TripletAgreementTest, IdenticalTreesScoreOne) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {5}, {6}, {20}});
+  auto t = TripletAgreement(a, a);
+  ASSERT_TRUE(t.ok());
+  EXPECT_DOUBLE_EQ(*t, 1.0);
+}
+
+TEST(TripletAgreementTest, OppositePairingsScoreLow) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {10}, {11}});
+  Dendrogram b = TreeFromPoints({{0}, {10}, {0.5}, {10.5}});
+  auto t = TripletAgreement(a, b);
+  ASSERT_TRUE(t.ok());
+  EXPECT_LT(*t, 0.5);
+}
+
+TEST(TripletAgreementTest, NeedsThreeLeaves) {
+  Dendrogram tiny = TreeFromPoints({{0}, {1}});
+  EXPECT_FALSE(TripletAgreement(tiny, tiny).ok());
+}
+
+TEST(TreeCompareTest, LeafCountMismatchesRejected) {
+  Dendrogram a = TreeFromPoints({{0}, {1}, {5}});
+  Dendrogram b = TreeFromPoints({{0}, {1}, {5}, {6}});
+  EXPECT_FALSE(CopheneticTreeSimilarity(a, b).ok());
+  EXPECT_FALSE(FowlkesMallowsBk(a, b, 3).ok());
+  EXPECT_FALSE(TripletAgreement(a, b).ok());
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,82 @@
+#include "data/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace cuisine {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary v;
+  EXPECT_EQ(v.Intern("salt", ItemCategory::kIngredient), 0u);
+  EXPECT_EQ(v.Intern("add", ItemCategory::kProcess), 1u);
+  EXPECT_EQ(v.Intern("bowl", ItemCategory::kUtensil), 2u);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(VocabularyTest, ReinternReturnsExistingId) {
+  Vocabulary v;
+  ItemId a = v.Intern("salt", ItemCategory::kIngredient);
+  ItemId b = v.Intern("salt", ItemCategory::kIngredient);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(VocabularyTest, InternCanonicalisesNames) {
+  Vocabulary v;
+  ItemId a = v.Intern("Soy  Sauce", ItemCategory::kIngredient);
+  ItemId b = v.Intern("soy sauce", ItemCategory::kIngredient);
+  ItemId c = v.Intern("soy_sauce", ItemCategory::kIngredient);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(v.Name(a), "soy_sauce");
+}
+
+TEST(VocabularyTest, FirstCategoryWins) {
+  Vocabulary v;
+  ItemId a = v.Intern("whisk", ItemCategory::kUtensil);
+  ItemId b = v.Intern("whisk", ItemCategory::kProcess);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.Category(a), ItemCategory::kUtensil);
+  EXPECT_EQ(v.CategoryCount(ItemCategory::kUtensil), 1u);
+  EXPECT_EQ(v.CategoryCount(ItemCategory::kProcess), 0u);
+}
+
+TEST(VocabularyTest, FindAndContains) {
+  Vocabulary v;
+  ItemId a = v.Intern("butter", ItemCategory::kIngredient);
+  EXPECT_EQ(v.Find("butter"), a);
+  EXPECT_EQ(v.Find("Butter "), a);
+  EXPECT_EQ(v.Find("margarine"), kInvalidItemId);
+  EXPECT_TRUE(v.Contains("butter"));
+  EXPECT_FALSE(v.Contains("margarine"));
+}
+
+TEST(VocabularyTest, RequireErrorsOnMissing) {
+  Vocabulary v;
+  v.Intern("salt", ItemCategory::kIngredient);
+  EXPECT_TRUE(v.Require("salt").ok());
+  auto missing = v.Require("pepper");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VocabularyTest, CategoryCountsAndItems) {
+  Vocabulary v;
+  v.Intern("salt", ItemCategory::kIngredient);
+  v.Intern("pepper", ItemCategory::kIngredient);
+  v.Intern("add", ItemCategory::kProcess);
+  EXPECT_EQ(v.CategoryCount(ItemCategory::kIngredient), 2u);
+  EXPECT_EQ(v.CategoryCount(ItemCategory::kProcess), 1u);
+  EXPECT_EQ(v.CategoryCount(ItemCategory::kUtensil), 0u);
+  auto ingredients = v.CategoryItems(ItemCategory::kIngredient);
+  EXPECT_EQ(ingredients, (std::vector<ItemId>{0, 1}));
+}
+
+TEST(ItemCategoryTest, Names) {
+  EXPECT_EQ(ItemCategoryName(ItemCategory::kIngredient), "ingredient");
+  EXPECT_EQ(ItemCategoryName(ItemCategory::kProcess), "process");
+  EXPECT_EQ(ItemCategoryName(ItemCategory::kUtensil), "utensil");
+}
+
+}  // namespace
+}  // namespace cuisine
