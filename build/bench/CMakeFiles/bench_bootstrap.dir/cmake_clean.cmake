@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bootstrap.dir/bench_bootstrap.cc.o"
+  "CMakeFiles/bench_bootstrap.dir/bench_bootstrap.cc.o.d"
+  "bench_bootstrap"
+  "bench_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

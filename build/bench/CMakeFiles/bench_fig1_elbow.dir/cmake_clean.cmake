@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_elbow.dir/bench_fig1_elbow.cc.o"
+  "CMakeFiles/bench_fig1_elbow.dir/bench_fig1_elbow.cc.o.d"
+  "bench_fig1_elbow"
+  "bench_fig1_elbow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

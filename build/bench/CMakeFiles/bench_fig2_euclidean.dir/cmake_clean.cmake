@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_euclidean.dir/bench_fig2_euclidean.cc.o"
+  "CMakeFiles/bench_fig2_euclidean.dir/bench_fig2_euclidean.cc.o.d"
+  "bench_fig2_euclidean"
+  "bench_fig2_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

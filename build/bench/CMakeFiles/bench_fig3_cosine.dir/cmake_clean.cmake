@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cosine.dir/bench_fig3_cosine.cc.o"
+  "CMakeFiles/bench_fig3_cosine.dir/bench_fig3_cosine.cc.o.d"
+  "bench_fig3_cosine"
+  "bench_fig3_cosine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cosine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

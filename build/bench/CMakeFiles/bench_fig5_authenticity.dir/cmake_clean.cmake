@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_authenticity.dir/bench_fig5_authenticity.cc.o"
+  "CMakeFiles/bench_fig5_authenticity.dir/bench_fig5_authenticity.cc.o.d"
+  "bench_fig5_authenticity"
+  "bench_fig5_authenticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_authenticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

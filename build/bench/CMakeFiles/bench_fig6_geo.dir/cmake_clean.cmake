@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_geo.dir/bench_fig6_geo.cc.o"
+  "CMakeFiles/bench_fig6_geo.dir/bench_fig6_geo.cc.o.d"
+  "bench_fig6_geo"
+  "bench_fig6_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

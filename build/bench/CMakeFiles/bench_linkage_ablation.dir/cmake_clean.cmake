@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linkage_ablation.dir/bench_linkage_ablation.cc.o"
+  "CMakeFiles/bench_linkage_ablation.dir/bench_linkage_ablation.cc.o.d"
+  "bench_linkage_ablation"
+  "bench_linkage_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linkage_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_miners.cc" "bench/CMakeFiles/bench_miners.dir/bench_miners.cc.o" "gcc" "bench/CMakeFiles/bench_miners.dir/bench_miners.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cuisine_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/cuisine_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/authenticity/CMakeFiles/cuisine_authenticity.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cuisine_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cuisine_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

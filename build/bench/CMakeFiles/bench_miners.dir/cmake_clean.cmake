@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_miners.dir/bench_miners.cc.o"
+  "CMakeFiles/bench_miners.dir/bench_miners.cc.o.d"
+  "bench_miners"
+  "bench_miners.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_miners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

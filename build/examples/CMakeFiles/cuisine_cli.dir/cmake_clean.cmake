@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_cli.dir/cuisine_cli.cpp.o"
+  "CMakeFiles/cuisine_cli.dir/cuisine_cli.cpp.o.d"
+  "cuisine_cli"
+  "cuisine_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_fingerprint.dir/cuisine_fingerprint.cpp.o"
+  "CMakeFiles/cuisine_fingerprint.dir/cuisine_fingerprint.cpp.o.d"
+  "cuisine_fingerprint"
+  "cuisine_fingerprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_fingerprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_tree.dir/cuisine_tree.cpp.o"
+  "CMakeFiles/cuisine_tree.dir/cuisine_tree.cpp.o.d"
+  "cuisine_tree"
+  "cuisine_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_explorer.dir/pattern_explorer.cpp.o"
+  "CMakeFiles/pattern_explorer.dir/pattern_explorer.cpp.o.d"
+  "pattern_explorer"
+  "pattern_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

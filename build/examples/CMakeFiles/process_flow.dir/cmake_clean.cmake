@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_flow.dir/process_flow.cpp.o"
+  "CMakeFiles/process_flow.dir/process_flow.cpp.o.d"
+  "process_flow"
+  "process_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/render_figures.dir/render_figures.cpp.o"
+  "CMakeFiles/render_figures.dir/render_figures.cpp.o.d"
+  "render_figures"
+  "render_figures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/render_figures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

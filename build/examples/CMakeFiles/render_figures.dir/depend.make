@@ -1,0 +1,2 @@
+# Empty dependencies file for render_figures.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_report.dir/table1_report.cpp.o"
+  "CMakeFiles/table1_report.dir/table1_report.cpp.o.d"
+  "table1_report"
+  "table1_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/authenticity/authenticity.cc" "src/authenticity/CMakeFiles/cuisine_authenticity.dir/authenticity.cc.o" "gcc" "src/authenticity/CMakeFiles/cuisine_authenticity.dir/authenticity.cc.o.d"
+  "/root/repo/src/authenticity/prevalence.cc" "src/authenticity/CMakeFiles/cuisine_authenticity.dir/prevalence.cc.o" "gcc" "src/authenticity/CMakeFiles/cuisine_authenticity.dir/prevalence.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_authenticity.dir/authenticity.cc.o"
+  "CMakeFiles/cuisine_authenticity.dir/authenticity.cc.o.d"
+  "CMakeFiles/cuisine_authenticity.dir/prevalence.cc.o"
+  "CMakeFiles/cuisine_authenticity.dir/prevalence.cc.o.d"
+  "libcuisine_authenticity.a"
+  "libcuisine_authenticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_authenticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

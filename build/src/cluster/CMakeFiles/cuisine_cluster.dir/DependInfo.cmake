@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/bootstrap.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/bootstrap.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/bootstrap.cc.o.d"
+  "/root/repo/src/cluster/dendrogram.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/dendrogram.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/dendrogram.cc.o.d"
+  "/root/repo/src/cluster/distance.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/distance.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/distance.cc.o.d"
+  "/root/repo/src/cluster/elbow.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/elbow.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/elbow.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmedoids.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/kmedoids.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/kmedoids.cc.o.d"
+  "/root/repo/src/cluster/label_encoder.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/label_encoder.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/label_encoder.cc.o.d"
+  "/root/repo/src/cluster/linkage.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/linkage.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/linkage.cc.o.d"
+  "/root/repo/src/cluster/pdist.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/pdist.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/pdist.cc.o.d"
+  "/root/repo/src/cluster/silhouette.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/silhouette.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/silhouette.cc.o.d"
+  "/root/repo/src/cluster/svg_render.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/svg_render.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/svg_render.cc.o.d"
+  "/root/repo/src/cluster/tree_compare.cc" "src/cluster/CMakeFiles/cuisine_cluster.dir/tree_compare.cc.o" "gcc" "src/cluster/CMakeFiles/cuisine_cluster.dir/tree_compare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_cluster.dir/bootstrap.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/bootstrap.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/dendrogram.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/dendrogram.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/distance.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/distance.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/elbow.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/elbow.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/kmedoids.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/kmedoids.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/label_encoder.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/label_encoder.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/linkage.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/linkage.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/pdist.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/pdist.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/silhouette.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/silhouette.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/svg_render.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/svg_render.cc.o.d"
+  "CMakeFiles/cuisine_cluster.dir/tree_compare.cc.o"
+  "CMakeFiles/cuisine_cluster.dir/tree_compare.cc.o.d"
+  "libcuisine_cluster.a"
+  "libcuisine_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcuisine_cluster.a"
+)

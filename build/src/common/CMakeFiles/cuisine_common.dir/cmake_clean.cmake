@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_common.dir/csv.cc.o"
+  "CMakeFiles/cuisine_common.dir/csv.cc.o.d"
+  "CMakeFiles/cuisine_common.dir/logging.cc.o"
+  "CMakeFiles/cuisine_common.dir/logging.cc.o.d"
+  "CMakeFiles/cuisine_common.dir/matrix.cc.o"
+  "CMakeFiles/cuisine_common.dir/matrix.cc.o.d"
+  "CMakeFiles/cuisine_common.dir/random.cc.o"
+  "CMakeFiles/cuisine_common.dir/random.cc.o.d"
+  "CMakeFiles/cuisine_common.dir/status.cc.o"
+  "CMakeFiles/cuisine_common.dir/status.cc.o.d"
+  "CMakeFiles/cuisine_common.dir/string_util.cc.o"
+  "CMakeFiles/cuisine_common.dir/string_util.cc.o.d"
+  "CMakeFiles/cuisine_common.dir/text_table.cc.o"
+  "CMakeFiles/cuisine_common.dir/text_table.cc.o.d"
+  "libcuisine_common.a"
+  "libcuisine_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/authenticity_pipeline.cc" "src/core/CMakeFiles/cuisine_core.dir/authenticity_pipeline.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/authenticity_pipeline.cc.o.d"
+  "/root/repo/src/core/cluster_labels.cc" "src/core/CMakeFiles/cuisine_core.dir/cluster_labels.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/cluster_labels.cc.o.d"
+  "/root/repo/src/core/export.cc" "src/core/CMakeFiles/cuisine_core.dir/export.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/export.cc.o.d"
+  "/root/repo/src/core/fihc.cc" "src/core/CMakeFiles/cuisine_core.dir/fihc.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/fihc.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/cuisine_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/cuisine_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/cuisine_core.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/cuisine_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/authenticity/CMakeFiles/cuisine_authenticity.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cuisine_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/cuisine_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_core.dir/authenticity_pipeline.cc.o"
+  "CMakeFiles/cuisine_core.dir/authenticity_pipeline.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/cluster_labels.cc.o"
+  "CMakeFiles/cuisine_core.dir/cluster_labels.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/export.cc.o"
+  "CMakeFiles/cuisine_core.dir/export.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/fihc.cc.o"
+  "CMakeFiles/cuisine_core.dir/fihc.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/pipeline.cc.o"
+  "CMakeFiles/cuisine_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/cuisine_core.dir/report.cc.o"
+  "CMakeFiles/cuisine_core.dir/report.cc.o.d"
+  "libcuisine_core.a"
+  "libcuisine_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/cuisine_profiles.cc" "src/data/CMakeFiles/cuisine_data.dir/cuisine_profiles.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/cuisine_profiles.cc.o.d"
+  "/root/repo/src/data/dataset.cc" "src/data/CMakeFiles/cuisine_data.dir/dataset.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/dataset.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/cuisine_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/process_stages.cc" "src/data/CMakeFiles/cuisine_data.dir/process_stages.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/process_stages.cc.o.d"
+  "/root/repo/src/data/recipe_io.cc" "src/data/CMakeFiles/cuisine_data.dir/recipe_io.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/recipe_io.cc.o.d"
+  "/root/repo/src/data/vocabulary.cc" "src/data/CMakeFiles/cuisine_data.dir/vocabulary.cc.o" "gcc" "src/data/CMakeFiles/cuisine_data.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_data.dir/cuisine_profiles.cc.o"
+  "CMakeFiles/cuisine_data.dir/cuisine_profiles.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/dataset.cc.o"
+  "CMakeFiles/cuisine_data.dir/dataset.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/generator.cc.o"
+  "CMakeFiles/cuisine_data.dir/generator.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/process_stages.cc.o"
+  "CMakeFiles/cuisine_data.dir/process_stages.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/recipe_io.cc.o"
+  "CMakeFiles/cuisine_data.dir/recipe_io.cc.o.d"
+  "CMakeFiles/cuisine_data.dir/vocabulary.cc.o"
+  "CMakeFiles/cuisine_data.dir/vocabulary.cc.o.d"
+  "libcuisine_data.a"
+  "libcuisine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

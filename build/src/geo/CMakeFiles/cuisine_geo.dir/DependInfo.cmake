@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/geo_cluster.cc" "src/geo/CMakeFiles/cuisine_geo.dir/geo_cluster.cc.o" "gcc" "src/geo/CMakeFiles/cuisine_geo.dir/geo_cluster.cc.o.d"
+  "/root/repo/src/geo/regions.cc" "src/geo/CMakeFiles/cuisine_geo.dir/regions.cc.o" "gcc" "src/geo/CMakeFiles/cuisine_geo.dir/regions.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cuisine_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_geo.dir/geo_cluster.cc.o"
+  "CMakeFiles/cuisine_geo.dir/geo_cluster.cc.o.d"
+  "CMakeFiles/cuisine_geo.dir/regions.cc.o"
+  "CMakeFiles/cuisine_geo.dir/regions.cc.o.d"
+  "libcuisine_geo.a"
+  "libcuisine_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cc" "src/mining/CMakeFiles/cuisine_mining.dir/apriori.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/apriori.cc.o.d"
+  "/root/repo/src/mining/association_rules.cc" "src/mining/CMakeFiles/cuisine_mining.dir/association_rules.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/association_rules.cc.o.d"
+  "/root/repo/src/mining/condensed_patterns.cc" "src/mining/CMakeFiles/cuisine_mining.dir/condensed_patterns.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/condensed_patterns.cc.o.d"
+  "/root/repo/src/mining/eclat.cc" "src/mining/CMakeFiles/cuisine_mining.dir/eclat.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/eclat.cc.o.d"
+  "/root/repo/src/mining/fpgrowth.cc" "src/mining/CMakeFiles/cuisine_mining.dir/fpgrowth.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/fpgrowth.cc.o.d"
+  "/root/repo/src/mining/fptree.cc" "src/mining/CMakeFiles/cuisine_mining.dir/fptree.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/fptree.cc.o.d"
+  "/root/repo/src/mining/itemset.cc" "src/mining/CMakeFiles/cuisine_mining.dir/itemset.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/itemset.cc.o.d"
+  "/root/repo/src/mining/miner.cc" "src/mining/CMakeFiles/cuisine_mining.dir/miner.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/miner.cc.o.d"
+  "/root/repo/src/mining/pattern_set.cc" "src/mining/CMakeFiles/cuisine_mining.dir/pattern_set.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/pattern_set.cc.o.d"
+  "/root/repo/src/mining/prefixspan.cc" "src/mining/CMakeFiles/cuisine_mining.dir/prefixspan.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/prefixspan.cc.o.d"
+  "/root/repo/src/mining/transaction.cc" "src/mining/CMakeFiles/cuisine_mining.dir/transaction.cc.o" "gcc" "src/mining/CMakeFiles/cuisine_mining.dir/transaction.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cuisine_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/cuisine_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

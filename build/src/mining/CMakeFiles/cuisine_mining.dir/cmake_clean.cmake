@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_mining.dir/apriori.cc.o"
+  "CMakeFiles/cuisine_mining.dir/apriori.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/association_rules.cc.o"
+  "CMakeFiles/cuisine_mining.dir/association_rules.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/condensed_patterns.cc.o"
+  "CMakeFiles/cuisine_mining.dir/condensed_patterns.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/eclat.cc.o"
+  "CMakeFiles/cuisine_mining.dir/eclat.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/fpgrowth.cc.o"
+  "CMakeFiles/cuisine_mining.dir/fpgrowth.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/fptree.cc.o"
+  "CMakeFiles/cuisine_mining.dir/fptree.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/itemset.cc.o"
+  "CMakeFiles/cuisine_mining.dir/itemset.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/miner.cc.o"
+  "CMakeFiles/cuisine_mining.dir/miner.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/pattern_set.cc.o"
+  "CMakeFiles/cuisine_mining.dir/pattern_set.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/prefixspan.cc.o"
+  "CMakeFiles/cuisine_mining.dir/prefixspan.cc.o.d"
+  "CMakeFiles/cuisine_mining.dir/transaction.cc.o"
+  "CMakeFiles/cuisine_mining.dir/transaction.cc.o.d"
+  "libcuisine_mining.a"
+  "libcuisine_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_test.dir/alias_test.cc.o"
+  "CMakeFiles/alias_test.dir/alias_test.cc.o.d"
+  "alias_test"
+  "alias_test.pdb"
+  "alias_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

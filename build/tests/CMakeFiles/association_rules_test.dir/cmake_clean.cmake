@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/association_rules_test.dir/association_rules_test.cc.o"
+  "CMakeFiles/association_rules_test.dir/association_rules_test.cc.o.d"
+  "association_rules_test"
+  "association_rules_test.pdb"
+  "association_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/association_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/authenticity_test.dir/authenticity_test.cc.o"
+  "CMakeFiles/authenticity_test.dir/authenticity_test.cc.o.d"
+  "authenticity_test"
+  "authenticity_test.pdb"
+  "authenticity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/authenticity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

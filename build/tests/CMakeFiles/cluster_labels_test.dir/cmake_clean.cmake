@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_labels_test.dir/cluster_labels_test.cc.o"
+  "CMakeFiles/cluster_labels_test.dir/cluster_labels_test.cc.o.d"
+  "cluster_labels_test"
+  "cluster_labels_test.pdb"
+  "cluster_labels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_labels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

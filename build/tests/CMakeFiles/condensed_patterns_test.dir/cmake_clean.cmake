@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condensed_patterns_test.dir/condensed_patterns_test.cc.o"
+  "CMakeFiles/condensed_patterns_test.dir/condensed_patterns_test.cc.o.d"
+  "condensed_patterns_test"
+  "condensed_patterns_test.pdb"
+  "condensed_patterns_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condensed_patterns_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cuisine_profiles_test.dir/cuisine_profiles_test.cc.o"
+  "CMakeFiles/cuisine_profiles_test.dir/cuisine_profiles_test.cc.o.d"
+  "cuisine_profiles_test"
+  "cuisine_profiles_test.pdb"
+  "cuisine_profiles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cuisine_profiles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

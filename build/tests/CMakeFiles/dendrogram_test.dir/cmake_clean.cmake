@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dendrogram_test.dir/dendrogram_test.cc.o"
+  "CMakeFiles/dendrogram_test.dir/dendrogram_test.cc.o.d"
+  "dendrogram_test"
+  "dendrogram_test.pdb"
+  "dendrogram_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dendrogram_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

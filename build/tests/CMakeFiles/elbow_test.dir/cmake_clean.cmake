@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elbow_test.dir/elbow_test.cc.o"
+  "CMakeFiles/elbow_test.dir/elbow_test.cc.o.d"
+  "elbow_test"
+  "elbow_test.pdb"
+  "elbow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elbow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fihc_test.dir/fihc_test.cc.o"
+  "CMakeFiles/fihc_test.dir/fihc_test.cc.o.d"
+  "fihc_test"
+  "fihc_test.pdb"
+  "fihc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fihc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fptree_test.dir/fptree_test.cc.o"
+  "CMakeFiles/fptree_test.dir/fptree_test.cc.o.d"
+  "fptree_test"
+  "fptree_test.pdb"
+  "fptree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fptree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/itemset_test.dir/itemset_test.cc.o"
+  "CMakeFiles/itemset_test.dir/itemset_test.cc.o.d"
+  "itemset_test"
+  "itemset_test.pdb"
+  "itemset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/itemset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_test.dir/kmeans_test.cc.o"
+  "CMakeFiles/kmeans_test.dir/kmeans_test.cc.o.d"
+  "kmeans_test"
+  "kmeans_test.pdb"
+  "kmeans_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmedoids_test.dir/kmedoids_test.cc.o"
+  "CMakeFiles/kmedoids_test.dir/kmedoids_test.cc.o.d"
+  "kmedoids_test"
+  "kmedoids_test.pdb"
+  "kmedoids_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmedoids_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

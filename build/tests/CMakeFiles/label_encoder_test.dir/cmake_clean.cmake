@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/label_encoder_test.dir/label_encoder_test.cc.o"
+  "CMakeFiles/label_encoder_test.dir/label_encoder_test.cc.o.d"
+  "label_encoder_test"
+  "label_encoder_test.pdb"
+  "label_encoder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/label_encoder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

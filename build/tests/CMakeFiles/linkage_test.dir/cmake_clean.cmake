@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_test.dir/linkage_test.cc.o"
+  "CMakeFiles/linkage_test.dir/linkage_test.cc.o.d"
+  "linkage_test"
+  "linkage_test.pdb"
+  "linkage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

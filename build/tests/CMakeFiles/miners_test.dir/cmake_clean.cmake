@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/miners_test.dir/miners_test.cc.o"
+  "CMakeFiles/miners_test.dir/miners_test.cc.o.d"
+  "miners_test"
+  "miners_test.pdb"
+  "miners_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/miners_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_set_test.dir/pattern_set_test.cc.o"
+  "CMakeFiles/pattern_set_test.dir/pattern_set_test.cc.o.d"
+  "pattern_set_test"
+  "pattern_set_test.pdb"
+  "pattern_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

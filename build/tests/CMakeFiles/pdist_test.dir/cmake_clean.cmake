@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pdist_test.dir/pdist_test.cc.o"
+  "CMakeFiles/pdist_test.dir/pdist_test.cc.o.d"
+  "pdist_test"
+  "pdist_test.pdb"
+  "pdist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pdist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

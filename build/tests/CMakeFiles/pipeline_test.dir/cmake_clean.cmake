@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_test.dir/pipeline_test.cc.o"
+  "CMakeFiles/pipeline_test.dir/pipeline_test.cc.o.d"
+  "pipeline_test"
+  "pipeline_test.pdb"
+  "pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plot_links_test.dir/plot_links_test.cc.o"
+  "CMakeFiles/plot_links_test.dir/plot_links_test.cc.o.d"
+  "plot_links_test"
+  "plot_links_test.pdb"
+  "plot_links_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plot_links_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefixspan_test.dir/prefixspan_test.cc.o"
+  "CMakeFiles/prefixspan_test.dir/prefixspan_test.cc.o.d"
+  "prefixspan_test"
+  "prefixspan_test.pdb"
+  "prefixspan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefixspan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

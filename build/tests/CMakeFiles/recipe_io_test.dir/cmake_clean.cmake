@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_io_test.dir/recipe_io_test.cc.o"
+  "CMakeFiles/recipe_io_test.dir/recipe_io_test.cc.o.d"
+  "recipe_io_test"
+  "recipe_io_test.pdb"
+  "recipe_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

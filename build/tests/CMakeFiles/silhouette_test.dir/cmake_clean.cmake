@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silhouette_test.dir/silhouette_test.cc.o"
+  "CMakeFiles/silhouette_test.dir/silhouette_test.cc.o.d"
+  "silhouette_test"
+  "silhouette_test.pdb"
+  "silhouette_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silhouette_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_render_test.dir/svg_render_test.cc.o"
+  "CMakeFiles/svg_render_test.dir/svg_render_test.cc.o.d"
+  "svg_render_test"
+  "svg_render_test.pdb"
+  "svg_render_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_render_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

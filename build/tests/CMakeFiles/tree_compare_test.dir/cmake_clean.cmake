@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_compare_test.dir/tree_compare_test.cc.o"
+  "CMakeFiles/tree_compare_test.dir/tree_compare_test.cc.o.d"
+  "tree_compare_test"
+  "tree_compare_test.pdb"
+  "tree_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

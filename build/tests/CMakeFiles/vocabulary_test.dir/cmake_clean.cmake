@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vocabulary_test.dir/vocabulary_test.cc.o"
+  "CMakeFiles/vocabulary_test.dir/vocabulary_test.cc.o.d"
+  "vocabulary_test"
+  "vocabulary_test.pdb"
+  "vocabulary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vocabulary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
