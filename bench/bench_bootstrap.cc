@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "cluster/bootstrap.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 #include "core/cluster_labels.h"
@@ -95,10 +96,14 @@ void BM_OneBootstrapReplicate(benchmark::State& state) {
 }
 BENCHMARK(BM_OneBootstrapReplicate)->Unit(benchmark::kMicrosecond);
 
+// Full bootstrap at {replicates, threads}: replicates are distributed
+// across the pool (0 = hardware, 1 = serial baseline) and the resulting
+// statistics are byte-identical at every thread count (parallel_test).
 void BM_FullBootstrap(benchmark::State& state) {
   const PatternFeatureSpace& space = bench::PaperFeatures();
   auto reference = TreeFromFeatures(space.features, space.cuisine_names);
   CUISINE_CHECK(reference.ok());
+  SetParallelThreads(static_cast<std::size_t>(state.range(1)));
   BootstrapOptions opt;
   opt.replicates = static_cast<std::size_t>(state.range(0));
   opt.num_clusters = 6;
@@ -113,8 +118,13 @@ void BM_FullBootstrap(benchmark::State& state) {
     CUISINE_CHECK(result.ok());
     benchmark::DoNotOptimize(result->replicates_used);
   }
+  state.SetLabel("threads=" + std::to_string(ParallelThreadCount()));
+  SetParallelThreads(0);
 }
-BENCHMARK(BM_FullBootstrap)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullBootstrap)
+    ->Args({50, 1})->Args({200, 1})   // serial baseline
+    ->Args({50, 0})->Args({200, 0})   // hardware concurrency
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace cuisine

@@ -9,6 +9,7 @@
 #include "cluster/elbow.h"
 #include "cluster/kmedoids.h"
 #include "cluster/silhouette.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 
@@ -64,8 +65,12 @@ void PrintArtifact() {
   std::cout << table.Render();
 }
 
+// K-means at one k: restarts fan out across threads (arg 1 = thread
+// count; 0 = hardware, 1 = serial baseline). Labels/WCSS are identical at
+// every thread count (parallel_test).
 void BM_KMeansAtK(benchmark::State& state) {
   const Matrix& features = bench::PaperFeatures().features;
+  SetParallelThreads(static_cast<std::size_t>(state.range(1)));
   KMeansOptions opt;
   opt.k = static_cast<std::size_t>(state.range(0));
   for (auto _ : state) {
@@ -73,19 +78,30 @@ void BM_KMeansAtK(benchmark::State& state) {
     CUISINE_CHECK(result.ok());
     benchmark::DoNotOptimize(result->wcss);
   }
+  state.SetLabel("threads=" + std::to_string(ParallelThreadCount()));
+  SetParallelThreads(0);
 }
-BENCHMARK(BM_KMeansAtK)->Arg(2)->Arg(5)->Arg(10)->Arg(15)
-    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KMeansAtK)
+    ->Args({2, 1})->Args({5, 1})->Args({10, 1})->Args({15, 1})
+    ->Args({2, 0})->Args({5, 0})->Args({10, 0})->Args({15, 0})
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
+// The whole Fig 1 sweep: the k values 1..15 fan out across threads.
 void BM_FullElbowSweep(benchmark::State& state) {
   const Matrix& features = bench::PaperFeatures().features;
+  SetParallelThreads(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     auto analysis = ComputeElbow(features, 1, 15);
     CUISINE_CHECK(analysis.ok());
     benchmark::DoNotOptimize(analysis->strength);
   }
+  state.SetLabel("threads=" + std::to_string(ParallelThreadCount()));
+  SetParallelThreads(0);
 }
-BENCHMARK(BM_FullElbowSweep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullElbowSweep)
+    ->Arg(1)  // serial baseline
+    ->Arg(0)  // hardware concurrency
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 }  // namespace cuisine

@@ -9,6 +9,7 @@
 // and on the full corpus, across thresholds.
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 
@@ -74,6 +75,28 @@ BENCHMARK(BM_Apriori)->Arg(30)->Arg(20)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Eclat)->Arg(30)->Arg(20)->Arg(10)
     ->Unit(benchmark::kMillisecond);
+
+// The paper's actual Table I workload — FP-Growth once per cuisine — at a
+// given thread count (0 = all hardware threads, 1 = serial baseline). The
+// two registrations give the serial-vs-parallel speedup directly; the
+// mined pattern sets are byte-identical either way (parallel_test).
+void BM_MineAllCuisines(benchmark::State& state) {
+  const Dataset& ds = bench::PaperCorpus();
+  SetParallelThreads(static_cast<std::size_t>(state.range(0)));
+  MinerOptions opt;
+  opt.min_support = kPaperMinSupport;
+  for (auto _ : state) {
+    auto mined = MineAllCuisines(ds, opt);
+    CUISINE_CHECK(mined.ok());
+    benchmark::DoNotOptimize(mined->size());
+  }
+  state.SetLabel("threads=" + std::to_string(ParallelThreadCount()));
+  SetParallelThreads(0);
+}
+BENCHMARK(BM_MineAllCuisines)
+    ->Arg(1)  // serial baseline
+    ->Arg(0)  // hardware concurrency
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_FpGrowthWholeCorpus(benchmark::State& state) {
   static const TransactionDb db =

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace cuisine {
@@ -54,22 +55,63 @@ Result<BootstrapResult> BootstrapStability(const Dendrogram& reference,
   result.co_clustering = Matrix(n, n, 0.0);
   result.clade_support.assign(reference_clades.size(), 0.0);
 
+  // Replicates run concurrently. RNGs are forked serially first (Fork
+  // advances the master stream, so this reproduces the serial loop's
+  // streams exactly); each replicate writes its labels and clade hits
+  // into its own slot and the accumulation below runs serially in
+  // replicate order, keeping the statistics byte-identical to a serial
+  // run. `builder` is invoked from pool threads (see the header contract).
   Rng master(options.seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(options.replicates);
   for (std::size_t rep = 0; rep < options.replicates; ++rep) {
-    Rng rng = master.Fork(rep + 1);
-    CUISINE_ASSIGN_OR_RETURN(Dendrogram tree, builder(&rng));
-    if (tree.num_leaves() != n) {
-      return Status::InvalidArgument(
-          "replicate tree has a different leaf count");
+    rngs.push_back(master.Fork(rep + 1));
+  }
+
+  struct Replicate {
+    Status status;
+    std::vector<int> labels;
+    std::vector<char> clade_hit;
+  };
+  std::vector<Replicate> replicates(options.replicates);
+  ParallelFor(0, options.replicates, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t rep = lo; rep < hi; ++rep) {
+      Replicate& out = replicates[rep];
+      auto tree = builder(&rngs[rep]);
+      if (!tree.ok()) {
+        out.status = tree.status();
+        continue;
+      }
+      if (tree->num_leaves() != n) {
+        out.status = Status::InvalidArgument(
+            "replicate tree has a different leaf count");
+        continue;
+      }
+      auto labels = tree->CutToClusters(options.num_clusters);
+      if (!labels.ok()) {
+        out.status = labels.status();
+        continue;
+      }
+      out.labels = std::move(labels).value();
+
+      std::vector<std::set<std::size_t>> clades = CladeSets(*tree);
+      std::set<std::set<std::size_t>> clade_index(clades.begin(),
+                                                  clades.end());
+      out.clade_hit.assign(reference_clades.size(), 0);
+      for (std::size_t c = 0; c < reference_clades.size(); ++c) {
+        if (clade_index.count(reference_clades[c])) out.clade_hit[c] = 1;
+      }
     }
+  });
+
+  for (const Replicate& rep : replicates) {
+    CUISINE_RETURN_NOT_OK(rep.status);
     ++result.replicates_used;
 
     // Co-clustering at the configured cut.
-    CUISINE_ASSIGN_OR_RETURN(std::vector<int> labels,
-                             tree.CutToClusters(options.num_clusters));
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i; j < n; ++j) {
-        if (labels[i] == labels[j]) {
+        if (rep.labels[i] == rep.labels[j]) {
           result.co_clustering(i, j) += 1.0;
           if (i != j) result.co_clustering(j, i) += 1.0;
         }
@@ -77,12 +119,8 @@ Result<BootstrapResult> BootstrapStability(const Dendrogram& reference,
     }
 
     // Clade recovery.
-    std::vector<std::set<std::size_t>> clades = CladeSets(tree);
-    std::set<std::set<std::size_t>> clade_index(clades.begin(), clades.end());
     for (std::size_t c = 0; c < reference_clades.size(); ++c) {
-      if (clade_index.count(reference_clades[c])) {
-        result.clade_support[c] += 1.0;
-      }
+      if (rep.clade_hit[c]) result.clade_support[c] += 1.0;
     }
   }
 

@@ -31,6 +31,12 @@ struct BootstrapOptions {
 /// A replicate builder: given a replicate RNG, produce a tree over the
 /// same observations (e.g. re-generate features from resampled recipes,
 /// or perturb the feature matrix).
+///
+/// BootstrapStability runs replicates concurrently (see common/parallel.h),
+/// so the builder is invoked from multiple threads at once: it must only
+/// read shared state (the captured feature matrix, dataset, ...) and write
+/// through the replicate-private `Rng*` it is handed. Set CUISINE_THREADS=1
+/// to force serial replicates; the results are byte-identical either way.
 using TreeBuilder = std::function<Result<Dendrogram>(Rng*)>;
 
 /// Bootstrap outputs.

@@ -73,6 +73,7 @@ double CosineDistance(std::span<const double> a, std::span<const double> b) {
     na += a[i] * a[i];
     nb += b[i] * b[i];
   }
+  // Zero-vector convention (see distance.h): d(0,0) = 0, d(0,v) = 1.
   if (na == 0.0 && nb == 0.0) return 0.0;
   if (na == 0.0 || nb == 0.0) return 1.0;
   double sim = dot / (std::sqrt(na) * std::sqrt(nb));
@@ -91,6 +92,8 @@ double JaccardDistance(std::span<const double> a, std::span<const double> b) {
     if (pa && pb) ++both;
     if (pa || pb) ++either;
   }
+  // Zero-vector convention, matching CosineDistance (see distance.h):
+  // both empty => 0; one empty => both == 0, either > 0 => 1.
   if (either == 0) return 0.0;
   return 1.0 - static_cast<double>(both) / static_cast<double>(either);
 }

@@ -6,6 +6,18 @@
 //   euclidean(u,v) = ||u − v||_2
 //   cosine(u,v)    = 1 − u·v / (||u|| ||v||)
 //   jaccard(u,v)   = 1 − |u ∧ v| / |u ∨ v|   (on binarised vectors)
+//
+// Zero-vector convention (pinned by distance_test.cc): where the formula
+// degenerates, every metric here returns
+//   d(0, 0) = 0   (a zero vector is identical to itself), and
+//   d(0, v) = 1   for non-zero v (maximally dissimilar).
+// This deviates from scipy, which propagates the degeneracy instead
+// (cosine yields nan for any zero vector — including d(0,0) — after its
+// 0/0; jaccard's 0/0 yields 0 for d(0,0) but d(0,v) is |v∧0|/|v∨0| = 1,
+// matching ours). The finite convention keeps pdist matrices total so
+// downstream linkage never sees nan; when diffing dendrograms against
+// scipy reference output, drop all-zero feature rows first (no cuisine
+// row is all-zero in practice: every cuisine mines at least one pattern).
 
 #ifndef CUISINE_CLUSTER_DISTANCE_H_
 #define CUISINE_CLUSTER_DISTANCE_H_
@@ -37,12 +49,14 @@ double SquaredEuclideanDistance(std::span<const double> a,
                                 std::span<const double> b);
 double ManhattanDistance(std::span<const double> a, std::span<const double> b);
 
-/// 1 − cosine similarity. Zero vectors are treated as distance 0 to
-/// themselves and 1 to anything non-zero (scipy convention is NaN; a
-/// finite convention keeps downstream clustering total).
+/// 1 − cosine similarity. Zero vectors follow the file-header convention:
+/// distance 0 to each other, 1 to anything non-zero (scipy returns nan).
 double CosineDistance(std::span<const double> a, std::span<const double> b);
 
-/// Jaccard distance on binarised vectors (non-zero = present).
+/// Jaccard distance on binarised vectors (non-zero = present). Zero
+/// vectors follow the same convention as CosineDistance: d(0,0) = 0,
+/// d(0,v) = 1 — so the two metrics' dendrograms stay comparable on
+/// degenerate rows.
 double JaccardDistance(std::span<const double> a, std::span<const double> b);
 
 /// Fraction of coordinates whose binarised values differ.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace cuisine {
@@ -62,12 +63,27 @@ Result<ElbowAnalysis> ComputeElbow(const Matrix& features, std::size_t k_min,
   if (k_max < k_min) {
     return Status::InvalidArgument("k_min exceeds number of observations");
   }
-  std::vector<ElbowPoint> curve;
-  for (std::size_t k = k_min; k <= k_max; ++k) {
-    KMeansOptions opt = base;
-    opt.k = k;
-    CUISINE_ASSIGN_OR_RETURN(KMeansResult res, KMeansCluster(features, opt));
-    curve.push_back(ElbowPoint{k, res.wcss});
+  // Fan the k-sweep out: every k writes its own curve slot, so the curve
+  // is identical to the serial sweep's. Each inner KMeansCluster would
+  // parallelise its restarts too; nested ParallelFor calls run serially,
+  // so the k-level split wins when it is active.
+  const std::size_t count = k_max - k_min + 1;
+  std::vector<ElbowPoint> curve(count);
+  std::vector<Status> errors(count);
+  ParallelFor(0, count, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      KMeansOptions opt = base;
+      opt.k = k_min + idx;
+      auto res = KMeansCluster(features, opt);
+      if (!res.ok()) {
+        errors[idx] = res.status();
+        continue;
+      }
+      curve[idx] = ElbowPoint{opt.k, res->wcss};
+    }
+  });
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
   }
   return AnalyzeElbowCurve(std::move(curve));
 }

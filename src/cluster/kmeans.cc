@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/random.h"
 
 namespace cuisine {
@@ -70,13 +71,13 @@ SingleRun RunLloyd(const Matrix& features, const KMeansOptions& opt,
       wcss += best;
     }
     run.wcss = wcss;
-    if (prev_wcss - wcss <= opt.tolerance) {
+    if (kmeans_internal::WcssConverged(prev_wcss, wcss, opt.tolerance)) {
       run.converged = true;
       break;
     }
     prev_wcss = wcss;
 
-    // Update step; empty clusters are re-seeded on the farthest point.
+    // Update step; empty clusters are then re-seeded on distinct far points.
     Matrix sums(k, features.cols(), 0.0);
     std::vector<std::size_t> counts(k, 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -87,33 +88,65 @@ SingleRun RunLloyd(const Matrix& features, const KMeansOptions& opt,
       }
     }
     for (std::size_t c = 0; c < k; ++c) {
-      if (counts[c] == 0) {
-        // Re-seed on the point farthest from its centroid.
-        double worst = -1.0;
-        std::size_t worst_i = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          double d = SquaredDistance(
-              features.row(i),
-              run.centroids.row(static_cast<std::size_t>(run.labels[i])));
-          if (d > worst) {
-            worst = d;
-            worst_i = i;
-          }
-        }
-        for (std::size_t d = 0; d < features.cols(); ++d) {
-          run.centroids(c, d) = features(worst_i, d);
-        }
-        continue;
-      }
+      if (counts[c] == 0) continue;
       for (std::size_t d = 0; d < features.cols(); ++d) {
         run.centroids(c, d) = sums(c, d) / static_cast<double>(counts[c]);
       }
     }
+    kmeans_internal::ReseedEmptyClusters(features, run.labels, counts,
+                                         &run.centroids);
   }
   return run;
 }
 
 }  // namespace
+
+namespace kmeans_internal {
+
+void ReseedEmptyClusters(const Matrix& features, const std::vector<int>& labels,
+                         const std::vector<std::size_t>& counts,
+                         Matrix* centroids) {
+  const std::size_t n = features.rows();
+  const std::size_t k = counts.size();
+  // Distances to the (already updated) owning centroids are fixed for the
+  // whole pass: re-seeded clusters have no members, so later re-seeds see
+  // the same distances, minus the points earlier re-seeds consumed.
+  std::vector<double> dist;
+  std::vector<bool> taken;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] != 0) continue;
+    if (dist.empty()) {
+      dist.resize(n);
+      taken.assign(n, false);
+      for (std::size_t i = 0; i < n; ++i) {
+        dist[i] = SquaredDistance(
+            features.row(i),
+            centroids->row(static_cast<std::size_t>(labels[i])));
+      }
+    }
+    double worst = -1.0;
+    std::size_t worst_i = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (taken[i]) continue;
+      if (dist[i] > worst) {
+        worst = dist[i];
+        worst_i = i;
+      }
+    }
+    if (worst < 0.0) break;  // more empty clusters than points left
+    taken[worst_i] = true;
+    for (std::size_t d = 0; d < features.cols(); ++d) {
+      (*centroids)(c, d) = features(worst_i, d);
+    }
+  }
+}
+
+bool WcssConverged(double prev_wcss, double wcss, double tolerance) {
+  double improvement = prev_wcss - wcss;
+  return improvement >= 0.0 && improvement <= tolerance;
+}
+
+}  // namespace kmeans_internal
 
 double ComputeWcss(const Matrix& features, const std::vector<int>& labels,
                    const Matrix& centroids) {
@@ -140,12 +173,26 @@ Result<KMeansResult> KMeansCluster(const Matrix& features,
     return Status::InvalidArgument("restarts must be >= 1");
   }
 
+  // Fork every restart's stream up front: Fork advances the parent
+  // stream, so forking serially here yields exactly the streams the
+  // serial restart loop would have used.
   Rng rng(options.seed);
+  std::vector<Rng> run_rngs;
+  run_rngs.reserve(options.restarts);
+  for (std::size_t r = 0; r < options.restarts; ++r) {
+    run_rngs.push_back(rng.Fork(r + 1));
+  }
+  std::vector<SingleRun> runs(options.restarts);
+  ParallelFor(0, options.restarts, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      runs[r] = RunLloyd(features, options, &run_rngs[r]);
+    }
+  });
+  // Serial reduction in restart order: the first strictly-better run wins,
+  // matching the serial loop's tie behaviour.
   KMeansResult best;
   best.wcss = std::numeric_limits<double>::infinity();
-  for (std::size_t r = 0; r < options.restarts; ++r) {
-    Rng run_rng = rng.Fork(r + 1);
-    SingleRun run = RunLloyd(features, options, &run_rng);
+  for (SingleRun& run : runs) {
     if (run.wcss < best.wcss) {
       best.labels = std::move(run.labels);
       best.centroids = std::move(run.centroids);

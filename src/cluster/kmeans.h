@@ -41,6 +41,25 @@ Result<KMeansResult> KMeansCluster(const Matrix& features,
 double ComputeWcss(const Matrix& features, const std::vector<int>& labels,
                    const Matrix& centroids);
 
+namespace kmeans_internal {
+
+/// Re-seeds every empty cluster (counts[c] == 0) onto the point farthest
+/// from its current centroid. Each re-seed consumes its point: when
+/// several clusters empty out in the same update step they land on
+/// distinct points, never on one shared farthest point. Exposed for
+/// regression tests.
+void ReseedEmptyClusters(const Matrix& features, const std::vector<int>& labels,
+                         const std::vector<std::size_t>& counts,
+                         Matrix* centroids);
+
+/// Convergence predicate for the Lloyd loop: true iff the WCSS improved by
+/// a non-negative amount no larger than `tolerance`. A WCSS increase
+/// (possible in the iteration right after an empty-cluster re-seed) is
+/// progress *lost*, not convergence. Exposed for regression tests.
+bool WcssConverged(double prev_wcss, double wcss, double tolerance);
+
+}  // namespace kmeans_internal
+
 }  // namespace cuisine
 
 #endif  // CUISINE_CLUSTER_KMEANS_H_

@@ -81,8 +81,15 @@ Result<std::vector<LinkageStep>> HierarchicalCluster(
   std::vector<double> size(n, 1.0);
   for (std::size_t i = 0; i < n; ++i) cluster_id[i] = i;
 
+  // Distances within this relative band count as tied: Lance–Williams
+  // updates perturb genuinely equal distances by a few ulps (e.g.
+  // weighted/average linkage on symmetric inputs), and an exact `==` tie
+  // test would let scan order, not the cluster-id tie-break, pick the
+  // merge. The band is far below any meaningful distance gap.
+  constexpr double kTieRelEps = 1e-12;
+
   for (std::size_t step = 0; step + 1 < n; ++step) {
-    // Find the closest active pair (deterministic tie-break on ids).
+    // Find the closest active pair (epsilon-tolerant tie-break on ids).
     std::size_t best_i = 0, best_j = 0;
     double best = std::numeric_limits<double>::infinity();
     bool found = false;
@@ -91,17 +98,31 @@ Result<std::vector<LinkageStep>> HierarchicalCluster(
       for (std::size_t j = i + 1; j < n; ++j) {
         if (!active[j]) continue;
         double dij = d(i, j);
-        bool better = dij < best;
-        if (!better && dij == best && found) {
-          auto key = std::minmax(cluster_id[i], cluster_id[j]);
-          auto best_key = std::minmax(cluster_id[best_i], cluster_id[best_j]);
-          better = key < best_key;
-        }
-        if (better || !found) {
+        if (!found) {
           best = dij;
           best_i = i;
           best_j = j;
           found = true;
+          continue;
+        }
+        double tol = kTieRelEps *
+                     std::max({1.0, std::fabs(best), std::fabs(dij)});
+        if (dij < best - tol) {
+          // Strictly closer than the tie band.
+          best = dij;
+          best_i = i;
+          best_j = j;
+        } else if (dij <= best + tol) {
+          // Tied (exactly or within round-off): lowest cluster-id pair
+          // wins; keep the smaller of the tied distances so the band
+          // cannot drift across successive ties.
+          auto key = std::minmax(cluster_id[i], cluster_id[j]);
+          auto best_key = std::minmax(cluster_id[best_i], cluster_id[best_j]);
+          if (key < best_key) {
+            best = std::min(best, dij);
+            best_i = i;
+            best_j = j;
+          }
         }
       }
     }

@@ -1,10 +1,33 @@
 #include "cluster/pdist.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace cuisine {
+
+namespace {
+
+// Row containing condensed index `t`: the largest i with RowStart(i) <= t,
+// where RowStart(i) = n*i - i*(i+1)/2 is the condensed offset of pair
+// (i, i+1). Binary search keeps this exact (no float sqrt round-off).
+std::size_t RowOfCondensedIndex(std::size_t t, std::size_t n) {
+  auto row_start = [n](std::size_t i) { return n * i - i * (i + 1) / 2; };
+  std::size_t lo = 0, hi = n - 1;
+  while (lo + 1 < hi) {
+    std::size_t mid = lo + (hi - lo) / 2;
+    if (row_start(mid) <= t) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
 
 std::size_t CondensedDistanceMatrix::CondensedIndex(std::size_t i,
                                                     std::size_t j) const {
@@ -32,12 +55,25 @@ void CondensedDistanceMatrix::set(std::size_t i, std::size_t j, double value) {
 
 CondensedDistanceMatrix CondensedDistanceMatrix::FromFeatures(
     const Matrix& features, DistanceMetric metric) {
-  CondensedDistanceMatrix d(features.rows());
-  for (std::size_t i = 0; i + 1 < features.rows(); ++i) {
-    for (std::size_t j = i + 1; j < features.rows(); ++j) {
-      d.set(i, j, Distance(metric, features.row(i), features.row(j)));
+  const std::size_t n = features.rows();
+  CondensedDistanceMatrix d(n);
+  if (n < 2) return d;
+  // Partition the condensed range itself (not rows, whose lengths shrink
+  // with i) so chunks carry equal work. Each chunk owns a disjoint slice
+  // of values_, so the result is identical to the serial fill.
+  constexpr std::size_t kGrain = 512;
+  std::vector<double>& out = d.values_;
+  ParallelFor(0, out.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    std::size_t i = RowOfCondensedIndex(lo, n);
+    std::size_t j = i + 1 + (lo - (n * i - i * (i + 1) / 2));
+    for (std::size_t t = lo; t < hi; ++t) {
+      out[t] = Distance(metric, features.row(i), features.row(j));
+      if (++j == n) {
+        ++i;
+        j = i + 1;
+      }
     }
-  }
+  });
   return d;
 }
 

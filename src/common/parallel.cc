@@ -1,0 +1,242 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cuisine {
+
+namespace {
+
+// True on threads owned by the pool; nested ParallelFor calls detect this
+// and degrade to a serial inline loop instead of deadlocking on the pool.
+thread_local bool t_inside_pool_worker = false;
+
+// True on a caller thread while it is dispatching a ParallelFor. The
+// caller drains chunks alongside the workers, so a nested call from the
+// caller must also run inline — it would otherwise re-enter the pool
+// (and re-lock the non-recursive run mutex) mid-job.
+thread_local bool t_inside_parallel_for = false;
+
+std::size_t HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+// An absurd request (CUISINE_THREADS=999999999) must not abort trying to
+// spawn that many threads; anything above this cap is clamped.
+constexpr std::size_t kMaxThreads = 1024;
+
+// Parses CUISINE_THREADS once; 0 / unset / garbage / negative => hardware
+// concurrency. strtoul silently wraps "-3" to a huge value, so negatives
+// are rejected up front.
+std::size_t EnvThreads() {
+  static const std::size_t cached = [] {
+    const char* env = std::getenv("CUISINE_THREADS");
+    if (env == nullptr || *env == '\0') return HardwareThreads();
+    const char* p = env;
+    while (*p == ' ' || *p == '\t') ++p;
+    if (*p == '-') return HardwareThreads();
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(p, &end, 10);
+    if (end == p || *end != '\0') return HardwareThreads();
+    if (parsed == 0) return HardwareThreads();
+    return std::min<std::size_t>(parsed, kMaxThreads);
+  }();
+  return cached;
+}
+
+// Fixed-size pool: workers sleep on a condition variable and wake when a
+// new job generation is published. A job is a chunked index range drained
+// through one shared atomic cursor; the publishing (caller) thread drains
+// chunks too, so a pool of size N uses N-1 spawned threads.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads) : size_(threads < 1 ? 1 : threads) {
+    workers_.reserve(size_ - 1);
+    for (std::size_t t = 0; t + 1 < size_; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return size_; }
+
+  void Run(std::size_t begin, std::size_t end, std::size_t grain,
+           const std::function<void(std::size_t, std::size_t)>& fn) {
+    Job job;
+    job.begin = begin;
+    job.end = end;
+    job.grain = grain;
+    job.fn = &fn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = &job;
+      ++generation_;
+    }
+    wake_.notify_all();
+
+    Drain(&job);
+
+    // Wait until every worker that picked the job up has left it.
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [&job] { return job.active_workers == 0; });
+    job_ = nullptr;
+    if (job.error) std::rethrow_exception(job.error);
+  }
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<int> active_workers{0};
+    std::exception_ptr error;
+    std::mutex error_mu;
+  };
+
+  void Drain(Job* job) {
+    const std::size_t span = job->end - job->begin;
+    while (true) {
+      std::size_t chunk = job->cursor.fetch_add(1, std::memory_order_relaxed);
+      std::size_t lo = chunk * job->grain;
+      if (lo >= span) return;
+      std::size_t hi = std::min(span, lo + job->grain);
+      try {
+        (*job->fn)(job->begin + lo, job->begin + hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job->error_mu);
+        if (!job->error) job->error = std::current_exception();
+        // Poison the cursor so remaining chunks are abandoned.
+        job->cursor.store(span / std::max<std::size_t>(job->grain, 1) + 1,
+                          std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    t_inside_pool_worker = true;
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      Job* job = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [&] {
+          return shutdown_ || (job_ != nullptr && generation_ != seen_generation);
+        });
+        if (shutdown_) return;
+        seen_generation = generation_;
+        job = job_;
+        job->active_workers.fetch_add(1, std::memory_order_relaxed);
+      }
+      Drain(job);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        job->active_workers.fetch_sub(1, std::memory_order_relaxed);
+      }
+      done_.notify_all();
+    }
+  }
+
+  const std::size_t size_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Job* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool shutdown_ = false;
+};
+
+// Serialises concurrent top-level ParallelFor calls (the pool runs one
+// job at a time); nested calls never reach the pool, so this cannot
+// self-deadlock.
+std::mutex g_run_mu;
+
+std::mutex g_pool_mu;
+std::size_t g_thread_override = 0;  // 0 = no override, resolve from env/hw
+bool g_has_override = false;
+ThreadPool* g_pool = nullptr;
+
+std::size_t ResolveThreads() {
+  if (g_has_override) {
+    return g_thread_override == 0
+               ? HardwareThreads()
+               : std::min(g_thread_override, kMaxThreads);
+  }
+  return EnvThreads();
+}
+
+// The pool is built lazily at the resolved size and rebuilt when
+// SetParallelThreads changes it. Leaked deliberately: joining threads in a
+// static destructor races with other atexit teardown.
+ThreadPool* GetPool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  std::size_t want = ResolveThreads();
+  if (g_pool == nullptr || g_pool->size() != want) {
+    delete g_pool;
+    g_pool = new ThreadPool(want);
+  }
+  return g_pool;
+}
+
+}  // namespace
+
+std::size_t ParallelThreadCount() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return ResolveThreads();
+}
+
+void SetParallelThreads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  g_thread_override = threads;
+  g_has_override = true;
+}
+
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  ThreadPool* pool = nullptr;
+  bool serial = t_inside_pool_worker || t_inside_parallel_for;
+  if (!serial) {
+    pool = GetPool();
+    // One chunk or one thread: nothing to fan out.
+    serial = pool->size() <= 1 || end - begin <= grain;
+  }
+  if (serial) {
+    for (std::size_t lo = begin; lo < end; lo += grain) {
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(g_run_mu);
+  t_inside_parallel_for = true;
+  try {
+    pool->Run(begin, end, grain, fn);
+  } catch (...) {
+    t_inside_parallel_for = false;
+    throw;
+  }
+  t_inside_parallel_for = false;
+}
+
+}  // namespace cuisine

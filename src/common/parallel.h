@@ -1,0 +1,49 @@
+// Deterministic data-parallel execution for the pipeline hot paths.
+//
+// A small fixed-size thread pool plus a `ParallelFor` range primitive.
+// Parallelism here is an execution detail, never an algorithmic one: every
+// call site partitions its work into pre-sized output slots, each chunk
+// writes only its own slots, and any reduction happens serially afterwards
+// in index order. Results are therefore byte-identical to a serial run
+// regardless of thread count or scheduling (verified by parallel_test.cc).
+//
+// Thread count resolution, in priority order:
+//   1. SetParallelThreads(n) — programmatic override;
+//   2. the CUISINE_THREADS environment variable;
+//   3. std::thread::hardware_concurrency().
+// In (1) and (2), 0 means "use hardware concurrency" and 1 means "run
+// everything serially on the calling thread" (the debugging fallback).
+
+#ifndef CUISINE_COMMON_PARALLEL_H_
+#define CUISINE_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+namespace cuisine {
+
+/// The number of threads ParallelFor will use (>= 1, after resolving the
+/// override / CUISINE_THREADS / hardware-concurrency chain above).
+std::size_t ParallelThreadCount();
+
+/// Overrides the thread count for subsequent ParallelFor calls: 0 = use
+/// hardware concurrency, 1 = serial, n = exactly n threads. Takes priority
+/// over CUISINE_THREADS. Rebuilds the global pool; must not be called
+/// concurrently with a running ParallelFor.
+void SetParallelThreads(std::size_t threads);
+
+/// Runs `fn(chunk_begin, chunk_end)` over every chunk of the index range
+/// [begin, end), where chunks are at most `grain` indices wide (grain 0 is
+/// treated as 1). Blocks until the whole range is processed; the calling
+/// thread participates. `fn` runs concurrently on multiple threads and
+/// must only write to disjoint, pre-allocated state per index.
+///
+/// Nested calls (a ParallelFor issued from inside a worker) run serially
+/// inline, so composed call sites — e.g. an elbow sweep over k whose inner
+/// k-means parallelises its restarts — cannot deadlock the pool.
+void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& fn);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_PARALLEL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace cuisine {
@@ -41,19 +42,30 @@ std::vector<FrequentItemset> CuisinePatterns::TopK(std::size_t k) const {
 Result<std::vector<CuisinePatterns>> MineAllCuisines(
     const Dataset& dataset, const MinerOptions& options,
     MinerAlgorithm algo) {
-  std::vector<CuisinePatterns> all;
-  all.reserve(dataset.num_cuisines());
-  for (CuisineId c = 0; c < dataset.num_cuisines(); ++c) {
-    TransactionDb db = TransactionDb::FromCuisine(dataset, c);
-    CUISINE_ASSIGN_OR_RETURN(std::vector<FrequentItemset> patterns,
-                             Mine(algo, db, options));
-    CuisinePatterns cp;
-    cp.cuisine = c;
-    cp.cuisine_name = dataset.CuisineName(c);
-    cp.num_recipes = db.size();
-    cp.patterns = std::move(patterns);
-    SortPatternsBySupport(&cp.patterns);
-    all.push_back(std::move(cp));
+  // Each cuisine mines independently into its own pre-sized slot, so the
+  // parallel result is identical to the sequential loop's.
+  const std::size_t num = dataset.num_cuisines();
+  std::vector<CuisinePatterns> all(num);
+  std::vector<Status> errors(num);
+  ParallelFor(0, num, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t idx = lo; idx < hi; ++idx) {
+      CuisineId c = static_cast<CuisineId>(idx);
+      TransactionDb db = TransactionDb::FromCuisine(dataset, c);
+      auto patterns = Mine(algo, db, options);
+      if (!patterns.ok()) {
+        errors[idx] = patterns.status();
+        continue;
+      }
+      CuisinePatterns& cp = all[idx];
+      cp.cuisine = c;
+      cp.cuisine_name = dataset.CuisineName(c);
+      cp.num_recipes = db.size();
+      cp.patterns = std::move(patterns).value();
+      SortPatternsBySupport(&cp.patterns);
+    }
+  });
+  for (const Status& st : errors) {
+    if (!st.ok()) return st;
   }
   return all;
 }

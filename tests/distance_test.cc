@@ -37,6 +37,28 @@ TEST(DistanceTest, CosineZeroVectorConvention) {
   EXPECT_DOUBLE_EQ(CosineDistance(V{0, 0}, V{1, 2}), 1.0);
 }
 
+// The zero-vector convention (distance.h header comment) is shared by
+// cosine and jaccard so the two dendrograms stay comparable on degenerate
+// rows: d(0,0) = 0 for both, d(0,v) = 1 for both (scipy's cosine would
+// give nan here; its jaccard agrees with ours).
+TEST(DistanceTest, CosineAndJaccardShareZeroVectorConvention) {
+  const V zero{0, 0, 0};
+  const V nonzero{0, 2, 1};
+  EXPECT_DOUBLE_EQ(CosineDistance(zero, zero), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(zero, zero), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance(zero, nonzero), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(zero, nonzero), 1.0);
+  // Symmetric order too.
+  EXPECT_DOUBLE_EQ(CosineDistance(nonzero, zero), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(nonzero, zero), 1.0);
+  // Dispatch path honours the same convention.
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kCosine, zero, nonzero), 1.0);
+  EXPECT_DOUBLE_EQ(Distance(DistanceMetric::kJaccard, zero, nonzero), 1.0);
+  // Empty (0-dimensional) vectors count as zero vectors.
+  EXPECT_DOUBLE_EQ(CosineDistance(V{}, V{}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance(V{}, V{}), 0.0);
+}
+
 TEST(DistanceTest, JaccardBinary) {
   // a = {1,1,0,0}, b = {1,0,1,0}: both=1, either=3 -> 1 - 1/3.
   EXPECT_NEAR(JaccardDistance(V{1, 1, 0, 0}, V{1, 0, 1, 0}), 2.0 / 3, 1e-12);

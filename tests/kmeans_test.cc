@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <set>
 
 #include "common/random.h"
@@ -152,6 +153,67 @@ TEST_P(KMeansMonotoneTest, WcssNonIncreasingInK) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KMeansMonotoneTest,
                          ::testing::Values(11u, 22u, 33u));
+
+// Regression: when two clusters empty out in the same update step, each
+// must be re-seeded onto a *distinct* farthest point. The old scan did not
+// exclude already-used points, so both landed on the same one, producing
+// duplicate centroids.
+TEST(KMeansTest, TwoEmptyClustersReseedOnDistinctPoints) {
+  // Points 2 and 3 are far from their centroid; everything else is on it.
+  Matrix features = Matrix::FromRows(
+      {{0.0, 0.0}, {0.2, 0.0}, {30.0, 0.0}, {0.0, 20.0}});
+  std::vector<int> labels = {0, 0, 0, 0};       // all assigned to cluster 0
+  std::vector<std::size_t> counts = {4, 0, 0};  // clusters 1 and 2 empty
+  Matrix centroids(3, 2, 0.0);
+  kmeans_internal::ReseedEmptyClusters(features, labels, counts, &centroids);
+  // Farthest point (2) seeds cluster 1; next-farthest (3) seeds cluster 2.
+  EXPECT_DOUBLE_EQ(centroids(1, 0), 30.0);
+  EXPECT_DOUBLE_EQ(centroids(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(centroids(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(centroids(2, 1), 20.0);
+  // The duplicate-centroid symptom: the two re-seeds must differ.
+  EXPECT_NE(centroids(1, 0), centroids(2, 0));
+}
+
+TEST(KMeansTest, ReseedKeepsNonEmptyCentroidsUntouched) {
+  Matrix features = Matrix::FromRows({{1.0}, {2.0}, {9.0}});
+  std::vector<int> labels = {0, 0, 0};
+  std::vector<std::size_t> counts = {3, 0};
+  Matrix centroids(2, 1, 0.0);
+  centroids(0, 0) = 1.5;
+  kmeans_internal::ReseedEmptyClusters(features, labels, counts, &centroids);
+  EXPECT_DOUBLE_EQ(centroids(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(centroids(1, 0), 9.0);
+}
+
+TEST(KMeansTest, MoreEmptyClustersThanPointsDoesNotLoop) {
+  // Pathological: 2 points, 4 clusters, 3 of them empty. The re-seed must
+  // stop once every point is consumed instead of reusing one.
+  Matrix features = Matrix::FromRows({{0.0}, {5.0}});
+  std::vector<int> labels = {0, 0};
+  std::vector<std::size_t> counts = {2, 0, 0, 0};
+  Matrix centroids(4, 1, -1.0);
+  kmeans_internal::ReseedEmptyClusters(features, labels, counts, &centroids);
+  EXPECT_DOUBLE_EQ(centroids(1, 0), 5.0);
+  EXPECT_DOUBLE_EQ(centroids(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(centroids(3, 0), -1.0);  // nothing left to seed with
+}
+
+// Regression: a WCSS *increase* (possible right after an empty-cluster
+// re-seed) made `prev_wcss - wcss <= tolerance` trivially true, falsely
+// reporting convergence. Only a non-negative improvement within tolerance
+// converges.
+TEST(KMeansTest, WcssIncreaseIsNotConvergence) {
+  EXPECT_FALSE(kmeans_internal::WcssConverged(/*prev_wcss=*/1.0,
+                                              /*wcss=*/2.0,
+                                              /*tolerance=*/1e-8));
+  EXPECT_TRUE(kmeans_internal::WcssConverged(1.0, 1.0, 1e-8));
+  EXPECT_TRUE(kmeans_internal::WcssConverged(1.0, 1.0 - 1e-9, 1e-8));
+  EXPECT_FALSE(kmeans_internal::WcssConverged(1.0, 0.5, 1e-8));
+  // First iteration: prev is +inf, improvement is +inf, not converged.
+  EXPECT_FALSE(kmeans_internal::WcssConverged(
+      std::numeric_limits<double>::infinity(), 10.0, 1e-8));
+}
 
 }  // namespace
 }  // namespace cuisine

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
 #include "common/random.h"
 
 namespace cuisine {
@@ -99,6 +100,69 @@ TEST(LinkageTest, TieBreakDeterministic) {
   ASSERT_TRUE(steps.ok());
   EXPECT_EQ((*steps)[0].left, 0u);
   EXPECT_EQ((*steps)[0].right, 1u);
+}
+
+// Regression: ties were detected with exact `==`, so distances that differ
+// only by round-off (the kind Lance–Williams updates produce) were
+// tie-broken by scan order instead of by cluster id.
+TEST(LinkageTest, NearTieBreaksOnIdsNotScanOrder) {
+  // d(0,1) and d(2,3) are equal up to one ulp-scale perturbation; all
+  // cross distances are far larger. The id tie-break must pick (0,1)
+  // first even though (2,3) is the (infinitesimally) smaller distance
+  // encountered later in the scan.
+  CondensedDistanceMatrix d(4);
+  d.set(0, 1, 1.0 + 1e-15);
+  d.set(2, 3, 1.0);
+  d.set(0, 2, 8.0);
+  d.set(0, 3, 8.0);
+  d.set(1, 2, 8.0);
+  d.set(1, 3, 8.0);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ((*steps)[0].left, 0u);
+  EXPECT_EQ((*steps)[0].right, 1u);
+  EXPECT_EQ((*steps)[1].left, 2u);
+  EXPECT_EQ((*steps)[1].right, 3u);
+}
+
+TEST(LinkageTest, ExactAndNearTiesAgree) {
+  // The same topology with exact ties and with 1-ulp-perturbed ties must
+  // merge identically (the perturbed case fails with exact `==` ties).
+  auto run = [](double eps) {
+    CondensedDistanceMatrix d(5);
+    d.set(0, 1, 2.0);
+    d.set(2, 3, 2.0 + eps);
+    d.set(0, 2, 9.0);
+    d.set(0, 3, 9.0);
+    d.set(0, 4, 9.0);
+    d.set(1, 2, 9.0);
+    d.set(1, 3, 9.0);
+    d.set(1, 4, 9.0);
+    d.set(2, 4, 9.0);
+    d.set(3, 4, 9.0);
+    auto steps = HierarchicalCluster(d, LinkageMethod::kAverage);
+    CUISINE_CHECK(steps.ok());
+    return std::move(steps).value();
+  };
+  auto exact = run(0.0);
+  auto jittered = run(4.0 * 4.44e-16);  // ~2 ulp at 2.0
+  ASSERT_EQ(exact.size(), jittered.size());
+  for (std::size_t s = 0; s < exact.size(); ++s) {
+    EXPECT_EQ(exact[s].left, jittered[s].left) << "step " << s;
+    EXPECT_EQ(exact[s].right, jittered[s].right) << "step " << s;
+  }
+}
+
+// A genuine gap much larger than the tie band must still win on distance.
+TEST(LinkageTest, TieBandDoesNotSwallowRealGaps) {
+  CondensedDistanceMatrix d(3);
+  d.set(0, 1, 1.0 + 1e-6);
+  d.set(1, 2, 1.0);
+  d.set(0, 2, 5.0);
+  auto steps = HierarchicalCluster(d, LinkageMethod::kSingle);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ((*steps)[0].left, 1u);
+  EXPECT_EQ((*steps)[0].right, 2u);
 }
 
 class LinkageMonotoneTest : public ::testing::TestWithParam<LinkageMethod> {};

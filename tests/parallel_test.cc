@@ -1,0 +1,228 @@
+// Determinism contract of common/parallel.h: every parallelised hot path
+// (pdist, per-cuisine mining, k-means restarts + elbow sweep, bootstrap)
+// must produce byte-identical results at any thread count. Each test runs
+// the same computation serially (1 thread) and parallel (4 threads) and
+// diffs the outputs exactly — no tolerances.
+
+#include "common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "cluster/bootstrap.h"
+#include "cluster/elbow.h"
+#include "cluster/kmeans.h"
+#include "cluster/linkage.h"
+#include "cluster/pdist.h"
+#include "common/logging.h"
+#include "common/random.h"
+#include "data/generator.h"
+#include "mining/pattern_set.h"
+
+namespace cuisine {
+namespace {
+
+// Runs `fn` once with a serial pool and once with 4 threads, returning
+// both results for exact comparison. Restores the default thread policy.
+template <typename Fn>
+auto SerialVsParallel(const Fn& fn) {
+  SetParallelThreads(1);
+  auto serial = fn();
+  SetParallelThreads(4);
+  auto parallel = fn();
+  SetParallelThreads(0);
+  return std::make_pair(std::move(serial), std::move(parallel));
+}
+
+Matrix RandomFeatures(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng.UniformDouble(0, 10);
+    }
+  }
+  return m;
+}
+
+const Dataset& SmallCorpus() {
+  static const Dataset* corpus = [] {
+    GeneratorOptions opt;
+    opt.scale = 0.02;
+    auto ds = GenerateRecipeDb(opt);
+    CUISINE_CHECK(ds.ok()) << ds.status();
+    return new Dataset(std::move(ds).value());
+  }();
+  return *corpus;
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  SetParallelThreads(4);
+  std::vector<std::atomic<int>> hits(1000);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, hits.size(), 7, [&](std::size_t lo, std::size_t hi) {
+    ASSERT_LT(lo, hi);
+    ASSERT_LE(hi - lo, 7u);
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+  SetParallelThreads(0);
+}
+
+TEST(ParallelForTest, EmptyAndTinyRanges) {
+  SetParallelThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, 8, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(5, 6, 8, [&](std::size_t lo, std::size_t hi) {
+    EXPECT_EQ(lo, 5u);
+    EXPECT_EQ(hi, 6u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  SetParallelThreads(0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  SetParallelThreads(4);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(0, 8, 1, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t outer = lo; outer < hi; ++outer) {
+      // Inner loop issued from a pool thread must not deadlock.
+      ParallelFor(0, 8, 1, [&](std::size_t ilo, std::size_t ihi) {
+        for (std::size_t inner = ilo; inner < ihi; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+  SetParallelThreads(0);
+}
+
+TEST(ParallelForTest, ThreadCountOverride) {
+  SetParallelThreads(3);
+  EXPECT_EQ(ParallelThreadCount(), 3u);
+  SetParallelThreads(1);
+  EXPECT_EQ(ParallelThreadCount(), 1u);
+  SetParallelThreads(0);
+  EXPECT_GE(ParallelThreadCount(), 1u);
+}
+
+TEST(ParallelDeterminismTest, PdistMatricesIdentical) {
+  // 73 rows: exercises chunk boundaries that do not divide the condensed
+  // size (73 * 72 / 2 = 2628 entries across 512-wide chunks).
+  Matrix features = RandomFeatures(73, 6, 99);
+  for (DistanceMetric metric :
+       {DistanceMetric::kEuclidean, DistanceMetric::kCosine,
+        DistanceMetric::kJaccard}) {
+    auto [serial, parallel] = SerialVsParallel([&] {
+      return CondensedDistanceMatrix::FromFeatures(features, metric);
+    });
+    ASSERT_EQ(serial.n(), parallel.n());
+    EXPECT_EQ(serial.values(), parallel.values())
+        << DistanceMetricName(metric);
+  }
+}
+
+TEST(ParallelDeterminismTest, MinedPatternSetsIdentical) {
+  MinerOptions opt;
+  opt.min_support = 0.2;
+  auto [serial, parallel] = SerialVsParallel([&] {
+    auto mined = MineAllCuisines(SmallCorpus(), opt);
+    CUISINE_CHECK(mined.ok()) << mined.status();
+    return std::move(mined).value();
+  });
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    EXPECT_EQ(serial[c].cuisine, parallel[c].cuisine);
+    EXPECT_EQ(serial[c].cuisine_name, parallel[c].cuisine_name);
+    EXPECT_EQ(serial[c].num_recipes, parallel[c].num_recipes);
+    ASSERT_EQ(serial[c].patterns.size(), parallel[c].patterns.size())
+        << serial[c].cuisine_name;
+    for (std::size_t p = 0; p < serial[c].patterns.size(); ++p) {
+      EXPECT_TRUE(serial[c].patterns[p].items == parallel[c].patterns[p].items);
+      EXPECT_EQ(serial[c].patterns[p].count, parallel[c].patterns[p].count);
+      EXPECT_EQ(serial[c].patterns[p].support,
+                parallel[c].patterns[p].support);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, KMeansLabelsAndWcssIdentical) {
+  Matrix features = RandomFeatures(50, 4, 7);
+  KMeansOptions opt;
+  opt.k = 5;
+  opt.restarts = 8;
+  opt.seed = 13;
+  auto [serial, parallel] = SerialVsParallel([&] {
+    auto res = KMeansCluster(features, opt);
+    CUISINE_CHECK(res.ok()) << res.status();
+    return std::move(res).value();
+  });
+  EXPECT_EQ(serial.labels, parallel.labels);
+  EXPECT_EQ(serial.wcss, parallel.wcss);
+  EXPECT_EQ(serial.iterations, parallel.iterations);
+  EXPECT_EQ(serial.converged, parallel.converged);
+  EXPECT_EQ(serial.centroids.MaxAbsDiff(parallel.centroids), 0.0);
+}
+
+TEST(ParallelDeterminismTest, ElbowSweepIdentical) {
+  Matrix features = RandomFeatures(40, 3, 21);
+  KMeansOptions base;
+  base.restarts = 5;
+  base.seed = 4;
+  auto [serial, parallel] = SerialVsParallel([&] {
+    auto res = ComputeElbow(features, 1, 10, base);
+    CUISINE_CHECK(res.ok()) << res.status();
+    return std::move(res).value();
+  });
+  ASSERT_EQ(serial.curve.size(), parallel.curve.size());
+  for (std::size_t i = 0; i < serial.curve.size(); ++i) {
+    EXPECT_EQ(serial.curve[i].k, parallel.curve[i].k);
+    EXPECT_EQ(serial.curve[i].wcss, parallel.curve[i].wcss);
+  }
+  EXPECT_EQ(serial.elbow_k, parallel.elbow_k);
+  EXPECT_EQ(serial.strength, parallel.strength);
+}
+
+TEST(ParallelDeterminismTest, BootstrapStatisticsIdentical) {
+  Matrix features = RandomFeatures(12, 20, 31);
+  std::vector<std::string> labels;
+  for (std::size_t i = 0; i < features.rows(); ++i) {
+    labels.push_back("L" + std::to_string(i));
+  }
+  auto build = [&](const Matrix& f) -> Result<Dendrogram> {
+    auto d = CondensedDistanceMatrix::FromFeatures(f,
+                                                   DistanceMetric::kEuclidean);
+    CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,
+                             HierarchicalCluster(d, LinkageMethod::kAverage));
+    return Dendrogram::FromLinkage(steps, labels);
+  };
+  auto reference = build(features);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  BootstrapOptions opt;
+  opt.replicates = 60;
+  opt.num_clusters = 3;
+  opt.seed = 11;
+  auto [serial, parallel] = SerialVsParallel([&] {
+    auto res = BootstrapStability(
+        *reference,
+        [&](Rng* rng) { return build(ResampleColumns(features, rng)); },
+        opt);
+    CUISINE_CHECK(res.ok()) << res.status();
+    return std::move(res).value();
+  });
+  EXPECT_EQ(serial.replicates_used, parallel.replicates_used);
+  EXPECT_EQ(serial.clade_support, parallel.clade_support);
+  EXPECT_EQ(serial.co_clustering.MaxAbsDiff(parallel.co_clustering), 0.0);
+}
+
+}  // namespace
+}  // namespace cuisine
