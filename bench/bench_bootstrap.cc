@@ -130,6 +130,7 @@ BENCHMARK(BM_FullBootstrap)
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("bootstrap");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -64,6 +64,7 @@ BENCHMARK(BM_CuisineTransactionExtraction)->Unit(benchmark::kMillisecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("dataset_stats");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -35,6 +35,7 @@ BENCHMARK(BM_FullEuclideanTree)->Unit(benchmark::kMicrosecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("fig2_euclidean");
   cuisine::bench::PrintTreeArtifact(
       "Figure 2 — HAC on mined patterns, Euclidean distance",
       cuisine::bench::PatternTree(cuisine::DistanceMetric::kEuclidean));

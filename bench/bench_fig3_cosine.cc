@@ -31,6 +31,7 @@ BENCHMARK(BM_FullCosineTree)->Unit(benchmark::kMicrosecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("fig3_cosine");
   cuisine::bench::PrintTreeArtifact(
       "Figure 3 — HAC on mined patterns, Cosine distance",
       cuisine::bench::PatternTree(cuisine::DistanceMetric::kCosine));

@@ -31,6 +31,7 @@ BENCHMARK(BM_FullJaccardTree)->Unit(benchmark::kMicrosecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("fig4_jaccard");
   cuisine::bench::PrintTreeArtifact(
       "Figure 4 — HAC on mined patterns, Jaccard distance",
       cuisine::bench::PatternTree(cuisine::DistanceMetric::kJaccard));

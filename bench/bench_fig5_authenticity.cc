@@ -71,6 +71,7 @@ BENCHMARK(BM_FullAuthenticityPipeline)->Unit(benchmark::kMillisecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("fig5_authenticity");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

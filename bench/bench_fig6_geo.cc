@@ -38,6 +38,7 @@ BENCHMARK(BM_GeoCluster)->Unit(benchmark::kMicrosecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("fig6_geo");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -96,6 +96,7 @@ BENCHMARK(BM_LinkageScaling)->Arg(26)->Arg(100)->Arg(300)
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("linkage_ablation");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

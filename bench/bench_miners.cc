@@ -115,6 +115,7 @@ BENCHMARK(BM_FpGrowthWholeCorpus)->Unit(benchmark::kMillisecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("miners");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

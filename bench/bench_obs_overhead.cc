@@ -1,0 +1,121 @@
+// A13 — observability overhead: the cost of the obs layer itself, so the
+// "<2% disabled overhead" budget (DESIGN.md / PR 2) stays measured rather
+// than assumed.
+//
+// Artifact: none (this bench measures the harness, not the paper).
+// Timings: counter/histogram/span operations with metrics and tracing
+// disabled (the default in production binaries — each op should collapse
+// to one relaxed atomic load) and enabled (shard fetch_add, span-node
+// interning), plus a ParallelFor dispatch both ways.
+
+#include "bench_util.h"
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace {
+
+// Restores the obs enablement the surrounding RunReportSession picked.
+class ObsStateGuard {
+ public:
+  ObsStateGuard()
+      : metrics_(obs::MetricsEnabled()), trace_(obs::TraceEnabled()) {}
+  ~ObsStateGuard() {
+    obs::SetMetricsEnabled(metrics_);
+    obs::SetTraceEnabled(trace_);
+  }
+
+ private:
+  bool metrics_;
+  bool trace_;
+};
+
+void BM_CounterAddDisabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetMetricsEnabled(false);
+  for (auto _ : state) {
+    CUISINE_COUNTER_ADD("bench.obs.counter", 1);
+  }
+}
+BENCHMARK(BM_CounterAddDisabled);
+
+void BM_CounterAddEnabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetMetricsEnabled(true);
+  for (auto _ : state) {
+    CUISINE_COUNTER_ADD("bench.obs.counter", 1);
+  }
+}
+BENCHMARK(BM_CounterAddEnabled);
+
+void BM_HistogramObserveEnabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetMetricsEnabled(true);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    CUISINE_HISTOGRAM_OBSERVE("bench.obs.histogram", v++ % 500, 10, 50, 100,
+                              250);
+  }
+}
+BENCHMARK(BM_HistogramObserveEnabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetTraceEnabled(false);
+  for (auto _ : state) {
+    CUISINE_SPAN("bench_span");
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetTraceEnabled(true);
+  for (auto _ : state) {
+    CUISINE_SPAN("bench_span");
+  }
+}
+BENCHMARK(BM_SpanEnabled);
+
+// A pdist-shaped ParallelFor (chunked counter adds inside the body) with
+// the whole obs layer off vs on: the end-to-end overhead bound the PR 2
+// acceptance criterion talks about.
+void ParallelWorkload() {
+  constexpr std::size_t kItems = 1 << 16;
+  static std::vector<double> sink(kItems);
+  ParallelFor(0, kItems, 512, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      sink[i] = static_cast<double>(i) * 1.0000001;
+    }
+    CUISINE_COUNTER_ADD("bench.obs.parallel_items",
+                        static_cast<std::int64_t>(hi - lo));
+  });
+  benchmark::DoNotOptimize(sink.data());
+}
+
+void BM_ParallelForObsOff(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetMetricsEnabled(false);
+  obs::SetTraceEnabled(false);
+  for (auto _ : state) ParallelWorkload();
+}
+BENCHMARK(BM_ParallelForObsOff)->Unit(benchmark::kMicrosecond);
+
+void BM_ParallelForObsOn(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetMetricsEnabled(true);
+  obs::SetTraceEnabled(true);
+  for (auto _ : state) ParallelWorkload();
+}
+BENCHMARK(BM_ParallelForObsOn)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace cuisine
+
+int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("obs_overhead");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -67,6 +67,7 @@ BENCHMARK(BM_BuildTable1Report)->Unit(benchmark::kMillisecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("table1");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,11 +1,15 @@
 // Shared helpers for the reproduction benchmarks.
 //
-// Every bench binary does two things:
+// Every bench binary does three things:
 //   1. prints the paper artifact it regenerates (a table or the data
 //      series behind a figure), so the full `for b in build/bench/*` run
-//      reproduces the paper's evaluation end-to-end, and
+//      reproduces the paper's evaluation end-to-end,
 //   2. registers google-benchmark timings for the computational kernels
-//      involved.
+//      involved, and
+//   3. writes an observability run report (BENCH_<name>.json: span tree,
+//      metric totals, build info) via BenchRunReport below. Set
+//      CUISINE_RUN_REPORT to override the path, CUISINE_METRICS=0 /
+//      CUISINE_TRACE=0 to opt out of instrumentation.
 //
 // The paper-scale corpus is generated once per process and cached.
 
@@ -18,9 +22,23 @@
 
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "obs/run_report.h"
 
 namespace cuisine {
 namespace bench {
+
+/// Run-report capture for a bench main; declare as the first statement so
+/// every cached artifact (corpus, patterns, trees) is recorded:
+///
+///   auto run_report = cuisine::bench::BenchRunReport("fig2_euclidean");
+///
+/// Writes BENCH_<short_name>.json in the working directory on exit unless
+/// CUISINE_RUN_REPORT overrides the path.
+inline obs::RunReportSession BenchRunReport(const std::string& short_name) {
+  return obs::RunReportSession(
+      "bench_" + short_name,
+      obs::RunReportPathOrDefault("BENCH_" + short_name + ".json"));
+}
 
 /// The paper-scale synthetic RecipeDB (scale 1, seed 2020), generated on
 /// first use and cached for the process lifetime.

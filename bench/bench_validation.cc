@@ -104,6 +104,7 @@ BENCHMARK(BM_TreeComparison)->Unit(benchmark::kMicrosecond);
 }  // namespace cuisine
 
 int main(int argc, char** argv) {
+  auto run_report = cuisine::bench::BenchRunReport("validation");
   cuisine::PrintArtifact();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

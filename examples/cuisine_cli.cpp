@@ -14,11 +14,17 @@
 //
 // Every command generates (or loads) the calibrated corpus first; use
 // --scale to work with a smaller one.
+//
+// Common flags: --quiet raises the log threshold to errors; --report
+// out.json writes an observability run report (span tree + metrics, see
+// README "Observability") when the command exits.
 
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
 #include "core/cluster_labels.h"
@@ -26,6 +32,7 @@
 #include "core/pipeline.h"
 #include "data/recipe_io.h"
 #include "mining/condensed_patterns.h"
+#include "obs/run_report.h"
 
 namespace {
 
@@ -291,7 +298,8 @@ void Usage() {
       "  fingerprint  authenticity fingerprint of one cuisine\n"
       "  validate     §VII tree-vs-geography validation\n"
       "  export       patterns / feature matrix CSVs\n"
-      "common flags: --scale S --seed N --in recipes.csv\n";
+      "common flags: --scale S --seed N --in recipes.csv\n"
+      "              --quiet (errors only) --report out.json (run report)\n";
 }
 
 }  // namespace
@@ -303,6 +311,16 @@ int main(int argc, char** argv) {
   }
   std::string command = argv[1];
   Args args(argc, argv);
+  if (args.Has("quiet")) cuisine::SetLogLevel(cuisine::LogLevel::kError);
+  // Constructed before dispatch, destroyed after it returns: the report
+  // covers the whole command. --report wins over CUISINE_RUN_REPORT.
+  std::optional<cuisine::obs::RunReportSession> report;
+  std::string report_path = args.Has("report")
+                                ? args.Get("report", "report.json")
+                                : cuisine::obs::RunReportPathOrDefault("");
+  if (!report_path.empty()) {
+    report.emplace("cuisine_cli " + command, report_path);
+  }
   if (command == "generate") return CmdGenerate(args);
   if (command == "stats") return CmdStats(args);
   if (command == "mine") return CmdMine(args);

@@ -5,6 +5,8 @@
 
 #include "common/parallel.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 namespace {
@@ -74,6 +76,9 @@ Result<BootstrapResult> BootstrapStability(const Dendrogram& reference,
     std::vector<char> clade_hit;
   };
   std::vector<Replicate> replicates(options.replicates);
+  CUISINE_SPAN("bootstrap");
+  CUISINE_COUNTER_ADD("cluster.bootstrap.replicates",
+                      static_cast<std::int64_t>(options.replicates));
   ParallelFor(0, options.replicates, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t rep = lo; rep < hi; ++rep) {
       Replicate& out = replicates[rep];

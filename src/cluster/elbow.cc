@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 
@@ -70,6 +71,7 @@ Result<ElbowAnalysis> ComputeElbow(const Matrix& features, std::size_t k_min,
   const std::size_t count = k_max - k_min + 1;
   std::vector<ElbowPoint> curve(count);
   std::vector<Status> errors(count);
+  CUISINE_SPAN("elbow");
   ParallelFor(0, count, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t idx = lo; idx < hi; ++idx) {
       KMeansOptions opt = base;

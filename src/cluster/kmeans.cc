@@ -7,6 +7,8 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "common/random.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 
@@ -134,6 +136,7 @@ void ReseedEmptyClusters(const Matrix& features, const std::vector<int>& labels,
       }
     }
     if (worst < 0.0) break;  // more empty clusters than points left
+    CUISINE_COUNTER_ADD("cluster.kmeans.empty_reseeds", 1);
     taken[worst_i] = true;
     for (std::size_t d = 0; d < features.cols(); ++d) {
       (*centroids)(c, d) = features(worst_i, d);
@@ -183,11 +186,21 @@ Result<KMeansResult> KMeansCluster(const Matrix& features,
     run_rngs.push_back(rng.Fork(r + 1));
   }
   std::vector<SingleRun> runs(options.restarts);
+  CUISINE_SPAN("kmeans");
   ParallelFor(0, options.restarts, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t r = lo; r < hi; ++r) {
       runs[r] = RunLloyd(features, options, &run_rngs[r]);
     }
   });
+  CUISINE_COUNTER_ADD("cluster.kmeans.restarts",
+                      static_cast<std::int64_t>(options.restarts));
+  if (obs::MetricsEnabled()) {
+    std::int64_t total_iterations = 0;
+    for (const SingleRun& run : runs) {
+      total_iterations += static_cast<std::int64_t>(run.iterations);
+    }
+    CUISINE_COUNTER_ADD("cluster.kmeans.iterations", total_iterations);
+  }
   // Serial reduction in restart order: the first strictly-better run wins,
   // matching the serial loop's tie behaviour.
   KMeansResult best;

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 
@@ -88,6 +90,8 @@ Result<std::vector<LinkageStep>> HierarchicalCluster(
   // merge. The band is far below any meaningful distance gap.
   constexpr double kTieRelEps = 1e-12;
 
+  CUISINE_SPAN("linkage");
+  std::int64_t tie_breaks = 0;
   for (std::size_t step = 0; step + 1 < n; ++step) {
     // Find the closest active pair (epsilon-tolerant tie-break on ids).
     std::size_t best_i = 0, best_j = 0;
@@ -116,6 +120,7 @@ Result<std::vector<LinkageStep>> HierarchicalCluster(
           // Tied (exactly or within round-off): lowest cluster-id pair
           // wins; keep the smaller of the tied distances so the band
           // cannot drift across successive ties.
+          ++tie_breaks;
           auto key = std::minmax(cluster_id[i], cluster_id[j]);
           auto best_key = std::minmax(cluster_id[best_i], cluster_id[best_j]);
           if (key < best_key) {
@@ -148,6 +153,9 @@ Result<std::vector<LinkageStep>> HierarchicalCluster(
     size[best_i] = na + nb;
     cluster_id[best_i] = n + step;
   }
+  CUISINE_COUNTER_ADD("cluster.linkage.merges",
+                      static_cast<std::int64_t>(steps.size()));
+  CUISINE_COUNTER_ADD("cluster.linkage.tie_breaks", tie_breaks);
   return steps;
 }
 

@@ -5,6 +5,8 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 
@@ -62,6 +64,7 @@ CondensedDistanceMatrix CondensedDistanceMatrix::FromFeatures(
   // with i) so chunks carry equal work. Each chunk owns a disjoint slice
   // of values_, so the result is identical to the serial fill.
   constexpr std::size_t kGrain = 512;
+  CUISINE_SPAN("pdist");
   std::vector<double>& out = d.values_;
   ParallelFor(0, out.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
     std::size_t i = RowOfCondensedIndex(lo, n);
@@ -73,6 +76,9 @@ CondensedDistanceMatrix CondensedDistanceMatrix::FromFeatures(
         j = i + 1;
       }
     }
+    // One add per chunk, not per pair, keeps the hot loop unpolluted.
+    CUISINE_COUNTER_ADD("cluster.pdist.evals",
+                        static_cast<std::int64_t>(hi - lo));
   });
   return d;
 }

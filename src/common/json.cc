@@ -1,0 +1,508 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace cuisine {
+
+Json Json::Bool(bool value) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = value;
+  return j;
+}
+
+Json Json::Int(std::int64_t value) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = value;
+  return j;
+}
+
+Json Json::Double(double value) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = value;
+  return j;
+}
+
+Json Json::Str(std::string value) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(value);
+  return j;
+}
+
+Json Json::Array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::Object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::bool_value() const {
+  CUISINE_CHECK(is_bool());
+  return bool_;
+}
+
+std::int64_t Json::int_value() const {
+  CUISINE_CHECK(is_int());
+  return int_;
+}
+
+double Json::double_value() const {
+  CUISINE_CHECK(is_number());
+  return is_int() ? static_cast<double>(int_) : double_;
+}
+
+const std::string& Json::string_value() const {
+  CUISINE_CHECK(is_string());
+  return string_;
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return items_.size();
+  if (is_object()) return members_.size();
+  return 0;
+}
+
+const Json& Json::at(std::size_t index) const {
+  CUISINE_CHECK(is_array());
+  CUISINE_CHECK_LT(index, items_.size());
+  return items_[index];
+}
+
+Json& Json::Push(Json value) {
+  CUISINE_CHECK(is_array());
+  items_.push_back(std::move(value));
+  return *this;
+}
+
+Json& Json::Set(std::string key, Json value) {
+  CUISINE_CHECK(is_object());
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+const Json* Json::Find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, Json>>& Json::members() const {
+  CUISINE_CHECK(is_object());
+  return members_;
+}
+
+const std::vector<Json>& Json::items() const {
+  CUISINE_CHECK(is_array());
+  return items_;
+}
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no Inf/NaN; null is the conventional stand-in.
+    *out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+  // Keep the value recognizably floating point so it parses back as one.
+  std::string_view sv(buf);
+  if (sv.find('.') == std::string_view::npos &&
+      sv.find('e') == std::string_view::npos &&
+      sv.find("inf") == std::string_view::npos) {
+    *out += ".0";
+  }
+}
+
+void AppendNewlineIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      return;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      return;
+    case Type::kInt:
+      *out += std::to_string(int_);
+      return;
+    case Type::kDouble:
+      AppendDouble(out, double_);
+      return;
+    case Type::kString:
+      *out += JsonEscape(string_);
+      return;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent > 0) AppendNewlineIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) AppendNewlineIndent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Type::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent > 0) AppendNewlineIndent(out, indent, depth + 1);
+        *out += JsonEscape(members_[i].first);
+        out->push_back(':');
+        if (indent > 0) out->push_back(' ');
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent > 0) AppendNewlineIndent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> ParseDocument() {
+    CUISINE_ASSIGN_OR_RETURN(Json value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) == literal) {
+      pos_ += literal.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') {
+      CUISINE_ASSIGN_OR_RETURN(std::string s, ParseString());
+      return Json::Str(std::move(s));
+    }
+    if (ConsumeLiteral("true")) return Json::Bool(true);
+    if (ConsumeLiteral("false")) return Json::Bool(false);
+    if (ConsumeLiteral("null")) return Json::Null();
+    if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber();
+    return Error(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // '{'
+    Json obj = Json::Object();
+    SkipWhitespace();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key string");
+      }
+      CUISINE_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':' after object key");
+      CUISINE_ASSIGN_OR_RETURN(Json value, ParseValue());
+      obj.Set(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // '['
+    Json arr = Json::Array();
+    SkipWhitespace();
+    if (Consume(']')) return arr;
+    while (true) {
+      CUISINE_ASSIGN_OR_RETURN(Json value, ParseValue());
+      arr.Push(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          CUISINE_ASSIGN_OR_RETURN(unsigned cp, ParseHex4());
+          // Combine a valid surrogate pair; a lone surrogate is an error.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!ConsumeLiteral("\\u")) return Error("lone high surrogate");
+            CUISINE_ASSIGN_OR_RETURN(unsigned lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("lone low surrogate");
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default:
+          return Error(std::string("invalid escape '\\") + e + "'");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void AppendUtf8(std::string* out, unsigned cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Json> ParseNumber() {
+    const std::size_t start = pos_;
+    Consume('-');
+    const std::size_t int_start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    if (pos_ == int_start) return Error("expected digits in number");
+    if (pos_ - int_start > 1 && text_[int_start] == '0') {
+      return Error("leading zeros are not allowed");
+    }
+    bool is_double = false;
+    if (Consume('.')) {
+      is_double = true;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Error("malformed number");
+    if (!is_double) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Json::Int(static_cast<std::int64_t>(v));
+      }
+      // Integer overflow: fall through to double.
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("malformed number");
+    return Json::Double(d);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace cuisine

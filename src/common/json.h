@@ -1,0 +1,101 @@
+// Minimal dependency-free JSON document: a tagged value with a writer and
+// a strict parser. Grown for the observability run reports
+// (obs/run_report.h) and any other machine-readable artifact that needs a
+// JSON round trip without an external library.
+//
+// Objects preserve insertion order, so serialized documents are stable
+// and diffable run-to-run. Numbers are stored as either int64 (exact) or
+// double; doubles are emitted with enough digits to round-trip.
+
+#ifndef CUISINE_COMMON_JSON_H_
+#define CUISINE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cuisine {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  /// Default-constructs null.
+  Json() = default;
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Int(std::int64_t value);
+  static Json Double(double value);
+  static Json Str(std::string value);
+  static Json Array();
+  static Json Object();
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_int() const { return type_ == Type::kInt; }
+  bool is_double() const { return type_ == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Value accessors; each CHECK-fails on a type mismatch except
+  /// double_value(), which also accepts ints.
+  bool bool_value() const;
+  std::int64_t int_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+
+  /// Array element count / object member count (0 for scalars).
+  std::size_t size() const;
+
+  /// Array access; CHECK-fails out of range or on non-arrays.
+  const Json& at(std::size_t index) const;
+
+  /// Appends to an array (CHECK-fails on non-arrays). Returns *this for
+  /// chaining.
+  Json& Push(Json value);
+
+  /// Inserts or overwrites an object member (CHECK-fails on non-objects).
+  /// Returns *this for chaining.
+  Json& Set(std::string key, Json value);
+
+  /// Member lookup; nullptr when absent or not an object.
+  const Json* Find(std::string_view key) const;
+
+  const std::vector<std::pair<std::string, Json>>& members() const;
+  const std::vector<Json>& items() const;
+
+  /// Serializes. indent == 0 emits the compact single-line form; indent
+  /// > 0 pretty-prints with that many spaces per nesting level.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict recursive-descent parse of a complete JSON document (trailing
+  /// non-whitespace is an error).
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Escapes `text` as a JSON string literal including the surrounding
+/// quotes (exposed for streaming writers).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_JSON_H_

@@ -1,8 +1,10 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <iostream>
 #include <mutex>
@@ -10,17 +12,53 @@
 namespace cuisine {
 namespace {
 
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 std::mutex g_log_mutex;
+
+// Resolved lazily so the CUISINE_LOG_LEVEL lookup happens exactly once,
+// on first use rather than at static-init time (where another TU's
+// dynamic initialiser could log before this one ran).
+std::atomic<int>& LogLevelFlag() {
+  static std::atomic<int> level{[] {
+    const char* env = std::getenv("CUISINE_LOG_LEVEL");
+    if (env != nullptr) {
+      if (std::optional<LogLevel> parsed = ParseLogLevel(env)) {
+        return static_cast<int>(*parsed);
+      }
+    }
+    return static_cast<int>(LogLevel::kInfo);
+  }()};
+  return level;
+}
+
+// "2026-08-06T12:34:56.789Z": millisecond UTC timestamp via gmtime_r —
+// no localtime() shared-static race, no locale dependence.
+void AppendUtcTimestamp(std::ostream& out) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  // Sized for the worst case snprintf can prove (INT_MIN in every
+  // field), not the 24 bytes a real timestamp needs: keeps
+  // -Wformat-truncation quiet without a cast dance.
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(millis));
+  out << buffer;
+}
 
 }  // namespace
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(LogLevelFlag().load(std::memory_order_relaxed));
 }
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  LogLevelFlag().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 std::string_view LogLevelName(LogLevel level) {
@@ -39,6 +77,23 @@ std::string_view LogLevelName(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view text) {
+  std::string lowered;
+  lowered.reserve(text.size());
+  for (char c : text) {
+    lowered.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lowered == "debug" || lowered == "0") return LogLevel::kDebug;
+  if (lowered == "info" || lowered == "1") return LogLevel::kInfo;
+  if (lowered == "warning" || lowered == "warn" || lowered == "2") {
+    return LogLevel::kWarning;
+  }
+  if (lowered == "error" || lowered == "3") return LogLevel::kError;
+  if (lowered == "fatal" || lowered == "4") return LogLevel::kFatal;
+  return std::nullopt;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -47,7 +102,9 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') base = p + 1;
   }
-  stream_ << "[" << LogLevelName(level) << " " << base << ":" << line << "] ";
+  stream_ << "[";
+  AppendUtcTimestamp(stream_);
+  stream_ << " " << LogLevelName(level) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

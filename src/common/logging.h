@@ -1,14 +1,20 @@
 // Minimal leveled logging with CHECK macros.
 //
-// Logging goes to stderr. The severity threshold is process-global and can
-// be raised to silence benchmarks / tests.
+// Logging goes to stderr, each line stamped with a UTC timestamp
+// ("2026-08-06T12:34:56.789Z") produced thread-safely (gmtime_r, no
+// shared static tm). The severity threshold is process-global: it starts
+// from the CUISINE_LOG_LEVEL environment variable (a level name such as
+// "warning" or a digit 0-4; unset/garbage means info) and can be changed
+// at runtime with SetLogLevel to silence benchmarks / tests.
 
 #ifndef CUISINE_COMMON_LOGGING_H_
 #define CUISINE_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace cuisine {
 
@@ -20,7 +26,8 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
-/// Returns the current process-global minimum severity that will be emitted.
+/// Returns the current process-global minimum severity that will be
+/// emitted. Resolved on first use from CUISINE_LOG_LEVEL (default info).
 LogLevel GetLogLevel();
 
 /// Sets the process-global minimum severity. Messages below `level` are
@@ -28,6 +35,11 @@ LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
 std::string_view LogLevelName(LogLevel level);
+
+/// Parses a level from a name ("debug", "info", "warning"/"warn",
+/// "error", "fatal"; case-insensitive) or a digit 0-4. nullopt when
+/// unrecognised.
+std::optional<LogLevel> ParseLogLevel(std::string_view text);
 
 namespace internal {
 

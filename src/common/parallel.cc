@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -14,6 +15,17 @@
 namespace cuisine {
 
 namespace {
+
+// Observability hooks (SetParallelHooks). Loaded once per ParallelFor;
+// per-chunk timing only happens while a stats hook is installed.
+std::atomic<const ParallelHooks*> g_hooks{nullptr};
+
+std::uint64_t NowNanos() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 // True on threads owned by the pool; nested ParallelFor calls detect this
 // and degrade to a serial inline loop instead of deadlocking on the pool.
@@ -78,12 +90,19 @@ class ThreadPool {
   std::size_t size() const { return size_; }
 
   void Run(std::size_t begin, std::size_t end, std::size_t grain,
-           const std::function<void(std::size_t, std::size_t)>& fn) {
+           const std::function<void(std::size_t, std::size_t)>& fn,
+           const ParallelHooks* hooks, ParallelForStats* stats) {
     Job job;
     job.begin = begin;
     job.end = end;
     job.grain = grain;
     job.fn = &fn;
+    job.timed = hooks != nullptr && hooks->on_stats != nullptr;
+    job.hooks = hooks;
+    if (hooks != nullptr && hooks->capture_context != nullptr) {
+      job.context = hooks->capture_context();
+    }
+    const std::uint64_t t0 = job.timed ? NowNanos() : 0;
     {
       std::lock_guard<std::mutex> lock(mu_);
       job_ = &job;
@@ -98,6 +117,14 @@ class ThreadPool {
     done_.wait(lock, [&job] { return job.active_workers == 0; });
     job_ = nullptr;
     if (job.error) std::rethrow_exception(job.error);
+    if (job.timed && stats != nullptr) {
+      stats->range = end - begin;
+      stats->chunks = job.chunks.load(std::memory_order_relaxed);
+      stats->threads_used = job.participants.load(std::memory_order_relaxed);
+      stats->wall_ns = NowNanos() - t0;
+      stats->busy_ns_total = job.busy_ns_total.load(std::memory_order_relaxed);
+      stats->busy_ns_max = job.busy_ns_max.load(std::memory_order_relaxed);
+    }
   }
 
  private:
@@ -110,23 +137,51 @@ class ThreadPool {
     std::atomic<int> active_workers{0};
     std::exception_ptr error;
     std::mutex error_mu;
+    // Observability (SetParallelHooks): span context to adopt on workers
+    // and per-thread busy accounting, aggregated as threads leave the job.
+    bool timed = false;
+    const ParallelHooks* hooks = nullptr;
+    void* context = nullptr;
+    std::atomic<std::uint64_t> busy_ns_total{0};
+    std::atomic<std::uint64_t> busy_ns_max{0};
+    std::atomic<std::size_t> chunks{0};
+    std::atomic<std::size_t> participants{0};
   };
 
   void Drain(Job* job) {
     const std::size_t span = job->end - job->begin;
+    std::uint64_t local_busy = 0;
+    std::size_t local_chunks = 0;
     while (true) {
       std::size_t chunk = job->cursor.fetch_add(1, std::memory_order_relaxed);
       std::size_t lo = chunk * job->grain;
-      if (lo >= span) return;
+      if (lo >= span) break;
       std::size_t hi = std::min(span, lo + job->grain);
       try {
-        (*job->fn)(job->begin + lo, job->begin + hi);
+        if (job->timed) {
+          const std::uint64_t t0 = NowNanos();
+          (*job->fn)(job->begin + lo, job->begin + hi);
+          local_busy += NowNanos() - t0;
+          ++local_chunks;
+        } else {
+          (*job->fn)(job->begin + lo, job->begin + hi);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(job->error_mu);
         if (!job->error) job->error = std::current_exception();
         // Poison the cursor so remaining chunks are abandoned.
         job->cursor.store(span / std::max<std::size_t>(job->grain, 1) + 1,
                           std::memory_order_relaxed);
+      }
+    }
+    if (job->timed && local_chunks > 0) {
+      job->busy_ns_total.fetch_add(local_busy, std::memory_order_relaxed);
+      job->chunks.fetch_add(local_chunks, std::memory_order_relaxed);
+      job->participants.fetch_add(1, std::memory_order_relaxed);
+      std::uint64_t prev = job->busy_ns_max.load(std::memory_order_relaxed);
+      while (local_busy > prev &&
+             !job->busy_ns_max.compare_exchange_weak(
+                 prev, local_busy, std::memory_order_relaxed)) {
       }
     }
   }
@@ -146,7 +201,11 @@ class ThreadPool {
         job = job_;
         job->active_workers.fetch_add(1, std::memory_order_relaxed);
       }
+      const bool adopt =
+          job->hooks != nullptr && job->hooks->adopt_context != nullptr;
+      if (adopt) job->hooks->adopt_context(job->context);
       Drain(job);
+      if (adopt) job->hooks->adopt_context(nullptr);
       {
         std::lock_guard<std::mutex> lock(mu_);
         job->active_workers.fetch_sub(1, std::memory_order_relaxed);
@@ -211,10 +270,15 @@ void SetParallelThreads(std::size_t threads) {
   g_has_override = true;
 }
 
+void SetParallelHooks(const ParallelHooks* hooks) {
+  g_hooks.store(hooks, std::memory_order_release);
+}
+
 void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
                  const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
   if (grain == 0) grain = 1;
+  const ParallelHooks* hooks = g_hooks.load(std::memory_order_acquire);
   ThreadPool* pool = nullptr;
   bool serial = t_inside_pool_worker || t_inside_parallel_for;
   if (!serial) {
@@ -223,20 +287,40 @@ void ParallelFor(std::size_t begin, std::size_t end, std::size_t grain,
     serial = pool->size() <= 1 || end - begin <= grain;
   }
   if (serial) {
+    const bool timed = hooks != nullptr && hooks->on_stats != nullptr;
+    const std::uint64_t t0 = timed ? NowNanos() : 0;
+    std::size_t chunks = 0;
     for (std::size_t lo = begin; lo < end; lo += grain) {
       fn(lo, std::min(end, lo + grain));
+      ++chunks;
+    }
+    if (timed) {
+      ParallelForStats stats;
+      stats.range = end - begin;
+      stats.chunks = chunks;
+      stats.threads_used = 1;
+      stats.wall_ns = NowNanos() - t0;
+      stats.busy_ns_total = stats.wall_ns;
+      stats.busy_ns_max = stats.wall_ns;
+      hooks->on_stats(stats);
     }
     return;
   }
-  std::lock_guard<std::mutex> run_lock(g_run_mu);
-  t_inside_parallel_for = true;
-  try {
-    pool->Run(begin, end, grain, fn);
-  } catch (...) {
+  ParallelForStats stats;
+  {
+    std::lock_guard<std::mutex> run_lock(g_run_mu);
+    t_inside_parallel_for = true;
+    try {
+      pool->Run(begin, end, grain, fn, hooks, &stats);
+    } catch (...) {
+      t_inside_parallel_for = false;
+      throw;
+    }
     t_inside_parallel_for = false;
-    throw;
   }
-  t_inside_parallel_for = false;
+  if (hooks != nullptr && hooks->on_stats != nullptr) {
+    hooks->on_stats(stats);
+  }
 }
 
 }  // namespace cuisine

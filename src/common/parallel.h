@@ -18,9 +18,44 @@
 #define CUISINE_COMMON_PARALLEL_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace cuisine {
+
+/// One completed ParallelFor dispatch, as reported to the observability
+/// hook. Counts (range/chunks) are deterministic for a given call;
+/// timings are wall-clock and vary run-to-run.
+struct ParallelForStats {
+  std::size_t range = 0;             // end - begin
+  std::size_t chunks = 0;            // grain chunks executed
+  std::size_t threads_used = 0;      // threads that ran >= 1 chunk
+  std::uint64_t wall_ns = 0;         // dispatch wall time
+  std::uint64_t busy_ns_total = 0;   // summed per-thread chunk time
+  std::uint64_t busy_ns_max = 0;     // busiest thread's chunk time
+};
+
+/// Observability hooks, installed process-wide by the obs layer (the
+/// common library itself stays dependency-free). All pointers may be
+/// null; the default is no hooks.
+struct ParallelHooks {
+  /// Called on the dispatching thread before fan-out. The returned
+  /// context is handed to `adopt_context` on every pool worker that picks
+  /// the job up, and cleared with nullptr when the worker leaves it —
+  /// this is how trace spans opened inside worker lambdas nest under the
+  /// span active at the ParallelFor call site.
+  void* (*capture_context)() = nullptr;
+  void (*adopt_context)(void* context) = nullptr;
+  /// Called once per ParallelFor, on the dispatching thread, after the
+  /// range completes — including the serial fast path (threads_used = 1).
+  void (*on_stats)(const ParallelForStats& stats) = nullptr;
+};
+
+/// Installs the process-global hooks; nullptr restores the no-op default.
+/// The struct must outlive all subsequent ParallelFor calls. Per-chunk
+/// timing is only measured while hooks are installed, so the uninstalled
+/// overhead is one atomic load per ParallelFor.
+void SetParallelHooks(const ParallelHooks* hooks);
 
 /// The number of threads ParallelFor will use (>= 1, after resolving the
 /// override / CUISINE_THREADS / hardware-concurrency chain above).

@@ -1,9 +1,13 @@
-// Wall-clock stopwatch for benchmark harness output.
+// Wall-clock timing primitives: `Timer` (free-running, starts on
+// construction) for simple elapsed measurements, and `StopWatch`
+// (pausable, accumulating) for span self-time accounting and any other
+// measurement that must exclude nested intervals.
 
 #ifndef CUISINE_COMMON_TIMER_H_
 #define CUISINE_COMMON_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace cuisine {
 
@@ -26,6 +30,52 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// Pausable, accumulating stopwatch. Constructed stopped with zero
+/// accumulated time; Start()/Stop() pairs add segments to the total.
+/// Redundant Start/Stop calls are no-ops, so callers can pause and resume
+/// unconditionally.
+class StopWatch {
+ public:
+  /// Starts (or resumes) a segment.
+  void Start() {
+    if (running_) return;
+    start_ = Clock::now();
+    running_ = true;
+  }
+
+  /// Ends the current segment, adding it to the accumulated total.
+  void Stop() {
+    if (!running_) return;
+    accumulated_ += Clock::now() - start_;
+    running_ = false;
+  }
+
+  /// Stops and zeroes the accumulated total.
+  void Reset() {
+    accumulated_ = Clock::duration::zero();
+    running_ = false;
+  }
+
+  bool running() const { return running_; }
+
+  /// Accumulated time, including the live segment when running.
+  std::int64_t ElapsedNanos() const {
+    Clock::duration total = accumulated_;
+    if (running_) total += Clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(total).count();
+  }
+
+  double Seconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::duration accumulated_ = Clock::duration::zero();
+  Clock::time_point start_{};
+  bool running_ = false;
 };
 
 }  // namespace cuisine

@@ -1,5 +1,7 @@
 #include "core/authenticity_pipeline.h"
 
+#include "obs/trace.h"
+
 namespace cuisine {
 
 Result<AuthenticityMatrix> ComputeAuthenticity(
@@ -14,6 +16,7 @@ Result<Dendrogram> AuthenticityCluster(
   if (dataset.num_cuisines() < 2) {
     return Status::InvalidArgument("need at least 2 cuisines to cluster");
   }
+  CUISINE_SPAN("authenticity");
   CUISINE_ASSIGN_OR_RETURN(AuthenticityMatrix authenticity,
                            ComputeAuthenticity(dataset, options.prevalence));
   CondensedDistanceMatrix d = CondensedDistanceMatrix::FromFeatures(

@@ -1,5 +1,7 @@
 #include "core/fihc.h"
 
+#include "obs/trace.h"
+
 namespace cuisine {
 
 Result<PatternFeatureSpace> BuildPatternFeatures(
@@ -40,6 +42,7 @@ Result<Dendrogram> ClusterPatternFeatures(const PatternFeatureSpace& space,
   if (space.features.rows() < 2) {
     return Status::InvalidArgument("need at least 2 cuisines to cluster");
   }
+  CUISINE_SPAN("cluster");
   CondensedDistanceMatrix d =
       CondensedDistanceMatrix::FromFeatures(space.features, metric);
   CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,

@@ -8,6 +8,9 @@
 #include "common/logging.h"
 #include "common/random.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 namespace {
@@ -179,6 +182,12 @@ Result<Dataset> GenerateRecipeDbFromSpecs(const std::vector<CuisineSpec>& specs,
   if (opt.scale <= 0.0 || opt.scale > 1.0) {
     return Status::InvalidArgument("scale must be in (0, 1], got " +
                                    std::to_string(opt.scale));
+  }
+  CUISINE_SPAN("generate");
+  if (obs::MetricsEnabled()) {
+    obs::SetRunContext("generator.seed",
+                       static_cast<std::int64_t>(opt.seed));
+    obs::SetRunContext("generator.scale", std::to_string(opt.scale));
   }
   Dataset ds;
   VocabLayout layout;
@@ -401,6 +410,10 @@ Result<Dataset> GenerateRecipeDbFromSpecs(const std::vector<CuisineSpec>& specs,
       CUISINE_RETURN_NOT_OK(ds.AddRecipe(std::move(recipe)));
     }
   }
+  CUISINE_COUNTER_ADD("data.recipes",
+                      static_cast<std::int64_t>(ds.num_recipes()));
+  CUISINE_COUNTER_ADD("data.cuisines",
+                      static_cast<std::int64_t>(ds.num_cuisines()));
   return ds;
 }
 

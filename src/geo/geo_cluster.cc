@@ -1,6 +1,7 @@
 #include "geo/geo_cluster.h"
 
 #include "geo/haversine.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 
@@ -31,6 +32,7 @@ Result<CondensedDistanceMatrix> GeoDistanceMatrixFor(
 
 Result<Dendrogram> GeoCluster(const std::vector<std::string>& cuisine_names,
                               LinkageMethod method) {
+  CUISINE_SPAN("geo");
   CUISINE_ASSIGN_OR_RETURN(CondensedDistanceMatrix d,
                            GeoDistanceMatrixFor(cuisine_names));
   CUISINE_ASSIGN_OR_RETURN(std::vector<LinkageStep> steps,

@@ -10,6 +10,7 @@
 #include "common/logging.h"
 #include "mining/fptree.h"
 #include "mining/miner.h"
+#include "obs/metrics.h"
 
 namespace cuisine {
 namespace {
@@ -42,6 +43,7 @@ void MineTree(const FpTree& tree, const Itemset& suffix, MineContext* ctx) {
   if (tree.IsSinglePath()) {
     auto path = tree.SinglePathItems();
     if (!path.empty() && path.size() <= 20) {
+      CUISINE_COUNTER_ADD("mining.fpgrowth.single_path_hits", 1);
       for (std::uint32_t mask = 1; mask < (1u << path.size()); ++mask) {
         std::vector<ItemId> items = suffix.items();
         std::size_t count = std::numeric_limits<std::size_t>::max();
@@ -64,6 +66,10 @@ void MineTree(const FpTree& tree, const Itemset& suffix, MineContext* ctx) {
     ctx->Emit(extended, count);
     FpTree conditional = tree.Conditional(item, ctx->min_count);
     if (!conditional.empty()) {
+      CUISINE_COUNTER_ADD("mining.fptree.conditional_trees", 1);
+      CUISINE_COUNTER_ADD(
+          "mining.fptree.conditional_nodes",
+          static_cast<std::int64_t>(conditional.NodeCount()));
       MineTree(conditional, extended, ctx);
     }
   }
@@ -84,6 +90,11 @@ Result<std::vector<FrequentItemset>> MineFpGrowth(const TransactionDb& db,
   ctx.out = &out;
 
   FpTree tree(db, ctx.min_count);
+  CUISINE_COUNTER_ADD("mining.fptree.trees", 1);
+  CUISINE_COUNTER_ADD("mining.fptree.nodes",
+                      static_cast<std::int64_t>(tree.NodeCount()));
+  CUISINE_GAUGE_MAX("mining.fptree.max_nodes",
+                    static_cast<std::int64_t>(tree.NodeCount()));
   if (!tree.empty()) {
     MineTree(tree, Itemset(), &ctx);
   }

@@ -5,6 +5,8 @@
 
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 
@@ -47,8 +49,10 @@ Result<std::vector<CuisinePatterns>> MineAllCuisines(
   const std::size_t num = dataset.num_cuisines();
   std::vector<CuisinePatterns> all(num);
   std::vector<Status> errors(num);
+  CUISINE_SPAN("mine");
   ParallelFor(0, num, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t idx = lo; idx < hi; ++idx) {
+      CUISINE_SPAN("mine_cuisine");
       CuisineId c = static_cast<CuisineId>(idx);
       TransactionDb db = TransactionDb::FromCuisine(dataset, c);
       auto patterns = Mine(algo, db, options);
@@ -62,6 +66,14 @@ Result<std::vector<CuisinePatterns>> MineAllCuisines(
       cp.num_recipes = db.size();
       cp.patterns = std::move(patterns).value();
       SortPatternsBySupport(&cp.patterns);
+      CUISINE_COUNTER_ADD("mining.transactions",
+                          static_cast<std::int64_t>(db.size()));
+      CUISINE_COUNTER_ADD("mining.patterns_mined",
+                          static_cast<std::int64_t>(cp.patterns.size()));
+      CUISINE_HISTOGRAM_OBSERVE(
+          "mining.patterns_per_cuisine",
+          static_cast<std::int64_t>(cp.patterns.size()), 10, 30, 100, 300,
+          1000, 3000);
     }
   });
   for (const Status& st : errors) {

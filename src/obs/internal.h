@@ -1,0 +1,28 @@
+// Shared internals of the observability layer (not part of the public
+// obs API surface).
+
+#ifndef CUISINE_OBS_INTERNAL_H_
+#define CUISINE_OBS_INTERNAL_H_
+
+namespace cuisine {
+namespace obs {
+namespace internal {
+
+/// Installs the common/parallel hooks (span context propagation +
+/// per-dispatch stats) exactly once. Called whenever tracing or metrics
+/// are first enabled.
+void InstallParallelHooks();
+
+/// Reads a boolean env knob: unset -> `fallback`; "0" / "false" / "off" /
+/// "no" (case-insensitive) -> false; anything else -> true.
+bool EnvFlag(const char* name, bool fallback);
+
+/// True iff `name` is present in the environment (even if falsy), i.e.
+/// the user stated an explicit preference.
+bool EnvSet(const char* name);
+
+}  // namespace internal
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_INTERNAL_H_

@@ -1,0 +1,269 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/internal.h"
+
+namespace cuisine {
+namespace obs {
+
+namespace {
+
+// Fixed capacities: a shard is one flat slot array, a histogram occupies
+// (edges + 3) consecutive slots. Far above what the pipeline registers;
+// registration CHECK-fails on overflow rather than silently dropping.
+constexpr std::size_t kMaxSlots = 2048;
+constexpr std::size_t kMaxMetrics = 256;
+
+enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+struct MetricInfo {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::size_t slot = 0;        // first slot
+  std::size_t slot_count = 0;  // 1 for counter/gauge, edges+3 for histogram
+  std::vector<std::int64_t> edges;
+};
+
+// One thread's slice of every metric. Allocated on a thread's first
+// record and merged into `retired` when the thread exits.
+struct Shard {
+  std::array<std::atomic<std::int64_t>, kMaxSlots> slots{};
+};
+
+class Registry {
+ public:
+  static Registry& Get() {
+    // Leaked: thread_local shard destructors run during arbitrary thread
+    // teardown and must always find a live registry.
+    static Registry* registry = new Registry();
+    return *registry;
+  }
+
+  MetricId Register(std::string_view name, Kind kind,
+                    std::vector<std::int64_t> edges) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = by_name_.find(name);
+    if (it != by_name_.end()) {
+      const MetricInfo& existing = metrics_[it->second];
+      CUISINE_CHECK(existing.kind == kind)
+          << "metric '" << name << "' re-registered with a different kind";
+      return it->second;
+    }
+    CUISINE_CHECK(std::is_sorted(edges.begin(), edges.end()))
+        << "histogram edges must be ascending: " << name;
+    const std::size_t slot_count =
+        kind == Kind::kHistogram ? edges.size() + 3 : 1;
+    CUISINE_CHECK_LT(metrics_.size(), kMaxMetrics) << "metric overflow";
+    CUISINE_CHECK_LE(next_slot_ + slot_count, kMaxSlots) << "slot overflow";
+    MetricInfo info;
+    info.name = std::string(name);
+    info.kind = kind;
+    info.slot = next_slot_;
+    info.slot_count = slot_count;
+    info.edges = std::move(edges);
+    for (std::size_t s = info.slot; s < info.slot + slot_count; ++s) {
+      slot_is_gauge_[s] = (kind == Kind::kGauge);
+    }
+    next_slot_ += slot_count;
+    MetricId id = metrics_.size();
+    metrics_.push_back(std::move(info));
+    by_name_.emplace(metrics_.back().name, id);
+    return id;
+  }
+
+  // The caller's id always comes from a Register() call (directly or via
+  // a synchronized static initializer), so reading the info without the
+  // lock is race-free; the deque guarantees stable addresses.
+  const MetricInfo& Info(MetricId id) const { return metrics_[id]; }
+
+  void Attach(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(shard);
+  }
+
+  void Retire(Shard* shard) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t s = 0; s < next_slot_; ++s) {
+      MergeSlot(s, shard->slots[s].load(std::memory_order_relaxed),
+                &retired_[s]);
+    }
+    shards_.erase(std::remove(shards_.begin(), shards_.end(), shard),
+                  shards_.end());
+  }
+
+  MetricsSnapshot Collect() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::array<std::int64_t, kMaxSlots> totals = retired_;
+    for (Shard* shard : shards_) {
+      for (std::size_t s = 0; s < next_slot_; ++s) {
+        MergeSlot(s, shard->slots[s].load(std::memory_order_relaxed),
+                  &totals[s]);
+      }
+    }
+    MetricsSnapshot snapshot;
+    for (const MetricInfo& m : metrics_) {
+      switch (m.kind) {
+        case Kind::kCounter:
+          snapshot.counters[m.name] = totals[m.slot];
+          break;
+        case Kind::kGauge:
+          snapshot.gauges[m.name] = totals[m.slot];
+          break;
+        case Kind::kHistogram: {
+          HistogramSnapshot h;
+          h.edges = m.edges;
+          h.buckets.assign(totals.begin() + static_cast<std::ptrdiff_t>(m.slot),
+                           totals.begin() + static_cast<std::ptrdiff_t>(
+                                                m.slot + m.edges.size() + 1));
+          h.count = totals[m.slot + m.edges.size() + 1];
+          h.sum = totals[m.slot + m.edges.size() + 2];
+          snapshot.histograms[m.name] = std::move(h);
+          break;
+        }
+      }
+    }
+    return snapshot;
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired_.fill(0);
+    for (Shard* shard : shards_) {
+      for (std::size_t s = 0; s < next_slot_; ++s) {
+        shard->slots[s].store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  Registry() { retired_.fill(0); }
+
+  void MergeSlot(std::size_t slot, std::int64_t value,
+                 std::int64_t* accumulator) const {
+    if (slot_is_gauge_[slot]) {
+      *accumulator = std::max(*accumulator, value);
+    } else {
+      *accumulator += value;
+    }
+  }
+
+  std::mutex mu_;
+  std::deque<MetricInfo> metrics_;
+  std::map<std::string, MetricId, std::less<>> by_name_;
+  std::size_t next_slot_ = 0;
+  std::array<bool, kMaxSlots> slot_is_gauge_{};
+  std::vector<Shard*> shards_;
+  std::array<std::int64_t, kMaxSlots> retired_{};
+};
+
+// Lazily created per thread; merges into the registry on thread exit.
+struct ShardOwner {
+  Shard shard;
+  ShardOwner() { Registry::Get().Attach(&shard); }
+  ~ShardOwner() { Registry::Get().Retire(&shard); }
+};
+
+Shard& LocalShard() {
+  thread_local ShardOwner owner;
+  return owner.shard;
+}
+
+std::atomic<bool>& MetricsFlag() {
+  static std::atomic<bool> flag{[] {
+    bool enabled = internal::EnvFlag(
+        "CUISINE_METRICS", /*fallback=*/internal::EnvSet("CUISINE_RUN_REPORT"));
+    if (enabled) internal::InstallParallelHooks();
+    return enabled;
+  }()};
+  return flag;
+}
+
+}  // namespace
+
+namespace internal {
+
+bool EnvSet(const char* name) { return std::getenv(name) != nullptr; }
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  return !(lower.empty() || lower == "0" || lower == "false" ||
+           lower == "off" || lower == "no");
+}
+
+}  // namespace internal
+
+bool MetricsEnabled() {
+  return MetricsFlag().load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  if (enabled) internal::InstallParallelHooks();
+  MetricsFlag().store(enabled, std::memory_order_relaxed);
+}
+
+MetricId RegisterCounter(std::string_view name) {
+  return Registry::Get().Register(name, Kind::kCounter, {});
+}
+
+MetricId RegisterGauge(std::string_view name) {
+  return Registry::Get().Register(name, Kind::kGauge, {});
+}
+
+MetricId RegisterHistogram(std::string_view name,
+                           std::vector<std::int64_t> edges) {
+  return Registry::Get().Register(name, Kind::kHistogram, std::move(edges));
+}
+
+void CounterAdd(MetricId id, std::int64_t delta) {
+  if (!MetricsEnabled()) return;
+  const MetricInfo& info = Registry::Get().Info(id);
+  LocalShard().slots[info.slot].fetch_add(delta, std::memory_order_relaxed);
+}
+
+void GaugeMax(MetricId id, std::int64_t value) {
+  if (!MetricsEnabled()) return;
+  const MetricInfo& info = Registry::Get().Info(id);
+  // The shard has a single writer (its owning thread), so a plain
+  // load/compare/store max is exact.
+  std::atomic<std::int64_t>& slot = LocalShard().slots[info.slot];
+  if (value > slot.load(std::memory_order_relaxed)) {
+    slot.store(value, std::memory_order_relaxed);
+  }
+}
+
+void HistogramObserve(MetricId id, std::int64_t value) {
+  if (!MetricsEnabled()) return;
+  const MetricInfo& info = Registry::Get().Info(id);
+  Shard& shard = LocalShard();
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(info.edges.begin(), info.edges.end(), value) -
+      info.edges.begin());
+  // Layout: [buckets (edges+1)] [count] [sum].
+  shard.slots[info.slot + bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.slots[info.slot + info.edges.size() + 1].fetch_add(
+      1, std::memory_order_relaxed);
+  shard.slots[info.slot + info.edges.size() + 2].fetch_add(
+      value, std::memory_order_relaxed);
+}
+
+MetricsSnapshot CollectMetrics() { return Registry::Get().Collect(); }
+
+void ResetMetrics() { Registry::Get().Reset(); }
+
+}  // namespace obs
+}  // namespace cuisine

@@ -1,0 +1,115 @@
+// Process-global metrics registry: counters, gauges, and fixed-bucket
+// histograms for the whole pipeline (mining node counts, pdist
+// evaluations, k-means iterations, parallel-layer utilization, ...).
+//
+// Recording goes through per-thread shards, so instrumentation inside
+// `ParallelFor` bodies is contention-free. Every recorded value is an
+// int64 and every aggregation is a commutative integer reduction (sum for
+// counters and histogram buckets, max for gauges), so collected totals
+// are byte-identical no matter how work was scheduled across threads —
+// obs_test proves this at 1/4/8 threads.
+//
+// Enablement: off by default. CUISINE_METRICS=1 (or any truthy value) in
+// the environment, a CUISINE_RUN_REPORT path, or SetMetricsEnabled(true)
+// turns recording on. A disabled instrumentation point costs one relaxed
+// atomic load; call sites should batch hot-loop increments (one
+// CounterAdd per chunk, not per element) so the enabled cost stays
+// negligible too.
+
+#ifndef CUISINE_OBS_METRICS_H_
+#define CUISINE_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cuisine {
+namespace obs {
+
+using MetricId = std::size_t;
+
+/// True iff metric recording is on (resolved once from the environment,
+/// then controlled by SetMetricsEnabled).
+bool MetricsEnabled();
+
+/// Turns recording on/off process-wide. Enabling also installs the
+/// common/parallel observability hooks.
+void SetMetricsEnabled(bool enabled);
+
+/// Registers (or looks up) a metric by name. Registration is idempotent:
+/// two call sites naming the same metric share one id; the kind must
+/// match. Names use dotted lowercase paths ("cluster.pdist.evals").
+MetricId RegisterCounter(std::string_view name);
+MetricId RegisterGauge(std::string_view name);
+MetricId RegisterHistogram(std::string_view name,
+                           std::vector<std::int64_t> edges);
+
+/// Recording primitives. Safe from any thread, including ParallelFor
+/// workers; no-ops while metrics are disabled.
+void CounterAdd(MetricId id, std::int64_t delta);
+/// Records max(current, value); gauge values must be non-negative.
+void GaugeMax(MetricId id, std::int64_t value);
+/// Buckets `value`: bucket i counts values < edges[i] (first match); the
+/// final overflow bucket counts values >= edges.back().
+void HistogramObserve(MetricId id, std::int64_t value);
+
+struct HistogramSnapshot {
+  std::vector<std::int64_t> edges;
+  std::vector<std::int64_t> buckets;  // edges.size() + 1 entries
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+
+  bool operator==(const HistogramSnapshot& other) const = default;
+};
+
+/// Aggregated totals across all shards, keyed by metric name (sorted).
+struct MetricsSnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Aggregates every registered metric. Call from a quiescent point (no
+/// ParallelFor in flight) for exact totals.
+MetricsSnapshot CollectMetrics();
+
+/// Zeroes all recorded values (registrations survive). Must not race with
+/// recording threads; call between parallel regions.
+void ResetMetrics();
+
+}  // namespace obs
+}  // namespace cuisine
+
+/// Call-site sugar: registers on first (enabled) use, then records.
+/// `name` must be a string literal (the id is cached in a static).
+#define CUISINE_COUNTER_ADD(name, delta)                          \
+  do {                                                            \
+    if (::cuisine::obs::MetricsEnabled()) {                       \
+      static const ::cuisine::obs::MetricId cuisine_metric_id =   \
+          ::cuisine::obs::RegisterCounter(name);                  \
+      ::cuisine::obs::CounterAdd(cuisine_metric_id, (delta));     \
+    }                                                             \
+  } while (0)
+
+#define CUISINE_GAUGE_MAX(name, value)                            \
+  do {                                                            \
+    if (::cuisine::obs::MetricsEnabled()) {                       \
+      static const ::cuisine::obs::MetricId cuisine_metric_id =   \
+          ::cuisine::obs::RegisterGauge(name);                    \
+      ::cuisine::obs::GaugeMax(cuisine_metric_id, (value));       \
+    }                                                             \
+  } while (0)
+
+/// Trailing arguments are the int64 bucket edges (ascending).
+#define CUISINE_HISTOGRAM_OBSERVE(name, value, ...)                  \
+  do {                                                               \
+    if (::cuisine::obs::MetricsEnabled()) {                          \
+      static const ::cuisine::obs::MetricId cuisine_metric_id =      \
+          ::cuisine::obs::RegisterHistogram(name, {__VA_ARGS__});    \
+      ::cuisine::obs::HistogramObserve(cuisine_metric_id, (value));  \
+    }                                                                \
+  } while (0)
+
+#endif  // CUISINE_OBS_METRICS_H_

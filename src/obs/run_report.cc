@@ -1,0 +1,179 @@
+#include "obs/run_report.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "obs/internal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#ifndef CUISINE_GIT_DESCRIBE
+#define CUISINE_GIT_DESCRIBE "unknown"
+#endif
+#ifndef CUISINE_BUILD_TYPE
+#define CUISINE_BUILD_TYPE "unknown"
+#endif
+#ifndef CUISINE_VERSION
+#define CUISINE_VERSION "0.0.0"
+#endif
+
+namespace cuisine {
+namespace obs {
+
+namespace {
+
+std::mutex g_context_mu;
+
+std::map<std::string, std::string, std::less<>>& ContextMap() {
+  static auto* map = new std::map<std::string, std::string, std::less<>>();
+  return *map;
+}
+
+Json SpanToJson(const SpanTreeNode& node) {
+  Json out = Json::Object();
+  out.Set("count", Json::Int(node.count));
+  out.Set("total_ns", Json::Int(node.total_ns));
+  out.Set("self_ns", Json::Int(node.self_ns));
+  Json children = Json::Object();
+  for (const SpanTreeNode& child : node.children) {
+    children.Set(child.name, SpanToJson(child));
+  }
+  out.Set("children", std::move(children));
+  return out;
+}
+
+Json HistogramToJson(const HistogramSnapshot& histogram) {
+  Json out = Json::Object();
+  Json edges = Json::Array();
+  for (std::int64_t edge : histogram.edges) edges.Push(Json::Int(edge));
+  Json buckets = Json::Array();
+  for (std::int64_t bucket : histogram.buckets) buckets.Push(Json::Int(bucket));
+  out.Set("edges", std::move(edges));
+  out.Set("buckets", std::move(buckets));
+  out.Set("count", Json::Int(histogram.count));
+  out.Set("sum", Json::Int(histogram.sum));
+  return out;
+}
+
+}  // namespace
+
+void SetRunContext(std::string_view key, std::string value) {
+  std::lock_guard<std::mutex> lock(g_context_mu);
+  ContextMap().insert_or_assign(std::string(key), std::move(value));
+}
+
+void SetRunContext(std::string_view key, std::int64_t value) {
+  SetRunContext(key, std::to_string(value));
+}
+
+void ClearRunContext() {
+  std::lock_guard<std::mutex> lock(g_context_mu);
+  ContextMap().clear();
+}
+
+Json BuildRunReport(std::string_view name) {
+  Json report = Json::Object();
+  report.Set("schema_version", Json::Int(1));
+  report.Set("name", Json::Str(std::string(name)));
+
+  Json build = Json::Object();
+  build.Set("version", Json::Str(CUISINE_VERSION));
+  build.Set("git_describe", Json::Str(CUISINE_GIT_DESCRIBE));
+  build.Set("compiler", Json::Str(__VERSION__));
+  build.Set("build_type", Json::Str(CUISINE_BUILD_TYPE));
+  report.Set("build", std::move(build));
+
+  Json config = Json::Object();
+  config.Set("threads",
+             Json::Int(static_cast<std::int64_t>(ParallelThreadCount())));
+  config.Set("metrics_enabled", Json::Bool(MetricsEnabled()));
+  config.Set("trace_enabled", Json::Bool(TraceEnabled()));
+  report.Set("config", std::move(config));
+
+  Json context = Json::Object();
+  {
+    std::lock_guard<std::mutex> lock(g_context_mu);
+    for (const auto& [key, value] : ContextMap()) {
+      context.Set(key, Json::Str(value));
+    }
+  }
+  report.Set("context", std::move(context));
+
+  Json spans = Json::Object();
+  const SpanTreeNode root = CollectSpanTree();
+  for (const SpanTreeNode& child : root.children) {
+    spans.Set(child.name, SpanToJson(child));
+  }
+  report.Set("spans", std::move(spans));
+
+  const MetricsSnapshot snapshot = CollectMetrics();
+  Json metrics = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [counter_name, value] : snapshot.counters) {
+    counters.Set(counter_name, Json::Int(value));
+  }
+  Json gauges = Json::Object();
+  for (const auto& [gauge_name, value] : snapshot.gauges) {
+    gauges.Set(gauge_name, Json::Int(value));
+  }
+  Json histograms = Json::Object();
+  for (const auto& [histogram_name, histogram] : snapshot.histograms) {
+    histograms.Set(histogram_name, HistogramToJson(histogram));
+  }
+  metrics.Set("counters", std::move(counters));
+  metrics.Set("gauges", std::move(gauges));
+  metrics.Set("histograms", std::move(histograms));
+  report.Set("metrics", std::move(metrics));
+
+  return report;
+}
+
+Status WriteRunReport(std::string_view name, const std::string& path) {
+  const Json report = BuildRunReport(name);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open run report path: " + path);
+  }
+  out << report.Dump(/*indent=*/2) << '\n';
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing run report: " + path);
+  }
+  return Status::OK();
+}
+
+std::string RunReportPathOrDefault(std::string fallback) {
+  const char* env = std::getenv("CUISINE_RUN_REPORT");
+  if (env != nullptr && *env != '\0') return env;
+  return fallback;
+}
+
+RunReportSession::RunReportSession(std::string name, std::string path)
+    : name_(std::move(name)), path_(std::move(path)) {
+  ResetMetrics();
+  ResetTrace();
+  ClearRunContext();
+  // The session itself is the opt-in; the env vars remain an opt-out
+  // (CUISINE_METRICS=0 keeps a bench's hot loops uninstrumented).
+  SetMetricsEnabled(internal::EnvFlag("CUISINE_METRICS", /*fallback=*/true));
+  SetTraceEnabled(internal::EnvFlag("CUISINE_TRACE", /*fallback=*/true));
+}
+
+RunReportSession::~RunReportSession() {
+  if (path_.empty()) return;
+  if (!MetricsEnabled() && !TraceEnabled()) return;
+  Status status = WriteRunReport(name_, path_);
+  if (!status.ok()) {
+    CUISINE_LOG(Error) << "run report: " << status.ToString();
+  } else {
+    CUISINE_LOG(Info) << "run report written to " << path_;
+  }
+}
+
+}  // namespace obs
+}  // namespace cuisine

@@ -1,0 +1,85 @@
+// JSON run reports: one machine-readable document per pipeline/bench run
+// combining the trace span tree, all metric totals, and build/config
+// provenance (thread count, seed, scale, git describe). Reports from
+// different commits diff cleanly — the schema is stable, object members
+// are emitted in a fixed order, and map-valued sections are sorted by
+// key. EXPERIMENTS.md describes the capture/compare protocol.
+//
+// Schema (schema_version 1):
+//   {
+//     "schema_version": 1,
+//     "name": "bench_miners",
+//     "build":   { "version", "git_describe", "compiler", "build_type" },
+//     "config":  { "threads", "metrics_enabled", "trace_enabled" },
+//     "context": { <SetRunContext key/values, e.g. "generator.seed"> },
+//     "spans":   { "<name>": { "count", "total_ns", "self_ns",
+//                              "children": { ... } }, ... },
+//     "metrics": { "counters": {..}, "gauges": {..},
+//                  "histograms": { "<name>": { "edges", "buckets",
+//                                              "count", "sum" } } }
+//   }
+
+#ifndef CUISINE_OBS_RUN_REPORT_H_
+#define CUISINE_OBS_RUN_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace cuisine {
+namespace obs {
+
+/// Attaches a key/value pair to the "context" section of subsequent
+/// reports (e.g. the generator seed and scale). Re-setting a key
+/// overwrites it; keys appear in the report sorted.
+void SetRunContext(std::string_view key, std::string value);
+void SetRunContext(std::string_view key, std::int64_t value);
+
+/// Drops all context pairs (tests only).
+void ClearRunContext();
+
+/// Assembles the full report document from the current span tree, metric
+/// totals, and context. Call from a quiescent point.
+Json BuildRunReport(std::string_view name);
+
+/// Builds the report and writes it (pretty-printed) to `path`.
+Status WriteRunReport(std::string_view name, const std::string& path);
+
+/// The CUISINE_RUN_REPORT path if set and non-empty, else `fallback`.
+std::string RunReportPathOrDefault(std::string fallback);
+
+/// Scoped run-report capture for tool/bench entry points:
+///
+///   int main(...) {
+///     cuisine::obs::RunReportSession report(
+///         "bench_miners", cuisine::obs::RunReportPathOrDefault(
+///                             "BENCH_miners.json"));
+///     ...
+///   }
+///
+/// On construction, resets metrics + trace state and enables both unless
+/// the environment explicitly opts out (CUISINE_METRICS=0 /
+/// CUISINE_TRACE=0). On destruction, writes the report to `path` (empty
+/// path disables writing). Failures are logged, never fatal.
+class RunReportSession {
+ public:
+  RunReportSession(std::string name, std::string path);
+  ~RunReportSession();
+
+  RunReportSession(const RunReportSession&) = delete;
+  RunReportSession& operator=(const RunReportSession&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+};
+
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_RUN_REPORT_H_

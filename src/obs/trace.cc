@@ -1,0 +1,186 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+
+#include "common/parallel.h"
+#include "obs/internal.h"
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace obs {
+
+namespace internal {
+
+// Aggregated tree node: all span instances with the same name under the
+// same parent record into one node. Children only ever grow; stats are
+// relaxed atomics (recording threads are disjoint shard-style, and
+// collection happens at quiescent points).
+struct SpanNode {
+  explicit SpanNode(std::string span_name) : name(std::move(span_name)) {}
+
+  const std::string name;
+  std::mutex children_mu;
+  std::map<std::string, SpanNode*> children;
+  std::atomic<std::int64_t> count{0};
+  std::atomic<std::int64_t> total_ns{0};
+  std::atomic<std::int64_t> self_ns{0};
+
+  SpanNode* Child(const char* child_name) {
+    std::lock_guard<std::mutex> lock(children_mu);
+    auto it = children.find(child_name);
+    if (it != children.end()) return it->second;
+    // Nodes live for the process lifetime (reset only deletes quiescent
+    // subtrees), so raw new is fine.
+    SpanNode* node = new SpanNode(child_name);
+    children.emplace(node->name, node);
+    return node;
+  }
+};
+
+}  // namespace internal
+
+namespace {
+
+using internal::SpanNode;
+
+SpanNode* Root() {
+  static SpanNode* root = new SpanNode("root");
+  return root;
+}
+
+// Same-thread innermost live span (and its node); spans opened on this
+// thread nest under it and pause its self-time stopwatch.
+thread_local Span* t_current_span = nullptr;
+thread_local SpanNode* t_current_node = nullptr;
+
+// Parent node adopted from a ParallelFor dispatcher while this (pool)
+// thread drains chunks of its job.
+thread_local SpanNode* t_adopted_parent = nullptr;
+
+std::atomic<bool>& TraceFlag() {
+  static std::atomic<bool> flag{[] {
+    bool enabled = internal::EnvFlag(
+        "CUISINE_TRACE", /*fallback=*/internal::EnvSet("CUISINE_RUN_REPORT"));
+    if (enabled) internal::InstallParallelHooks();
+    return enabled;
+  }()};
+  return flag;
+}
+
+// --- common/parallel hooks -------------------------------------------------
+
+void* CaptureContext() {
+  return t_current_node != nullptr ? t_current_node : t_adopted_parent;
+}
+
+void AdoptContext(void* context) {
+  t_adopted_parent = static_cast<SpanNode*>(context);
+}
+
+void OnParallelForStats(const ParallelForStats& stats) {
+  if (!MetricsEnabled()) return;
+  CUISINE_COUNTER_ADD("parallel.loops", 1);
+  CUISINE_COUNTER_ADD("parallel.items", static_cast<std::int64_t>(stats.range));
+  CUISINE_COUNTER_ADD("parallel.chunks",
+                      static_cast<std::int64_t>(stats.chunks));
+  CUISINE_COUNTER_ADD("parallel.busy_ns",
+                      static_cast<std::int64_t>(stats.busy_ns_total));
+  CUISINE_COUNTER_ADD("parallel.wall_ns",
+                      static_cast<std::int64_t>(stats.wall_ns));
+  CUISINE_GAUGE_MAX("parallel.threads_used_max",
+                    static_cast<std::int64_t>(stats.threads_used));
+  if (stats.threads_used > 1 && stats.busy_ns_total > 0) {
+    // 100 = perfectly balanced; 200 = the busiest thread did twice the
+    // fair share. Only meaningful for pooled dispatches.
+    const std::int64_t imbalance_pct = static_cast<std::int64_t>(
+        stats.busy_ns_max * stats.threads_used * 100 / stats.busy_ns_total);
+    CUISINE_HISTOGRAM_OBSERVE("parallel.imbalance_pct", imbalance_pct, 105,
+                              110, 125, 150, 200, 400);
+  }
+}
+
+constexpr ParallelHooks kParallelHooks{&CaptureContext, &AdoptContext,
+                                       &OnParallelForStats};
+
+void CopyTree(SpanNode* node, SpanTreeNode* out) {
+  out->name = node->name;
+  out->count = node->count.load(std::memory_order_relaxed);
+  out->total_ns = node->total_ns.load(std::memory_order_relaxed);
+  out->self_ns = node->self_ns.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(node->children_mu);
+  out->children.reserve(node->children.size());
+  for (const auto& [name, child] : node->children) {
+    out->children.emplace_back();
+    CopyTree(child, &out->children.back());
+  }
+}
+
+void DeleteSubtree(SpanNode* node) {
+  for (const auto& [name, child] : node->children) {
+    DeleteSubtree(child);
+    delete child;
+  }
+  node->children.clear();
+}
+
+}  // namespace
+
+namespace internal {
+
+void InstallParallelHooks() {
+  static std::once_flag once;
+  std::call_once(once, [] { SetParallelHooks(&kParallelHooks); });
+}
+
+}  // namespace internal
+
+bool TraceEnabled() { return TraceFlag().load(std::memory_order_relaxed); }
+
+void SetTraceEnabled(bool enabled) {
+  if (enabled) internal::InstallParallelHooks();
+  TraceFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Span::Span(const char* name) {
+  if (!TraceEnabled()) return;
+  SpanNode* parent_node =
+      t_current_node != nullptr
+          ? t_current_node
+          : (t_adopted_parent != nullptr ? t_adopted_parent : Root());
+  node_ = parent_node->Child(name);
+  parent_ = t_current_span;
+  t_current_span = this;
+  t_current_node = node_;
+  if (parent_ != nullptr) parent_->self_.Stop();
+  total_.Start();
+  self_.Start();
+}
+
+Span::~Span() {
+  if (node_ == nullptr) return;
+  self_.Stop();
+  total_.Stop();
+  node_->count.fetch_add(1, std::memory_order_relaxed);
+  node_->total_ns.fetch_add(total_.ElapsedNanos(), std::memory_order_relaxed);
+  node_->self_ns.fetch_add(self_.ElapsedNanos(), std::memory_order_relaxed);
+  t_current_span = parent_;
+  t_current_node = parent_ != nullptr ? parent_->node_ : nullptr;
+  if (parent_ != nullptr) parent_->self_.Start();
+}
+
+SpanTreeNode CollectSpanTree() {
+  SpanTreeNode out;
+  CopyTree(Root(), &out);
+  return out;
+}
+
+void ResetTrace() {
+  SpanNode* root = Root();
+  std::lock_guard<std::mutex> lock(root->children_mu);
+  DeleteSubtree(root);
+}
+
+}  // namespace obs
+}  // namespace cuisine

@@ -1,0 +1,93 @@
+// RAII trace spans forming a thread-aware tree of wall time per pipeline
+// stage.
+//
+//   void ClusterPatternFeatures(...) {
+//     CUISINE_SPAN("cluster");        // nests under the caller's span
+//     ...
+//   }
+//
+// Aggregation: all instances with the same name under the same parent
+// share one tree node, which accumulates total wall time, self time
+// (total minus time spent in same-thread children, via StopWatch
+// pause/resume), and an instance count. The node tree is therefore
+// deterministic in shape and counts for a deterministic workload, while
+// the times are wall-clock measurements.
+//
+// ParallelFor: the caller's active span is captured before fan-out and
+// adopted by every pool worker (common/parallel hooks), so spans opened
+// inside worker lambdas nest under the span active at the call site —
+// e.g. "elbow" -> "kmeans" even when the k sweep fans out.
+//
+// Enablement mirrors metrics: off by default, turned on by CUISINE_TRACE,
+// a CUISINE_RUN_REPORT path, or SetTraceEnabled(true). A disabled span
+// costs one relaxed atomic load.
+
+#ifndef CUISINE_OBS_TRACE_H_
+#define CUISINE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+
+namespace cuisine {
+namespace obs {
+
+bool TraceEnabled();
+
+/// Turns tracing on/off process-wide. Enabling also installs the
+/// common/parallel observability hooks.
+void SetTraceEnabled(bool enabled);
+
+namespace internal {
+struct SpanNode;
+}  // namespace internal
+
+/// One live span instance. Use the CUISINE_SPAN macro rather than
+/// constructing directly.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  internal::SpanNode* node_ = nullptr;  // nullptr while tracing disabled
+  Span* parent_ = nullptr;              // same-thread enclosing span
+  StopWatch self_;
+  StopWatch total_;
+};
+
+/// Immutable snapshot of one aggregated span-tree node.
+struct SpanTreeNode {
+  std::string name;
+  std::int64_t count = 0;     // completed instances
+  std::int64_t total_ns = 0;  // summed wall time
+  std::int64_t self_ns = 0;   // total minus same-thread children
+  std::vector<SpanTreeNode> children;  // sorted by name
+};
+
+/// Copies the aggregated tree. The synthetic root (name "root") carries
+/// no timings of its own; its children are the top-level spans. Call from
+/// a quiescent point for stable numbers.
+SpanTreeNode CollectSpanTree();
+
+/// Discards all aggregated spans. Must not be called while spans are
+/// live or ParallelFor is in flight.
+void ResetTrace();
+
+}  // namespace obs
+}  // namespace cuisine
+
+#define CUISINE_SPAN_CONCAT_INNER_(a, b) a##b
+#define CUISINE_SPAN_CONCAT_(a, b) CUISINE_SPAN_CONCAT_INNER_(a, b)
+
+/// Opens a span covering the rest of the enclosing scope. `name` must be
+/// a string literal.
+#define CUISINE_SPAN(name) \
+  ::cuisine::obs::Span CUISINE_SPAN_CONCAT_(cuisine_span_, __LINE__)(name)
+
+#endif  // CUISINE_OBS_TRACE_H_

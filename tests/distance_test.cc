@@ -156,8 +156,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DistanceMetric::kJaccard, DistanceMetric::kManhattan,
                       DistanceMetric::kHamming,
                       DistanceMetric::kSquaredEuclidean),
-    [](const auto& info) {
-      return std::string(DistanceMetricName(info.param));
+    [](const auto& param_info) {
+      return std::string(DistanceMetricName(param_info.param));
     });
 
 }  // namespace

@@ -1,0 +1,131 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace cuisine {
+namespace {
+
+TEST(JsonTest, ScalarConstructionAndAccess) {
+  EXPECT_TRUE(Json().is_null());
+  EXPECT_TRUE(Json::Null().is_null());
+  EXPECT_EQ(Json::Bool(true).bool_value(), true);
+  EXPECT_EQ(Json::Int(-42).int_value(), -42);
+  EXPECT_DOUBLE_EQ(Json::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Json::Str("hi").string_value(), "hi");
+  // double_value also accepts ints (common when reading parsed documents).
+  EXPECT_DOUBLE_EQ(Json::Int(7).double_value(), 7.0);
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  Json obj = Json::Object();
+  obj.Set("zebra", Json::Int(1));
+  obj.Set("alpha", Json::Int(2));
+  obj.Set("mid", Json::Int(3));
+  EXPECT_EQ(obj.Dump(), R"({"zebra":1,"alpha":2,"mid":3})");
+  // Overwrite keeps the original position.
+  obj.Set("zebra", Json::Int(9));
+  EXPECT_EQ(obj.Dump(), R"({"zebra":9,"alpha":2,"mid":3})");
+}
+
+TEST(JsonTest, FindAndAt) {
+  Json obj = Json::Object();
+  obj.Set("key", Json::Str("value"));
+  ASSERT_NE(obj.Find("key"), nullptr);
+  EXPECT_EQ(obj.Find("key")->string_value(), "value");
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  EXPECT_EQ(Json::Int(1).Find("x"), nullptr);  // non-object: nullptr, no crash
+
+  Json arr = Json::Array();
+  arr.Push(Json::Int(10)).Push(Json::Int(20));
+  EXPECT_EQ(arr.size(), 2u);
+  EXPECT_EQ(arr.at(1).int_value(), 20);
+}
+
+TEST(JsonTest, DumpEscapesStrings) {
+  Json s = Json::Str("a\"b\\c\n\t\x01");
+  EXPECT_EQ(s.Dump(), R"("a\"b\\c\n\t\u0001")");
+}
+
+TEST(JsonTest, PrettyPrintIndents) {
+  Json obj = Json::Object();
+  obj.Set("a", Json::Int(1));
+  Json inner = Json::Array();
+  inner.Push(Json::Int(2));
+  obj.Set("b", std::move(inner));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonTest, ParseRoundTripsDocument) {
+  const std::string text =
+      R"({"name":"report","n":3,"pi":3.5,"ok":true,"none":null,)"
+      R"("list":[1,-2,3],"nested":{"x":"y"}})";
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Dump(), text);
+  EXPECT_EQ(parsed->Find("n")->int_value(), 3);
+  EXPECT_TRUE(parsed->Find("none")->is_null());
+  EXPECT_EQ(parsed->Find("list")->at(1).int_value(), -2);
+  EXPECT_EQ(parsed->Find("nested")->Find("x")->string_value(), "y");
+}
+
+TEST(JsonTest, ParseNumbers) {
+  auto big = Json::Parse("9223372036854775807");
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->is_int());
+  EXPECT_EQ(big->int_value(), std::numeric_limits<std::int64_t>::max());
+
+  // Overflowing int64 falls back to double instead of failing.
+  auto huge = Json::Parse("92233720368547758080");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_TRUE(huge->is_double());
+
+  auto sci = Json::Parse("-1.25e2");
+  ASSERT_TRUE(sci.ok());
+  EXPECT_DOUBLE_EQ(sci->double_value(), -125.0);
+}
+
+TEST(JsonTest, DoublesRoundTripExactly) {
+  const double value = 0.1 + 0.2;  // not representable, needs 17 digits
+  Json out = Json::Double(value);
+  auto parsed = Json::Parse(out.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->double_value(), value);
+  // Whole-number doubles keep a ".0" so the type survives a round trip.
+  auto whole = Json::Parse(Json::Double(3.0).Dump());
+  ASSERT_TRUE(whole.ok());
+  EXPECT_TRUE(whole->is_double());
+}
+
+TEST(JsonTest, ParseStringEscapes) {
+  auto parsed = Json::Parse(R"("a\"b\\\/\n\tAé")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->string_value(), "a\"b\\/\n\tA\xc3\xa9");
+
+  // Surrogate pair: U+1F35C (noodles, fittingly) as 🍜.
+  auto pair = Json::Parse(R"("🍜")");
+  ASSERT_TRUE(pair.ok()) << pair.status();
+  EXPECT_EQ(pair->string_value(), "\xf0\x9f\x8d\x9c");
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse(R"({"a":1,})").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("01").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{} trailing").ok());
+  EXPECT_FALSE(Json::Parse(R"("\uD83C")").ok());  // lone high surrogate
+}
+
+TEST(JsonTest, JsonEscapeStandalone) {
+  EXPECT_EQ(JsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(JsonEscape("tab\there"), "\"tab\\there\"");
+}
+
+}  // namespace
+}  // namespace cuisine

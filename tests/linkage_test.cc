@@ -193,8 +193,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(LinkageMethod::kSingle, LinkageMethod::kComplete,
                       LinkageMethod::kAverage, LinkageMethod::kWeighted,
                       LinkageMethod::kWard),
-    [](const auto& info) {
-      return std::string(LinkageMethodName(info.param));
+    [](const auto& param_info) {
+      return std::string(LinkageMethodName(param_info.param));
     });
 
 TEST(LinkageTest, ParseNames) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <regex>
+#include <thread>
+
 #include "common/timer.h"
 
 namespace cuisine {
@@ -49,9 +52,34 @@ TEST(LoggingTest, MessageCarriesLevelAndFile) {
   testing::internal::CaptureStderr();
   CUISINE_LOG(Warning) << "attention";
   std::string err = testing::internal::GetCapturedStderr();
-  EXPECT_NE(err.find("[WARN"), std::string::npos);
+  EXPECT_NE(err.find(" WARN "), std::string::npos);
   EXPECT_NE(err.find("logging_test.cc"), std::string::npos);
   EXPECT_NE(err.find("attention"), std::string::npos);
+}
+
+TEST(LoggingTest, MessageCarriesUtcTimestamp) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  CUISINE_LOG(Info) << "stamped";
+  std::string err = testing::internal::GetCapturedStderr();
+  // "[2026-08-06T12:34:56.789Z INFO ..." — ISO 8601 UTC with milliseconds.
+  std::regex stamp(R"(\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z )");
+  EXPECT_TRUE(std::regex_search(err, stamp)) << err;
+}
+
+TEST(LoggingTest, ParseLogLevelNamesAndDigits) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("WARNING"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("fatal"), LogLevel::kFatal);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("4"), LogLevel::kFatal);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("7"), std::nullopt);
 }
 
 TEST(CheckTest, PassingCheckIsSilent) {
@@ -76,12 +104,60 @@ TEST(TimerTest, MeasuresElapsedTime) {
   EXPECT_GE(t0, 0.0);
   // Busy-wait a tiny amount.
   volatile double sink = 0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   EXPECT_GE(timer.Seconds(), t0);
   EXPECT_NEAR(timer.Millis(), timer.Seconds() * 1000.0,
               timer.Seconds() * 50.0 + 1.0);
   timer.Reset();
   EXPECT_LT(timer.Seconds(), 1.0);
+}
+
+TEST(StopWatchTest, StartsStoppedAtZero) {
+  StopWatch watch;
+  EXPECT_FALSE(watch.running());
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+  EXPECT_EQ(watch.Seconds(), 0.0);
+}
+
+TEST(StopWatchTest, AccumulatesAcrossSegments) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  watch.Stop();
+  std::int64_t first = watch.ElapsedNanos();
+  EXPECT_GT(first, 0);
+
+  // While stopped, time does not advance.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(watch.ElapsedNanos(), first);
+
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  watch.Stop();
+  EXPECT_GT(watch.ElapsedNanos(), first);
+}
+
+TEST(StopWatchTest, RedundantStartStopAreNoOps) {
+  StopWatch watch;
+  watch.Stop();  // not running: no-op
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
+  watch.Start();
+  watch.Start();  // already running: no-op, does not restart the segment
+  EXPECT_TRUE(watch.running());
+  watch.Stop();
+  watch.Stop();
+  EXPECT_FALSE(watch.running());
+}
+
+TEST(StopWatchTest, ElapsedIncludesLiveSegment) {
+  StopWatch watch;
+  watch.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_GT(watch.ElapsedNanos(), 0);
+  EXPECT_TRUE(watch.running());
+  watch.Reset();
+  EXPECT_FALSE(watch.running());
+  EXPECT_EQ(watch.ElapsedNanos(), 0);
 }
 
 }  // namespace

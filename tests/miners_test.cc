@@ -155,7 +155,7 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_pair("fpgrowth", &MineFpGrowth),
                       std::make_pair("apriori", &MineApriori),
                       std::make_pair("eclat", &MineEclat)),
-    [](const auto& info) { return std::string(info.param.first); });
+    [](const auto& param_info) { return std::string(param_info.param.first); });
 
 // ---------------------------------------------------------------------------
 // Cross-consistency: the flagship property. Random databases across a
@@ -218,8 +218,8 @@ INSTANTIATE_TEST_SUITE_P(
                       ConsistencyCase{6, 0.15, 150, 20, 0.20},
                       ConsistencyCase{7, 0.25, 400, 10, 0.35},
                       ConsistencyCase{8, 0.40, 60, 14, 0.45}),
-    [](const auto& info) {
-      return "seed" + std::to_string(info.param.seed);
+    [](const auto& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
     });
 
 TEST(MinerOptionsTest, MinCountCeil) {

@@ -1,0 +1,223 @@
+// The obs contract the rest of the codebase leans on: metric totals are
+// byte-identical no matter how ParallelFor schedules the recording
+// threads, histograms bucket on exact edge semantics, disabled
+// instrumentation records nothing, and trace spans nest across the
+// parallel layer.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace {
+
+// Every test runs with obs enabled and a clean slate, and leaves the
+// layer disabled (the process default) for whoever runs next.
+class ObsTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    obs::SetTraceEnabled(true);
+    obs::ResetMetrics();
+    obs::ResetTrace();
+  }
+  void TearDown() override {
+    obs::ResetMetrics();
+    obs::ResetTrace();
+    obs::SetMetricsEnabled(false);
+    obs::SetTraceEnabled(false);
+    SetParallelThreads(1);
+  }
+};
+
+// A deterministic instrumented workload: counters, a gauge, and a
+// histogram recorded from inside a ParallelFor body.
+void RecordWorkload() {
+  constexpr std::size_t kItems = 1000;
+  ParallelFor(0, kItems, 7, [](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      CUISINE_COUNTER_ADD("test.items", 1);
+      CUISINE_COUNTER_ADD("test.weighted", static_cast<std::int64_t>(i));
+      CUISINE_GAUGE_MAX("test.max_index", static_cast<std::int64_t>(i));
+      CUISINE_HISTOGRAM_OBSERVE("test.value", static_cast<std::int64_t>(i),
+                                10, 100, 500);
+    }
+  });
+}
+
+TEST_F(ObsTest, AggregationIsIdenticalAcrossThreadCounts) {
+  std::vector<obs::MetricsSnapshot> snapshots;
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetMetrics();
+    RecordWorkload();
+    snapshots.push_back(obs::CollectMetrics());
+  }
+
+  for (std::size_t s = 1; s < snapshots.size(); ++s) {
+    // Deterministic metrics (everything "test.*") must match the serial
+    // run exactly. Timing-valued parallel.* metrics are excluded: wall
+    // time is not schedule-invariant by construction.
+    EXPECT_EQ(snapshots[s].counters.at("test.items"),
+              snapshots[0].counters.at("test.items"));
+    EXPECT_EQ(snapshots[s].counters.at("test.weighted"),
+              snapshots[0].counters.at("test.weighted"));
+    EXPECT_EQ(snapshots[s].gauges.at("test.max_index"),
+              snapshots[0].gauges.at("test.max_index"));
+    EXPECT_EQ(snapshots[s].histograms.at("test.value"),
+              snapshots[0].histograms.at("test.value"));
+    // The loop-shape metrics from the parallel layer are also invariant:
+    // one dispatch, the same chunk count.
+    EXPECT_EQ(snapshots[s].counters.at("parallel.loops"),
+              snapshots[0].counters.at("parallel.loops"));
+    EXPECT_EQ(snapshots[s].counters.at("parallel.items"),
+              snapshots[0].counters.at("parallel.items"));
+    EXPECT_EQ(snapshots[s].counters.at("parallel.chunks"),
+              snapshots[0].counters.at("parallel.chunks"));
+  }
+
+  const obs::MetricsSnapshot& serial = snapshots[0];
+  EXPECT_EQ(serial.counters.at("test.items"), 1000);
+  EXPECT_EQ(serial.counters.at("test.weighted"), 1000 * 999 / 2);
+  EXPECT_EQ(serial.gauges.at("test.max_index"), 999);
+  EXPECT_EQ(serial.counters.at("parallel.items"), 1000);
+}
+
+TEST_F(ObsTest, HistogramBucketEdges) {
+  const obs::MetricId id = obs::RegisterHistogram("test.edges", {10, 20});
+  obs::HistogramObserve(id, -5);  // below first edge -> bucket 0
+  obs::HistogramObserve(id, 9);   // < 10 -> bucket 0
+  obs::HistogramObserve(id, 10);  // == edge -> next bucket
+  obs::HistogramObserve(id, 19);  // < 20 -> bucket 1
+  obs::HistogramObserve(id, 20);  // == last edge -> overflow
+  obs::HistogramObserve(id, 1000);
+
+  obs::MetricsSnapshot snap = obs::CollectMetrics();
+  const obs::HistogramSnapshot& h = snap.histograms.at("test.edges");
+  ASSERT_EQ(h.edges, (std::vector<std::int64_t>{10, 20}));
+  ASSERT_EQ(h.buckets.size(), 3u);
+  EXPECT_EQ(h.buckets[0], 2);
+  EXPECT_EQ(h.buckets[1], 2);
+  EXPECT_EQ(h.buckets[2], 2);
+  EXPECT_EQ(h.count, 6);
+  EXPECT_EQ(h.sum, -5 + 9 + 10 + 19 + 20 + 1000);
+}
+
+TEST_F(ObsTest, DisabledRecordingIsANoOp) {
+  obs::SetMetricsEnabled(false);
+  // The macros skip registration entirely while disabled...
+  CUISINE_COUNTER_ADD("test.disabled_macro", 5);
+  // ...and the primitives drop values even for registered ids.
+  const obs::MetricId id = obs::RegisterCounter("test.disabled_direct");
+  obs::CounterAdd(id, 5);
+
+  obs::SetMetricsEnabled(true);
+  obs::MetricsSnapshot snap = obs::CollectMetrics();
+  EXPECT_EQ(snap.counters.count("test.disabled_macro"), 0u);
+  EXPECT_EQ(snap.counters.at("test.disabled_direct"), 0);
+}
+
+TEST_F(ObsTest, GaugeKeepsMaximum) {
+  const obs::MetricId id = obs::RegisterGauge("test.gauge");
+  obs::GaugeMax(id, 7);
+  obs::GaugeMax(id, 3);
+  obs::GaugeMax(id, 11);
+  obs::GaugeMax(id, 10);
+  EXPECT_EQ(obs::CollectMetrics().gauges.at("test.gauge"), 11);
+}
+
+TEST_F(ObsTest, RegistrationIsIdempotentAndKindChecked) {
+  const obs::MetricId a = obs::RegisterCounter("test.same");
+  const obs::MetricId b = obs::RegisterCounter("test.same");
+  EXPECT_EQ(a, b);
+  obs::CounterAdd(a, 2);
+  obs::CounterAdd(b, 3);
+  EXPECT_EQ(obs::CollectMetrics().counters.at("test.same"), 5);
+}
+
+TEST_F(ObsTest, ResetClearsValuesButKeepsRegistrations) {
+  const obs::MetricId id = obs::RegisterCounter("test.reset");
+  obs::CounterAdd(id, 9);
+  obs::ResetMetrics();
+  EXPECT_EQ(obs::CollectMetrics().counters.at("test.reset"), 0);
+  obs::CounterAdd(id, 4);
+  EXPECT_EQ(obs::CollectMetrics().counters.at("test.reset"), 4);
+}
+
+TEST_F(ObsTest, SpanTreeNestsThroughParallelFor) {
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetTrace();
+    {
+      CUISINE_SPAN("outer");
+      ParallelFor(0, 8, 1, [](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          CUISINE_SPAN("inner");
+        }
+      });
+    }
+    obs::SpanTreeNode root = obs::CollectSpanTree();
+    ASSERT_EQ(root.children.size(), 1u) << "threads=" << threads;
+    const obs::SpanTreeNode& outer = root.children[0];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(outer.count, 1);
+    // Spans opened on pool workers nest under the dispatching span.
+    ASSERT_EQ(outer.children.size(), 1u) << "threads=" << threads;
+    EXPECT_EQ(outer.children[0].name, "inner");
+    EXPECT_EQ(outer.children[0].count, 8);
+    EXPECT_GE(outer.total_ns, 0);
+  }
+}
+
+TEST_F(ObsTest, SpanSelfTimeExcludesSameThreadChildren) {
+  {
+    CUISINE_SPAN("parent");
+    {
+      CUISINE_SPAN("child");
+      // Do a little work inside the child so its total is non-trivial.
+      volatile std::int64_t sink = 0;
+      for (int i = 0; i < 200000; ++i) sink = sink + i;
+    }
+  }
+  obs::SpanTreeNode root = obs::CollectSpanTree();
+  ASSERT_EQ(root.children.size(), 1u);
+  const obs::SpanTreeNode& parent = root.children[0];
+  ASSERT_EQ(parent.children.size(), 1u);
+  const obs::SpanTreeNode& child = parent.children[0];
+  EXPECT_GE(parent.total_ns, child.total_ns);
+  EXPECT_LE(parent.self_ns, parent.total_ns - child.total_ns + 1000000)
+      << "self time should exclude the child's time";
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  obs::SetTraceEnabled(false);
+  {
+    CUISINE_SPAN("invisible");
+  }
+  obs::SetTraceEnabled(true);
+  EXPECT_TRUE(obs::CollectSpanTree().children.empty());
+}
+
+TEST_F(ObsTest, ParallelLoopCountIsThreadInvariant) {
+  // The serial fast path reports stats too, so parallel.loops counts
+  // dispatches, not pool entries.
+  for (std::size_t threads : {1u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetMetrics();
+    ParallelFor(0, 100, 10, [](std::size_t, std::size_t) {});
+    ParallelFor(0, 100, 10, [](std::size_t, std::size_t) {});
+    obs::MetricsSnapshot snap = obs::CollectMetrics();
+    EXPECT_EQ(snap.counters.at("parallel.loops"), 2) << "threads=" << threads;
+    EXPECT_EQ(snap.counters.at("parallel.chunks"), 20)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace cuisine
