@@ -12,6 +12,7 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
+#include "legacy_fpgrowth.h"
 
 namespace cuisine {
 namespace {
@@ -43,8 +44,9 @@ void PrintArtifact() {
                   std::to_string(max_size)});
   }
   std::cout << table.Render();
-  std::cout << "\nAll three miners verified to return identical pattern "
-               "sets (see miners_test).\n";
+  std::cout << "\nAll miners (FP-Growth, Apriori, Eclat, PrefixSpan) "
+               "verified to return identical pattern sets (see miners_test "
+               "and miner_differential_test).\n";
 }
 
 void BM_Miner(benchmark::State& state, MinerAlgorithm algo) {
@@ -75,6 +77,45 @@ BENCHMARK(BM_Apriori)->Arg(30)->Arg(20)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_Eclat)->Arg(30)->Arg(20)->Arg(10)
     ->Unit(benchmark::kMillisecond);
+
+// Old-vs-arena: the pre-arena node-per-allocation FP-Growth (kept
+// verbatim in legacy_fpgrowth.h) next to BM_FpGrowth above. The ratio is
+// the arena rewrite's serial win.
+void BM_FpGrowthLegacy(benchmark::State& state) {
+  static const TransactionDb db = LargestCuisineDb();
+  MinerOptions opt;
+  opt.min_support = static_cast<double>(state.range(0)) / 100.0;
+  for (auto _ : state) {
+    auto patterns = bench_legacy::MineFpGrowthLegacy(db, opt);
+    benchmark::DoNotOptimize(patterns.size());
+  }
+  state.SetLabel("support=" + FormatDouble(opt.min_support, 2) +
+                 " pre-arena baseline");
+}
+BENCHMARK(BM_FpGrowthLegacy)->Arg(30)->Arg(20)->Arg(10)
+    ->Unit(benchmark::kMillisecond);
+
+// Serial-vs-parallel: FP-Growth's first-level conditional-tree fan-out
+// (MinerOptions::num_threads) on the largest single cuisine. Thread
+// count 1 forces the serial recursion; the mined patterns are
+// byte-identical at every width (miner_differential_test).
+void BM_FpGrowthThreads(benchmark::State& state) {
+  static const TransactionDb db = LargestCuisineDb();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  SetParallelThreads(threads);
+  MinerOptions opt;
+  opt.min_support = 0.1;  // deep enough recursion to matter
+  opt.num_threads = threads;
+  for (auto _ : state) {
+    auto patterns = MineFpGrowth(db, opt);
+    CUISINE_CHECK(patterns.ok());
+    benchmark::DoNotOptimize(patterns->size());
+  }
+  state.SetLabel("support=0.10 num_threads=" + std::to_string(threads));
+  SetParallelThreads(0);
+}
+BENCHMARK(BM_FpGrowthThreads)->Arg(1)->Arg(2)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 // The paper's actual Table I workload — FP-Growth once per cuisine — at a
 // given thread count (0 = all hardware threads, 1 = serial baseline). The

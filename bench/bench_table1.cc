@@ -6,6 +6,7 @@
 // Timings: corpus generation and the full 26-cuisine FP-Growth run.
 
 #include "bench_util.h"
+#include "common/parallel.h"
 #include "core/report.h"
 
 namespace cuisine {
@@ -40,8 +41,15 @@ void BM_GenerateCorpus(benchmark::State& state) {
 BENCHMARK(BM_GenerateCorpus)->Arg(10)->Arg(50)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+// The full Table I mining stage at a given thread count (1 = serial
+// baseline, 0 = all hardware threads): per-cuisine FP-Growth fans out
+// across cuisines, and each cuisine's first recursion level fans out in
+// turn when spare width is configured (nested dispatches run inline, so
+// the two layers compose without oversubscription). Output is identical
+// at every width.
 void BM_MineAllCuisinesFpGrowth(benchmark::State& state) {
   const Dataset& ds = bench::PaperCorpus();
+  SetParallelThreads(static_cast<std::size_t>(state.range(0)));
   MinerOptions opt;
   opt.min_support = kPaperMinSupport;
   for (auto _ : state) {
@@ -49,8 +57,13 @@ void BM_MineAllCuisinesFpGrowth(benchmark::State& state) {
     CUISINE_CHECK(mined.ok());
     benchmark::DoNotOptimize(mined->size());
   }
+  state.SetLabel("threads=" + std::to_string(ParallelThreadCount()));
+  SetParallelThreads(0);
 }
-BENCHMARK(BM_MineAllCuisinesFpGrowth)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MineAllCuisinesFpGrowth)
+    ->Arg(1)  // serial baseline
+    ->Arg(0)  // hardware concurrency
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_BuildTable1Report(benchmark::State& state) {
   auto specs = BuildWorldCuisineSpecs();

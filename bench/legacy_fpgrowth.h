@@ -1,0 +1,235 @@
+// The pre-arena FP-Growth implementation, kept verbatim as a bench-only
+// baseline so bench_miners can report the old-vs-arena speedup row. The
+// tree here is the original node-per-allocation structure: an
+// unordered_map header table and a per-node `children` vector (one heap
+// allocation per branching node). Production code uses the arena tree in
+// src/mining/fptree.h; nothing outside bench_miners may include this.
+
+#ifndef CUISINE_BENCH_LEGACY_FPGROWTH_H_
+#define CUISINE_BENCH_LEGACY_FPGROWTH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "mining/itemset.h"
+#include "mining/miner.h"
+#include "mining/transaction.h"
+
+namespace cuisine {
+namespace bench_legacy {
+
+class LegacyFpTree {
+ public:
+  LegacyFpTree(const TransactionDb& db, std::size_t min_count) {
+    nodes_.emplace_back();  // root
+    if (min_count == 0) min_count = 1;
+    std::unordered_map<ItemId, std::size_t> counts;
+    for (const auto& t : db.transactions()) {
+      for (ItemId item : t) ++counts[item];
+    }
+    for (const auto& [item, count] : counts) {
+      if (count >= min_count) header_.emplace(item, HeaderEntry{count, -1});
+    }
+    if (header_.empty()) return;
+    for (const auto& t : db.transactions()) {
+      std::vector<ItemId> ordered = FilterAndOrder(t);
+      if (!ordered.empty()) Insert(ordered, 1);
+    }
+  }
+
+  bool empty() const { return header_.empty(); }
+
+  std::vector<ItemId> HeaderItemsAscending() const {
+    std::vector<ItemId> items;
+    items.reserve(header_.size());
+    for (const auto& [item, entry] : header_) items.push_back(item);
+    std::sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
+      std::size_t ca = header_.at(a).total_count;
+      std::size_t cb = header_.at(b).total_count;
+      if (ca != cb) return ca < cb;
+      return a > b;
+    });
+    return items;
+  }
+
+  std::size_t ItemCount(ItemId item) const {
+    auto it = header_.find(item);
+    return it == header_.end() ? 0 : it->second.total_count;
+  }
+
+  LegacyFpTree Conditional(ItemId item, std::size_t min_count) const {
+    std::vector<std::pair<std::vector<ItemId>, std::size_t>> base;
+    auto hit = header_.find(item);
+    if (hit != header_.end()) {
+      for (std::int32_t n = hit->second.first_node; n >= 0;
+           n = nodes_[n].header_next) {
+        std::vector<ItemId> prefix;
+        for (std::int32_t p = nodes_[n].parent; p > 0; p = nodes_[p].parent) {
+          prefix.push_back(nodes_[p].item);
+        }
+        std::reverse(prefix.begin(), prefix.end());
+        if (!prefix.empty()) base.emplace_back(std::move(prefix), nodes_[n].count);
+      }
+    }
+    LegacyFpTree tree;
+    tree.nodes_.emplace_back();
+    std::unordered_map<ItemId, std::size_t> counts;
+    for (const auto& [prefix, mult] : base) {
+      for (ItemId i : prefix) counts[i] += mult;
+    }
+    for (const auto& [i, count] : counts) {
+      if (count >= min_count) tree.header_.emplace(i, HeaderEntry{count, -1});
+    }
+    if (tree.header_.empty()) return tree;
+    for (const auto& [prefix, mult] : base) {
+      std::vector<ItemId> ordered = tree.FilterAndOrder(prefix);
+      if (!ordered.empty()) tree.Insert(ordered, mult);
+    }
+    return tree;
+  }
+
+  bool IsSinglePath() const {
+    std::int32_t current = 0;
+    while (true) {
+      const auto& children = nodes_[current].children;
+      if (children.empty()) return true;
+      if (children.size() > 1) return false;
+      current = children[0].second;
+    }
+  }
+
+  std::vector<std::pair<ItemId, std::size_t>> SinglePathItems() const {
+    std::vector<std::pair<ItemId, std::size_t>> path;
+    std::int32_t current = 0;
+    while (!nodes_[current].children.empty()) {
+      current = nodes_[current].children[0].second;
+      path.emplace_back(nodes_[current].item, nodes_[current].count);
+    }
+    return path;
+  }
+
+ private:
+  struct Node {
+    ItemId item = kInvalidItemId;
+    std::size_t count = 0;
+    std::int32_t parent = -1;
+    std::int32_t header_next = -1;
+    std::vector<std::pair<ItemId, std::int32_t>> children;
+  };
+  struct HeaderEntry {
+    std::size_t total_count = 0;
+    std::int32_t first_node = -1;
+  };
+
+  LegacyFpTree() = default;
+
+  std::vector<ItemId> FilterAndOrder(const std::vector<ItemId>& items) const {
+    std::vector<ItemId> out;
+    out.reserve(items.size());
+    for (ItemId item : items) {
+      if (header_.count(item)) out.push_back(item);
+    }
+    std::sort(out.begin(), out.end(), [&](ItemId a, ItemId b) {
+      std::size_t ca = header_.at(a).total_count;
+      std::size_t cb = header_.at(b).total_count;
+      if (ca != cb) return ca > cb;
+      return a < b;
+    });
+    return out;
+  }
+
+  void Insert(const std::vector<ItemId>& ordered_items, std::size_t count) {
+    std::int32_t current = 0;
+    for (ItemId item : ordered_items) {
+      std::int32_t child = -1;
+      for (const auto& [cid, cnode] : nodes_[current].children) {
+        if (cid == item) {
+          child = cnode;
+          break;
+        }
+      }
+      if (child < 0) {
+        child = static_cast<std::int32_t>(nodes_.size());
+        Node node;
+        node.item = item;
+        node.parent = current;
+        HeaderEntry& entry = header_.at(item);
+        node.header_next = entry.first_node;
+        entry.first_node = child;
+        nodes_.push_back(std::move(node));
+        nodes_[current].children.emplace_back(item, child);
+      }
+      nodes_[child].count += count;
+      current = child;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::unordered_map<ItemId, HeaderEntry> header_;
+};
+
+struct LegacyMineContext {
+  std::size_t min_count = 1;
+  std::size_t total_transactions = 0;
+  std::vector<FrequentItemset>* out = nullptr;
+
+  void Emit(Itemset items, std::size_t count) {
+    FrequentItemset f;
+    f.items = std::move(items);
+    f.count = count;
+    f.support = static_cast<double>(count) /
+                static_cast<double>(total_transactions);
+    out->push_back(std::move(f));
+  }
+};
+
+inline void LegacyMineTree(const LegacyFpTree& tree, const Itemset& suffix,
+                           LegacyMineContext* ctx) {
+  if (tree.IsSinglePath()) {
+    auto path = tree.SinglePathItems();
+    if (!path.empty() && path.size() <= 20) {
+      for (std::uint32_t mask = 1; mask < (1u << path.size()); ++mask) {
+        std::vector<ItemId> items = suffix.items();
+        std::size_t count = std::numeric_limits<std::size_t>::max();
+        for (std::size_t b = 0; b < path.size(); ++b) {
+          if (mask & (1u << b)) {
+            items.push_back(path[b].first);
+            count = std::min(count, path[b].second);
+          }
+        }
+        ctx->Emit(Itemset(std::move(items)), count);
+      }
+      return;
+    }
+  }
+  for (ItemId item : tree.HeaderItemsAscending()) {
+    std::size_t count = tree.ItemCount(item);
+    Itemset extended = suffix.With(item);
+    ctx->Emit(extended, count);
+    LegacyFpTree conditional = tree.Conditional(item, ctx->min_count);
+    if (!conditional.empty()) LegacyMineTree(conditional, extended, ctx);
+  }
+}
+
+/// The pre-arena serial FP-Growth: the bench baseline "old" rows.
+inline std::vector<FrequentItemset> MineFpGrowthLegacy(
+    const TransactionDb& db, const MinerOptions& options) {
+  std::vector<FrequentItemset> out;
+  if (db.empty()) return out;
+  LegacyMineContext ctx;
+  ctx.min_count = options.MinCount(db.size());
+  ctx.total_transactions = db.size();
+  ctx.out = &out;
+  LegacyFpTree tree(db, ctx.min_count);
+  if (!tree.empty()) LegacyMineTree(tree, Itemset(), &ctx);
+  SortPatternsCanonical(&out);
+  return out;
+}
+
+}  // namespace bench_legacy
+}  // namespace cuisine
+
+#endif  // CUISINE_BENCH_LEGACY_FPGROWTH_H_

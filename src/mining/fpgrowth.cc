@@ -3,14 +3,25 @@
 // Recursively projects the FP-tree on each header item (ascending
 // frequency), emitting suffix-extended itemsets. Single-path subtrees are
 // enumerated directly (the classic optimization) when short enough.
+//
+// The first level of the recursion — one conditional tree per frequent
+// item — is embarrassingly parallel: each item's subtree is mined into
+// its own pre-sized result slot via common/parallel.h ParallelFor, and
+// the slots are concatenated in item order before the canonical sort, so
+// the output is byte-identical to the serial recursion at any thread
+// count (see miner_differential_test). Nested calls (e.g. from inside
+// MineAllCuisines' per-cuisine fan-out) degrade to the serial path
+// automatically, as ParallelFor runs nested dispatches inline.
 
 #include <algorithm>
 #include <limits>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "mining/fptree.h"
 #include "mining/miner.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace cuisine {
 namespace {
@@ -75,6 +86,22 @@ void MineTree(const FpTree& tree, const Itemset& suffix, MineContext* ctx) {
   }
 }
 
+// Mines the subtree of one first-level item (the item's singleton pattern
+// plus everything below its conditional tree) into `ctx->out`.
+void MineFirstLevelItem(const FpTree& tree, ItemId item, MineContext* ctx) {
+  std::size_t count = tree.ItemCount(item);
+  Itemset singleton({item});
+  if (ctx->SizeCapped(singleton.size())) return;
+  ctx->Emit(singleton, count);
+  FpTree conditional = tree.Conditional(item, ctx->min_count);
+  if (!conditional.empty()) {
+    CUISINE_COUNTER_ADD("mining.fptree.conditional_trees", 1);
+    CUISINE_COUNTER_ADD("mining.fptree.conditional_nodes",
+                        static_cast<std::int64_t>(conditional.NodeCount()));
+    MineTree(conditional, singleton, ctx);
+  }
+}
+
 }  // namespace
 
 Result<std::vector<FrequentItemset>> MineFpGrowth(const TransactionDb& db,
@@ -82,21 +109,66 @@ Result<std::vector<FrequentItemset>> MineFpGrowth(const TransactionDb& db,
   CUISINE_RETURN_NOT_OK(options.Validate());
   std::vector<FrequentItemset> out;
   if (db.empty()) return out;
+  CUISINE_SPAN("fpgrowth");
 
-  MineContext ctx;
-  ctx.min_count = options.MinCount(db.size());
-  ctx.total_transactions = db.size();
-  ctx.max_pattern_size = options.max_pattern_size;
-  ctx.out = &out;
+  const std::size_t min_count = options.MinCount(db.size());
+  const std::size_t total = db.size();
 
-  FpTree tree(db, ctx.min_count);
+  FpTree tree(db, min_count);
   CUISINE_COUNTER_ADD("mining.fptree.trees", 1);
   CUISINE_COUNTER_ADD("mining.fptree.nodes",
                       static_cast<std::int64_t>(tree.NodeCount()));
   CUISINE_GAUGE_MAX("mining.fptree.max_nodes",
                     static_cast<std::int64_t>(tree.NodeCount()));
-  if (!tree.empty()) {
+  CUISINE_GAUGE_MAX("mining.fptree.max_arena_bytes",
+                    static_cast<std::int64_t>(tree.ArenaBytes()));
+  if (tree.empty()) return out;
+
+  // options.num_threads: 0 = follow the global parallel configuration,
+  // 1 = serial recursion, n = at most n-wide first-level fan-out.
+  //
+  // The dispatch shape (and with it every deterministic obs counter) must
+  // depend only on the options and the data, never on the resolved pool
+  // width: metrics are byte-identical at every CUISINE_THREADS value. So
+  // num_threads == 0 always goes through ParallelFor with grain 1 — a
+  // one-thread pool runs the chunks inline — and only an explicit
+  // num_threads == 1 selects the plain serial recursion.
+  const std::vector<ItemId> items = tree.HeaderItemsAscending();
+
+  if (options.num_threads == 1 || items.size() <= 1 || tree.IsSinglePath()) {
+    MineContext ctx;
+    ctx.min_count = min_count;
+    ctx.total_transactions = total;
+    ctx.max_pattern_size = options.max_pattern_size;
+    ctx.out = &out;
     MineTree(tree, Itemset(), &ctx);
+  } else {
+    // One result slot per first-level item; chunking by ceil(n/threads)
+    // caps the fan-out width at `num_threads` without touching the global
+    // pool configuration.
+    CUISINE_COUNTER_ADD("mining.fpgrowth.parallel_roots", 1);
+    std::vector<std::vector<FrequentItemset>> slots(items.size());
+    const std::size_t grain =
+        options.num_threads == 0
+            ? 1
+            : (items.size() + options.num_threads - 1) / options.num_threads;
+    ParallelFor(0, items.size(), grain, [&](std::size_t lo, std::size_t hi) {
+      CUISINE_SPAN("fpgrowth_items");
+      for (std::size_t i = lo; i < hi; ++i) {
+        MineContext ctx;
+        ctx.min_count = min_count;
+        ctx.total_transactions = total;
+        ctx.max_pattern_size = options.max_pattern_size;
+        ctx.out = &slots[i];
+        MineFirstLevelItem(tree, items[i], &ctx);
+      }
+    });
+    std::size_t mined = 0;
+    for (const auto& slot : slots) mined += slot.size();
+    out.reserve(mined);
+    for (auto& slot : slots) {
+      for (auto& p : slot) out.push_back(std::move(p));
+    }
   }
   SortPatternsCanonical(&out);
   return out;

@@ -4,67 +4,86 @@
 
 namespace cuisine {
 
+FpTree::FpTree() { nodes_.emplace_back(); }
+
 FpTree::FpTree(const TransactionDb& db, std::size_t min_count) {
   nodes_.emplace_back();  // root
   if (min_count == 0) min_count = 1;  // "keep all" semantics
 
-  // Pass 1: global item counts.
-  std::unordered_map<ItemId, std::size_t> counts;
+  // Pass 1: global item counts into a dense universe-sized array.
+  const std::size_t universe = db.ItemUniverseSize();
+  std::vector<std::size_t> counts(universe, 0);
   for (const auto& t : db.transactions()) {
     for (ItemId item : t) ++counts[item];
   }
-  for (const auto& [item, count] : counts) {
-    if (count >= min_count) {
-      header_.emplace(item, HeaderEntry{count, -1});
+  std::vector<std::pair<ItemId, std::size_t>> freq;
+  std::size_t frequent_occurrences = 0;
+  for (std::size_t i = 0; i < universe; ++i) {
+    if (counts[i] >= min_count) {
+      freq.emplace_back(static_cast<ItemId>(i), counts[i]);
+      frequent_occurrences += counts[i];
     }
   }
+  BuildHeader(&freq);
   if (header_.empty()) return;
 
-  // Pass 2: insert ordered, filtered transactions.
+  // Worst case (no prefix sharing) is one node per frequent occurrence;
+  // cap the reservation so degenerate inputs cannot balloon memory.
+  nodes_.reserve(std::min<std::size_t>(1 + frequent_occurrences, 1u << 20));
+
+  // Pass 2: translate each transaction to ranks (ascending rank ==
+  // descending frequency, ties ascending id) and insert. The scratch
+  // buffer is reused across transactions.
+  std::vector<std::int32_t> ranks;
   for (const auto& t : db.transactions()) {
-    std::vector<ItemId> ordered = FilterAndOrder(t);
-    if (!ordered.empty()) Insert(ordered, 1);
+    ranks.clear();
+    for (ItemId item : t) {
+      std::int32_t r = RankOf(item);
+      if (r >= 0) ranks.push_back(r);
+    }
+    if (ranks.empty()) continue;
+    std::sort(ranks.begin(), ranks.end());
+    InsertRanks(ranks.data(), ranks.size(), 1);
   }
 }
 
-std::vector<ItemId> FpTree::FilterAndOrder(
-    const std::vector<ItemId>& items) const {
-  std::vector<ItemId> out;
-  out.reserve(items.size());
-  for (ItemId item : items) {
-    if (header_.count(item)) out.push_back(item);
+void FpTree::BuildHeader(std::vector<std::pair<ItemId, std::size_t>>* freq) {
+  std::sort(freq->begin(), freq->end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  header_.clear();
+  header_.reserve(freq->size());
+  ItemId max_item = 0;
+  for (const auto& [item, count] : *freq) max_item = std::max(max_item, item);
+  item_to_rank_.assign(freq->empty() ? 0 : max_item + 1, -1);
+  for (const auto& [item, count] : *freq) {
+    item_to_rank_[item] = static_cast<std::int32_t>(header_.size());
+    header_.push_back(HeaderEntry{item, count, -1});
   }
-  std::sort(out.begin(), out.end(), [&](ItemId a, ItemId b) {
-    std::size_t ca = header_.at(a).total_count;
-    std::size_t cb = header_.at(b).total_count;
-    if (ca != cb) return ca > cb;
-    return a < b;
-  });
-  return out;
 }
 
-void FpTree::Insert(const std::vector<ItemId>& ordered_items,
-                    std::size_t count) {
+void FpTree::InsertRanks(const std::int32_t* ranks, std::size_t n,
+                         std::size_t count) {
   std::int32_t current = 0;  // root
-  for (ItemId item : ordered_items) {
-    std::int32_t child = -1;
-    for (const auto& [cid, cnode] : nodes_[current].children) {
-      if (cid == item) {
-        child = cnode;
-        break;
-      }
+  for (std::size_t i = 0; i < n; ++i) {
+    HeaderEntry& entry = header_[ranks[i]];
+    const ItemId item = entry.item;
+    std::int32_t child = nodes_[current].first_child;
+    while (child >= 0 && nodes_[child].item != item) {
+      child = nodes_[child].next_sibling;
     }
     if (child < 0) {
       child = static_cast<std::int32_t>(nodes_.size());
       Node node;
       node.item = item;
       node.parent = current;
-      HeaderEntry& entry = header_.at(item);
+      node.next_sibling = nodes_[current].first_child;
       node.header_next = entry.first_node;
       entry.first_node = child;
-      // NOTE: push_back may reallocate; take children reference afterwards.
-      nodes_.push_back(std::move(node));
-      nodes_[current].children.emplace_back(item, child);
+      nodes_.push_back(node);
+      nodes_[current].first_child = child;
     }
     nodes_[child].count += count;
     current = child;
@@ -72,29 +91,27 @@ void FpTree::Insert(const std::vector<ItemId>& ordered_items,
 }
 
 std::vector<ItemId> FpTree::HeaderItemsAscending() const {
+  // header_ is rank order (count descending, ties ascending id); its
+  // reverse is exactly ascending count with ties descending id.
   std::vector<ItemId> items;
   items.reserve(header_.size());
-  for (const auto& [item, entry] : header_) items.push_back(item);
-  std::sort(items.begin(), items.end(), [&](ItemId a, ItemId b) {
-    std::size_t ca = header_.at(a).total_count;
-    std::size_t cb = header_.at(b).total_count;
-    if (ca != cb) return ca < cb;
-    return a > b;
-  });
+  for (auto it = header_.rbegin(); it != header_.rend(); ++it) {
+    items.push_back(it->item);
+  }
   return items;
 }
 
 std::size_t FpTree::ItemCount(ItemId item) const {
-  auto it = header_.find(item);
-  return it == header_.end() ? 0 : it->second.total_count;
+  std::int32_t r = RankOf(item);
+  return r < 0 ? 0 : header_[r].total_count;
 }
 
 std::vector<std::pair<std::vector<ItemId>, std::size_t>>
 FpTree::ConditionalPatternBase(ItemId item) const {
   std::vector<std::pair<std::vector<ItemId>, std::size_t>> base;
-  auto it = header_.find(item);
-  if (it == header_.end()) return base;
-  for (std::int32_t n = it->second.first_node; n >= 0;
+  std::int32_t r = RankOf(item);
+  if (r < 0) return base;
+  for (std::int32_t n = header_[r].first_node; n >= 0;
        n = nodes_[n].header_next) {
     std::vector<ItemId> prefix;
     for (std::int32_t p = nodes_[n].parent; p > 0; p = nodes_[p].parent) {
@@ -109,23 +126,56 @@ FpTree::ConditionalPatternBase(ItemId item) const {
 }
 
 FpTree FpTree::Conditional(ItemId item, std::size_t min_count) const {
-  auto base = ConditionalPatternBase(item);
-
   FpTree tree;
-  tree.nodes_.emplace_back();  // root
+  if (min_count == 0) min_count = 1;
+  std::int32_t r = RankOf(item);
+  if (r < 0) return tree;
 
-  std::unordered_map<ItemId, std::size_t> counts;
-  for (const auto& [prefix, mult] : base) {
-    for (ItemId i : prefix) counts[i] += mult;
+  // Walk the item's header chain once, flattening every prefix path into
+  // one scratch buffer of *parent ranks* (ancestors of a rank-r node
+  // always have rank < r, because insertion follows ascending rank) while
+  // accumulating per-rank counts. No per-path vector is allocated.
+  struct PathRef {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t mult = 0;
+  };
+  std::vector<std::int32_t> flat;
+  std::vector<PathRef> paths;
+  std::vector<std::size_t> counts(static_cast<std::size_t>(r), 0);
+  for (std::int32_t n = header_[r].first_node; n >= 0;
+       n = nodes_[n].header_next) {
+    const std::size_t mult = nodes_[n].count;
+    const std::size_t begin = flat.size();
+    for (std::int32_t p = nodes_[n].parent; p > 0; p = nodes_[p].parent) {
+      std::int32_t pr = RankOf(nodes_[p].item);
+      flat.push_back(pr);
+      counts[pr] += mult;
+    }
+    if (flat.size() > begin) paths.push_back(PathRef{begin, flat.size(), mult});
   }
-  for (const auto& [i, count] : counts) {
-    if (count >= min_count) tree.header_.emplace(i, HeaderEntry{count, -1});
+
+  std::vector<std::pair<ItemId, std::size_t>> freq;
+  for (std::int32_t pr = 0; pr < r; ++pr) {
+    if (counts[pr] >= min_count) {
+      freq.emplace_back(header_[pr].item, counts[pr]);
+    }
   }
+  tree.BuildHeader(&freq);
   if (tree.header_.empty()) return tree;
 
-  for (const auto& [prefix, mult] : base) {
-    std::vector<ItemId> ordered = tree.FilterAndOrder(prefix);
-    if (!ordered.empty()) tree.Insert(ordered, mult);
+  // Re-rank each path in the child's frequency order and insert. Parent
+  // rank order need not survive re-counting, so each path re-sorts.
+  std::vector<std::int32_t> ranks;
+  for (const PathRef& path : paths) {
+    ranks.clear();
+    for (std::size_t i = path.begin; i < path.end; ++i) {
+      std::int32_t cr = tree.RankOf(header_[flat[i]].item);
+      if (cr >= 0) ranks.push_back(cr);
+    }
+    if (ranks.empty()) continue;
+    std::sort(ranks.begin(), ranks.end());
+    tree.InsertRanks(ranks.data(), ranks.size(), path.mult);
   }
   return tree;
 }
@@ -133,19 +183,19 @@ FpTree FpTree::Conditional(ItemId item, std::size_t min_count) const {
 bool FpTree::IsSinglePath() const {
   std::int32_t current = 0;
   while (true) {
-    const auto& children = nodes_[current].children;
-    if (children.empty()) return true;
-    if (children.size() > 1) return false;
-    current = children[0].second;
+    std::int32_t child = nodes_[current].first_child;
+    if (child < 0) return true;
+    if (nodes_[child].next_sibling >= 0) return false;
+    current = child;
   }
 }
 
 std::vector<std::pair<ItemId, std::size_t>> FpTree::SinglePathItems() const {
   std::vector<std::pair<ItemId, std::size_t>> path;
-  std::int32_t current = 0;
-  while (!nodes_[current].children.empty()) {
-    current = nodes_[current].children[0].second;
+  std::int32_t current = nodes_[0].first_child;
+  while (current >= 0) {
     path.emplace_back(nodes_[current].item, nodes_[current].count);
+    current = nodes_[current].first_child;
   }
   return path;
 }

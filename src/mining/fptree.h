@@ -2,12 +2,22 @@
 // FP-Growth. Transactions are inserted with items reordered by descending
 // global frequency so that common prefixes share nodes; per-item header
 // chains link all nodes of an item for conditional-pattern-base extraction.
+//
+// Storage is a single contiguous arena: every node lives in one
+// `std::vector<Node>` and all structure (parent, first-child,
+// next-sibling, header chain) is expressed as 32-bit indices into it, so
+// building a tree performs no per-node heap allocation and traversals
+// stay cache-friendly. The header table is likewise a dense array indexed
+// by *rank* — the position of an item in the (count-descending, id-
+// ascending) frequency order — with an item->rank lookup vector replacing
+// the old per-item hash map. Transactions are translated to ranks once and
+// inserted in ascending-rank order, which is exactly the descending-
+// frequency order FP-Growth requires.
 
 #ifndef CUISINE_MINING_FPTREE_H_
 #define CUISINE_MINING_FPTREE_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "data/item.h"
@@ -15,7 +25,7 @@
 
 namespace cuisine {
 
-/// Arena-allocated FP-tree with header table.
+/// Arena-allocated FP-tree with a dense rank-indexed header table.
 class FpTree {
  public:
   /// Builds the tree over `db` keeping only items with absolute support
@@ -24,6 +34,9 @@ class FpTree {
 
   /// True iff no frequent item survived the threshold.
   bool empty() const { return header_.empty(); }
+
+  /// Number of distinct frequent items (header entries).
+  std::size_t NumItems() const { return header_.size(); }
 
   /// Frequent items in ascending total-count order (the order FP-Growth
   /// processes suffixes in).
@@ -45,6 +58,10 @@ class FpTree {
   /// memory accounting.
   std::size_t NodeCount() const { return nodes_.size() - 1; }
 
+  /// Bytes held by the node arena (capacity, not size) — the tree's
+  /// dominant allocation, exposed for metrics.
+  std::size_t ArenaBytes() const { return nodes_.capacity() * sizeof(Node); }
+
   /// True iff the tree consists of a single chain from the root.
   bool IsSinglePath() const;
 
@@ -53,32 +70,43 @@ class FpTree {
   std::vector<std::pair<ItemId, std::size_t>> SinglePathItems() const;
 
  private:
+  // Plain-old-data node: 32-bit links into the arena instead of pointers,
+  // so vector reallocation is a memcpy and nodes never own heap memory.
   struct Node {
     ItemId item = kInvalidItemId;
     std::size_t count = 0;
     std::int32_t parent = -1;
-    std::int32_t header_next = -1;  // next node of the same item
-    // Children as (item, node index); linear scan — alphabets are small.
-    std::vector<std::pair<ItemId, std::int32_t>> children;
+    std::int32_t first_child = -1;
+    std::int32_t next_sibling = -1;   // next child of the same parent
+    std::int32_t header_next = -1;    // next node of the same item
   };
 
   struct HeaderEntry {
+    ItemId item = kInvalidItemId;
     std::size_t total_count = 0;
     std::int32_t first_node = -1;
   };
 
   // Private raw constructor for Conditional().
-  FpTree() = default;
+  FpTree();
 
-  // Inserts one (ordered) transaction with multiplicity `count`.
-  void Insert(const std::vector<ItemId>& ordered_items, std::size_t count);
+  // Rank of `item` in the frequency order, or -1 if infrequent.
+  std::int32_t RankOf(ItemId item) const {
+    return item < item_to_rank_.size() ? item_to_rank_[item] : -1;
+  }
 
-  // Orders `items` by descending total count (ties: ascending id),
-  // dropping infrequent ones.
-  std::vector<ItemId> FilterAndOrder(const std::vector<ItemId>& items) const;
+  // Sorts `freq` into rank order (count descending, ties ascending id)
+  // and fills header_ / item_to_rank_ from it.
+  void BuildHeader(std::vector<std::pair<ItemId, std::size_t>>* freq);
 
-  std::vector<Node> nodes_;  // nodes_[0] is the root
-  std::unordered_map<ItemId, HeaderEntry> header_;
+  // Inserts one transaction given as ascending ranks with multiplicity
+  // `count`.
+  void InsertRanks(const std::int32_t* ranks, std::size_t n,
+                   std::size_t count);
+
+  std::vector<Node> nodes_;             // nodes_[0] is the root
+  std::vector<HeaderEntry> header_;     // indexed by rank
+  std::vector<std::int32_t> item_to_rank_;  // dense; -1 = infrequent
 };
 
 }  // namespace cuisine

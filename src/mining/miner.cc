@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "mining/prefixspan.h"
+
 namespace cuisine {
 
 std::size_t MinerOptions::MinCount(std::size_t num_transactions) const {
@@ -26,8 +28,37 @@ std::string_view MinerAlgorithmName(MinerAlgorithm algo) {
       return "apriori";
     case MinerAlgorithm::kEclat:
       return "eclat";
+    case MinerAlgorithm::kPrefixSpan:
+      return "prefixspan";
   }
   return "?";
+}
+
+Result<std::vector<FrequentItemset>> MinePrefixSpanItemsets(
+    const TransactionDb& db, const MinerOptions& options) {
+  CUISINE_RETURN_NOT_OK(options.Validate());
+  std::vector<FrequentItemset> out;
+  if (db.empty()) return out;
+
+  // Canonical transactions are ascending sequences, so PrefixSpan's
+  // frequent sequences are exactly the frequent itemsets (miner.h).
+  SequenceDb sequences(db.transactions());
+  SequenceMinerOptions seq_options;
+  seq_options.min_support = options.min_support;
+  seq_options.max_length = options.max_pattern_size;
+  auto mined = MinePrefixSpan(sequences, seq_options);
+  if (!mined.ok()) return mined.status();
+
+  out.reserve(mined->size());
+  for (FrequentSequence& fs : *mined) {
+    FrequentItemset f;
+    f.items = Itemset(std::move(fs.sequence));
+    f.count = fs.count;
+    f.support = fs.support;
+    out.push_back(std::move(f));
+  }
+  SortPatternsCanonical(&out);
+  return out;
 }
 
 Result<std::vector<FrequentItemset>> Mine(MinerAlgorithm algo,
@@ -40,6 +71,8 @@ Result<std::vector<FrequentItemset>> Mine(MinerAlgorithm algo,
       return MineApriori(db, options);
     case MinerAlgorithm::kEclat:
       return MineEclat(db, options);
+    case MinerAlgorithm::kPrefixSpan:
+      return MinePrefixSpanItemsets(db, options);
   }
   return Status::InvalidArgument("unknown miner algorithm");
 }

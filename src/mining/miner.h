@@ -1,8 +1,13 @@
-// Common options & entry points for the three frequent-itemset miners.
+// Common options & entry points for the frequent-itemset miners.
 //
 // All miners return the *identical* complete set of frequent itemsets for
-// a given database and threshold (property-tested); they differ only in
-// algorithm and therefore runtime (see bench_miners).
+// a given database and threshold (property-tested by miners_test and the
+// randomized miner_differential_test); they differ only in algorithm and
+// therefore runtime (see bench_miners). This includes PrefixSpan run as
+// an itemset miner: transactions are canonical (sorted, duplicate-free),
+// so every subsequence of a transaction is an ascending item sequence,
+// sequence containment coincides with subset containment, and the
+// complete frequent-sequence set *is* the complete frequent-itemset set.
 
 #ifndef CUISINE_MINING_MINER_H_
 #define CUISINE_MINING_MINER_H_
@@ -23,6 +28,13 @@ struct MinerOptions {
   /// Maximum itemset size to report; 0 = unlimited.
   std::size_t max_pattern_size = 0;
 
+  /// First-level mining parallelism (currently honoured by FP-Growth):
+  /// 0 = follow the global common/parallel.h configuration
+  /// (SetParallelThreads / CUISINE_THREADS), 1 = force the serial
+  /// recursion, n = fan the first recursion level out at most n wide.
+  /// Results are byte-identical at every setting.
+  std::size_t num_threads = 0;
+
   /// Converts the relative threshold to an absolute transaction count
   /// (ceil, at least 1).
   std::size_t MinCount(std::size_t num_transactions) const;
@@ -36,6 +48,11 @@ enum class MinerAlgorithm {
   kFpGrowth,
   kApriori,
   kEclat,
+  /// PrefixSpan (a sequence miner, see prefixspan.h) driven over the
+  /// canonical transactions; equivalent to the itemset miners (see the
+  /// file comment) and kept in the dispatch mainly as a structurally
+  /// independent differential-testing oracle.
+  kPrefixSpan,
 };
 
 std::string_view MinerAlgorithmName(MinerAlgorithm algo);
@@ -51,6 +68,12 @@ Result<std::vector<FrequentItemset>> MineApriori(const TransactionDb& db,
 /// Mines all frequent itemsets with Eclat (vertical tid-set intersection).
 Result<std::vector<FrequentItemset>> MineEclat(const TransactionDb& db,
                                                const MinerOptions& options);
+
+/// Mines all frequent itemsets by running PrefixSpan (Pei et al., 2001)
+/// over the canonical transactions; `max_pattern_size` maps to the
+/// sequence-length cap. Output is identical to the other miners'.
+Result<std::vector<FrequentItemset>> MinePrefixSpanItemsets(
+    const TransactionDb& db, const MinerOptions& options);
 
 /// Dispatches on `algo`.
 Result<std::vector<FrequentItemset>> Mine(MinerAlgorithm algo,

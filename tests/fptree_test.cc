@@ -108,5 +108,66 @@ TEST(FpTreeTest, SharedPrefixCompression) {
   EXPECT_EQ(tree.NodeCount(), 3u);  // one chain, counts 3 each
 }
 
+TEST(FpTreeTest, NumItemsAndArenaAccounting) {
+  FpTree tree(ClassicDb(), 3);
+  EXPECT_EQ(tree.NumItems(), 6u);
+  // The arena is one contiguous buffer big enough for all nodes + root.
+  EXPECT_GE(tree.ArenaBytes(), (tree.NodeCount() + 1) * sizeof(void*));
+
+  TransactionDb db;
+  db.Add({1});
+  db.Add({2});
+  FpTree empty(db, 2);
+  EXPECT_EQ(empty.NumItems(), 0u);
+}
+
+TEST(FpTreeTest, NestedConditionalTreesRerank) {
+  // Repeated conditioning re-ranks surviving items by their conditional
+  // counts; m's conditional tree at minsup 3 keeps f, c, a (each co-
+  // occurring 3 times with m), and conditioning that on a keeps f and c.
+  FpTree tree(ClassicDb(), 3);
+  FpTree cond_m = tree.Conditional(4, 3);
+  EXPECT_EQ(cond_m.ItemCount(0), 3u);  // f
+  EXPECT_EQ(cond_m.ItemCount(1), 3u);  // c
+  EXPECT_EQ(cond_m.ItemCount(2), 3u);  // a
+  EXPECT_EQ(cond_m.ItemCount(3), 0u);  // b co-occurs only once: filtered
+  FpTree cond_ma = cond_m.Conditional(2, 3);
+  EXPECT_EQ(cond_ma.ItemCount(0), 3u);  // f
+  EXPECT_EQ(cond_ma.ItemCount(1), 3u);  // c
+  EXPECT_TRUE(cond_ma.IsSinglePath());
+}
+
+TEST(FpTreeTest, ManyTransactionsReallocationKeepsLinksValid) {
+  // Force several arena growth steps and verify counts afterwards: index
+  // links (unlike pointers) must survive vector reallocation.
+  TransactionDb db;
+  for (ItemId base = 0; base < 200; ++base) {
+    db.Add({base, static_cast<ItemId>(base + 1),
+            static_cast<ItemId>(base + 2)});
+  }
+  FpTree tree(db, 1);
+  EXPECT_EQ(tree.NumItems(), 202u);
+  EXPECT_EQ(tree.ItemCount(0), 1u);
+  EXPECT_EQ(tree.ItemCount(1), 2u);
+  EXPECT_EQ(tree.ItemCount(100), 3u);
+  std::size_t total = 0;
+  for (ItemId item : tree.HeaderItemsAscending()) {
+    total += tree.ItemCount(item);
+  }
+  EXPECT_EQ(total, 600u);  // 200 transactions x 3 items
+}
+
+TEST(FpTreeTest, EmptyTransactionsAreIgnored) {
+  TransactionDb db;
+  db.Add({});
+  db.Add({1, 2});
+  db.Add({});
+  db.Add({1});
+  FpTree tree(db, 1);
+  EXPECT_EQ(tree.ItemCount(1), 2u);
+  EXPECT_EQ(tree.ItemCount(2), 1u);
+  EXPECT_EQ(tree.NodeCount(), 2u);  // 1 -> 2 chain
+}
+
 }  // namespace
 }  // namespace cuisine

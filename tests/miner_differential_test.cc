@@ -1,0 +1,249 @@
+// Differential miner property harness: ~200 seeded random transaction
+// databases — varying density, alphabet size, duplicate and empty
+// transactions, skewed item popularity — mined at several thresholds by
+// every algorithm behind Mine(). All of them must return the identical
+// canonically-sorted (itemset, count, support) collection, the condensed
+// (closed/maximal) path must reconstruct exactly the same supports, and
+// parallel FP-Growth must equal the serial recursion at 1/2/8 threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/parallel.h"
+#include "common/random.h"
+#include "mining/condensed_patterns.h"
+#include "mining/miner.h"
+
+namespace cuisine {
+namespace {
+
+constexpr MinerAlgorithm kAllAlgorithms[] = {
+    MinerAlgorithm::kFpGrowth, MinerAlgorithm::kApriori,
+    MinerAlgorithm::kEclat, MinerAlgorithm::kPrefixSpan};
+
+// One deterministic random database per (seed) case. The shape knobs are
+// themselves drawn from the seeded rng so the 200 cases sweep the space:
+//   - 0..60 transactions over alphabets of 1..24 items,
+//   - Bernoulli densities 0.05..0.7, optionally Zipf-skewed per item,
+//   - ~1/3 of databases contain exact duplicate transactions,
+//   - ~1/4 contain empty transactions,
+//   - a few degenerate all-identical and single-item databases.
+TransactionDb RandomDb(std::uint64_t seed) {
+  Rng rng(seed);
+  TransactionDb db;
+  const std::size_t num_transactions = rng.UniformInt(61);
+  std::size_t alphabet = 1 + rng.UniformInt(24);
+  double base_density = rng.UniformDouble(0.05, 0.7);
+  const bool skewed = rng.Bernoulli(0.5);
+  const bool with_duplicates = rng.Bernoulli(0.33);
+  const bool with_empties = rng.Bernoulli(0.25);
+  const bool all_identical = rng.Bernoulli(0.04);
+  if (all_identical) {
+    // A duplicated transaction makes every subset frequent; keep it short
+    // so the 2^k lattice stays small for the exhaustive miners.
+    alphabet = std::min<std::size_t>(alphabet, 12);
+    base_density = std::min(base_density, 0.3);
+  }
+
+  std::vector<ItemId> previous;
+  for (std::size_t t = 0; t < num_transactions; ++t) {
+    if (all_identical && t > 0) {
+      db.Add(previous);
+      continue;
+    }
+    if (with_empties && rng.Bernoulli(0.15)) {
+      db.Add({});
+      continue;
+    }
+    if (with_duplicates && t > 0 && rng.Bernoulli(0.3)) {
+      db.Add(previous);
+      continue;
+    }
+    std::vector<ItemId> items;
+    for (ItemId i = 0; i < alphabet; ++i) {
+      double p = skewed ? base_density * 2.0 / (1.0 + static_cast<double>(i))
+                        : base_density;
+      if (rng.Bernoulli(p)) items.push_back(i);
+    }
+    previous = items;
+    db.Add(std::move(items));
+  }
+  return db;
+}
+
+std::string Describe(const FrequentItemset& p) {
+  std::ostringstream os;
+  os << "{";
+  for (std::size_t i = 0; i < p.items.size(); ++i) {
+    os << (i ? "," : "") << p.items[i];
+  }
+  os << "} count=" << p.count << " support=" << p.support;
+  return os.str();
+}
+
+// Exact (itemset, count, support) equality of two canonically-sorted
+// miner outputs, with a readable first-difference message.
+void ExpectIdentical(const std::vector<FrequentItemset>& want,
+                     const std::vector<FrequentItemset>& got,
+                     const std::string& label) {
+  ASSERT_EQ(want.size(), got.size()) << label;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(want[i].items, got[i].items)
+        << label << " pattern " << i << ": expected " << Describe(want[i])
+        << " got " << Describe(got[i]);
+    ASSERT_EQ(want[i].count, got[i].count) << label << " " << Describe(want[i]);
+    ASSERT_DOUBLE_EQ(want[i].support, got[i].support)
+        << label << " " << Describe(want[i]);
+  }
+}
+
+TEST(MinerDifferentialTest, AllAlgorithmsAgreeOnRandomDatabases) {
+  constexpr std::uint64_t kNumDatabases = 200;
+  std::size_t non_trivial = 0;
+  for (std::uint64_t seed = 0; seed < kNumDatabases; ++seed) {
+    TransactionDb db = RandomDb(seed);
+    for (double min_support : {0.1, 0.25, 0.6}) {
+      MinerOptions opt;
+      opt.min_support = min_support;
+      auto reference = MineFpGrowth(db, opt);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      if (!reference->empty()) ++non_trivial;
+      for (MinerAlgorithm algo : kAllAlgorithms) {
+        auto mined = Mine(algo, db, opt);
+        ASSERT_TRUE(mined.ok()) << mined.status();
+        ExpectIdentical(*reference, *mined,
+                        "seed=" + std::to_string(seed) +
+                            " support=" + std::to_string(min_support) +
+                            " algo=" + std::string(MinerAlgorithmName(algo)));
+      }
+    }
+  }
+  // The generator must not degenerate into empty cases only.
+  EXPECT_GT(non_trivial, kNumDatabases);
+}
+
+TEST(MinerDifferentialTest, BoundaryThresholdsAgree) {
+  // Support exactly 1.0 and a threshold far below 1/N (MinCount floors at
+  // one transaction) on a subset of the databases.
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    TransactionDb db = RandomDb(seed * 5 + 1);
+    for (double min_support : {1.0, 1e-6}) {
+      MinerOptions opt;
+      opt.min_support = min_support;
+      auto reference = MineFpGrowth(db, opt);
+      ASSERT_TRUE(reference.ok()) << reference.status();
+      for (MinerAlgorithm algo : kAllAlgorithms) {
+        auto mined = Mine(algo, db, opt);
+        ASSERT_TRUE(mined.ok()) << mined.status();
+        ExpectIdentical(*reference, *mined,
+                        "seed=" + std::to_string(seed) +
+                            " support=" + std::to_string(min_support) +
+                            " algo=" + std::string(MinerAlgorithmName(algo)));
+      }
+    }
+  }
+}
+
+TEST(MinerDifferentialTest, MaxPatternSizeIdenticalAcrossMiners) {
+  for (std::uint64_t seed = 100; seed < 130; ++seed) {
+    TransactionDb db = RandomDb(seed);
+    MinerOptions unlimited;
+    unlimited.min_support = 0.15;
+    auto full = MineFpGrowth(db, unlimited);
+    ASSERT_TRUE(full.ok());
+    for (std::size_t cap : {1u, 2u, 3u}) {
+      // Oracle: the unlimited run truncated by size.
+      std::vector<FrequentItemset> want;
+      for (const auto& p : *full) {
+        if (p.items.size() <= cap) want.push_back(p);
+      }
+      MinerOptions opt = unlimited;
+      opt.max_pattern_size = cap;
+      for (MinerAlgorithm algo : kAllAlgorithms) {
+        auto mined = Mine(algo, db, opt);
+        ASSERT_TRUE(mined.ok()) << mined.status();
+        ExpectIdentical(want, *mined,
+                        "seed=" + std::to_string(seed) + " cap=" +
+                            std::to_string(cap) + " algo=" +
+                            std::string(MinerAlgorithmName(algo)));
+      }
+    }
+  }
+}
+
+TEST(MinerDifferentialTest, CondensedPathReconstructsIdenticalSupports) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    TransactionDb db = RandomDb(seed * 3 + 2);
+    MinerOptions opt;
+    opt.min_support = 0.2;
+    auto full = MineFpGrowth(db, opt);
+    ASSERT_TRUE(full.ok());
+    auto closed = FilterClosed(*full);
+    auto maximal = FilterMaximal(*full);
+    ASSERT_LE(maximal.size(), closed.size());
+    ASSERT_LE(closed.size(), full->size());
+    // Lossless: every mined pattern's support is recoverable from the
+    // closed representation, exactly.
+    for (const auto& p : *full) {
+      auto support = SupportFromClosed(closed, p.items);
+      ASSERT_TRUE(support.ok())
+          << "seed=" << seed << " pattern " << Describe(p);
+      EXPECT_DOUBLE_EQ(*support, p.support)
+          << "seed=" << seed << " pattern " << Describe(p);
+    }
+    // Every maximal pattern is closed with the same support.
+    auto is_closed = [&](const FrequentItemset& m) {
+      for (const auto& c : closed) {
+        if (c.items == m.items) return c.count == m.count;
+      }
+      return false;
+    };
+    for (const auto& m : maximal) {
+      EXPECT_TRUE(is_closed(m)) << "seed=" << seed << " " << Describe(m);
+    }
+  }
+}
+
+TEST(MinerDifferentialTest, ParallelFpGrowthEqualsSerialAt128Threads) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    TransactionDb db = RandomDb(seed * 7 + 3);
+    for (double min_support : {0.1, 0.3}) {
+      MinerOptions serial;
+      serial.min_support = min_support;
+      serial.num_threads = 1;
+      auto reference = MineFpGrowth(db, serial);
+      ASSERT_TRUE(reference.ok());
+      for (std::size_t threads : {1u, 2u, 8u}) {
+        SetParallelThreads(threads);
+        MinerOptions opt = serial;
+        opt.num_threads = threads;
+        auto mined = MineFpGrowth(db, opt);
+        SetParallelThreads(0);
+        ASSERT_TRUE(mined.ok());
+        ExpectIdentical(*reference, *mined,
+                        "seed=" + std::to_string(seed) +
+                            " support=" + std::to_string(min_support) +
+                            " threads=" + std::to_string(threads));
+      }
+    }
+  }
+}
+
+TEST(MinerDifferentialTest, NumThreadsZeroFollowsGlobalConfiguration) {
+  TransactionDb db = RandomDb(11);
+  MinerOptions opt;
+  opt.min_support = 0.1;  // num_threads defaults to 0
+  SetParallelThreads(4);
+  auto wide = MineFpGrowth(db, opt);
+  SetParallelThreads(1);
+  auto narrow = MineFpGrowth(db, opt);
+  SetParallelThreads(0);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(narrow.ok());
+  ExpectIdentical(*narrow, *wide, "global-config path");
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,109 @@
+// Golden regression fixture for the Table I mining stage: a small
+// deterministic generated corpus is mined per cuisine and the per-cuisine
+// pattern counts plus top patterns are compared line-by-line against the
+// checked-in fixture under tests/golden/. Any drift in the generator, the
+// miners, or the support arithmetic fails with a readable diff.
+//
+// Regeneration (after an *intentional* change):
+//   CUISINE_REGEN_GOLDEN=1 ./build/tests/miner_golden_test
+// rewrites the fixture in the source tree; commit the result.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "data/generator.h"
+#include "mining/pattern_set.h"
+
+namespace cuisine {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(CUISINE_GOLDEN_DIR) + "/table1_small.golden";
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) lines.push_back(line);
+  return lines;
+}
+
+// The fixture's mining stage: a scale-0.02 corpus (the 25-recipe floor
+// applies to every cuisine, so generation + mining stay fast) mined at
+// 0.25 support with the production FP-Growth path.
+std::string RenderActual() {
+  GeneratorOptions gen;
+  gen.seed = 2020;
+  gen.scale = 0.02;
+  auto ds = GenerateRecipeDb(gen);
+  CUISINE_CHECK(ds.ok()) << ds.status();
+
+  MinerOptions opt;
+  opt.min_support = 0.25;
+  auto mined = MineAllCuisines(*ds, opt);
+  CUISINE_CHECK(mined.ok()) << mined.status();
+
+  std::ostringstream os;
+  os << "# Golden Table I fixture: seed=2020 scale=0.02 min_support=0.25\n"
+     << "# cuisine | recipes | patterns | top-3 patterns by support\n";
+  for (const CuisinePatterns& cp : *mined) {
+    os << cp.cuisine_name << " | recipes=" << cp.num_recipes
+       << " | patterns=" << cp.patterns.size();
+    for (const FrequentItemset& p : cp.TopK(3)) {
+      os << " | " << StringPattern(ds->vocabulary(), p.items) << " @ "
+         << FormatDouble(p.support, 4);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+TEST(MinerGoldenTest, Table1SmallFixtureMatches) {
+  const std::string actual = RenderActual();
+
+  if (std::getenv("CUISINE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    GTEST_SKIP() << "regenerated " << GoldenPath()
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(GoldenPath());
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << GoldenPath()
+      << " — run with CUISINE_REGEN_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  if (actual == expected) return;
+
+  // Readable diff: report every drifted line with both versions.
+  const std::vector<std::string> want = SplitLines(expected);
+  const std::vector<std::string> got = SplitLines(actual);
+  std::ostringstream diff;
+  const std::size_t lines = std::max(want.size(), got.size());
+  for (std::size_t i = 0; i < lines; ++i) {
+    const std::string* w = i < want.size() ? &want[i] : nullptr;
+    const std::string* g = i < got.size() ? &got[i] : nullptr;
+    if (w != nullptr && g != nullptr && *w == *g) continue;
+    diff << "line " << (i + 1) << ":\n"
+         << "  expected: " << (w ? *w : "<missing>") << "\n"
+         << "  actual:   " << (g ? *g : "<missing>") << "\n";
+  }
+  FAIL() << "mining output drifted from " << GoldenPath() << "\n"
+         << diff.str()
+         << "If the change is intentional, regenerate with "
+            "CUISINE_REGEN_GOLDEN=1 and commit the new fixture.";
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <map>
 
 #include "common/random.h"
@@ -150,11 +152,72 @@ TEST_P(AllMinersTest, DownwardClosure) {
   }
 }
 
+// Boundary thresholds (the edge cases around MinerOptions::MinCount).
+
+TEST_P(AllMinersTest, FullLatticeAtExactFullSupport) {
+  // Identical transactions: at support exactly 1.0 every non-empty subset
+  // is frequent with count N.
+  TransactionDb db;
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  db.Add({1, 2, 3});
+  MinerOptions opt;
+  opt.min_support = 1.0;
+  auto result = GetParam().second(db, opt);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 7u);  // 2^3 - 1
+  for (const auto& p : *result) {
+    EXPECT_EQ(p.count, 3u);
+    EXPECT_DOUBLE_EQ(p.support, 1.0);
+  }
+}
+
+TEST_P(AllMinersTest, ThresholdBelowOneOverNFloorsAtOneTransaction) {
+  // min_support far below 1/N: MinCount floors at 1, so every itemset
+  // occurring in any transaction is reported.
+  MinerOptions opt;
+  opt.min_support = 1e-9;  // 1/N would be 0.25
+  auto result = GetParam().second(TinyDb(), opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 7u);  // the full observed lattice of TinyDb
+  auto m = ToMap(*result);
+  EXPECT_DOUBLE_EQ(m.at(Itemset({1, 2, 3})), 0.25);  // count-1 pattern kept
+}
+
+TEST_P(AllMinersTest, MaxPatternSizeTruncationMatchesFilteredUnlimited) {
+  // Truncation must equal the unlimited run filtered by size — no miner
+  // may prune differently (supports of survivors are unaffected).
+  MinerOptions unlimited;
+  unlimited.min_support = 0.25;
+  auto full = GetParam().second(TinyDb(), unlimited);
+  ASSERT_TRUE(full.ok());
+  for (std::size_t cap : {1u, 2u, 3u}) {
+    MinerOptions opt = unlimited;
+    opt.max_pattern_size = cap;
+    auto capped = GetParam().second(TinyDb(), opt);
+    ASSERT_TRUE(capped.ok());
+    std::map<Itemset, double> want;
+    for (const auto& p : *full) {
+      if (p.items.size() <= cap) want.emplace(p.items, p.support);
+    }
+    EXPECT_EQ(ToMap(*capped), want) << "cap=" << cap;
+  }
+}
+
+TEST_P(AllMinersTest, NanAndInfinitySupportRejected) {
+  MinerOptions opt;
+  opt.min_support = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(GetParam().second(TinyDb(), opt).ok());
+  opt.min_support = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(GetParam().second(TinyDb(), opt).ok());
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Miners, AllMinersTest,
     ::testing::Values(std::make_pair("fpgrowth", &MineFpGrowth),
                       std::make_pair("apriori", &MineApriori),
-                      std::make_pair("eclat", &MineEclat)),
+                      std::make_pair("eclat", &MineEclat),
+                      std::make_pair("prefixspan", &MinePrefixSpanItemsets)),
     [](const auto& param_info) { return std::string(param_info.param.first); });
 
 // ---------------------------------------------------------------------------
@@ -234,14 +297,50 @@ TEST(MinerOptionsTest, MinCountCeil) {
   EXPECT_EQ(opt.MinCount(10), 1u);
 }
 
+TEST(MinerOptionsTest, MinCountEdges) {
+  MinerOptions opt;
+  // Exactly 1.0: every transaction must contain the pattern.
+  opt.min_support = 1.0;
+  EXPECT_EQ(opt.MinCount(1), 1u);
+  EXPECT_EQ(opt.MinCount(1000000), 1000000u);
+  // Below 1/N the ceil lands on 1, never 0.
+  opt.min_support = 1e-12;
+  EXPECT_EQ(opt.MinCount(1000), 1u);
+  // The epsilon guard keeps exact products from rounding up: 0.25 * 8 is
+  // exactly 2, not ceil(2 + ulp) = 3.
+  opt.min_support = 0.25;
+  EXPECT_EQ(opt.MinCount(8), 2u);
+  EXPECT_EQ(opt.MinCount(9), 3u);
+}
+
+TEST(MinerOptionsTest, ValidateEdges) {
+  MinerOptions opt;
+  opt.min_support = 1.0;  // inclusive upper bound
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.min_support = std::nextafter(1.0, 2.0);
+  EXPECT_FALSE(opt.Validate().ok());
+  opt.min_support = std::numeric_limits<double>::denorm_min();
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.min_support = -0.1;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt.min_support = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(opt.Validate().ok());
+  // num_threads and max_pattern_size carry no invalid values.
+  opt.min_support = 0.2;
+  opt.num_threads = 1000;
+  opt.max_pattern_size = 1000;
+  EXPECT_TRUE(opt.Validate().ok());
+}
+
 TEST(MinerDispatchTest, AlgorithmNamesAndDispatch) {
   EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kFpGrowth), "fpgrowth");
   EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kApriori), "apriori");
   EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kEclat), "eclat");
+  EXPECT_EQ(MinerAlgorithmName(MinerAlgorithm::kPrefixSpan), "prefixspan");
   MinerOptions opt;
   opt.min_support = 0.5;
   for (auto algo : {MinerAlgorithm::kFpGrowth, MinerAlgorithm::kApriori,
-                    MinerAlgorithm::kEclat}) {
+                    MinerAlgorithm::kEclat, MinerAlgorithm::kPrefixSpan}) {
     auto result = Mine(algo, TinyDb(), opt);
     ASSERT_TRUE(result.ok());
     EXPECT_EQ(result->size(), 5u);
