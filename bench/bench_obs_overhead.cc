@@ -10,6 +10,7 @@
 
 #include "bench_util.h"
 #include "common/parallel.h"
+#include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -20,15 +21,19 @@ namespace {
 class ObsStateGuard {
  public:
   ObsStateGuard()
-      : metrics_(obs::MetricsEnabled()), trace_(obs::TraceEnabled()) {}
+      : metrics_(obs::MetricsEnabled()),
+        trace_(obs::TraceEnabled()),
+        flight_(obs::FlightEnabled()) {}
   ~ObsStateGuard() {
     obs::SetMetricsEnabled(metrics_);
     obs::SetTraceEnabled(trace_);
+    obs::SetFlightEnabled(flight_);
   }
 
  private:
   bool metrics_;
   bool trace_;
+  bool flight_;
 };
 
 void BM_CounterAddDisabled(benchmark::State& state) {
@@ -63,6 +68,7 @@ BENCHMARK(BM_HistogramObserveEnabled);
 void BM_SpanDisabled(benchmark::State& state) {
   ObsStateGuard guard;
   obs::SetTraceEnabled(false);
+  obs::SetFlightEnabled(false);
   for (auto _ : state) {
     CUISINE_SPAN("bench_span");
   }
@@ -77,6 +83,51 @@ void BM_SpanEnabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpanEnabled);
+
+// The CUISINE_FLIGHT=0 acceptance bound, measured directly: the only
+// cost flight support adds to a span site while the recorder is off is
+// the FlightEnabled() relaxed load in Span's constructor. BM_SpanDisabled
+// above already includes it — comparing that row across commits is the
+// end-to-end bound; this row isolates the check itself. (Duplicating the
+// whole disabled-span loop under a second name is not a usable control:
+// few-ns deltas between separately laid-out loops are dominated by code
+// placement, not by the code under test.)
+void BM_FlightCheckDisabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetFlightEnabled(false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(obs::FlightEnabled());
+  }
+}
+BENCHMARK(BM_FlightCheckDisabled);
+
+// Recording cost while the flight recorder is on: two ring writes (begin
+// + end) and two clock reads per span. The iteration count dwarfs the
+// ring capacity, so wrap-around is part of the measured path — which is
+// what a saturated recorder costs in production.
+void BM_SpanFlightEnabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetTraceEnabled(false);
+  obs::SetFlightEnabled(true);
+  for (auto _ : state) {
+    CUISINE_SPAN("bench_flight_span");
+  }
+  obs::SetFlightEnabled(false);
+  obs::ResetFlight();
+}
+BENCHMARK(BM_SpanFlightEnabled);
+
+void BM_FlightCounterEnabled(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetFlightEnabled(true);
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    obs::FlightCounterSample("bench.flight.counter", v++);
+  }
+  obs::SetFlightEnabled(false);
+  obs::ResetFlight();
+}
+BENCHMARK(BM_FlightCounterEnabled);
 
 // A pdist-shaped ParallelFor (chunked counter adds inside the body) with
 // the whole obs layer off vs on: the end-to-end overhead bound the PR 2

@@ -32,6 +32,7 @@
 #include "core/pipeline.h"
 #include "data/recipe_io.h"
 #include "mining/condensed_patterns.h"
+#include "obs/flight.h"
 #include "obs/run_report.h"
 
 namespace {
@@ -299,7 +300,9 @@ void Usage() {
       "  validate     §VII tree-vs-geography validation\n"
       "  export       patterns / feature matrix CSVs\n"
       "common flags: --scale S --seed N --in recipes.csv\n"
-      "              --quiet (errors only) --report out.json (run report)\n";
+      "              --quiet (errors only) --report out.json (run report)\n"
+      "              --flight (record a Perfetto timeline next to the\n"
+      "              report, or to CUISINE_FLIGHT_TRACE)\n";
 }
 
 }  // namespace
@@ -313,13 +316,21 @@ int main(int argc, char** argv) {
   Args args(argc, argv);
   if (args.Has("quiet")) cuisine::SetLogLevel(cuisine::LogLevel::kError);
   // Constructed before dispatch, destroyed after it returns: the report
-  // covers the whole command. --report wins over CUISINE_RUN_REPORT.
+  // covers the whole command. --report wins over CUISINE_RUN_REPORT;
+  // --flight (or CUISINE_FLIGHT=1) additionally records the Perfetto
+  // timeline, flushed by the session on exit.
+  const bool flight = args.Has("flight");
+  if (flight) cuisine::obs::SetFlightEnabled(true);
   std::optional<cuisine::obs::RunReportSession> report;
   std::string report_path = args.Has("report")
                                 ? args.Get("report", "report.json")
                                 : cuisine::obs::RunReportPathOrDefault("");
-  if (!report_path.empty()) {
+  if (!report_path.empty() || cuisine::obs::FlightEnabled()) {
     report.emplace("cuisine_cli " + command, report_path);
+    if (cuisine::obs::FlightEnabled() && report->flight_path().empty()) {
+      report->set_flight_path(cuisine::obs::FlightTracePathOrDefault(
+          "cuisine_cli.trace.json"));
+    }
   }
   if (command == "generate") return CmdGenerate(args);
   if (command == "stats") return CmdStats(args);

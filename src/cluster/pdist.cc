@@ -66,6 +66,8 @@ CondensedDistanceMatrix CondensedDistanceMatrix::FromFeatures(
   constexpr std::size_t kGrain = 512;
   CUISINE_SPAN("pdist");
   std::vector<double>& out = d.values_;
+  CUISINE_GAUGE_MAX("cluster.pdist.buffer_peak_bytes",
+                    static_cast<std::int64_t>(out.size() * sizeof(double)));
   ParallelFor(0, out.size(), kGrain, [&](std::size_t lo, std::size_t hi) {
     std::size_t i = RowOfCondensedIndex(lo, n);
     std::size_t j = i + 1 + (lo - (n * i - i * (i + 1) / 2));

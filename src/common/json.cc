@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
 
 #include "common/logging.h"
 
@@ -503,6 +507,47 @@ class Parser {
 
 Result<Json> Json::Parse(std::string_view text) {
   return Parser(text).ParseDocument();
+}
+
+Result<Json> Json::ParseFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IOError("cannot open JSON file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IOError("failed reading JSON file: " + path);
+  }
+  auto parsed = Parse(buffer.str());
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+Status WriteJsonFile(const Json& value, const std::string& path, int indent) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create directory '" +
+                             target.parent_path().string() +
+                             "' for: " + path + " (" + ec.message() + ")");
+    }
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out << value.Dump(indent) << '\n';
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing: " + path);
+  }
+  return Status::OK();
 }
 
 }  // namespace cuisine

@@ -80,6 +80,9 @@ class Json {
   /// non-whitespace is an error).
   static Result<Json> Parse(std::string_view text);
 
+  /// Reads and parses a JSON file. Errors name the path.
+  static Result<Json> ParseFile(const std::string& path);
+
  private:
   void DumpTo(std::string* out, int indent, int depth) const;
 
@@ -95,6 +98,12 @@ class Json {
 /// Escapes `text` as a JSON string literal including the surrounding
 /// quotes (exposed for streaming writers).
 std::string JsonEscape(std::string_view text);
+
+/// Serializes `value` to `path` (trailing newline included), creating
+/// missing parent directories first. The write fails up front with the
+/// offending path in the message rather than after partial output.
+Status WriteJsonFile(const Json& value, const std::string& path,
+                     int indent = 2);
 
 }  // namespace cuisine
 

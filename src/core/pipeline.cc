@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/memory.h"
+
 namespace cuisine {
 
 namespace {
@@ -66,9 +68,14 @@ Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
   result.dataset = std::move(dataset);
   const Dataset& ds = result.dataset;
 
+  // RSS snapshots at every stage boundary below feed the run report's
+  // mem.* gauges and mark the flight-recorder timeline.
+  obs::SampleMemory("pipeline_start");
+
   // Table I: per-cuisine mining.
   CUISINE_ASSIGN_OR_RETURN(
       result.mined, MineAllCuisines(ds, config.miner, config.algorithm));
+  obs::SampleMemory("after_mine");
   {
     // Specs matched by name; unmatched cuisines get empty expectations.
     std::vector<CuisineSpec> specs = BuildWorldCuisineSpecs();
@@ -92,10 +99,12 @@ Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
     CUISINE_ASSIGN_OR_RETURN(result.table1,
                              BuildTable1(ds, result.mined, matched));
   }
+  obs::SampleMemory("after_table1");
 
   // Figs 2-4: pattern feature space + three metric dendrograms.
   CUISINE_ASSIGN_OR_RETURN(
       result.features, BuildPatternFeatures(ds, result.mined, config.encoding));
+  obs::SampleMemory("after_features");
   CUISINE_ASSIGN_OR_RETURN(
       Dendrogram euclid,
       ClusterPatternFeatures(result.features, DistanceMetric::kEuclidean,
@@ -111,6 +120,7 @@ Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
       ClusterPatternFeatures(result.features, DistanceMetric::kJaccard,
                              config.linkage));
   result.jaccard_tree = std::move(jaccard);
+  obs::SampleMemory("after_metric_trees");
 
   // Fig 5: authenticity tree.
   CUISINE_ASSIGN_OR_RETURN(Dendrogram auth,
@@ -161,6 +171,7 @@ Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
     }
     // Missing cuisines (small test corpora) simply skip the check.
   }
+  obs::SampleMemory("pipeline_end");
   return result;
 }
 

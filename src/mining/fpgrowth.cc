@@ -26,6 +26,18 @@
 namespace cuisine {
 namespace {
 
+// Arena high-water marks across *every* tree built during a mine — root
+// and conditional alike — feeding the run report's memory section. The
+// older max_nodes/max_arena_bytes gauges cover root trees only and are
+// kept for report compatibility. GAUGE_MAX is commutative, so the peaks
+// are identical at any thread count.
+void RecordTreeFootprint(const FpTree& tree) {
+  CUISINE_GAUGE_MAX("mining.fptree.arena_peak_nodes",
+                    static_cast<std::int64_t>(tree.NodeCount()));
+  CUISINE_GAUGE_MAX("mining.fptree.arena_peak_bytes",
+                    static_cast<std::int64_t>(tree.ArenaBytes()));
+}
+
 struct MineContext {
   std::size_t min_count = 1;
   std::size_t total_transactions = 0;
@@ -81,6 +93,7 @@ void MineTree(const FpTree& tree, const Itemset& suffix, MineContext* ctx) {
       CUISINE_COUNTER_ADD(
           "mining.fptree.conditional_nodes",
           static_cast<std::int64_t>(conditional.NodeCount()));
+      RecordTreeFootprint(conditional);
       MineTree(conditional, extended, ctx);
     }
   }
@@ -98,6 +111,7 @@ void MineFirstLevelItem(const FpTree& tree, ItemId item, MineContext* ctx) {
     CUISINE_COUNTER_ADD("mining.fptree.conditional_trees", 1);
     CUISINE_COUNTER_ADD("mining.fptree.conditional_nodes",
                         static_cast<std::int64_t>(conditional.NodeCount()));
+    RecordTreeFootprint(conditional);
     MineTree(conditional, singleton, ctx);
   }
 }
@@ -122,6 +136,7 @@ Result<std::vector<FrequentItemset>> MineFpGrowth(const TransactionDb& db,
                     static_cast<std::int64_t>(tree.NodeCount()));
   CUISINE_GAUGE_MAX("mining.fptree.max_arena_bytes",
                     static_cast<std::int64_t>(tree.ArenaBytes()));
+  RecordTreeFootprint(tree);
   if (tree.empty()) return out;
 
   // options.num_threads: 0 = follow the global parallel configuration,

@@ -10,6 +10,22 @@
 
 namespace cuisine {
 
+namespace {
+
+// Logical footprint of one cuisine's mined pattern list: struct storage
+// plus item payloads. Deterministic (unlike allocator RSS), so the
+// per-cuisine peak gauge diffs cleanly across runs and thread counts.
+std::int64_t PatternsBytes(const std::vector<FrequentItemset>& patterns) {
+  std::int64_t bytes =
+      static_cast<std::int64_t>(patterns.size() * sizeof(FrequentItemset));
+  for (const FrequentItemset& p : patterns) {
+    bytes += static_cast<std::int64_t>(p.items.size() * sizeof(ItemId));
+  }
+  return bytes;
+}
+
+}  // namespace
+
 std::string CanonicalStringPattern(const std::string& pattern) {
   std::vector<std::string> parts;
   for (const std::string& raw : Split(pattern, '+')) {
@@ -70,6 +86,8 @@ Result<std::vector<CuisinePatterns>> MineAllCuisines(
                           static_cast<std::int64_t>(db.size()));
       CUISINE_COUNTER_ADD("mining.patterns_mined",
                           static_cast<std::int64_t>(cp.patterns.size()));
+      CUISINE_GAUGE_MAX("mining.pattern_set.peak_bytes",
+                        PatternsBytes(cp.patterns));
       CUISINE_HISTOGRAM_OBSERVE(
           "mining.patterns_per_cuisine",
           static_cast<std::int64_t>(cp.patterns.size()), 10, 30, 100, 300,

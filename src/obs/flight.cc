@@ -1,0 +1,381 @@
+#include "obs/flight.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "obs/internal.h"
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace obs {
+
+namespace {
+
+// One buffered event. 32 bytes so a default ring is 2 MiB per thread.
+struct Event {
+  enum class Type : std::uint8_t { kBegin, kEnd, kCounter, kInstant };
+  const char* name = nullptr;  // literal or interned; never owned
+  std::int64_t ts_ns = 0;      // since the process epoch
+  std::int64_t value = 0;      // kCounter only
+  Type type = Type::kBegin;
+};
+
+// Single-writer ring: only the owning thread records, so the write path
+// is two plain stores and an increment. Flush/reset happen at quiescent
+// points under the registry mutex.
+struct Ring {
+  explicit Ring(std::size_t capacity, int ring_tid)
+      : events(capacity), tid(ring_tid) {}
+
+  std::vector<Event> events;
+  std::uint64_t next = 0;  // events ever written; slot = next % capacity
+  int tid = 0;
+
+  void Record(Event event) {
+    events[next % events.size()] = event;
+    ++next;
+  }
+
+  std::uint64_t dropped() const {
+    return next > events.size() ? next - events.size() : 0;
+  }
+  std::uint64_t buffered() const {
+    return next < events.size() ? next : events.size();
+  }
+};
+
+// Nanoseconds since the process epoch (captured on first use, shared by
+// every thread so per-thread timelines line up).
+std::int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+constexpr std::size_t kDefaultCapacity = 1 << 16;
+constexpr std::size_t kMinCapacity = 8;
+constexpr std::size_t kMaxCapacity = 1 << 24;
+
+std::size_t EnvCapacity() {
+  const char* env = std::getenv("CUISINE_FLIGHT_CAPACITY");
+  if (env == nullptr || *env == '\0') return kDefaultCapacity;
+  char* end = nullptr;
+  unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return kDefaultCapacity;
+  return std::min(std::max<std::size_t>(parsed, kMinCapacity), kMaxCapacity);
+}
+
+class FlightRegistry {
+ public:
+  static FlightRegistry& Get() {
+    // Leaked: thread_local ring owners retire during arbitrary thread
+    // teardown and must always find a live registry.
+    static FlightRegistry* registry = new FlightRegistry();
+    return *registry;
+  }
+
+  Ring* Attach() {
+    std::lock_guard<std::mutex> lock(mu_);
+    Ring* ring = new Ring(capacity_, next_tid_++);
+    alive_.push_back(ring);
+    return ring;
+  }
+
+  // Keeps the ring's events for flushing after the owning thread exits.
+  void Retire(Ring* ring) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = alive_.begin(); it != alive_.end(); ++it) {
+      if (*it == ring) {
+        alive_.erase(it);
+        retired_.push_back(ring);
+        return;
+      }
+    }
+  }
+
+  void SetCapacity(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mu_);
+    capacity_ = std::min(std::max(capacity, kMinCapacity), kMaxCapacity);
+  }
+
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Ring* ring : retired_) delete ring;
+    retired_.clear();
+    for (Ring* ring : alive_) {
+      ring->events.assign(capacity_, Event{});
+      ring->next = 0;
+    }
+  }
+
+  FlightStats Stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    FlightStats stats;
+    for (const Ring* ring : AllRingsLocked()) {
+      stats.buffered += static_cast<std::int64_t>(ring->buffered());
+      stats.dropped += static_cast<std::int64_t>(ring->dropped());
+      ++stats.threads;
+    }
+    return stats;
+  }
+
+  // Builds the trace document; `unmatched_out` counts end events whose
+  // begin fell out of the ring window (discarded).
+  Json BuildTrace(std::int64_t* unmatched_out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::int64_t unmatched = 0;
+    const std::int64_t pid = static_cast<std::int64_t>(::getpid());
+
+    Json events = Json::Array();
+    events.Push(MetaEvent(pid, 0, "process_name", "cuisine"));
+    for (const Ring* ring : AllRingsLocked()) {
+      Json meta = MetaEvent(pid, ring->tid, "thread_name",
+                            ring->tid == 0
+                                ? "main"
+                                : "worker-" + std::to_string(ring->tid));
+      events.Push(std::move(meta));
+    }
+
+    for (const Ring* ring : AllRingsLocked()) {
+      AppendRingEvents(*ring, pid, &events, &unmatched);
+    }
+
+    Json trace = Json::Object();
+    trace.Set("displayTimeUnit", Json::Str("ms"));
+    trace.Set("traceEvents", std::move(events));
+    if (unmatched_out != nullptr) *unmatched_out = unmatched;
+    return trace;
+  }
+
+ private:
+  FlightRegistry() : capacity_(EnvCapacity()) {}
+
+  std::vector<Ring*> AllRingsLocked() const {
+    std::vector<Ring*> all = alive_;
+    all.insert(all.end(), retired_.begin(), retired_.end());
+    return all;
+  }
+
+  static Json MetaEvent(std::int64_t pid, int tid, const char* what,
+                        std::string value) {
+    Json meta = Json::Object();
+    meta.Set("name", Json::Str(what));
+    meta.Set("ph", Json::Str("M"));
+    meta.Set("pid", Json::Int(pid));
+    meta.Set("tid", Json::Int(tid));
+    Json args = Json::Object();
+    args.Set("name", Json::Str(std::move(value)));
+    meta.Set("args", std::move(args));
+    return meta;
+  }
+
+  static Json BaseEvent(const char* name, const char* phase, std::int64_t pid,
+                        int tid, std::int64_t ts_ns) {
+    Json out = Json::Object();
+    out.Set("name", Json::Str(name));
+    out.Set("ph", Json::Str(phase));
+    out.Set("pid", Json::Int(pid));
+    out.Set("tid", Json::Int(tid));
+    // Chrome trace timestamps are microseconds; keep sub-µs resolution.
+    out.Set("ts", Json::Double(static_cast<double>(ts_ns) / 1000.0));
+    return out;
+  }
+
+  // Pairs a ring's begin/end records into complete ("X") events, passes
+  // counters/instants through, and appends everything sorted by start
+  // time so per-thread timestamps are monotone in the output.
+  static void AppendRingEvents(const Ring& ring, std::int64_t pid, Json* out,
+                               std::int64_t* unmatched) {
+    const std::size_t capacity = ring.events.size();
+    const std::uint64_t oldest =
+        ring.next > capacity ? ring.next - capacity : 0;
+
+    struct OpenSpan {
+      const char* name;
+      std::int64_t ts_ns;
+    };
+    struct Finished {
+      const char* name;
+      std::int64_t ts_ns;
+      std::int64_t dur_ns;  // -1: still open at flush (emitted as "B")
+      std::int64_t value;
+      Event::Type type;
+    };
+    std::vector<OpenSpan> stack;
+    std::vector<Finished> finished;
+    finished.reserve(ring.buffered());
+
+    for (std::uint64_t seq = oldest; seq < ring.next; ++seq) {
+      const Event& e = ring.events[seq % capacity];
+      switch (e.type) {
+        case Event::Type::kBegin:
+          stack.push_back({e.name, e.ts_ns});
+          break;
+        case Event::Type::kEnd:
+          if (stack.empty()) {
+            // The begin was overwritten by ring wrap; drop the end so the
+            // exported trace stays well-formed.
+            ++*unmatched;
+            break;
+          }
+          finished.push_back({stack.back().name, stack.back().ts_ns,
+                              e.ts_ns - stack.back().ts_ns, 0,
+                              Event::Type::kBegin});
+          stack.pop_back();
+          break;
+        case Event::Type::kCounter:
+        case Event::Type::kInstant:
+          finished.push_back({e.name, e.ts_ns, 0, e.value, e.type});
+          break;
+      }
+    }
+    // Spans still open at flush (e.g. the scope enclosing the writer)
+    // become begin-only events; Perfetto renders them to end-of-trace.
+    for (const OpenSpan& open : stack) {
+      finished.push_back({open.name, open.ts_ns, -1, 0, Event::Type::kBegin});
+    }
+
+    std::stable_sort(finished.begin(), finished.end(),
+                     [](const Finished& a, const Finished& b) {
+                       return a.ts_ns < b.ts_ns;
+                     });
+
+    for (const Finished& f : finished) {
+      switch (f.type) {
+        case Event::Type::kBegin: {
+          Json e = BaseEvent(f.name, f.dur_ns < 0 ? "B" : "X", pid, ring.tid,
+                             f.ts_ns);
+          if (f.dur_ns >= 0) {
+            e.Set("dur", Json::Double(static_cast<double>(f.dur_ns) / 1000.0));
+          }
+          out->Push(std::move(e));
+          break;
+        }
+        case Event::Type::kCounter: {
+          Json e = BaseEvent(f.name, "C", pid, ring.tid, f.ts_ns);
+          Json args = Json::Object();
+          args.Set("value", Json::Int(f.value));
+          e.Set("args", std::move(args));
+          out->Push(std::move(e));
+          break;
+        }
+        case Event::Type::kInstant: {
+          Json e = BaseEvent(f.name, "i", pid, ring.tid, f.ts_ns);
+          e.Set("s", Json::Str("t"));  // thread-scoped marker
+          out->Push(std::move(e));
+          break;
+        }
+        case Event::Type::kEnd:
+          break;  // never stored in `finished`
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::vector<Ring*> alive_;
+  std::vector<Ring*> retired_;
+  std::size_t capacity_;
+  int next_tid_ = 0;
+};
+
+// Lazily created per thread; the ring outlives the thread (retired into
+// the registry) so its events survive until the next flush/reset.
+struct RingOwner {
+  Ring* ring;
+  RingOwner() : ring(FlightRegistry::Get().Attach()) {}
+  ~RingOwner() { FlightRegistry::Get().Retire(ring); }
+};
+
+Ring& LocalRing() {
+  thread_local RingOwner owner;
+  return *owner.ring;
+}
+
+std::atomic<bool>& FlightFlag() {
+  static std::atomic<bool> flag{[] {
+    bool enabled = internal::EnvFlag("CUISINE_FLIGHT", /*fallback=*/false);
+    if (enabled) internal::InstallParallelHooks();
+    return enabled;
+  }()};
+  return flag;
+}
+
+}  // namespace
+
+bool FlightEnabled() { return FlightFlag().load(std::memory_order_relaxed); }
+
+void SetFlightEnabled(bool enabled) {
+  if (enabled) internal::InstallParallelHooks();
+  FlightFlag().store(enabled, std::memory_order_relaxed);
+}
+
+void SetFlightCapacity(std::size_t events_per_thread) {
+  FlightRegistry::Get().SetCapacity(events_per_thread);
+}
+
+FlightStats CollectFlightStats() { return FlightRegistry::Get().Stats(); }
+
+void ResetFlight() { FlightRegistry::Get().Reset(); }
+
+void FlightSpanBegin(const char* name) {
+  if (!FlightEnabled()) return;
+  LocalRing().Record({name, NowNs(), 0, Event::Type::kBegin});
+}
+
+void FlightSpanEnd(const char* name) {
+  if (!FlightEnabled()) return;
+  LocalRing().Record({name, NowNs(), 0, Event::Type::kEnd});
+}
+
+void FlightCounterSample(const char* name, std::int64_t value) {
+  if (!FlightEnabled()) return;
+  LocalRing().Record({name, NowNs(), value, Event::Type::kCounter});
+}
+
+void FlightInstant(const char* name) {
+  if (!FlightEnabled()) return;
+  LocalRing().Record({name, NowNs(), 0, Event::Type::kInstant});
+}
+
+const char* InternFlightName(std::string_view name) {
+  static std::mutex mu;
+  static auto* interned = new std::set<std::string, std::less<>>();
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = interned->find(name);
+  if (it == interned->end()) it = interned->emplace(name).first;
+  return it->c_str();
+}
+
+Json BuildFlightTrace() {
+  return FlightRegistry::Get().BuildTrace(nullptr);
+}
+
+Status WriteFlightTrace(const std::string& path) {
+  std::int64_t unmatched = 0;
+  const Json trace = FlightRegistry::Get().BuildTrace(&unmatched);
+  const FlightStats stats = CollectFlightStats();
+  // Recorder health lands in the metrics registry (and thus the run
+  // report): a non-zero drop count flags that the trace window wrapped.
+  CUISINE_GAUGE_MAX("obs.flight.events_dropped", stats.dropped);
+  CUISINE_GAUGE_MAX("obs.flight.events_unmatched", unmatched);
+  CUISINE_GAUGE_MAX("obs.flight.events_buffered", stats.buffered);
+  return WriteJsonFile(trace, path, /*indent=*/0);
+}
+
+std::string FlightTracePathOrDefault(std::string fallback) {
+  const char* env = std::getenv("CUISINE_FLIGHT_TRACE");
+  if (env != nullptr && *env != '\0') return env;
+  return fallback;
+}
+
+}  // namespace obs
+}  // namespace cuisine

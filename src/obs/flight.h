@@ -1,0 +1,103 @@
+// Flight recorder: a low-overhead, per-thread event timeline exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// While the metrics registry and span tree (metrics.h / trace.h)
+// aggregate — totals, peaks, call-tree shape — the flight recorder keeps
+// the raw *sequence*: every span begin/end and every counter sample, with
+// a timestamp on a single process-wide monotonic epoch, so a run can be
+// inspected on a timeline after the fact.
+//
+// Storage is a fixed-capacity ring buffer per thread (no locks on the
+// record path; each ring has exactly one writer). When a ring is full the
+// oldest event is overwritten and a dropped-events counter increments, so
+// recording never blocks or allocates: the recorder keeps the *latest*
+// window of activity, like an aircraft flight recorder. Begin/end events
+// whose partner fell out of the window are discarded at flush time (and
+// counted), so the exported trace is always well-formed.
+//
+// Enablement: off by default; CUISINE_FLIGHT=1 in the environment or
+// SetFlightEnabled(true) turns it on. A disabled record site costs one
+// relaxed atomic load (bench_obs_overhead measures it). CUISINE_SPAN
+// scopes record automatically while enabled; ParallelFor worker threads
+// additionally bracket each adopted job with a span named after the
+// dispatching span (via the common/parallel hooks), so worker tracks
+// render nested under the dispatch on the timeline.
+//
+// Flushing: BuildFlightTrace() / WriteFlightTrace() assemble the Chrome
+// trace document ({"traceEvents": [...]}) from all rings. Call from a
+// quiescent point (no spans live on other threads, no ParallelFor in
+// flight). RunReportSession flushes to `<report>.trace.json`
+// automatically on scope exit when the recorder is enabled
+// (CUISINE_FLIGHT_TRACE overrides the path).
+
+#ifndef CUISINE_OBS_FLIGHT_H_
+#define CUISINE_OBS_FLIGHT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace cuisine {
+namespace obs {
+
+bool FlightEnabled();
+
+/// Turns flight recording on/off process-wide. Enabling also installs the
+/// common/parallel observability hooks (worker adoption brackets).
+void SetFlightEnabled(bool enabled);
+
+/// Per-thread ring capacity in events. Applies to rings created after the
+/// call and to every existing ring at the next ResetFlight(). Clamped to
+/// >= 8. The default is 65536 events (CUISINE_FLIGHT_CAPACITY overrides).
+void SetFlightCapacity(std::size_t events_per_thread);
+
+/// Aggregate recorder state, for tests and the run report.
+struct FlightStats {
+  std::int64_t buffered = 0;   // events currently held across all rings
+  std::int64_t dropped = 0;    // events overwritten by ring wrap-around
+  std::int64_t threads = 0;    // rings ever attached since the last reset
+};
+FlightStats CollectFlightStats();
+
+/// Discards all buffered events and re-applies the configured capacity.
+/// Must not race with recording threads; call between parallel regions.
+void ResetFlight();
+
+/// Low-level record primitives. No-ops while disabled. `name` must
+/// outlive the recorder (string literal or interned); CUISINE_SPAN passes
+/// its literal automatically — most code never calls these directly.
+void FlightSpanBegin(const char* name);
+void FlightSpanEnd(const char* name);
+/// Records a counter sample (rendered as a counter track in Perfetto).
+void FlightCounterSample(const char* name, std::int64_t value);
+/// Records an instant event (a labelled vertical marker on the thread
+/// track), e.g. a phase boundary.
+void FlightInstant(const char* name);
+
+/// Copies `name` into a process-lifetime intern table and returns a
+/// stable pointer, for callers whose names are not literals.
+const char* InternFlightName(std::string_view name);
+
+/// Assembles the Chrome trace-event document from every ring: process /
+/// thread metadata ("M"), complete spans ("X", microsecond ts/dur on the
+/// shared epoch, sorted by ts per thread), counters ("C"), and instants
+/// ("i"). Call from a quiescent point.
+Json BuildFlightTrace();
+
+/// Builds the trace and writes it to `path`, creating parent directories
+/// as needed. Also exports recorder health as metrics gauges
+/// (obs.flight.events_dropped / events_unmatched) so the run report
+/// records whether the trace window overflowed.
+Status WriteFlightTrace(const std::string& path);
+
+/// The CUISINE_FLIGHT_TRACE path if set and non-empty, else `fallback`.
+std::string FlightTracePathOrDefault(std::string fallback);
+
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_FLIGHT_H_

@@ -1,0 +1,75 @@
+#include "obs/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace obs {
+
+namespace {
+
+// Reads a "Vm..." field (reported in kB) from /proc/self/status; -1 when
+// the file or the field is unavailable (non-Linux).
+std::int64_t ProcStatusKb(const char* field) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return -1;
+  const std::size_t field_len = std::strlen(field);
+  char line[256];
+  std::int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, field, field_len) == 0 && line[field_len] == ':') {
+      long long value = 0;
+      if (std::sscanf(line + field_len + 1, "%lld", &value) == 1) {
+        kb = static_cast<std::int64_t>(value);
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+std::int64_t CurrentRssBytes() {
+  const std::int64_t kb = ProcStatusKb("VmRSS");
+  return kb < 0 ? -1 : kb * 1024;
+}
+
+std::int64_t PeakRssBytes() {
+  const std::int64_t kb = ProcStatusKb("VmHWM");
+  if (kb >= 0) return kb * 1024;
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+#if defined(__APPLE__)
+    return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+    return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
+#endif
+  }
+#endif
+  return -1;
+}
+
+void SampleMemory(const char* phase) {
+  if (!MetricsEnabled() && !FlightEnabled()) return;
+  const std::int64_t current = CurrentRssBytes();
+  const std::int64_t peak = PeakRssBytes();
+  if (peak >= 0) CUISINE_GAUGE_MAX("mem.peak_rss_bytes", peak);
+  if (current >= 0) {
+    CUISINE_GAUGE_MAX("mem.rss_bytes_max", current);
+    FlightCounterSample("mem.rss_bytes", current);
+  }
+  FlightInstant(phase);
+}
+
+}  // namespace obs
+}  // namespace cuisine

@@ -1,0 +1,36 @@
+// Process memory telemetry for the observability layer: resident-set
+// sampling at pipeline phase boundaries, feeding both the metrics
+// registry (peak gauges in the run report) and the flight recorder (an
+// "mem.rss_bytes" counter track plus a phase marker on the timeline).
+//
+// Sampling reads /proc/self/status (Linux); on platforms without procfs
+// the current-RSS probe returns -1 and the peak falls back to
+// getrusage(RU_MAXRSS). Sampling costs one small file read, so call it at
+// phase boundaries (a handful of times per run), never in hot loops.
+
+#ifndef CUISINE_OBS_MEMORY_H_
+#define CUISINE_OBS_MEMORY_H_
+
+#include <cstdint>
+
+namespace cuisine {
+namespace obs {
+
+/// Current resident set size in bytes (VmRSS), or -1 when unavailable.
+std::int64_t CurrentRssBytes();
+
+/// Peak resident set size in bytes (VmHWM, falling back to getrusage), or
+/// -1 when unavailable.
+std::int64_t PeakRssBytes();
+
+/// Samples memory at a phase boundary: records the `mem.peak_rss_bytes`
+/// and `mem.rss_bytes_max` gauges, a flight-recorder counter sample, and
+/// an instant marker named `phase` on the calling thread's track. No-op
+/// when both metrics and the flight recorder are disabled. `phase` must
+/// be a string literal (or otherwise outlive the recorder).
+void SampleMemory(const char* phase);
+
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_MEMORY_H_

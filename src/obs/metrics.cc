@@ -6,6 +6,7 @@
 #include <cctype>
 #include <cstdlib>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 
@@ -56,10 +57,19 @@ class Registry {
       const MetricInfo& existing = metrics_[it->second];
       CUISINE_CHECK(existing.kind == kind)
           << "metric '" << name << "' re-registered with a different kind";
+      CUISINE_CHECK(existing.edges == edges)
+          << "histogram '" << name
+          << "' re-registered with different bucket edges; all observe "
+             "sites for one histogram must agree";
       return it->second;
     }
-    CUISINE_CHECK(std::is_sorted(edges.begin(), edges.end()))
-        << "histogram edges must be ascending: " << name;
+    // Strictly ascending: a duplicate edge would create a bucket no value
+    // can ever land in, silently skewing the distribution.
+    CUISINE_CHECK(std::adjacent_find(edges.begin(), edges.end(),
+                                     std::greater_equal<std::int64_t>()) ==
+                  edges.end())
+        << "histogram edges must be strictly ascending (no duplicates): "
+        << name;
     const std::size_t slot_count =
         kind == Kind::kHistogram ? edges.size() + 3 : 1;
     CUISINE_CHECK_LT(metrics_.size(), kMaxMetrics) << "metric overflow";

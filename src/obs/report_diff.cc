@@ -1,0 +1,377 @@
+#include "obs/report_diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string_view>
+#include <utility>
+
+namespace cuisine {
+namespace obs {
+
+namespace {
+
+// Stand-in relative change for "baseline was zero, current is not":
+// large enough to sort first and trip any sane threshold, finite so the
+// JSON verdict stays portable.
+constexpr double kFromZeroChange = 1e9;
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+MetricClass Classify(std::string_view key) {
+  if (EndsWith(key, "_ns")) return MetricClass::kTiming;
+  // Histogram sums inherit the unit of the observed quantity.
+  if (EndsWith(key, ".sum") && key.find("_ns") != std::string_view::npos) {
+    return MetricClass::kTiming;
+  }
+  // Substring, not suffix: catches derived names like "rss_bytes_max" and
+  // histogram rows like "alloc_bytes.bucket3".
+  if (key.find("_bytes") != std::string_view::npos) return MetricClass::kMemory;
+  return MetricClass::kCounter;
+}
+
+using FlatMap = std::map<std::string, double>;
+
+void FlattenSection(const Json& report, const char* section,
+                    const char* prefix, FlatMap* out,
+                    std::vector<std::string>* notes, const char* side) {
+  const Json* metrics = report.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return;
+  const Json* values = metrics->Find(section);
+  if (values == nullptr) return;
+  if (!values->is_object()) {
+    notes->push_back(std::string("metrics.") + section + " in " + side +
+                     " report is not an object; section skipped");
+    return;
+  }
+  for (const auto& [name, value] : values->members()) {
+    if (!value.is_number()) continue;
+    (*out)[std::string(prefix) + name] = value.double_value();
+  }
+}
+
+void FlattenSpans(const Json& node, const std::string& path, FlatMap* out) {
+  if (!node.is_object()) return;
+  for (const auto& [name, span] : node.members()) {
+    if (!span.is_object()) continue;
+    const std::string span_path = path.empty() ? name : path + "/" + name;
+    const char* kFields[] = {"count", "total_ns", "self_ns"};
+    for (const char* field : kFields) {
+      const Json* value = span.Find(field);
+      if (value != nullptr && value->is_number()) {
+        (*out)["span/" + span_path + "." + field] = value->double_value();
+      }
+    }
+    const Json* children = span.Find("children");
+    if (children != nullptr) FlattenSpans(*children, span_path, out);
+  }
+}
+
+// Histogram edges must match for bucket-wise rows to mean anything; on a
+// mismatch only count/sum compare and a note records the skip.
+bool EdgesMatch(const Json& base, const Json& current) {
+  const Json* be = base.Find("edges");
+  const Json* ce = current.Find("edges");
+  if (be == nullptr || ce == nullptr || !be->is_array() || !ce->is_array() ||
+      be->size() != ce->size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < be->size(); ++i) {
+    if (be->at(i).double_value() != ce->at(i).double_value()) return false;
+  }
+  return true;
+}
+
+void FlattenHistogram(const Json& histogram, const std::string& name,
+                      bool include_buckets, FlatMap* out) {
+  const char* kFields[] = {"count", "sum"};
+  for (const char* field : kFields) {
+    const Json* value = histogram.Find(field);
+    if (value != nullptr && value->is_number()) {
+      (*out)["hist/" + name + "." + field] = value->double_value();
+    }
+  }
+  if (!include_buckets) return;
+  const Json* buckets = histogram.Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) return;
+  for (std::size_t i = 0; i < buckets->size(); ++i) {
+    if (!buckets->at(i).is_number()) continue;
+    (*out)["hist/" + name + ".bucket" + std::to_string(i)] =
+        buckets->at(i).double_value();
+  }
+}
+
+const Json* FindHistograms(const Json& report) {
+  const Json* metrics = report.Find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) return nullptr;
+  const Json* histograms = metrics->Find("histograms");
+  if (histograms == nullptr || !histograms->is_object()) return nullptr;
+  return histograms;
+}
+
+void FlattenHistograms(const Json& base, const Json& current, FlatMap* out_base,
+                       FlatMap* out_current,
+                       std::vector<std::string>* notes) {
+  const Json* base_hists = FindHistograms(base);
+  const Json* current_hists = FindHistograms(current);
+  if (base_hists != nullptr) {
+    for (const auto& [name, histogram] : base_hists->members()) {
+      if (!histogram.is_object()) continue;
+      const Json* other =
+          current_hists != nullptr ? current_hists->Find(name) : nullptr;
+      const bool comparable =
+          other != nullptr && other->is_object() && EdgesMatch(histogram, *other);
+      if (other != nullptr && other->is_object() && !comparable) {
+        notes->push_back("histogram " + name +
+                         ": edges differ between reports; comparing "
+                         "count/sum only");
+      }
+      FlattenHistogram(histogram, name, comparable, out_base);
+    }
+  }
+  if (current_hists != nullptr) {
+    for (const auto& [name, histogram] : current_hists->members()) {
+      if (!histogram.is_object()) continue;
+      const Json* other =
+          base_hists != nullptr ? base_hists->Find(name) : nullptr;
+      const bool comparable =
+          other != nullptr && other->is_object() && EdgesMatch(*other, histogram);
+      FlattenHistogram(histogram, name, comparable, out_current);
+    }
+  }
+}
+
+FlatMap Flatten(const Json& report, const char* side,
+                std::vector<std::string>* notes) {
+  FlatMap out;
+  FlattenSection(report, "counters", "counter/", &out, notes, side);
+  FlattenSection(report, "gauges", "gauge/", &out, notes, side);
+  const Json* spans = report.Find("spans");
+  if (spans != nullptr) FlattenSpans(*spans, "", &out);
+  return out;
+}
+
+std::string FormatValue(double value) {
+  char buffer[32];
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.4g", value);
+  }
+  return buffer;
+}
+
+std::string FormatChange(const DiffRow& row) {
+  if (row.rel_change >= kFromZeroChange) return "+new";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%+.1f%%", row.rel_change * 100.0);
+  return buffer;
+}
+
+void CompareThreads(const Json& base, const Json& current,
+                    std::vector<std::string>* notes) {
+  const Json* base_config = base.Find("config");
+  const Json* current_config = current.Find("config");
+  if (base_config == nullptr || current_config == nullptr) return;
+  const Json* base_threads = base_config->Find("threads");
+  const Json* current_threads = current_config->Find("threads");
+  if (base_threads == nullptr || current_threads == nullptr) return;
+  if (base_threads->is_number() && current_threads->is_number() &&
+      base_threads->double_value() != current_threads->double_value()) {
+    notes->push_back(
+        "thread counts differ (" + FormatValue(base_threads->double_value()) +
+        " vs " + FormatValue(current_threads->double_value()) +
+        "); timing rows are not comparable");
+  }
+}
+
+}  // namespace
+
+std::string_view MetricClassToString(MetricClass metric_class) {
+  switch (metric_class) {
+    case MetricClass::kCounter:
+      return "counter";
+    case MetricClass::kTiming:
+      return "timing";
+    case MetricClass::kMemory:
+      return "memory";
+  }
+  return "unknown";
+}
+
+std::string DiffResult::ToTable() const {
+  std::string out;
+  std::size_t key_width = 6;
+  for (const DiffRow& row : rows) {
+    key_width = std::max(key_width, row.key.size());
+  }
+  key_width = std::min<std::size_t>(key_width, 72);
+
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-*s %14s %14s %9s %-8s %s\n",
+                static_cast<int>(key_width), "metric", "base", "current",
+                "change", "class", "verdict");
+  out += line;
+
+  std::size_t printed = 0;
+  for (const DiffRow& row : rows) {
+    const char* verdict = row.regression          ? "REGRESSION"
+                          : row.advisory &&
+                                  std::abs(row.rel_change) > 0 ? "advisory"
+                                                               : "ok";
+    std::snprintf(line, sizeof(line), "%-*s %14s %14s %9s %-8s %s\n",
+                  static_cast<int>(key_width), row.key.c_str(),
+                  FormatValue(row.base).c_str(),
+                  FormatValue(row.current).c_str(), FormatChange(row).c_str(),
+                  std::string(MetricClassToString(row.metric_class)).c_str(),
+                  verdict);
+    out += line;
+    ++printed;
+  }
+  if (printed == 0) out += "(no comparable rows)\n";
+
+  for (const std::string& note : notes) out += "note: " + note + "\n";
+  if (!only_base.empty()) {
+    out += "only in base (" + std::to_string(only_base.size()) + "):";
+    for (const std::string& key : only_base) out += " " + key;
+    out += "\n";
+  }
+  if (!only_current.empty()) {
+    out += "only in current (" + std::to_string(only_current.size()) + "):";
+    for (const std::string& key : only_current) out += " " + key;
+    out += "\n";
+  }
+  return out;
+}
+
+Json DiffResult::ToJson() const {
+  Json out = Json::Object();
+  out.Set("regression", Json::Bool(regression));
+  Json row_array = Json::Array();
+  for (const DiffRow& row : rows) {
+    Json entry = Json::Object();
+    entry.Set("key", Json::Str(row.key));
+    entry.Set("class", Json::Str(std::string(MetricClassToString(
+                           row.metric_class))));
+    entry.Set("advisory", Json::Bool(row.advisory));
+    entry.Set("base", Json::Double(row.base));
+    entry.Set("current", Json::Double(row.current));
+    entry.Set("rel_change", Json::Double(row.rel_change));
+    entry.Set("regression", Json::Bool(row.regression));
+    row_array.Push(std::move(entry));
+  }
+  out.Set("rows", std::move(row_array));
+  Json only_base_array = Json::Array();
+  for (const std::string& key : only_base) only_base_array.Push(Json::Str(key));
+  out.Set("only_base", std::move(only_base_array));
+  Json only_current_array = Json::Array();
+  for (const std::string& key : only_current) {
+    only_current_array.Push(Json::Str(key));
+  }
+  out.Set("only_current", std::move(only_current_array));
+  Json note_array = Json::Array();
+  for (const std::string& note : notes) note_array.Push(Json::Str(note));
+  out.Set("notes", std::move(note_array));
+  return out;
+}
+
+Result<DiffResult> DiffRunReports(const Json& base, const Json& current,
+                                  const DiffOptions& options) {
+  if (!base.is_object()) {
+    return Status::InvalidArgument("base report is not a JSON object");
+  }
+  if (!current.is_object()) {
+    return Status::InvalidArgument("current report is not a JSON object");
+  }
+  if (base.Find("metrics") == nullptr && base.Find("spans") == nullptr) {
+    return Status::InvalidArgument(
+        "base report has neither \"metrics\" nor \"spans\"; not a run report");
+  }
+  if (current.Find("metrics") == nullptr && current.Find("spans") == nullptr) {
+    return Status::InvalidArgument(
+        "current report has neither \"metrics\" nor \"spans\"; not a run "
+        "report");
+  }
+
+  DiffResult result;
+  CompareThreads(base, current, &result.notes);
+
+  FlatMap base_values = Flatten(base, "base", &result.notes);
+  FlatMap current_values = Flatten(current, "current", &result.notes);
+  FlattenHistograms(base, current, &base_values, &current_values,
+                    &result.notes);
+
+  for (const auto& [key, base_value] : base_values) {
+    auto it = current_values.find(key);
+    if (it == current_values.end()) {
+      result.only_base.push_back(key);
+      continue;
+    }
+    DiffRow row;
+    row.key = key;
+    row.metric_class = Classify(key);
+    row.advisory =
+        (row.metric_class == MetricClass::kTiming && options.timing_advisory) ||
+        (row.metric_class == MetricClass::kMemory && options.memory_advisory);
+    row.base = base_value;
+    row.current = it->second;
+    if (base_value == it->second) {
+      row.rel_change = 0.0;
+    } else if (base_value == 0.0) {
+      row.rel_change = kFromZeroChange;
+    } else {
+      row.rel_change = (it->second - base_value) / std::abs(base_value);
+    }
+    row.regression =
+        !row.advisory && row.rel_change > options.threshold;
+    result.regression = result.regression || row.regression;
+    result.rows.push_back(std::move(row));
+  }
+  for (const auto& [key, value] : current_values) {
+    (void)value;
+    if (base_values.find(key) == base_values.end()) {
+      result.only_current.push_back(key);
+    }
+  }
+
+  // Regressions first, then largest movement; key order breaks ties so
+  // output is stable for identical inputs.
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const DiffRow& a, const DiffRow& b) {
+              if (a.regression != b.regression) return a.regression;
+              const double am = std::abs(a.rel_change);
+              const double bm = std::abs(b.rel_change);
+              if (am != bm) return am > bm;
+              return a.key < b.key;
+            });
+  if (options.print_floor > 0.0) {
+    // The table-facing row list drops sub-floor noise; regressions are
+    // never dropped (they exceed the threshold, which callers set at or
+    // above any sensible floor).
+    result.rows.erase(
+        std::remove_if(result.rows.begin(), result.rows.end(),
+                       [&](const DiffRow& row) {
+                         return !row.regression &&
+                                std::abs(row.rel_change) < options.print_floor;
+                       }),
+        result.rows.end());
+  }
+  return result;
+}
+
+Result<DiffResult> DiffRunReportFiles(const std::string& base_path,
+                                      const std::string& current_path,
+                                      const DiffOptions& options) {
+  Result<Json> base = Json::ParseFile(base_path);
+  if (!base.ok()) return base.status();
+  Result<Json> current = Json::ParseFile(current_path);
+  if (!current.ok()) return current.status();
+  return DiffRunReports(base.value(), current.value(), options);
+}
+
+}  // namespace obs
+}  // namespace cuisine

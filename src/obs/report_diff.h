@@ -1,0 +1,101 @@
+// Run-report regression differ: compares two run-report documents
+// (obs/run_report.h schema — pipeline reports and BENCH_*.json artifacts
+// share it) metric by metric and renders a verdict.
+//
+// Every comparable quantity is flattened to a row: counters, gauges, span
+// total/self times and hit counts (by slash-joined tree path), and
+// histogram count/sum plus each bucket. Rows are classified so noisy
+// classes can be downgraded to advisory — timing rows (span times, any
+// name ending in "_ns") and memory rows (names ending in "_bytes") vary
+// across machines, while counter-class rows are deterministic for a fixed
+// seed and thread count and make a reliable cross-machine CI gate.
+//
+// A row regresses when its value *increases* by more than the configured
+// relative threshold (a metric appearing where the baseline had zero is
+// an unbounded increase). Decreases are reported but never fail.
+// Members present on only one side are listed, not failed, so schema
+// version 1 baselines diff cleanly against version 2 reports: shared
+// fields compare, new fields surface as "only in" notes.
+//
+// tools/cuisine_report_diff.cc wraps this as a CLI that prints the table,
+// optionally writes the JSON verdict, and exits non-zero on regression.
+
+#ifndef CUISINE_OBS_REPORT_DIFF_H_
+#define CUISINE_OBS_REPORT_DIFF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+
+namespace cuisine {
+namespace obs {
+
+/// Noise class of a diff row, for per-class advisory handling.
+enum class MetricClass {
+  kCounter,  // deterministic counts — the reliable gate
+  kTiming,   // wall-clock durations — machine dependent
+  kMemory,   // byte sizes — allocator/OS dependent
+};
+
+std::string_view MetricClassToString(MetricClass metric_class);
+
+struct DiffOptions {
+  /// Relative increase above which a row regresses (0.25 = +25%).
+  double threshold = 0.25;
+  /// Timing-class rows report but never fail the diff.
+  bool timing_advisory = false;
+  /// Memory-class rows report but never fail the diff.
+  bool memory_advisory = false;
+  /// Rows with |relative change| below this are omitted from the table
+  /// (they still exist for the verdict; equal rows never regress).
+  double print_floor = 0.0;
+};
+
+/// One flattened metric compared across the two reports.
+struct DiffRow {
+  std::string key;       // e.g. "counter/mining.patterns_emitted",
+                         // "span/pipeline/mine.self_ns"
+  MetricClass metric_class = MetricClass::kCounter;
+  bool advisory = false;   // class downgraded by options
+  double base = 0.0;
+  double current = 0.0;
+  double rel_change = 0.0;  // (current - base) / |base|; huge when base==0
+  bool regression = false;  // exceeded threshold, and not advisory
+};
+
+struct DiffResult {
+  /// All joined rows, sorted by |rel_change| descending (ties by key).
+  std::vector<DiffRow> rows;
+  /// Keys present in only one report (schema drift, new instrumentation).
+  std::vector<std::string> only_base;
+  std::vector<std::string> only_current;
+  /// Structural notes that do not fail the diff (thread-count mismatch,
+  /// histogram edge changes, missing sections).
+  std::vector<std::string> notes;
+  /// True iff any row regressed. The CLI exit code mirrors this.
+  bool regression = false;
+
+  /// Fixed-width text table of rows (plus notes / only-in footers),
+  /// regressions first.
+  std::string ToTable() const;
+  /// Machine-readable verdict document.
+  Json ToJson() const;
+};
+
+/// Diffs two parsed run-report documents. Fails only on structurally
+/// unusable input (not an object / no "metrics" and no "spans" section);
+/// every comparable field found in both reports becomes a row.
+Result<DiffResult> DiffRunReports(const Json& base, const Json& current,
+                                  const DiffOptions& options);
+
+/// Convenience wrapper: parses both files and diffs them.
+Result<DiffResult> DiffRunReportFiles(const std::string& base_path,
+                                      const std::string& current_path,
+                                      const DiffOptions& options);
+
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_REPORT_DIFF_H_

@@ -8,7 +8,9 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/flight.h"
 #include "obs/internal.h"
+#include "obs/memory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -78,7 +80,7 @@ void ClearRunContext() {
 
 Json BuildRunReport(std::string_view name) {
   Json report = Json::Object();
-  report.Set("schema_version", Json::Int(1));
+  report.Set("schema_version", Json::Int(kRunReportSchemaVersion));
   report.Set("name", Json::Str(std::string(name)));
 
   Json build = Json::Object();
@@ -93,6 +95,7 @@ Json BuildRunReport(std::string_view name) {
              Json::Int(static_cast<std::int64_t>(ParallelThreadCount())));
   config.Set("metrics_enabled", Json::Bool(MetricsEnabled()));
   config.Set("trace_enabled", Json::Bool(TraceEnabled()));
+  config.Set("flight_recorder", Json::Bool(FlightEnabled()));
   report.Set("config", std::move(config));
 
   Json context = Json::Object();
@@ -134,17 +137,7 @@ Json BuildRunReport(std::string_view name) {
 }
 
 Status WriteRunReport(std::string_view name, const std::string& path) {
-  const Json report = BuildRunReport(name);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open run report path: " + path);
-  }
-  out << report.Dump(/*indent=*/2) << '\n';
-  out.flush();
-  if (!out) {
-    return Status::IOError("failed writing run report: " + path);
-  }
-  return Status::OK();
+  return WriteJsonFile(BuildRunReport(name), path, /*indent=*/2);
 }
 
 std::string RunReportPathOrDefault(std::string fallback) {
@@ -157,14 +150,33 @@ RunReportSession::RunReportSession(std::string name, std::string path)
     : name_(std::move(name)), path_(std::move(path)) {
   ResetMetrics();
   ResetTrace();
+  ResetFlight();
   ClearRunContext();
   // The session itself is the opt-in; the env vars remain an opt-out
-  // (CUISINE_METRICS=0 keeps a bench's hot loops uninstrumented).
+  // (CUISINE_METRICS=0 keeps a bench's hot loops uninstrumented). The
+  // flight recorder keeps its own opt-in (CUISINE_FLIGHT=1).
   SetMetricsEnabled(internal::EnvFlag("CUISINE_METRICS", /*fallback=*/true));
   SetTraceEnabled(internal::EnvFlag("CUISINE_TRACE", /*fallback=*/true));
+  if (!path_.empty() && path_.size() > 5 &&
+      path_.compare(path_.size() - 5, 5, ".json") == 0) {
+    flight_path_ = path_.substr(0, path_.size() - 5) + ".trace.json";
+  }
+  flight_path_ = FlightTracePathOrDefault(std::move(flight_path_));
+  SampleMemory("session_start");
 }
 
 RunReportSession::~RunReportSession() {
+  SampleMemory("session_end");
+  // Flush the flight trace first so its drop/buffer gauges land in the
+  // report written below.
+  if (FlightEnabled() && !flight_path_.empty()) {
+    Status status = WriteFlightTrace(flight_path_);
+    if (!status.ok()) {
+      CUISINE_LOG(Error) << "flight trace: " << status.ToString();
+    } else {
+      CUISINE_LOG(Info) << "flight trace written to " << flight_path_;
+    }
+  }
   if (path_.empty()) return;
   if (!MetricsEnabled() && !TraceEnabled()) return;
   Status status = WriteRunReport(name_, path_);

@@ -5,12 +5,15 @@
 // are emitted in a fixed order, and map-valued sections are sorted by
 // key. EXPERIMENTS.md describes the capture/compare protocol.
 //
-// Schema (schema_version 1):
+// Schema (schema_version 2; v2 added "flight_recorder" to "config" and
+// the mem./obs.flight. gauge families — all v1 fields are unchanged, so
+// tools that compare shared fields accept 1-vs-2 diffs):
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name": "bench_miners",
 //     "build":   { "version", "git_describe", "compiler", "build_type" },
-//     "config":  { "threads", "metrics_enabled", "trace_enabled" },
+//     "config":  { "threads", "metrics_enabled", "trace_enabled",
+//                  "flight_recorder" },
 //     "context": { <SetRunContext key/values, e.g. "generator.seed"> },
 //     "spans":   { "<name>": { "count", "total_ns", "self_ns",
 //                              "children": { ... } }, ... },
@@ -45,8 +48,12 @@ void ClearRunContext();
 /// totals, and context. Call from a quiescent point.
 Json BuildRunReport(std::string_view name);
 
-/// Builds the report and writes it (pretty-printed) to `path`.
+/// Builds the report and writes it (pretty-printed) to `path`, creating
+/// missing parent directories first.
 Status WriteRunReport(std::string_view name, const std::string& path);
+
+/// The report schema version WriteRunReport emits.
+inline constexpr std::int64_t kRunReportSchemaVersion = 2;
 
 /// The CUISINE_RUN_REPORT path if set and non-empty, else `fallback`.
 std::string RunReportPathOrDefault(std::string fallback);
@@ -60,10 +67,15 @@ std::string RunReportPathOrDefault(std::string fallback);
 ///     ...
 ///   }
 ///
-/// On construction, resets metrics + trace state and enables both unless
-/// the environment explicitly opts out (CUISINE_METRICS=0 /
-/// CUISINE_TRACE=0). On destruction, writes the report to `path` (empty
-/// path disables writing). Failures are logged, never fatal.
+/// On construction, resets metrics + trace + flight-recorder state and
+/// enables metrics/trace unless the environment explicitly opts out
+/// (CUISINE_METRICS=0 / CUISINE_TRACE=0); the flight recorder stays on
+/// its own opt-in (CUISINE_FLIGHT=1 or SetFlightEnabled). On destruction,
+/// writes the report to `path` (empty path disables writing) and, when
+/// the flight recorder is enabled, flushes the timeline to
+/// `flight_path()` — derived from `path` by replacing the ".json" suffix
+/// with ".trace.json" (CUISINE_FLIGHT_TRACE or set_flight_path override).
+/// Failures are logged, never fatal.
 class RunReportSession {
  public:
   RunReportSession(std::string name, std::string path);
@@ -74,9 +86,14 @@ class RunReportSession {
 
   const std::string& path() const { return path_; }
 
+  const std::string& flight_path() const { return flight_path_; }
+  /// Overrides where the flight trace is flushed (empty disables).
+  void set_flight_path(std::string path) { flight_path_ = std::move(path); }
+
  private:
   std::string name_;
   std::string path_;
+  std::string flight_path_;
 };
 
 }  // namespace obs

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "common/parallel.h"
+#include "obs/flight.h"
 #include "obs/internal.h"
 #include "obs/metrics.h"
 
@@ -75,8 +76,25 @@ void* CaptureContext() {
   return t_current_node != nullptr ? t_current_node : t_adopted_parent;
 }
 
+// True while this worker emitted a flight begin event for the adopted
+// job, so the matching end fires even if the recorder toggles mid-job.
+thread_local bool t_flight_adopt_open = false;
+
 void AdoptContext(void* context) {
-  t_adopted_parent = static_cast<SpanNode*>(context);
+  SpanNode* node = static_cast<SpanNode*>(context);
+  t_adopted_parent = node;
+  // Bracket the adopted job on this worker's flight-recorder track with a
+  // span named after the dispatching span, so worker activity renders
+  // nested under the dispatch on the timeline.
+  if (node != nullptr) {
+    if (FlightEnabled()) {
+      FlightSpanBegin(InternFlightName(node->name));
+      t_flight_adopt_open = true;
+    }
+  } else if (t_flight_adopt_open) {
+    FlightSpanEnd(nullptr);
+    t_flight_adopt_open = false;
+  }
 }
 
 void OnParallelForStats(const ParallelForStats& stats) {
@@ -144,6 +162,10 @@ void SetTraceEnabled(bool enabled) {
 }
 
 Span::Span(const char* name) {
+  if (FlightEnabled()) {
+    flight_name_ = name;
+    FlightSpanBegin(name);
+  }
   if (!TraceEnabled()) return;
   SpanNode* parent_node =
       t_current_node != nullptr
@@ -159,6 +181,7 @@ Span::Span(const char* name) {
 }
 
 Span::~Span() {
+  if (flight_name_ != nullptr) FlightSpanEnd(flight_name_);
   if (node_ == nullptr) return;
   self_.Stop();
   total_.Stop();

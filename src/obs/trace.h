@@ -57,6 +57,9 @@ class Span {
  private:
   internal::SpanNode* node_ = nullptr;  // nullptr while tracing disabled
   Span* parent_ = nullptr;              // same-thread enclosing span
+  // Non-null while the flight recorder (obs/flight.h) is capturing this
+  // span's begin/end events; holds the name for the end event.
+  const char* flight_name_ = nullptr;
   StopWatch self_;
   StopWatch total_;
 };

@@ -1,0 +1,291 @@
+// Flight-recorder contract: spans become well-formed Chrome trace events
+// on the owning thread's track, ParallelFor worker activity nests under
+// the dispatching span at any thread count, ring overflow drops the
+// oldest events (and says so), and a disabled recorder records nothing.
+
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace {
+
+constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+class FlightTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    obs::SetTraceEnabled(true);
+    obs::SetFlightEnabled(true);
+    obs::ResetMetrics();
+    obs::ResetTrace();
+    obs::SetFlightCapacity(kDefaultCapacity);
+    obs::ResetFlight();
+  }
+  void TearDown() override {
+    obs::SetFlightEnabled(false);
+    obs::SetMetricsEnabled(false);
+    obs::SetTraceEnabled(false);
+    obs::SetFlightCapacity(kDefaultCapacity);
+    obs::ResetFlight();
+    obs::ResetMetrics();
+    obs::ResetTrace();
+    SetParallelThreads(1);
+  }
+};
+
+// One parsed trace event (the fields every phase carries).
+struct TraceEvent {
+  std::string name;
+  std::string phase;
+  std::int64_t tid = 0;
+  double ts = 0.0;
+  double dur = -1.0;  // X only
+};
+
+// Structural validation shared by every test: the document round-trips
+// through the JSON parser, every event carries the required fields, and
+// per-track timestamps are monotone (the flush sorts each ring).
+// (Out-parameter because gtest ASSERT_* requires a void function.)
+void ValidateAndExtract(const Json& trace, std::vector<TraceEvent>* out) {
+  auto reparsed = Json::Parse(trace.Dump(/*indent=*/0));
+  EXPECT_TRUE(reparsed.ok()) << reparsed.status();
+
+  const Json* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<std::int64_t, double> last_ts;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    ASSERT_TRUE(e.is_object());
+    const Json* name = e.Find("name");
+    const Json* phase = e.Find("ph");
+    const Json* pid = e.Find("pid");
+    const Json* tid = e.Find("tid");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(phase, nullptr);
+    ASSERT_NE(pid, nullptr);
+    ASSERT_NE(tid, nullptr);
+    if (phase->string_value() == "M") continue;  // metadata has no ts
+
+    TraceEvent parsed;
+    parsed.name = name->string_value();
+    parsed.phase = phase->string_value();
+    parsed.tid = tid->int_value();
+    const Json* ts = e.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    parsed.ts = ts->double_value();
+    if (parsed.phase == "X") {
+      const Json* dur = e.Find("dur");
+      ASSERT_NE(dur, nullptr);
+      parsed.dur = dur->double_value();
+      EXPECT_GE(parsed.dur, 0.0);
+    }
+    auto it = last_ts.find(parsed.tid);
+    if (it != last_ts.end()) {
+      EXPECT_LE(it->second, parsed.ts)
+          << "timestamps must be monotone within tid " << parsed.tid;
+    }
+    last_ts[parsed.tid] = parsed.ts;
+    out->push_back(std::move(parsed));
+  }
+}
+
+TEST_F(FlightTest, DisabledRecordsNothing) {
+  obs::SetFlightEnabled(false);
+  obs::ResetFlight();
+  {
+    CUISINE_SPAN("invisible");
+    obs::FlightCounterSample("invisible.counter", 42);
+    obs::FlightInstant("invisible.marker");
+  }
+  obs::FlightStats stats = obs::CollectFlightStats();
+  EXPECT_EQ(stats.buffered, 0);
+  EXPECT_EQ(stats.dropped, 0);
+  std::vector<TraceEvent> events;
+  ValidateAndExtract(obs::BuildFlightTrace(), &events);
+  for (const TraceEvent& e : events) {
+    ADD_FAILURE() << "unexpected event while disabled: " << e.name;
+  }
+}
+
+TEST_F(FlightTest, SpansBecomeCompleteEvents) {
+  {
+    CUISINE_SPAN("outer_scope");
+    {
+      CUISINE_SPAN("inner_scope");
+    }
+  }
+  obs::FlightInstant("phase_marker");
+  obs::FlightCounterSample("sample.value", 7);
+
+  std::vector<TraceEvent> events;
+  ValidateAndExtract(obs::BuildFlightTrace(), &events);
+  int outer = 0, inner = 0, instants = 0, counters = 0, unclosed = 0;
+  for (const TraceEvent& e : events) {
+    if (e.phase == "B") ++unclosed;
+    if (e.phase == "X" && e.name == "outer_scope") ++outer;
+    if (e.phase == "X" && e.name == "inner_scope") ++inner;
+    if (e.phase == "i" && e.name == "phase_marker") ++instants;
+    if (e.phase == "C" && e.name == "sample.value") ++counters;
+  }
+  EXPECT_EQ(outer, 1);
+  EXPECT_EQ(inner, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_EQ(counters, 1);
+  // Every begin found its end: no dangling "B" events.
+  EXPECT_EQ(unclosed, 0);
+}
+
+TEST_F(FlightTest, WorkerSpansNestUnderDispatchAtAnyThreadCount) {
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    SetParallelThreads(threads);
+    obs::ResetTrace();
+    obs::ResetFlight();
+    {
+      CUISINE_SPAN("dispatch");
+      ParallelFor(0, 16, 1, [](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) {
+          CUISINE_SPAN("work_item");
+        }
+      });
+    }
+
+    std::vector<TraceEvent> events;
+    ValidateAndExtract(obs::BuildFlightTrace(), &events);
+    // Each tid that ran work items must show a "dispatch" span on its own
+    // track covering them — the calling thread's real span, or the
+    // adoption bracket the parallel hooks open on pool workers.
+    std::map<std::int64_t, std::vector<const TraceEvent*>> items;
+    std::map<std::int64_t, std::vector<const TraceEvent*>> dispatches;
+    int total_items = 0;
+    for (const TraceEvent& e : events) {
+      if (e.phase != "X") continue;
+      if (e.name == "work_item") {
+        items[e.tid].push_back(&e);
+        ++total_items;
+      }
+      if (e.name == "dispatch") dispatches[e.tid].push_back(&e);
+    }
+    EXPECT_EQ(total_items, 16) << "threads=" << threads;
+    for (const auto& [tid, tid_items] : items) {
+      ASSERT_FALSE(dispatches[tid].empty())
+          << "tid " << tid << " ran work items without a dispatch span "
+          << "(threads=" << threads << ")";
+      for (const TraceEvent* item : tid_items) {
+        bool covered = false;
+        for (const TraceEvent* d : dispatches[tid]) {
+          if (d->ts <= item->ts && item->ts + item->dur <= d->ts + d->dur) {
+            covered = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(covered)
+            << "work_item at ts=" << item->ts << " on tid " << tid
+            << " not nested under a dispatch span (threads=" << threads
+            << ")";
+      }
+    }
+  }
+}
+
+TEST_F(FlightTest, OverflowDropsOldestAndCountsIt) {
+  obs::SetFlightCapacity(8);
+  obs::ResetFlight();
+  for (int i = 0; i < 20; ++i) {
+    obs::FlightInstant("tick");
+  }
+  obs::FlightStats stats = obs::CollectFlightStats();
+  EXPECT_EQ(stats.buffered, 8);
+  EXPECT_EQ(stats.dropped, 12);
+
+  std::vector<TraceEvent> events;
+  ValidateAndExtract(obs::BuildFlightTrace(), &events);
+  EXPECT_EQ(events.size(), 8u) << "only the newest window survives";
+}
+
+TEST_F(FlightTest, EndWhoseBeginFellOutOfWindowIsDiscarded) {
+  obs::SetFlightCapacity(8);
+  obs::ResetFlight();
+  {
+    CUISINE_SPAN("doomed");  // begin will be overwritten by the ticks
+    for (int i = 0; i < 10; ++i) {
+      obs::FlightInstant("tick");
+    }
+  }
+
+  const std::string path =
+      testing::TempDir() + "/flight_overflow.trace.json";
+  Status st = obs::WriteFlightTrace(path);
+  ASSERT_TRUE(st.ok()) << st;
+
+  auto parsed = Json::ParseFile(path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  std::vector<TraceEvent> events;
+  ValidateAndExtract(parsed.value(), &events);
+  for (const TraceEvent& e : events) {
+    EXPECT_NE(e.phase, "E") << "unpaired end events must not be exported";
+    EXPECT_NE(e.name, "doomed");
+  }
+
+  // The flush exports recorder health as gauges for the run report.
+  obs::MetricsSnapshot snap = obs::CollectMetrics();
+  EXPECT_EQ(snap.gauges.at("obs.flight.events_unmatched"), 1);
+  EXPECT_GT(snap.gauges.at("obs.flight.events_dropped"), 0);
+  std::remove(path.c_str());
+}
+
+TEST_F(FlightTest, InternedNamesAreStable) {
+  const char* a = obs::InternFlightName(std::string("dynamic_name"));
+  const char* b = obs::InternFlightName(std::string("dynamic_name"));
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "dynamic_name");
+}
+
+TEST_F(FlightTest, SessionFlushesTraceNextToReport) {
+  const std::string report_path =
+      testing::TempDir() + "/flight_session.json";
+  const std::string trace_path =
+      testing::TempDir() + "/flight_session.trace.json";
+  {
+    obs::RunReportSession session("flight_session", report_path);
+    EXPECT_EQ(session.flight_path(), trace_path);
+    CUISINE_SPAN("session_work");
+  }
+
+  auto trace = Json::ParseFile(trace_path);
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  bool saw_work = false;
+  std::vector<TraceEvent> events;
+  ValidateAndExtract(trace.value(), &events);
+  for (const TraceEvent& e : events) {
+    if (e.name == "session_work" && e.phase == "X") saw_work = true;
+  }
+  EXPECT_TRUE(saw_work);
+
+  auto report = Json::ParseFile(report_path);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(
+      report->Find("config")->Find("flight_recorder")->bool_value());
+  // The flush-before-write ordering lands recorder health in the report.
+  const Json* gauges = report->Find("metrics")->Find("gauges");
+  ASSERT_NE(gauges->Find("obs.flight.events_buffered"), nullptr);
+  EXPECT_EQ(gauges->Find("obs.flight.events_dropped")->int_value(), 0);
+  std::remove(report_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -141,6 +141,26 @@ TEST_F(ObsTest, RegistrationIsIdempotentAndKindChecked) {
   EXPECT_EQ(obs::CollectMetrics().counters.at("test.same"), 5);
 }
 
+TEST_F(ObsTest, HistogramRejectsUnsortedOrDuplicateEdges) {
+  EXPECT_DEATH(obs::RegisterHistogram("test.bad_edges.unsorted", {50, 10}),
+               "strictly ascending");
+  // A duplicate edge would create an unreachable bucket.
+  EXPECT_DEATH(obs::RegisterHistogram("test.bad_edges.duplicate", {10, 10, 20}),
+               "strictly ascending");
+}
+
+TEST_F(ObsTest, HistogramRejectsReRegistrationWithDifferentEdges) {
+  obs::RegisterHistogram("test.edges_mismatch", {10, 20, 30});
+  // Same edges: idempotent, same id.
+  const obs::MetricId again =
+      obs::RegisterHistogram("test.edges_mismatch", {10, 20, 30});
+  obs::HistogramObserve(again, 15);
+  EXPECT_EQ(obs::CollectMetrics().histograms.at("test.edges_mismatch").count,
+            1);
+  EXPECT_DEATH(obs::RegisterHistogram("test.edges_mismatch", {10, 20}),
+               "different bucket edges");
+}
+
 TEST_F(ObsTest, ResetClearsValuesButKeepsRegistrations) {
   const obs::MetricId id = obs::RegisterCounter("test.reset");
   obs::CounterAdd(id, 9);

@@ -1,0 +1,277 @@
+// Differ contract: identical reports pass, a counter increase beyond the
+// threshold fails with the offending metric named, timing/memory classes
+// can be downgraded to advisory, and schema-v1-vs-v2 reports compare on
+// their shared fields only.
+
+#include "obs/report_diff.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cuisine {
+namespace {
+
+using obs::DiffOptions;
+using obs::DiffResult;
+using obs::DiffRow;
+using obs::MetricClass;
+
+Json MakeReport(
+    std::vector<std::pair<std::string, std::int64_t>> counters,
+    std::vector<std::pair<std::string, std::int64_t>> gauges = {},
+    std::int64_t schema_version = 2) {
+  Json report = Json::Object();
+  report.Set("schema_version", Json::Int(schema_version));
+  report.Set("name", Json::Str("unit"));
+  Json config = Json::Object();
+  config.Set("threads", Json::Int(1));
+  report.Set("config", std::move(config));
+  report.Set("spans", Json::Object());
+  Json metrics = Json::Object();
+  Json counter_obj = Json::Object();
+  for (auto& [name, value] : counters) counter_obj.Set(name, Json::Int(value));
+  Json gauge_obj = Json::Object();
+  for (auto& [name, value] : gauges) gauge_obj.Set(name, Json::Int(value));
+  metrics.Set("counters", std::move(counter_obj));
+  metrics.Set("gauges", std::move(gauge_obj));
+  metrics.Set("histograms", Json::Object());
+  report.Set("metrics", std::move(metrics));
+  return report;
+}
+
+const DiffRow* FindRow(const DiffResult& result, const std::string& key) {
+  for (const DiffRow& row : result.rows) {
+    if (row.key == key) return &row;
+  }
+  return nullptr;
+}
+
+TEST(ReportDiffTest, IdenticalReportsHaveNoRegression) {
+  Json report = MakeReport({{"mining.patterns", 100}}, {{"peak", 5}});
+  auto diffed = obs::DiffRunReports(report, report, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  EXPECT_FALSE(diffed->regression);
+  for (const DiffRow& row : diffed->rows) {
+    EXPECT_EQ(row.rel_change, 0.0) << row.key;
+    EXPECT_FALSE(row.regression) << row.key;
+  }
+  EXPECT_TRUE(diffed->only_base.empty());
+  EXPECT_TRUE(diffed->only_current.empty());
+}
+
+TEST(ReportDiffTest, CounterIncreaseBeyondThresholdRegresses) {
+  Json base = MakeReport({{"mining.patterns", 100}});
+  Json current = MakeReport({{"mining.patterns", 140}});
+  auto diffed = obs::DiffRunReports(base, current, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  EXPECT_TRUE(diffed->regression);
+  const DiffRow* row = FindRow(*diffed, "counter/mining.patterns");
+  ASSERT_NE(row, nullptr);
+  EXPECT_TRUE(row->regression);
+  EXPECT_NEAR(row->rel_change, 0.4, 1e-9);
+  // The offending metric is named in both renderings of the verdict.
+  EXPECT_NE(diffed->ToTable().find("counter/mining.patterns"),
+            std::string::npos);
+  EXPECT_NE(diffed->ToTable().find("REGRESSION"), std::string::npos);
+}
+
+TEST(ReportDiffTest, DecreaseAndSmallIncreaseDoNotRegress) {
+  Json base = MakeReport({{"a", 100}, {"b", 100}});
+  Json current = MakeReport({{"a", 10}, {"b", 110}});  // -90% and +10%
+  auto diffed = obs::DiffRunReports(base, current, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  EXPECT_FALSE(diffed->regression);
+}
+
+TEST(ReportDiffTest, FromZeroBaselineCountsAsRegression) {
+  Json base = MakeReport({{"errors", 0}});
+  Json current = MakeReport({{"errors", 3}});
+  auto diffed = obs::DiffRunReports(base, current, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  EXPECT_TRUE(diffed->regression);
+}
+
+TEST(ReportDiffTest, TimingAndMemoryClassesCanBeAdvisory) {
+  Json base = MakeReport({{"stage.elapsed_ns", 1000}},
+                         {{"mem.peak_rss_bytes", 1000}});
+  Json current = MakeReport({{"stage.elapsed_ns", 5000}},
+                            {{"mem.peak_rss_bytes", 9000}});
+
+  auto strict = obs::DiffRunReports(base, current, DiffOptions{});
+  ASSERT_TRUE(strict.ok());
+  EXPECT_TRUE(strict->regression);
+
+  DiffOptions lenient;
+  lenient.timing_advisory = true;
+  lenient.memory_advisory = true;
+  auto advisory = obs::DiffRunReports(base, current, lenient);
+  ASSERT_TRUE(advisory.ok());
+  EXPECT_FALSE(advisory->regression);
+  const DiffRow* timing = FindRow(*advisory, "counter/stage.elapsed_ns");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_EQ(timing->metric_class, MetricClass::kTiming);
+  EXPECT_TRUE(timing->advisory);
+  const DiffRow* memory = FindRow(*advisory, "gauge/mem.peak_rss_bytes");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->metric_class, MetricClass::kMemory);
+  EXPECT_TRUE(memory->advisory);
+}
+
+TEST(ReportDiffTest, SchemaDriftComparesSharedFieldsOnly) {
+  // v1 baseline without the v2-era gauges vs a v2 report that has them:
+  // the shared counter compares, the new gauge is listed, nothing fails.
+  Json v1 = MakeReport({{"shared", 10}}, {}, /*schema_version=*/1);
+  Json v2 = MakeReport({{"shared", 10}}, {{"mem.peak_rss_bytes", 123}},
+                       /*schema_version=*/2);
+  auto diffed = obs::DiffRunReports(v1, v2, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  EXPECT_FALSE(diffed->regression);
+  ASSERT_EQ(diffed->only_current.size(), 1u);
+  EXPECT_EQ(diffed->only_current[0], "gauge/mem.peak_rss_bytes");
+  EXPECT_NE(FindRow(*diffed, "counter/shared"), nullptr);
+}
+
+TEST(ReportDiffTest, SpanTreesFlattenToPaths) {
+  auto with_spans = [](std::int64_t inner_total) {
+    Json report = MakeReport({});
+    Json inner = Json::Object();
+    inner.Set("count", Json::Int(4));
+    inner.Set("total_ns", Json::Int(inner_total));
+    inner.Set("self_ns", Json::Int(inner_total));
+    inner.Set("children", Json::Object());
+    Json outer = Json::Object();
+    outer.Set("count", Json::Int(1));
+    outer.Set("total_ns", Json::Int(inner_total * 2));
+    outer.Set("self_ns", Json::Int(inner_total));
+    Json children = Json::Object();
+    children.Set("inner", std::move(inner));
+    outer.Set("children", std::move(children));
+    Json spans = Json::Object();
+    spans.Set("outer", std::move(outer));
+    report.Set("spans", std::move(spans));
+    return report;
+  };
+  Json base = with_spans(1000);
+  Json current = with_spans(8000);
+  DiffOptions options;
+  options.timing_advisory = true;
+  auto diffed = obs::DiffRunReports(base, current, options);
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  // Span times are timing-class: advisory here, so no failure...
+  EXPECT_FALSE(diffed->regression);
+  const DiffRow* total = FindRow(*diffed, "span/outer/inner.total_ns");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->metric_class, MetricClass::kTiming);
+  EXPECT_NEAR(total->rel_change, 7.0, 1e-9);
+  // ...but span hit counts are deterministic counters and always gate.
+  const DiffRow* count = FindRow(*diffed, "span/outer/inner.count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->metric_class, MetricClass::kCounter);
+  EXPECT_FALSE(count->regression);
+}
+
+TEST(ReportDiffTest, HistogramBucketsCompareWhenEdgesMatch) {
+  auto with_hist = [](std::vector<std::int64_t> buckets,
+                      std::vector<std::int64_t> edges) {
+    Json report = MakeReport({});
+    Json hist = Json::Object();
+    Json edge_array = Json::Array();
+    for (std::int64_t e : edges) edge_array.Push(Json::Int(e));
+    Json bucket_array = Json::Array();
+    std::int64_t count = 0;
+    for (std::int64_t b : buckets) {
+      bucket_array.Push(Json::Int(b));
+      count += b;
+    }
+    hist.Set("edges", std::move(edge_array));
+    hist.Set("buckets", std::move(bucket_array));
+    hist.Set("count", Json::Int(count));
+    hist.Set("sum", Json::Int(count * 10));
+    Json hists = Json::Object();
+    hists.Set("latency", std::move(hist));
+    const_cast<Json*>(report.Find("metrics"))
+        ->Set("histograms", std::move(hists));
+    return report;
+  };
+  Json base = with_hist({10, 10, 0}, {50, 100});
+  Json shifted = with_hist({0, 10, 10}, {50, 100});
+  auto diffed = obs::DiffRunReports(base, shifted, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  // Bucket 2 went 0 -> 10: a distribution shift the totals would hide.
+  EXPECT_TRUE(diffed->regression);
+  ASSERT_NE(FindRow(*diffed, "hist/latency.bucket2"), nullptr);
+  EXPECT_TRUE(FindRow(*diffed, "hist/latency.bucket2")->regression);
+
+  Json re_edged = with_hist({10, 10, 0}, {60, 120});
+  auto mismatched = obs::DiffRunReports(base, re_edged, DiffOptions{});
+  ASSERT_TRUE(mismatched.ok());
+  // Edge change: count/sum still compare, buckets skipped with a note.
+  EXPECT_EQ(FindRow(*mismatched, "hist/latency.bucket0"), nullptr);
+  ASSERT_NE(FindRow(*mismatched, "hist/latency.count"), nullptr);
+  bool noted = false;
+  for (const std::string& note : mismatched->notes) {
+    if (note.find("edges differ") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(ReportDiffTest, RejectsNonReportDocuments) {
+  Json not_a_report = Json::Object();
+  not_a_report.Set("hello", Json::Str("world"));
+  Json report = MakeReport({});
+  EXPECT_FALSE(
+      obs::DiffRunReports(not_a_report, report, DiffOptions{}).ok());
+  EXPECT_FALSE(
+      obs::DiffRunReports(report, not_a_report, DiffOptions{}).ok());
+  EXPECT_FALSE(
+      obs::DiffRunReports(Json::Int(3), report, DiffOptions{}).ok());
+}
+
+TEST(ReportDiffTest, FileRoundTripAndJsonVerdict) {
+  const std::string base_path = testing::TempDir() + "/diff_base.json";
+  const std::string current_path = testing::TempDir() + "/diff_current.json";
+  Json base = MakeReport({{"rows", 100}});
+  Json current = MakeReport({{"rows", 200}});
+  ASSERT_TRUE(WriteJsonFile(base, base_path).ok());
+  ASSERT_TRUE(WriteJsonFile(current, current_path).ok());
+
+  auto diffed =
+      obs::DiffRunReportFiles(base_path, current_path, DiffOptions{});
+  ASSERT_TRUE(diffed.ok()) << diffed.status();
+  EXPECT_TRUE(diffed->regression);
+
+  Json verdict = diffed->ToJson();
+  EXPECT_TRUE(verdict.Find("regression")->bool_value());
+  ASSERT_GE(verdict.Find("rows")->size(), 1u);
+  EXPECT_EQ(verdict.Find("rows")->at(0).Find("key")->string_value(),
+            "counter/rows");
+
+  EXPECT_FALSE(
+      obs::DiffRunReportFiles("/no/such/base.json", current_path, DiffOptions{})
+          .ok());
+  std::remove(base_path.c_str());
+  std::remove(current_path.c_str());
+}
+
+TEST(ReportDiffTest, ThreadCountMismatchIsNoted) {
+  Json base = MakeReport({{"x", 1}});
+  Json current = MakeReport({{"x", 1}});
+  const_cast<Json*>(current.Find("config"))->Set("threads", Json::Int(8));
+  auto diffed = obs::DiffRunReports(base, current, DiffOptions{});
+  ASSERT_TRUE(diffed.ok());
+  EXPECT_FALSE(diffed->regression);
+  bool noted = false;
+  for (const std::string& note : diffed->notes) {
+    if (note.find("thread counts differ") != std::string::npos) noted = true;
+  }
+  EXPECT_TRUE(noted);
+}
+
+}  // namespace
+}  // namespace cuisine

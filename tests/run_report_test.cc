@@ -62,7 +62,9 @@ TEST_F(RunReportTest, SchemaHasStableShape) {
   EXPECT_EQ(members[5].first, "spans");
   EXPECT_EQ(members[6].first, "metrics");
 
-  EXPECT_EQ(report.Find("schema_version")->int_value(), 1);
+  EXPECT_EQ(report.Find("schema_version")->int_value(),
+            obs::kRunReportSchemaVersion);
+  EXPECT_EQ(report.Find("schema_version")->int_value(), 2);
   EXPECT_EQ(report.Find("name")->string_value(), "unit");
 
   const Json* build = report.Find("build");
@@ -77,6 +79,9 @@ TEST_F(RunReportTest, SchemaHasStableShape) {
   EXPECT_GE(config->Find("threads")->int_value(), 1);
   EXPECT_TRUE(config->Find("metrics_enabled")->bool_value());
   EXPECT_TRUE(config->Find("trace_enabled")->bool_value());
+  // v2: the flight-recorder state is part of the provenance.
+  ASSERT_NE(config->Find("flight_recorder"), nullptr);
+  EXPECT_FALSE(config->Find("flight_recorder")->bool_value());
 
   const Json* counters = report.Find("metrics")->Find("counters");
   ASSERT_NE(counters, nullptr);
@@ -144,9 +149,27 @@ TEST_F(RunReportTest, WrittenReportParsesBack) {
   std::remove(path.c_str());
 }
 
+TEST_F(RunReportTest, WriteCreatesMissingParentDirectories) {
+  const std::string path = TempPath("run_report_nested/deep/report.json");
+  Status st = obs::WriteRunReport("nested", path);
+  ASSERT_TRUE(st.ok()) << st;
+  auto parsed = Json::Parse(ReadFile(path));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->Find("name")->string_value(), "nested");
+  std::remove(path.c_str());
+}
+
 TEST_F(RunReportTest, WriteFailsOnBadPath) {
-  Status st = obs::WriteRunReport("bad", "/nonexistent-dir/report.json");
+  // A regular file in the parent chain makes directory creation
+  // impossible, for any uid — unlike an absolute "/nonexistent" path,
+  // which a root test runner could simply create.
+  const std::string blocker = TempPath("run_report_blocker");
+  std::ofstream(blocker) << "not a directory";
+  Status st = obs::WriteRunReport("bad", blocker + "/sub/report.json");
   EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find(blocker), std::string::npos)
+      << "error should name the offending path: " << st;
+  std::remove(blocker.c_str());
 }
 
 TEST_F(RunReportTest, PathOrDefaultPrefersEnvironment) {

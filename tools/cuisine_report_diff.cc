@@ -1,0 +1,126 @@
+// CLI front end for the run-report regression differ (obs/report_diff.h).
+//
+//   cuisine_report_diff [flags] <base.json> <current.json>
+//
+//   --threshold=0.25     relative increase that counts as a regression
+//   --timing-advisory    timing-class rows (span times, *_ns) never fail
+//   --memory-advisory    memory-class rows (*_bytes) never fail
+//   --print-floor=0.0    hide rows whose |change| is below this fraction
+//   --json=PATH          also write the JSON verdict document to PATH
+//
+// Prints the sorted diff table to stdout. Exit codes: 0 no regression,
+// 1 regression detected (offending rows named in the table), 2 usage or
+// input error. CI gates bench runs against bench/baselines/ with
+// --timing-advisory --memory-advisory so only deterministic counters can
+// fail the build across machines (see EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/report_diff.h"
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitRegression = 1;
+constexpr int kExitError = 2;
+
+void PrintUsage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: cuisine_report_diff [--threshold=F] "
+               "[--timing-advisory] [--memory-advisory] [--print-floor=F] "
+               "[--json=PATH] <base.json> <current.json>\n");
+}
+
+bool ParseDoubleFlag(const char* arg, const char* name, double* out) {
+  const std::size_t name_len = std::strlen(name);
+  if (std::strncmp(arg, name, name_len) != 0 || arg[name_len] != '=') {
+    return false;
+  }
+  char* end = nullptr;
+  const double value = std::strtod(arg + name_len + 1, &end);
+  if (end == arg + name_len + 1 || *end != '\0') {
+    std::fprintf(stderr, "cuisine_report_diff: bad value for %s: %s\n", name,
+                 arg + name_len + 1);
+    std::exit(kExitError);
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cuisine::obs::DiffOptions options;
+  std::string json_path;
+  std::vector<std::string> positional;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      PrintUsage(stdout);
+      return kExitOk;
+    }
+    if (std::strcmp(arg, "--timing-advisory") == 0) {
+      options.timing_advisory = true;
+    } else if (std::strcmp(arg, "--memory-advisory") == 0) {
+      options.memory_advisory = true;
+    } else if (ParseDoubleFlag(arg, "--threshold", &options.threshold) ||
+               ParseDoubleFlag(arg, "--print-floor", &options.print_floor)) {
+      // value captured by the parser
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      json_path = arg + 7;
+    } else if (arg[0] == '-' && arg[1] != '\0') {
+      std::fprintf(stderr, "cuisine_report_diff: unknown flag: %s\n", arg);
+      PrintUsage(stderr);
+      return kExitError;
+    } else {
+      positional.emplace_back(arg);
+    }
+  }
+
+  if (positional.size() != 2) {
+    PrintUsage(stderr);
+    return kExitError;
+  }
+  if (options.threshold < 0.0) {
+    std::fprintf(stderr, "cuisine_report_diff: --threshold must be >= 0\n");
+    return kExitError;
+  }
+
+  auto diffed = cuisine::obs::DiffRunReportFiles(positional[0], positional[1],
+                                                 options);
+  if (!diffed.ok()) {
+    std::fprintf(stderr, "cuisine_report_diff: %s\n",
+                 diffed.status().ToString().c_str());
+    return kExitError;
+  }
+  const cuisine::obs::DiffResult& result = diffed.value();
+
+  std::fputs(result.ToTable().c_str(), stdout);
+
+  if (!json_path.empty()) {
+    cuisine::Status status =
+        cuisine::WriteJsonFile(result.ToJson(), json_path, /*indent=*/2);
+    if (!status.ok()) {
+      std::fprintf(stderr, "cuisine_report_diff: %s\n",
+                   status.ToString().c_str());
+      return kExitError;
+    }
+  }
+
+  if (result.regression) {
+    std::size_t regressed = 0;
+    for (const auto& row : result.rows) regressed += row.regression ? 1 : 0;
+    std::fprintf(stderr,
+                 "cuisine_report_diff: %zu regression(s) above %.0f%% "
+                 "threshold (see table)\n",
+                 regressed, options.threshold * 100.0);
+    return kExitRegression;
+  }
+  return kExitOk;
+}
