@@ -11,9 +11,14 @@
 //   cuisine_cli fingerprint --cuisine NAME [--top K]
 //   cuisine_cli validate
 //   cuisine_cli export     [--patterns out.csv] [--features out.csv]
+//   cuisine_cli snapshot   [--out snapshot.bin] [--support P]
+//   cuisine_cli serve      [--snapshot snapshot.bin] [--cache N]
 //
 // Every command generates (or loads) the calibrated corpus first; use
-// --scale to work with a smaller one.
+// --scale to work with a smaller one. `serve` instead answers queries
+// from a snapshot over a stdin/stdout line protocol (see README
+// "Serving & snapshots"). Unknown commands or flags print usage to
+// stderr and exit non-zero.
 //
 // Common flags: --quiet raises the log threshold to errors; --report
 // out.json writes an observability run report (span tree + metrics, see
@@ -22,8 +27,11 @@
 #include <iostream>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
+#include "common/csv.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
@@ -34,6 +42,9 @@
 #include "mining/condensed_patterns.h"
 #include "obs/flight.h"
 #include "obs/run_report.h"
+#include "serve/query.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -56,6 +67,12 @@ class Args {
     }
   }
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  /// Flags seen on the command line, for per-command validation.
+  std::vector<std::string> Keys() const {
+    std::vector<std::string> keys;
+    for (const auto& [key, value] : values_) keys.push_back(key);
+    return keys;
+  }
   std::string Get(const std::string& key, const std::string& fallback) const {
     auto it = values_.find(key);
     return it == values_.end() || it->second.empty() ? fallback : it->second;
@@ -288,8 +305,43 @@ int CmdExport(const Args& args) {
   return 0;
 }
 
+int CmdSnapshot(const Args& args) {
+  cuisine::PipelineConfig config;
+  config.generator.scale = args.GetDouble("scale", 1.0);
+  config.generator.seed =
+      static_cast<std::uint64_t>(args.GetDouble("seed", 2020));
+  config.miner.min_support = args.GetDouble("support", 0.2);
+  config.run_elbow = false;
+  auto run = cuisine::RunPipeline(config);
+  if (!run.ok()) return Fail(run.status());
+  auto snap = cuisine::serve::BuildSnapshot(run->dataset, *run, config);
+  if (!snap.ok()) return Fail(snap.status());
+  std::string out = args.Get("out", "snapshot.bin");
+  std::string bytes = cuisine::serve::SerializeSnapshot(*snap);
+  cuisine::Status st = cuisine::WriteStringToFile(out, bytes);
+  if (!st.ok()) return Fail(st);
+  std::cout << "wrote snapshot (" << snap->summary.cuisine_names.size()
+            << " cuisines, " << snap->trees.size() << " trees, "
+            << cuisine::FormatCount(bytes.size()) << " bytes) to " << out
+            << "\n";
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  auto snap = cuisine::serve::LoadSnapshot(args.Get("snapshot", "snapshot.bin"));
+  if (!snap.ok()) return Fail(snap.status());
+  cuisine::serve::QueryEngineOptions qopt;
+  qopt.cache_capacity =
+      static_cast<std::size_t>(args.GetDouble("cache", 1024));
+  cuisine::serve::QueryEngine engine(*std::move(snap), qopt);
+  cuisine::serve::Service service(&engine);
+  cuisine::Status st = service.Serve(std::cin, std::cout);
+  if (!st.ok()) return Fail(st);
+  return 0;
+}
+
 void Usage() {
-  std::cout <<
+  std::cerr <<
       "usage: cuisine_cli <command> [flags]\n"
       "commands:\n"
       "  generate     write the synthetic corpus to CSV\n"
@@ -299,10 +351,36 @@ void Usage() {
       "  fingerprint  authenticity fingerprint of one cuisine\n"
       "  validate     §VII tree-vs-geography validation\n"
       "  export       patterns / feature matrix CSVs\n"
+      "  snapshot     run the pipeline and persist a serveable snapshot\n"
+      "  serve        answer queries from a snapshot (stdin/stdout)\n"
       "common flags: --scale S --seed N --in recipes.csv\n"
       "              --quiet (errors only) --report out.json (run report)\n"
       "              --flight (record a Perfetto timeline next to the\n"
       "              report, or to CUISINE_FLIGHT_TRACE)\n";
+}
+
+/// Flags each command accepts on top of the common set. A flag outside
+/// this list is a usage error (stderr + non-zero exit), not a silent
+/// no-op.
+const std::map<std::string, std::set<std::string>>& CommandFlags() {
+  static const std::map<std::string, std::set<std::string>> kFlags = {
+      {"generate", {"out"}},
+      {"stats", {}},
+      {"mine", {"cuisine", "support", "algo", "closed", "maximal", "top"}},
+      {"tree", {"source", "metric", "linkage", "newick", "labels", "support"}},
+      {"fingerprint", {"cuisine", "top"}},
+      {"validate", {}},
+      {"export", {"patterns", "features", "support"}},
+      {"snapshot", {"out", "support"}},
+      {"serve", {"snapshot", "cache"}},
+  };
+  return kFlags;
+}
+
+const std::set<std::string>& CommonFlags() {
+  static const std::set<std::string> kCommon = {"scale", "seed", "in",
+                                               "quiet", "report", "flight"};
+  return kCommon;
 }
 
 }  // namespace
@@ -313,7 +391,21 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string command = argv[1];
+  auto flags_it = CommandFlags().find(command);
+  if (flags_it == CommandFlags().end()) {
+    std::cerr << "error: unknown command '" << command << "'\n";
+    Usage();
+    return 2;
+  }
   Args args(argc, argv);
+  for (const std::string& key : args.Keys()) {
+    if (flags_it->second.count(key) == 0 && CommonFlags().count(key) == 0) {
+      std::cerr << "error: unknown flag --" << key << " for command '"
+                << command << "'\n";
+      Usage();
+      return 2;
+    }
+  }
   if (args.Has("quiet")) cuisine::SetLogLevel(cuisine::LogLevel::kError);
   // Constructed before dispatch, destroyed after it returns: the report
   // covers the whole command. --report wins over CUISINE_RUN_REPORT;
@@ -339,6 +431,8 @@ int main(int argc, char** argv) {
   if (command == "fingerprint") return CmdFingerprint(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "export") return CmdExport(args);
+  if (command == "snapshot") return CmdSnapshot(args);
+  if (command == "serve") return CmdServe(args);
   Usage();
-  return 1;
+  return 2;
 }

@@ -1,0 +1,224 @@
+#include "common/binio.h"
+
+#include <bit>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace cuisine {
+namespace {
+
+// Sanity cap on length prefixes: no vector/string in a snapshot section
+// legitimately exceeds the enclosing input, so a prefix larger than the
+// remaining bytes is corruption — reject before allocating.
+Status LengthOverrun(std::string_view what, std::uint64_t length,
+                     std::size_t remaining) {
+  return Status::ParseError("binary " + std::string(what) + " length " +
+                            std::to_string(length) + " exceeds remaining " +
+                            std::to_string(remaining) + " bytes");
+}
+
+}  // namespace
+
+void BinaryWriter::WriteU8(std::uint8_t value) {
+  out_.push_back(static_cast<char>(value));
+}
+
+void BinaryWriter::WriteU16(std::uint16_t value) {
+  for (int i = 0; i < 2; ++i) {
+    out_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::WriteU32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::WriteU64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<char>((value >> (8 * i)) & 0xFFu));
+  }
+}
+
+void BinaryWriter::WriteI64(std::int64_t value) {
+  WriteU64(static_cast<std::uint64_t>(value));
+}
+
+void BinaryWriter::WriteF64(double value) {
+  WriteU64(std::bit_cast<std::uint64_t>(value));
+}
+
+void BinaryWriter::WriteBytes(std::string_view bytes) {
+  out_.append(bytes.data(), bytes.size());
+}
+
+void BinaryWriter::WriteString(std::string_view value) {
+  WriteU32(static_cast<std::uint32_t>(value.size()));
+  WriteBytes(value);
+}
+
+void BinaryWriter::WriteF64Vector(const std::vector<double>& values) {
+  WriteU64(values.size());
+  for (double v : values) WriteF64(v);
+}
+
+void BinaryWriter::WriteU64Vector(const std::vector<std::uint64_t>& values) {
+  WriteU64(values.size());
+  for (std::uint64_t v : values) WriteU64(v);
+}
+
+void BinaryWriter::WriteStringVector(const std::vector<std::string>& values) {
+  WriteU64(values.size());
+  for (const std::string& v : values) WriteString(v);
+}
+
+void BinaryWriter::PatchU32(std::size_t offset, std::uint32_t value) {
+  CUISINE_CHECK(offset + 4 <= out_.size());
+  for (int i = 0; i < 4; ++i) {
+    out_[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+void BinaryWriter::PatchU64(std::size_t offset, std::uint64_t value) {
+  CUISINE_CHECK(offset + 8 <= out_.size());
+  for (int i = 0; i < 8; ++i) {
+    out_[offset + i] = static_cast<char>((value >> (8 * i)) & 0xFFu);
+  }
+}
+
+Status BinaryReader::Take(std::size_t size, const char** out) {
+  if (size > remaining()) {
+    return Status::ParseError("binary input truncated: need " +
+                              std::to_string(size) + " bytes at offset " +
+                              std::to_string(pos_) + ", have " +
+                              std::to_string(remaining()));
+  }
+  *out = data_.data() + pos_;
+  pos_ += size;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU8(std::uint8_t* out) {
+  const char* p = nullptr;
+  CUISINE_RETURN_NOT_OK(Take(1, &p));
+  *out = static_cast<std::uint8_t>(*p);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU16(std::uint16_t* out) {
+  const char* p = nullptr;
+  CUISINE_RETURN_NOT_OK(Take(2, &p));
+  std::uint16_t v = 0;
+  for (int i = 1; i >= 0; --i) {
+    v = static_cast<std::uint16_t>(
+        (v << 8) | static_cast<unsigned char>(p[i]));
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU32(std::uint32_t* out) {
+  const char* p = nullptr;
+  CUISINE_RETURN_NOT_OK(Take(4, &p));
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU64(std::uint64_t* out) {
+  const char* p = nullptr;
+  CUISINE_RETURN_NOT_OK(Take(8, &p));
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  *out = v;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadI64(std::int64_t* out) {
+  std::uint64_t v = 0;
+  CUISINE_RETURN_NOT_OK(ReadU64(&v));
+  *out = static_cast<std::int64_t>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadF64(double* out) {
+  std::uint64_t v = 0;
+  CUISINE_RETURN_NOT_OK(ReadU64(&v));
+  *out = std::bit_cast<double>(v);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(std::size_t size, std::string* out) {
+  const char* p = nullptr;
+  CUISINE_RETURN_NOT_OK(Take(size, &p));
+  out->assign(p, size);
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* out) {
+  std::uint32_t length = 0;
+  CUISINE_RETURN_NOT_OK(ReadU32(&length));
+  if (length > remaining()) return LengthOverrun("string", length, remaining());
+  return ReadBytes(length, out);
+}
+
+Status BinaryReader::ReadF64Vector(std::vector<double>* out) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining() / 8) {
+    return LengthOverrun("f64 vector", count, remaining());
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double v = 0.0;
+    CUISINE_RETURN_NOT_OK(ReadF64(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadU64Vector(std::vector<std::uint64_t>* out) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(ReadU64(&count));
+  if (count > remaining() / 8) {
+    return LengthOverrun("u64 vector", count, remaining());
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t v = 0;
+    CUISINE_RETURN_NOT_OK(ReadU64(&v));
+    out->push_back(v);
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadStringVector(std::vector<std::string>* out) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(ReadU64(&count));
+  // Each element costs at least its 4-byte length prefix.
+  if (count > remaining() / 4) {
+    return LengthOverrun("string vector", count, remaining());
+  }
+  out->clear();
+  out->reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string v;
+    CUISINE_RETURN_NOT_OK(ReadString(&v));
+    out->push_back(std::move(v));
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ExpectEnd() const {
+  if (AtEnd()) return Status::OK();
+  return Status::ParseError("binary input has " + std::to_string(remaining()) +
+                            " trailing bytes at offset " +
+                            std::to_string(pos_));
+}
+
+}  // namespace cuisine

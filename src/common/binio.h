@@ -1,0 +1,91 @@
+// Little-endian binary serialisation primitives for on-disk artifacts
+// (grown for the snapshot store, serve/snapshot.h).
+//
+// The writer appends fixed-width little-endian scalars, length-prefixed
+// strings and vectors to an in-memory buffer; the reader is the strict
+// inverse, returning a ParseError Status (never asserting) on truncated
+// or malformed input so corrupt files surface as ordinary errors. Doubles
+// travel as their IEEE-754 bit pattern, so a write/read round trip is
+// bit-exact and the encoded form is identical on every platform.
+
+#ifndef CUISINE_COMMON_BINIO_H_
+#define CUISINE_COMMON_BINIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cuisine {
+
+/// Append-only little-endian encoder.
+class BinaryWriter {
+ public:
+  void WriteU8(std::uint8_t value);
+  void WriteU16(std::uint16_t value);
+  void WriteU32(std::uint32_t value);
+  void WriteU64(std::uint64_t value);
+  void WriteI64(std::int64_t value);
+  /// IEEE-754 bit pattern, little-endian — bit-exact round trip.
+  void WriteF64(double value);
+  /// Raw bytes, no length prefix.
+  void WriteBytes(std::string_view bytes);
+  /// u32 byte length + bytes.
+  void WriteString(std::string_view value);
+  /// u64 element count + elements.
+  void WriteF64Vector(const std::vector<double>& values);
+  void WriteU64Vector(const std::vector<std::uint64_t>& values);
+  void WriteStringVector(const std::vector<std::string>& values);
+
+  /// Overwrites 4 bytes at `offset` (must already be written) — used to
+  /// backpatch section tables.
+  void PatchU32(std::size_t offset, std::uint32_t value);
+  void PatchU64(std::size_t offset, std::uint64_t value);
+
+  std::size_t size() const { return out_.size(); }
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked little-endian decoder over a borrowed byte range. The
+/// underlying bytes must outlive the reader.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  Status ReadU8(std::uint8_t* out);
+  Status ReadU16(std::uint16_t* out);
+  Status ReadU32(std::uint32_t* out);
+  Status ReadU64(std::uint64_t* out);
+  Status ReadI64(std::int64_t* out);
+  Status ReadF64(double* out);
+  /// Reads exactly `size` raw bytes.
+  Status ReadBytes(std::size_t size, std::string* out);
+  Status ReadString(std::string* out);
+  Status ReadF64Vector(std::vector<double>* out);
+  Status ReadU64Vector(std::vector<std::uint64_t>* out);
+  Status ReadStringVector(std::vector<std::string>* out);
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  /// ParseError unless every byte has been consumed (catches sections
+  /// carrying trailing garbage).
+  Status ExpectEnd() const;
+
+ private:
+  Status Take(std::size_t size, const char** out);
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cuisine
+
+#endif  // CUISINE_COMMON_BINIO_H_

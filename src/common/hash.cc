@@ -1,0 +1,42 @@
+#include "common/hash.h"
+
+#include <array>
+
+namespace cuisine {
+namespace {
+
+// Byte-at-a-time table for the reflected Castagnoli polynomial. Built
+// once at first use; the generation loop is the textbook reflected-CRC
+// construction, so the table needs no embedded constants to verify.
+const std::array<std::uint32_t, 256>& Crc32cTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    constexpr std::uint32_t kPolyReflected = 0x82F63B78u;
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPolyReflected : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+void Crc32c::Update(std::string_view bytes) {
+  const auto& table = Crc32cTable();
+  std::uint32_t crc = state_;
+  for (char c : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ static_cast<unsigned char>(c)) & 0xFFu];
+  }
+  state_ = crc;
+}
+
+void Crc32c::Update(const void* data, std::size_t size) {
+  Update(std::string_view(static_cast<const char*>(data), size));
+}
+
+}  // namespace cuisine

@@ -1,9 +1,11 @@
-// Hashing helpers: FNV-1a for byte ranges, 64-bit mixing, and combinators
-// for hashing sequences (used by itemset interning and pattern dedup).
+// Hashing helpers: FNV-1a for byte ranges, 64-bit mixing, combinators
+// for hashing sequences (used by itemset interning and pattern dedup),
+// and a streaming CRC32C used by the snapshot file checksums.
 
 #ifndef CUISINE_COMMON_HASH_H_
 #define CUISINE_COMMON_HASH_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 #include <vector>
@@ -42,6 +44,39 @@ std::uint64_t HashSequence(const std::vector<Int>& xs) {
   for (Int x : xs) h = HashCombine(h, static_cast<std::uint64_t>(x));
   return HashCombine(h, xs.size());
 }
+
+/// Streaming CRC32C (Castagnoli polynomial, reflected 0x82F63B78) — the
+/// checksum guarding snapshot file sections (serve/snapshot.h). Matches
+/// the RFC 3720 / iSCSI reference vectors (hash_test.cc pins them), so
+/// files are verifiable with any standard crc32c implementation.
+///
+///   Crc32c crc;
+///   crc.Update(header);
+///   crc.Update(payload);
+///   std::uint32_t sum = crc.Finish();   // Finish() does not consume
+class Crc32c {
+ public:
+  /// Folds `bytes` into the running checksum.
+  void Update(std::string_view bytes);
+  void Update(const void* data, std::size_t size);
+
+  /// The checksum of everything Updated so far. Idempotent; more Updates
+  /// may follow.
+  std::uint32_t Finish() const { return state_ ^ 0xFFFFFFFFu; }
+
+  /// Resets to the empty-input state.
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+  /// One-shot convenience.
+  static std::uint32_t Of(std::string_view bytes) {
+    Crc32c crc;
+    crc.Update(bytes);
+    return crc.Finish();
+  }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
 
 }  // namespace cuisine
 

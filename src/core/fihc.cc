@@ -50,4 +50,13 @@ Result<Dendrogram> ClusterPatternFeatures(const PatternFeatureSpace& space,
   return Dendrogram::FromLinkage(steps, space.cuisine_names);
 }
 
+Result<CondensedDistanceMatrix> PatternDistanceMatrix(
+    const PatternFeatureSpace& space, DistanceMetric metric) {
+  if (space.features.rows() < 2) {
+    return Status::InvalidArgument("need at least 2 cuisines for a pdist");
+  }
+  CUISINE_SPAN("pdist_export");
+  return CondensedDistanceMatrix::FromFeatures(space.features, metric);
+}
+
 }  // namespace cuisine

@@ -50,6 +50,12 @@ Result<Dendrogram> ClusterPatternFeatures(const PatternFeatureSpace& space,
                                           DistanceMetric metric,
                                           LinkageMethod method);
 
+/// The pdist half of step 5 on its own: the condensed cuisine-by-cuisine
+/// distance matrix under `metric`. Export hook for artifact stores
+/// (serve/snapshot.h) that persist the distances next to the trees.
+Result<CondensedDistanceMatrix> PatternDistanceMatrix(
+    const PatternFeatureSpace& space, DistanceMetric metric);
+
 }  // namespace cuisine
 
 #endif  // CUISINE_CORE_FIHC_H_

@@ -17,19 +17,13 @@ namespace {
 // JSON verdict stays portable.
 constexpr double kFromZeroChange = 1e9;
 
-bool EndsWith(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 MetricClass Classify(std::string_view key) {
-  if (EndsWith(key, "_ns")) return MetricClass::kTiming;
-  // Histogram sums inherit the unit of the observed quantity.
-  if (EndsWith(key, ".sum") && key.find("_ns") != std::string_view::npos) {
-    return MetricClass::kTiming;
-  }
-  // Substring, not suffix: catches derived names like "rss_bytes_max" and
-  // histogram rows like "alloc_bytes.bucket3".
+  // Substring, not suffix: a latency histogram named "..._ns" flattens to
+  // "hist/<name>.count" / ".sum" / ".bucketN" rows, and every one of
+  // those measures wall time, so all must ride the timing (advisory)
+  // lane. Same reasoning covers derived names like "rss_bytes_max" and
+  // "alloc_bytes.bucket3" on the memory side.
+  if (key.find("_ns") != std::string_view::npos) return MetricClass::kTiming;
   if (key.find("_bytes") != std::string_view::npos) return MetricClass::kMemory;
   return MetricClass::kCounter;
 }

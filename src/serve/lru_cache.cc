@@ -1,0 +1,94 @@
+#include "serve/lru_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace serve {
+
+ShardedLruCache::ShardedLruCache(std::size_t capacity, std::size_t num_shards)
+    : capacity_(capacity) {
+  if (num_shards == 0) num_shards = 1;
+  // Never spread the budget so thin that a shard gets zero slots.
+  num_shards = std::min(num_shards, std::max<std::size_t>(capacity, 1));
+  shards_ = std::vector<Shard>(num_shards);
+  const std::size_t base = capacity / num_shards;
+  std::size_t leftover = capacity % num_shards;
+  for (Shard& shard : shards_) {
+    shard.capacity = base + (leftover > 0 ? 1 : 0);
+    if (leftover > 0) --leftover;
+  }
+}
+
+ShardedLruCache::Shard& ShardedLruCache::ShardFor(std::string_view key) {
+  return shards_[Fnv1a(key) % shards_.size()];
+}
+
+std::optional<std::string> ShardedLruCache::Get(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    CUISINE_COUNTER_ADD("serve.cache.miss", 1);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  CUISINE_COUNTER_ADD("serve.cache.hit", 1);
+  return it->second->value;
+}
+
+void ShardedLruCache::Put(std::string_view key, std::string value) {
+  if (capacity_ == 0) return;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->value = std::move(value);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= shard.capacity && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    CUISINE_COUNTER_ADD("serve.cache.eviction", 1);
+  }
+  shard.lru.push_front(Entry{std::string(key), std::move(value)});
+  // The string_view key points into the list node's own string, which is
+  // stable for the node's lifetime (list nodes never relocate).
+  shard.index.emplace(std::string_view(shard.lru.front().key),
+                      shard.lru.begin());
+}
+
+std::size_t ShardedLruCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+ShardedLruCache::Stats ShardedLruCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ShardedLruCache::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+  }
+}
+
+}  // namespace serve
+}  // namespace cuisine

@@ -1,0 +1,88 @@
+// Sharded LRU result cache for the query service (serve/query.h).
+//
+// Keys and values are strings (canonical request key -> canonical JSON
+// response). The cache is split into independently locked shards so
+// concurrent load-driver threads rarely contend on one mutex; a key's
+// shard is fixed by its FNV-1a hash, and the total entry capacity is
+// divided evenly across shards (each shard gets at least one slot).
+// Hits, misses and evictions are mirrored into the obs metrics registry
+// under serve.cache.{hit,miss,eviction} so run reports capture cache
+// effectiveness.
+
+#ifndef CUISINE_SERVE_LRU_CACHE_H_
+#define CUISINE_SERVE_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace cuisine {
+namespace serve {
+
+class ShardedLruCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// `capacity` is the total entry budget across all shards. A capacity
+  /// of zero disables caching (every Get misses, Put is a no-op).
+  explicit ShardedLruCache(std::size_t capacity, std::size_t num_shards = 8);
+
+  ShardedLruCache(const ShardedLruCache&) = delete;
+  ShardedLruCache& operator=(const ShardedLruCache&) = delete;
+
+  /// Returns the cached value and promotes the entry to most-recent, or
+  /// std::nullopt on a miss.
+  std::optional<std::string> Get(std::string_view key);
+
+  /// Inserts or refreshes `key`, evicting the shard's least-recently
+  /// used entry when the shard is at capacity.
+  void Put(std::string_view key, std::string value);
+
+  /// Total live entries across shards (racy under concurrent writers;
+  /// exact when quiescent).
+  std::size_t size() const;
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+  Stats stats() const;
+
+  /// Drops every entry (stats survive).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    /// Front = most recently used.
+    std::list<Entry> lru;
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    std::size_t capacity = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+
+  std::size_t capacity_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_LRU_CACHE_H_

@@ -1,0 +1,278 @@
+#include "serve/query.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/dendrogram.h"
+#include "common/json.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+Json PatternJson(const SnapshotPattern& p) {
+  return Json::Object()
+      .Set("pattern", Json::Str(p.pattern))
+      .Set("count", Json::Int(static_cast<std::int64_t>(p.count)))
+      .Set("support", Json::Double(p.support));
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(Snapshot snapshot, QueryEngineOptions options)
+    : snapshot_(std::move(snapshot)),
+      cache_(options.cache_capacity, options.cache_shards) {
+  for (std::size_t i = 0; i < snapshot_.summary.cuisine_names.size(); ++i) {
+    cuisine_index_.emplace(snapshot_.summary.cuisine_names[i], i);
+  }
+}
+
+Result<std::size_t> QueryEngine::CuisineIndex(std::string_view cuisine) const {
+  auto it = cuisine_index_.find(std::string(cuisine));
+  if (it == cuisine_index_.end()) {
+    return Status::NotFound("unknown cuisine '" + std::string(cuisine) +
+                            "'; see the stats request for the full list");
+  }
+  return it->second;
+}
+
+const SnapshotPdist* QueryEngine::FindPdist(DistanceMetric metric) const {
+  for (const SnapshotPdist& p : snapshot_.pdists) {
+    if (p.metric == metric) return &p;
+  }
+  return nullptr;
+}
+
+template <typename Fn>
+Result<std::string> QueryEngine::Cached(const std::string& key, Fn render) {
+  if (auto hit = cache_.Get(key); hit.has_value()) return *std::move(hit);
+  Result<std::string> rendered = render();
+  if (rendered.ok()) cache_.Put(key, *rendered);
+  return rendered;
+}
+
+Result<std::string> QueryEngine::Table1Row(std::string_view cuisine) {
+  CUISINE_SPAN("query_table1");
+  return Cached("table1/" + std::string(cuisine),
+                [&]() -> Result<std::string> {
+    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
+    const std::string& name = snapshot_.summary.cuisine_names[idx];
+    for (const cuisine::Table1Row& row : snapshot_.table1) {
+      if (row.region != name) continue;
+      Json sigs = Json::Array();
+      for (const SignatureComparison& sig : row.signatures) {
+        Json j = Json::Object()
+                     .Set("pattern", Json::Str(sig.pattern))
+                     .Set("paper_support", Json::Double(sig.paper_support));
+        j.Set("measured_support", sig.measured_support.has_value()
+                                      ? Json::Double(*sig.measured_support)
+                                      : Json::Null());
+        sigs.Push(std::move(j));
+      }
+      return Json::Object()
+          .Set("region", Json::Str(row.region))
+          .Set("num_recipes",
+               Json::Int(static_cast<std::int64_t>(row.num_recipes)))
+          .Set("signatures", std::move(sigs))
+          .Set("paper_pattern_count",
+               Json::Int(static_cast<std::int64_t>(row.paper_pattern_count)))
+          .Set("measured_pattern_count",
+               Json::Int(
+                   static_cast<std::int64_t>(row.measured_pattern_count)))
+          .Set("top_pattern", Json::Str(row.top_pattern))
+          .Set("top_pattern_support", Json::Double(row.top_pattern_support))
+          .Dump(0);
+    }
+    return Status::NotFound("no Table I row for cuisine '" +
+                            std::string(cuisine) + "'");
+  });
+}
+
+Result<std::string> QueryEngine::TopPatterns(std::string_view cuisine,
+                                             std::size_t k) {
+  CUISINE_SPAN("query_top_patterns");
+  return Cached(
+      "top_patterns/" + std::string(cuisine) + "/" + std::to_string(k),
+      [&]() -> Result<std::string> {
+        if (k == 0) return Status::InvalidArgument("k must be positive");
+        CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
+        const std::vector<SnapshotPattern>& all = snapshot_.patterns[idx];
+        Json arr = Json::Array();
+        const std::size_t take = std::min(k, all.size());
+        for (std::size_t i = 0; i < take; ++i) arr.Push(PatternJson(all[i]));
+        return Json::Object()
+            .Set("cuisine",
+                 Json::Str(snapshot_.summary.cuisine_names[idx]))
+            .Set("total",
+                 Json::Int(static_cast<std::int64_t>(all.size())))
+            .Set("patterns", std::move(arr))
+            .Dump(0);
+      });
+}
+
+Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
+                                                 std::string_view a,
+                                                 std::string_view b) {
+  CUISINE_SPAN("query_distance");
+  const std::string metric_name(DistanceMetricName(metric));
+  return Cached(
+      "distance/" + metric_name + "/" + std::string(a) + "/" + std::string(b),
+      [&]() -> Result<std::string> {
+        CUISINE_ASSIGN_OR_RETURN(std::size_t ia, CuisineIndex(a));
+        CUISINE_ASSIGN_OR_RETURN(std::size_t ib, CuisineIndex(b));
+        const SnapshotPdist* pdist = FindPdist(metric);
+        if (pdist == nullptr) {
+          return Status::NotFound("snapshot carries no '" + metric_name +
+                                  "' distance matrix");
+        }
+        return Json::Object()
+            .Set("metric", Json::Str(metric_name))
+            .Set("a", Json::Str(snapshot_.summary.cuisine_names[ia]))
+            .Set("b", Json::Str(snapshot_.summary.cuisine_names[ib]))
+            .Set("distance", Json::Double(ia == ib
+                                              ? 0.0
+                                              : pdist->matrix.at(ia, ib)))
+            .Dump(0);
+      });
+}
+
+Result<std::string> QueryEngine::TreeNewick(std::string_view tree) {
+  CUISINE_SPAN("query_tree");
+  return Cached("tree/" + std::string(tree), [&]() -> Result<std::string> {
+    for (const SnapshotTree& t : snapshot_.trees) {
+      if (t.name != tree) continue;
+      CUISINE_ASSIGN_OR_RETURN(Dendrogram d,
+                               Dendrogram::FromLinkage(t.steps, t.labels));
+      return Json::Object()
+          .Set("tree", Json::Str(t.name))
+          .Set("leaves", Json::Int(static_cast<std::int64_t>(t.labels.size())))
+          .Set("newick", Json::Str(d.ToNewick()))
+          .Dump(0);
+    }
+    std::string names;
+    for (const SnapshotTree& t : snapshot_.trees) {
+      if (!names.empty()) names += ", ";
+      names += t.name;
+    }
+    return Status::NotFound("unknown tree '" + std::string(tree) +
+                            "' (snapshot has: " + names + ")");
+  });
+}
+
+Result<std::string> QueryEngine::AuthenticityTopK(std::string_view cuisine,
+                                                  std::size_t k, bool most) {
+  CUISINE_SPAN("query_auth_topk");
+  return Cached("auth_topk/" + std::string(cuisine) + "/" +
+                    std::to_string(k) + "/" + (most ? "most" : "least"),
+                [&]() -> Result<std::string> {
+    if (k == 0) return Status::InvalidArgument("k must be positive");
+    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
+    std::vector<std::size_t> order(snapshot_.authenticity_items.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    const Matrix& m = snapshot_.authenticity;
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t lhs, std::size_t rhs) {
+                       const double a = m.at(idx, lhs);
+                       const double b = m.at(idx, rhs);
+                       if (a != b) return most ? a > b : a < b;
+                       return snapshot_.authenticity_items[lhs] <
+                              snapshot_.authenticity_items[rhs];
+                     });
+    Json arr = Json::Array();
+    const std::size_t take = std::min(k, order.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      arr.Push(Json::Object()
+                   .Set("item",
+                        Json::Str(snapshot_.authenticity_items[order[i]]))
+                   .Set("score", Json::Double(m.at(idx, order[i]))));
+    }
+    return Json::Object()
+        .Set("cuisine", Json::Str(snapshot_.summary.cuisine_names[idx]))
+        .Set("direction", Json::Str(most ? "most" : "least"))
+        .Set("items", std::move(arr))
+        .Dump(0);
+  });
+}
+
+Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
+                                                 std::string_view cuisine,
+                                                 std::size_t k) {
+  CUISINE_SPAN("query_nearest");
+  const std::string metric_name(DistanceMetricName(metric));
+  return Cached("nearest/" + metric_name + "/" + std::string(cuisine) + "/" +
+                    std::to_string(k),
+                [&]() -> Result<std::string> {
+    if (k == 0) return Status::InvalidArgument("k must be positive");
+    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
+    const SnapshotPdist* pdist = FindPdist(metric);
+    if (pdist == nullptr) {
+      return Status::NotFound("snapshot carries no '" + metric_name +
+                              "' distance matrix");
+    }
+    std::vector<std::size_t> order;
+    order.reserve(snapshot_.summary.cuisine_names.size());
+    for (std::size_t i = 0; i < snapshot_.summary.cuisine_names.size(); ++i) {
+      if (i != idx) order.push_back(i);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t lhs, std::size_t rhs) {
+                       const double a = pdist->matrix.at(idx, lhs);
+                       const double b = pdist->matrix.at(idx, rhs);
+                       if (a != b) return a < b;
+                       return snapshot_.summary.cuisine_names[lhs] <
+                              snapshot_.summary.cuisine_names[rhs];
+                     });
+    Json arr = Json::Array();
+    const std::size_t take = std::min(k, order.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      arr.Push(
+          Json::Object()
+              .Set("cuisine",
+                   Json::Str(snapshot_.summary.cuisine_names[order[i]]))
+              .Set("distance", Json::Double(pdist->matrix.at(idx, order[i]))));
+    }
+    return Json::Object()
+        .Set("cuisine", Json::Str(snapshot_.summary.cuisine_names[idx]))
+        .Set("metric", Json::Str(metric_name))
+        .Set("neighbors", std::move(arr))
+        .Dump(0);
+  });
+}
+
+std::string QueryEngine::StatsJson() const {
+  CUISINE_SPAN("query_stats");
+  const SnapshotSummary& sm = snapshot_.summary;
+  Json cuisines = Json::Array();
+  for (const std::string& name : sm.cuisine_names) {
+    cuisines.Push(Json::Str(name));
+  }
+  Json trees = Json::Array();
+  for (const SnapshotTree& t : snapshot_.trees) trees.Push(Json::Str(t.name));
+  Json meta = Json::Object();
+  for (const auto& [key, value] : snapshot_.meta) {
+    meta.Set(key, Json::Str(value));
+  }
+  const ShardedLruCache::Stats cs = cache_.stats();
+  return Json::Object()
+      .Set("num_recipes", Json::Int(static_cast<std::int64_t>(sm.num_recipes)))
+      .Set("num_cuisines",
+           Json::Int(static_cast<std::int64_t>(sm.cuisine_names.size())))
+      .Set("cuisines", std::move(cuisines))
+      .Set("trees", std::move(trees))
+      .Set("meta", std::move(meta))
+      .Set("cache",
+           Json::Object()
+               .Set("capacity",
+                    Json::Int(static_cast<std::int64_t>(cache_.capacity())))
+               .Set("entries",
+                    Json::Int(static_cast<std::int64_t>(cache_.size())))
+               .Set("hits", Json::Int(static_cast<std::int64_t>(cs.hits)))
+               .Set("misses", Json::Int(static_cast<std::int64_t>(cs.misses)))
+               .Set("evictions",
+                    Json::Int(static_cast<std::int64_t>(cs.evictions))))
+      .Dump(0);
+}
+
+}  // namespace serve
+}  // namespace cuisine

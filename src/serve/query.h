@@ -1,0 +1,85 @@
+// In-process query engine over a loaded Snapshot — the serve half of the
+// compute/serve split. Each typed request renders one canonical compact
+// JSON value (the `data` member of the wire response, see
+// serve/service.h) and is memoised in a sharded LRU cache keyed by the
+// request's canonical string form. Responses are deterministic: equal
+// snapshots produce byte-identical JSON for a request whether it is
+// answered cold, from cache, or under any CUISINE_THREADS width — the
+// cache stores the exact bytes a cold evaluation produces.
+//
+// Requests (mirroring the line protocol):
+//   Table1Row(cuisine)                  one reproduced Table-I row
+//   TopPatterns(cuisine, k)             k highest-support mined patterns
+//   CuisineDistance(metric, a, b)       pairwise pdist lookup
+//   TreeNewick(tree)                    a merge tree in Newick form
+//   AuthenticityTopK(cuisine, k, most)  most/least authentic items
+//   NearestCuisines(metric, cuisine, k) k nearest neighbours by pdist
+
+#ifndef CUISINE_SERVE_QUERY_H_
+#define CUISINE_SERVE_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "cluster/distance.h"
+#include "common/status.h"
+#include "serve/lru_cache.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace serve {
+
+struct QueryEngineOptions {
+  /// Total LRU entry budget (0 disables caching).
+  std::size_t cache_capacity = 1024;
+  std::size_t cache_shards = 8;
+};
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(Snapshot snapshot, QueryEngineOptions options = {});
+
+  QueryEngine(const QueryEngine&) = delete;
+  QueryEngine& operator=(const QueryEngine&) = delete;
+
+  /// Each call returns the canonical compact JSON encoding of the answer
+  /// (never the {"ok":...} envelope), or a non-OK Status for unknown
+  /// names / invalid arguments. Successful answers are cached.
+  Result<std::string> Table1Row(std::string_view cuisine);
+  Result<std::string> TopPatterns(std::string_view cuisine, std::size_t k);
+  Result<std::string> CuisineDistance(DistanceMetric metric,
+                                      std::string_view a, std::string_view b);
+  Result<std::string> TreeNewick(std::string_view tree);
+  Result<std::string> AuthenticityTopK(std::string_view cuisine,
+                                       std::size_t k, bool most);
+  Result<std::string> NearestCuisines(DistanceMetric metric,
+                                      std::string_view cuisine, std::size_t k);
+
+  /// Snapshot + cache stats (uncached; counters move between calls).
+  std::string StatsJson() const;
+
+  const Snapshot& snapshot() const { return snapshot_; }
+  ShardedLruCache::Stats cache_stats() const { return cache_.stats(); }
+
+ private:
+  /// Index of `cuisine` in summary.cuisine_names, or NotFound listing the
+  /// valid names.
+  Result<std::size_t> CuisineIndex(std::string_view cuisine) const;
+  const SnapshotPdist* FindPdist(DistanceMetric metric) const;
+
+  /// Cache-through helper: returns the cached value for `key` or renders
+  /// via `render()` (a Result<std::string> producer) and caches success.
+  template <typename Fn>
+  Result<std::string> Cached(const std::string& key, Fn render);
+
+  Snapshot snapshot_;
+  std::unordered_map<std::string, std::size_t> cuisine_index_;
+  ShardedLruCache cache_;
+};
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_QUERY_H_

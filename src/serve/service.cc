@@ -1,0 +1,188 @@
+#include "serve/service.h"
+
+#include <cctype>
+#include <istream>
+#include <ostream>
+
+#include "common/json.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+std::string OkResponse(std::string data_json) {
+  // `data_json` is already canonical JSON from the engine; splicing it in
+  // verbatim keeps the cached bytes byte-identical on the wire.
+  return "{\"ok\":true,\"data\":" + data_json + "}";
+}
+
+std::string ErrorResponse(std::string_view message) {
+  return Json::Object()
+      .Set("ok", Json::Bool(false))
+      .Set("error", Json::Str(std::string(message)))
+      .Dump(0);
+}
+
+const char kHelpText[] =
+    "commands: table1 <cuisine> | top_patterns <cuisine> <k> | "
+    "distance <metric> <a> <b> | tree <name> | "
+    "auth_topk <cuisine> <k> <most|least> | "
+    "nearest <metric> <cuisine> <k> | stats | help | quit "
+    "(quote multi-word cuisine names)";
+
+Status ArityError(std::string_view command, std::string_view usage) {
+  return Status::InvalidArgument("usage: " + std::string(command) + " " +
+                                 std::string(usage));
+}
+
+Result<std::size_t> ParsePositive(std::string_view token,
+                                  std::string_view what) {
+  std::size_t value = 0;
+  if (!ParseSizeT(token, &value) || value == 0) {
+    return Status::InvalidArgument("invalid " + std::string(what) + " '" +
+                                   std::string(token) +
+                                   "' (want a positive integer)");
+  }
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> TokenizeRequestLine(std::string_view line) {
+  std::vector<std::string> tokens;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+      continue;
+    }
+    std::string token;
+    if (line[i] == '"') {
+      ++i;
+      bool closed = false;
+      while (i < line.size()) {
+        const char c = line[i];
+        if (c == '\\' && i + 1 < line.size() &&
+            (line[i + 1] == '"' || line[i + 1] == '\\')) {
+          token += line[i + 1];
+          i += 2;
+          continue;
+        }
+        if (c == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        token += c;
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated quote in request line");
+      }
+    } else {
+      while (i < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[i]))) {
+        token += line[i];
+        ++i;
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  return tokens;
+}
+
+std::string Service::HandleLine(std::string_view line) {
+  auto tokens_or = TokenizeRequestLine(line);
+  if (!tokens_or.ok()) {
+    ++requests_;
+    CUISINE_COUNTER_ADD("serve.requests.error", 1);
+    return ErrorResponse(tokens_or.status().message());
+  }
+  const std::vector<std::string>& t = *tokens_or;
+  if (t.empty()) return std::string();
+
+  ++requests_;
+  CUISINE_SPAN("serve_request");
+  const std::string& cmd = t[0];
+
+  Result<std::string> data = [&]() -> Result<std::string> {
+    if (cmd == "quit") {
+      done_ = true;
+      return std::string();
+    }
+    if (cmd == "help") {
+      return Json::Str(kHelpText).Dump(0);
+    }
+    if (cmd == "stats") {
+      if (t.size() != 1) return ArityError(cmd, "(no arguments)");
+      return engine_->StatsJson();
+    }
+    if (cmd == "table1") {
+      if (t.size() != 2) return ArityError(cmd, "<cuisine>");
+      return engine_->Table1Row(t[1]);
+    }
+    if (cmd == "top_patterns") {
+      if (t.size() != 3) return ArityError(cmd, "<cuisine> <k>");
+      CUISINE_ASSIGN_OR_RETURN(std::size_t k, ParsePositive(t[2], "k"));
+      return engine_->TopPatterns(t[1], k);
+    }
+    if (cmd == "distance") {
+      if (t.size() != 4) return ArityError(cmd, "<metric> <a> <b>");
+      CUISINE_ASSIGN_OR_RETURN(DistanceMetric metric,
+                               ParseDistanceMetric(t[1]));
+      return engine_->CuisineDistance(metric, t[2], t[3]);
+    }
+    if (cmd == "tree") {
+      if (t.size() != 2) return ArityError(cmd, "<name>");
+      return engine_->TreeNewick(t[1]);
+    }
+    if (cmd == "auth_topk") {
+      if (t.size() != 4) {
+        return ArityError(cmd, "<cuisine> <k> <most|least>");
+      }
+      CUISINE_ASSIGN_OR_RETURN(std::size_t k, ParsePositive(t[2], "k"));
+      if (t[3] != "most" && t[3] != "least") {
+        return Status::InvalidArgument(
+            "auth_topk direction must be 'most' or 'least', got '" + t[3] +
+            "'");
+      }
+      return engine_->AuthenticityTopK(t[1], k, t[3] == "most");
+    }
+    if (cmd == "nearest") {
+      if (t.size() != 4) return ArityError(cmd, "<metric> <cuisine> <k>");
+      CUISINE_ASSIGN_OR_RETURN(DistanceMetric metric,
+                               ParseDistanceMetric(t[1]));
+      CUISINE_ASSIGN_OR_RETURN(std::size_t k, ParsePositive(t[3], "k"));
+      return engine_->NearestCuisines(metric, t[2], k);
+    }
+    return Status::InvalidArgument("unknown command '" + cmd + "'; " +
+                                   kHelpText);
+  }();
+
+  if (done_ && cmd == "quit") return std::string();
+  if (!data.ok()) {
+    CUISINE_COUNTER_ADD("serve.requests.error", 1);
+    return ErrorResponse(data.status().message());
+  }
+  CUISINE_COUNTER_ADD("serve.requests.ok", 1);
+  return OkResponse(*std::move(data));
+}
+
+Status Service::Serve(std::istream& in, std::ostream& out) {
+  CUISINE_SPAN("serve_loop");
+  std::string line;
+  while (!done_ && std::getline(in, line)) {
+    std::string response = HandleLine(line);
+    if (response.empty()) continue;
+    out << response << '\n';
+    out.flush();
+  }
+  if (!out.good()) return Status::IOError("serve output stream failed");
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace cuisine

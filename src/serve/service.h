@@ -1,0 +1,68 @@
+// Line-protocol front end over serve/query.h — the transport layer of
+// `cuisine_cli serve`. One request per input line, one compact JSON
+// response per output line:
+//
+//   table1 <cuisine>                 {"ok":true,"data":{...}}
+//   top_patterns <cuisine> <k>
+//   distance <metric> <a> <b>        metric: euclidean|cosine|jaccard
+//   tree <name>                      name: euclidean|cosine|jaccard|...
+//   auth_topk <cuisine> <k> <most|least>
+//   nearest <metric> <cuisine> <k>
+//   stats
+//   help
+//   quit
+//
+// Multi-word cuisine names are double-quoted ("Indian Subcontinent");
+// errors come back as {"ok":false,"error":"..."} on the same line, and
+// the loop keeps serving after an error — only quit / EOF ends it.
+
+#ifndef CUISINE_SERVE_SERVICE_H_
+#define CUISINE_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/query.h"
+
+namespace cuisine {
+namespace serve {
+
+/// Splits a protocol line into tokens. Tokens are whitespace-separated;
+/// double quotes group words ("New England") and `\"` / `\\` escape
+/// inside quotes. An unterminated quote is a ParseError.
+Result<std::vector<std::string>> TokenizeRequestLine(std::string_view line);
+
+class Service {
+ public:
+  /// Borrows the engine (must outlive the service).
+  explicit Service(QueryEngine* engine) : engine_(engine) {}
+
+  /// Handles one request line and returns the one-line JSON response.
+  /// Blank lines return an empty string (callers emit nothing). The
+  /// `quit` command also returns an empty string and flips done().
+  std::string HandleLine(std::string_view line);
+
+  /// True once a `quit` request has been handled.
+  bool done() const { return done_; }
+
+  /// Requests handled so far (errors included, blanks excluded).
+  std::uint64_t requests_handled() const { return requests_; }
+
+  /// Reads request lines from `in` until quit or EOF, writing one
+  /// response line to `out` per request.
+  Status Serve(std::istream& in, std::ostream& out);
+
+ private:
+  QueryEngine* engine_;
+  bool done_ = false;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_SERVICE_H_

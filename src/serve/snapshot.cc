@@ -1,0 +1,673 @@
+#include "serve/snapshot.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/binio.h"
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "core/authenticity_pipeline.h"
+#include "core/fihc.h"
+#include "mining/pattern_set.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+// Section ids, serialised in ascending order. Every id is mandatory in a
+// version-1 file; an unknown id is a format error (the version gates
+// schema evolution).
+enum SectionId : std::uint32_t {
+  kSectionMeta = 1,
+  kSectionSummary = 2,
+  kSectionPatterns = 3,
+  kSectionFeatures = 4,
+  kSectionPdists = 5,
+  kSectionTrees = 6,
+  kSectionAuthenticity = 7,
+  kSectionTable1 = 8,
+};
+
+constexpr std::uint32_t kSectionIds[] = {
+    kSectionMeta,     kSectionSummary, kSectionPatterns,
+    kSectionFeatures, kSectionPdists,  kSectionTrees,
+    kSectionAuthenticity, kSectionTable1,
+};
+constexpr std::size_t kNumSections = std::size(kSectionIds);
+
+// magic + version + section_count + file_size.
+constexpr std::size_t kFixedHeaderBytes = 8 + 4 + 4 + 8;
+// id + offset + size + crc per table entry.
+constexpr std::size_t kTableEntryBytes = 4 + 8 + 8 + 4;
+constexpr std::size_t kHeaderBytes =
+    kFixedHeaderBytes + kNumSections * kTableEntryBytes + 4;
+
+void WriteMatrix(BinaryWriter* w, const Matrix& m) {
+  w->WriteU64(m.rows());
+  w->WriteU64(m.cols());
+  for (double v : m.data()) w->WriteF64(v);
+}
+
+Status ReadMatrix(BinaryReader* r, Matrix* out) {
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&rows));
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&cols));
+  if (cols != 0 && rows > r->remaining() / (8 * cols)) {
+    return Status::ParseError("matrix dimensions " + std::to_string(rows) +
+                              "x" + std::to_string(cols) +
+                              " exceed the section payload");
+  }
+  Matrix m(rows, cols);
+  for (std::uint64_t row = 0; row < rows; ++row) {
+    for (std::uint64_t col = 0; col < cols; ++col) {
+      double v = 0.0;
+      CUISINE_RETURN_NOT_OK(r->ReadF64(&v));
+      m(row, col) = v;
+    }
+  }
+  *out = std::move(m);
+  return Status::OK();
+}
+
+std::string EncodeMeta(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteU64(s.meta.size());
+  for (const auto& [key, value] : s.meta) {  // std::map: sorted by key
+    w.WriteString(key);
+    w.WriteString(value);
+  }
+  return w.Take();
+}
+
+Status DecodeMeta(BinaryReader* r, Snapshot* s) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string key;
+    std::string value;
+    CUISINE_RETURN_NOT_OK(r->ReadString(&key));
+    CUISINE_RETURN_NOT_OK(r->ReadString(&value));
+    s->meta[std::move(key)] = std::move(value);
+  }
+  return Status::OK();
+}
+
+std::string EncodeSummary(const Snapshot& s) {
+  BinaryWriter w;
+  const SnapshotSummary& sm = s.summary;
+  w.WriteU64(sm.num_recipes);
+  w.WriteU64(sm.num_ingredients);
+  w.WriteU64(sm.num_processes);
+  w.WriteU64(sm.num_utensils);
+  w.WriteU64(sm.recipes_without_utensils);
+  w.WriteF64(sm.avg_ingredients_per_recipe);
+  w.WriteF64(sm.avg_processes_per_recipe);
+  w.WriteF64(sm.avg_utensils_per_recipe);
+  w.WriteStringVector(sm.cuisine_names);
+  w.WriteU64Vector(sm.cuisine_recipe_counts);
+  return w.Take();
+}
+
+Status DecodeSummary(BinaryReader* r, Snapshot* s) {
+  SnapshotSummary& sm = s->summary;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&sm.num_recipes));
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&sm.num_ingredients));
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&sm.num_processes));
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&sm.num_utensils));
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&sm.recipes_without_utensils));
+  CUISINE_RETURN_NOT_OK(r->ReadF64(&sm.avg_ingredients_per_recipe));
+  CUISINE_RETURN_NOT_OK(r->ReadF64(&sm.avg_processes_per_recipe));
+  CUISINE_RETURN_NOT_OK(r->ReadF64(&sm.avg_utensils_per_recipe));
+  CUISINE_RETURN_NOT_OK(r->ReadStringVector(&sm.cuisine_names));
+  CUISINE_RETURN_NOT_OK(r->ReadU64Vector(&sm.cuisine_recipe_counts));
+  if (sm.cuisine_names.size() != sm.cuisine_recipe_counts.size()) {
+    return Status::ParseError(
+        "summary cuisine name/count lengths disagree: " +
+        std::to_string(sm.cuisine_names.size()) + " vs " +
+        std::to_string(sm.cuisine_recipe_counts.size()));
+  }
+  return Status::OK();
+}
+
+std::string EncodePatterns(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteU64(s.patterns.size());
+  for (const std::vector<SnapshotPattern>& cuisine : s.patterns) {
+    w.WriteU64(cuisine.size());
+    for (const SnapshotPattern& p : cuisine) {
+      w.WriteString(p.pattern);
+      w.WriteU64(p.count);
+      w.WriteF64(p.support);
+    }
+  }
+  return w.Take();
+}
+
+Status DecodePatterns(BinaryReader* r, Snapshot* s) {
+  std::uint64_t cuisines = 0;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&cuisines));
+  if (cuisines > r->remaining() / 8) {
+    return Status::ParseError("pattern section cuisine count " +
+                              std::to_string(cuisines) + " is corrupt");
+  }
+  s->patterns.resize(cuisines);
+  for (std::uint64_t c = 0; c < cuisines; ++c) {
+    std::uint64_t count = 0;
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&count));
+    if (count > r->remaining() / 16) {
+      return Status::ParseError("pattern count " + std::to_string(count) +
+                                " for cuisine " + std::to_string(c) +
+                                " is corrupt");
+    }
+    s->patterns[c].resize(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      SnapshotPattern& p = s->patterns[c][i];
+      CUISINE_RETURN_NOT_OK(r->ReadString(&p.pattern));
+      CUISINE_RETURN_NOT_OK(r->ReadU64(&p.count));
+      CUISINE_RETURN_NOT_OK(r->ReadF64(&p.support));
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeFeatures(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteStringVector(s.feature_classes);
+  WriteMatrix(&w, s.features);
+  return w.Take();
+}
+
+Status DecodeFeatures(BinaryReader* r, Snapshot* s) {
+  CUISINE_RETURN_NOT_OK(r->ReadStringVector(&s->feature_classes));
+  CUISINE_RETURN_NOT_OK(ReadMatrix(r, &s->features));
+  if (s->features.cols() != s->feature_classes.size()) {
+    return Status::ParseError(
+        "feature matrix has " + std::to_string(s->features.cols()) +
+        " columns but " + std::to_string(s->feature_classes.size()) +
+        " classes");
+  }
+  return Status::OK();
+}
+
+std::string EncodePdists(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteU64(s.pdists.size());
+  for (const SnapshotPdist& p : s.pdists) {
+    w.WriteString(std::string(DistanceMetricName(p.metric)));
+    w.WriteU64(p.matrix.n());
+    w.WriteF64Vector(p.matrix.values());
+  }
+  return w.Take();
+}
+
+Status DecodePdists(BinaryReader* r, Snapshot* s) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&count));
+  if (count > 16) {
+    return Status::ParseError("pdist section claims " + std::to_string(count) +
+                              " matrices; the format defines at most a few");
+  }
+  s->pdists.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string metric_name;
+    CUISINE_RETURN_NOT_OK(r->ReadString(&metric_name));
+    auto metric = ParseDistanceMetric(metric_name);
+    if (!metric.ok()) return metric.status();
+    std::uint64_t n = 0;
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&n));
+    std::vector<double> values;
+    CUISINE_RETURN_NOT_OK(r->ReadF64Vector(&values));
+    const std::uint64_t expect = n < 2 ? 0 : n * (n - 1) / 2;
+    if (values.size() != expect) {
+      return Status::ParseError("pdist '" + metric_name + "' has " +
+                                std::to_string(values.size()) +
+                                " values; n=" + std::to_string(n) +
+                                " requires " + std::to_string(expect));
+    }
+    s->pdists[i].metric = *metric;
+    CondensedDistanceMatrix m(n);
+    m.mutable_values() = std::move(values);
+    s->pdists[i].matrix = std::move(m);
+  }
+  return Status::OK();
+}
+
+std::string EncodeTrees(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteU64(s.trees.size());
+  for (const SnapshotTree& t : s.trees) {
+    w.WriteString(t.name);
+    w.WriteStringVector(t.labels);
+    w.WriteU64(t.steps.size());
+    for (const LinkageStep& step : t.steps) {
+      w.WriteU64(step.left);
+      w.WriteU64(step.right);
+      w.WriteF64(step.distance);
+      w.WriteU64(step.size);
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeTrees(BinaryReader* r, Snapshot* s) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&count));
+  if (count > 64) {
+    return Status::ParseError("tree section claims " + std::to_string(count) +
+                              " trees; the pipeline produces at most five");
+  }
+  s->trees.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    SnapshotTree& t = s->trees[i];
+    CUISINE_RETURN_NOT_OK(r->ReadString(&t.name));
+    CUISINE_RETURN_NOT_OK(r->ReadStringVector(&t.labels));
+    std::uint64_t steps = 0;
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&steps));
+    if (steps > r->remaining() / 32) {
+      return Status::ParseError("tree '" + t.name + "' step count " +
+                                std::to_string(steps) + " is corrupt");
+    }
+    if (steps + 1 != t.labels.size()) {
+      return Status::ParseError("tree '" + t.name + "' has " +
+                                std::to_string(steps) + " merges for " +
+                                std::to_string(t.labels.size()) + " labels");
+    }
+    t.steps.resize(steps);
+    for (std::uint64_t j = 0; j < steps; ++j) {
+      std::uint64_t left = 0;
+      std::uint64_t right = 0;
+      std::uint64_t size = 0;
+      CUISINE_RETURN_NOT_OK(r->ReadU64(&left));
+      CUISINE_RETURN_NOT_OK(r->ReadU64(&right));
+      CUISINE_RETURN_NOT_OK(r->ReadF64(&t.steps[j].distance));
+      CUISINE_RETURN_NOT_OK(r->ReadU64(&size));
+      t.steps[j].left = left;
+      t.steps[j].right = right;
+      t.steps[j].size = size;
+    }
+  }
+  return Status::OK();
+}
+
+std::string EncodeAuthenticity(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteStringVector(s.authenticity_items);
+  WriteMatrix(&w, s.authenticity);
+  return w.Take();
+}
+
+Status DecodeAuthenticity(BinaryReader* r, Snapshot* s) {
+  CUISINE_RETURN_NOT_OK(r->ReadStringVector(&s->authenticity_items));
+  CUISINE_RETURN_NOT_OK(ReadMatrix(r, &s->authenticity));
+  if (s->authenticity.cols() != s->authenticity_items.size()) {
+    return Status::ParseError(
+        "authenticity matrix has " + std::to_string(s->authenticity.cols()) +
+        " columns but " + std::to_string(s->authenticity_items.size()) +
+        " item names");
+  }
+  return Status::OK();
+}
+
+std::string EncodeTable1(const Snapshot& s) {
+  BinaryWriter w;
+  w.WriteU64(s.table1.size());
+  for (const Table1Row& row : s.table1) {
+    w.WriteString(row.region);
+    w.WriteU64(row.num_recipes);
+    w.WriteU64(row.signatures.size());
+    for (const SignatureComparison& sig : row.signatures) {
+      w.WriteString(sig.pattern);
+      w.WriteF64(sig.paper_support);
+      w.WriteU8(sig.measured_support.has_value() ? 1 : 0);
+      w.WriteF64(sig.measured_support.value_or(0.0));
+    }
+    w.WriteU64(row.paper_pattern_count);
+    w.WriteU64(row.measured_pattern_count);
+    w.WriteString(row.top_pattern);
+    w.WriteF64(row.top_pattern_support);
+  }
+  return w.Take();
+}
+
+Status DecodeTable1(BinaryReader* r, Snapshot* s) {
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(r->ReadU64(&count));
+  if (count > r->remaining() / 8) {
+    return Status::ParseError("table1 row count " + std::to_string(count) +
+                              " is corrupt");
+  }
+  s->table1.resize(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Table1Row& row = s->table1[i];
+    CUISINE_RETURN_NOT_OK(r->ReadString(&row.region));
+    std::uint64_t recipes = 0;
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&recipes));
+    row.num_recipes = recipes;
+    std::uint64_t sigs = 0;
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&sigs));
+    if (sigs > r->remaining() / 16) {
+      return Status::ParseError("table1 signature count " +
+                                std::to_string(sigs) + " is corrupt");
+    }
+    row.signatures.resize(sigs);
+    for (std::uint64_t j = 0; j < sigs; ++j) {
+      SignatureComparison& sig = row.signatures[j];
+      CUISINE_RETURN_NOT_OK(r->ReadString(&sig.pattern));
+      CUISINE_RETURN_NOT_OK(r->ReadF64(&sig.paper_support));
+      std::uint8_t has_measured = 0;
+      double measured = 0.0;
+      CUISINE_RETURN_NOT_OK(r->ReadU8(&has_measured));
+      CUISINE_RETURN_NOT_OK(r->ReadF64(&measured));
+      if (has_measured != 0) sig.measured_support = measured;
+    }
+    std::uint64_t paper_count = 0;
+    std::uint64_t measured_count = 0;
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&paper_count));
+    CUISINE_RETURN_NOT_OK(r->ReadU64(&measured_count));
+    row.paper_pattern_count = paper_count;
+    row.measured_pattern_count = measured_count;
+    CUISINE_RETURN_NOT_OK(r->ReadString(&row.top_pattern));
+    CUISINE_RETURN_NOT_OK(r->ReadF64(&row.top_pattern_support));
+  }
+  return Status::OK();
+}
+
+std::string EncodeSection(std::uint32_t id, const Snapshot& s) {
+  switch (id) {
+    case kSectionMeta:
+      return EncodeMeta(s);
+    case kSectionSummary:
+      return EncodeSummary(s);
+    case kSectionPatterns:
+      return EncodePatterns(s);
+    case kSectionFeatures:
+      return EncodeFeatures(s);
+    case kSectionPdists:
+      return EncodePdists(s);
+    case kSectionTrees:
+      return EncodeTrees(s);
+    case kSectionAuthenticity:
+      return EncodeAuthenticity(s);
+    case kSectionTable1:
+      return EncodeTable1(s);
+    default:
+      break;
+  }
+  return std::string();
+}
+
+Status DecodeSection(std::uint32_t id, std::string_view payload,
+                     Snapshot* out) {
+  BinaryReader r(payload);
+  Status st;
+  switch (id) {
+    case kSectionMeta:
+      st = DecodeMeta(&r, out);
+      break;
+    case kSectionSummary:
+      st = DecodeSummary(&r, out);
+      break;
+    case kSectionPatterns:
+      st = DecodePatterns(&r, out);
+      break;
+    case kSectionFeatures:
+      st = DecodeFeatures(&r, out);
+      break;
+    case kSectionPdists:
+      st = DecodePdists(&r, out);
+      break;
+    case kSectionTrees:
+      st = DecodeTrees(&r, out);
+      break;
+    case kSectionAuthenticity:
+      st = DecodeAuthenticity(&r, out);
+      break;
+    case kSectionTable1:
+      st = DecodeTable1(&r, out);
+      break;
+    default:
+      return Status::ParseError("unknown snapshot section id " +
+                                std::to_string(id));
+  }
+  CUISINE_RETURN_NOT_OK(st);
+  return r.ExpectEnd();
+}
+
+Status AppendTree(const char* name, const std::optional<Dendrogram>& tree,
+                  Snapshot* snapshot) {
+  if (!tree.has_value()) return Status::OK();
+  SnapshotTree t;
+  t.name = name;
+  t.labels = tree->labels();
+  t.steps = tree->steps();
+  snapshot->trees.push_back(std::move(t));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Snapshot> BuildSnapshot(const Dataset& dataset,
+                               const PipelineResult& result,
+                               const PipelineConfig& config) {
+  CUISINE_SPAN("snapshot_build");
+  Snapshot s;
+
+  s.meta["generator.seed"] = std::to_string(config.generator.seed);
+  s.meta["generator.scale"] = FormatDouble(config.generator.scale, 6);
+  s.meta["miner.min_support"] = FormatDouble(config.miner.min_support, 6);
+  s.meta["miner.algorithm"] = std::string(MinerAlgorithmName(config.algorithm));
+  s.meta["linkage"] = std::string(LinkageMethodName(config.linkage));
+
+  const DatasetStats stats = dataset.ComputeStats();
+  s.summary.num_recipes = stats.num_recipes;
+  s.summary.num_ingredients = stats.num_ingredients;
+  s.summary.num_processes = stats.num_processes;
+  s.summary.num_utensils = stats.num_utensils;
+  s.summary.recipes_without_utensils = stats.recipes_without_utensils;
+  s.summary.avg_ingredients_per_recipe = stats.avg_ingredients_per_recipe;
+  s.summary.avg_processes_per_recipe = stats.avg_processes_per_recipe;
+  s.summary.avg_utensils_per_recipe = stats.avg_utensils_per_recipe;
+  s.summary.cuisine_names = dataset.cuisine_names();
+  s.summary.cuisine_recipe_counts.reserve(dataset.num_cuisines());
+  for (std::size_t c = 0; c < dataset.num_cuisines(); ++c) {
+    s.summary.cuisine_recipe_counts.push_back(
+        dataset.CuisineRecipeCount(static_cast<CuisineId>(c)));
+  }
+
+  const Vocabulary& vocab = dataset.vocabulary();
+  s.patterns.resize(result.mined.size());
+  for (std::size_t c = 0; c < result.mined.size(); ++c) {
+    const CuisinePatterns& cp = result.mined[c];
+    s.patterns[c].reserve(cp.patterns.size());
+    for (const FrequentItemset& p : cp.patterns) {
+      s.patterns[c].push_back(SnapshotPattern{StringPattern(vocab, p.items),
+                                              p.count, p.support});
+    }
+  }
+
+  s.feature_classes = result.features.encoder.classes();
+  s.features = result.features.features;
+
+  for (DistanceMetric metric :
+       {DistanceMetric::kEuclidean, DistanceMetric::kCosine,
+        DistanceMetric::kJaccard}) {
+    CUISINE_ASSIGN_OR_RETURN(CondensedDistanceMatrix m,
+                             PatternDistanceMatrix(result.features, metric));
+    s.pdists.push_back(SnapshotPdist{metric, std::move(m)});
+  }
+
+  CUISINE_RETURN_NOT_OK(AppendTree("euclidean", result.euclidean_tree, &s));
+  CUISINE_RETURN_NOT_OK(AppendTree("cosine", result.cosine_tree, &s));
+  CUISINE_RETURN_NOT_OK(AppendTree("jaccard", result.jaccard_tree, &s));
+  CUISINE_RETURN_NOT_OK(
+      AppendTree("authenticity", result.authenticity_tree, &s));
+  CUISINE_RETURN_NOT_OK(AppendTree("geo", result.geo_tree, &s));
+
+  CUISINE_ASSIGN_OR_RETURN(
+      AuthenticityMatrix am,
+      ComputeAuthenticity(dataset, config.authenticity.prevalence));
+  s.authenticity = am.matrix();
+  s.authenticity_items.reserve(am.items().size());
+  for (ItemId item : am.items()) {
+    s.authenticity_items.push_back(vocab.Name(item));
+  }
+
+  s.table1 = result.table1;
+  return s;
+}
+
+std::string SerializeSnapshot(const Snapshot& snapshot) {
+  CUISINE_SPAN("snapshot_serialize");
+  std::vector<std::string> payloads;
+  payloads.reserve(kNumSections);
+  for (std::uint32_t id : kSectionIds) {
+    payloads.push_back(EncodeSection(id, snapshot));
+  }
+
+  BinaryWriter w;
+  w.WriteBytes(kSnapshotMagic);
+  w.WriteU32(kSnapshotVersion);
+  w.WriteU32(static_cast<std::uint32_t>(kNumSections));
+  std::uint64_t file_size = kHeaderBytes;
+  for (const std::string& p : payloads) file_size += p.size();
+  w.WriteU64(file_size);
+
+  std::uint64_t offset = kHeaderBytes;
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    w.WriteU32(kSectionIds[i]);
+    w.WriteU64(offset);
+    w.WriteU64(payloads[i].size());
+    w.WriteU32(Crc32c::Of(payloads[i]));
+    offset += payloads[i].size();
+  }
+  w.WriteU32(Crc32c::Of(w.data()));  // header CRC over all bytes so far
+
+  for (const std::string& p : payloads) w.WriteBytes(p);
+  CUISINE_GAUGE_MAX("serve.snapshot.file_bytes",
+                    static_cast<std::int64_t>(w.size()));
+  return w.Take();
+}
+
+Result<Snapshot> ParseSnapshot(std::string_view bytes) {
+  CUISINE_SPAN("snapshot_parse");
+  if (bytes.size() < kFixedHeaderBytes ||
+      bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return Status::ParseError(
+        "not a cuisine snapshot (bad magic; expected 'CUSNAP01')");
+  }
+  BinaryReader header(bytes);
+  std::string magic;
+  std::uint32_t version = 0;
+  std::uint32_t section_count = 0;
+  std::uint64_t file_size = 0;
+  CUISINE_RETURN_NOT_OK(header.ReadBytes(kSnapshotMagic.size(), &magic));
+  CUISINE_RETURN_NOT_OK(header.ReadU32(&version));
+  if (version != kSnapshotVersion) {
+    return Status::ParseError("unsupported snapshot version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kSnapshotVersion) + ")");
+  }
+  CUISINE_RETURN_NOT_OK(header.ReadU32(&section_count));
+  CUISINE_RETURN_NOT_OK(header.ReadU64(&file_size));
+  if (file_size != bytes.size()) {
+    return Status::ParseError(
+        "snapshot truncated or padded: header records " +
+        std::to_string(file_size) + " bytes, file has " +
+        std::to_string(bytes.size()));
+  }
+  if (section_count != kNumSections) {
+    return Status::ParseError("snapshot has " + std::to_string(section_count) +
+                              " sections; version 1 defines " +
+                              std::to_string(kNumSections));
+  }
+
+  struct TableEntry {
+    std::uint32_t id = 0;
+    std::uint64_t offset = 0;
+    std::uint64_t size = 0;
+    std::uint32_t crc = 0;
+  };
+  std::vector<TableEntry> table(section_count);
+  for (TableEntry& e : table) {
+    CUISINE_RETURN_NOT_OK(header.ReadU32(&e.id));
+    CUISINE_RETURN_NOT_OK(header.ReadU64(&e.offset));
+    CUISINE_RETURN_NOT_OK(header.ReadU64(&e.size));
+    CUISINE_RETURN_NOT_OK(header.ReadU32(&e.crc));
+  }
+  const std::size_t crc_offset = header.position();
+  std::uint32_t header_crc = 0;
+  CUISINE_RETURN_NOT_OK(header.ReadU32(&header_crc));
+  if (Crc32c::Of(bytes.substr(0, crc_offset)) != header_crc) {
+    return Status::ParseError(
+        "snapshot header checksum mismatch (corrupt section table)");
+  }
+
+  Snapshot snapshot;
+  std::uint32_t previous_id = 0;
+  for (const TableEntry& e : table) {
+    if (e.id <= previous_id) {
+      return Status::ParseError("snapshot section ids out of order at id " +
+                                std::to_string(e.id));
+    }
+    previous_id = e.id;
+    if (e.offset < kHeaderBytes || e.offset > bytes.size() ||
+        e.size > bytes.size() - e.offset) {
+      return Status::ParseError("snapshot section " + std::to_string(e.id) +
+                                " range [" + std::to_string(e.offset) + ", +" +
+                                std::to_string(e.size) +
+                                ") exceeds the file");
+    }
+    const std::string_view payload = bytes.substr(e.offset, e.size);
+    if (Crc32c::Of(payload) != e.crc) {
+      return Status::ParseError("snapshot section " + std::to_string(e.id) +
+                                " checksum mismatch (corrupt payload)");
+    }
+    CUISINE_RETURN_NOT_OK(DecodeSection(e.id, payload, &snapshot));
+  }
+
+  // Cross-section consistency: every per-cuisine collection must agree
+  // with the summary's cuisine list.
+  const std::size_t cuisines = snapshot.summary.cuisine_names.size();
+  if (snapshot.patterns.size() != cuisines) {
+    return Status::ParseError(
+        "snapshot pattern section covers " +
+        std::to_string(snapshot.patterns.size()) + " cuisines; summary has " +
+        std::to_string(cuisines));
+  }
+  if (snapshot.features.rows() != cuisines ||
+      snapshot.authenticity.rows() != cuisines) {
+    return Status::ParseError("snapshot matrix row counts disagree with the " +
+                              std::to_string(cuisines) + "-cuisine summary");
+  }
+  for (const SnapshotPdist& p : snapshot.pdists) {
+    if (p.matrix.n() != cuisines) {
+      return Status::ParseError(
+          "snapshot pdist over " + std::to_string(p.matrix.n()) +
+          " observations disagrees with the " + std::to_string(cuisines) +
+          "-cuisine summary");
+    }
+  }
+  return snapshot;
+}
+
+Status SaveSnapshot(const Snapshot& snapshot, const std::string& path) {
+  const std::string bytes = SerializeSnapshot(snapshot);
+  return WriteStringToFile(path, bytes);
+}
+
+Result<Snapshot> LoadSnapshot(const std::string& path) {
+  CUISINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  auto parsed = ParseSnapshot(bytes);
+  if (!parsed.ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace serve
+}  // namespace cuisine

@@ -1,0 +1,131 @@
+// Versioned on-disk snapshot of the pipeline's outputs — the compute half
+// of the compute/serve split (DESIGN; after SeamlessDB's persisted-state
+// idea). A snapshot captures everything the query layer (serve/query.h)
+// needs to answer paper-level questions without recomputation: the §III
+// dataset summary, per-cuisine pattern sets, the §VI-A label-encoded
+// feature matrix, the condensed pdist for all three metrics, the five
+// merge trees (Figs 2-6), the authenticity feature matrix, and the
+// reproduced Table I.
+//
+// File format (all integers little-endian; see common/binio.h):
+//
+//   [magic "CUSNAP01"][version u32][section_count u32][file_size u64]
+//   [section table: (id u32, offset u64, size u64, crc32c u32) x count]
+//   [header crc32c u32]
+//   [section payloads ...]
+//
+// The header CRC covers every byte before it; each section CRC covers
+// that section's payload. Serialisation is deterministic: sections are
+// emitted in ascending id order, map-valued content sorted by key, and
+// doubles stored as IEEE-754 bit patterns — so Save(Load(Save(x))) is
+// byte-identical and snapshot bytes are stable across thread counts
+// (snapshot_golden_test pins a fixture). Load rejects foreign, truncated
+// and checksum-corrupted files with a descriptive non-OK Status.
+
+#ifndef CUISINE_SERVE_SNAPSHOT_H_
+#define CUISINE_SERVE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/distance.h"
+#include "cluster/linkage.h"
+#include "cluster/pdist.h"
+#include "common/matrix.h"
+#include "common/status.h"
+#include "core/pipeline.h"
+#include "core/report.h"
+#include "data/dataset.h"
+
+namespace cuisine {
+namespace serve {
+
+inline constexpr std::string_view kSnapshotMagic = "CUSNAP01";
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// §III corpus summary plus the cuisine index.
+struct SnapshotSummary {
+  std::uint64_t num_recipes = 0;
+  std::uint64_t num_ingredients = 0;
+  std::uint64_t num_processes = 0;
+  std::uint64_t num_utensils = 0;
+  std::uint64_t recipes_without_utensils = 0;
+  double avg_ingredients_per_recipe = 0.0;
+  double avg_processes_per_recipe = 0.0;
+  double avg_utensils_per_recipe = 0.0;
+  /// Dataset cuisine order — the row order of every matrix below.
+  std::vector<std::string> cuisine_names;
+  std::vector<std::uint64_t> cuisine_recipe_counts;
+
+  bool operator==(const SnapshotSummary&) const = default;
+};
+
+/// One mined pattern in display form.
+struct SnapshotPattern {
+  std::string pattern;  // canonical "a + b + c" string form
+  std::uint64_t count = 0;
+  double support = 0.0;
+
+  bool operator==(const SnapshotPattern&) const = default;
+};
+
+/// A merge tree (rebuildable into a Dendrogram via FromLinkage).
+struct SnapshotTree {
+  std::string name;  // "euclidean", "cosine", "jaccard", "authenticity", "geo"
+  std::vector<std::string> labels;
+  std::vector<LinkageStep> steps;
+};
+
+/// One condensed pairwise distance matrix over the pattern features.
+struct SnapshotPdist {
+  DistanceMetric metric = DistanceMetric::kEuclidean;
+  CondensedDistanceMatrix matrix;
+};
+
+/// The full artifact set served by serve/query.h.
+struct Snapshot {
+  /// Provenance key/values (seed, scale, min_support, ...), sorted by key.
+  std::map<std::string, std::string> meta;
+  SnapshotSummary summary;
+  /// Aligned with summary.cuisine_names; each sorted by descending
+  /// support (ties by pattern string).
+  std::vector<std::vector<SnapshotPattern>> patterns;
+  /// §VI-A label alphabet (sorted) and the cuisines x patterns matrix.
+  std::vector<std::string> feature_classes;
+  Matrix features;
+  /// Euclidean, cosine and jaccard pdists over `features`.
+  std::vector<SnapshotPdist> pdists;
+  /// Whichever of the five trees the pipeline produced.
+  std::vector<SnapshotTree> trees;
+  /// Authenticity features: display item names x cuisines matrix columns.
+  std::vector<std::string> authenticity_items;
+  Matrix authenticity;
+  /// Reproduced Table I rows (dataset cuisine order).
+  std::vector<Table1Row> table1;
+};
+
+/// Builds a snapshot from a finished pipeline run. `config` is only read
+/// for provenance metadata (seed, scale, thresholds).
+Result<Snapshot> BuildSnapshot(const Dataset& dataset,
+                               const PipelineResult& result,
+                               const PipelineConfig& config = {});
+
+/// Serialises to the versioned, checksummed byte format above.
+/// Deterministic: equal snapshots serialise to equal bytes.
+std::string SerializeSnapshot(const Snapshot& snapshot);
+
+/// Parses snapshot bytes, verifying magic, version, section table bounds
+/// and every checksum before touching payloads.
+Result<Snapshot> ParseSnapshot(std::string_view bytes);
+
+/// File convenience wrappers around Serialize/Parse.
+Status SaveSnapshot(const Snapshot& snapshot, const std::string& path);
+Result<Snapshot> LoadSnapshot(const std::string& path);
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_SNAPSHOT_H_

@@ -1,0 +1,192 @@
+// BinaryWriter/BinaryReader: byte-level little-endian layout, write/read
+// round trips (including bit-exact doubles), and strict truncation /
+// overrun / trailing-garbage error handling — the properties the snapshot
+// loader's corruption rejection is built on.
+
+#include "common/binio.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cuisine {
+namespace {
+
+TEST(BinaryWriterTest, LittleEndianLayout) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0x1122);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0102030405060708ULL);
+  const std::string& bytes = w.data();
+  ASSERT_EQ(bytes.size(), 1u + 2 + 4 + 8);
+  const unsigned char expected[] = {0xAB, 0x22, 0x11, 0xEF, 0xBE, 0xAD, 0xDE,
+                                    0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02,
+                                    0x01};
+  for (std::size_t i = 0; i < sizeof expected; ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(bytes[i]), expected[i]) << i;
+  }
+}
+
+TEST(BinaryRoundTripTest, Scalars) {
+  BinaryWriter w;
+  w.WriteU8(200);
+  w.WriteU16(65500);
+  w.WriteU32(4000000000u);
+  w.WriteU64(0xFFFFFFFFFFFFFFFFULL);
+  w.WriteI64(-42);
+  w.WriteF64(3.141592653589793);
+
+  BinaryReader r(w.data());
+  std::uint8_t u8 = 0;
+  std::uint16_t u16 = 0;
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::int64_t i64 = 0;
+  double f64 = 0.0;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadI64(&i64).ok());
+  ASSERT_TRUE(r.ReadF64(&f64).ok());
+  EXPECT_EQ(u8, 200);
+  EXPECT_EQ(u16, 65500);
+  EXPECT_EQ(u32, 4000000000u);
+  EXPECT_EQ(u64, 0xFFFFFFFFFFFFFFFFULL);
+  EXPECT_EQ(i64, -42);
+  EXPECT_EQ(f64, 3.141592653589793);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(BinaryRoundTripTest, DoublesAreBitExact) {
+  const double specials[] = {0.0,
+                             -0.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::denorm_min(),
+                             std::numeric_limits<double>::max(),
+                             1.0 / 3.0};
+  BinaryWriter w;
+  for (double v : specials) w.WriteF64(v);
+  w.WriteF64(std::nan(""));
+
+  BinaryReader r(w.data());
+  for (double expected : specials) {
+    double v = 0.0;
+    ASSERT_TRUE(r.ReadF64(&v).ok());
+    EXPECT_EQ(std::signbit(v), std::signbit(expected));
+    EXPECT_EQ(v, expected);
+  }
+  double nan_value = 0.0;
+  ASSERT_TRUE(r.ReadF64(&nan_value).ok());
+  EXPECT_TRUE(std::isnan(nan_value));
+}
+
+TEST(BinaryRoundTripTest, StringsAndVectors) {
+  BinaryWriter w;
+  w.WriteString("hello");
+  w.WriteString("");
+  w.WriteString(std::string("embedded\0nul", 12));
+  w.WriteF64Vector({1.5, -2.5, 0.0});
+  w.WriteU64Vector({7, 0, 9000000000ULL});
+  w.WriteStringVector({"a", "", "long string with spaces"});
+
+  BinaryReader r(w.data());
+  std::string s1, s2, s3;
+  ASSERT_TRUE(r.ReadString(&s1).ok());
+  ASSERT_TRUE(r.ReadString(&s2).ok());
+  ASSERT_TRUE(r.ReadString(&s3).ok());
+  EXPECT_EQ(s1, "hello");
+  EXPECT_EQ(s2, "");
+  EXPECT_EQ(s3, std::string("embedded\0nul", 12));
+
+  std::vector<double> f64s;
+  std::vector<std::uint64_t> u64s;
+  std::vector<std::string> strings;
+  ASSERT_TRUE(r.ReadF64Vector(&f64s).ok());
+  ASSERT_TRUE(r.ReadU64Vector(&u64s).ok());
+  ASSERT_TRUE(r.ReadStringVector(&strings).ok());
+  EXPECT_EQ(f64s, (std::vector<double>{1.5, -2.5, 0.0}));
+  EXPECT_EQ(u64s, (std::vector<std::uint64_t>{7, 0, 9000000000ULL}));
+  EXPECT_EQ(strings,
+            (std::vector<std::string>{"a", "", "long string with spaces"}));
+  EXPECT_TRUE(r.ExpectEnd().ok());
+}
+
+TEST(BinaryReaderTest, TruncatedScalarIsParseError) {
+  BinaryWriter w;
+  w.WriteU32(42);
+  BinaryReader r(std::string_view(w.data()).substr(0, 2));
+  std::uint32_t v = 0;
+  Status st = r.ReadU32(&v);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("truncated"), std::string::npos);
+}
+
+TEST(BinaryReaderTest, StringLengthBeyondInputIsRejected) {
+  BinaryWriter w;
+  w.WriteU32(1000);  // claims 1000 bytes follow
+  w.WriteBytes("abc");
+  BinaryReader r(w.data());
+  std::string s;
+  Status st = r.ReadString(&s);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(BinaryReaderTest, HugeVectorCountIsRejectedBeforeAllocation) {
+  // A corrupt count must fail fast, not attempt a giant reserve.
+  BinaryWriter w;
+  w.WriteU64(0xFFFFFFFFFFFFFFFFULL);
+  BinaryReader r(w.data());
+  std::vector<double> values;
+  EXPECT_EQ(r.ReadF64Vector(&values).code(), StatusCode::kParseError);
+
+  BinaryReader r2(w.data());
+  std::vector<std::uint64_t> u64s;
+  EXPECT_EQ(r2.ReadU64Vector(&u64s).code(), StatusCode::kParseError);
+
+  BinaryReader r3(w.data());
+  std::vector<std::string> strings;
+  EXPECT_EQ(r3.ReadStringVector(&strings).code(), StatusCode::kParseError);
+}
+
+TEST(BinaryReaderTest, ExpectEndFlagsTrailingBytes) {
+  BinaryWriter w;
+  w.WriteU8(1);
+  w.WriteU8(2);
+  BinaryReader r(w.data());
+  std::uint8_t v = 0;
+  ASSERT_TRUE(r.ReadU8(&v).ok());
+  Status st = r.ExpectEnd();
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("trailing"), std::string::npos);
+}
+
+TEST(BinaryWriterTest, PatchBackfillsPlaceholders) {
+  BinaryWriter w;
+  w.WriteU32(0);                 // placeholder
+  const std::size_t at = w.size();
+  w.WriteU64(0);                 // placeholder
+  w.WriteString("payload");
+  w.PatchU32(0, 0xCAFEBABE);
+  w.PatchU64(at, 77);
+
+  BinaryReader r(w.data());
+  std::uint32_t u32 = 0;
+  std::uint64_t u64 = 0;
+  std::string s;
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadString(&s).ok());
+  EXPECT_EQ(u32, 0xCAFEBABE);
+  EXPECT_EQ(u64, 77u);
+  EXPECT_EQ(s, "payload");
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,122 @@
+// End-to-end smoke test for the cuisine_cli binary (built only when
+// CUISINE_BUILD_EXAMPLES is ON; the CMake guard skips this test target
+// otherwise). Drives the real executable through a shell: bad
+// invocations must print usage to stderr and exit non-zero, and the
+// snapshot -> serve flow must answer canned queries with ok responses.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cuisine {
+namespace {
+
+std::string Quoted(const std::string& s) { return "'" + s + "'"; }
+
+struct RunResult {
+  int exit_code = -1;
+  std::string stdout_text;
+  std::string stderr_text;
+};
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Runs `cuisine_cli <args>` (optionally with `stdin_text` piped in) and
+/// captures exit code, stdout and stderr.
+RunResult RunCli(const std::string& args, const std::string& stdin_text = "") {
+  const std::string out_path = ::testing::TempDir() + "/cli_smoke_out.txt";
+  const std::string err_path = ::testing::TempDir() + "/cli_smoke_err.txt";
+  const std::string in_path = ::testing::TempDir() + "/cli_smoke_in.txt";
+  {
+    std::ofstream in(in_path, std::ios::trunc | std::ios::binary);
+    in << stdin_text;
+  }
+  const std::string command = Quoted(CUISINE_CLI_BIN) + " " + args + " < " +
+                              Quoted(in_path) + " > " + Quoted(out_path) +
+                              " 2> " + Quoted(err_path);
+  const int raw = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  result.stdout_text = Slurp(out_path);
+  result.stderr_text = Slurp(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  std::remove(in_path.c_str());
+  return result;
+}
+
+TEST(CliSmokeTest, UnknownCommandPrintsUsageToStderrAndFails) {
+  RunResult r = RunCli("frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.stderr_text.find("unknown command"), std::string::npos);
+  EXPECT_NE(r.stderr_text.find("usage: cuisine_cli"), std::string::npos);
+  EXPECT_TRUE(r.stdout_text.empty()) << r.stdout_text;
+}
+
+TEST(CliSmokeTest, UnknownFlagPrintsUsageToStderrAndFails) {
+  RunResult r = RunCli("stats --frobnicate");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.stderr_text.find("unknown flag --frobnicate"),
+            std::string::npos);
+  EXPECT_NE(r.stderr_text.find("usage: cuisine_cli"), std::string::npos);
+}
+
+TEST(CliSmokeTest, NoArgumentsPrintsUsageAndFails) {
+  RunResult r = RunCli("");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.stderr_text.find("usage: cuisine_cli"), std::string::npos);
+}
+
+TEST(CliSmokeTest, ServeWithMissingSnapshotFails) {
+  RunResult r = RunCli("serve --snapshot /nonexistent/snap.bin");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.stderr_text.find("error"), std::string::npos);
+}
+
+TEST(CliSmokeTest, SnapshotThenServeAnswersCannedQueries) {
+  const std::string snap_path = ::testing::TempDir() + "/cli_smoke_snap.bin";
+  RunResult build =
+      RunCli("snapshot --scale 0.02 --quiet --out " + Quoted(snap_path));
+  ASSERT_EQ(build.exit_code, 0) << build.stderr_text;
+  EXPECT_NE(build.stdout_text.find("wrote snapshot"), std::string::npos);
+
+  RunResult serve = RunCli(
+      "serve --quiet --snapshot " + Quoted(snap_path),
+      "stats\n"
+      "table1 Korean\n"
+      "top_patterns \"Indian Subcontinent\" 3\n"
+      "tree jaccard\n"
+      "distance euclidean Korean Japanese\n"
+      "no_such_command\n"
+      "quit\n");
+  std::remove(snap_path.c_str());
+  ASSERT_EQ(serve.exit_code, 0) << serve.stderr_text;
+
+  std::istringstream lines(serve.stdout_text);
+  std::string line;
+  std::vector<bool> oks;
+  while (std::getline(lines, line)) {
+    auto json = Json::Parse(line);
+    ASSERT_TRUE(json.ok()) << line;
+    oks.push_back(json->Find("ok")->bool_value());
+  }
+  ASSERT_EQ(oks.size(), 6u) << serve.stdout_text;
+  EXPECT_EQ(oks, (std::vector<bool>{true, true, true, true, true, false}));
+}
+
+}  // namespace
+}  // namespace cuisine

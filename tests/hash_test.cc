@@ -1,0 +1,105 @@
+// Unit vectors for the hashing helpers, most importantly the CRC32C used
+// by snapshot checksums: the RFC 3720 (iSCSI) reference vectors pin the
+// polynomial, reflection and final XOR, so snapshot files stay verifiable
+// by any off-the-shelf crc32c implementation.
+
+#include "common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace cuisine {
+namespace {
+
+TEST(Crc32cTest, EmptyInputIsZero) {
+  EXPECT_EQ(Crc32c::Of(""), 0u);
+  Crc32c crc;
+  EXPECT_EQ(crc.Finish(), 0u);
+}
+
+TEST(Crc32cTest, CheckValue) {
+  // The canonical CRC-32C check value.
+  EXPECT_EQ(Crc32c::Of("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32cTest, Rfc3720Vectors) {
+  // RFC 3720 §B.4 test patterns.
+  const std::string zeros(32, '\0');
+  EXPECT_EQ(Crc32c::Of(zeros), 0x8A9136AAu);
+
+  const std::string ones(32, '\xff');
+  EXPECT_EQ(Crc32c::Of(ones), 0x62A8AB43u);
+
+  std::string ascending(32, '\0');
+  for (int i = 0; i < 32; ++i) ascending[i] = static_cast<char>(i);
+  EXPECT_EQ(Crc32c::Of(ascending), 0x46DD794Eu);
+
+  std::string descending(32, '\0');
+  for (int i = 0; i < 32; ++i) descending[i] = static_cast<char>(31 - i);
+  EXPECT_EQ(Crc32c::Of(descending), 0x113FDB5Cu);
+}
+
+TEST(Crc32cTest, StreamingMatchesOneShot) {
+  const std::string text = "The quick brown fox jumps over the lazy dog";
+  const std::uint32_t oneshot = Crc32c::Of(text);
+  EXPECT_EQ(oneshot, 0x22620404u);
+
+  // Any split of the input yields the same checksum.
+  for (std::size_t split = 0; split <= text.size(); split += 7) {
+    Crc32c crc;
+    crc.Update(text.substr(0, split));
+    crc.Update(text.substr(split));
+    EXPECT_EQ(crc.Finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, FinishIsIdempotentAndResetRestarts) {
+  Crc32c crc;
+  crc.Update("abc");
+  const std::uint32_t first = crc.Finish();
+  EXPECT_EQ(crc.Finish(), first);
+  crc.Update("def");
+  EXPECT_EQ(crc.Finish(), Crc32c::Of("abcdef"));
+  crc.Reset();
+  crc.Update("abc");
+  EXPECT_EQ(crc.Finish(), first);
+}
+
+TEST(Crc32cTest, VoidPointerOverloadMatches) {
+  const unsigned char raw[] = {0x01, 0x02, 0x03, 0x04};
+  Crc32c crc;
+  crc.Update(raw, sizeof raw);
+  EXPECT_EQ(crc.Finish(),
+            Crc32c::Of(std::string_view("\x01\x02\x03\x04", 4)));
+}
+
+TEST(Crc32cTest, SingleBitFlipChangesChecksum) {
+  std::string data(64, 'x');
+  const std::uint32_t clean = Crc32c::Of(data);
+  for (std::size_t byte = 0; byte < data.size(); byte += 13) {
+    std::string corrupt = data;
+    corrupt[byte] ^= 0x20;
+    EXPECT_NE(Crc32c::Of(corrupt), clean) << "flip at byte " << byte;
+  }
+}
+
+TEST(Fnv1aTest, KnownVectors) {
+  // Standard 64-bit FNV-1a vectors.
+  EXPECT_EQ(Fnv1a(""), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a("a"), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171F73967E8ULL);
+}
+
+TEST(HashSequenceTest, OrderAndLengthSensitive) {
+  const std::vector<int> a{1, 2, 3};
+  const std::vector<int> b{3, 2, 1};
+  const std::vector<int> c{1, 2};
+  EXPECT_NE(HashSequence(a), HashSequence(b));
+  EXPECT_NE(HashSequence(a), HashSequence(c));
+  EXPECT_EQ(HashSequence(a), HashSequence(std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace cuisine

@@ -1,0 +1,273 @@
+// Query engine tests: canonical JSON answers, cold/warm byte identity,
+// LRU cache behaviour (hits, misses, evictions, zero-capacity), and
+// byte-identical responses whether the snapshot was computed serially
+// or by any number of worker threads.
+
+#include "serve/query.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/pipeline.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+Snapshot BuildSmallSnapshot() {
+  PipelineConfig config;
+  config.generator.scale = 0.02;
+  config.run_elbow = false;
+  auto run = RunPipeline(config);
+  CUISINE_CHECK(run.ok()) << run.status();
+  auto snap = BuildSnapshot(run->dataset, *run, config);
+  CUISINE_CHECK(snap.ok()) << snap.status();
+  return std::move(snap).value();
+}
+
+class QueryTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { snapshot_ = new Snapshot(BuildSmallSnapshot()); }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    snapshot_ = nullptr;
+  }
+  static Snapshot* snapshot_;
+};
+
+Snapshot* QueryTest::snapshot_ = nullptr;
+
+TEST_F(QueryTest, Table1RowAnswersKnownCuisine) {
+  QueryEngine engine(*snapshot_);
+  auto r = engine.Table1Row("Korean");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto json = Json::Parse(*r);
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_EQ(json->Find("region")->string_value(), "Korean");
+  EXPECT_GT(json->Find("num_recipes")->int_value(), 0);
+  EXPECT_GT(json->Find("signatures")->size(), 0u);
+}
+
+TEST_F(QueryTest, UnknownCuisineIsNotFound) {
+  QueryEngine engine(*snapshot_);
+  auto r = engine.Table1Row("Atlantis");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(QueryTest, TopPatternsDescendingSupportAndCapped) {
+  QueryEngine engine(*snapshot_);
+  auto r = engine.TopPatterns("Korean", 5);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto json = Json::Parse(*r);
+  ASSERT_TRUE(json.ok()) << json.status();
+  const Json* patterns = json->Find("patterns");
+  ASSERT_NE(patterns, nullptr);
+  ASSERT_LE(patterns->size(), 5u);
+  for (std::size_t i = 1; i < patterns->size(); ++i) {
+    EXPECT_GE(patterns->at(i - 1).Find("support")->double_value(),
+              patterns->at(i).Find("support")->double_value());
+  }
+  // k larger than the pattern set truncates, not errors.
+  auto all = engine.TopPatterns("Korean", 1000000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_FALSE(engine.TopPatterns("Korean", 0).ok());
+}
+
+TEST_F(QueryTest, DistanceIsSymmetricAndZeroOnDiagonal) {
+  QueryEngine engine(*snapshot_);
+  auto ab = engine.CuisineDistance(DistanceMetric::kEuclidean, "Korean",
+                                   "Japanese");
+  auto ba = engine.CuisineDistance(DistanceMetric::kEuclidean, "Japanese",
+                                   "Korean");
+  ASSERT_TRUE(ab.ok() && ba.ok());
+  auto jab = Json::Parse(*ab);
+  auto jba = Json::Parse(*ba);
+  ASSERT_TRUE(jab.ok() && jba.ok());
+  EXPECT_EQ(jab->Find("distance")->double_value(),
+            jba->Find("distance")->double_value());
+  auto self = engine.CuisineDistance(DistanceMetric::kCosine, "French",
+                                     "French");
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(Json::Parse(*self)->Find("distance")->double_value(), 0.0);
+}
+
+TEST_F(QueryTest, TreeNewickListsKnownTreesInErrors) {
+  QueryEngine engine(*snapshot_);
+  auto r = engine.TreeNewick("jaccard");
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto json = Json::Parse(*r);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("leaves")->int_value(), 26);
+  EXPECT_NE(json->Find("newick")->string_value().find("Korean"),
+            std::string::npos);
+
+  auto missing = engine.TreeNewick("bogus");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("euclidean"), std::string::npos);
+}
+
+TEST_F(QueryTest, AuthenticityDirectionsDiffer) {
+  QueryEngine engine(*snapshot_);
+  auto most = engine.AuthenticityTopK("Korean", 3, /*most=*/true);
+  auto least = engine.AuthenticityTopK("Korean", 3, /*most=*/false);
+  ASSERT_TRUE(most.ok() && least.ok());
+  auto jm = Json::Parse(*most);
+  auto jl = Json::Parse(*least);
+  ASSERT_TRUE(jm.ok() && jl.ok());
+  ASSERT_GT(jm->Find("items")->size(), 0u);
+  ASSERT_GT(jl->Find("items")->size(), 0u);
+  EXPECT_GE(jm->Find("items")->at(0).Find("score")->double_value(),
+            jl->Find("items")->at(0).Find("score")->double_value());
+}
+
+TEST_F(QueryTest, NearestAscendingAndExcludesSelf) {
+  QueryEngine engine(*snapshot_);
+  auto r = engine.NearestCuisines(DistanceMetric::kJaccard, "Korean", 25);
+  ASSERT_TRUE(r.ok()) << r.status();
+  auto json = Json::Parse(*r);
+  ASSERT_TRUE(json.ok());
+  const Json* neighbors = json->Find("neighbors");
+  ASSERT_EQ(neighbors->size(), 25u);  // every other cuisine, never itself
+  double prev = -1.0;
+  for (std::size_t i = 0; i < neighbors->size(); ++i) {
+    EXPECT_NE(neighbors->at(i).Find("cuisine")->string_value(), "Korean");
+    const double d = neighbors->at(i).Find("distance")->double_value();
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST_F(QueryTest, ColdAndWarmAnswersAreByteIdentical) {
+  QueryEngine engine(*snapshot_);
+  const auto cold = engine.Table1Row("French");
+  ASSERT_TRUE(cold.ok());
+  const auto stats_after_cold = engine.cache_stats();
+  const auto warm = engine.Table1Row("French");
+  ASSERT_TRUE(warm.ok());
+  const auto stats_after_warm = engine.cache_stats();
+  EXPECT_EQ(*cold, *warm);
+  EXPECT_EQ(stats_after_warm.hits, stats_after_cold.hits + 1);
+  EXPECT_EQ(stats_after_warm.misses, stats_after_cold.misses);
+}
+
+TEST_F(QueryTest, ErrorsAreNotCached) {
+  QueryEngine engine(*snapshot_);
+  ASSERT_FALSE(engine.Table1Row("Atlantis").ok());
+  ASSERT_FALSE(engine.Table1Row("Atlantis").ok());
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+}
+
+TEST_F(QueryTest, SmallCacheEvictsButStaysCorrect) {
+  QueryEngineOptions options;
+  options.cache_capacity = 4;
+  options.cache_shards = 2;
+  QueryEngine engine(*snapshot_, options);
+  QueryEngine uncached(*snapshot_, QueryEngineOptions{0, 1});
+  for (const std::string& name : snapshot_->summary.cuisine_names) {
+    auto a = engine.TopPatterns(name, 3);
+    auto b = uncached.TopPatterns(name, 3);
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(*a, *b) << name;
+  }
+  EXPECT_GT(engine.cache_stats().evictions, 0u);
+  EXPECT_EQ(uncached.cache_stats().hits, 0u);
+}
+
+TEST_F(QueryTest, StatsJsonCarriesCacheCounters) {
+  QueryEngine engine(*snapshot_);
+  ASSERT_TRUE(engine.Table1Row("Korean").ok());
+  ASSERT_TRUE(engine.Table1Row("Korean").ok());
+  auto json = Json::Parse(engine.StatsJson());
+  ASSERT_TRUE(json.ok()) << json.status();
+  const Json* cache = json->Find("cache");
+  ASSERT_NE(cache, nullptr);
+  EXPECT_EQ(cache->Find("hits")->int_value(), 1);
+  EXPECT_EQ(cache->Find("misses")->int_value(), 1);
+  EXPECT_EQ(json->Find("num_cuisines")->int_value(), 26);
+}
+
+// The acceptance bar: responses are byte-identical whether the snapshot
+// was computed serially or with 2 or 8 worker threads, and whether the
+// engine answers cold or from cache.
+TEST_F(QueryTest, ConcurrentMixedQueriesMatchSerialAnswers) {
+  // Many real threads hammer one engine through a tiny cache (constant
+  // hits, misses, and evictions) while an uncached engine provides the
+  // reference answers. Every concurrent response must equal the serial
+  // one — and under TSan this is the race check for the sharded LRU.
+  QueryEngineOptions tiny;
+  tiny.cache_capacity = 8;
+  tiny.cache_shards = 2;
+  QueryEngine shared(*snapshot_, tiny);
+  QueryEngine reference(*snapshot_, QueryEngineOptions{0, 1});
+
+  const std::vector<std::string>& names = snapshot_->summary.cuisine_names;
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        // 12 distinct keys against 8 slots: plenty of hits, steady
+        // evictions.
+        const std::string& cuisine = names[(t + i) % 3 % names.size()];
+        const int k = 1 + ((i / 2) % 2);
+        auto got = (i % 2 == 0) ? shared.TopPatterns(cuisine, k)
+                                : shared.AuthenticityTopK(cuisine, k, true);
+        auto want = (i % 2 == 0) ? reference.TopPatterns(cuisine, k)
+                                 : reference.AuthenticityTopK(cuisine, k, true);
+        if (!got.ok() || !want.ok() || *got != *want) {
+          failures[t] = "mismatch at thread " + std::to_string(t) +
+                        " op " + std::to_string(i);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  const auto stats = shared.cache_stats();
+  EXPECT_GT(stats.hits, 0u);
+  EXPECT_GT(stats.evictions, 0u);
+}
+
+TEST(QueryDeterminismTest, ResponsesIdenticalAcrossThreadCounts) {
+  std::vector<std::string> serialized;
+  std::vector<std::vector<std::string>> responses;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    SetParallelThreads(threads);
+    Snapshot snap = BuildSmallSnapshot();
+    serialized.push_back(SerializeSnapshot(snap));
+    QueryEngine engine(std::move(snap));
+    std::vector<std::string> batch;
+    for (int round = 0; round < 2; ++round) {  // cold then warm
+      batch.push_back(*engine.Table1Row("Korean"));
+      batch.push_back(*engine.TopPatterns("Indian Subcontinent", 5));
+      batch.push_back(*engine.CuisineDistance(DistanceMetric::kEuclidean,
+                                              "French", "Italian"));
+      batch.push_back(*engine.TreeNewick("cosine"));
+      batch.push_back(*engine.AuthenticityTopK("Thai", 4, true));
+      batch.push_back(*engine.NearestCuisines(DistanceMetric::kJaccard,
+                                              "Japanese", 5));
+    }
+    responses.push_back(std::move(batch));
+  }
+  SetParallelThreads(1);
+  EXPECT_EQ(serialized[0], serialized[1]);
+  EXPECT_EQ(serialized[0], serialized[2]);
+  EXPECT_EQ(responses[0], responses[1]);
+  EXPECT_EQ(responses[0], responses[2]);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cuisine

@@ -221,6 +221,58 @@ TEST(ReportDiffTest, HistogramBucketsCompareWhenEdgesMatch) {
   EXPECT_TRUE(noted);
 }
 
+TEST(ReportDiffTest, LatencyHistogramRowsAreTimingClass) {
+  // A "..._ns" histogram (the serve bench's request-latency histogram)
+  // flattens to count/sum/bucket rows; every one measures wall time, so
+  // all must classify as timing and go advisory under --timing-advisory —
+  // otherwise CI would hard-gate machine-dependent latency buckets.
+  auto with_latency_hist = [](std::vector<std::int64_t> buckets) {
+    Json report = MakeReport({});
+    Json hist = Json::Object();
+    Json edge_array = Json::Array();
+    edge_array.Push(Json::Int(1000));
+    edge_array.Push(Json::Int(100000));
+    Json bucket_array = Json::Array();
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+    for (std::int64_t b : buckets) {
+      bucket_array.Push(Json::Int(b));
+      count += b;
+      sum += b * 50;
+    }
+    hist.Set("edges", std::move(edge_array));
+    hist.Set("buckets", std::move(bucket_array));
+    hist.Set("count", Json::Int(count));
+    hist.Set("sum", Json::Int(sum));
+    Json hists = Json::Object();
+    hists.Set("serve.request.latency_ns", std::move(hist));
+    const_cast<Json*>(report.Find("metrics"))
+        ->Set("histograms", std::move(hists));
+    return report;
+  };
+  Json base = with_latency_hist({100, 0, 0});
+  Json slower = with_latency_hist({0, 0, 100});  // same count, all slower
+
+  auto strict = obs::DiffRunReports(base, slower, DiffOptions{});
+  ASSERT_TRUE(strict.ok()) << strict.status();
+  EXPECT_TRUE(strict->regression);
+
+  DiffOptions lenient;
+  lenient.timing_advisory = true;
+  auto advisory = obs::DiffRunReports(base, slower, lenient);
+  ASSERT_TRUE(advisory.ok()) << advisory.status();
+  EXPECT_FALSE(advisory->regression);
+  for (const char* key :
+       {"hist/serve.request.latency_ns.bucket2",
+        "hist/serve.request.latency_ns.count",
+        "hist/serve.request.latency_ns.sum"}) {
+    const DiffRow* row = FindRow(*advisory, key);
+    ASSERT_NE(row, nullptr) << key;
+    EXPECT_EQ(row->metric_class, MetricClass::kTiming) << key;
+    EXPECT_TRUE(row->advisory) << key;
+  }
+}
+
 TEST(ReportDiffTest, RejectsNonReportDocuments) {
   Json not_a_report = Json::Object();
   not_a_report.Set("hello", Json::Str("world"));

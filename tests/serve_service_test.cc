@@ -1,0 +1,149 @@
+// Service front-end tests: the quote-aware tokenizer, the one-line JSON
+// envelope (ok/error), command arity and argument validation, and the
+// stdin/stdout Serve loop.
+
+#include "serve/service.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config;
+    config.generator.scale = 0.02;
+    config.run_elbow = false;
+    auto run = RunPipeline(config);
+    CUISINE_CHECK(run.ok()) << run.status();
+    auto snap = BuildSnapshot(run->dataset, *run, config);
+    CUISINE_CHECK(snap.ok()) << snap.status();
+    engine_ = new QueryEngine(std::move(snap).value());
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    engine_ = nullptr;
+  }
+
+  static bool IsOk(const std::string& response) {
+    auto json = Json::Parse(response);
+    CUISINE_CHECK(json.ok()) << response;
+    return json->Find("ok")->bool_value();
+  }
+
+  static QueryEngine* engine_;
+};
+
+QueryEngine* ServiceTest::engine_ = nullptr;
+
+TEST(TokenizeRequestLineTest, SplitsQuotesAndEscapes) {
+  auto t = TokenizeRequestLine("table1 \"Indian Subcontinent\"");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ((*t)[1], "Indian Subcontinent");
+
+  t = TokenizeRequestLine("  a\tb   c  ");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(*t, (std::vector<std::string>{"a", "b", "c"}));
+
+  t = TokenizeRequestLine(R"(say "a \"quoted\" \\ name")");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ((*t)[1], "a \"quoted\" \\ name");
+
+  EXPECT_TRUE(TokenizeRequestLine("")->empty());
+  EXPECT_FALSE(TokenizeRequestLine("tree \"unterminated").ok());
+}
+
+TEST_F(ServiceTest, OkEnvelopeWrapsData) {
+  Service service(engine_);
+  const std::string response = service.HandleLine("table1 Korean");
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_TRUE(json->Find("ok")->bool_value());
+  EXPECT_EQ(json->Find("data")->Find("region")->string_value(), "Korean");
+}
+
+TEST_F(ServiceTest, QuotedCuisineNamesWork) {
+  Service service(engine_);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 \"Indian Subcontinent\"")));
+  EXPECT_TRUE(IsOk(service.HandleLine(
+      "nearest cosine \"Northern Africa\" 3")));
+  EXPECT_TRUE(IsOk(service.HandleLine(
+      "auth_topk \"Middle Eastern\" 2 least")));
+}
+
+TEST_F(ServiceTest, ErrorsKeepServing) {
+  Service service(engine_);
+  EXPECT_FALSE(IsOk(service.HandleLine("table1 Atlantis")));
+  EXPECT_FALSE(IsOk(service.HandleLine("nonsense")));
+  EXPECT_FALSE(IsOk(service.HandleLine("table1")));           // arity
+  EXPECT_FALSE(IsOk(service.HandleLine("top_patterns Korean nope")));
+  EXPECT_FALSE(IsOk(service.HandleLine("top_patterns Korean 0")));
+  EXPECT_FALSE(IsOk(service.HandleLine("distance warp Korean Thai")));
+  EXPECT_FALSE(IsOk(service.HandleLine("auth_topk Korean 3 sideways")));
+  EXPECT_FALSE(IsOk(service.HandleLine("tree \"unterminated")));
+  EXPECT_FALSE(service.done());
+  EXPECT_TRUE(IsOk(service.HandleLine("stats")));
+  EXPECT_EQ(service.requests_handled(), 9u);
+}
+
+TEST_F(ServiceTest, BlankLinesAreIgnored) {
+  Service service(engine_);
+  EXPECT_EQ(service.HandleLine(""), "");
+  EXPECT_EQ(service.HandleLine("   \t "), "");
+  EXPECT_EQ(service.requests_handled(), 0u);
+}
+
+TEST_F(ServiceTest, QuitFlipsDoneSilently) {
+  Service service(engine_);
+  EXPECT_EQ(service.HandleLine("quit"), "");
+  EXPECT_TRUE(service.done());
+}
+
+TEST_F(ServiceTest, HelpAndStatsAnswer) {
+  Service service(engine_);
+  EXPECT_TRUE(IsOk(service.HandleLine("help")));
+  const std::string stats = service.HandleLine("stats");
+  auto json = Json::Parse(stats);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("data")->Find("num_cuisines")->int_value(), 26);
+  EXPECT_FALSE(IsOk(service.HandleLine("stats now")));  // arity
+}
+
+TEST_F(ServiceTest, ServeLoopOneResponsePerRequest) {
+  Service service(engine_);
+  std::istringstream in(
+      "table1 Korean\n"
+      "\n"
+      "bogus\n"
+      "tree euclidean\n"
+      "quit\n"
+      "table1 French\n");  // never reached: quit ends the loop
+  std::ostringstream out;
+  ASSERT_TRUE(service.Serve(in, out).ok());
+  std::istringstream lines(out.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    ++count;
+    EXPECT_TRUE(Json::Parse(line).ok()) << line;
+  }
+  EXPECT_EQ(count, 3);  // table1 + bogus error + tree; blank and quit silent
+  EXPECT_TRUE(service.done());
+  EXPECT_EQ(service.requests_handled(), 4u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cuisine

@@ -1,0 +1,100 @@
+// Golden regression fixture for the snapshot byte format: a small
+// deterministic pipeline run is serialised and compared byte-for-byte
+// against the checked-in tests/golden/snapshot_small.golden. Any drift
+// in the generator, miners, clustering, authenticity arithmetic, or the
+// binary encoding itself fails here — and because the whole pipeline is
+// deterministic under CUISINE_THREADS, the same bytes must come out at
+// any thread count (asserted directly below).
+//
+// Regeneration (after an *intentional* format or pipeline change):
+//   CUISINE_REGEN_GOLDEN=1 ./build/tests/snapshot_golden_test
+// rewrites the fixture in the source tree; commit the result.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "core/pipeline.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(CUISINE_GOLDEN_DIR) + "/snapshot_small.golden";
+}
+
+std::string SerializedSmallSnapshot() {
+  PipelineConfig config;
+  config.generator.seed = 2020;
+  config.generator.scale = 0.02;
+  config.run_elbow = false;
+  auto run = RunPipeline(config);
+  CUISINE_CHECK(run.ok()) << run.status();
+  auto snap = BuildSnapshot(run->dataset, *run, config);
+  CUISINE_CHECK(snap.ok()) << snap.status();
+  return SerializeSnapshot(*snap);
+}
+
+TEST(SnapshotGoldenTest, BytesIdenticalAcrossThreadCounts) {
+  SetParallelThreads(1);
+  const std::string serial = SerializedSmallSnapshot();
+  SetParallelThreads(4);
+  const std::string parallel = SerializedSmallSnapshot();
+  SetParallelThreads(1);
+  ASSERT_EQ(serial.size(), parallel.size());
+  EXPECT_TRUE(serial == parallel)
+      << "snapshot bytes differ between 1 and 4 worker threads";
+}
+
+TEST(SnapshotGoldenTest, SmallFixtureMatchesByteForByte) {
+  const std::string actual = SerializedSmallSnapshot();
+
+  if (std::getenv("CUISINE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    GTEST_SKIP() << "regenerated " << GoldenPath()
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << GoldenPath()
+      << " — run with CUISINE_REGEN_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  if (actual == expected) return;
+
+  // Binary fixture: report the first divergent offset and both bytes
+  // rather than dumping half a megabyte of noise.
+  std::size_t first = 0;
+  const std::size_t limit = std::min(actual.size(), expected.size());
+  while (first < limit && actual[first] == expected[first]) ++first;
+  FAIL() << "snapshot bytes drifted from " << GoldenPath()
+         << "\n  expected size " << expected.size() << ", actual "
+         << actual.size() << "\n  first difference at offset " << first
+         << (first < limit
+                 ? " (expected 0x" +
+                       std::to_string(
+                           static_cast<unsigned char>(expected[first])) +
+                       ", actual 0x" +
+                       std::to_string(
+                           static_cast<unsigned char>(actual[first])) +
+                       ")"
+                 : " (one file is a prefix of the other)")
+         << "\nIf the change is intentional, regenerate with "
+            "CUISINE_REGEN_GOLDEN=1 and commit the new fixture.";
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cuisine

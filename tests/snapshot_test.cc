@@ -1,0 +1,171 @@
+// Snapshot format tests: byte-identical Save -> Load -> Save round
+// trips, content preservation through the binary form, and strict
+// rejection of foreign, truncated and checksum-corrupted files.
+
+#include "serve/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+// One small pipeline run shared by every test (scale 0.02 keeps the
+// corpus at the 25-recipe-per-cuisine floor).
+class SnapshotTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config;
+    config.generator.scale = 0.02;
+    config.run_elbow = false;
+    auto run = RunPipeline(config);
+    ASSERT_TRUE(run.ok()) << run.status();
+    auto snap = BuildSnapshot(run->dataset, *run, config);
+    ASSERT_TRUE(snap.ok()) << snap.status();
+    snapshot_ = new Snapshot(std::move(snap).value());
+    bytes_ = new std::string(SerializeSnapshot(*snapshot_));
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    delete bytes_;
+    snapshot_ = nullptr;
+    bytes_ = nullptr;
+  }
+  static Snapshot* snapshot_;
+  static std::string* bytes_;
+};
+
+Snapshot* SnapshotTest::snapshot_ = nullptr;
+std::string* SnapshotTest::bytes_ = nullptr;
+
+TEST_F(SnapshotTest, BuildPopulatesEverySection) {
+  EXPECT_EQ(snapshot_->summary.cuisine_names.size(), 26u);
+  EXPECT_EQ(snapshot_->patterns.size(), 26u);
+  EXPECT_EQ(snapshot_->features.rows(), 26u);
+  EXPECT_EQ(snapshot_->pdists.size(), 3u);
+  EXPECT_EQ(snapshot_->trees.size(), 5u);
+  EXPECT_EQ(snapshot_->authenticity.rows(), 26u);
+  EXPECT_EQ(snapshot_->table1.size(), 26u);
+  EXPECT_FALSE(snapshot_->meta.empty());
+  EXPECT_EQ(snapshot_->meta.at("generator.seed"), "2020");
+}
+
+TEST_F(SnapshotTest, MagicLeadsTheFile) {
+  ASSERT_GE(bytes_->size(), 8u);
+  EXPECT_EQ(bytes_->substr(0, 8), "CUSNAP01");
+}
+
+TEST_F(SnapshotTest, SerializeIsDeterministic) {
+  EXPECT_EQ(SerializeSnapshot(*snapshot_), *bytes_);
+}
+
+TEST_F(SnapshotTest, SaveLoadSaveIsByteIdentical) {
+  auto loaded = ParseSnapshot(*bytes_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeSnapshot(*loaded), *bytes_);
+}
+
+TEST_F(SnapshotTest, RoundTripPreservesContent) {
+  auto loaded = ParseSnapshot(*bytes_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->meta, snapshot_->meta);
+  EXPECT_EQ(loaded->summary, snapshot_->summary);
+  EXPECT_EQ(loaded->patterns, snapshot_->patterns);
+  EXPECT_EQ(loaded->feature_classes, snapshot_->feature_classes);
+  ASSERT_EQ(loaded->pdists.size(), snapshot_->pdists.size());
+  for (std::size_t i = 0; i < loaded->pdists.size(); ++i) {
+    EXPECT_EQ(loaded->pdists[i].metric, snapshot_->pdists[i].metric);
+    // Bit-exact doubles: the condensed values survive unchanged.
+    EXPECT_EQ(loaded->pdists[i].matrix.values(),
+              snapshot_->pdists[i].matrix.values());
+  }
+  ASSERT_EQ(loaded->trees.size(), snapshot_->trees.size());
+  for (std::size_t i = 0; i < loaded->trees.size(); ++i) {
+    EXPECT_EQ(loaded->trees[i].name, snapshot_->trees[i].name);
+    EXPECT_EQ(loaded->trees[i].labels, snapshot_->trees[i].labels);
+    ASSERT_EQ(loaded->trees[i].steps.size(), snapshot_->trees[i].steps.size());
+  }
+  EXPECT_EQ(loaded->authenticity_items, snapshot_->authenticity_items);
+  EXPECT_EQ(loaded->authenticity.data(), snapshot_->authenticity.data());
+  EXPECT_EQ(loaded->table1.size(), snapshot_->table1.size());
+}
+
+TEST_F(SnapshotTest, RejectsForeignFile) {
+  auto r = ParseSnapshot("definitely not a snapshot file at all");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().message().find("magic"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsEmptyAndTinyInputs) {
+  EXPECT_FALSE(ParseSnapshot("").ok());
+  EXPECT_FALSE(ParseSnapshot("CUSNAP").ok());
+  EXPECT_FALSE(ParseSnapshot("CUSNAP01").ok());  // magic alone, no header
+}
+
+TEST_F(SnapshotTest, RejectsWrongVersion) {
+  std::string bytes = *bytes_;
+  bytes[8] = 0x63;  // version u32 little-endian low byte -> 99
+  auto r = ParseSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsTruncation) {
+  // Any prefix must be rejected: the size field, the section table, or a
+  // section CRC catches it, never a crash or a silent partial load.
+  for (std::size_t keep :
+       {bytes_->size() - 1, bytes_->size() / 2, std::size_t{100},
+        std::size_t{20}}) {
+    auto r = ParseSnapshot(std::string_view(*bytes_).substr(0, keep));
+    EXPECT_FALSE(r.ok()) << "accepted a " << keep << "-byte prefix";
+  }
+}
+
+TEST_F(SnapshotTest, RejectsAppendedGarbage) {
+  auto r = ParseSnapshot(*bytes_ + "trailing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated or padded"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsPayloadCorruption) {
+  // Flip one bit near the end (inside the last section's payload): the
+  // per-section CRC must catch it.
+  std::string bytes = *bytes_;
+  bytes[bytes.size() - 5] ^= 0x01;
+  auto r = ParseSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, RejectsHeaderCorruption) {
+  // Flip a bit inside the section table: the header CRC must catch it
+  // before any offset is trusted.
+  std::string bytes = *bytes_;
+  bytes[30] ^= 0x40;
+  auto r = ParseSnapshot(bytes);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum"), std::string::npos);
+}
+
+TEST_F(SnapshotTest, FileRoundTripAndPathInErrors) {
+  const std::string path = ::testing::TempDir() + "/snapshot_test.bin";
+  ASSERT_TRUE(SaveSnapshot(*snapshot_, path).ok());
+  auto loaded = LoadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SerializeSnapshot(*loaded), *bytes_);
+  std::remove(path.c_str());
+
+  auto missing = LoadSnapshot("/nonexistent/snapshot.bin");
+  EXPECT_FALSE(missing.ok());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cuisine
