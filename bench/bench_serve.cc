@@ -26,31 +26,18 @@
 #include "common/random.h"
 #include "common/string_util.h"
 #include "common/text_table.h"
+#include "serve_load.h"
 #include "serve/query.h"
 #include "serve/snapshot.h"
 
 namespace cuisine {
 namespace {
 
-using serve::BuildSnapshot;
+using bench::LatencyPercentile;
+using bench::Micros;
+using bench::PaperServeSnapshot;
 using serve::QueryEngine;
 using serve::QueryEngineOptions;
-using serve::Snapshot;
-
-/// The paper-scale snapshot (scale 1, seed 2020, no elbow sweep),
-/// computed once per process.
-const Snapshot& PaperSnapshot() {
-  static const Snapshot* snapshot = [] {
-    PipelineConfig config;
-    config.run_elbow = false;
-    auto run = RunPipeline(config);
-    CUISINE_CHECK(run.ok()) << run.status();
-    auto snap = BuildSnapshot(run->dataset, *run, config);
-    CUISINE_CHECK(snap.ok()) << snap.status();
-    return new Snapshot(std::move(snap).value());
-  }();
-  return *snapshot;
-}
 
 /// One operation of the mixed workload, drawn deterministically from
 /// `rng`. Every response must be OK — the driver never issues invalid
@@ -104,14 +91,6 @@ struct LoadResult {
   std::uint64_t max_ns = 0;
 };
 
-std::uint64_t Percentile(const std::vector<std::uint64_t>& sorted,
-                         double p) {
-  if (sorted.empty()) return 0;
-  const auto rank = static_cast<std::size_t>(
-      p * static_cast<double>(sorted.size() - 1));
-  return sorted[rank];
-}
-
 /// Runs the closed loop: `workers` streams of `ops_per_worker` requests
 /// each, fanned out over ParallelFor (grain 1 = one chunk per worker).
 /// Per-worker RNG seeds are fixed, so the request mix — and therefore
@@ -151,15 +130,11 @@ LoadResult RunClosedLoop(QueryEngine& engine, std::size_t workers,
   result.seconds = seconds;
   result.ops_per_sec =
       seconds > 0.0 ? static_cast<double>(latencies.size()) / seconds : 0.0;
-  result.p50_ns = Percentile(latencies, 0.50);
-  result.p95_ns = Percentile(latencies, 0.95);
-  result.p99_ns = Percentile(latencies, 0.99);
+  result.p50_ns = LatencyPercentile(latencies, 0.50);
+  result.p95_ns = LatencyPercentile(latencies, 0.95);
+  result.p99_ns = LatencyPercentile(latencies, 0.99);
   result.max_ns = latencies.back();
   return result;
-}
-
-std::string Micros(std::uint64_t ns) {
-  return FormatDouble(static_cast<double>(ns) / 1000.0, 1);
 }
 
 void PrintArtifact() {
@@ -182,7 +157,7 @@ void PrintArtifact() {
     SetParallelThreads(workers);
     QueryEngineOptions options;
     options.cache_capacity = 512;
-    QueryEngine engine(PaperSnapshot(), options);
+    QueryEngine engine(PaperServeSnapshot(), options);
     const LoadResult r = RunClosedLoop(engine, workers, kOpsPerWorker);
     const auto stats = engine.cache_stats();
     const double hit_rate =
@@ -206,7 +181,7 @@ void PrintArtifact() {
 void BM_ColdQuery(benchmark::State& state) {
   QueryEngineOptions options;
   options.cache_capacity = 0;  // every request rendered from scratch
-  QueryEngine engine(PaperSnapshot(), options);
+  QueryEngine engine(PaperServeSnapshot(), options);
   Rng rng(42);
   for (auto _ : state) IssueOp(engine, rng);
   state.SetLabel("cache off");
@@ -214,7 +189,7 @@ void BM_ColdQuery(benchmark::State& state) {
 BENCHMARK(BM_ColdQuery)->Unit(benchmark::kMicrosecond);
 
 void BM_WarmQuery(benchmark::State& state) {
-  QueryEngine engine(PaperSnapshot());
+  QueryEngine engine(PaperServeSnapshot());
   auto warm = engine.Table1Row("Korean");
   CUISINE_CHECK(warm.ok()) << warm.status();
   for (auto _ : state) {
@@ -231,7 +206,7 @@ void BM_LoadDriver(benchmark::State& state) {
   for (auto _ : state) {
     QueryEngineOptions options;
     options.cache_capacity = 512;
-    QueryEngine engine(PaperSnapshot(), options);
+    QueryEngine engine(PaperServeSnapshot(), options);
     const LoadResult r = RunClosedLoop(engine, workers, 500);
     benchmark::DoNotOptimize(r.ops);
   }

@@ -1,0 +1,137 @@
+// Shared pieces of the serve load harnesses (bench_serve.cc in-process,
+// bench_serve_tcp.cc over-the-wire): the paper-scale snapshot, latency
+// percentile helpers, and the NURand-style skewed query mix.
+//
+// The skew follows the TPC-C non-uniform random function (clause 2.1.6,
+// the shape tpccbench uses for customer/item selection):
+//
+//   NURand(A, x, y) = (((rand(0, A) | rand(x, y)) + C) % (y - x + 1)) + x
+//
+// The bitwise OR concentrates draws on a hot subset of ranks and C
+// rotates which ranks are hot, so a small set of cuisines receives most
+// of the traffic — the access pattern an LRU cache actually sees in
+// production, as opposed to uniform draws that understate hit rates.
+// Everything is seeded, so a fixed (seed, op-count) pair produces a
+// byte-identical request stream.
+
+#ifndef CUISINE_BENCH_SERVE_LOAD_H_
+#define CUISINE_BENCH_SERVE_LOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/pipeline.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace bench {
+
+/// The paper-scale snapshot (scale 1, seed 2020, no elbow sweep),
+/// computed once per process.
+inline const serve::Snapshot& PaperServeSnapshot() {
+  static const serve::Snapshot* snapshot = [] {
+    PipelineConfig config;
+    config.run_elbow = false;
+    auto run = RunPipeline(config);
+    CUISINE_CHECK(run.ok()) << run.status();
+    auto snap = serve::BuildSnapshot(run->dataset, *run, config);
+    CUISINE_CHECK(snap.ok()) << snap.status();
+    return new serve::Snapshot(std::move(snap).value());
+  }();
+  return *snapshot;
+}
+
+/// `sorted` ascending; p in [0, 1].
+inline std::uint64_t LatencyPercentile(
+    const std::vector<std::uint64_t>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto rank =
+      static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[rank];
+}
+
+inline std::string Micros(std::uint64_t ns) {
+  return FormatDouble(static_cast<double>(ns) / 1000.0, 1);
+}
+
+/// TPC-C NURand over [0, n): hot-rank skew with per-stream constant C.
+inline std::size_t NuRand(Rng& rng, std::uint64_t a, std::size_t n,
+                          std::uint64_t c) {
+  const std::uint64_t lhs = rng.UniformInt(a + 1);
+  const std::uint64_t rhs = rng.UniformInt(n);
+  return static_cast<std::size_t>(((lhs | rhs) + c) % n);
+}
+
+/// Deterministic generator of skewed line-protocol request lines over a
+/// snapshot's cuisines/trees. Every generated request is valid (the
+/// harness treats a non-ok response as a serving bug).
+class SkewedQueryMix {
+ public:
+  /// Streams with equal seeds are identical; different seeds rotate the
+  /// NURand C constant so clients hammer overlapping but distinct hot
+  /// sets.
+  SkewedQueryMix(const serve::Snapshot& snapshot, std::uint64_t seed)
+      : snapshot_(&snapshot),
+        rng_(seed),
+        cuisine_c_(rng_.UniformInt(snapshot.summary.cuisine_names.size())) {}
+
+  /// One request line (no terminator). The verb mix is non-uniform too:
+  /// cheap point lookups dominate, as front-end traffic would.
+  std::string NextLine() {
+    const std::vector<std::string>& names =
+        snapshot_->summary.cuisine_names;
+    const std::string& cuisine = Quoted(names[HotCuisine()]);
+    // Weighted verbs: table1 30%, top_patterns 25%, distance 15%,
+    // nearest 12%, auth_topk 12%, tree 6%.
+    const std::uint64_t verb = rng_.UniformInt(100);
+    if (verb < 30) return "table1 " + cuisine;
+    if (verb < 55) {
+      return "top_patterns " + cuisine + " " +
+             std::to_string(1 + rng_.UniformInt(10));
+    }
+    if (verb < 70) {
+      return "distance " + MetricName() + " " + cuisine + " " +
+             Quoted(names[rng_.UniformInt(names.size())]);
+    }
+    if (verb < 82) {
+      return "nearest " + MetricName() + " " + cuisine + " " +
+             std::to_string(1 + rng_.UniformInt(8));
+    }
+    if (verb < 94) {
+      return "auth_topk " + cuisine + " " +
+             std::to_string(1 + rng_.UniformInt(10)) + " " +
+             (rng_.UniformInt(2) == 0 ? "most" : "least");
+    }
+    const std::vector<serve::SnapshotTree>& trees = snapshot_->trees;
+    return "tree " + trees[rng_.UniformInt(trees.size())].name;
+  }
+
+ private:
+  std::size_t HotCuisine() {
+    // A = 15 over 26 ranks: ~4 hot cuisines absorb most draws.
+    return NuRand(rng_, 15, snapshot_->summary.cuisine_names.size(),
+                  cuisine_c_);
+  }
+
+  std::string MetricName() {
+    static const char* kNames[] = {"euclidean", "cosine", "jaccard"};
+    return kNames[rng_.UniformInt(3)];
+  }
+
+  static std::string Quoted(const std::string& name) {
+    return name.find(' ') == std::string::npos ? name : '"' + name + '"';
+  }
+
+  const serve::Snapshot* snapshot_;
+  Rng rng_;
+  std::uint64_t cuisine_c_;
+};
+
+}  // namespace bench
+}  // namespace cuisine
+
+#endif  // CUISINE_BENCH_SERVE_LOAD_H_

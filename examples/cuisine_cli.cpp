@@ -13,6 +13,7 @@
 //   cuisine_cli export     [--patterns out.csv] [--features out.csv]
 //   cuisine_cli snapshot   [--out snapshot.bin] [--support P]
 //   cuisine_cli serve      [--snapshot snapshot.bin] [--cache N]
+//                          [--port P] [--max-pending N] [--timeout-ms T]
 //
 // Every command generates (or loads) the calibrated corpus first; use
 // --scale to work with a smaller one. `serve` instead answers queries
@@ -24,6 +25,7 @@
 // out.json writes an observability run report (span tree + metrics, see
 // README "Observability") when the command exits.
 
+#include <csignal>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -45,6 +47,7 @@
 #include "serve/query.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "serve/tcp_server.h"
 
 namespace {
 
@@ -327,15 +330,76 @@ int CmdSnapshot(const Args& args) {
   return 0;
 }
 
+// SIGINT/SIGTERM flip the TCP server into shutdown; TcpServer::Shutdown
+// is async-signal-safe (one eventfd write).
+cuisine::serve::TcpServer* g_tcp_server = nullptr;
+
+void HandleServeSignal(int) {
+  if (g_tcp_server != nullptr) g_tcp_server->Shutdown();
+}
+
+/// Strictly parses a numeric serve flag into [0, max]. The lenient
+/// GetDouble fallback is wrong for the TCP flags: "--port garbage"
+/// would silently serve forever on an ephemeral port, and an
+/// out-of-range port would truncate through the uint16_t cast. An
+/// empty value (bare "--port") keeps the fallback.
+bool ParseServeFlag(const Args& args, const std::string& key,
+                    std::uint64_t max, std::uint64_t fallback,
+                    std::uint64_t* out) {
+  *out = fallback;
+  if (!args.Has(key)) return true;
+  const std::string raw = args.Get(key, "");
+  if (raw.empty()) return true;
+  std::size_t value = 0;
+  if (!cuisine::ParseSizeT(raw, &value) || value > max) {
+    std::cerr << "error: invalid --" << key << " '" << raw
+              << "' (want an integer 0.." << max << ")\n";
+    return false;
+  }
+  *out = value;
+  return true;
+}
+
 int CmdServe(const Args& args) {
+  std::uint64_t port = 0;
+  std::uint64_t max_pending = 0;
+  std::uint64_t timeout_ms = 0;
+  if (!ParseServeFlag(args, "port", 65535, 0, &port) ||
+      !ParseServeFlag(args, "max-pending", 1u << 20, 1024, &max_pending) ||
+      !ParseServeFlag(args, "timeout-ms", 86400000, 5000, &timeout_ms)) {
+    return 2;
+  }
   auto snap = cuisine::serve::LoadSnapshot(args.Get("snapshot", "snapshot.bin"));
   if (!snap.ok()) return Fail(snap.status());
   cuisine::serve::QueryEngineOptions qopt;
   qopt.cache_capacity =
       static_cast<std::size_t>(args.GetDouble("cache", 1024));
   cuisine::serve::QueryEngine engine(*std::move(snap), qopt);
-  cuisine::serve::Service service(&engine);
-  cuisine::Status st = service.Serve(std::cin, std::cout);
+  if (!args.Has("port")) {
+    cuisine::serve::Service service(&engine);
+    cuisine::Status st = service.Serve(std::cin, std::cout);
+    if (!st.ok()) return Fail(st);
+    return 0;
+  }
+  // --port N: epoll TCP front end on loopback (0 = ephemeral port).
+  cuisine::serve::TcpServerOptions topt;
+  topt.port = static_cast<std::uint16_t>(port);
+  topt.max_pending_requests = static_cast<std::size_t>(max_pending);
+  topt.request_timeout_ms = static_cast<std::int64_t>(timeout_ms);
+  cuisine::serve::TcpServer server(&engine, topt);
+  cuisine::Status st = server.Start();
+  if (!st.ok()) return Fail(st);
+  g_tcp_server = &server;
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  // Announce readiness on stdout so scripts can wait for the port.
+  std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
+  st = server.Run();
+  g_tcp_server = nullptr;
+  const auto stats = server.stats();
+  std::cout << "served " << stats.requests << " requests over "
+            << stats.accepted << " connections (" << stats.shed << " shed, "
+            << stats.timed_out << " timed out)\n";
   if (!st.ok()) return Fail(st);
   return 0;
 }
@@ -352,7 +416,8 @@ void Usage() {
       "  validate     §VII tree-vs-geography validation\n"
       "  export       patterns / feature matrix CSVs\n"
       "  snapshot     run the pipeline and persist a serveable snapshot\n"
-      "  serve        answer queries from a snapshot (stdin/stdout)\n"
+      "  serve        answer queries from a snapshot (stdin/stdout, or\n"
+      "               a multi-client TCP server with --port)\n"
       "common flags: --scale S --seed N --in recipes.csv\n"
       "              --quiet (errors only) --report out.json (run report)\n"
       "              --flight (record a Perfetto timeline next to the\n"
@@ -372,7 +437,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"validate", {}},
       {"export", {"patterns", "features", "support"}},
       {"snapshot", {"out", "support"}},
-      {"serve", {"snapshot", "cache"}},
+      {"serve", {"snapshot", "cache", "port", "max-pending", "timeout-ms"}},
   };
   return kFlags;
 }

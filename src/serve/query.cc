@@ -1,6 +1,8 @@
 #include "serve/query.h"
 
 #include <algorithm>
+#include <initializer_list>
+#include <string_view>
 #include <vector>
 
 #include "cluster/dendrogram.h"
@@ -16,6 +18,24 @@ Json PatternJson(const SnapshotPattern& p) {
       .Set("pattern", Json::Str(p.pattern))
       .Set("count", Json::Int(static_cast<std::int64_t>(p.count)))
       .Set("support", Json::Double(p.support));
+}
+
+/// Unambiguous cache key: the verb followed by each component
+/// length-prefixed ("<len>:<bytes>"). Joining raw user strings with a
+/// separator would let a cuisine literally named "a/b" collide with a
+/// different request whose components merely concatenate the same way
+/// (e.g. distance(a/b, c) vs distance(a, b/c)); a length prefix makes
+/// the component boundaries part of the key.
+std::string CacheKey(std::string_view verb,
+                     std::initializer_list<std::string_view> parts) {
+  std::string key(verb);
+  for (std::string_view part : parts) {
+    key += '|';
+    key += std::to_string(part.size());
+    key += ':';
+    key += part;
+  }
+  return key;
 }
 
 }  // namespace
@@ -54,7 +74,7 @@ Result<std::string> QueryEngine::Cached(const std::string& key, Fn render) {
 
 Result<std::string> QueryEngine::Table1Row(std::string_view cuisine) {
   CUISINE_SPAN("query_table1");
-  return Cached("table1/" + std::string(cuisine),
+  return Cached(CacheKey("table1", {cuisine}),
                 [&]() -> Result<std::string> {
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
     const std::string& name = snapshot_.summary.cuisine_names[idx];
@@ -93,7 +113,7 @@ Result<std::string> QueryEngine::TopPatterns(std::string_view cuisine,
                                              std::size_t k) {
   CUISINE_SPAN("query_top_patterns");
   return Cached(
-      "top_patterns/" + std::string(cuisine) + "/" + std::to_string(k),
+      CacheKey("top_patterns", {cuisine, std::to_string(k)}),
       [&]() -> Result<std::string> {
         if (k == 0) return Status::InvalidArgument("k must be positive");
         CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
@@ -117,7 +137,7 @@ Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
   CUISINE_SPAN("query_distance");
   const std::string metric_name(DistanceMetricName(metric));
   return Cached(
-      "distance/" + metric_name + "/" + std::string(a) + "/" + std::string(b),
+      CacheKey("distance", {metric_name, a, b}),
       [&]() -> Result<std::string> {
         CUISINE_ASSIGN_OR_RETURN(std::size_t ia, CuisineIndex(a));
         CUISINE_ASSIGN_OR_RETURN(std::size_t ib, CuisineIndex(b));
@@ -139,7 +159,7 @@ Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
 
 Result<std::string> QueryEngine::TreeNewick(std::string_view tree) {
   CUISINE_SPAN("query_tree");
-  return Cached("tree/" + std::string(tree), [&]() -> Result<std::string> {
+  return Cached(CacheKey("tree", {tree}), [&]() -> Result<std::string> {
     for (const SnapshotTree& t : snapshot_.trees) {
       if (t.name != tree) continue;
       CUISINE_ASSIGN_OR_RETURN(Dendrogram d,
@@ -163,8 +183,8 @@ Result<std::string> QueryEngine::TreeNewick(std::string_view tree) {
 Result<std::string> QueryEngine::AuthenticityTopK(std::string_view cuisine,
                                                   std::size_t k, bool most) {
   CUISINE_SPAN("query_auth_topk");
-  return Cached("auth_topk/" + std::string(cuisine) + "/" +
-                    std::to_string(k) + "/" + (most ? "most" : "least"),
+  return Cached(CacheKey("auth_topk", {cuisine, std::to_string(k),
+                                       most ? "most" : "least"}),
                 [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
@@ -200,8 +220,8 @@ Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
                                                  std::size_t k) {
   CUISINE_SPAN("query_nearest");
   const std::string metric_name(DistanceMetricName(metric));
-  return Cached("nearest/" + metric_name + "/" + std::string(cuisine) + "/" +
-                    std::to_string(k),
+  return Cached(CacheKey("nearest", {metric_name, cuisine,
+                                     std::to_string(k)}),
                 [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));

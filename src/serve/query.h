@@ -2,7 +2,9 @@
 // compute/serve split. Each typed request renders one canonical compact
 // JSON value (the `data` member of the wire response, see
 // serve/service.h) and is memoised in a sharded LRU cache keyed by the
-// request's canonical string form. Responses are deterministic: equal
+// request's canonical string form (verb plus length-prefixed
+// components, so no two distinct requests share a key even when an
+// argument embeds a separator). Responses are deterministic: equal
 // snapshots produce byte-identical JSON for a request whether it is
 // answered cold, from cache, or under any CUISINE_THREADS width — the
 // cache stores the exact bytes a cold evaluation produces.

@@ -95,6 +95,15 @@ Result<std::vector<std::string>> TokenizeRequestLine(std::string_view line) {
 }
 
 std::string Service::HandleLine(std::string_view line) {
+  // CRLF clients (telnet, Windows, anything reading with \r\n line
+  // endings) deliver "table1 Italian\r"; the carriage return is part of
+  // the terminator, never of the request.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  if (line.find('\0') != std::string_view::npos) {
+    ++requests_;
+    CUISINE_COUNTER_ADD("serve.requests.error", 1);
+    return ErrorResponse("request line contains a NUL byte");
+  }
   auto tokens_or = TokenizeRequestLine(line);
   if (!tokens_or.ok()) {
     ++requests_;
@@ -109,11 +118,15 @@ std::string Service::HandleLine(std::string_view line) {
   const std::string& cmd = t[0];
 
   Result<std::string> data = [&]() -> Result<std::string> {
+    // Zero-argument verbs enforce arity like every other verb: "quit
+    // now" is a usage error (and does not quit), not a silent alias.
     if (cmd == "quit") {
+      if (t.size() != 1) return ArityError(cmd, "(no arguments)");
       done_ = true;
       return std::string();
     }
     if (cmd == "help") {
+      if (t.size() != 1) return ArityError(cmd, "(no arguments)");
       return Json::Str(kHelpText).Dump(0);
     }
     if (cmd == "stats") {

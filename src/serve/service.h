@@ -1,6 +1,7 @@
-// Line-protocol front end over serve/query.h — the transport layer of
-// `cuisine_cli serve`. One request per input line, one compact JSON
-// response per output line:
+// Line-protocol front end over serve/query.h — the protocol layer
+// shared by both `cuisine_cli serve` transports: the stdin/stdout loop
+// below and the epoll TCP server (serve/tcp_server.h). One request per
+// input line, one compact JSON response per output line:
 //
 //   table1 <cuisine>                 {"ok":true,"data":{...}}
 //   top_patterns <cuisine> <k>
@@ -42,6 +43,8 @@ class Service {
   explicit Service(QueryEngine* engine) : engine_(engine) {}
 
   /// Handles one request line and returns the one-line JSON response.
+  /// A trailing '\r' (CRLF transports) is stripped before parsing; a
+  /// line containing a NUL byte is rejected with a one-line error.
   /// Blank lines return an empty string (callers emit nothing). The
   /// `quit` command also returns an empty string and flips done().
   std::string HandleLine(std::string_view line);

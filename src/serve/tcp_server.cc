@@ -1,0 +1,440 @@
+#include "serve/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string ErrorBody(std::string_view message) {
+  return Json::Object()
+      .Set("ok", Json::Bool(false))
+      .Set("error", Json::Str(std::string(message)))
+      .Dump(0);
+}
+
+}  // namespace
+
+std::string OverloadedResponseBody() { return ErrorBody("overloaded"); }
+std::string TimeoutResponseBody() { return ErrorBody("timeout"); }
+
+/// One in-order response slot per framed request line. Slots become
+/// ready either immediately (shed / transport error) or when the drain
+/// loop executes the request; FlushConnection only ever emits the ready
+/// prefix, so pipelined clients see responses in request order.
+struct ResponseSlot {
+  bool ready = false;
+  /// Response line including '\n'; empty for silent requests (blank
+  /// lines, quit).
+  std::string bytes;
+};
+
+struct TcpServer::Connection {
+  std::uint64_t id = 0;
+  int fd = -1;
+  Service service;
+  std::string read_buf;
+  /// In-order response slots. `slots[i]` answers the request with
+  /// absolute sequence number `slots_consumed + i`; flushing pops the
+  /// ready prefix and advances slots_consumed, so pending requests
+  /// (which carry absolute numbers) stay addressable.
+  std::deque<ResponseSlot> slots;
+  std::uint64_t slots_consumed = 0;
+  std::string write_buf;
+  std::size_t write_pos = 0;
+  bool want_writable = false;  // EPOLLOUT currently registered
+  bool peer_eof = false;       // client half-closed; finish then close
+  bool close_after_flush = false;
+  bool closed = false;
+
+  explicit Connection(QueryEngine* engine) : service(engine) {}
+};
+
+struct TcpServer::PendingRequest {
+  std::uint64_t conn_id = 0;
+  std::size_t slot = 0;
+  std::string line;
+  Clock::time_point admitted;
+  Clock::time_point deadline;
+};
+
+TcpServer::TcpServer(QueryEngine* engine, TcpServerOptions options)
+    : engine_(engine), options_(options) {}
+
+TcpServer::~TcpServer() {
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+  conns_.clear();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+}
+
+Status TcpServer::SetupListener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr =
+      htonl(options_.loopback_only ? INADDR_LOOPBACK : INADDR_ANY);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::IOError("bind port " + std::to_string(options_.port) +
+                           ": " + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, options_.listen_backlog) < 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  return Status::OK();
+}
+
+Status TcpServer::Start() {
+  if (listen_fd_ >= 0) {
+    return Status::FailedPrecondition("TcpServer already started");
+  }
+  CUISINE_RETURN_NOT_OK(SetupListener());
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // listener sentinel
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl(listener): ") +
+                           std::strerror(errno));
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = 1;  // wake sentinel
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+void TcpServer::Shutdown() {
+  if (wake_fd_ < 0) return;
+  const std::uint64_t one = 1;
+  // Best-effort, async-signal-safe: a full eventfd counter still wakes.
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+}
+
+TcpServer::Stats TcpServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load();
+  s.closed = closed_.load();
+  s.requests = requests_.load();
+  s.shed = shed_.load();
+  s.timed_out = timed_out_.load();
+  return s;
+}
+
+TcpServer::Connection* TcpServer::FindConnection(std::uint64_t id) {
+  auto it = conns_.find(id);
+  return it == conns_.end() ? nullptr : it->second.get();
+}
+
+void TcpServer::AcceptNew() {
+  while (true) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays registered
+    }
+    if (conns_.size() >= options_.max_connections) {
+      ::close(fd);
+      CUISINE_COUNTER_ADD("serve.tcp.rejected_connections", 1);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(engine_);
+    conn->id = next_conn_id_++;
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = conn->id + 1;  // 0/1 are the listener/wake sentinels
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ::close(fd);
+      continue;
+    }
+    accepted_.fetch_add(1);
+    CUISINE_COUNTER_ADD("serve.tcp.accepted", 1);
+    CUISINE_GAUGE_MAX("serve.tcp.connections_peak",
+                      static_cast<std::int64_t>(conns_.size() + 1));
+    conns_.emplace(conn->id, std::move(conn));
+  }
+}
+
+void TcpServer::AdmitLine(Connection* conn, std::string line) {
+  requests_.fetch_add(1);
+  CUISINE_COUNTER_ADD("serve.tcp.requests", 1);
+  const std::uint64_t sequence = conn->slots_consumed + conn->slots.size();
+  conn->slots.emplace_back();
+  if (pending_.size() >= options_.max_pending_requests) {
+    shed_.fetch_add(1);
+    CUISINE_COUNTER_ADD("serve.tcp.shed", 1);
+    conn->slots.back().ready = true;
+    conn->slots.back().bytes = OverloadedResponseBody() + "\n";
+    return;
+  }
+  PendingRequest req;
+  req.conn_id = conn->id;
+  req.slot = sequence;
+  req.line = std::move(line);
+  req.admitted = Clock::now();
+  req.deadline = options_.request_timeout_ms > 0
+                     ? req.admitted +
+                           std::chrono::milliseconds(options_.request_timeout_ms)
+                     : Clock::time_point::max();
+  pending_.push_back(std::move(req));
+}
+
+void TcpServer::FrameLines(Connection* conn) {
+  if (conn->close_after_flush) {
+    conn->read_buf.clear();  // framing already abandoned
+    return;
+  }
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t nl = conn->read_buf.find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string line = conn->read_buf.substr(start, nl - start);
+    start = nl + 1;
+    if (line.size() > options_.max_line_bytes) {
+      conn->slots.push_back(
+          {true, ErrorBody("request line too long") + "\n"});
+      conn->close_after_flush = true;
+      CUISINE_COUNTER_ADD("serve.tcp.oversized_lines", 1);
+      break;  // framing is lost; drop the rest of the buffer
+    }
+    AdmitLine(conn, std::move(line));
+  }
+  conn->read_buf.erase(0, conn->close_after_flush ? conn->read_buf.size()
+                                                  : start);
+  if (conn->read_buf.size() > options_.max_line_bytes) {
+    // An unterminated line has already outgrown the cap.
+    conn->slots.push_back({true, ErrorBody("request line too long") + "\n"});
+    conn->close_after_flush = true;
+    conn->read_buf.clear();
+    CUISINE_COUNTER_ADD("serve.tcp.oversized_lines", 1);
+  }
+}
+
+void TcpServer::HandleReadable(Connection* conn) {
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      CUISINE_COUNTER_ADD("serve.tcp.bytes_in", n);
+      conn->read_buf.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      conn->peer_eof = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(conn);  // ECONNRESET and friends
+    return;
+  }
+  FrameLines(conn);
+  if (conn->peer_eof && conn->slots.empty() && conn->write_buf.empty()) {
+    CloseConnection(conn);
+    return;
+  }
+  FlushConnection(conn);
+}
+
+void TcpServer::DrainPending() {
+  if (paused_.load() || pending_.empty()) return;
+  CUISINE_SPAN("tcp_drain");
+  while (!pending_.empty()) {
+    PendingRequest req = std::move(pending_.front());
+    pending_.pop_front();
+    Connection* conn = FindConnection(req.conn_id);
+    if (conn == nullptr || conn->closed) continue;  // client already gone
+    // Unready slots never leave the deque, so the request's absolute
+    // sequence number still addresses a live slot.
+    ResponseSlot& slot =
+        conn->slots[static_cast<std::size_t>(req.slot - conn->slots_consumed)];
+    const Clock::time_point now = Clock::now();
+    if (now > req.deadline) {
+      timed_out_.fetch_add(1);
+      CUISINE_COUNTER_ADD("serve.tcp.timeout", 1);
+      slot.bytes = TimeoutResponseBody() + "\n";
+    } else {
+      std::string response = conn->service.HandleLine(req.line);
+      if (!response.empty()) slot.bytes = std::move(response) + "\n";
+      if (conn->service.done()) conn->close_after_flush = true;
+    }
+    slot.ready = true;
+    CUISINE_HISTOGRAM_OBSERVE(
+        "serve.tcp.request_ns",
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             req.admitted)
+            .count(),
+        1000, 2000, 5000, 10000, 20000, 50000, 100000, 200000, 500000,
+        1000000, 2000000, 5000000, 10000000);
+    FlushConnection(conn);
+  }
+}
+
+void TcpServer::FlushConnection(Connection* conn) {
+  if (conn->closed) return;
+  // Emit the ready prefix of the in-order slot queue.
+  while (!conn->slots.empty() && conn->slots.front().ready) {
+    conn->write_buf += conn->slots.front().bytes;
+    conn->slots.pop_front();
+    ++conn->slots_consumed;
+  }
+  while (conn->write_pos < conn->write_buf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->write_buf.data() + conn->write_pos,
+               conn->write_buf.size() - conn->write_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      CUISINE_COUNTER_ADD("serve.tcp.bytes_out", n);
+      conn->write_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    CloseConnection(conn);  // EPIPE / ECONNRESET
+    return;
+  }
+  if (conn->write_pos == conn->write_buf.size()) {
+    conn->write_buf.clear();
+    conn->write_pos = 0;
+  }
+  const bool backlog = !conn->write_buf.empty();
+  if (backlog != conn->want_writable) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (backlog ? EPOLLOUT : 0u);
+    ev.data.u64 = conn->id + 1;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->want_writable = backlog;
+  }
+  if (!backlog && conn->slots.empty() &&
+      (conn->close_after_flush || conn->peer_eof)) {
+    CloseConnection(conn);
+  }
+}
+
+void TcpServer::HandleWritable(Connection* conn) { FlushConnection(conn); }
+
+void TcpServer::CloseConnection(Connection* conn) {
+  if (conn->closed) return;
+  conn->closed = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  ::close(conn->fd);
+  conn->fd = -1;
+  closed_.fetch_add(1);
+  CUISINE_COUNTER_ADD("serve.tcp.closed", 1);
+  conns_.erase(conn->id);  // destroys *conn; pending refs skip by id
+}
+
+Status TcpServer::Run() {
+  if (listen_fd_ < 0 || epoll_fd_ < 0) {
+    return Status::FailedPrecondition("TcpServer::Start() was not called");
+  }
+  if (running_) return Status::FailedPrecondition("TcpServer already running");
+  running_ = true;
+  CUISINE_SPAN("tcp_server_run");
+  epoll_event events[64];
+  bool stop = false;
+  while (!stop) {
+    // Work left in the queue (possible only while paused, or when a
+    // deadline must be re-checked) polls on a short tick; otherwise
+    // block until a socket or Shutdown() wakes us.
+    const int timeout_ms = pending_.empty() ? -1 : 10;
+    const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      running_ = false;
+      return Status::IOError(std::string("epoll_wait: ") +
+                             std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      const std::uint64_t tag = events[i].data.u64;
+      if (tag == 0) {
+        AcceptNew();
+        continue;
+      }
+      if (tag == 1) {
+        std::uint64_t drained = 0;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        stop = true;
+        continue;
+      }
+      Connection* conn = FindConnection(tag - 1);
+      if (conn == nullptr) continue;  // closed earlier in this batch
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        CloseConnection(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
+      conn = FindConnection(tag - 1);
+      if (conn != nullptr && (events[i].events & EPOLLIN) != 0) {
+        HandleReadable(conn);
+      }
+    }
+    DrainPending();
+  }
+  // Orderly teardown: answer nothing further, just close.
+  std::vector<std::uint64_t> ids;
+  ids.reserve(conns_.size());
+  for (const auto& [id, conn] : conns_) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    Connection* conn = FindConnection(id);
+    if (conn != nullptr) CloseConnection(conn);
+  }
+  pending_.clear();
+  running_ = false;
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace cuisine

@@ -1,0 +1,162 @@
+// Epoll-based multi-client TCP front end over the query engine — the
+// network transport of `cuisine_cli serve --port`. The wire protocol is
+// exactly the stdin/stdout line protocol (serve/service.h): one request
+// per '\n'-terminated line, one compact JSON response line per request,
+// byte-identical to what the stdin path would emit for the same line.
+// CRLF line endings are accepted (the service strips the trailing '\r').
+//
+// Architecture: one event-loop thread owns the listening socket, an
+// epoll set, and every connection. Reads are nonblocking and buffered
+// per connection; complete lines are framed out of the read buffer and
+// admitted to one global bounded FIFO of pending requests. The loop
+// drains that FIFO inline (executing queries against the shared
+// QueryEngine through a per-connection Service, so pipelined requests
+// from one client are answered strictly in order) and flushes responses
+// through per-connection write buffers, registering EPOLLOUT only while
+// a send would block.
+//
+// Overload and deadline policy:
+//   - admitting a request when the pending FIFO is full answers
+//     {"ok":false,"error":"overloaded"} immediately (the shed reply
+//     still occupies the request's in-order response slot, so pipelined
+//     clients never see reordered replies);
+//   - a request still queued past options.request_timeout_ms is
+//     answered {"ok":false,"error":"timeout"} instead of executing —
+//     an admission-deadline timeout: execution itself is inline and
+//     not preempted;
+//   - a line longer than options.max_line_bytes gets
+//     {"ok":false,"error":"request line too long"} and the connection
+//     is closed (framing cannot be resynchronised).
+//
+// Everything is surfaced as serve.tcp.* metrics (accepted / closed /
+// requests / shed / timeout / bytes_in / bytes_out, plus the
+// serve.tcp.request_ns admission-to-response histogram) and the run
+// loop carries flight-recorder spans.
+
+#ifndef CUISINE_SERVE_TCP_SERVER_H_
+#define CUISINE_SERVE_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "serve/query.h"
+#include "serve/service.h"
+
+namespace cuisine {
+namespace serve {
+
+struct TcpServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back via
+  /// port() after Start()).
+  std::uint16_t port = 0;
+  /// Listen on loopback only by default; set to false for 0.0.0.0.
+  bool loopback_only = true;
+  int listen_backlog = 128;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 1024;
+  /// Longest admissible request line (excluding the terminator).
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Global bound on parsed-but-unexecuted requests; admissions beyond
+  /// it are shed with the overload reject.
+  std::size_t max_pending_requests = 1024;
+  /// Admission deadline: a request still queued this long is answered
+  /// with the timeout reject instead of executing. <= 0 disables.
+  std::int64_t request_timeout_ms = 5000;
+};
+
+/// The canonical reject envelopes (without the trailing '\n').
+std::string OverloadedResponseBody();
+std::string TimeoutResponseBody();
+
+class TcpServer {
+ public:
+  /// Borrows the engine (must outlive the server).
+  TcpServer(QueryEngine* engine, TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Creates, binds and registers the listening socket. After an OK
+  /// return, port() reports the bound port and Run() may be called.
+  Status Start();
+
+  /// Runs the event loop on the calling thread until Shutdown().
+  /// Returns non-OK only for unrecoverable epoll/listener failures;
+  /// per-connection errors just close that connection.
+  Status Run();
+
+  /// Stops Run() from any thread (also safe from a signal handler: the
+  /// only operation is a write to an eventfd). Idempotent.
+  void Shutdown();
+
+  /// Bound port; 0 before a successful Start().
+  std::uint16_t port() const { return port_; }
+
+  /// Drain gate for tests and the load harness: while paused the loop
+  /// still accepts, reads, frames and sheds, but executes nothing, so
+  /// queue overload and admission timeouts can be produced
+  /// deterministically. Unpausing resumes execution within one loop
+  /// tick.
+  void set_paused(bool paused) { paused_.store(paused); }
+  bool paused() const { return paused_.load(); }
+
+  /// Monotonic totals since Start() (readable from any thread).
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t requests = 0;   // lines admitted + shed (blanks included)
+    std::uint64_t shed = 0;       // overload rejects
+    std::uint64_t timed_out = 0;  // admission-deadline rejects
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection;
+  struct PendingRequest;
+
+  Status SetupListener();
+  void AcceptNew();
+  void HandleReadable(Connection* conn);
+  void HandleWritable(Connection* conn);
+  /// Frames complete lines out of conn->read_buf, admitting or shedding
+  /// each one.
+  void FrameLines(Connection* conn);
+  void AdmitLine(Connection* conn, std::string line);
+  /// Executes queued requests in FIFO order (no-op while paused).
+  void DrainPending();
+  /// Moves ready in-order response slots into the write buffer and
+  /// sends; closes the connection when it is finished and flushed.
+  void FlushConnection(Connection* conn);
+  void CloseConnection(Connection* conn);
+  Connection* FindConnection(std::uint64_t id);
+
+  QueryEngine* engine_;
+  TcpServerOptions options_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd; Shutdown() writes, Run() exits
+  bool running_ = false;
+
+  std::uint64_t next_conn_id_ = 1;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::deque<PendingRequest> pending_;
+
+  std::atomic<bool> paused_{false};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> timed_out_{0};
+};
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_TCP_SERVER_H_

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -38,9 +39,16 @@ std::string Slurp(const std::string& path) {
 /// Runs `cuisine_cli <args>` (optionally with `stdin_text` piped in) and
 /// captures exit code, stdout and stderr.
 RunResult RunCli(const std::string& args, const std::string& stdin_text = "") {
-  const std::string out_path = ::testing::TempDir() + "/cli_smoke_out.txt";
-  const std::string err_path = ::testing::TempDir() + "/cli_smoke_err.txt";
-  const std::string in_path = ::testing::TempDir() + "/cli_smoke_in.txt";
+  // Per-process file names: ctest runs each TEST as its own process, in
+  // parallel — a shared fixed name would let concurrent cases truncate
+  // each other's captures.
+  const std::string unique = std::to_string(::getpid());
+  const std::string out_path =
+      ::testing::TempDir() + "/cli_smoke_out." + unique + ".txt";
+  const std::string err_path =
+      ::testing::TempDir() + "/cli_smoke_err." + unique + ".txt";
+  const std::string in_path =
+      ::testing::TempDir() + "/cli_smoke_in." + unique + ".txt";
   {
     std::ofstream in(in_path, std::ios::trunc | std::ios::binary);
     in << stdin_text;
@@ -85,6 +93,19 @@ TEST(CliSmokeTest, ServeWithMissingSnapshotFails) {
   RunResult r = RunCli("serve --snapshot /nonexistent/snap.bin");
   EXPECT_NE(r.exit_code, 0);
   EXPECT_NE(r.stderr_text.find("error"), std::string::npos);
+}
+
+TEST(CliSmokeTest, ServeRejectsMalformedTcpFlags) {
+  // A garbage or out-of-range value must be a usage error — never a
+  // silent fallback that starts serving on an unintended port.
+  for (const std::string& flags :
+       {std::string("--port notanumber"), std::string("--port 99999999"),
+        std::string("--max-pending -5"), std::string("--timeout-ms abc")}) {
+    RunResult r = RunCli("serve --snapshot /nonexistent/snap.bin " + flags);
+    EXPECT_NE(r.exit_code, 0) << flags;
+    EXPECT_NE(r.stderr_text.find("invalid --"), std::string::npos)
+        << flags << ": " << r.stderr_text;
+  }
 }
 
 TEST(CliSmokeTest, SnapshotThenServeAnswersCannedQueries) {

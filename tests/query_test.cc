@@ -240,6 +240,43 @@ TEST_F(QueryTest, ConcurrentMixedQueriesMatchSerialAnswers) {
   EXPECT_GT(stats.evictions, 0u);
 }
 
+// Regression: cache keys used to be built by joining raw components with
+// "/" — so distance(a/b, c) and distance(a, b/c) over cuisines literally
+// named "a/b" and "b/c" produced the SAME key "distance/euclidean/a/b/c",
+// and whichever was asked second got the first one's cached bytes. The
+// length-prefixed keys keep component boundaries in the key, so both
+// requests (cold and warm) answer for the cuisines actually named.
+TEST(CacheKeyCollisionTest, SeparatorInCuisineNameCannotAliasAnotherQuery) {
+  Snapshot snap;
+  snap.summary.cuisine_names = {"a", "a/b", "b/c", "c"};
+  snap.summary.cuisine_recipe_counts = {1, 1, 1, 1};
+  SnapshotPdist pdist;
+  pdist.metric = DistanceMetric::kEuclidean;
+  pdist.matrix = CondensedDistanceMatrix(4);
+  pdist.matrix.set(1, 3, 1.5);  // distance("a/b", "c")
+  pdist.matrix.set(0, 2, 2.5);  // distance("a", "b/c")
+  snap.pdists.push_back(std::move(pdist));
+  QueryEngine engine(std::move(snap));
+
+  const auto check = [&](std::string_view a, std::string_view b,
+                         double want) {
+    auto r = engine.CuisineDistance(DistanceMetric::kEuclidean, a, b);
+    ASSERT_TRUE(r.ok()) << r.status();
+    auto json = Json::Parse(*r);
+    ASSERT_TRUE(json.ok()) << *r;
+    EXPECT_EQ(json->Find("a")->string_value(), a);
+    EXPECT_EQ(json->Find("b")->string_value(), b);
+    EXPECT_EQ(json->Find("distance")->double_value(), want);
+  };
+  check("a/b", "c", 1.5);  // populates the cache
+  check("a", "b/c", 2.5);  // must miss, not alias the entry above
+  EXPECT_EQ(engine.cache_stats().misses, 2u);
+  EXPECT_EQ(engine.cache_stats().hits, 0u);
+  check("a/b", "c", 1.5);  // warm answers stay per-request too
+  check("a", "b/c", 2.5);
+  EXPECT_EQ(engine.cache_stats().hits, 2u);
+}
+
 TEST(QueryDeterminismTest, ResponsesIdenticalAcrossThreadCounts) {
   std::vector<std::string> serialized;
   std::vector<std::vector<std::string>> responses;

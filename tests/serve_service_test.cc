@@ -12,6 +12,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "serve/snapshot.h"
 
 namespace cuisine {
@@ -65,6 +66,34 @@ TEST(TokenizeRequestLineTest, SplitsQuotesAndEscapes) {
   EXPECT_FALSE(TokenizeRequestLine("tree \"unterminated").ok());
 }
 
+TEST(TokenizeRequestLineTest, BackslashBeforeOrdinaryCharIsLiteral) {
+  // Only \" and \\ are escapes inside quotes; a backslash before any
+  // other character passes through with that character untouched.
+  auto t = TokenizeRequestLine(R"(say "a \n b")");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ((*t)[1], R"(a \n b)");
+
+  // A trailing backslash just before the closing quote is literal too.
+  t = TokenizeRequestLine("say \"tail\\x\"");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ((*t)[1], "tail\\x");
+}
+
+TEST(TokenizeRequestLineTest, LoneQuoteAtEndOfLineIsParseError) {
+  EXPECT_FALSE(TokenizeRequestLine("tree \"").ok());
+  EXPECT_FALSE(TokenizeRequestLine("\"").ok());
+  // A backslash-escaped quote does not close the token.
+  EXPECT_FALSE(TokenizeRequestLine("tree \"oops\\\"").ok());
+}
+
+TEST(TokenizeRequestLineTest, EmptyQuotedTokenSurvives) {
+  auto t = TokenizeRequestLine("table1 \"\"");
+  ASSERT_TRUE(t.ok());
+  ASSERT_EQ(t->size(), 2u);
+  EXPECT_EQ((*t)[1], "");
+}
+
 TEST_F(ServiceTest, OkEnvelopeWrapsData) {
   Service service(engine_);
   const std::string response = service.HandleLine("table1 Korean");
@@ -96,6 +125,83 @@ TEST_F(ServiceTest, ErrorsKeepServing) {
   EXPECT_FALSE(service.done());
   EXPECT_TRUE(IsOk(service.HandleLine("stats")));
   EXPECT_EQ(service.requests_handled(), 9u);
+}
+
+TEST_F(ServiceTest, CarriageReturnStrippedOnBothPaths) {
+  // CRLF clients deliver "table1 Korean\r" after getline-style framing;
+  // the response must be byte-identical to the bare-LF request.
+  Service service(engine_);
+  const std::string bare = service.HandleLine("table1 Korean");
+  const std::string crlf = service.HandleLine("table1 Korean\r");
+  EXPECT_TRUE(IsOk(bare));
+  EXPECT_EQ(crlf, bare);
+  // Quoted arguments too: the \r sits outside the closing quote.
+  EXPECT_EQ(service.HandleLine("table1 \"Indian Subcontinent\"\r"),
+            service.HandleLine("table1 \"Indian Subcontinent\""));
+  // A CR-only line is blank, not a request.
+  EXPECT_EQ(service.HandleLine("\r"), "");
+
+  // And through the stream loop.
+  Service loop(engine_);
+  std::istringstream in("table1 Korean\r\nquit\r\n");
+  std::ostringstream out;
+  ASSERT_TRUE(loop.Serve(in, out).ok());
+  EXPECT_EQ(out.str(), bare + "\n");
+  EXPECT_TRUE(loop.done());
+}
+
+TEST_F(ServiceTest, NulByteRejectedOnBothPaths) {
+  Service service(engine_);
+  const std::string with_nul = std::string("table1 Kor") + '\0' + "ean";
+  const std::string response = service.HandleLine(with_nul);
+  EXPECT_FALSE(IsOk(response));
+  EXPECT_NE(response.find("NUL"), std::string::npos) << response;
+  EXPECT_FALSE(service.done());
+  EXPECT_EQ(service.requests_handled(), 1u);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));  // keeps serving
+
+  // getline passes embedded NULs through; the loop must answer with the
+  // same error envelope rather than mis-parse the request.
+  Service loop(engine_);
+  std::istringstream in(with_nul + "\nquit\n");
+  std::ostringstream out;
+  ASSERT_TRUE(loop.Serve(in, out).ok());
+  EXPECT_EQ(out.str(), response + "\n");
+}
+
+TEST_F(ServiceTest, ZeroArgumentVerbsEnforceArity) {
+  Service service(engine_);
+  const std::string quit_now = service.HandleLine("quit now");
+  EXPECT_FALSE(IsOk(quit_now));
+  EXPECT_NE(quit_now.find("usage: quit"), std::string::npos) << quit_now;
+  EXPECT_FALSE(service.done());  // a malformed quit must not quit
+  const std::string help_me = service.HandleLine("help me");
+  EXPECT_FALSE(IsOk(help_me));
+  EXPECT_NE(help_me.find("usage: help"), std::string::npos) << help_me;
+  EXPECT_TRUE(IsOk(service.HandleLine("help")));
+  EXPECT_EQ(service.HandleLine("quit"), "");
+  EXPECT_TRUE(service.done());
+}
+
+TEST_F(ServiceTest, BlankLinesDoNotCountAsRequests) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetMetrics();
+  Service service(engine_);
+  EXPECT_EQ(service.HandleLine(""), "");
+  EXPECT_EQ(service.HandleLine("   \t "), "");
+  EXPECT_EQ(service.HandleLine("\r"), "");
+  auto snapshot = obs::CollectMetrics();
+  EXPECT_EQ(snapshot.counters["serve.requests.ok"], 0);
+  EXPECT_EQ(snapshot.counters["serve.requests.error"], 0);
+  EXPECT_EQ(service.requests_handled(), 0u);
+
+  EXPECT_TRUE(IsOk(service.HandleLine("stats")));
+  EXPECT_FALSE(IsOk(service.HandleLine("bogus")));
+  snapshot = obs::CollectMetrics();
+  EXPECT_EQ(snapshot.counters["serve.requests.ok"], 1);
+  EXPECT_EQ(snapshot.counters["serve.requests.error"], 1);
+  obs::ResetMetrics();
+  obs::SetMetricsEnabled(false);
 }
 
 TEST_F(ServiceTest, BlankLinesAreIgnored) {

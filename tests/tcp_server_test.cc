@@ -1,0 +1,343 @@
+// End-to-end tests of the epoll TCP front end (serve/tcp_server.h) over
+// real loopback sockets: stdin/TCP byte identity, CRLF clients, strict
+// pipelined response ordering, per-connection quit, deterministic
+// overload shedding and admission timeouts via the drain gate, the
+// oversized-line close, NUL-byte rejects, and concurrent clients.
+
+#include "serve/tcp_server.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+#include "serve/query.h"
+#include "serve/service.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+/// Blocking line client over one loopback connection.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    CUISINE_CHECK(fd_ >= 0) << std::strerror(errno);
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    CUISINE_CHECK(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                            sizeof(addr)) == 0)
+        << std::strerror(errno);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  void Send(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      CUISINE_CHECK(n > 0) << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// One response line without the '\n'; empty optional-style sentinel
+  /// is not needed — EOF fails the surrounding test via at_eof().
+  std::string ReadLine() {
+    while (!at_eof_) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      FillBuffer();
+    }
+    return "";
+  }
+
+  /// True once the peer closed and the buffer holds no full line.
+  bool AtEof() {
+    while (!at_eof_ && buf_.find('\n') == std::string::npos) FillBuffer();
+    return at_eof_ && buf_.find('\n') == std::string::npos;
+  }
+
+ private:
+  void FillBuffer() {
+    char chunk[8192];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    CUISINE_CHECK(n >= 0) << std::strerror(errno);
+    if (n == 0) {
+      at_eof_ = true;
+    } else {
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+  bool at_eof_ = false;
+};
+
+class TcpServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config;
+    config.generator.scale = 0.02;
+    config.run_elbow = false;
+    auto run = RunPipeline(config);
+    CUISINE_CHECK(run.ok()) << run.status();
+    auto snap = BuildSnapshot(run->dataset, *run, config);
+    CUISINE_CHECK(snap.ok()) << snap.status();
+    snapshot_ = new Snapshot(std::move(snap).value());
+  }
+  static void TearDownTestSuite() {
+    delete snapshot_;
+    snapshot_ = nullptr;
+  }
+
+  static Snapshot* snapshot_;
+};
+
+Snapshot* TcpServerTest::snapshot_ = nullptr;
+
+/// Engine + server + event-loop thread, torn down in order.
+class RunningServer {
+ public:
+  explicit RunningServer(const Snapshot& snapshot,
+                         TcpServerOptions options = {})
+      : engine_(snapshot), server_(&engine_, options) {
+    auto start = server_.Start();
+    CUISINE_CHECK(start.ok()) << start;
+    thread_ = std::thread([this] {
+      auto run = server_.Run();
+      CUISINE_CHECK(run.ok()) << run;
+    });
+  }
+  ~RunningServer() {
+    server_.Shutdown();
+    thread_.join();
+  }
+
+  QueryEngine& engine() { return engine_; }
+  TcpServer& server() { return server_; }
+  std::uint16_t port() const { return server_.port(); }
+
+  /// Bounded wait until `requests` lines have been framed server-side.
+  void AwaitRequests(std::uint64_t requests) {
+    for (int spin = 0; spin < 5000; ++spin) {
+      if (server_.stats().requests >= requests) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "server never framed " << requests << " requests";
+  }
+
+ private:
+  QueryEngine engine_;
+  TcpServer server_;
+  std::thread thread_;
+};
+
+TEST_F(TcpServerTest, ResponsesByteIdenticalToStdinPath) {
+  RunningServer fixture(*snapshot_);
+  // The reference service needs its own engine so both paths see the
+  // same cache history (`stats` responses embed hit/miss counters).
+  QueryEngine reference_engine(*snapshot_);
+  Service reference(&reference_engine);
+  TestClient client(fixture.port());
+  const std::vector<std::string> lines = {
+      "stats",
+      "table1 Korean",
+      "top_patterns \"Indian Subcontinent\" 3",
+      "distance cosine Korean Thai",
+      "tree euclidean",
+      "auth_topk Korean 2 least",
+      "nearest jaccard Korean 4",
+      "table1 Korean",  // warm: cached bytes must match too
+      "bogus command",
+      "quit now",  // arity error, not a quit
+  };
+  for (const std::string& line : lines) {
+    const std::string want = reference.HandleLine(line);
+    client.Send(line + "\n");
+    EXPECT_EQ(client.ReadLine(), want) << line;
+  }
+}
+
+TEST_F(TcpServerTest, CrlfClientGetsIdenticalBytes) {
+  RunningServer fixture(*snapshot_);
+  TestClient lf(fixture.port());
+  TestClient crlf(fixture.port());
+  lf.Send("table1 Korean\n");
+  crlf.Send("table1 Korean\r\n");
+  EXPECT_EQ(crlf.ReadLine(), lf.ReadLine());
+  // Blank CRLF lines are ignored, not answered.
+  crlf.Send("\r\ntree euclidean\r\n");
+  const std::string response = crlf.ReadLine();
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_TRUE(json->Find("ok")->bool_value());
+}
+
+TEST_F(TcpServerTest, PipelinedRequestsAnswerInOrder) {
+  RunningServer fixture(*snapshot_);
+  QueryEngine reference_engine(*snapshot_);
+  Service reference(&reference_engine);
+  TestClient client(fixture.port());
+  const std::vector<std::string> lines = {
+      "table1 Korean",      "distance euclidean Korean Thai",
+      "nonsense",           "table1 French",
+      "tree jaccard",       "nearest cosine Thai 2",
+  };
+  std::string burst;
+  for (const std::string& line : lines) burst += line + "\n";
+  client.Send(burst);  // all six in one write
+  for (const std::string& line : lines) {
+    EXPECT_EQ(client.ReadLine(), reference.HandleLine(line)) << line;
+  }
+}
+
+TEST_F(TcpServerTest, QuitClosesOnlyThatConnection) {
+  RunningServer fixture(*snapshot_);
+  TestClient quitting(fixture.port());
+  TestClient staying(fixture.port());
+  // Responses before the quit still arrive, then the connection closes.
+  quitting.Send("table1 Korean\nquit\n");
+  EXPECT_FALSE(quitting.ReadLine().empty());
+  EXPECT_TRUE(quitting.AtEof());
+  // The other connection keeps serving.
+  staying.Send("table1 Korean\n");
+  EXPECT_FALSE(staying.ReadLine().empty());
+}
+
+TEST_F(TcpServerTest, OverloadShedsDeterministicallyInOrder) {
+  TcpServerOptions options;
+  options.max_pending_requests = 4;
+  RunningServer fixture(*snapshot_, options);
+  fixture.server().set_paused(true);
+  TestClient client(fixture.port());
+  std::string burst;
+  for (int i = 0; i < 10; ++i) burst += "table1 Korean\n";
+  client.Send(burst);
+  fixture.AwaitRequests(10);
+  EXPECT_EQ(fixture.server().stats().shed, 6u);
+  fixture.server().set_paused(false);
+  // First 4 admitted answers, then 6 overload rejects — request order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0) << i;
+  }
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(client.ReadLine(), OverloadedResponseBody()) << i;
+  }
+  // The queue drained; new requests are served again.
+  client.Send("table1 Korean\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  EXPECT_EQ(fixture.server().stats().shed, 6u);
+}
+
+TEST_F(TcpServerTest, QueuedPastDeadlineAnswersTimeout) {
+  TcpServerOptions options;
+  options.request_timeout_ms = 20;
+  RunningServer fixture(*snapshot_, options);
+  fixture.server().set_paused(true);
+  TestClient client(fixture.port());
+  client.Send("table1 Korean\ntree euclidean\nstats\n");
+  fixture.AwaitRequests(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fixture.server().set_paused(false);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(client.ReadLine(), TimeoutResponseBody()) << i;
+  }
+  EXPECT_EQ(fixture.server().stats().timed_out, 3u);
+  // Fresh requests within the deadline still execute.
+  client.Send("table1 Korean\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+}
+
+TEST_F(TcpServerTest, OversizedLineAnswersErrorAndCloses) {
+  TcpServerOptions options;
+  options.max_line_bytes = 64;
+  RunningServer fixture(*snapshot_, options);
+  TestClient client(fixture.port());
+  client.Send(std::string(1000, 'x') + "\n");
+  const std::string response = client.ReadLine();
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_FALSE(json->Find("ok")->bool_value());
+  EXPECT_NE(json->Find("error")->string_value().find("too long"),
+            std::string::npos);
+  EXPECT_TRUE(client.AtEof());  // framing unrecoverable: closed
+}
+
+TEST_F(TcpServerTest, NulByteAnswersErrorEnvelope) {
+  RunningServer fixture(*snapshot_);
+  TestClient client(fixture.port());
+  client.Send(std::string("table1 Kor\0ean", 14) + "\n");
+  const std::string response = client.ReadLine();
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_FALSE(json->Find("ok")->bool_value());
+  EXPECT_NE(json->Find("error")->string_value().find("NUL"),
+            std::string::npos);
+  // The connection survives a NUL-poisoned request.
+  client.Send("table1 Korean\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+}
+
+TEST_F(TcpServerTest, ConcurrentClientsAllServed) {
+  RunningServer fixture(*snapshot_);
+  constexpr int kClients = 8;
+  constexpr int kOpsPerClient = 25;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TestClient client(fixture.port());
+      const std::vector<std::string>& names =
+          snapshot_->summary.cuisine_names;
+      for (int i = 0; i < kOpsPerClient; ++i) {
+        const std::string& name = names[(c * 7 + i) % names.size()];
+        client.Send("table1 \"" + name + "\"\n");
+        const std::string response = client.ReadLine();
+        if (response.rfind("{\"ok\":true", 0) != 0) {
+          failures[c] = "client " + std::to_string(c) + " op " +
+                        std::to_string(i) + ": " + response;
+          return;
+        }
+      }
+      client.Send("quit\n");
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const std::string& f : failures) EXPECT_EQ(f, "");
+  const auto stats = fixture.server().stats();
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.shed, 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cuisine
