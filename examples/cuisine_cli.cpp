@@ -14,6 +14,7 @@
 //   cuisine_cli snapshot   [--out snapshot.bin] [--support P]
 //   cuisine_cli serve      [--snapshot snapshot.bin] [--cache N]
 //                          [--port P] [--max-pending N] [--timeout-ms T]
+//                          [--slow-query-ms T]
 //
 // Every command generates (or loads) the calibrated corpus first; use
 // --scale to work with a smaller one. `serve` instead answers queries
@@ -26,6 +27,9 @@
 // README "Observability") when the command exits.
 
 #include <csignal>
+#include <signal.h>
+
+#include <atomic>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -43,6 +47,7 @@
 #include "data/recipe_io.h"
 #include "mining/condensed_patterns.h"
 #include "obs/flight.h"
+#include "obs/metrics.h"
 #include "obs/run_report.h"
 #include "serve/query.h"
 #include "serve/service.h"
@@ -330,12 +335,30 @@ int CmdSnapshot(const Args& args) {
   return 0;
 }
 
-// SIGINT/SIGTERM flip the TCP server into shutdown; TcpServer::Shutdown
-// is async-signal-safe (one eventfd write).
+// SIGINT/SIGTERM must end `serve` the same way a clean `quit` does, so
+// the RunReportSession still flushes the run report and flight trace.
+// The handler flips a stop flag (checked by the stdin loop) and wakes
+// the TCP event loop; TcpServer::Shutdown is async-signal-safe (one
+// eventfd write).
+std::atomic<bool> g_serve_interrupted{false};
 cuisine::serve::TcpServer* g_tcp_server = nullptr;
 
 void HandleServeSignal(int) {
+  g_serve_interrupted.store(true);
   if (g_tcp_server != nullptr) g_tcp_server->Shutdown();
+}
+
+// Installed via sigaction WITHOUT SA_RESTART (std::signal on glibc
+// implies restart): the stdin transport spends its life blocked in a
+// read, and only an EINTR lets that read fail so the serve loop can
+// observe g_serve_interrupted and unwind through the report flush.
+void InstallServeSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
 }
 
 /// Strictly parses a numeric serve flag into [0, max]. The lenient
@@ -360,24 +383,43 @@ bool ParseServeFlag(const Args& args, const std::string& key,
   return true;
 }
 
+/// Preserves the slow-query ring in the run report: the `slowz` payload
+/// lands under context."serve.slow_query_log" when the session flushes.
+void FlushSlowQueryLog(const cuisine::serve::QueryEngine& engine) {
+  cuisine::obs::SetRunContext("serve.slow_query_log",
+                              engine.live().SlowQueriesJson().Dump(0));
+}
+
 int CmdServe(const Args& args) {
   std::uint64_t port = 0;
   std::uint64_t max_pending = 0;
   std::uint64_t timeout_ms = 0;
+  std::uint64_t slow_query_ms = 0;
   if (!ParseServeFlag(args, "port", 65535, 0, &port) ||
       !ParseServeFlag(args, "max-pending", 1u << 20, 1024, &max_pending) ||
-      !ParseServeFlag(args, "timeout-ms", 86400000, 5000, &timeout_ms)) {
+      !ParseServeFlag(args, "timeout-ms", 86400000, 5000, &timeout_ms) ||
+      !ParseServeFlag(args, "slow-query-ms", 86400000, 100, &slow_query_ms)) {
     return 2;
   }
+  // Handlers go in before the (possibly slow) snapshot load so a SIGTERM
+  // at any point after this line still unwinds through the report flush.
+  InstallServeSignalHandlers();
+  // A long-running server wants scrape-able counters: metricsz renders
+  // whatever the registry recorded, so recording must be on.
+  cuisine::obs::SetMetricsEnabled(true);
   auto snap = cuisine::serve::LoadSnapshot(args.Get("snapshot", "snapshot.bin"));
   if (!snap.ok()) return Fail(snap.status());
   cuisine::serve::QueryEngineOptions qopt;
   qopt.cache_capacity =
       static_cast<std::size_t>(args.GetDouble("cache", 1024));
+  qopt.live.slow_query_threshold_ms =
+      static_cast<std::int64_t>(slow_query_ms);
   cuisine::serve::QueryEngine engine(*std::move(snap), qopt);
   if (!args.Has("port")) {
     cuisine::serve::Service service(&engine);
-    cuisine::Status st = service.Serve(std::cin, std::cout);
+    cuisine::Status st =
+        service.Serve(std::cin, std::cout, &g_serve_interrupted);
+    FlushSlowQueryLog(engine);
     if (!st.ok()) return Fail(st);
     return 0;
   }
@@ -390,12 +432,12 @@ int CmdServe(const Args& args) {
   cuisine::Status st = server.Start();
   if (!st.ok()) return Fail(st);
   g_tcp_server = &server;
-  std::signal(SIGINT, HandleServeSignal);
-  std::signal(SIGTERM, HandleServeSignal);
+  if (g_serve_interrupted.load()) server.Shutdown();  // signal raced Start
   // Announce readiness on stdout so scripts can wait for the port.
   std::cout << "serving on 127.0.0.1:" << server.port() << std::endl;
   st = server.Run();
   g_tcp_server = nullptr;
+  FlushSlowQueryLog(engine);
   const auto stats = server.stats();
   std::cout << "served " << stats.requests << " requests over "
             << stats.accepted << " connections (" << stats.shed << " shed, "
@@ -437,7 +479,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"validate", {}},
       {"export", {"patterns", "features", "support"}},
       {"snapshot", {"out", "support"}},
-      {"serve", {"snapshot", "cache", "port", "max-pending", "timeout-ms"}},
+      {"serve", {"snapshot", "cache", "port", "max-pending", "timeout-ms",
+                 "slow-query-ms"}},
   };
   return kFlags;
 }

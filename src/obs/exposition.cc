@@ -1,0 +1,90 @@
+#include "obs/exposition.h"
+
+#include <cstddef>
+#include <string>
+
+namespace cuisine {
+namespace obs {
+
+namespace {
+
+constexpr char kNamePrefix[] = "cuisine_";
+
+bool IsNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+void AppendSample(const std::string& name, std::int64_t value,
+                  std::string* out) {
+  out->append(name);
+  out->push_back(' ');
+  out->append(std::to_string(value));
+  out->push_back('\n');
+}
+
+void AppendType(const std::string& name, const char* type, std::string* out) {
+  out->append("# TYPE ");
+  out->append(name);
+  out->push_back(' ');
+  out->append(type);
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string SanitizePrometheusName(std::string_view name) {
+  std::string sanitized;
+  sanitized.reserve(name.size() + 1);
+  if (!name.empty() && name.front() >= '0' && name.front() <= '9') {
+    sanitized.push_back('_');
+  }
+  for (char c : name) {
+    sanitized.push_back(IsNameChar(c) ? c : '_');
+  }
+  return sanitized;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string sample = kNamePrefix + SanitizePrometheusName(name);
+    AppendType(sample, "counter", &out);
+    AppendSample(sample, value, &out);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string sample = kNamePrefix + SanitizePrometheusName(name);
+    AppendType(sample, "gauge", &out);
+    AppendSample(sample, value, &out);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string sample = kNamePrefix + SanitizePrometheusName(name);
+    AppendType(sample, "histogram", &out);
+    // Prometheus buckets are cumulative: bucket{le="e"} counts every
+    // observation <= e... the registry's buckets are disjoint counts of
+    // values < edges[i], so the running total over edges is the closest
+    // faithful mapping (an exact-edge value lands one bucket higher in
+    // both encodings).
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < histogram.edges.size(); ++i) {
+      cumulative += i < histogram.buckets.size() ? histogram.buckets[i] : 0;
+      out.append(sample);
+      out.append("_bucket{le=\"");
+      out.append(std::to_string(histogram.edges[i]));
+      out.append("\"} ");
+      out.append(std::to_string(cumulative));
+      out.push_back('\n');
+    }
+    out.append(sample);
+    out.append("_bucket{le=\"+Inf\"} ");
+    out.append(std::to_string(histogram.count));
+    out.push_back('\n');
+    AppendSample(sample + "_sum", histogram.sum, &out);
+    AppendSample(sample + "_count", histogram.count, &out);
+  }
+  out.append("# EOF");
+  return out;
+}
+
+}  // namespace obs
+}  // namespace cuisine

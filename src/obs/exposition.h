@@ -1,0 +1,40 @@
+// Prometheus-style text exposition for a MetricsSnapshot — the payload
+// of the serve layer's `metricsz` admin verb. The output is the classic
+// text format: a `# TYPE` header per metric, one sample line per value,
+// histograms expanded into cumulative `_bucket{le="..."}` series plus
+// `_sum` and `_count`. Because a snapshot is already a deterministic
+// sorted aggregate (obs/metrics.h), rendering the same snapshot is
+// byte-identical no matter how many threads recorded into it.
+//
+// Every metric name is prefixed with "cuisine_" and sanitized: any
+// character outside [a-zA-Z0-9_:] becomes '_' (dotted registry paths
+// like "serve.cache.hit" render as "cuisine_serve_cache_hit"). The
+// final line is "# EOF" so a scraper reading a framed stream (netcat
+// against the TCP front end) knows where the exposition ends.
+
+#ifndef CUISINE_OBS_EXPOSITION_H_
+#define CUISINE_OBS_EXPOSITION_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace obs {
+
+/// Maps a registry metric name onto the Prometheus name grammar
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): invalid characters become '_' and a
+/// leading digit gains a '_' prefix. Stable: equal inputs always map to
+/// equal outputs.
+std::string SanitizePrometheusName(std::string_view name);
+
+/// Renders the whole snapshot as Prometheus text exposition. Lines are
+/// '\n'-separated; the last line is "# EOF" with no trailing newline
+/// (the serve transports append the line terminator).
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_EXPOSITION_H_

@@ -120,6 +120,9 @@ class Registry {
       }
     }
     MetricsSnapshot snapshot;
+    // Sampled after the sharded totals so a callback gauge overrides a
+    // sharded gauge of the same name; registration order means the
+    // latest registration wins within the callbacks themselves.
     for (const MetricInfo& m : metrics_) {
       switch (m.kind) {
         case Kind::kCounter:
@@ -141,7 +144,31 @@ class Registry {
         }
       }
     }
+    for (const CallbackGauge& cb : callbacks_) {
+      snapshot.gauges[cb.name] = cb.fn();
+    }
     return snapshot;
+  }
+
+  CallbackGaugeToken RegisterCallback(std::string_view name,
+                                      std::function<std::int64_t()> fn) {
+    std::lock_guard<std::mutex> lock(mu_);
+    CallbackGauge cb;
+    cb.token = next_callback_token_++;
+    cb.name = std::string(name);
+    cb.fn = std::move(fn);
+    callbacks_.push_back(std::move(cb));
+    return callbacks_.back().token;
+  }
+
+  void UnregisterCallback(CallbackGaugeToken token) {
+    std::lock_guard<std::mutex> lock(mu_);
+    callbacks_.erase(
+        std::remove_if(callbacks_.begin(), callbacks_.end(),
+                       [&](const CallbackGauge& cb) {
+                         return cb.token == token;
+                       }),
+        callbacks_.end());
   }
 
   void Reset() {
@@ -166,7 +193,15 @@ class Registry {
     }
   }
 
+  struct CallbackGauge {
+    CallbackGaugeToken token = 0;
+    std::string name;
+    std::function<std::int64_t()> fn;
+  };
+
   std::mutex mu_;
+  std::vector<CallbackGauge> callbacks_;
+  CallbackGaugeToken next_callback_token_ = 1;
   std::deque<MetricInfo> metrics_;
   std::map<std::string, MetricId, std::less<>> by_name_;
   std::size_t next_slot_ = 0;
@@ -272,6 +307,15 @@ void HistogramObserve(MetricId id, std::int64_t value) {
 }
 
 MetricsSnapshot CollectMetrics() { return Registry::Get().Collect(); }
+
+CallbackGaugeToken RegisterCallbackGauge(std::string_view name,
+                                         std::function<std::int64_t()> fn) {
+  return Registry::Get().RegisterCallback(name, std::move(fn));
+}
+
+void UnregisterCallbackGauge(CallbackGaugeToken token) {
+  Registry::Get().UnregisterCallback(token);
+}
 
 void ResetMetrics() { Registry::Get().Reset(); }
 

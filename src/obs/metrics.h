@@ -20,6 +20,7 @@
 #define CUISINE_OBS_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -74,6 +75,25 @@ struct MetricsSnapshot {
 /// Aggregates every registered metric. Call from a quiescent point (no
 /// ParallelFor in flight) for exact totals.
 MetricsSnapshot CollectMetrics();
+
+/// Callback gauges: live values sampled at CollectMetrics() time instead
+/// of recorded through shards. The registry's sharded gauges merge by
+/// max, which cannot express a value that goes back down (active
+/// connections, seconds of uptime); a callback gauge reports whatever
+/// `fn` returns at the moment of collection. When several registrations
+/// share a name, the most recent one wins (tests routinely run two
+/// engines side by side). `fn` runs with the registry lock held and must
+/// not call back into any obs registration/collection function; keep it
+/// to reading atomics or taking a leaf lock. Sampling happens regardless
+/// of MetricsEnabled(): registration is the opt-in.
+using CallbackGaugeToken = std::uint64_t;
+CallbackGaugeToken RegisterCallbackGauge(std::string_view name,
+                                         std::function<std::int64_t()> fn);
+/// Removes a callback gauge; the name disappears from later snapshots
+/// (unless an older registration with the same name is still live).
+/// Blocks until any in-flight CollectMetrics() has finished with `fn`,
+/// so it is safe to destroy the callback's captures right after.
+void UnregisterCallbackGauge(CallbackGaugeToken token);
 
 /// Zeroes all recorded values (registrations survive). Must not race with
 /// recording threads; call between parallel regions.

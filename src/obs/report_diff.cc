@@ -24,6 +24,15 @@ MetricClass Classify(std::string_view key) {
   // lane. Same reasoning covers derived names like "rss_bytes_max" and
   // "alloc_bytes.bucket3" on the memory side.
   if (key.find("_ns") != std::string_view::npos) return MetricClass::kTiming;
+  // Rolling-window latency gauges from the serve layer (obs/window.h):
+  // percentiles and window contents move with wall time by design, so
+  // they ride the advisory timing lane just like raw latency counters.
+  if (key.find("_p50") != std::string_view::npos ||
+      key.find("_p90") != std::string_view::npos ||
+      key.find("_p99") != std::string_view::npos ||
+      key.find("_window_") != std::string_view::npos) {
+    return MetricClass::kTiming;
+  }
   if (key.find("_bytes") != std::string_view::npos) return MetricClass::kMemory;
   return MetricClass::kCounter;
 }

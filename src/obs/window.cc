@@ -1,0 +1,94 @@
+#include "obs/window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace cuisine {
+namespace obs {
+
+std::int64_t HistogramQuantile(const HistogramSnapshot& histogram,
+                               double quantile) {
+  if (histogram.count <= 0 || histogram.buckets.empty()) return 0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  // Rank in [1, count]: the smallest value v such that at least
+  // quantile * count observations are <= v.
+  const std::int64_t target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(quantile * static_cast<double>(histogram.count))));
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+    seen += histogram.buckets[i];
+    if (seen < target) continue;
+    const std::int64_t lo = i == 0 ? 0 : histogram.edges[i - 1];
+    if (i >= histogram.edges.size()) return histogram.edges.back();
+    const std::int64_t hi = histogram.edges[i];
+    const std::int64_t before = seen - histogram.buckets[i];
+    const double fraction = static_cast<double>(target - before) /
+                            static_cast<double>(histogram.buckets[i]);
+    return lo + static_cast<std::int64_t>(
+                    fraction * static_cast<double>(hi - lo));
+  }
+  return histogram.edges.back();
+}
+
+WindowedHistogram::WindowedHistogram(std::vector<std::int64_t> edges,
+                                     std::int64_t slot_ns, std::size_t slots)
+    : edges_(std::move(edges)), slot_ns_(slot_ns), ring_(slots) {
+  CUISINE_CHECK(!edges_.empty()) << "windowed histogram needs bucket edges";
+  CUISINE_CHECK(std::adjacent_find(edges_.begin(), edges_.end(),
+                                   std::greater_equal<std::int64_t>()) ==
+                edges_.end())
+      << "windowed histogram edges must be strictly ascending";
+  CUISINE_CHECK_GT(slot_ns_, 0) << "slot duration must be positive";
+  CUISINE_CHECK_GT(ring_.size(), 0u) << "window needs at least one slot";
+  for (Slot& slot : ring_) {
+    slot.buckets.assign(edges_.size() + 1, 0);
+  }
+  cumulative_.edges = edges_;
+  cumulative_.buckets.assign(edges_.size() + 1, 0);
+}
+
+void WindowedHistogram::Observe(std::int64_t value, std::int64_t now_ns) {
+  const std::int64_t epoch = now_ns / slot_ns_;
+  Slot& slot = ring_[static_cast<std::size_t>(epoch) % ring_.size()];
+  if (slot.epoch != epoch) {
+    // The slot last served an interval a full window ago; recycle it.
+    std::fill(slot.buckets.begin(), slot.buckets.end(), 0);
+    slot.count = 0;
+    slot.sum = 0;
+    slot.epoch = epoch;
+  }
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::upper_bound(edges_.begin(), edges_.end(), value) - edges_.begin());
+  slot.buckets[bucket] += 1;
+  slot.count += 1;
+  slot.sum += value;
+  cumulative_.buckets[bucket] += 1;
+  cumulative_.count += 1;
+  cumulative_.sum += value;
+}
+
+HistogramSnapshot WindowedHistogram::WindowSnapshot(
+    std::int64_t now_ns) const {
+  HistogramSnapshot merged;
+  merged.edges = edges_;
+  merged.buckets.assign(edges_.size() + 1, 0);
+  const std::int64_t current_epoch = now_ns / slot_ns_;
+  const std::int64_t oldest_epoch =
+      current_epoch - static_cast<std::int64_t>(ring_.size()) + 1;
+  for (const Slot& slot : ring_) {
+    if (slot.epoch < oldest_epoch || slot.epoch > current_epoch) continue;
+    for (std::size_t b = 0; b < merged.buckets.size(); ++b) {
+      merged.buckets[b] += slot.buckets[b];
+    }
+    merged.count += slot.count;
+    merged.sum += slot.sum;
+  }
+  return merged;
+}
+
+}  // namespace obs
+}  // namespace cuisine

@@ -1,0 +1,80 @@
+// Windowed histograms: a ring of fixed-duration slots over the same
+// log-bucket layout the metrics registry uses (obs/metrics.h), so a
+// long-running server can answer "what is p99 over the last minute"
+// instead of only "what is p99 since boot". Each Observe lands in the
+// slot covering `now_ns`; slots older than the window are recycled
+// lazily, so there is no timer thread. A separate cumulative histogram
+// accumulates every observation since construction.
+//
+// Time is injected explicitly (`now_ns`, any monotonic nanosecond
+// clock) so tests can drive the ring deterministically. The class is
+// NOT internally synchronized: callers serialize access (serve's
+// LiveStats wraps every WindowedHistogram in one mutex).
+
+#ifndef CUISINE_OBS_WINDOW_H_
+#define CUISINE_OBS_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace obs {
+
+/// Estimates the `quantile` (in [0, 1]) value of a bucketed histogram by
+/// linear interpolation inside the bucket holding the target rank. The
+/// first bucket interpolates from 0; the overflow bucket (>= last edge)
+/// reports the last edge, a deliberate lower bound. Returns 0 for an
+/// empty histogram.
+std::int64_t HistogramQuantile(const HistogramSnapshot& histogram,
+                               double quantile);
+
+class WindowedHistogram {
+ public:
+  /// `edges` must be strictly ascending and non-empty (same bucket
+  /// semantics as RegisterHistogram: bucket i counts values < edges[i],
+  /// the final bucket counts values >= edges.back()). The rolling window
+  /// spans `slots` slots of `slot_ns` each (defaults: 12 x 5s = 60s).
+  explicit WindowedHistogram(std::vector<std::int64_t> edges,
+                             std::int64_t slot_ns = 5'000'000'000,
+                             std::size_t slots = 12);
+
+  /// Records `value` at time `now_ns` into both the rolling window and
+  /// the cumulative histogram. `now_ns` must be monotonic across calls
+  /// (a stale slot is recycled the first time a newer epoch touches it).
+  void Observe(std::int64_t value, std::int64_t now_ns);
+
+  /// Merged histogram of every slot still inside the window ending at
+  /// `now_ns`. Observations older than window_ns() are excluded.
+  HistogramSnapshot WindowSnapshot(std::int64_t now_ns) const;
+
+  /// Every observation since construction.
+  const HistogramSnapshot& cumulative() const { return cumulative_; }
+
+  std::int64_t window_ns() const {
+    return slot_ns_ * static_cast<std::int64_t>(ring_.size());
+  }
+  std::int64_t slot_ns() const { return slot_ns_; }
+
+ private:
+  // One slot of the ring, covering the absolute time interval
+  // [epoch * slot_ns_, (epoch + 1) * slot_ns_). epoch -1 = never used.
+  struct Slot {
+    std::int64_t epoch = -1;
+    std::vector<std::int64_t> buckets;
+    std::int64_t count = 0;
+    std::int64_t sum = 0;
+  };
+
+  std::vector<std::int64_t> edges_;
+  std::int64_t slot_ns_;
+  std::vector<Slot> ring_;
+  HistogramSnapshot cumulative_;
+};
+
+}  // namespace obs
+}  // namespace cuisine
+
+#endif  // CUISINE_OBS_WINDOW_H_

@@ -1,0 +1,207 @@
+#include "serve/live_stats.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+// Latency bucket edges (ns) shared by every verb window: the
+// serve.tcp.request_ns grid extended upward so 100ms-class slow queries
+// still resolve instead of saturating the overflow bucket.
+const std::vector<std::int64_t>& WindowEdges() {
+  static const std::vector<std::int64_t> kEdges = {
+      1'000,      2'000,      5'000,       10'000,      20'000,
+      50'000,     100'000,    200'000,     500'000,     1'000'000,
+      2'000'000,  5'000'000,  10'000'000,  50'000'000,  100'000'000,
+      1'000'000'000};
+  return kEdges;
+}
+
+std::string HexDigest(std::uint64_t value) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, value);
+  return std::string(buf);
+}
+
+}  // namespace
+
+const std::vector<std::string>& LiveStats::TrackedVerbs() {
+  static const std::vector<std::string> kVerbs = {
+      "table1", "top_patterns", "distance", "tree",
+      "auth_topk", "nearest", "stats", "other"};
+  return kVerbs;
+}
+
+std::int64_t LiveStats::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+LiveStats::LiveStats(Options options)
+    : options_(options), start_ns_(NowNs()) {
+  windows_.reserve(TrackedVerbs().size());
+  for (std::size_t i = 0; i < TrackedVerbs().size(); ++i) {
+    windows_.emplace_back(WindowEdges(), options_.window_slot_ns,
+                          options_.window_slots);
+  }
+  // Live gauges sampled at CollectMetrics() time: these reach `metricsz`
+  // and any run report written while this engine is alive, and vanish
+  // from snapshots once the engine is destroyed (so end-of-run bench
+  // baselines never carry wall-clock-dependent values). Names follow the
+  // *_window_* / *_p5x / *_ns patterns report_diff classifies as timing.
+  gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+      "serve.uptime_seconds", [this] { return UptimeSeconds(); }));
+  gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+      "serve.tcp.active_connections",
+      [this] { return active_connections(); }));
+  for (std::size_t i = 0; i < TrackedVerbs().size(); ++i) {
+    const std::string base = "serve." + TrackedVerbs()[i] + "_window_";
+    gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+        base + "count", [this, i] { return WindowCount(i); }));
+    gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+        base + "p50_ns", [this, i] { return WindowGauge(i, 0.50); }));
+    gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+        base + "p90_ns", [this, i] { return WindowGauge(i, 0.90); }));
+    gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+        base + "p99_ns", [this, i] { return WindowGauge(i, 0.99); }));
+  }
+}
+
+LiveStats::~LiveStats() {
+  // Unregister before any member is destroyed: UnregisterCallbackGauge
+  // blocks until an in-flight CollectMetrics() is done with the lambdas.
+  for (obs::CallbackGaugeToken token : gauge_tokens_) {
+    obs::UnregisterCallbackGauge(token);
+  }
+}
+
+void LiveStats::RecordRequest(const RequestContext& ctx,
+                              std::string_view verb, std::string_view args,
+                              std::int64_t latency_ns, bool ok,
+                              std::int64_t now_ns) {
+  std::size_t index = TrackedVerbs().size() - 1;  // "other"
+  for (std::size_t i = 0; i + 1 < TrackedVerbs().size(); ++i) {
+    if (TrackedVerbs()[i] == verb) {
+      index = i;
+      break;
+    }
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const bool slow =
+      options_.slow_query_threshold_ms >= 0 &&
+      latency_ns >= options_.slow_query_threshold_ms * 1'000'000;
+  std::lock_guard<std::mutex> lock(mu_);
+  windows_[index].Observe(latency_ns, now_ns);
+  if (!slow || options_.slow_query_capacity == 0) return;
+  slow_recorded_.fetch_add(1, std::memory_order_relaxed);
+  if (slow_ring_.size() >= options_.slow_query_capacity) {
+    slow_ring_.pop_front();
+  }
+  SlowQueryEntry entry;
+  entry.request_id = ctx.request_id;
+  entry.connection_id = ctx.connection_id;
+  entry.verb = std::string(verb);
+  entry.arg_digest = HexDigest(Fnv1a(args));
+  entry.latency_ns = latency_ns;
+  entry.ok = ok;
+  entry.cache_hit = ctx.cache_hit;
+  slow_ring_.push_back(std::move(entry));
+}
+
+void LiveStats::ConnectionOpened() {
+  const std::int64_t now =
+      active_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+  std::int64_t peak = peak_connections_.load(std::memory_order_relaxed);
+  while (now > peak && !peak_connections_.compare_exchange_weak(
+                           peak, now, std::memory_order_relaxed)) {
+  }
+}
+
+void LiveStats::ConnectionClosed() {
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void LiveStats::RecordShed() { shed_.fetch_add(1); }
+
+void LiveStats::RecordTimeout() { timed_out_.fetch_add(1); }
+
+std::int64_t LiveStats::UptimeSeconds() const {
+  return (NowNs() - start_ns_) / 1'000'000'000;
+}
+
+std::int64_t LiveStats::window_seconds() const {
+  return options_.window_slot_ns *
+         static_cast<std::int64_t>(options_.window_slots) / 1'000'000'000;
+}
+
+std::int64_t LiveStats::WindowGauge(std::size_t verb_index,
+                                    double quantile) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return obs::HistogramQuantile(windows_[verb_index].WindowSnapshot(NowNs()),
+                                quantile);
+}
+
+std::int64_t LiveStats::WindowCount(std::size_t verb_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return windows_[verb_index].WindowSnapshot(NowNs()).count;
+}
+
+std::vector<VerbLatencyStats> LiveStats::VerbStats(
+    std::int64_t now_ns) const {
+  std::vector<VerbLatencyStats> out;
+  out.reserve(TrackedVerbs().size());
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < TrackedVerbs().size(); ++i) {
+    const obs::HistogramSnapshot window = windows_[i].WindowSnapshot(now_ns);
+    const obs::HistogramSnapshot& total = windows_[i].cumulative();
+    VerbLatencyStats stats;
+    stats.verb = TrackedVerbs()[i];
+    stats.window_count = window.count;
+    stats.window_p50_ns = obs::HistogramQuantile(window, 0.50);
+    stats.window_p90_ns = obs::HistogramQuantile(window, 0.90);
+    stats.window_p99_ns = obs::HistogramQuantile(window, 0.99);
+    stats.total_count = total.count;
+    stats.total_p50_ns = obs::HistogramQuantile(total, 0.50);
+    stats.total_p99_ns = obs::HistogramQuantile(total, 0.99);
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+std::vector<SlowQueryEntry> LiveStats::SlowQueries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<SlowQueryEntry>(slow_ring_.begin(), slow_ring_.end());
+}
+
+Json LiveStats::SlowQueriesJson() const {
+  Json entries = Json::Array();
+  for (const SlowQueryEntry& e : SlowQueries()) {
+    entries.Push(
+        Json::Object()
+            .Set("request_id",
+                 Json::Int(static_cast<std::int64_t>(e.request_id)))
+            .Set("connection_id",
+                 Json::Int(static_cast<std::int64_t>(e.connection_id)))
+            .Set("verb", Json::Str(e.verb))
+            .Set("arg_digest", Json::Str(e.arg_digest))
+            .Set("latency_ns", Json::Int(e.latency_ns))
+            .Set("ok", Json::Bool(e.ok))
+            .Set("cache_hit", Json::Bool(e.cache_hit)));
+  }
+  return Json::Object()
+      .Set("threshold_ms", Json::Int(options_.slow_query_threshold_ms))
+      .Set("capacity",
+           Json::Int(static_cast<std::int64_t>(options_.slow_query_capacity)))
+      .Set("recorded_total", Json::Int(slow_recorded()))
+      .Set("entries", std::move(entries));
+}
+
+}  // namespace serve
+}  // namespace cuisine

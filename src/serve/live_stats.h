@@ -1,0 +1,171 @@
+// Live introspection state for the serve layer: per-verb rolling latency
+// windows, a bounded slow-query ring, connection/shed/timeout tallies
+// and process uptime — everything the `statsz` and `slowz` admin verbs
+// report, shared by both transports (stdin loop and the epoll TCP
+// server). One LiveStats is owned by each QueryEngine, so every Service
+// and TcpServer bound to that engine feeds the same windows.
+//
+// Unlike the registry metrics (cumulative, merged at exit), this state
+// answers "what is happening right now": WindowedHistogram rings
+// (obs/window.h) yield p50/p90/p99 over the last minute, and callback
+// gauges (obs/metrics.h) export the rolling percentiles, active
+// connection count and uptime into every MetricsSnapshot — which is how
+// they reach `metricsz` and run reports while the server is live.
+//
+// Thread safety: everything behind one mutex plus atomics; recording is
+// a few hundred nanoseconds and happens once per request, far off the
+// per-byte hot path.
+
+#ifndef CUISINE_SERVE_LIVE_STATS_H_
+#define CUISINE_SERVE_LIVE_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/metrics.h"
+#include "obs/window.h"
+
+namespace cuisine {
+namespace serve {
+
+/// Per-request context threaded from the protocol layer (Service)
+/// through the QueryEngine. The id is unique per engine and strictly
+/// increasing; connection_id is the TCP connection (0 for the stdin
+/// transport); cache_hit is set by the engine when the answer came from
+/// the LRU cache.
+struct RequestContext {
+  std::uint64_t request_id = 0;
+  std::uint64_t connection_id = 0;
+  bool cache_hit = false;
+};
+
+/// One slow-query ring entry. The argument digest (FNV-1a of the
+/// argument bytes, hex) correlates repeats of one query without storing
+/// unbounded user input.
+struct SlowQueryEntry {
+  std::uint64_t request_id = 0;
+  std::uint64_t connection_id = 0;
+  std::string verb;
+  std::string arg_digest;
+  std::int64_t latency_ns = 0;
+  bool ok = false;
+  bool cache_hit = false;
+};
+
+/// Rolling + cumulative latency summary for one verb, in nanoseconds.
+struct VerbLatencyStats {
+  std::string verb;
+  std::int64_t window_count = 0;
+  std::int64_t window_p50_ns = 0;
+  std::int64_t window_p90_ns = 0;
+  std::int64_t window_p99_ns = 0;
+  std::int64_t total_count = 0;
+  std::int64_t total_p50_ns = 0;
+  std::int64_t total_p99_ns = 0;
+};
+
+struct LiveStatsOptions {
+  /// Rolling window geometry: `window_slots` slots of `window_slot_ns`
+  /// each (defaults: 12 x 5s = 60s).
+  std::int64_t window_slot_ns = 5'000'000'000;
+  std::size_t window_slots = 12;
+  /// Slow-query ring capacity; the oldest entry is dropped when full.
+  std::size_t slow_query_capacity = 128;
+  /// Requests at least this slow enter the ring. 0 records every
+  /// request; < 0 disables the ring entirely.
+  std::int64_t slow_query_threshold_ms = 100;
+};
+
+class LiveStats {
+ public:
+  using Options = LiveStatsOptions;
+
+  explicit LiveStats(Options options = {});
+  ~LiveStats();
+
+  LiveStats(const LiveStats&) = delete;
+  LiveStats& operator=(const LiveStats&) = delete;
+
+  /// Strictly increasing request ids, starting at 1.
+  std::uint64_t NextRequestId() {
+    return next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Records one completed metered request: `verb` selects the rolling
+  /// window ("other" for anything outside the query verbs), `args` is
+  /// digested for the slow ring, `now_ns` is a monotonic timestamp
+  /// (injectable for tests).
+  void RecordRequest(const RequestContext& ctx, std::string_view verb,
+                     std::string_view args, std::int64_t latency_ns, bool ok,
+                     std::int64_t now_ns);
+
+  /// TCP transport hooks.
+  void ConnectionOpened();
+  void ConnectionClosed();
+  void RecordShed();
+  void RecordTimeout();
+
+  std::int64_t active_connections() const {
+    return active_connections_.load(std::memory_order_relaxed);
+  }
+  std::int64_t peak_connections() const {
+    return peak_connections_.load(std::memory_order_relaxed);
+  }
+  std::int64_t shed_total() const { return shed_.load(); }
+  std::int64_t timeout_total() const { return timed_out_.load(); }
+  std::int64_t requests_recorded() const { return recorded_.load(); }
+  std::int64_t slow_recorded() const { return slow_recorded_.load(); }
+  std::int64_t UptimeSeconds() const;
+  std::int64_t window_seconds() const;
+  const Options& options() const { return options_; }
+
+  /// Rolling + cumulative latency stats per tracked verb, in the fixed
+  /// verb order (query verbs first, "other" last).
+  std::vector<VerbLatencyStats> VerbStats(std::int64_t now_ns) const;
+
+  /// Slow-ring contents, oldest first.
+  std::vector<SlowQueryEntry> SlowQueries() const;
+
+  /// The `slowz` payload: threshold/capacity plus the ring as a JSON
+  /// array — also flushed into the run-report context at shutdown.
+  Json SlowQueriesJson() const;
+
+  /// Monotonic nanoseconds (steady clock) — the `now_ns` the serve
+  /// layer feeds to RecordRequest / VerbStats outside of tests.
+  static std::int64_t NowNs();
+
+  /// The tracked verb names, in reporting order.
+  static const std::vector<std::string>& TrackedVerbs();
+
+ private:
+  std::int64_t WindowGauge(std::size_t verb_index, double quantile) const;
+  std::int64_t WindowCount(std::size_t verb_index) const;
+
+  Options options_;
+  std::int64_t start_ns_ = 0;
+
+  std::atomic<std::uint64_t> next_request_id_{0};
+  std::atomic<std::int64_t> active_connections_{0};
+  std::atomic<std::int64_t> peak_connections_{0};
+  std::atomic<std::int64_t> shed_{0};
+  std::atomic<std::int64_t> timed_out_{0};
+  std::atomic<std::int64_t> recorded_{0};
+  std::atomic<std::int64_t> slow_recorded_{0};
+
+  mutable std::mutex mu_;
+  std::vector<obs::WindowedHistogram> windows_;  // one per tracked verb
+  std::deque<SlowQueryEntry> slow_ring_;
+
+  std::vector<obs::CallbackGaugeToken> gauge_tokens_;
+};
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_LIVE_STATS_H_

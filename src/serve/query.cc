@@ -42,7 +42,8 @@ std::string CacheKey(std::string_view verb,
 
 QueryEngine::QueryEngine(Snapshot snapshot, QueryEngineOptions options)
     : snapshot_(std::move(snapshot)),
-      cache_(options.cache_capacity, options.cache_shards) {
+      cache_(options.cache_capacity, options.cache_shards),
+      live_(options.live) {
   for (std::size_t i = 0; i < snapshot_.summary.cuisine_names.size(); ++i) {
     cuisine_index_.emplace(snapshot_.summary.cuisine_names[i], i);
   }
@@ -65,16 +66,21 @@ const SnapshotPdist* QueryEngine::FindPdist(DistanceMetric metric) const {
 }
 
 template <typename Fn>
-Result<std::string> QueryEngine::Cached(const std::string& key, Fn render) {
-  if (auto hit = cache_.Get(key); hit.has_value()) return *std::move(hit);
+Result<std::string> QueryEngine::Cached(const std::string& key,
+                                        RequestContext* ctx, Fn render) {
+  if (auto hit = cache_.Get(key); hit.has_value()) {
+    if (ctx != nullptr) ctx->cache_hit = true;
+    return *std::move(hit);
+  }
   Result<std::string> rendered = render();
   if (rendered.ok()) cache_.Put(key, *rendered);
   return rendered;
 }
 
-Result<std::string> QueryEngine::Table1Row(std::string_view cuisine) {
+Result<std::string> QueryEngine::Table1Row(std::string_view cuisine,
+                                           RequestContext* ctx) {
   CUISINE_SPAN("query_table1");
-  return Cached(CacheKey("table1", {cuisine}),
+  return Cached(CacheKey("table1", {cuisine}), ctx,
                 [&]() -> Result<std::string> {
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
     const std::string& name = snapshot_.summary.cuisine_names[idx];
@@ -110,10 +116,11 @@ Result<std::string> QueryEngine::Table1Row(std::string_view cuisine) {
 }
 
 Result<std::string> QueryEngine::TopPatterns(std::string_view cuisine,
-                                             std::size_t k) {
+                                             std::size_t k,
+                                             RequestContext* ctx) {
   CUISINE_SPAN("query_top_patterns");
   return Cached(
-      CacheKey("top_patterns", {cuisine, std::to_string(k)}),
+      CacheKey("top_patterns", {cuisine, std::to_string(k)}), ctx,
       [&]() -> Result<std::string> {
         if (k == 0) return Status::InvalidArgument("k must be positive");
         CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
@@ -133,11 +140,12 @@ Result<std::string> QueryEngine::TopPatterns(std::string_view cuisine,
 
 Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
                                                  std::string_view a,
-                                                 std::string_view b) {
+                                                 std::string_view b,
+                                                 RequestContext* ctx) {
   CUISINE_SPAN("query_distance");
   const std::string metric_name(DistanceMetricName(metric));
   return Cached(
-      CacheKey("distance", {metric_name, a, b}),
+      CacheKey("distance", {metric_name, a, b}), ctx,
       [&]() -> Result<std::string> {
         CUISINE_ASSIGN_OR_RETURN(std::size_t ia, CuisineIndex(a));
         CUISINE_ASSIGN_OR_RETURN(std::size_t ib, CuisineIndex(b));
@@ -157,9 +165,11 @@ Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
       });
 }
 
-Result<std::string> QueryEngine::TreeNewick(std::string_view tree) {
+Result<std::string> QueryEngine::TreeNewick(std::string_view tree,
+                                            RequestContext* ctx) {
   CUISINE_SPAN("query_tree");
-  return Cached(CacheKey("tree", {tree}), [&]() -> Result<std::string> {
+  return Cached(CacheKey("tree", {tree}), ctx,
+                [&]() -> Result<std::string> {
     for (const SnapshotTree& t : snapshot_.trees) {
       if (t.name != tree) continue;
       CUISINE_ASSIGN_OR_RETURN(Dendrogram d,
@@ -181,11 +191,12 @@ Result<std::string> QueryEngine::TreeNewick(std::string_view tree) {
 }
 
 Result<std::string> QueryEngine::AuthenticityTopK(std::string_view cuisine,
-                                                  std::size_t k, bool most) {
+                                                  std::size_t k, bool most,
+                                                  RequestContext* ctx) {
   CUISINE_SPAN("query_auth_topk");
   return Cached(CacheKey("auth_topk", {cuisine, std::to_string(k),
                                        most ? "most" : "least"}),
-                [&]() -> Result<std::string> {
+                ctx, [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
     std::vector<std::size_t> order(snapshot_.authenticity_items.size());
@@ -217,12 +228,13 @@ Result<std::string> QueryEngine::AuthenticityTopK(std::string_view cuisine,
 
 Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
                                                  std::string_view cuisine,
-                                                 std::size_t k) {
+                                                 std::size_t k,
+                                                 RequestContext* ctx) {
   CUISINE_SPAN("query_nearest");
   const std::string metric_name(DistanceMetricName(metric));
   return Cached(CacheKey("nearest", {metric_name, cuisine,
                                      std::to_string(k)}),
-                [&]() -> Result<std::string> {
+                ctx, [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
     const SnapshotPdist* pdist = FindPdist(metric);

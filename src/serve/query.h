@@ -27,6 +27,7 @@
 
 #include "cluster/distance.h"
 #include "common/status.h"
+#include "serve/live_stats.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
 
@@ -37,6 +38,8 @@ struct QueryEngineOptions {
   /// Total LRU entry budget (0 disables caching).
   std::size_t cache_capacity = 1024;
   std::size_t cache_shards = 8;
+  /// Live introspection knobs (rolling windows, slow-query ring).
+  LiveStats::Options live;
 };
 
 class QueryEngine {
@@ -48,22 +51,35 @@ class QueryEngine {
 
   /// Each call returns the canonical compact JSON encoding of the answer
   /// (never the {"ok":...} envelope), or a non-OK Status for unknown
-  /// names / invalid arguments. Successful answers are cached.
-  Result<std::string> Table1Row(std::string_view cuisine);
-  Result<std::string> TopPatterns(std::string_view cuisine, std::size_t k);
+  /// names / invalid arguments. Successful answers are cached. When a
+  /// RequestContext is supplied, the engine marks ctx->cache_hit on
+  /// answers served from the LRU cache.
+  Result<std::string> Table1Row(std::string_view cuisine,
+                                RequestContext* ctx = nullptr);
+  Result<std::string> TopPatterns(std::string_view cuisine, std::size_t k,
+                                  RequestContext* ctx = nullptr);
   Result<std::string> CuisineDistance(DistanceMetric metric,
-                                      std::string_view a, std::string_view b);
-  Result<std::string> TreeNewick(std::string_view tree);
+                                      std::string_view a, std::string_view b,
+                                      RequestContext* ctx = nullptr);
+  Result<std::string> TreeNewick(std::string_view tree,
+                                 RequestContext* ctx = nullptr);
   Result<std::string> AuthenticityTopK(std::string_view cuisine,
-                                       std::size_t k, bool most);
+                                       std::size_t k, bool most,
+                                       RequestContext* ctx = nullptr);
   Result<std::string> NearestCuisines(DistanceMetric metric,
-                                      std::string_view cuisine, std::size_t k);
+                                      std::string_view cuisine, std::size_t k,
+                                      RequestContext* ctx = nullptr);
 
   /// Snapshot + cache stats (uncached; counters move between calls).
   std::string StatsJson() const;
 
   const Snapshot& snapshot() const { return snapshot_; }
   ShardedLruCache::Stats cache_stats() const { return cache_.stats(); }
+
+  /// Live introspection state shared by every Service / TcpServer bound
+  /// to this engine.
+  LiveStats& live() { return live_; }
+  const LiveStats& live() const { return live_; }
 
  private:
   /// Index of `cuisine` in summary.cuisine_names, or NotFound listing the
@@ -73,12 +89,15 @@ class QueryEngine {
 
   /// Cache-through helper: returns the cached value for `key` or renders
   /// via `render()` (a Result<std::string> producer) and caches success.
+  /// A cache hit is reported through `ctx` when one is supplied.
   template <typename Fn>
-  Result<std::string> Cached(const std::string& key, Fn render);
+  Result<std::string> Cached(const std::string& key, RequestContext* ctx,
+                             Fn render);
 
   Snapshot snapshot_;
   std::unordered_map<std::string, std::size_t> cuisine_index_;
   ShardedLruCache cache_;
+  LiveStats live_;
 };
 
 }  // namespace serve

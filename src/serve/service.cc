@@ -1,11 +1,13 @@
 #include "serve/service.h"
 
 #include <cctype>
+#include <chrono>
 #include <istream>
 #include <ostream>
 
 #include "common/json.h"
 #include "common/string_util.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -31,7 +33,16 @@ const char kHelpText[] =
     "distance <metric> <a> <b> | tree <name> | "
     "auth_topk <cuisine> <k> <most|least> | "
     "nearest <metric> <cuisine> <k> | stats | help | quit "
-    "(quote multi-word cuisine names)";
+    "(quote multi-word cuisine names); "
+    "admin: healthz | statsz | metricsz | slowz";
+
+/// The introspection verbs. Deliberately outside the metered request
+/// path: a scraper polling statsz every few seconds must not inflate
+/// serve.requests.* or the per-verb latency windows it is reading.
+bool IsAdminVerb(std::string_view cmd) {
+  return cmd == "healthz" || cmd == "statsz" || cmd == "metricsz" ||
+         cmd == "slowz";
+}
 
 Status ArityError(std::string_view command, std::string_view usage) {
   return Status::InvalidArgument("usage: " + std::string(command) + " " +
@@ -112,10 +123,19 @@ std::string Service::HandleLine(std::string_view line) {
   }
   const std::vector<std::string>& t = *tokens_or;
   if (t.empty()) return std::string();
+  const std::string& cmd = t[0];
+  if (IsAdminVerb(cmd)) {
+    ++requests_;
+    return HandleAdminVerb(t);
+  }
 
   ++requests_;
   CUISINE_SPAN("serve_request");
-  const std::string& cmd = t[0];
+  LiveStats& live = engine_->live();
+  RequestContext ctx;
+  ctx.request_id = live.NextRequestId();
+  ctx.connection_id = connection_id_;
+  const std::int64_t start_ns = LiveStats::NowNs();
 
   Result<std::string> data = [&]() -> Result<std::string> {
     // Zero-argument verbs enforce arity like every other verb: "quit
@@ -135,22 +155,22 @@ std::string Service::HandleLine(std::string_view line) {
     }
     if (cmd == "table1") {
       if (t.size() != 2) return ArityError(cmd, "<cuisine>");
-      return engine_->Table1Row(t[1]);
+      return engine_->Table1Row(t[1], &ctx);
     }
     if (cmd == "top_patterns") {
       if (t.size() != 3) return ArityError(cmd, "<cuisine> <k>");
       CUISINE_ASSIGN_OR_RETURN(std::size_t k, ParsePositive(t[2], "k"));
-      return engine_->TopPatterns(t[1], k);
+      return engine_->TopPatterns(t[1], k, &ctx);
     }
     if (cmd == "distance") {
       if (t.size() != 4) return ArityError(cmd, "<metric> <a> <b>");
       CUISINE_ASSIGN_OR_RETURN(DistanceMetric metric,
                                ParseDistanceMetric(t[1]));
-      return engine_->CuisineDistance(metric, t[2], t[3]);
+      return engine_->CuisineDistance(metric, t[2], t[3], &ctx);
     }
     if (cmd == "tree") {
       if (t.size() != 2) return ArityError(cmd, "<name>");
-      return engine_->TreeNewick(t[1]);
+      return engine_->TreeNewick(t[1], &ctx);
     }
     if (cmd == "auth_topk") {
       if (t.size() != 4) {
@@ -162,20 +182,29 @@ std::string Service::HandleLine(std::string_view line) {
             "auth_topk direction must be 'most' or 'least', got '" + t[3] +
             "'");
       }
-      return engine_->AuthenticityTopK(t[1], k, t[3] == "most");
+      return engine_->AuthenticityTopK(t[1], k, t[3] == "most", &ctx);
     }
     if (cmd == "nearest") {
       if (t.size() != 4) return ArityError(cmd, "<metric> <cuisine> <k>");
       CUISINE_ASSIGN_OR_RETURN(DistanceMetric metric,
                                ParseDistanceMetric(t[1]));
       CUISINE_ASSIGN_OR_RETURN(std::size_t k, ParsePositive(t[3], "k"));
-      return engine_->NearestCuisines(metric, t[2], k);
+      return engine_->NearestCuisines(metric, t[2], k, &ctx);
     }
     return Status::InvalidArgument("unknown command '" + cmd + "'; " +
                                    kHelpText);
   }();
 
   if (done_ && cmd == "quit") return std::string();
+  // Feed the rolling per-verb window and (when slow enough) the
+  // slow-query ring; `args` reaches the ring only as a digest.
+  const std::int64_t end_ns = LiveStats::NowNs();
+  std::string args;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (i > 1) args += ' ';
+    args += t[i];
+  }
+  live.RecordRequest(ctx, cmd, args, end_ns - start_ns, data.ok(), end_ns);
   if (!data.ok()) {
     CUISINE_COUNTER_ADD("serve.requests.error", 1);
     return ErrorResponse(data.status().message());
@@ -184,10 +213,83 @@ std::string Service::HandleLine(std::string_view line) {
   return OkResponse(*std::move(data));
 }
 
-Status Service::Serve(std::istream& in, std::ostream& out) {
+std::string Service::HandleAdminVerb(const std::vector<std::string>& t) {
+  CUISINE_SPAN("serve_admin");
+  const std::string& cmd = t[0];
+  if (t.size() != 1) {
+    return ErrorResponse("usage: " + cmd + " (no arguments)");
+  }
+  if (cmd == "metricsz") {
+    // Raw multi-line text exposition, not a JSON envelope; the "# EOF"
+    // final line is the scraper's end-of-response marker.
+    return obs::RenderPrometheusText(obs::CollectMetrics());
+  }
+  const LiveStats& live = engine_->live();
+  if (cmd == "healthz") {
+    return OkResponse(Json::Object()
+                          .Set("status", Json::Str("serving"))
+                          .Set("uptime_seconds", Json::Int(live.UptimeSeconds()))
+                          .Dump(0));
+  }
+  if (cmd == "slowz") {
+    return OkResponse(live.SlowQueriesJson().Dump(0));
+  }
+  return OkResponse(StatszJson());
+}
+
+std::string Service::StatszJson() const {
+  const LiveStats& live = engine_->live();
+  const ShardedLruCache::Stats cache = engine_->cache_stats();
+  const std::int64_t lookups =
+      static_cast<std::int64_t>(cache.hits + cache.misses);
+  Json verbs = Json::Object();
+  for (const VerbLatencyStats& v : live.VerbStats(LiveStats::NowNs())) {
+    verbs.Set(v.verb,
+              Json::Object()
+                  .Set("window", Json::Object()
+                                     .Set("count", Json::Int(v.window_count))
+                                     .Set("p50_ns", Json::Int(v.window_p50_ns))
+                                     .Set("p90_ns", Json::Int(v.window_p90_ns))
+                                     .Set("p99_ns", Json::Int(v.window_p99_ns)))
+                  .Set("total", Json::Object()
+                                    .Set("count", Json::Int(v.total_count))
+                                    .Set("p50_ns", Json::Int(v.total_p50_ns))
+                                    .Set("p99_ns", Json::Int(v.total_p99_ns))));
+  }
+  return Json::Object()
+      .Set("uptime_seconds", Json::Int(live.UptimeSeconds()))
+      .Set("window_seconds", Json::Int(live.window_seconds()))
+      .Set("connections", Json::Object()
+                              .Set("active", Json::Int(live.active_connections()))
+                              .Set("peak", Json::Int(live.peak_connections())))
+      .Set("requests", Json::Object()
+                           .Set("total", Json::Int(live.requests_recorded()))
+                           .Set("slow", Json::Int(live.slow_recorded())))
+      .Set("cache",
+           Json::Object()
+               .Set("hits", Json::Int(static_cast<std::int64_t>(cache.hits)))
+               .Set("misses",
+                    Json::Int(static_cast<std::int64_t>(cache.misses)))
+               .Set("evictions",
+                    Json::Int(static_cast<std::int64_t>(cache.evictions)))
+               .Set("hit_rate",
+                    Json::Double(lookups == 0
+                                     ? 0.0
+                                     : static_cast<double>(cache.hits) /
+                                           static_cast<double>(lookups))))
+      .Set("overload", Json::Object()
+                           .Set("shed", Json::Int(live.shed_total()))
+                           .Set("timeouts", Json::Int(live.timeout_total())))
+      .Set("verbs", std::move(verbs))
+      .Dump(0);
+}
+
+Status Service::Serve(std::istream& in, std::ostream& out,
+                      const std::atomic<bool>* stop) {
   CUISINE_SPAN("serve_loop");
   std::string line;
-  while (!done_ && std::getline(in, line)) {
+  while (!done_ && !(stop != nullptr && stop->load()) &&
+         std::getline(in, line)) {
     std::string response = HandleLine(line);
     if (response.empty()) continue;
     out << response << '\n';

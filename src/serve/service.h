@@ -13,6 +13,13 @@
 //   help
 //   quit
 //
+// Admin verbs (zero-argument, identical over stdin and TCP) introspect
+// the live server without counting as metered requests: `healthz` and
+// `statsz` answer one JSON envelope line (uptime, connections, rolling
+// per-verb latency percentiles, cache hit rate), `slowz` dumps the
+// slow-query ring, and `metricsz` answers a multi-line Prometheus text
+// exposition terminated by a "# EOF" line.
+//
 // Multi-word cuisine names are double-quoted ("Indian Subcontinent");
 // errors come back as {"ok":false,"error":"..."} on the same line, and
 // the loop keeps serving after an error — only quit / EOF ends it.
@@ -20,6 +27,7 @@
 #ifndef CUISINE_SERVE_SERVICE_H_
 #define CUISINE_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -39,14 +47,20 @@ Result<std::vector<std::string>> TokenizeRequestLine(std::string_view line);
 
 class Service {
  public:
-  /// Borrows the engine (must outlive the service).
-  explicit Service(QueryEngine* engine) : engine_(engine) {}
+  /// Borrows the engine (must outlive the service). `connection_id`
+  /// tags this service's requests in the slow-query ring (TCP
+  /// connections pass their id; 0 means the stdin transport).
+  explicit Service(QueryEngine* engine, std::uint64_t connection_id = 0)
+      : engine_(engine), connection_id_(connection_id) {}
 
-  /// Handles one request line and returns the one-line JSON response.
-  /// A trailing '\r' (CRLF transports) is stripped before parsing; a
-  /// line containing a NUL byte is rejected with a one-line error.
-  /// Blank lines return an empty string (callers emit nothing). The
-  /// `quit` command also returns an empty string and flips done().
+  /// Handles one request line and returns the response — a one-line
+  /// JSON envelope for every verb except `metricsz`, whose response is
+  /// a multi-line text exposition ending with a "# EOF" line (the
+  /// transport appends the final terminator either way). A trailing
+  /// '\r' (CRLF transports) is stripped before parsing; a line
+  /// containing a NUL byte is rejected with a one-line error. Blank
+  /// lines return an empty string (callers emit nothing). The `quit`
+  /// command also returns an empty string and flips done().
   std::string HandleLine(std::string_view line);
 
   /// True once a `quit` request has been handled.
@@ -56,11 +70,20 @@ class Service {
   std::uint64_t requests_handled() const { return requests_; }
 
   /// Reads request lines from `in` until quit or EOF, writing one
-  /// response line to `out` per request.
-  Status Serve(std::istream& in, std::ostream& out);
+  /// response line to `out` per request. When `stop` is supplied, the
+  /// loop also exits once it becomes true — checked before each read,
+  /// and a signal handler that sets it interrupts a blocked read via
+  /// EINTR when installed without SA_RESTART (see cuisine_cli serve).
+  Status Serve(std::istream& in, std::ostream& out,
+               const std::atomic<bool>* stop = nullptr);
 
  private:
+  /// Zero-argument introspection verbs; never metered, never cached.
+  std::string HandleAdminVerb(const std::vector<std::string>& tokens);
+  std::string StatszJson() const;
+
   QueryEngine* engine_;
+  std::uint64_t connection_id_ = 0;
   bool done_ = false;
   std::uint64_t requests_ = 0;
 };

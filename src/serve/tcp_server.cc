@@ -65,7 +65,8 @@ struct TcpServer::Connection {
   bool close_after_flush = false;
   bool closed = false;
 
-  explicit Connection(QueryEngine* engine) : service(engine) {}
+  Connection(QueryEngine* engine, std::uint64_t conn_id)
+      : id(conn_id), service(engine, conn_id) {}
 };
 
 struct TcpServer::PendingRequest {
@@ -188,8 +189,7 @@ void TcpServer::AcceptNew() {
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    auto conn = std::make_unique<Connection>(engine_);
-    conn->id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(engine_, next_conn_id_++);
     conn->fd = fd;
     epoll_event ev{};
     ev.events = EPOLLIN;
@@ -199,6 +199,7 @@ void TcpServer::AcceptNew() {
       continue;
     }
     accepted_.fetch_add(1);
+    engine_->live().ConnectionOpened();
     CUISINE_COUNTER_ADD("serve.tcp.accepted", 1);
     CUISINE_GAUGE_MAX("serve.tcp.connections_peak",
                       static_cast<std::int64_t>(conns_.size() + 1));
@@ -213,6 +214,7 @@ void TcpServer::AdmitLine(Connection* conn, std::string line) {
   conn->slots.emplace_back();
   if (pending_.size() >= options_.max_pending_requests) {
     shed_.fetch_add(1);
+    engine_->live().RecordShed();
     CUISINE_COUNTER_ADD("serve.tcp.shed", 1);
     conn->slots.back().ready = true;
     conn->slots.back().bytes = OverloadedResponseBody() + "\n";
@@ -302,6 +304,7 @@ void TcpServer::DrainPending() {
     const Clock::time_point now = Clock::now();
     if (now > req.deadline) {
       timed_out_.fetch_add(1);
+      engine_->live().RecordTimeout();
       CUISINE_COUNTER_ADD("serve.tcp.timeout", 1);
       slot.bytes = TimeoutResponseBody() + "\n";
     } else {
@@ -370,6 +373,7 @@ void TcpServer::CloseConnection(Connection* conn) {
   ::close(conn->fd);
   conn->fd = -1;
   closed_.fetch_add(1);
+  engine_->live().ConnectionClosed();
   CUISINE_COUNTER_ADD("serve.tcp.closed", 1);
   conns_.erase(conn->id);  // destroys *conn; pending refs skip by id
 }

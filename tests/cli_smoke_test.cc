@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -100,7 +102,9 @@ TEST(CliSmokeTest, ServeRejectsMalformedTcpFlags) {
   // silent fallback that starts serving on an unintended port.
   for (const std::string& flags :
        {std::string("--port notanumber"), std::string("--port 99999999"),
-        std::string("--max-pending -5"), std::string("--timeout-ms abc")}) {
+        std::string("--max-pending -5"), std::string("--timeout-ms abc"),
+        std::string("--slow-query-ms abc"),
+        std::string("--slow-query-ms 99999999999")}) {
     RunResult r = RunCli("serve --snapshot /nonexistent/snap.bin " + flags);
     EXPECT_NE(r.exit_code, 0) << flags;
     EXPECT_NE(r.stderr_text.find("invalid --"), std::string::npos)
@@ -137,6 +141,85 @@ TEST(CliSmokeTest, SnapshotThenServeAnswersCannedQueries) {
   }
   ASSERT_EQ(oks.size(), 6u) << serve.stdout_text;
   EXPECT_EQ(oks, (std::vector<bool>{true, true, true, true, true, false}));
+}
+
+TEST(CliSmokeTest, SigtermFlushesRunReportFromTcpServe) {
+  // The graceful-shutdown satellite: a SIGTERM'd `serve --port 0` must
+  // unwind through the RunReportSession and leave a valid report with
+  // the slow-query log in its context — not die report-less.
+  const std::string unique = std::to_string(::getpid());
+  const std::string snap_path =
+      ::testing::TempDir() + "/cli_sigterm_snap." + unique + ".bin";
+  const std::string report_path =
+      ::testing::TempDir() + "/cli_sigterm_report." + unique + ".json";
+  const std::string out_path =
+      ::testing::TempDir() + "/cli_sigterm_out." + unique + ".txt";
+  const std::string pid_path =
+      ::testing::TempDir() + "/cli_sigterm_pid." + unique + ".txt";
+
+  RunResult build =
+      RunCli("snapshot --scale 0.02 --quiet --out " + Quoted(snap_path));
+  ASSERT_EQ(build.exit_code, 0) << build.stderr_text;
+
+  // Launch the server in the background and capture its PID. `exec`
+  // makes the recorded PID the server itself, not a wrapper shell.
+  const std::string command =
+      "exec " + Quoted(CUISINE_CLI_BIN) + " serve --quiet --snapshot " +
+      Quoted(snap_path) + " --report " + Quoted(report_path) +
+      " --port 0 --slow-query-ms 0 > " + Quoted(out_path) +
+      " 2>&1 & echo $! > " + Quoted(pid_path);
+  ASSERT_EQ(std::system(command.c_str()), 0);
+
+  // Wait for the readiness line (snapshot load included), then for the
+  // PID file the shell wrote.
+  bool serving = false;
+  for (int spin = 0; spin < 30000 && !serving; ++spin) {
+    serving = Slurp(out_path).find("serving on 127.0.0.1:") !=
+              std::string::npos;
+    if (!serving) ::usleep(1000);
+  }
+  pid_t pid = 0;
+  {
+    std::ifstream in(pid_path);
+    in >> pid;
+  }
+  ASSERT_GT(pid, 0);
+  if (!serving) {
+    ::kill(pid, SIGKILL);
+    FAIL() << "server never announced readiness: " << Slurp(out_path);
+  }
+
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  // The server is not our direct child (the shell was), so poll for
+  // process exit rather than waitpid.
+  bool exited = false;
+  for (int spin = 0; spin < 30000 && !exited; ++spin) {
+    exited = ::kill(pid, 0) != 0 && errno == ESRCH;
+    if (!exited) ::usleep(1000);
+  }
+  if (!exited) ::kill(pid, SIGKILL);
+  ASSERT_TRUE(exited) << "server ignored SIGTERM: " << Slurp(out_path);
+
+  auto report = Json::ParseFile(report_path);
+  ASSERT_TRUE(report.ok()) << "no valid run report after SIGTERM: "
+                           << report.status() << "\n"
+                           << Slurp(out_path);
+  EXPECT_EQ(report->Find("schema_version")->int_value(), 2);
+  EXPECT_NE(report->Find("name")->string_value().find("serve"),
+            std::string::npos);
+  ASSERT_NE(report->Find("metrics"), nullptr);
+  ASSERT_NE(report->Find("context"), nullptr);
+  const Json* slow_log = report->Find("context")->Find("serve.slow_query_log");
+  ASSERT_NE(slow_log, nullptr) << "slow-query log missing from report";
+  auto slow = Json::Parse(slow_log->string_value());
+  ASSERT_TRUE(slow.ok()) << slow_log->string_value();
+  EXPECT_EQ(slow->Find("threshold_ms")->int_value(), 0);
+  ASSERT_NE(slow->Find("entries"), nullptr);
+
+  std::remove(snap_path.c_str());
+  std::remove(report_path.c_str());
+  std::remove(out_path.c_str());
+  std::remove(pid_path.c_str());
 }
 
 }  // namespace

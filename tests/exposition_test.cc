@@ -1,0 +1,211 @@
+// Prometheus text exposition (obs/exposition.h): name sanitization must
+// be stable, every metric gets a # TYPE header, histograms expose the
+// cumulative _bucket / _sum / _count triple, the output ends with a
+// "# EOF" line and — because the sharded registry merges to identical
+// totals under any schedule — the rendered bytes are identical no matter
+// how many threads recorded the observations.
+//
+// The small fixture is checked in at tests/golden/metricsz_small.golden;
+// regenerate after an intentional format change with
+//   CUISINE_REGEN_GOLDEN=1 ./build/tests/exposition_test
+
+#include "obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace obs {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(CUISINE_GOLDEN_DIR) + "/metricsz_small.golden";
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+MetricsSnapshot SmallSnapshot() {
+  MetricsSnapshot snapshot;
+  snapshot.counters["serve.requests.ok"] = 42;
+  snapshot.counters["mine.fp-growth.nodes"] = 1234;  // '-' needs sanitizing
+  snapshot.gauges["serve.tcp.active_connections"] = 3;
+  snapshot.gauges["serve.uptime_seconds"] = 17;
+  HistogramSnapshot h;
+  h.edges = {1000, 10000, 100000};
+  h.buckets = {5, 10, 3, 2};
+  h.count = 20;
+  h.sum = 250000;
+  snapshot.histograms["serve.tcp.request_ns"] = h;
+  return snapshot;
+}
+
+TEST(SanitizePrometheusNameTest, KeepsLegalCharacters) {
+  EXPECT_EQ(SanitizePrometheusName("serve_requests_ok"), "serve_requests_ok");
+  EXPECT_EQ(SanitizePrometheusName("a:b_C9"), "a:b_C9");
+}
+
+TEST(SanitizePrometheusNameTest, ReplacesIllegalCharacters) {
+  EXPECT_EQ(SanitizePrometheusName("serve.requests.ok"), "serve_requests_ok");
+  EXPECT_EQ(SanitizePrometheusName("mine.fp-growth/nodes"),
+            "mine_fp_growth_nodes");
+  EXPECT_EQ(SanitizePrometheusName("sp ace"), "sp_ace");
+}
+
+TEST(SanitizePrometheusNameTest, GuardsLeadingDigit) {
+  EXPECT_EQ(SanitizePrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizePrometheusName("p99"), "p99");
+}
+
+TEST(ExpositionTest, EmptySnapshotIsJustEof) {
+  EXPECT_EQ(RenderPrometheusText(MetricsSnapshot{}), "# EOF");
+}
+
+TEST(ExpositionTest, EndsWithEofLineNoTrailingNewline) {
+  const std::string text = RenderPrometheusText(SmallSnapshot());
+  ASSERT_GE(text.size(), 5u);
+  EXPECT_EQ(text.substr(text.size() - 5), "# EOF");
+  EXPECT_NE(text.back(), '\n');
+}
+
+TEST(ExpositionTest, EveryMetricHasTypeHeaderAndPrefix) {
+  const std::vector<std::string> lines =
+      Lines(RenderPrometheusText(SmallSnapshot()));
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(lines.back(), "# EOF");
+  bool saw_sample = false;
+  for (const std::string& line : lines) {
+    if (line == "# EOF") continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      // "# TYPE cuisine_<name> counter|gauge|histogram"
+      std::istringstream fields(line);
+      std::string hash, type_kw, name, kind;
+      fields >> hash >> type_kw >> name >> kind;
+      EXPECT_EQ(name.rfind("cuisine_", 0), 0u) << line;
+      EXPECT_TRUE(kind == "counter" || kind == "gauge" || kind == "histogram")
+          << line;
+      continue;
+    }
+    saw_sample = true;
+    EXPECT_EQ(line.rfind("cuisine_", 0), 0u) << line;
+    // Every sample line is "<name>[{le="..."}] <integer>".
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    EXPECT_FALSE(value.empty()) << line;
+    for (char c : value) EXPECT_TRUE(c == '-' || (c >= '0' && c <= '9'))
+        << line;
+  }
+  EXPECT_TRUE(saw_sample);
+}
+
+TEST(ExpositionTest, HistogramTripleIsCumulativeAndConsistent) {
+  const std::vector<std::string> lines =
+      Lines(RenderPrometheusText(SmallSnapshot()));
+  const std::string base = "cuisine_serve_tcp_request_ns";
+  std::vector<std::int64_t> bucket_values;
+  std::int64_t sum = -1, count = -1, inf = -1;
+  for (const std::string& line : lines) {
+    std::istringstream fields(line);
+    std::string name;
+    std::int64_t value = 0;
+    fields >> name >> value;
+    if (name.rfind(base + "_bucket{le=\"+Inf\"}", 0) == 0) {
+      inf = value;
+    } else if (name.rfind(base + "_bucket{", 0) == 0) {
+      bucket_values.push_back(value);
+    } else if (name == base + "_sum") {
+      sum = value;
+    } else if (name == base + "_count") {
+      count = value;
+    }
+  }
+  // Three finite edges → three le-labelled buckets, non-decreasing.
+  ASSERT_EQ(bucket_values.size(), 3u);
+  EXPECT_EQ(bucket_values, (std::vector<std::int64_t>{5, 15, 18}));
+  EXPECT_EQ(inf, 20);
+  EXPECT_EQ(count, 20);
+  EXPECT_EQ(sum, 250000);
+}
+
+TEST(ExpositionTest, SmallFixtureMatchesByteForByte) {
+  const std::string actual = RenderPrometheusText(SmallSnapshot());
+
+  if (std::getenv("CUISINE_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(GoldenPath(), std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    out << actual;
+    GTEST_SKIP() << "regenerated " << GoldenPath()
+                 << " — review and commit the diff";
+  }
+
+  std::ifstream in(GoldenPath(), std::ios::binary);
+  ASSERT_TRUE(in.good())
+      << "missing fixture " << GoldenPath()
+      << " — run with CUISINE_REGEN_GOLDEN=1 to create it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(actual, buffer.str())
+      << "metricsz exposition drifted; if intentional, regenerate with "
+         "CUISINE_REGEN_GOLDEN=1 and commit the new fixture.";
+}
+
+// The registry merges shards into identical totals under any schedule,
+// so the exposition — a pure function of the snapshot — must be
+// byte-identical whether 1, 4, or 8 threads recorded the workload.
+std::string RenderFixedWorkload(unsigned threads) {
+  SetParallelThreads(threads);
+  SetMetricsEnabled(true);
+  ResetMetrics();
+  const MetricId requests = RegisterCounter("expo.test.requests");
+  const MetricId depth = RegisterGauge("expo.test.depth");
+  const MetricId latency =
+      RegisterHistogram("expo.test.latency_ns", {100, 1000, 10000});
+  ParallelFor(0, 400, 16, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      CounterAdd(requests, 1);
+      GaugeMax(depth, static_cast<std::int64_t>(i % 7));
+      HistogramObserve(latency, static_cast<std::int64_t>((i * 37) % 20000));
+    }
+  });
+  // Keep only this test's metrics: enabling metrics also turns on the
+  // parallel layer's wall-clock instrumentation (parallel.busy_ns, ...),
+  // which is legitimately non-deterministic.
+  MetricsSnapshot snapshot = CollectMetrics();
+  std::erase_if(snapshot.counters,
+                [](const auto& kv) { return kv.first.rfind("expo.", 0) != 0; });
+  std::erase_if(snapshot.gauges,
+                [](const auto& kv) { return kv.first.rfind("expo.", 0) != 0; });
+  std::erase_if(snapshot.histograms,
+                [](const auto& kv) { return kv.first.rfind("expo.", 0) != 0; });
+  const std::string text = RenderPrometheusText(snapshot);
+  ResetMetrics();
+  SetMetricsEnabled(false);
+  SetParallelThreads(1);
+  return text;
+}
+
+TEST(ExpositionTest, ByteIdenticalAcrossThreadCounts) {
+  const std::string serial = RenderFixedWorkload(1);
+  for (unsigned threads : {4u, 8u}) {
+    EXPECT_EQ(serial, RenderFixedWorkload(threads))
+        << "exposition differs at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cuisine

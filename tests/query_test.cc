@@ -171,7 +171,10 @@ TEST_F(QueryTest, SmallCacheEvictsButStaysCorrect) {
   options.cache_capacity = 4;
   options.cache_shards = 2;
   QueryEngine engine(*snapshot_, options);
-  QueryEngine uncached(*snapshot_, QueryEngineOptions{0, 1});
+  QueryEngineOptions no_cache;
+  no_cache.cache_capacity = 0;
+  no_cache.cache_shards = 1;
+  QueryEngine uncached(*snapshot_, no_cache);
   for (const std::string& name : snapshot_->summary.cuisine_names) {
     auto a = engine.TopPatterns(name, 3);
     auto b = uncached.TopPatterns(name, 3);
@@ -207,7 +210,10 @@ TEST_F(QueryTest, ConcurrentMixedQueriesMatchSerialAnswers) {
   tiny.cache_capacity = 8;
   tiny.cache_shards = 2;
   QueryEngine shared(*snapshot_, tiny);
-  QueryEngine reference(*snapshot_, QueryEngineOptions{0, 1});
+  QueryEngineOptions no_cache;
+  no_cache.cache_capacity = 0;
+  no_cache.cache_shards = 1;
+  QueryEngine reference(*snapshot_, no_cache);
 
   const std::vector<std::string>& names = snapshot_->summary.cuisine_names;
   constexpr int kThreads = 8;
@@ -303,6 +309,23 @@ TEST(QueryDeterminismTest, ResponsesIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serialized[0], serialized[2]);
   EXPECT_EQ(responses[0], responses[1]);
   EXPECT_EQ(responses[0], responses[2]);
+}
+
+TEST_F(QueryTest, RequestContextReportsCacheHits) {
+  QueryEngine engine(*snapshot_);
+  RequestContext cold;
+  ASSERT_TRUE(engine.Table1Row("Korean", &cold).ok());
+  EXPECT_FALSE(cold.cache_hit);
+  RequestContext warm;
+  ASSERT_TRUE(engine.Table1Row("Korean", &warm).ok());
+  EXPECT_TRUE(warm.cache_hit);
+  // Errors never populate the cache, so a repeat miss stays a miss.
+  RequestContext error;
+  EXPECT_FALSE(engine.Table1Row("Atlantis", &error).ok());
+  EXPECT_FALSE(error.cache_hit);
+  RequestContext error_again;
+  EXPECT_FALSE(engine.Table1Row("Atlantis", &error_again).ok());
+  EXPECT_FALSE(error_again.cache_hit);
 }
 
 }  // namespace

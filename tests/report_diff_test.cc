@@ -273,6 +273,41 @@ TEST(ReportDiffTest, LatencyHistogramRowsAreTimingClass) {
   }
 }
 
+TEST(ReportDiffTest, RollingPercentileGaugesAreTimingClass) {
+  // The serve layer exports rolling-window percentiles as callback
+  // gauges ("serve.table1_window_p50_ns", ...). Every percentile or
+  // window row measures wall time sampled at an arbitrary instant, so
+  // all must classify as timing and never hard-gate a report diff under
+  // --timing-advisory — even names without the "_ns" suffix.
+  Json base = MakeReport({}, {{"serve.table1_window_p50_ns", 1000},
+                              {"serve.table1_window_p99_ns", 2000},
+                              {"serve.table1_window_count", 10},
+                              {"serve.api_p90", 500}});
+  Json current = MakeReport({}, {{"serve.table1_window_p50_ns", 9000},
+                                 {"serve.table1_window_p99_ns", 20000},
+                                 {"serve.table1_window_count", 90},
+                                 {"serve.api_p90", 5000}});
+
+  auto strict = obs::DiffRunReports(base, current, DiffOptions{});
+  ASSERT_TRUE(strict.ok()) << strict.status();
+  EXPECT_TRUE(strict->regression);
+
+  DiffOptions lenient;
+  lenient.timing_advisory = true;
+  auto advisory = obs::DiffRunReports(base, current, lenient);
+  ASSERT_TRUE(advisory.ok()) << advisory.status();
+  EXPECT_FALSE(advisory->regression);
+  for (const char* key : {"gauge/serve.table1_window_p50_ns",
+                          "gauge/serve.table1_window_p99_ns",
+                          "gauge/serve.table1_window_count",
+                          "gauge/serve.api_p90"}) {
+    const DiffRow* row = FindRow(*advisory, key);
+    ASSERT_NE(row, nullptr) << key;
+    EXPECT_EQ(row->metric_class, MetricClass::kTiming) << key;
+    EXPECT_TRUE(row->advisory) << key;
+  }
+}
+
 TEST(ReportDiffTest, RejectsNonReportDocuments) {
   Json not_a_report = Json::Object();
   not_a_report.Set("hello", Json::Str("world"));

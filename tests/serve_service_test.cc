@@ -29,11 +29,14 @@ class ServiceTest : public ::testing::Test {
     CUISINE_CHECK(run.ok()) << run.status();
     auto snap = BuildSnapshot(run->dataset, *run, config);
     CUISINE_CHECK(snap.ok()) << snap.status();
-    engine_ = new QueryEngine(std::move(snap).value());
+    snapshot_ = new Snapshot(std::move(snap).value());
+    engine_ = new QueryEngine(*snapshot_);
   }
   static void TearDownTestSuite() {
     delete engine_;
     engine_ = nullptr;
+    delete snapshot_;
+    snapshot_ = nullptr;
   }
 
   static bool IsOk(const std::string& response) {
@@ -42,9 +45,11 @@ class ServiceTest : public ::testing::Test {
     return json->Find("ok")->bool_value();
   }
 
+  static Snapshot* snapshot_;
   static QueryEngine* engine_;
 };
 
+Snapshot* ServiceTest::snapshot_ = nullptr;
 QueryEngine* ServiceTest::engine_ = nullptr;
 
 TEST(TokenizeRequestLineTest, SplitsQuotesAndEscapes) {
@@ -248,6 +253,160 @@ TEST_F(ServiceTest, ServeLoopOneResponsePerRequest) {
   EXPECT_EQ(count, 3);  // table1 + bogus error + tree; blank and quit silent
   EXPECT_TRUE(service.done());
   EXPECT_EQ(service.requests_handled(), 4u);
+}
+
+TEST_F(ServiceTest, HealthzAnswersServing) {
+  Service service(engine_);
+  const std::string response = service.HandleLine("healthz");
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  EXPECT_TRUE(json->Find("ok")->bool_value());
+  EXPECT_EQ(json->Find("data")->Find("status")->string_value(), "serving");
+  EXPECT_GE(json->Find("data")->Find("uptime_seconds")->int_value(), 0);
+}
+
+TEST_F(ServiceTest, StatszReportsShapeAndTraffic) {
+  QueryEngine engine(*snapshot_);
+  Service service(&engine);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));  // cache hit
+  EXPECT_FALSE(IsOk(service.HandleLine("table1 Atlantis")));
+
+  const std::string response = service.HandleLine("statsz");
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  ASSERT_TRUE(json->Find("ok")->bool_value()) << response;
+  const Json* data = json->Find("data");
+  EXPECT_GE(data->Find("uptime_seconds")->int_value(), 0);
+  EXPECT_EQ(data->Find("window_seconds")->int_value(),
+            engine.live().window_seconds());
+  EXPECT_EQ(data->Find("connections")->Find("active")->int_value(), 0);
+  EXPECT_EQ(data->Find("requests")->Find("total")->int_value(), 3);
+  // Korean cold (miss) + Korean repeat (hit) + Atlantis (cache consulted
+  // before the render fails → miss).
+  EXPECT_EQ(data->Find("cache")->Find("hits")->int_value(), 1);
+  EXPECT_EQ(data->Find("cache")->Find("misses")->int_value(), 2);
+  EXPECT_EQ(data->Find("overload")->Find("shed")->int_value(), 0);
+
+  // Every tracked verb appears; table1's rolling window saw the two
+  // metered lookups (the error does not reach the engine's window for
+  // table1 — it still counts, arity/unknown-name errors are recorded
+  // under the verb that was requested).
+  const Json* verbs = data->Find("verbs");
+  for (const std::string& verb : LiveStats::TrackedVerbs()) {
+    ASSERT_NE(verbs->Find(verb), nullptr) << verb;
+  }
+  const Json* table1 = verbs->Find("table1");
+  EXPECT_EQ(table1->Find("window")->Find("count")->int_value(), 3);
+  EXPECT_GE(table1->Find("window")->Find("p50_ns")->int_value(), 0);
+  EXPECT_GE(table1->Find("window")->Find("p99_ns")->int_value(),
+            table1->Find("window")->Find("p50_ns")->int_value());
+  EXPECT_EQ(table1->Find("total")->Find("count")->int_value(), 3);
+  EXPECT_EQ(verbs->Find("tree")->Find("window")->Find("count")->int_value(),
+            0);
+}
+
+TEST_F(ServiceTest, StatszCacheHitRateIsZeroWithoutLookups) {
+  QueryEngine engine(*snapshot_);
+  Service service(&engine);
+  auto json = Json::Parse(service.HandleLine("statsz"));
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("data")->Find("cache")->Find("hit_rate")->double_value(),
+            0.0);
+}
+
+TEST_F(ServiceTest, MetricszIsMultiLinePrometheusText) {
+  Service service(engine_);
+  const std::string text = service.HandleLine("metricsz");
+  // Raw exposition, not a JSON envelope.
+  EXPECT_NE(text.find("# TYPE "), std::string::npos);
+  ASSERT_GE(text.size(), 5u);
+  EXPECT_EQ(text.substr(text.size() - 5), "# EOF");
+  // LiveStats callback gauges surface without MetricsEnabled().
+  EXPECT_NE(text.find("cuisine_serve_uptime_seconds "), std::string::npos);
+  EXPECT_NE(text.find("cuisine_serve_tcp_active_connections "),
+            std::string::npos);
+  EXPECT_NE(text.find("cuisine_serve_table1_window_count "),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, AdminVerbsAreUnmetered) {
+  obs::SetMetricsEnabled(true);
+  obs::ResetMetrics();
+  QueryEngine engine(*snapshot_);
+  Service service(&engine);
+  EXPECT_TRUE(IsOk(service.HandleLine("healthz")));
+  EXPECT_TRUE(IsOk(service.HandleLine("statsz")));
+  EXPECT_TRUE(IsOk(service.HandleLine("slowz")));
+  EXPECT_FALSE(service.HandleLine("metricsz").empty());
+  auto snapshot = obs::CollectMetrics();
+  EXPECT_EQ(snapshot.counters["serve.requests.ok"], 0);
+  EXPECT_EQ(snapshot.counters["serve.requests.error"], 0);
+  // ...and outside the engine's rolling windows and request ids...
+  EXPECT_EQ(engine.live().requests_recorded(), 0);
+  // ...but the protocol layer still counts them as handled lines.
+  EXPECT_EQ(service.requests_handled(), 4u);
+  obs::ResetMetrics();
+  obs::SetMetricsEnabled(false);
+}
+
+TEST_F(ServiceTest, AdminVerbsEnforceZeroArity) {
+  Service service(engine_);
+  for (const char* verb : {"healthz", "statsz", "metricsz", "slowz"}) {
+    const std::string response =
+        service.HandleLine(std::string(verb) + " extra");
+    EXPECT_FALSE(IsOk(response)) << verb;
+    EXPECT_NE(response.find("no arguments"), std::string::npos) << response;
+  }
+}
+
+TEST_F(ServiceTest, SlowzRecordsEveryRequestAtThresholdZero) {
+  QueryEngineOptions options;
+  options.live.slow_query_threshold_ms = 0;  // record everything
+  QueryEngine engine(*snapshot_, options);
+  Service service(&engine, /*connection_id=*/7);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  EXPECT_FALSE(IsOk(service.HandleLine("tree warp")));
+
+  const std::string response = service.HandleLine("slowz");
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  const Json* data = json->Find("data");
+  EXPECT_EQ(data->Find("threshold_ms")->int_value(), 0);
+  EXPECT_EQ(data->Find("recorded_total")->int_value(), 3);
+  const Json* entries = data->Find("entries");
+  ASSERT_EQ(entries->items().size(), 3u);
+
+  std::int64_t previous_id = 0;
+  for (const Json& entry : entries->items()) {
+    EXPECT_GT(entry.Find("request_id")->int_value(), previous_id);
+    previous_id = entry.Find("request_id")->int_value();
+    EXPECT_EQ(entry.Find("connection_id")->int_value(), 7);
+    EXPECT_GE(entry.Find("latency_ns")->int_value(), 0);
+    EXPECT_EQ(entry.Find("arg_digest")->string_value().size(), 16u);
+  }
+  const auto& items = entries->items();
+  EXPECT_EQ(items[0].Find("verb")->string_value(), "table1");
+  EXPECT_FALSE(items[0].Find("cache_hit")->bool_value());
+  EXPECT_TRUE(items[1].Find("cache_hit")->bool_value());  // repeat query
+  // Identical arguments digest identically; different verbs don't match.
+  EXPECT_EQ(items[0].Find("arg_digest")->string_value(),
+            items[1].Find("arg_digest")->string_value());
+  EXPECT_EQ(items[2].Find("verb")->string_value(), "tree");
+  EXPECT_FALSE(items[2].Find("ok")->bool_value());
+}
+
+TEST_F(ServiceTest, SlowRingStaysDisabledAtNegativeThreshold) {
+  QueryEngineOptions options;
+  options.live.slow_query_threshold_ms = -1;
+  QueryEngine engine(*snapshot_, options);
+  Service service(&engine);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  auto json = Json::Parse(service.HandleLine("slowz"));
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("data")->Find("recorded_total")->int_value(), 0);
+  EXPECT_TRUE(json->Find("data")->Find("entries")->items().empty());
 }
 
 }  // namespace

@@ -24,6 +24,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
 #include "serve/query.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
@@ -128,8 +129,9 @@ Snapshot* TcpServerTest::snapshot_ = nullptr;
 class RunningServer {
  public:
   explicit RunningServer(const Snapshot& snapshot,
-                         TcpServerOptions options = {})
-      : engine_(snapshot), server_(&engine_, options) {
+                         TcpServerOptions options = {},
+                         QueryEngineOptions engine_options = {})
+      : engine_(snapshot, engine_options), server_(&engine_, options) {
     auto start = server_.Start();
     CUISINE_CHECK(start.ok()) << start;
     thread_ = std::thread([this] {
@@ -336,6 +338,129 @@ TEST_F(TcpServerTest, ConcurrentClientsAllServed) {
   const auto stats = fixture.server().stats();
   EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(kClients));
   EXPECT_EQ(stats.shed, 0u);
+}
+
+TEST_F(TcpServerTest, ActiveConnectionsGaugeTracksClients) {
+  RunningServer fixture(*snapshot_);
+  LiveStats& live = fixture.engine().live();
+  {
+    TestClient a(fixture.port());
+    TestClient b(fixture.port());
+    TestClient c(fixture.port());
+    // A round-trip per client guarantees all three accepts are done.
+    for (TestClient* client : {&a, &b, &c}) {
+      client->Send("healthz\n");
+      EXPECT_TRUE(client->ReadLine().rfind("{\"ok\":true", 0) == 0);
+    }
+    EXPECT_EQ(live.active_connections(), 3);
+    EXPECT_EQ(live.peak_connections(), 3);
+    // The LiveStats callback gauges surface in every metrics snapshot —
+    // no SetMetricsEnabled needed, registration is the opt-in.
+    const auto snapshot = obs::CollectMetrics();
+    auto active = snapshot.gauges.find("serve.tcp.active_connections");
+    ASSERT_NE(active, snapshot.gauges.end());
+    EXPECT_EQ(active->second, 3);
+    auto uptime = snapshot.gauges.find("serve.uptime_seconds");
+    ASSERT_NE(uptime, snapshot.gauges.end());
+    EXPECT_GE(uptime->second, 0);
+  }
+  // Client destructors closed the sockets; the event loop notices EOF
+  // asynchronously, so poll the gauge down to zero.
+  for (int spin = 0; spin < 5000 && live.active_connections() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(live.active_connections(), 0);
+  EXPECT_EQ(live.peak_connections(), 3);
+  EXPECT_EQ(obs::CollectMetrics().gauges.at("serve.tcp.active_connections"),
+            0);
+}
+
+TEST_F(TcpServerTest, StatszOverTheWireReflectsTraffic) {
+  RunningServer fixture(*snapshot_);
+  TestClient client(fixture.port());
+  client.Send("table1 Korean\ntable1 Korean\nstatsz\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  const std::string response = client.ReadLine();
+  auto json = Json::Parse(response);
+  ASSERT_TRUE(json.ok()) << response;
+  ASSERT_TRUE(json->Find("ok")->bool_value()) << response;
+  const Json* data = json->Find("data");
+  EXPECT_EQ(data->Find("connections")->Find("active")->int_value(), 1);
+  EXPECT_EQ(data->Find("requests")->Find("total")->int_value(), 2);
+  EXPECT_EQ(data->Find("cache")->Find("hits")->int_value(), 1);
+  const Json* table1 = data->Find("verbs")->Find("table1");
+  EXPECT_EQ(table1->Find("window")->Find("count")->int_value(), 2);
+  EXPECT_GE(table1->Find("window")->Find("p99_ns")->int_value(),
+            table1->Find("window")->Find("p50_ns")->int_value());
+}
+
+TEST_F(TcpServerTest, MetricszOverTheWireEndsWithEof) {
+  RunningServer fixture(*snapshot_);
+  TestClient client(fixture.port());
+  client.Send("metricsz\n");
+  std::vector<std::string> lines;
+  while (true) {
+    lines.push_back(client.ReadLine());
+    if (lines.back() == "# EOF") break;
+    ASSERT_LT(lines.size(), 10000u) << "no # EOF terminator";
+  }
+  bool saw_live_gauge = false;
+  for (const std::string& line : lines) {
+    if (line.rfind("cuisine_serve_tcp_active_connections ", 0) == 0) {
+      saw_live_gauge = true;
+      EXPECT_EQ(line, "cuisine_serve_tcp_active_connections 1");
+    }
+  }
+  EXPECT_TRUE(saw_live_gauge);
+  // The connection stays usable after a multi-line response.
+  client.Send("healthz\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+}
+
+TEST_F(TcpServerTest, SlowzOverTheWireTagsConnectionIds) {
+  QueryEngineOptions engine_options;
+  engine_options.live.slow_query_threshold_ms = 0;  // record everything
+  RunningServer fixture(*snapshot_, {}, engine_options);
+  TestClient first(fixture.port());
+  TestClient second(fixture.port());
+  first.Send("table1 Korean\n");
+  EXPECT_FALSE(first.ReadLine().empty());
+  second.Send("tree euclidean\n");
+  EXPECT_FALSE(second.ReadLine().empty());
+
+  first.Send("slowz\n");
+  auto json = Json::Parse(first.ReadLine());
+  ASSERT_TRUE(json.ok());
+  const Json* entries = json->Find("data")->Find("entries");
+  ASSERT_EQ(entries->items().size(), 2u);
+  // Distinct connections carry distinct non-zero ids (0 = stdin).
+  const std::int64_t conn_a = entries->at(0).Find("connection_id")->int_value();
+  const std::int64_t conn_b = entries->at(1).Find("connection_id")->int_value();
+  EXPECT_GT(conn_a, 0);
+  EXPECT_GT(conn_b, 0);
+  EXPECT_NE(conn_a, conn_b);
+  EXPECT_EQ(entries->at(0).Find("verb")->string_value(), "table1");
+  EXPECT_EQ(entries->at(1).Find("verb")->string_value(), "tree");
+}
+
+TEST_F(TcpServerTest, ShedAndTimeoutFeedLiveTotals) {
+  TcpServerOptions options;
+  options.max_pending_requests = 2;
+  RunningServer fixture(*snapshot_, options);
+  fixture.server().set_paused(true);
+  TestClient client(fixture.port());
+  client.Send("table1 Korean\ntable1 Korean\ntable1 Korean\n");
+  fixture.AwaitRequests(3);
+  fixture.server().set_paused(false);
+  for (int i = 0; i < 3; ++i) client.ReadLine();
+  EXPECT_EQ(fixture.engine().live().shed_total(), 1);
+  // statsz agrees with the server's own counters.
+  client.Send("statsz\n");
+  auto json = Json::Parse(client.ReadLine());
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("data")->Find("overload")->Find("shed")->int_value(),
+            1);
 }
 
 }  // namespace

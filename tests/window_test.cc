@@ -1,0 +1,145 @@
+// WindowedHistogram (obs/window.h): the ring must keep observations
+// inside the rolling window, expire whole slots as time advances, and
+// never lose cumulative totals; quantile estimation interpolates inside
+// log buckets with exact edge semantics matching the metrics registry.
+
+#include "obs/window.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace cuisine {
+namespace obs {
+namespace {
+
+constexpr std::int64_t kSlotNs = 1'000;  // tiny slots keep the math obvious
+constexpr std::size_t kSlots = 4;
+
+std::vector<std::int64_t> Edges() { return {10, 100, 1000}; }
+
+TEST(HistogramQuantileTest, EmptyHistogramIsZero) {
+  HistogramSnapshot h;
+  h.edges = Edges();
+  h.buckets.assign(4, 0);
+  EXPECT_EQ(HistogramQuantile(h, 0.5), 0);
+}
+
+TEST(HistogramQuantileTest, InterpolatesInsideBucket) {
+  HistogramSnapshot h;
+  h.edges = Edges();
+  // 10 observations, all in the [10, 100) bucket.
+  h.buckets = {0, 10, 0, 0};
+  h.count = 10;
+  h.sum = 0;
+  // p50 → rank 5 of 10 → 50% through [10, 100).
+  EXPECT_EQ(HistogramQuantile(h, 0.5), 10 + (90 * 5) / 10);
+  // p100 → rank 10 → the bucket's upper edge.
+  EXPECT_EQ(HistogramQuantile(h, 1.0), 100);
+  // p0 clamps to rank 1.
+  EXPECT_EQ(HistogramQuantile(h, 0.0), 10 + 9);
+}
+
+TEST(HistogramQuantileTest, FirstBucketInterpolatesFromZero) {
+  HistogramSnapshot h;
+  h.edges = Edges();
+  h.buckets = {4, 0, 0, 0};
+  h.count = 4;
+  EXPECT_EQ(HistogramQuantile(h, 0.5), (10 * 2) / 4);
+}
+
+TEST(HistogramQuantileTest, OverflowBucketReportsLastEdge) {
+  HistogramSnapshot h;
+  h.edges = Edges();
+  h.buckets = {0, 0, 0, 3};
+  h.count = 3;
+  EXPECT_EQ(HistogramQuantile(h, 0.99), 1000);
+}
+
+TEST(HistogramQuantileTest, RanksSpanMultipleBuckets) {
+  HistogramSnapshot h;
+  h.edges = Edges();
+  h.buckets = {5, 4, 1, 0};
+  h.count = 10;
+  // rank 5 is the last of the first bucket.
+  EXPECT_EQ(HistogramQuantile(h, 0.5), 10);
+  // rank 9 is the last of the second bucket.
+  EXPECT_EQ(HistogramQuantile(h, 0.9), 100);
+  // rank 10 is the only entry of the third bucket.
+  EXPECT_EQ(HistogramQuantile(h, 1.0), 100 + 900 / 1);
+}
+
+TEST(WindowedHistogramTest, ObservationsLandInWindowAndCumulative) {
+  WindowedHistogram w(Edges(), kSlotNs, kSlots);
+  w.Observe(5, 0);
+  w.Observe(50, 500);
+  w.Observe(500, 1'500);
+  const HistogramSnapshot window = w.WindowSnapshot(1'500);
+  EXPECT_EQ(window.count, 3);
+  EXPECT_EQ(window.sum, 555);
+  EXPECT_EQ(window.buckets, (std::vector<std::int64_t>{1, 1, 1, 0}));
+  EXPECT_EQ(w.cumulative().count, 3);
+  EXPECT_EQ(w.cumulative().sum, 555);
+}
+
+TEST(WindowedHistogramTest, OldSlotsExpireFromWindowNotFromCumulative) {
+  WindowedHistogram w(Edges(), kSlotNs, kSlots);
+  w.Observe(5, 0);  // slot epoch 0
+  // Window is 4 slots: at now = 3,999 epoch 0 is still in [0..3].
+  EXPECT_EQ(w.WindowSnapshot(3'999).count, 1);
+  // At epoch 4 the window covers [1..4]; epoch 0 is gone.
+  EXPECT_EQ(w.WindowSnapshot(4'000).count, 0);
+  // A new observation recycles the ring slot epoch 0 occupied.
+  w.Observe(50, 4'500);
+  const HistogramSnapshot window = w.WindowSnapshot(4'500);
+  EXPECT_EQ(window.count, 1);
+  EXPECT_EQ(window.buckets, (std::vector<std::int64_t>{0, 1, 0, 0}));
+  EXPECT_EQ(w.cumulative().count, 2);
+  EXPECT_EQ(w.cumulative().sum, 55);
+}
+
+TEST(WindowedHistogramTest, WindowMergesAcrossLiveSlots) {
+  WindowedHistogram w(Edges(), kSlotNs, kSlots);
+  for (std::int64_t slot = 0; slot < 4; ++slot) {
+    w.Observe(20, slot * kSlotNs + 1);
+  }
+  EXPECT_EQ(w.WindowSnapshot(3'999).count, 4);
+  // One slot ahead: the oldest of the four drops out.
+  w.Observe(20, 4'001);
+  EXPECT_EQ(w.WindowSnapshot(4'001).count, 4);
+  EXPECT_EQ(w.cumulative().count, 5);
+}
+
+TEST(WindowedHistogramTest, EdgeSemanticsMatchRegistryHistograms) {
+  // Bucket i counts values < edges[i]; an exact edge value lands in the
+  // next bucket — the same rule HistogramObserve applies.
+  WindowedHistogram w(Edges(), kSlotNs, kSlots);
+  w.Observe(9, 0);
+  w.Observe(10, 0);
+  w.Observe(999, 0);
+  w.Observe(1000, 0);
+  const HistogramSnapshot window = w.WindowSnapshot(0);
+  EXPECT_EQ(window.buckets, (std::vector<std::int64_t>{1, 1, 1, 1}));
+}
+
+TEST(WindowedHistogramTest, DeterministicForEqualObservationSequences) {
+  WindowedHistogram a(Edges(), kSlotNs, kSlots);
+  WindowedHistogram b(Edges(), kSlotNs, kSlots);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    a.Observe(i * 7 % 1200, i * 37);
+    b.Observe(i * 7 % 1200, i * 37);
+  }
+  EXPECT_EQ(a.WindowSnapshot(99 * 37), b.WindowSnapshot(99 * 37));
+  EXPECT_EQ(a.cumulative(), b.cumulative());
+}
+
+TEST(WindowedHistogramTest, WindowNsReportsGeometry) {
+  WindowedHistogram w(Edges(), kSlotNs, kSlots);
+  EXPECT_EQ(w.window_ns(), kSlotNs * static_cast<std::int64_t>(kSlots));
+  EXPECT_EQ(w.slot_ns(), kSlotNs);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace cuisine
