@@ -12,6 +12,8 @@
 //   cuisine_cli validate
 //   cuisine_cli export     [--patterns out.csv] [--features out.csv]
 //   cuisine_cli snapshot   [--out snapshot.bin] [--support P]
+//                          [--codec none|delta|lz]
+//   cuisine_cli snapshot inspect [--in snapshot.bin]
 //   cuisine_cli serve      [--snapshot snapshot.bin] [--cache N]
 //                          [--port P] [--max-pending N] [--timeout-ms T]
 //                          [--slow-query-ms T]
@@ -19,8 +21,12 @@
 // Every command generates (or loads) the calibrated corpus first; use
 // --scale to work with a smaller one. `serve` instead answers queries
 // from a snapshot over a stdin/stdout line protocol (see README
-// "Serving & snapshots"). Unknown commands or flags print usage to
-// stderr and exit non-zero.
+// "Serving & snapshots"); it opens the snapshot lazily, so startup cost
+// is the header read, and sections decode on first use. `snapshot
+// inspect` prints the section index (codec, sizes, compression ratio)
+// without decoding any payload. Unknown commands or flags print usage
+// to stderr and exit non-zero. Flags accept both "--flag value" and
+// "--flag=value".
 //
 // Common flags: --quiet raises the log threshold to errors; --report
 // out.json writes an observability run report (span tree + metrics, see
@@ -58,7 +64,7 @@ namespace {
 
 using cuisine::FormatDouble;
 
-// Minimal --flag / --flag value parser.
+// Minimal --flag / --flag value / --flag=value parser.
 class Args {
  public:
   Args(int argc, char** argv) {
@@ -66,7 +72,11 @@ class Args {
       std::string arg = argv[i];
       if (arg.rfind("--", 0) == 0) {
         std::string key = arg.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        const std::size_t eq = key.find('=');
+        if (eq != std::string::npos) {
+          values_[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
           values_[key] = argv[++i];
         } else {
           values_[key] = "";
@@ -325,13 +335,59 @@ int CmdSnapshot(const Args& args) {
   auto snap = cuisine::serve::BuildSnapshot(run->dataset, *run, config);
   if (!snap.ok()) return Fail(snap.status());
   std::string out = args.Get("out", "snapshot.bin");
-  std::string bytes = cuisine::serve::SerializeSnapshot(*snap);
+  cuisine::serve::SnapshotWriteOptions wopt;
+  if (args.Has("codec")) {
+    auto id = cuisine::serve::codec::ParseCodecId(args.Get("codec", ""));
+    if (!id.ok()) return Fail(id.status());
+    wopt.codec_override = *id;
+  }
+  std::string bytes = cuisine::serve::SerializeSnapshot(*snap, wopt);
   cuisine::Status st = cuisine::WriteStringToFile(out, bytes);
   if (!st.ok()) return Fail(st);
   std::cout << "wrote snapshot (" << snap->summary.cuisine_names.size()
             << " cuisines, " << snap->trees.size() << " trees, "
             << cuisine::FormatCount(bytes.size()) << " bytes) to " << out
             << "\n";
+  return 0;
+}
+
+// `snapshot inspect`: the section index straight off the header — codec,
+// placement and per-section compression ratio, no payload decoded.
+int CmdSnapshotInspect(const Args& args) {
+  const std::string path = args.Get("in", "snapshot.bin");
+  auto bytes = cuisine::ReadFileToString(path);
+  if (!bytes.ok()) return Fail(bytes.status());
+  auto sections = cuisine::serve::InspectSnapshot(*bytes);
+  if (!sections.ok()) {
+    return Fail(cuisine::Status(sections.status().code(),
+                                path + ": " + sections.status().message()));
+  }
+  std::cout << path << ": " << bytes->substr(0, 8) << ", "
+            << cuisine::FormatCount(bytes->size()) << " bytes, "
+            << sections->size() << " sections\n";
+  cuisine::TextTable table(
+      {"Section", "Codec", "Offset", "Stored", "Raw", "Ratio"});
+  std::uint64_t stored_total = 0;
+  std::uint64_t raw_total = 0;
+  for (const cuisine::serve::SnapshotSectionInfo& s : *sections) {
+    stored_total += s.stored_size;
+    raw_total += s.raw_size;
+    const double ratio =
+        s.stored_size == 0 ? 1.0
+                           : static_cast<double>(s.raw_size) /
+                                 static_cast<double>(s.stored_size);
+    table.AddRow({std::string(cuisine::serve::SnapshotSectionName(s.id)),
+                  std::string(cuisine::serve::codec::CodecName(s.codec)),
+                  std::to_string(s.offset), std::to_string(s.stored_size),
+                  std::to_string(s.raw_size), FormatDouble(ratio, 2)});
+  }
+  const double total_ratio =
+      stored_total == 0 ? 1.0
+                        : static_cast<double>(raw_total) /
+                              static_cast<double>(stored_total);
+  table.AddRow({"total", "", "", std::to_string(stored_total),
+                std::to_string(raw_total), FormatDouble(total_ratio, 2)});
+  std::cout << table.Render();
   return 0;
 }
 
@@ -407,14 +463,17 @@ int CmdServe(const Args& args) {
   // A long-running server wants scrape-able counters: metricsz renders
   // whatever the registry recorded, so recording must be on.
   cuisine::obs::SetMetricsEnabled(true);
-  auto snap = cuisine::serve::LoadSnapshot(args.Get("snapshot", "snapshot.bin"));
-  if (!snap.ok()) return Fail(snap.status());
+  // Lazy open: header + section table only. Sections (and their decode
+  // cost) are paged in by the first query that touches them.
+  auto handle = cuisine::serve::SnapshotHandle::OpenFile(
+      args.Get("snapshot", "snapshot.bin"));
+  if (!handle.ok()) return Fail(handle.status());
   cuisine::serve::QueryEngineOptions qopt;
   qopt.cache_capacity =
       static_cast<std::size_t>(args.GetDouble("cache", 1024));
   qopt.live.slow_query_threshold_ms =
       static_cast<std::int64_t>(slow_query_ms);
-  cuisine::serve::QueryEngine engine(*std::move(snap), qopt);
+  cuisine::serve::QueryEngine engine(std::move(handle).value(), qopt);
   if (!args.Has("port")) {
     cuisine::serve::Service service(&engine);
     cuisine::Status st =
@@ -458,6 +517,9 @@ void Usage() {
       "  validate     §VII tree-vs-geography validation\n"
       "  export       patterns / feature matrix CSVs\n"
       "  snapshot     run the pipeline and persist a serveable snapshot\n"
+      "               (--codec none|delta|lz overrides per-section codecs)\n"
+      "  snapshot inspect  print a snapshot's section index (codec,\n"
+      "               sizes, compression ratio) without decoding it\n"
       "  serve        answer queries from a snapshot (stdin/stdout, or\n"
       "               a multi-client TCP server with --port)\n"
       "common flags: --scale S --seed N --in recipes.csv\n"
@@ -478,7 +540,8 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"fingerprint", {"cuisine", "top"}},
       {"validate", {}},
       {"export", {"patterns", "features", "support"}},
-      {"snapshot", {"out", "support"}},
+      {"snapshot", {"out", "support", "codec"}},
+      {"snapshot inspect", {}},
       {"serve", {"snapshot", "cache", "port", "max-pending", "timeout-ms",
                  "slow-query-ms"}},
   };
@@ -499,6 +562,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string command = argv[1];
+  // `snapshot inspect` is the one two-word command; the Args parser
+  // already skips the positional word.
+  if (command == "snapshot" && argc >= 3 &&
+      std::string(argv[2]) == "inspect") {
+    command = "snapshot inspect";
+  }
   auto flags_it = CommandFlags().find(command);
   if (flags_it == CommandFlags().end()) {
     std::cerr << "error: unknown command '" << command << "'\n";
@@ -539,6 +608,7 @@ int main(int argc, char** argv) {
   if (command == "fingerprint") return CmdFingerprint(args);
   if (command == "validate") return CmdValidate(args);
   if (command == "export") return CmdExport(args);
+  if (command == "snapshot inspect") return CmdSnapshotInspect(args);
   if (command == "snapshot") return CmdSnapshot(args);
   if (command == "serve") return CmdServe(args);
   Usage();

@@ -46,6 +46,14 @@ void BinaryWriter::WriteI64(std::int64_t value) {
   WriteU64(static_cast<std::uint64_t>(value));
 }
 
+void BinaryWriter::WriteUvarint(std::uint64_t value) {
+  while (value >= 0x80u) {
+    out_.push_back(static_cast<char>((value & 0x7Fu) | 0x80u));
+    value >>= 7;
+  }
+  out_.push_back(static_cast<char>(value));
+}
+
 void BinaryWriter::WriteF64(double value) {
   WriteU64(std::bit_cast<std::uint64_t>(value));
 }
@@ -142,6 +150,27 @@ Status BinaryReader::ReadI64(std::int64_t* out) {
   CUISINE_RETURN_NOT_OK(ReadU64(&v));
   *out = static_cast<std::int64_t>(v);
   return Status::OK();
+}
+
+Status BinaryReader::ReadUvarint(std::uint64_t* out) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::uint8_t byte = 0;
+    CUISINE_RETURN_NOT_OK(ReadU8(&byte));
+    // Byte 10 may only carry the u64's last bit; anything more is an
+    // overlong or >64-bit encoding that no writer produces.
+    if (i == 9 && (byte & 0xFEu) != 0) {
+      return Status::ParseError("varint exceeds 64 bits at offset " +
+                                std::to_string(pos_ - 10));
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7Fu) << (7 * i);
+    if ((byte & 0x80u) == 0) {
+      *out = value;
+      return Status::OK();
+    }
+  }
+  return Status::ParseError("varint longer than 10 bytes at offset " +
+                            std::to_string(pos_ - 10));
 }
 
 Status BinaryReader::ReadF64(double* out) {

@@ -20,6 +20,18 @@
 
 namespace cuisine {
 
+/// ZigZag mapping (protobuf's sint64 trick): small-magnitude signed
+/// values — the common case for deltas between neighbouring integers —
+/// become small unsigned values, which the varint encoding then stores
+/// in few bytes. Bit-exact inverse for every int64, INT64_MIN included.
+constexpr std::uint64_t ZigZagEncode64(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+constexpr std::int64_t ZigZagDecode64(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
 /// Append-only little-endian encoder.
 class BinaryWriter {
  public:
@@ -28,6 +40,9 @@ class BinaryWriter {
   void WriteU32(std::uint32_t value);
   void WriteU64(std::uint64_t value);
   void WriteI64(std::int64_t value);
+  /// LEB128 unsigned varint: 7 payload bits per byte, high bit = "more
+  /// follows"; 1 byte for values < 128, at most 10 bytes for any u64.
+  void WriteUvarint(std::uint64_t value);
   /// IEEE-754 bit pattern, little-endian — bit-exact round trip.
   void WriteF64(double value);
   /// Raw bytes, no length prefix.
@@ -64,6 +79,10 @@ class BinaryReader {
   Status ReadU64(std::uint64_t* out);
   Status ReadI64(std::int64_t* out);
   Status ReadF64(double* out);
+  /// Strict LEB128 inverse of WriteUvarint: ParseError on truncation, on
+  /// an 11th continuation byte, and on a 10th byte carrying bits beyond
+  /// the 64th (an overlong encoding can never round-trip).
+  Status ReadUvarint(std::uint64_t* out);
   /// Reads exactly `size` raw bytes.
   Status ReadBytes(std::size_t size, std::string* out);
   Status ReadString(std::string* out);

@@ -1,0 +1,369 @@
+#include "serve/codec.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/binio.h"
+#include "common/hash.h"
+
+namespace cuisine {
+namespace serve {
+namespace codec {
+namespace {
+
+std::uint64_t LoadLe64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint32_t LoadLe32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+// --- LZ internals ---------------------------------------------------
+//
+// Token stream: [token u8 = lit_run<<4 | match_len-4] per sequence.
+// A nibble of 15 extends through a following uvarint. Literal bytes
+// follow the token; a 2-byte little-endian offset and the match extension
+// follow the literals — except in a final literals-only sequence, which
+// simply exhausts the input. Matches are found greedily through a
+// 4-byte-prefix hash table; offsets never exceed 16 bits, so blocks are
+// self-contained at the default 64 KiB block size.
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 0xFFFF;
+constexpr int kHashBits = 13;
+
+std::uint32_t HashPrefix(const char* p) {
+  return (LoadLe32(p) * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::string_view CodecName(CodecId id) {
+  switch (id) {
+    case CodecId::kNone:
+      return "none";
+    case CodecId::kDelta:
+      return "delta";
+    case CodecId::kLz:
+      return "lz";
+  }
+  return "unknown";
+}
+
+Result<CodecId> ParseCodecId(std::string_view name) {
+  if (name == "none") return CodecId::kNone;
+  if (name == "delta") return CodecId::kDelta;
+  if (name == "lz") return CodecId::kLz;
+  return Status::InvalidArgument("unknown codec '" + std::string(name) +
+                                 "' (want none|delta|lz)");
+}
+
+bool IsKnownCodecId(std::uint32_t id) {
+  return id <= static_cast<std::uint32_t>(CodecId::kLz);
+}
+
+std::string DeltaEncode(std::string_view raw) {
+  BinaryWriter w;
+  const std::size_t words = raw.size() / 8;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t v = LoadLe64(raw.data() + 8 * i);
+    w.WriteUvarint(ZigZagEncode64(static_cast<std::int64_t>(v - prev)));
+    prev = v;
+  }
+  w.WriteBytes(raw.substr(words * 8));  // < 8-byte tail travels verbatim
+  return w.Take();
+}
+
+Result<std::string> DeltaDecode(std::string_view encoded,
+                                std::size_t raw_size) {
+  BinaryReader r(encoded);
+  const std::size_t words = raw_size / 8;
+  const std::size_t tail = raw_size % 8;
+  BinaryWriter out;
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    std::uint64_t zz = 0;
+    CUISINE_RETURN_NOT_OK(r.ReadUvarint(&zz));
+    prev += static_cast<std::uint64_t>(ZigZagDecode64(zz));
+    out.WriteU64(prev);
+  }
+  if (r.remaining() != tail) {
+    return Status::ParseError(
+        "delta stream tail is " + std::to_string(r.remaining()) +
+        " bytes; raw size " + std::to_string(raw_size) + " requires " +
+        std::to_string(tail));
+  }
+  std::string tail_bytes;
+  CUISINE_RETURN_NOT_OK(r.ReadBytes(tail, &tail_bytes));
+  out.WriteBytes(tail_bytes);
+  return out.Take();
+}
+
+std::string LzEncode(std::string_view raw) {
+  BinaryWriter w;
+  const std::size_t n = raw.size();
+  std::vector<std::int32_t> head(std::size_t{1} << kHashBits, -1);
+
+  std::size_t pos = 0;
+  std::size_t literal_start = 0;
+  const std::size_t match_limit = n >= kMinMatch ? n - kMinMatch + 1 : 0;
+
+  const auto emit_sequence = [&](std::size_t match_pos, std::size_t offset,
+                                 std::size_t match_len) {
+    const std::size_t lit = match_pos - literal_start;
+    const std::size_t lit_nibble = lit < 15 ? lit : 15;
+    if (match_len == 0) {
+      // Final literals-only sequence: no offset follows.
+      w.WriteU8(static_cast<std::uint8_t>(lit_nibble << 4));
+      if (lit_nibble == 15) w.WriteUvarint(lit - 15);
+      w.WriteBytes(raw.substr(literal_start, lit));
+      return;
+    }
+    const std::size_t match_code = match_len - kMinMatch;
+    const std::size_t match_nibble = match_code < 15 ? match_code : 15;
+    w.WriteU8(static_cast<std::uint8_t>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) w.WriteUvarint(lit - 15);
+    w.WriteBytes(raw.substr(literal_start, lit));
+    w.WriteU16(static_cast<std::uint16_t>(offset));
+    if (match_nibble == 15) w.WriteUvarint(match_code - 15);
+  };
+
+  while (pos < match_limit) {
+    const std::uint32_t h = HashPrefix(raw.data() + pos);
+    const std::int32_t candidate = head[h];
+    head[h] = static_cast<std::int32_t>(pos);
+    if (candidate < 0 ||
+        pos - static_cast<std::size_t>(candidate) > kMaxOffset ||
+        std::memcmp(raw.data() + candidate, raw.data() + pos, kMinMatch) !=
+            0) {
+      ++pos;
+      continue;
+    }
+    std::size_t len = kMinMatch;
+    const std::size_t cand = static_cast<std::size_t>(candidate);
+    while (pos + len < n && raw[cand + len] == raw[pos + len]) ++len;
+    emit_sequence(pos, pos - cand, len);
+    // Seed the table through the match so later data can reference it.
+    const std::size_t insert_end = std::min(pos + len, match_limit);
+    for (std::size_t i = pos + 1; i < insert_end; ++i) {
+      head[HashPrefix(raw.data() + i)] = static_cast<std::int32_t>(i);
+    }
+    pos += len;
+    literal_start = pos;
+  }
+  if (literal_start < n) emit_sequence(n, 0, 0);
+  return w.Take();
+}
+
+Result<std::string> LzDecode(std::string_view encoded, std::size_t raw_size) {
+  std::string out;
+  out.reserve(raw_size);
+  BinaryReader r(encoded);
+  while (!r.AtEnd()) {
+    std::uint8_t token = 0;
+    CUISINE_RETURN_NOT_OK(r.ReadU8(&token));
+    std::size_t lit = token >> 4;
+    if (lit == 15) {
+      std::uint64_t ext = 0;
+      CUISINE_RETURN_NOT_OK(r.ReadUvarint(&ext));
+      if (ext > raw_size) {
+        return Status::ParseError("lz literal run exceeds the raw size");
+      }
+      lit += static_cast<std::size_t>(ext);
+    }
+    if (lit > r.remaining() || out.size() + lit > raw_size) {
+      return Status::ParseError("lz literal run of " + std::to_string(lit) +
+                                " bytes overruns the block");
+    }
+    std::string literals;
+    CUISINE_RETURN_NOT_OK(r.ReadBytes(lit, &literals));
+    out += literals;
+    if (r.AtEnd()) {
+      if ((token & 0x0F) != 0) {
+        return Status::ParseError(
+            "lz stream truncated: match promised after final literals");
+      }
+      break;
+    }
+    std::uint16_t offset = 0;
+    CUISINE_RETURN_NOT_OK(r.ReadU16(&offset));
+    if (offset == 0 || offset > out.size()) {
+      return Status::ParseError("lz back-reference offset " +
+                                std::to_string(offset) + " outside the " +
+                                std::to_string(out.size()) +
+                                " bytes decoded so far");
+    }
+    std::size_t match_len = (token & 0x0F) + kMinMatch;
+    if ((token & 0x0F) == 15) {
+      std::uint64_t ext = 0;
+      CUISINE_RETURN_NOT_OK(r.ReadUvarint(&ext));
+      if (ext > raw_size) {
+        return Status::ParseError("lz match length exceeds the raw size");
+      }
+      match_len += static_cast<std::size_t>(ext);
+    }
+    if (out.size() + match_len > raw_size) {
+      return Status::ParseError("lz match of " + std::to_string(match_len) +
+                                " bytes overruns the raw size");
+    }
+    // Byte-at-a-time copy: overlapping matches (offset < match_len)
+    // replicate the just-written bytes, RLE-style.
+    std::size_t from = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) out += out[from + i];
+  }
+  if (out.size() != raw_size) {
+    return Status::ParseError("lz stream decodes to " +
+                              std::to_string(out.size()) + " bytes; block "
+                              "header promised " + std::to_string(raw_size));
+  }
+  return out;
+}
+
+namespace {
+
+std::string EncodeBlock(CodecId id, std::string_view raw) {
+  switch (id) {
+    case CodecId::kDelta:
+      return DeltaEncode(raw);
+    case CodecId::kLz:
+      return LzEncode(raw);
+    case CodecId::kNone:
+      break;
+  }
+  return std::string(raw);
+}
+
+Result<std::string> DecodeBlock(CodecId id, std::string_view stored,
+                                std::size_t raw_size) {
+  switch (id) {
+    case CodecId::kDelta:
+      return DeltaDecode(stored, raw_size);
+    case CodecId::kLz:
+      return LzDecode(stored, raw_size);
+    case CodecId::kNone:
+      break;
+  }
+  return Status::ParseError(
+      "codec 'none' frame carries a codec-encoded block");
+}
+
+}  // namespace
+
+std::string CompressFrame(CodecId id, std::string_view raw,
+                          std::size_t block_bytes) {
+  BinaryWriter w;
+  const std::size_t blocks =
+      raw.empty() ? 0 : (raw.size() + block_bytes - 1) / block_bytes;
+  w.WriteU32(static_cast<std::uint32_t>(blocks));
+  w.WriteU64(raw.size());
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::string_view block = raw.substr(
+        b * block_bytes, std::min(block_bytes, raw.size() - b * block_bytes));
+    std::uint8_t encoding = kBlockEncodingRaw;
+    std::string stored;
+    if (id != CodecId::kNone) {
+      stored = EncodeBlock(id, block);
+      if (stored.size() < block.size()) {
+        encoding = kBlockEncodingCodec;
+      } else {
+        stored.assign(block.data(), block.size());  // raw fallback
+      }
+    } else {
+      stored.assign(block.data(), block.size());
+    }
+    w.WriteU32(static_cast<std::uint32_t>(block.size()));
+    w.WriteU32(static_cast<std::uint32_t>(stored.size()));
+    w.WriteU32(Crc32c::Of(block));
+    w.WriteU32(Crc32c::Of(stored));
+    w.WriteU8(encoding);
+    w.WriteBytes(stored);
+  }
+  return w.Take();
+}
+
+Result<std::string> DecompressFrame(CodecId id, std::string_view framed,
+                                    std::uint64_t expected_raw_size) {
+  BinaryReader r(framed);
+  std::uint32_t blocks = 0;
+  std::uint64_t raw_total = 0;
+  CUISINE_RETURN_NOT_OK(r.ReadU32(&blocks));
+  CUISINE_RETURN_NOT_OK(r.ReadU64(&raw_total));
+  if (raw_total != expected_raw_size) {
+    return Status::ParseError(
+        "section frame claims " + std::to_string(raw_total) +
+        " raw bytes; the section index records " +
+        std::to_string(expected_raw_size));
+  }
+  std::string out;
+  out.reserve(raw_total);
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    std::uint32_t raw_size = 0;
+    std::uint32_t stored_size = 0;
+    std::uint32_t raw_crc = 0;
+    std::uint32_t stored_crc = 0;
+    std::uint8_t encoding = 0;
+    CUISINE_RETURN_NOT_OK(r.ReadU32(&raw_size));
+    CUISINE_RETURN_NOT_OK(r.ReadU32(&stored_size));
+    CUISINE_RETURN_NOT_OK(r.ReadU32(&raw_crc));
+    CUISINE_RETURN_NOT_OK(r.ReadU32(&stored_crc));
+    CUISINE_RETURN_NOT_OK(r.ReadU8(&encoding));
+    if (stored_size > r.remaining()) {
+      return Status::ParseError(
+          "block " + std::to_string(b) + " truncated: stores " +
+          std::to_string(stored_size) + " bytes, frame has " +
+          std::to_string(r.remaining()));
+    }
+    const std::string_view stored =
+        framed.substr(r.position(), stored_size);
+    std::string skip;
+    CUISINE_RETURN_NOT_OK(r.ReadBytes(stored_size, &skip));
+    if (Crc32c::Of(stored) != stored_crc) {
+      return Status::ParseError("block " + std::to_string(b) +
+                                " compressed-side checksum mismatch");
+    }
+    std::string raw;
+    if (encoding == kBlockEncodingRaw) {
+      raw.assign(stored.data(), stored.size());
+    } else if (encoding == kBlockEncodingCodec) {
+      auto decoded = DecodeBlock(id, stored, raw_size);
+      if (!decoded.ok()) return decoded.status();
+      raw = std::move(decoded).value();
+    } else {
+      return Status::ParseError("block " + std::to_string(b) +
+                                " has unknown encoding flag " +
+                                std::to_string(encoding));
+    }
+    if (raw.size() != raw_size) {
+      return Status::ParseError(
+          "block " + std::to_string(b) + " decodes to " +
+          std::to_string(raw.size()) + " bytes; header promised " +
+          std::to_string(raw_size));
+    }
+    if (Crc32c::Of(raw) != raw_crc) {
+      return Status::ParseError("block " + std::to_string(b) +
+                                " raw-side checksum mismatch");
+    }
+    if (out.size() + raw.size() > raw_total) {
+      return Status::ParseError("blocks decode past the frame's " +
+                                std::to_string(raw_total) + " raw bytes");
+    }
+    out += raw;
+  }
+  CUISINE_RETURN_NOT_OK(r.ExpectEnd());
+  if (out.size() != raw_total) {
+    return Status::ParseError("frame blocks cover " +
+                              std::to_string(out.size()) + " of " +
+                              std::to_string(raw_total) + " raw bytes");
+  }
+  return out;
+}
+
+}  // namespace codec
+}  // namespace serve
+}  // namespace cuisine

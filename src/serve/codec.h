@@ -1,0 +1,96 @@
+// Block codec layer for CUSNAP02 snapshot sections (serve/snapshot.h).
+//
+// Two from-scratch lossless byte codecs plus a passthrough:
+//
+//   kNone   stored bytes == raw bytes (CUSNAP01 semantics, but framed).
+//   kDelta  the raw bytes are treated as a stream of little-endian u64
+//           words (plus an untouched < 8-byte tail); each word is stored
+//           as the zig-zag varint of its difference from the previous
+//           word. Integer-heavy sections — pattern counts, tree merge
+//           indices, label-encoded features — are runs of nearby values,
+//           so most deltas fit in one or two bytes.
+//   kLz     greedy LZ77 with back-references (LZ4-shaped token stream:
+//           literal-run length, match length, 16-bit offset). Rendered
+//           strings — pattern text, cuisine names, Newick labels —
+//           repeat heavily within a section, which is exactly what
+//           back-references capture.
+//
+// Sections are stored as a *frame* of independent blocks so a lazy pager
+// can verify and decode without touching the rest of the file:
+//
+//   [block_count u32][raw_total u64]
+//   per block: [raw_size u32][stored_size u32]
+//              [raw_crc32c u32][stored_crc32c u32]
+//              [encoding u8: 0 = raw bytes, 1 = codec output]
+//              [stored bytes]
+//
+// Every block carries CRC32C on BOTH sides: the stored (compressed) CRC
+// is checked before any decode touches the payload, and the raw CRC is
+// checked after decode, so a decoder bug or a wrong codec id can never
+// hand back silently-wrong bytes. A block whose codec output would not
+// shrink it is stored raw (encoding 0), which bounds every frame at
+// raw_size + per-block header overhead — incompressible input never
+// blows up. All integers little-endian via common/binio.h; encoding is
+// deterministic (equal input bytes yield equal frames).
+
+#ifndef CUISINE_SERVE_CODEC_H_
+#define CUISINE_SERVE_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace cuisine {
+namespace serve {
+namespace codec {
+
+enum class CodecId : std::uint32_t {
+  kNone = 0,
+  kDelta = 1,
+  kLz = 2,
+};
+
+/// "none", "delta", "lz".
+std::string_view CodecName(CodecId id);
+Result<CodecId> ParseCodecId(std::string_view name);
+/// False for ids no decoder exists for (corrupt or future files).
+bool IsKnownCodecId(std::uint32_t id);
+
+/// Raw block transforms, no framing, no CRCs. Encode never fails (any
+/// byte string is encodable); Decode is the strict inverse and needs the
+/// original size (the frame carries it) to bound and verify the output.
+std::string DeltaEncode(std::string_view raw);
+Result<std::string> DeltaDecode(std::string_view encoded,
+                                std::size_t raw_size);
+std::string LzEncode(std::string_view raw);
+Result<std::string> LzDecode(std::string_view encoded, std::size_t raw_size);
+
+/// Frame layout constants (tests poke faults at exact offsets).
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 8;
+inline constexpr std::size_t kBlockHeaderBytes = 4 + 4 + 4 + 4 + 1;
+inline constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+inline constexpr std::uint8_t kBlockEncodingRaw = 0;
+inline constexpr std::uint8_t kBlockEncodingCodec = 1;
+
+/// Splits `raw` into blocks of `block_bytes` and encodes each with `id`,
+/// falling back to a raw block whenever the codec does not shrink it.
+/// The result is at most kFrameHeaderBytes + raw.size() +
+/// ceil(raw.size() / block_bytes) * kBlockHeaderBytes bytes.
+std::string CompressFrame(CodecId id, std::string_view raw,
+                          std::size_t block_bytes = kDefaultBlockBytes);
+
+/// Strict inverse of CompressFrame: verifies the stored CRC before
+/// decoding and the raw CRC after, rejects truncated blocks, trailing
+/// bytes, unknown encodings, and any disagreement with
+/// `expected_raw_size` — never returns partial output.
+Result<std::string> DecompressFrame(CodecId id, std::string_view framed,
+                                    std::uint64_t expected_raw_size);
+
+}  // namespace codec
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_CODEC_H_

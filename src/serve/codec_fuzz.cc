@@ -1,0 +1,211 @@
+#include "serve/codec_fuzz.h"
+
+#include <cstddef>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "serve/codec.h"
+
+namespace cuisine {
+namespace serve {
+namespace codec {
+
+namespace {
+
+// splitmix64: tiny, deterministic, and good enough to decorrelate the
+// shape, size and content of neighbouring seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t Next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+void AppendWord(std::string* out, std::uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((word >> (8 * i)) & 0xFF));
+  }
+}
+
+std::size_t FrameSizeBound(std::size_t raw_size, std::size_t block_bytes) {
+  const std::size_t blocks =
+      raw_size == 0 ? 0 : (raw_size + block_bytes - 1) / block_bytes;
+  return kFrameHeaderBytes + raw_size + blocks * kBlockHeaderBytes;
+}
+
+Status FuzzFailure(std::uint64_t seed, CodecId id, std::size_t block_bytes,
+                   const std::string& what) {
+  return Status::Internal("codec fuzz seed " + std::to_string(seed) +
+                          ", codec '" + std::string(CodecName(id)) +
+                          "', block_bytes " + std::to_string(block_bytes) +
+                          ": " + what);
+}
+
+Status CheckSeedWithCodec(std::uint64_t seed, CodecId id,
+                          std::size_t block_bytes, const std::string& raw,
+                          SplitMix64& rng) {
+  const std::string frame = CompressFrame(id, raw, block_bytes);
+  if (frame.size() > FrameSizeBound(raw.size(), block_bytes)) {
+    return FuzzFailure(seed, id, block_bytes,
+                       "frame of " + std::to_string(frame.size()) +
+                           " bytes exceeds the documented bound for " +
+                           std::to_string(raw.size()) + " raw bytes");
+  }
+  auto round = DecompressFrame(id, frame, raw.size());
+  if (!round.ok()) {
+    return FuzzFailure(seed, id, block_bytes,
+                       "round trip rejected its own frame: " +
+                           std::string(round.status().message()));
+  }
+  if (*round != raw) {
+    return FuzzFailure(seed, id, block_bytes,
+                       "round trip decoded to different bytes");
+  }
+  // Encoding is deterministic.
+  if (CompressFrame(id, raw, block_bytes) != frame) {
+    return FuzzFailure(seed, id, block_bytes,
+                       "same input produced two different frames");
+  }
+  // The frame pins the raw size; any other expectation is rejected.
+  if (DecompressFrame(id, frame, raw.size() + 1).ok()) {
+    return FuzzFailure(seed, id, block_bytes,
+                       "accepted a wrong expected raw size");
+  }
+  // Single-byte corruption probes at rng-chosen offsets. The dual CRCs
+  // (or a header-field disagreement) must turn every flip into a clean
+  // non-OK Status; an OK result is only acceptable if the decoded bytes
+  // are still exactly right (impossible for a real flip, but the
+  // invariant we care about is "never silently wrong").
+  const int probes = frame.empty() ? 0 : 8;
+  for (int p = 0; p < probes; ++p) {
+    std::string mutated = frame;
+    const std::size_t pos = rng.Next() % mutated.size();
+    mutated[pos] ^= static_cast<char>(1u << (rng.Next() % 8));
+    auto r = DecompressFrame(id, mutated, raw.size());
+    if (r.ok() && *r != raw) {
+      return FuzzFailure(seed, id, block_bytes,
+                         "byte flip at offset " + std::to_string(pos) +
+                             " decoded OK to wrong bytes");
+    }
+  }
+  // Truncation at an rng-chosen point is always rejected.
+  if (!frame.empty()) {
+    const std::size_t keep = rng.Next() % frame.size();
+    if (DecompressFrame(id, std::string_view(frame).substr(0, keep),
+                        raw.size())
+            .ok()) {
+      return FuzzFailure(seed, id, block_bytes,
+                         "accepted a " + std::to_string(keep) +
+                             "-byte truncated frame");
+    }
+  }
+  // Trailing garbage is always rejected.
+  if (DecompressFrame(id, frame + "x", raw.size()).ok()) {
+    return FuzzFailure(seed, id, block_bytes,
+                       "accepted a frame with trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string FuzzInput(std::uint64_t seed) {
+  SplitMix64 rng(seed * 0x100000001B3ull + 0xCBF29CE484222325ull);
+  const std::uint64_t shape = seed % 8;
+  // Mostly small inputs; every 17th seed is big enough to span multiple
+  // 64 KiB default blocks.
+  const std::size_t budget =
+      (seed % 17 == 0) ? 64 * 1024 * 3 + static_cast<std::size_t>(
+                                             rng.Next() % 1024)
+                       : static_cast<std::size_t>(rng.Next() % 4096);
+  std::string out;
+  out.reserve(budget + 8);
+  switch (shape) {
+    case 0:  // empty
+      break;
+    case 1: {  // all-equal words: the delta codec's best case
+      const std::uint64_t v = rng.Next();
+      for (std::size_t i = 0; i + 8 <= budget; i += 8) AppendWord(&out, v);
+      break;
+    }
+    case 2: {  // strictly decreasing words: every delta is negative
+      std::uint64_t v = std::numeric_limits<std::uint64_t>::max();
+      for (std::size_t i = 0; i + 8 <= budget; i += 8) {
+        AppendWord(&out, v);
+        v -= 1 + (rng.Next() % 1000);
+      }
+      break;
+    }
+    case 3: {  // alternating 0 / 1<<63: INT64_MIN and INT64_MAX+1 deltas
+      for (std::size_t i = 0; i + 8 <= budget; i += 8) {
+        AppendWord(&out, (i / 8) % 2 == 0 ? 0ull : 0x8000000000000000ull);
+      }
+      break;
+    }
+    case 4: {  // incompressible random bytes: forces the raw fallback
+      for (std::size_t i = 0; i + 8 <= budget; i += 8) {
+        AppendWord(&out, rng.Next());
+      }
+      while (out.size() < budget) {
+        out.push_back(static_cast<char>(rng.Next() & 0xFF));
+      }
+      break;
+    }
+    case 5: {  // repetitive text: the lz codec's best case
+      static constexpr std::string_view kPhrases[] = {
+          "onion + garlic + ginger", "rice", "soy sauce",
+          "simmer until reduced, then ", "Korean\tJapanese\tThai\n"};
+      while (out.size() < budget) {
+        out.append(kPhrases[rng.Next() % 5]);
+      }
+      out.resize(budget);
+      break;
+    }
+    case 6: {  // non-word-aligned tail over small values
+      const std::size_t n = budget | 0x5;  // never a multiple of 8
+      std::uint64_t v = rng.Next() % 4096;
+      while (out.size() + 8 <= n) {
+        AppendWord(&out, v);
+        v += rng.Next() % 7;
+      }
+      while (out.size() < n) {
+        out.push_back(static_cast<char>(rng.Next() & 0xFF));
+      }
+      break;
+    }
+    default: {  // mixed small-delta runs with occasional jumps
+      std::uint64_t v = rng.Next();
+      for (std::size_t i = 0; i + 8 <= budget; i += 8) {
+        v += (rng.Next() % 64 == 0) ? rng.Next() : rng.Next() % 16;
+        AppendWord(&out, v);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+Status RunFuzzSeed(std::uint64_t seed) {
+  const std::string raw = FuzzInput(seed);
+  SplitMix64 rng(seed ^ 0xA5A5A5A55A5A5A5Aull);
+  for (CodecId id : {CodecId::kNone, CodecId::kDelta, CodecId::kLz}) {
+    for (std::size_t block_bytes : {std::size_t{512}, kDefaultBlockBytes}) {
+      CUISINE_RETURN_NOT_OK(
+          CheckSeedWithCodec(seed, id, block_bytes, raw, rng));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace codec
+}  // namespace serve
+}  // namespace cuisine

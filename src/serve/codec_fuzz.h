@@ -1,0 +1,46 @@
+// Deterministic fuzz driver for the serve/codec.h block codecs, shared
+// by tests/codec_test.cc (a fixed 500-seed battery) and tools/codec_fuzz
+// (an open-ended time-boxed loop CI runs under sanitizers). Everything
+// is a pure function of the seed — a failure reproduces from its seed
+// alone, on any machine.
+//
+// One seed drives, for every codec and a small and the default block
+// size:
+//   1. round trip: DecompressFrame(CompressFrame(x)) == x,
+//   2. the documented frame-size bound (incompressible input never
+//      grows beyond header overhead),
+//   3. wrong-expected-size rejection,
+//   4. single-byte corruption probes: a mutated frame must either be
+//      rejected with a non-OK Status or still decode to exactly the
+//      original bytes — never crash, never return silently-wrong data.
+
+#ifndef CUISINE_SERVE_CODEC_FUZZ_H_
+#define CUISINE_SERVE_CODEC_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace cuisine {
+namespace serve {
+namespace codec {
+
+/// The input byte string for `seed`. Seeds cycle through adversarial
+/// shapes: empty, all-equal words, strictly decreasing words,
+/// INT64_MIN/INT64_MAX deltas, incompressible random bytes, repetitive
+/// text, non-word-aligned tails, and mixed small-delta runs —
+/// occasionally sized past the default block size to force multi-block
+/// frames.
+std::string FuzzInput(std::uint64_t seed);
+
+/// Runs the full check battery for one seed across all codecs. OK when
+/// every check passes; otherwise a Status naming the seed, codec and
+/// failing check.
+Status RunFuzzSeed(std::uint64_t seed);
+
+}  // namespace codec
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_CODEC_FUZZ_H_

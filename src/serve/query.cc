@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <initializer_list>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "cluster/dendrogram.h"
 #include "common/json.h"
+#include "common/logging.h"
 #include "obs/trace.h"
 
 namespace cuisine {
@@ -40,16 +42,31 @@ std::string CacheKey(std::string_view verb,
 
 }  // namespace
 
-QueryEngine::QueryEngine(Snapshot snapshot, QueryEngineOptions options)
-    : snapshot_(std::move(snapshot)),
+QueryEngine::QueryEngine(SnapshotHandle handle, QueryEngineOptions options)
+    : handle_(std::move(handle)),
       cache_(options.cache_capacity, options.cache_shards),
-      live_(options.live) {
-  for (std::size_t i = 0; i < snapshot_.summary.cuisine_names.size(); ++i) {
-    cuisine_index_.emplace(snapshot_.summary.cuisine_names[i], i);
-  }
+      live_(options.live) {}
+
+QueryEngine::QueryEngine(Snapshot snapshot, QueryEngineOptions options)
+    : QueryEngine(SnapshotHandle::FromSnapshot(std::move(snapshot)),
+                  std::move(options)) {}
+
+Status QueryEngine::EnsureCuisineIndex() const {
+  std::call_once(index_once_, [this] {
+    auto sm = handle_.summary();
+    if (!sm.ok()) {
+      index_status_ = sm.status();
+      return;
+    }
+    for (std::size_t i = 0; i < (*sm)->cuisine_names.size(); ++i) {
+      cuisine_index_.emplace((*sm)->cuisine_names[i], i);
+    }
+  });
+  return index_status_;
 }
 
 Result<std::size_t> QueryEngine::CuisineIndex(std::string_view cuisine) const {
+  CUISINE_RETURN_NOT_OK(EnsureCuisineIndex());
   auto it = cuisine_index_.find(std::string(cuisine));
   if (it == cuisine_index_.end()) {
     return Status::NotFound("unknown cuisine '" + std::string(cuisine) +
@@ -58,11 +75,18 @@ Result<std::size_t> QueryEngine::CuisineIndex(std::string_view cuisine) const {
   return it->second;
 }
 
-const SnapshotPdist* QueryEngine::FindPdist(DistanceMetric metric) const {
-  for (const SnapshotPdist& p : snapshot_.pdists) {
+const SnapshotPdist* QueryEngine::FindPdist(
+    const std::vector<SnapshotPdist>& ps, DistanceMetric metric) {
+  for (const SnapshotPdist& p : ps) {
     if (p.metric == metric) return &p;
   }
   return nullptr;
+}
+
+const Snapshot& QueryEngine::snapshot() const {
+  auto full = handle_.Full();
+  CUISINE_CHECK(full.ok());
+  return **full;
 }
 
 template <typename Fn>
@@ -83,8 +107,11 @@ Result<std::string> QueryEngine::Table1Row(std::string_view cuisine,
   return Cached(CacheKey("table1", {cuisine}), ctx,
                 [&]() -> Result<std::string> {
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-    const std::string& name = snapshot_.summary.cuisine_names[idx];
-    for (const cuisine::Table1Row& row : snapshot_.table1) {
+    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+    CUISINE_ASSIGN_OR_RETURN(const std::vector<cuisine::Table1Row>* table1,
+                             handle_.table1());
+    const std::string& name = sm->cuisine_names[idx];
+    for (const cuisine::Table1Row& row : *table1) {
       if (row.region != name) continue;
       Json sigs = Json::Array();
       for (const SignatureComparison& sig : row.signatures) {
@@ -124,13 +151,16 @@ Result<std::string> QueryEngine::TopPatterns(std::string_view cuisine,
       [&]() -> Result<std::string> {
         if (k == 0) return Status::InvalidArgument("k must be positive");
         CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-        const std::vector<SnapshotPattern>& all = snapshot_.patterns[idx];
+        CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+        CUISINE_ASSIGN_OR_RETURN(
+            const std::vector<std::vector<SnapshotPattern>>* patterns,
+            handle_.patterns());
+        const std::vector<SnapshotPattern>& all = (*patterns)[idx];
         Json arr = Json::Array();
         const std::size_t take = std::min(k, all.size());
         for (std::size_t i = 0; i < take; ++i) arr.Push(PatternJson(all[i]));
         return Json::Object()
-            .Set("cuisine",
-                 Json::Str(snapshot_.summary.cuisine_names[idx]))
+            .Set("cuisine", Json::Str(sm->cuisine_names[idx]))
             .Set("total",
                  Json::Int(static_cast<std::int64_t>(all.size())))
             .Set("patterns", std::move(arr))
@@ -149,15 +179,18 @@ Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
       [&]() -> Result<std::string> {
         CUISINE_ASSIGN_OR_RETURN(std::size_t ia, CuisineIndex(a));
         CUISINE_ASSIGN_OR_RETURN(std::size_t ib, CuisineIndex(b));
-        const SnapshotPdist* pdist = FindPdist(metric);
+        CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+        CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotPdist>* pdists,
+                                 handle_.pdists());
+        const SnapshotPdist* pdist = FindPdist(*pdists, metric);
         if (pdist == nullptr) {
           return Status::NotFound("snapshot carries no '" + metric_name +
                                   "' distance matrix");
         }
         return Json::Object()
             .Set("metric", Json::Str(metric_name))
-            .Set("a", Json::Str(snapshot_.summary.cuisine_names[ia]))
-            .Set("b", Json::Str(snapshot_.summary.cuisine_names[ib]))
+            .Set("a", Json::Str(sm->cuisine_names[ia]))
+            .Set("b", Json::Str(sm->cuisine_names[ib]))
             .Set("distance", Json::Double(ia == ib
                                               ? 0.0
                                               : pdist->matrix.at(ia, ib)))
@@ -170,7 +203,9 @@ Result<std::string> QueryEngine::TreeNewick(std::string_view tree,
   CUISINE_SPAN("query_tree");
   return Cached(CacheKey("tree", {tree}), ctx,
                 [&]() -> Result<std::string> {
-    for (const SnapshotTree& t : snapshot_.trees) {
+    CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotTree>* trees,
+                             handle_.trees());
+    for (const SnapshotTree& t : *trees) {
       if (t.name != tree) continue;
       CUISINE_ASSIGN_OR_RETURN(Dendrogram d,
                                Dendrogram::FromLinkage(t.steps, t.labels));
@@ -181,7 +216,7 @@ Result<std::string> QueryEngine::TreeNewick(std::string_view tree,
           .Dump(0);
     }
     std::string names;
-    for (const SnapshotTree& t : snapshot_.trees) {
+    for (const SnapshotTree& t : *trees) {
       if (!names.empty()) names += ", ";
       names += t.name;
     }
@@ -199,27 +234,29 @@ Result<std::string> QueryEngine::AuthenticityTopK(std::string_view cuisine,
                 ctx, [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-    std::vector<std::size_t> order(snapshot_.authenticity_items.size());
+    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+    CUISINE_ASSIGN_OR_RETURN(const std::vector<std::string>* items,
+                             handle_.authenticity_items());
+    CUISINE_ASSIGN_OR_RETURN(const Matrix* matrix, handle_.authenticity());
+    std::vector<std::size_t> order(items->size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-    const Matrix& m = snapshot_.authenticity;
+    const Matrix& m = *matrix;
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t lhs, std::size_t rhs) {
                        const double a = m.at(idx, lhs);
                        const double b = m.at(idx, rhs);
                        if (a != b) return most ? a > b : a < b;
-                       return snapshot_.authenticity_items[lhs] <
-                              snapshot_.authenticity_items[rhs];
+                       return (*items)[lhs] < (*items)[rhs];
                      });
     Json arr = Json::Array();
     const std::size_t take = std::min(k, order.size());
     for (std::size_t i = 0; i < take; ++i) {
       arr.Push(Json::Object()
-                   .Set("item",
-                        Json::Str(snapshot_.authenticity_items[order[i]]))
+                   .Set("item", Json::Str((*items)[order[i]]))
                    .Set("score", Json::Double(m.at(idx, order[i]))));
     }
     return Json::Object()
-        .Set("cuisine", Json::Str(snapshot_.summary.cuisine_names[idx]))
+        .Set("cuisine", Json::Str(sm->cuisine_names[idx]))
         .Set("direction", Json::Str(most ? "most" : "least"))
         .Set("items", std::move(arr))
         .Dump(0);
@@ -237,14 +274,18 @@ Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
                 ctx, [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
     CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-    const SnapshotPdist* pdist = FindPdist(metric);
+    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+    CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotPdist>* pdists,
+                             handle_.pdists());
+    const SnapshotPdist* pdist = FindPdist(*pdists, metric);
     if (pdist == nullptr) {
       return Status::NotFound("snapshot carries no '" + metric_name +
                               "' distance matrix");
     }
+    const std::vector<std::string>& names = sm->cuisine_names;
     std::vector<std::size_t> order;
-    order.reserve(snapshot_.summary.cuisine_names.size());
-    for (std::size_t i = 0; i < snapshot_.summary.cuisine_names.size(); ++i) {
+    order.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i) {
       if (i != idx) order.push_back(i);
     }
     std::stable_sort(order.begin(), order.end(),
@@ -252,44 +293,47 @@ Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
                        const double a = pdist->matrix.at(idx, lhs);
                        const double b = pdist->matrix.at(idx, rhs);
                        if (a != b) return a < b;
-                       return snapshot_.summary.cuisine_names[lhs] <
-                              snapshot_.summary.cuisine_names[rhs];
+                       return names[lhs] < names[rhs];
                      });
     Json arr = Json::Array();
     const std::size_t take = std::min(k, order.size());
     for (std::size_t i = 0; i < take; ++i) {
       arr.Push(
           Json::Object()
-              .Set("cuisine",
-                   Json::Str(snapshot_.summary.cuisine_names[order[i]]))
+              .Set("cuisine", Json::Str(names[order[i]]))
               .Set("distance", Json::Double(pdist->matrix.at(idx, order[i]))));
     }
     return Json::Object()
-        .Set("cuisine", Json::Str(snapshot_.summary.cuisine_names[idx]))
+        .Set("cuisine", Json::Str(names[idx]))
         .Set("metric", Json::Str(metric_name))
         .Set("neighbors", std::move(arr))
         .Dump(0);
   });
 }
 
-std::string QueryEngine::StatsJson() const {
+Result<std::string> QueryEngine::StatsJson() const {
   CUISINE_SPAN("query_stats");
-  const SnapshotSummary& sm = snapshot_.summary;
+  CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+  CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotTree>* snapshot_trees,
+                           handle_.trees());
+  const std::map<std::string, std::string>* snapshot_meta = nullptr;
+  CUISINE_ASSIGN_OR_RETURN(snapshot_meta, handle_.meta());
   Json cuisines = Json::Array();
-  for (const std::string& name : sm.cuisine_names) {
+  for (const std::string& name : sm->cuisine_names) {
     cuisines.Push(Json::Str(name));
   }
   Json trees = Json::Array();
-  for (const SnapshotTree& t : snapshot_.trees) trees.Push(Json::Str(t.name));
+  for (const SnapshotTree& t : *snapshot_trees) trees.Push(Json::Str(t.name));
   Json meta = Json::Object();
-  for (const auto& [key, value] : snapshot_.meta) {
+  for (const auto& [key, value] : *snapshot_meta) {
     meta.Set(key, Json::Str(value));
   }
   const ShardedLruCache::Stats cs = cache_.stats();
   return Json::Object()
-      .Set("num_recipes", Json::Int(static_cast<std::int64_t>(sm.num_recipes)))
+      .Set("num_recipes",
+           Json::Int(static_cast<std::int64_t>(sm->num_recipes)))
       .Set("num_cuisines",
-           Json::Int(static_cast<std::int64_t>(sm.cuisine_names.size())))
+           Json::Int(static_cast<std::int64_t>(sm->cuisine_names.size())))
       .Set("cuisines", std::move(cuisines))
       .Set("trees", std::move(trees))
       .Set("meta", std::move(meta))

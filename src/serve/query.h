@@ -21,6 +21,7 @@
 #define CUISINE_SERVE_QUERY_H_
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,6 +45,11 @@ struct QueryEngineOptions {
 
 class QueryEngine {
  public:
+  /// Serves straight off a (possibly lazily-paged) handle: no section is
+  /// decoded at construction — each request pages in only what it needs,
+  /// so a server is accepting queries after an O(header) open.
+  explicit QueryEngine(SnapshotHandle handle, QueryEngineOptions options = {});
+  /// Convenience for an already-decoded in-memory snapshot.
   explicit QueryEngine(Snapshot snapshot, QueryEngineOptions options = {});
 
   QueryEngine(const QueryEngine&) = delete;
@@ -71,9 +77,14 @@ class QueryEngine {
                                       RequestContext* ctx = nullptr);
 
   /// Snapshot + cache stats (uncached; counters move between calls).
-  std::string StatsJson() const;
+  /// Pages in the meta, summary and tree sections.
+  Result<std::string> StatsJson() const;
 
-  const Snapshot& snapshot() const { return snapshot_; }
+  /// The underlying handle (section table, decoded-section count).
+  const SnapshotHandle& handle() const { return handle_; }
+  /// Forces every section in and returns the full snapshot — bench/test
+  /// convenience; CHECK-fails if any section is corrupt.
+  const Snapshot& snapshot() const;
   ShardedLruCache::Stats cache_stats() const { return cache_.stats(); }
 
   /// Live introspection state shared by every Service / TcpServer bound
@@ -82,10 +93,14 @@ class QueryEngine {
   const LiveStats& live() const { return live_; }
 
  private:
+  /// Builds the name → row lookup from the summary section on first use
+  /// (keeping construction decode-free); sticky like a section decode.
+  Status EnsureCuisineIndex() const;
   /// Index of `cuisine` in summary.cuisine_names, or NotFound listing the
   /// valid names.
   Result<std::size_t> CuisineIndex(std::string_view cuisine) const;
-  const SnapshotPdist* FindPdist(DistanceMetric metric) const;
+  static const SnapshotPdist* FindPdist(const std::vector<SnapshotPdist>& ps,
+                                        DistanceMetric metric);
 
   /// Cache-through helper: returns the cached value for `key` or renders
   /// via `render()` (a Result<std::string> producer) and caches success.
@@ -94,8 +109,10 @@ class QueryEngine {
   Result<std::string> Cached(const std::string& key, RequestContext* ctx,
                              Fn render);
 
-  Snapshot snapshot_;
-  std::unordered_map<std::string, std::size_t> cuisine_index_;
+  SnapshotHandle handle_;
+  mutable std::once_flag index_once_;
+  mutable Status index_status_;
+  mutable std::unordered_map<std::string, std::size_t> cuisine_index_;
   ShardedLruCache cache_;
   LiveStats live_;
 };

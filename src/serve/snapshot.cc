@@ -1,6 +1,7 @@
 #include "serve/snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 
 #include "common/binio.h"
@@ -17,19 +18,15 @@ namespace cuisine {
 namespace serve {
 namespace {
 
-// Section ids, serialised in ascending order. Every id is mandatory in a
-// version-1 file; an unknown id is a format error (the version gates
-// schema evolution).
-enum SectionId : std::uint32_t {
-  kSectionMeta = 1,
-  kSectionSummary = 2,
-  kSectionPatterns = 3,
-  kSectionFeatures = 4,
-  kSectionPdists = 5,
-  kSectionTrees = 6,
-  kSectionAuthenticity = 7,
-  kSectionTable1 = 8,
-};
+// Short aliases for the public section ids (serve/snapshot.h).
+constexpr std::uint32_t kSectionMeta = kSnapshotSectionMeta;
+constexpr std::uint32_t kSectionSummary = kSnapshotSectionSummary;
+constexpr std::uint32_t kSectionPatterns = kSnapshotSectionPatterns;
+constexpr std::uint32_t kSectionFeatures = kSnapshotSectionFeatures;
+constexpr std::uint32_t kSectionPdists = kSnapshotSectionPdists;
+constexpr std::uint32_t kSectionTrees = kSnapshotSectionTrees;
+constexpr std::uint32_t kSectionAuthenticity = kSnapshotSectionAuthenticity;
+constexpr std::uint32_t kSectionTable1 = kSnapshotSectionTable1;
 
 constexpr std::uint32_t kSectionIds[] = {
     kSectionMeta,     kSectionSummary, kSectionPatterns,
@@ -37,13 +34,13 @@ constexpr std::uint32_t kSectionIds[] = {
     kSectionAuthenticity, kSectionTable1,
 };
 constexpr std::size_t kNumSections = std::size(kSectionIds);
+static_assert(kNumSections == kSnapshotSectionCount);
 
-// magic + version + section_count + file_size.
-constexpr std::size_t kFixedHeaderBytes = 8 + 4 + 4 + 8;
-// id + offset + size + crc per table entry.
-constexpr std::size_t kTableEntryBytes = 4 + 8 + 8 + 4;
-constexpr std::size_t kHeaderBytes =
-    kFixedHeaderBytes + kNumSections * kTableEntryBytes + 4;
+// Version-1 layout: same fixed header, but table entries are
+// (id u32, offset u64, size u64, crc32c u32) and payloads travel raw.
+constexpr std::size_t kTableEntryBytesV1 = 4 + 8 + 8 + 4;
+constexpr std::size_t kHeaderBytesV1 =
+    kSnapshotFixedHeaderBytes + kNumSections * kTableEntryBytesV1 + 4;
 
 void WriteMatrix(BinaryWriter* w, const Matrix& m) {
   w->WriteU64(m.rows());
@@ -520,56 +517,43 @@ Result<Snapshot> BuildSnapshot(const Dataset& dataset,
   return s;
 }
 
-std::string SerializeSnapshot(const Snapshot& snapshot) {
-  CUISINE_SPAN("snapshot_serialize");
-  std::vector<std::string> payloads;
-  payloads.reserve(kNumSections);
-  for (std::uint32_t id : kSectionIds) {
-    payloads.push_back(EncodeSection(id, snapshot));
-  }
+namespace {
 
-  BinaryWriter w;
-  w.WriteBytes(kSnapshotMagic);
-  w.WriteU32(kSnapshotVersion);
-  w.WriteU32(static_cast<std::uint32_t>(kNumSections));
-  std::uint64_t file_size = kHeaderBytes;
-  for (const std::string& p : payloads) file_size += p.size();
-  w.WriteU64(file_size);
+// Everything ParseHeaderInfo learns without touching a payload byte.
+struct HeaderInfo {
+  std::uint32_t version = 0;
+  std::vector<SnapshotSectionInfo> sections;
+  std::vector<std::uint32_t> v1_crcs;  // per-section payload CRCs (v1 only)
+};
 
-  std::uint64_t offset = kHeaderBytes;
-  for (std::size_t i = 0; i < kNumSections; ++i) {
-    w.WriteU32(kSectionIds[i]);
-    w.WriteU64(offset);
-    w.WriteU64(payloads[i].size());
-    w.WriteU32(Crc32c::Of(payloads[i]));
-    offset += payloads[i].size();
-  }
-  w.WriteU32(Crc32c::Of(w.data()));  // header CRC over all bytes so far
-
-  for (const std::string& p : payloads) w.WriteBytes(p);
-  CUISINE_GAUGE_MAX("serve.snapshot.file_bytes",
-                    static_cast<std::int64_t>(w.size()));
-  return w.Take();
-}
-
-Result<Snapshot> ParseSnapshot(std::string_view bytes) {
-  CUISINE_SPAN("snapshot_parse");
-  if (bytes.size() < kFixedHeaderBytes ||
-      bytes.substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+// Validates magic, version, section count, file size, the section table
+// and the header CRC of either format version.
+Result<HeaderInfo> ParseHeaderInfo(std::string_view bytes) {
+  if (bytes.size() < kSnapshotFixedHeaderBytes) {
     return Status::ParseError(
-        "not a cuisine snapshot (bad magic; expected 'CUSNAP01')");
+        "not a cuisine snapshot (bad magic; expected 'CUSNAP02')");
   }
+  const std::string_view magic = bytes.substr(0, kSnapshotMagic.size());
+  const bool v1 = magic == kSnapshotMagicV1;
+  if (!v1 && magic != kSnapshotMagic) {
+    return Status::ParseError(
+        "not a cuisine snapshot (bad magic; expected 'CUSNAP02')");
+  }
+  const std::uint32_t expected_version =
+      v1 ? kSnapshotVersionV1 : kSnapshotVersion;
+
   BinaryReader header(bytes);
-  std::string magic;
+  std::string skip_magic;
   std::uint32_t version = 0;
   std::uint32_t section_count = 0;
   std::uint64_t file_size = 0;
-  CUISINE_RETURN_NOT_OK(header.ReadBytes(kSnapshotMagic.size(), &magic));
+  CUISINE_RETURN_NOT_OK(
+      header.ReadBytes(kSnapshotMagic.size(), &skip_magic));
   CUISINE_RETURN_NOT_OK(header.ReadU32(&version));
-  if (version != kSnapshotVersion) {
+  if (version != expected_version) {
     return Status::ParseError("unsupported snapshot version " +
                               std::to_string(version) + " (expected " +
-                              std::to_string(kSnapshotVersion) + ")");
+                              std::to_string(expected_version) + ")");
   }
   CUISINE_RETURN_NOT_OK(header.ReadU32(&section_count));
   CUISINE_RETURN_NOT_OK(header.ReadU64(&file_size));
@@ -581,22 +565,34 @@ Result<Snapshot> ParseSnapshot(std::string_view bytes) {
   }
   if (section_count != kNumSections) {
     return Status::ParseError("snapshot has " + std::to_string(section_count) +
-                              " sections; version 1 defines " +
-                              std::to_string(kNumSections));
+                              " sections; version " + std::to_string(version) +
+                              " defines " + std::to_string(kNumSections));
   }
 
-  struct TableEntry {
-    std::uint32_t id = 0;
-    std::uint64_t offset = 0;
-    std::uint64_t size = 0;
-    std::uint32_t crc = 0;
-  };
-  std::vector<TableEntry> table(section_count);
-  for (TableEntry& e : table) {
+  HeaderInfo info;
+  info.version = version;
+  info.sections.resize(section_count);
+  for (SnapshotSectionInfo& e : info.sections) {
+    std::uint32_t codec_id = 0;
     CUISINE_RETURN_NOT_OK(header.ReadU32(&e.id));
+    if (v1) {
+      std::uint64_t size = 0;
+      std::uint32_t crc = 0;
+      CUISINE_RETURN_NOT_OK(header.ReadU64(&e.offset));
+      CUISINE_RETURN_NOT_OK(header.ReadU64(&size));
+      CUISINE_RETURN_NOT_OK(header.ReadU32(&crc));
+      e.codec = codec::CodecId::kNone;
+      e.stored_size = size;
+      e.raw_size = size;
+      info.v1_crcs.push_back(crc);
+      continue;
+    }
+    CUISINE_RETURN_NOT_OK(header.ReadU32(&codec_id));
     CUISINE_RETURN_NOT_OK(header.ReadU64(&e.offset));
-    CUISINE_RETURN_NOT_OK(header.ReadU64(&e.size));
-    CUISINE_RETURN_NOT_OK(header.ReadU32(&e.crc));
+    CUISINE_RETURN_NOT_OK(header.ReadU64(&e.stored_size));
+    CUISINE_RETURN_NOT_OK(header.ReadU64(&e.raw_size));
+    // Validated below, after the header CRC clears the table itself.
+    e.codec = static_cast<codec::CodecId>(codec_id);
   }
   const std::size_t crc_offset = header.position();
   std::uint32_t header_crc = 0;
@@ -606,56 +602,380 @@ Result<Snapshot> ParseSnapshot(std::string_view bytes) {
         "snapshot header checksum mismatch (corrupt section table)");
   }
 
-  Snapshot snapshot;
+  const std::size_t header_bytes = v1 ? kHeaderBytesV1 : kSnapshotHeaderBytes;
   std::uint32_t previous_id = 0;
-  for (const TableEntry& e : table) {
-    if (e.id <= previous_id) {
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const SnapshotSectionInfo& e = info.sections[i];
+    if (e.id != kSectionIds[i] || e.id <= previous_id) {
       return Status::ParseError("snapshot section ids out of order at id " +
                                 std::to_string(e.id));
     }
     previous_id = e.id;
-    if (e.offset < kHeaderBytes || e.offset > bytes.size() ||
-        e.size > bytes.size() - e.offset) {
+    if (e.offset < header_bytes || e.offset > bytes.size() ||
+        e.stored_size > bytes.size() - e.offset) {
       return Status::ParseError("snapshot section " + std::to_string(e.id) +
                                 " range [" + std::to_string(e.offset) + ", +" +
-                                std::to_string(e.size) +
+                                std::to_string(e.stored_size) +
                                 ") exceeds the file");
     }
-    const std::string_view payload = bytes.substr(e.offset, e.size);
-    if (Crc32c::Of(payload) != e.crc) {
+    if (!v1 && !codec::IsKnownCodecId(static_cast<std::uint32_t>(e.codec))) {
+      return Status::ParseError(
+          "snapshot section " + std::to_string(e.id) + " ('" +
+          std::string(SnapshotSectionName(e.id)) + "') has unknown codec id " +
+          std::to_string(static_cast<std::uint32_t>(e.codec)));
+    }
+  }
+  return info;
+}
+
+Status WithSectionContext(std::uint32_t id, Status st) {
+  if (st.ok()) return st;
+  return Status(st.code(), "snapshot section " + std::to_string(id) + " ('" +
+                               std::string(SnapshotSectionName(id)) + "'): " +
+                               st.message());
+}
+
+// Cross-section consistency: every per-cuisine collection must agree
+// with the summary's cuisine list. `id` selects which dependent section
+// to check (the lazy pager validates one at a time).
+Status CrossCheckAgainstSummary(std::uint32_t id, const Snapshot& s) {
+  const std::size_t cuisines = s.summary.cuisine_names.size();
+  switch (id) {
+    case kSectionPatterns:
+      if (s.patterns.size() != cuisines) {
+        return Status::ParseError("snapshot pattern section covers " +
+                                  std::to_string(s.patterns.size()) +
+                                  " cuisines; summary has " +
+                                  std::to_string(cuisines));
+      }
+      break;
+    case kSectionFeatures:
+      if (s.features.rows() != cuisines) {
+        return Status::ParseError(
+            "snapshot matrix row counts disagree with the " +
+            std::to_string(cuisines) + "-cuisine summary");
+      }
+      break;
+    case kSectionAuthenticity:
+      if (s.authenticity.rows() != cuisines) {
+        return Status::ParseError(
+            "snapshot matrix row counts disagree with the " +
+            std::to_string(cuisines) + "-cuisine summary");
+      }
+      break;
+    case kSectionPdists:
+      for (const SnapshotPdist& p : s.pdists) {
+        if (p.matrix.n() != cuisines) {
+          return Status::ParseError(
+              "snapshot pdist over " + std::to_string(p.matrix.n()) +
+              " observations disagrees with the " + std::to_string(cuisines) +
+              "-cuisine summary");
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::OK();
+}
+
+// True for sections whose decode cross-checks against the summary.
+bool SectionNeedsSummary(std::uint32_t id) {
+  return id == kSectionPatterns || id == kSectionFeatures ||
+         id == kSectionAuthenticity || id == kSectionPdists;
+}
+
+// Eager version-1 load: raw payloads guarded by the per-section table
+// CRCs, decoded in file order.
+Result<Snapshot> ParseV1Sections(std::string_view bytes,
+                                 const HeaderInfo& info) {
+  Snapshot snapshot;
+  for (std::size_t i = 0; i < info.sections.size(); ++i) {
+    const SnapshotSectionInfo& e = info.sections[i];
+    const std::string_view payload = bytes.substr(e.offset, e.stored_size);
+    if (Crc32c::Of(payload) != info.v1_crcs[i]) {
       return Status::ParseError("snapshot section " + std::to_string(e.id) +
                                 " checksum mismatch (corrupt payload)");
     }
     CUISINE_RETURN_NOT_OK(DecodeSection(e.id, payload, &snapshot));
   }
-
-  // Cross-section consistency: every per-cuisine collection must agree
-  // with the summary's cuisine list.
-  const std::size_t cuisines = snapshot.summary.cuisine_names.size();
-  if (snapshot.patterns.size() != cuisines) {
-    return Status::ParseError(
-        "snapshot pattern section covers " +
-        std::to_string(snapshot.patterns.size()) + " cuisines; summary has " +
-        std::to_string(cuisines));
-  }
-  if (snapshot.features.rows() != cuisines ||
-      snapshot.authenticity.rows() != cuisines) {
-    return Status::ParseError("snapshot matrix row counts disagree with the " +
-                              std::to_string(cuisines) + "-cuisine summary");
-  }
-  for (const SnapshotPdist& p : snapshot.pdists) {
-    if (p.matrix.n() != cuisines) {
-      return Status::ParseError(
-          "snapshot pdist over " + std::to_string(p.matrix.n()) +
-          " observations disagrees with the " + std::to_string(cuisines) +
-          "-cuisine summary");
-    }
+  for (std::uint32_t id : kSectionIds) {
+    CUISINE_RETURN_NOT_OK(CrossCheckAgainstSummary(id, snapshot));
   }
   return snapshot;
 }
 
-Status SaveSnapshot(const Snapshot& snapshot, const std::string& path) {
-  const std::string bytes = SerializeSnapshot(snapshot);
+}  // namespace
+
+std::string_view SnapshotSectionName(std::uint32_t id) {
+  switch (id) {
+    case kSectionMeta:
+      return "meta";
+    case kSectionSummary:
+      return "summary";
+    case kSectionPatterns:
+      return "patterns";
+    case kSectionFeatures:
+      return "features";
+    case kSectionPdists:
+      return "pdists";
+    case kSectionTrees:
+      return "trees";
+    case kSectionAuthenticity:
+      return "authenticity";
+    case kSectionTable1:
+      return "table1";
+    default:
+      return "unknown";
+  }
+}
+
+codec::CodecId DefaultSectionCodec(std::uint32_t id) {
+  // Measured on the seeded corpus (bench_serve reports the ratios): the
+  // summary's monotone-ish counters delta-code best, while every other
+  // section — including the f64 matrices, whose repeated values are long
+  // byte matches but whose IEEE-754 words delta poorly — shrinks more
+  // under lz.
+  switch (id) {
+    case kSectionSummary:
+      return codec::CodecId::kDelta;
+    default:
+      return codec::CodecId::kLz;
+  }
+}
+
+std::string SerializeSnapshot(const Snapshot& snapshot,
+                              const SnapshotWriteOptions& options) {
+  CUISINE_SPAN("snapshot_serialize");
+  std::vector<std::string> payloads;
+  std::vector<std::string> frames;
+  std::vector<codec::CodecId> codecs;
+  payloads.reserve(kNumSections);
+  frames.reserve(kNumSections);
+  codecs.reserve(kNumSections);
+  for (std::uint32_t id : kSectionIds) {
+    payloads.push_back(EncodeSection(id, snapshot));
+    codecs.push_back(options.codec_override.value_or(DefaultSectionCodec(id)));
+    frames.push_back(codec::CompressFrame(codecs.back(), payloads.back(),
+                                          options.block_bytes));
+  }
+
+  BinaryWriter w;
+  w.WriteBytes(kSnapshotMagic);
+  w.WriteU32(kSnapshotVersion);
+  w.WriteU32(static_cast<std::uint32_t>(kNumSections));
+  std::uint64_t file_size = kSnapshotHeaderBytes;
+  for (const std::string& f : frames) file_size += f.size();
+  w.WriteU64(file_size);
+
+  std::uint64_t offset = kSnapshotHeaderBytes;
+  for (std::size_t i = 0; i < kNumSections; ++i) {
+    w.WriteU32(kSectionIds[i]);
+    w.WriteU32(static_cast<std::uint32_t>(codecs[i]));
+    w.WriteU64(offset);
+    w.WriteU64(frames[i].size());
+    w.WriteU64(payloads[i].size());
+    offset += frames[i].size();
+  }
+  w.WriteU32(Crc32c::Of(w.data()));  // header CRC over all bytes so far
+
+  for (const std::string& f : frames) w.WriteBytes(f);
+  CUISINE_GAUGE_MAX("serve.snapshot.file_bytes",
+                    static_cast<std::int64_t>(w.size()));
+  return w.Take();
+}
+
+Result<std::vector<SnapshotSectionInfo>> InspectSnapshot(
+    std::string_view bytes) {
+  CUISINE_ASSIGN_OR_RETURN(HeaderInfo info, ParseHeaderInfo(bytes));
+  return std::move(info.sections);
+}
+
+// ---- SnapshotHandle -------------------------------------------------
+
+struct SnapshotHandle::State {
+  std::string bytes;  // owned file image; frames are views into it
+  std::uint32_t version = kSnapshotVersion;
+  std::vector<SnapshotSectionInfo> sections;
+  Snapshot data;
+  // True for v1 files and FromSnapshot handles: `data` is complete and
+  // the latches below are never consulted.
+  bool eager = false;
+  std::array<std::once_flag, kSnapshotSectionCount> once;
+  std::array<Status, kSnapshotSectionCount> section_status;
+  std::atomic<std::size_t> decoded_count{0};
+};
+
+SnapshotHandle::SnapshotHandle(SnapshotHandle&&) noexcept = default;
+SnapshotHandle& SnapshotHandle::operator=(SnapshotHandle&&) noexcept = default;
+SnapshotHandle::~SnapshotHandle() = default;
+
+Result<SnapshotHandle> SnapshotHandle::Open(std::string bytes) {
+  CUISINE_SPAN("snapshot_open");
+  CUISINE_ASSIGN_OR_RETURN(HeaderInfo info, ParseHeaderInfo(bytes));
+  SnapshotHandle handle;
+  handle.state_ = std::make_unique<State>();
+  State& s = *handle.state_;
+  s.bytes = std::move(bytes);
+  s.version = info.version;
+  if (info.version == kSnapshotVersionV1) {
+    // Decode while `info` still owns the section table (moved below).
+    CUISINE_ASSIGN_OR_RETURN(s.data, ParseV1Sections(s.bytes, info));
+    s.eager = true;
+    s.decoded_count.store(kSnapshotSectionCount, std::memory_order_relaxed);
+  }
+  s.sections = std::move(info.sections);
+  return handle;
+}
+
+Result<SnapshotHandle> SnapshotHandle::OpenFile(const std::string& path) {
+  CUISINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  auto opened = Open(std::move(bytes));
+  if (!opened.ok()) {
+    return Status(opened.status().code(),
+                  path + ": " + opened.status().message());
+  }
+  return opened;
+}
+
+SnapshotHandle SnapshotHandle::FromSnapshot(Snapshot snapshot) {
+  SnapshotHandle handle;
+  handle.state_ = std::make_unique<State>();
+  handle.state_->data = std::move(snapshot);
+  handle.state_->eager = true;
+  handle.state_->decoded_count.store(kSnapshotSectionCount,
+                                     std::memory_order_relaxed);
+  return handle;
+}
+
+const std::vector<SnapshotSectionInfo>& SnapshotHandle::sections() const {
+  return state_->sections;
+}
+
+std::uint32_t SnapshotHandle::version() const { return state_->version; }
+
+std::size_t SnapshotHandle::decoded_section_count() const {
+  return state_->decoded_count.load(std::memory_order_relaxed);
+}
+
+Status SnapshotHandle::DecodeSectionNow(std::size_t index) const {
+  State& s = *state_;
+  const SnapshotSectionInfo& info = s.sections[index];
+  // Sections that cross-check against the cuisine list force the summary
+  // in first (its own latch makes this decode-once and re-entrant safe).
+  if (SectionNeedsSummary(info.id)) {
+    CUISINE_RETURN_NOT_OK(
+        EnsureSection(kSectionSummary - 1));
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const std::string_view framed =
+      std::string_view(s.bytes).substr(info.offset, info.stored_size);
+  auto raw = codec::DecompressFrame(info.codec, framed, info.raw_size);
+  if (!raw.ok()) return WithSectionContext(info.id, raw.status());
+  CUISINE_RETURN_NOT_OK(
+      WithSectionContext(info.id, DecodeSection(info.id, *raw, &s.data)));
+  CUISINE_RETURN_NOT_OK(CrossCheckAgainstSummary(info.id, s.data));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  CUISINE_COUNTER_ADD("serve.snapshot.sections_decoded", 1);
+  CUISINE_COUNTER_ADD("serve.snapshot.bytes_compressed",
+                      static_cast<std::int64_t>(info.stored_size));
+  CUISINE_COUNTER_ADD("serve.snapshot.bytes_raw",
+                      static_cast<std::int64_t>(info.raw_size));
+  CUISINE_HISTOGRAM_OBSERVE(
+      "serve.snapshot.decode_ns",
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  s.decoded_count.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status SnapshotHandle::EnsureSection(std::size_t index) const {
+  State& s = *state_;
+  if (s.eager) return Status::OK();
+  std::call_once(s.once[index], [this, &s, index] {
+    s.section_status[index] = DecodeSectionNow(index);
+  });
+  return s.section_status[index];
+}
+
+Result<const std::map<std::string, std::string>*> SnapshotHandle::meta()
+    const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionMeta - 1));
+  return &state_->data.meta;
+}
+
+Result<const SnapshotSummary*> SnapshotHandle::summary() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionSummary - 1));
+  return &state_->data.summary;
+}
+
+Result<const std::vector<std::vector<SnapshotPattern>>*>
+SnapshotHandle::patterns() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionPatterns - 1));
+  return &state_->data.patterns;
+}
+
+Result<const std::vector<std::string>*> SnapshotHandle::feature_classes()
+    const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionFeatures - 1));
+  return &state_->data.feature_classes;
+}
+
+Result<const Matrix*> SnapshotHandle::features() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionFeatures - 1));
+  return &state_->data.features;
+}
+
+Result<const std::vector<SnapshotPdist>*> SnapshotHandle::pdists() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionPdists - 1));
+  return &state_->data.pdists;
+}
+
+Result<const std::vector<SnapshotTree>*> SnapshotHandle::trees() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionTrees - 1));
+  return &state_->data.trees;
+}
+
+Result<const std::vector<std::string>*> SnapshotHandle::authenticity_items()
+    const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionAuthenticity - 1));
+  return &state_->data.authenticity_items;
+}
+
+Result<const Matrix*> SnapshotHandle::authenticity() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionAuthenticity - 1));
+  return &state_->data.authenticity;
+}
+
+Result<const std::vector<Table1Row>*> SnapshotHandle::table1() const {
+  CUISINE_RETURN_NOT_OK(EnsureSection(kSectionTable1 - 1));
+  return &state_->data.table1;
+}
+
+Result<const Snapshot*> SnapshotHandle::Full() const {
+  for (std::size_t i = 0; i < kSnapshotSectionCount; ++i) {
+    CUISINE_RETURN_NOT_OK(EnsureSection(i));
+  }
+  return static_cast<const Snapshot*>(&state_->data);
+}
+
+Result<Snapshot> SnapshotHandle::IntoSnapshot() && {
+  auto full = Full();
+  if (!full.ok()) return full.status();
+  return std::move(state_->data);
+}
+
+// ---- Eager wrappers -------------------------------------------------
+
+Result<Snapshot> ParseSnapshot(std::string_view bytes) {
+  CUISINE_SPAN("snapshot_parse");
+  CUISINE_ASSIGN_OR_RETURN(SnapshotHandle handle,
+                           SnapshotHandle::Open(std::string(bytes)));
+  return std::move(handle).IntoSnapshot();
+}
+
+Status SaveSnapshot(const Snapshot& snapshot, const std::string& path,
+                    const SnapshotWriteOptions& options) {
+  const std::string bytes = SerializeSnapshot(snapshot, options);
   return WriteStringToFile(path, bytes);
 }
 

@@ -7,26 +7,45 @@
 // merge trees (Figs 2-6), the authenticity feature matrix, and the
 // reproduced Table I.
 //
-// File format (all integers little-endian; see common/binio.h):
+// File format, version 2 (all integers little-endian; common/binio.h):
 //
-//   [magic "CUSNAP01"][version u32][section_count u32][file_size u64]
-//   [section table: (id u32, offset u64, size u64, crc32c u32) x count]
+//   [magic "CUSNAP02"][version u32][section_count u32][file_size u64]
+//   [section table: (id u32, codec u32, offset u64,
+//                    stored_size u64, raw_size u64) x count]
 //   [header crc32c u32]
-//   [section payloads ...]
+//   [section frames ...]
 //
-// The header CRC covers every byte before it; each section CRC covers
-// that section's payload. Serialisation is deterministic: sections are
-// emitted in ascending id order, map-valued content sorted by key, and
-// doubles stored as IEEE-754 bit patterns — so Save(Load(Save(x))) is
-// byte-identical and snapshot bytes are stable across thread counts
-// (snapshot_golden_test pins a fixture). Load rejects foreign, truncated
-// and checksum-corrupted files with a descriptive non-OK Status.
+// Each section's payload is a serve/codec.h block frame: independently
+// encoded 64 KiB blocks, each carrying its compressed and raw sizes and a
+// CRC32C of BOTH representations. The header CRC covers every byte before
+// it (so a corrupt section table is caught before any offset is trusted);
+// payload integrity lives entirely in the per-block CRCs, which is what
+// lets SnapshotHandle page sections in lazily — opening a file reads and
+// verifies only the fixed header and section table, and a section is
+// decompressed, checksummed and decoded on first access.
+//
+// Version 1 ("CUSNAP01": per-section raw payloads, table entries
+// (id u32, offset u64, size u64, crc32c u32)) still loads, read-only and
+// eagerly; SerializeSnapshot always writes version 2.
+//
+// Serialisation is deterministic: sections are emitted in ascending id
+// order, map-valued content sorted by key, doubles stored as IEEE-754 bit
+// patterns, and the codecs themselves are deterministic — so
+// Save(Load(Save(x))) is byte-identical and snapshot bytes are stable
+// across thread counts (snapshot_golden_test pins a fixture). Load
+// rejects foreign, truncated and checksum-corrupted files with a
+// descriptive non-OK Status.
 
 #ifndef CUISINE_SERVE_SNAPSHOT_H_
 #define CUISINE_SERVE_SNAPSHOT_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -39,12 +58,66 @@
 #include "core/pipeline.h"
 #include "core/report.h"
 #include "data/dataset.h"
+#include "serve/codec.h"
 
 namespace cuisine {
 namespace serve {
 
-inline constexpr std::string_view kSnapshotMagic = "CUSNAP01";
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+inline constexpr std::string_view kSnapshotMagic = "CUSNAP02";
+inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// Still readable (eagerly) for files written before the codec layer.
+inline constexpr std::string_view kSnapshotMagicV1 = "CUSNAP01";
+inline constexpr std::uint32_t kSnapshotVersionV1 = 1;
+
+/// Section ids, serialised in ascending order. Every id is mandatory; an
+/// unknown id is a format error (the version gates schema evolution).
+enum SnapshotSectionId : std::uint32_t {
+  kSnapshotSectionMeta = 1,
+  kSnapshotSectionSummary = 2,
+  kSnapshotSectionPatterns = 3,
+  kSnapshotSectionFeatures = 4,
+  kSnapshotSectionPdists = 5,
+  kSnapshotSectionTrees = 6,
+  kSnapshotSectionAuthenticity = 7,
+  kSnapshotSectionTable1 = 8,
+};
+inline constexpr std::size_t kSnapshotSectionCount = 8;
+
+/// "meta", "summary", ... — for `snapshot inspect` and error messages.
+std::string_view SnapshotSectionName(std::uint32_t id);
+
+/// Header layout constants (corruption tests poke faults at exact
+/// offsets): magic + version + section_count + file_size, one v2 table
+/// entry, and the full v2 header including its trailing CRC.
+inline constexpr std::size_t kSnapshotFixedHeaderBytes = 8 + 4 + 4 + 8;
+inline constexpr std::size_t kSnapshotTableEntryBytes = 4 + 4 + 8 + 8 + 8;
+inline constexpr std::size_t kSnapshotHeaderBytes =
+    kSnapshotFixedHeaderBytes +
+    kSnapshotSectionCount * kSnapshotTableEntryBytes + 4;
+
+/// One section-table row, as stored in the file.
+struct SnapshotSectionInfo {
+  std::uint32_t id = 0;
+  codec::CodecId codec = codec::CodecId::kNone;
+  std::uint64_t offset = 0;       // of the frame, from the file start
+  std::uint64_t stored_size = 0;  // frame bytes on disk
+  std::uint64_t raw_size = 0;     // decoded section payload bytes
+};
+
+/// The codec SerializeSnapshot picks for a section when no override is
+/// given: delta for the summary's counter runs, lz everywhere else
+/// (repeated strings and repeated f64 values are both back-reference
+/// material, while IEEE-754 bit patterns delta poorly).
+codec::CodecId DefaultSectionCodec(std::uint32_t id);
+
+struct SnapshotWriteOptions {
+  /// Forces every section through one codec (kNone produces a file whose
+  /// decoded bytes are trivially identical to the raw payloads — the
+  /// differential tests' baseline). Unset picks DefaultSectionCodec.
+  std::optional<codec::CodecId> codec_override;
+  /// Block granularity inside each section frame.
+  std::size_t block_bytes = codec::kDefaultBlockBytes;
+};
 
 /// §III corpus summary plus the cuisine index.
 struct SnapshotSummary {
@@ -113,17 +186,91 @@ Result<Snapshot> BuildSnapshot(const Dataset& dataset,
                                const PipelineResult& result,
                                const PipelineConfig& config = {});
 
-/// Serialises to the versioned, checksummed byte format above.
-/// Deterministic: equal snapshots serialise to equal bytes.
-std::string SerializeSnapshot(const Snapshot& snapshot);
+/// Serialises to the versioned, checksummed version-2 format above.
+/// Deterministic: equal snapshots and options serialise to equal bytes.
+std::string SerializeSnapshot(const Snapshot& snapshot,
+                              const SnapshotWriteOptions& options = {});
 
-/// Parses snapshot bytes, verifying magic, version, section table bounds
-/// and every checksum before touching payloads.
+/// Eagerly parses snapshot bytes (either version), verifying magic,
+/// version, section table bounds and every checksum.
 Result<Snapshot> ParseSnapshot(std::string_view bytes);
 
+/// Header-only peek: validates the fixed header, section table and header
+/// CRC of either version and returns the table without touching a single
+/// payload byte (v1 rows report codec none and stored == raw).
+Result<std::vector<SnapshotSectionInfo>> InspectSnapshot(
+    std::string_view bytes);
+
 /// File convenience wrappers around Serialize/Parse.
-Status SaveSnapshot(const Snapshot& snapshot, const std::string& path);
+Status SaveSnapshot(const Snapshot& snapshot, const std::string& path,
+                    const SnapshotWriteOptions& options = {});
 Result<Snapshot> LoadSnapshot(const std::string& path);
+
+/// Lazily-paged read handle over serialized snapshot bytes.
+///
+/// Open() verifies the header and section table only — O(header), no
+/// section is decompressed or decoded. Each section accessor pages its
+/// section in on first touch (decompress → checksum both sides → decode →
+/// cross-check against the summary) behind a per-section once-latch, so
+/// concurrent readers are safe and a section is decoded at most once; the
+/// first error a section hits is sticky. Accessors return pointers into
+/// the handle, valid for the handle's lifetime.
+///
+/// Version-1 files and in-memory snapshots have no frames to page and are
+/// held fully decoded; accessors then never fail.
+///
+/// Decode-side metrics: serve.snapshot.sections_decoded (counter),
+/// serve.snapshot.decode_ns (histogram), serve.snapshot.bytes_compressed /
+/// bytes_raw (counters over paged-in sections).
+class SnapshotHandle {
+ public:
+  /// Takes ownership of `bytes` (the frames are borrowed from it until
+  /// paged in).
+  static Result<SnapshotHandle> Open(std::string bytes);
+  static Result<SnapshotHandle> OpenFile(const std::string& path);
+  /// Wraps an already-built snapshot; every section reads as decoded.
+  static SnapshotHandle FromSnapshot(Snapshot snapshot);
+
+  SnapshotHandle(SnapshotHandle&&) noexcept;
+  SnapshotHandle& operator=(SnapshotHandle&&) noexcept;
+  ~SnapshotHandle();
+
+  /// The section table, in file order (empty for FromSnapshot handles).
+  const std::vector<SnapshotSectionInfo>& sections() const;
+  /// kSnapshotVersion, or kSnapshotVersionV1 for a back-compat file.
+  std::uint32_t version() const;
+  /// Sections decoded so far — the laziness observable the tests pin.
+  std::size_t decoded_section_count() const;
+
+  /// Per-section accessors; each pages in (at most) its own section plus
+  /// the summary for cross-checks.
+  Result<const std::map<std::string, std::string>*> meta() const;
+  Result<const SnapshotSummary*> summary() const;
+  Result<const std::vector<std::vector<SnapshotPattern>>*> patterns() const;
+  Result<const std::vector<std::string>*> feature_classes() const;
+  Result<const Matrix*> features() const;
+  Result<const std::vector<SnapshotPdist>*> pdists() const;
+  Result<const std::vector<SnapshotTree>*> trees() const;
+  Result<const std::vector<std::string>*> authenticity_items() const;
+  Result<const Matrix*> authenticity() const;
+  Result<const std::vector<Table1Row>*> table1() const;
+
+  /// Pages in every section and returns the whole snapshot.
+  Result<const Snapshot*> Full() const;
+
+  /// Pages in every section and moves the snapshot out, consuming the
+  /// handle — the eager-load path (ParseSnapshot is built on it).
+  Result<Snapshot> IntoSnapshot() &&;
+
+ private:
+  struct State;
+  SnapshotHandle() = default;
+
+  Status EnsureSection(std::size_t index) const;
+  Status DecodeSectionNow(std::size_t index) const;
+
+  std::unique_ptr<State> state_;
+};
 
 }  // namespace serve
 }  // namespace cuisine

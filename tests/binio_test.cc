@@ -167,6 +167,58 @@ TEST(BinaryReaderTest, ExpectEndFlagsTrailingBytes) {
   EXPECT_NE(st.message().find("trailing"), std::string::npos);
 }
 
+TEST(VarintTest, KnownEncodings) {
+  // LEB128 reference points: one byte below 128, boundary values at each
+  // 7-bit step, and the 10-byte maximum.
+  const struct {
+    std::uint64_t value;
+    std::size_t bytes;
+  } kCases[] = {
+      {0, 1},     {1, 1},      {127, 1},          {128, 2},
+      {16383, 2}, {16384, 3},  {(1ull << 56), 9}, {~0ull, 10},
+  };
+  for (const auto& c : kCases) {
+    BinaryWriter w;
+    w.WriteUvarint(c.value);
+    EXPECT_EQ(w.size(), c.bytes) << c.value;
+    BinaryReader r(w.data());
+    std::uint64_t got = 0;
+    ASSERT_TRUE(r.ReadUvarint(&got).ok()) << c.value;
+    EXPECT_EQ(got, c.value);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(VarintTest, TruncatedAndOverlongAreParseErrors) {
+  BinaryWriter w;
+  w.WriteUvarint(~0ull);
+  // Dropping the final byte leaves a dangling continuation bit.
+  BinaryReader truncated(std::string_view(w.data()).substr(0, w.size() - 1));
+  std::uint64_t out = 0;
+  EXPECT_EQ(truncated.ReadUvarint(&out).code(), StatusCode::kParseError);
+  // An 11-byte encoding (ten continuation bytes) can never be a u64.
+  const std::string too_long(11, '\x80');
+  BinaryReader overlong(too_long);
+  EXPECT_EQ(overlong.ReadUvarint(&out).code(), StatusCode::kParseError);
+  // A 10th byte carrying more than the u64's top bit is overlong too.
+  std::string top = std::string(9, '\x80') + '\x02';
+  BinaryReader overflow(top);
+  EXPECT_EQ(overflow.ReadUvarint(&out).code(), StatusCode::kParseError);
+}
+
+TEST(VarintTest, ZigZagIsExactInverse) {
+  const std::int64_t kValues[] = {0,  -1, 1,  -2, 2,  63, -64,
+                                  std::numeric_limits<std::int64_t>::min(),
+                                  std::numeric_limits<std::int64_t>::max()};
+  // Small magnitudes map to small codes (the property delta coding needs).
+  EXPECT_EQ(ZigZagEncode64(0), 0u);
+  EXPECT_EQ(ZigZagEncode64(-1), 1u);
+  EXPECT_EQ(ZigZagEncode64(1), 2u);
+  for (std::int64_t v : kValues) {
+    EXPECT_EQ(ZigZagDecode64(ZigZagEncode64(v)), v) << v;
+  }
+}
+
 TEST(BinaryWriterTest, PatchBackfillsPlaceholders) {
   BinaryWriter w;
   w.WriteU32(0);                 // placeholder

@@ -1,0 +1,259 @@
+// Block codec tests (serve/codec.h): known encodings, round trips over
+// adversarial shapes, the documented frame-size bound, precise
+// rejection of corrupted frames at known fault offsets, and the shared
+// 500-seed deterministic fuzz battery (the same driver tools/codec_fuzz
+// soaks open-ended in CI).
+
+#include "serve/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "common/binio.h"
+#include "serve/codec_fuzz.h"
+
+namespace cuisine {
+namespace serve {
+namespace codec {
+namespace {
+
+std::string Words(std::initializer_list<std::uint64_t> values) {
+  BinaryWriter w;
+  for (std::uint64_t v : values) w.WriteU64(v);
+  return std::move(w).Take();
+}
+
+constexpr CodecId kAllCodecs[] = {CodecId::kNone, CodecId::kDelta,
+                                  CodecId::kLz};
+
+TEST(CodecIdTest, NamesAndParseRoundTrip) {
+  for (CodecId id : kAllCodecs) {
+    auto parsed = ParseCodecId(CodecName(id));
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_EQ(*parsed, id);
+    EXPECT_TRUE(IsKnownCodecId(static_cast<std::uint32_t>(id)));
+  }
+  EXPECT_FALSE(ParseCodecId("gzip").ok());
+  EXPECT_FALSE(IsKnownCodecId(3));
+  EXPECT_FALSE(IsKnownCodecId(99));
+}
+
+TEST(DeltaCodecTest, AllEqualWordsCollapseToOneByteDeltas) {
+  const std::string raw = Words({42, 42, 42, 42, 42, 42, 42, 42});
+  const std::string encoded = DeltaEncode(raw);
+  // First word varint plus one zero byte per following word.
+  EXPECT_LT(encoded.size(), raw.size() / 4);
+  auto decoded = DeltaDecode(encoded, raw.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, raw);
+}
+
+TEST(DeltaCodecTest, ExtremeDeltasRoundTrip) {
+  const std::uint64_t kMin = 0x8000000000000000ull;  // INT64_MIN bits
+  const std::uint64_t kMax = 0x7FFFFFFFFFFFFFFFull;  // INT64_MAX bits
+  const std::string raw = Words({0, kMax, 0, kMin, kMax, kMin, 0,
+                                 std::numeric_limits<std::uint64_t>::max()});
+  auto decoded = DeltaDecode(DeltaEncode(raw), raw.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, raw);
+}
+
+TEST(DeltaCodecTest, SubWordTailIsPreservedVerbatim) {
+  std::string raw = Words({7, 8}) + "tail!";  // 21 bytes: 2 words + 5 tail
+  const std::string encoded = DeltaEncode(raw);
+  EXPECT_EQ(encoded.substr(encoded.size() - 5), "tail!");
+  auto decoded = DeltaDecode(encoded, raw.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, raw);
+  // A size that disagrees with the stream is rejected, not padded.
+  EXPECT_FALSE(DeltaDecode(encoded, raw.size() + 1).ok());
+  EXPECT_FALSE(DeltaDecode(encoded, raw.size() - 1).ok());
+}
+
+TEST(LzCodecTest, RepetitiveTextCompressesAndRoundTrips) {
+  std::string raw;
+  for (int i = 0; i < 64; ++i) raw += "onion + garlic + ginger; ";
+  const std::string encoded = LzEncode(raw);
+  EXPECT_LT(encoded.size(), raw.size() / 4);
+  auto decoded = LzDecode(encoded, raw.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, raw);
+}
+
+TEST(LzCodecTest, OverlappingMatchExpandsRunByteByByte) {
+  // "aaaa..." encodes as one literal plus an offset-1 match that copies
+  // bytes it has itself just produced — the overlap case.
+  const std::string raw(300, 'a');
+  auto decoded = LzDecode(LzEncode(raw), raw.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(*decoded, raw);
+}
+
+TEST(LzCodecTest, RejectsTruncatedStreams) {
+  std::string raw;
+  for (int i = 0; i < 32; ++i) raw += "pattern pattern pattern ";
+  const std::string encoded = LzEncode(raw);
+  for (std::size_t keep = 0; keep < encoded.size(); ++keep) {
+    auto r = LzDecode(std::string_view(encoded).substr(0, keep), raw.size());
+    EXPECT_FALSE(r.ok()) << "accepted a " << keep << "-byte prefix";
+  }
+}
+
+TEST(FrameTest, EmptyInputIsAHeaderOnlyFrame) {
+  for (CodecId id : kAllCodecs) {
+    const std::string frame = CompressFrame(id, "");
+    EXPECT_EQ(frame.size(), kFrameHeaderBytes) << CodecName(id);
+    auto decoded = DecompressFrame(id, frame, 0);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(decoded->empty());
+    // The empty frame still pins its raw size.
+    EXPECT_FALSE(DecompressFrame(id, frame, 1).ok());
+  }
+}
+
+TEST(FrameTest, IncompressibleInputFallsBackToRawBlocks) {
+  // pseudo-random bytes via the fuzz generator's shape 4.
+  const std::string raw = FuzzInput(4);
+  ASSERT_FALSE(raw.empty());
+  for (CodecId id : kAllCodecs) {
+    const std::string frame = CompressFrame(id, raw);
+    EXPECT_LE(frame.size(),
+              kFrameHeaderBytes + raw.size() + kBlockHeaderBytes)
+        << CodecName(id);
+    EXPECT_EQ(frame[kFrameHeaderBytes + 16], kBlockEncodingRaw)
+        << CodecName(id) << " should have stored the block raw";
+    auto decoded = DecompressFrame(id, frame, raw.size());
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_EQ(*decoded, raw);
+  }
+}
+
+TEST(FrameTest, MultiBlockFramesRoundTrip) {
+  std::string raw;
+  for (int i = 0; i < 200; ++i) raw += "a long repeated phrase no. ";
+  for (CodecId id : kAllCodecs) {
+    const std::string frame = CompressFrame(id, raw, /*block_bytes=*/64);
+    auto decoded = DecompressFrame(id, frame, raw.size());
+    ASSERT_TRUE(decoded.ok()) << CodecName(id) << ": " << decoded.status();
+    EXPECT_EQ(*decoded, raw);
+  }
+}
+
+// Fault injection at exact offsets inside one block's header:
+//   +0 raw_size, +4 stored_size, +8 raw_crc32c, +12 stored_crc32c,
+//   +16 encoding, +17 stored bytes.
+class FrameFaultTest : public ::testing::TestWithParam<CodecId> {
+ protected:
+  static std::string Raw() {
+    std::string raw;
+    for (int i = 0; i < 64; ++i) raw += "soy sauce + rice + ginger | ";
+    return raw;
+  }
+};
+
+TEST_P(FrameFaultTest, PayloadBitFlipFailsCompressedSideChecksum) {
+  const std::string raw = Raw();
+  std::string frame = CompressFrame(GetParam(), raw);
+  frame[kFrameHeaderBytes + kBlockHeaderBytes + 3] ^= 0x10;
+  auto r = DecompressFrame(GetParam(), frame, raw.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(
+      r.status().message().find("compressed-side checksum mismatch"),
+      std::string::npos)
+      << r.status();
+}
+
+TEST_P(FrameFaultTest, StoredCrcFlipFailsCompressedSideOnly) {
+  const std::string raw = Raw();
+  std::string frame = CompressFrame(GetParam(), raw);
+  frame[kFrameHeaderBytes + 12] ^= 0x01;  // stored_crc32c field itself
+  auto r = DecompressFrame(GetParam(), frame, raw.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(
+      r.status().message().find("compressed-side checksum mismatch"),
+      std::string::npos)
+      << r.status();
+}
+
+TEST_P(FrameFaultTest, RawCrcFlipFailsRawSideOnly) {
+  // The stored-side CRC still passes (the payload is untouched); only
+  // the post-decode raw check can catch this one.
+  const std::string raw = Raw();
+  std::string frame = CompressFrame(GetParam(), raw);
+  frame[kFrameHeaderBytes + 8] ^= 0x01;  // raw_crc32c field
+  auto r = DecompressFrame(GetParam(), frame, raw.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("raw-side checksum mismatch"),
+            std::string::npos)
+      << r.status();
+}
+
+TEST_P(FrameFaultTest, OverlongStoredSizeIsATruncatedBlock) {
+  const std::string raw = Raw();
+  std::string frame = CompressFrame(GetParam(), raw);
+  // Inflate stored_size (second byte -> >= 32 KiB) past the frame end.
+  frame[kFrameHeaderBytes + 5] = 0x7F;
+  auto r = DecompressFrame(GetParam(), frame, raw.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos)
+      << r.status();
+}
+
+TEST_P(FrameFaultTest, UnknownEncodingFlagIsRejected) {
+  const std::string raw = Raw();
+  std::string frame = CompressFrame(GetParam(), raw);
+  frame[kFrameHeaderBytes + 16] = 7;
+  auto r = DecompressFrame(GetParam(), frame, raw.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("encoding"), std::string::npos)
+      << r.status();
+}
+
+TEST_P(FrameFaultTest, TrailingBytesAreRejected) {
+  const std::string raw = Raw();
+  const std::string frame = CompressFrame(GetParam(), raw);
+  auto r = DecompressFrame(GetParam(), frame + "!", raw.size());
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("trailing"), std::string::npos)
+      << r.status();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, FrameFaultTest,
+                         ::testing::ValuesIn(kAllCodecs),
+                         [](const auto& param_info) {
+                           return std::string(CodecName(param_info.param));
+                         });
+
+// The deterministic battery: 500 seeds, each exercising every codec at
+// two block sizes with round-trip, size-bound, wrong-size, corruption,
+// truncation and trailing-byte checks. tools/codec_fuzz continues the
+// same sequence open-ended under the sanitizer CI jobs.
+TEST(CodecFuzzTest, FiveHundredSeededCasesPerCodec) {
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    auto status = RunFuzzSeed(seed);
+    ASSERT_TRUE(status.ok()) << status;
+  }
+}
+
+// The generator must actually produce every advertised shape, including
+// the multi-block sizes — otherwise the battery silently thins out.
+TEST(CodecFuzzTest, GeneratorCoversAdvertisedShapes) {
+  EXPECT_TRUE(FuzzInput(0).empty());
+  EXPECT_FALSE(FuzzInput(1).empty());
+  bool saw_multi_block = false;
+  for (std::uint64_t seed = 0; seed < 500; ++seed) {
+    if (FuzzInput(seed).size() > kDefaultBlockBytes) saw_multi_block = true;
+  }
+  EXPECT_TRUE(saw_multi_block);
+  // Determinism: same seed, same bytes.
+  EXPECT_EQ(FuzzInput(123), FuzzInput(123));
+}
+
+}  // namespace
+}  // namespace codec
+}  // namespace serve
+}  // namespace cuisine

@@ -189,7 +189,9 @@ TEST_F(QueryTest, StatsJsonCarriesCacheCounters) {
   QueryEngine engine(*snapshot_);
   ASSERT_TRUE(engine.Table1Row("Korean").ok());
   ASSERT_TRUE(engine.Table1Row("Korean").ok());
-  auto json = Json::Parse(engine.StatsJson());
+  auto stats = engine.StatsJson();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto json = Json::Parse(*stats);
   ASSERT_TRUE(json.ok()) << json.status();
   const Json* cache = json->Find("cache");
   ASSERT_NE(cache, nullptr);
@@ -309,6 +311,57 @@ TEST(QueryDeterminismTest, ResponsesIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serialized[0], serialized[2]);
   EXPECT_EQ(responses[0], responses[1]);
   EXPECT_EQ(responses[0], responses[2]);
+}
+
+// Differential check over the section codecs: a snapshot serialised
+// with --codec=none (stored bytes == raw bytes) must answer every one
+// of the seven query verbs byte-identically to the same snapshot
+// carried by the delta codec, the lz codec, or the per-section
+// defaults. The engines run identical request sequences, so even the
+// stats verb's cache counters must line up.
+TEST_F(QueryTest, RepliesByteIdenticalAcrossSectionCodecs) {
+  std::vector<SnapshotWriteOptions> variants(4);
+  variants[1].codec_override = codec::CodecId::kNone;
+  variants[2].codec_override = codec::CodecId::kDelta;
+  variants[3].codec_override = codec::CodecId::kLz;
+
+  std::vector<std::vector<std::string>> replies;
+  for (const SnapshotWriteOptions& options : variants) {
+    auto handle = SnapshotHandle::Open(SerializeSnapshot(*snapshot_, options));
+    ASSERT_TRUE(handle.ok()) << handle.status();
+    QueryEngine engine(std::move(handle).value());
+    std::vector<std::string> batch;
+    for (int round = 0; round < 2; ++round) {  // cold then warm
+      batch.push_back(*engine.Table1Row("Korean"));
+      batch.push_back(*engine.TopPatterns("Indian Subcontinent", 5));
+      batch.push_back(*engine.CuisineDistance(DistanceMetric::kEuclidean,
+                                              "French", "Italian"));
+      batch.push_back(*engine.TreeNewick("cosine"));
+      batch.push_back(*engine.AuthenticityTopK("Thai", 4, true));
+      batch.push_back(*engine.NearestCuisines(DistanceMetric::kJaccard,
+                                              "Japanese", 5));
+      batch.push_back(*engine.StatsJson());
+    }
+    replies.push_back(std::move(batch));
+  }
+  for (std::size_t i = 1; i < replies.size(); ++i) {
+    EXPECT_EQ(replies[0], replies[i]) << "codec variant " << i;
+  }
+}
+
+// The engine over a lazy handle decodes nothing at construction and
+// only what each verb needs afterwards.
+TEST_F(QueryTest, EngineOverLazyHandleDecodesOnDemand) {
+  auto handle = SnapshotHandle::Open(SerializeSnapshot(*snapshot_));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  QueryEngine engine(std::move(handle).value());
+  EXPECT_EQ(engine.handle().decoded_section_count(), 0u);
+  ASSERT_TRUE(engine.TreeNewick("jaccard").ok());
+  // The tree verb needs only the trees section.
+  EXPECT_EQ(engine.handle().decoded_section_count(), 1u);
+  // The table verb adds the summary (cuisine index) and the table rows.
+  ASSERT_TRUE(engine.Table1Row("Korean").ok());
+  EXPECT_EQ(engine.handle().decoded_section_count(), 3u);
 }
 
 TEST_F(QueryTest, RequestContextReportsCacheHits) {

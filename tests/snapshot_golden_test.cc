@@ -1,14 +1,22 @@
-// Golden regression fixture for the snapshot byte format: a small
+// Golden regression fixtures for the snapshot byte format. A small
 // deterministic pipeline run is serialised and compared byte-for-byte
-// against the checked-in tests/golden/snapshot_small.golden. Any drift
-// in the generator, miners, clustering, authenticity arithmetic, or the
-// binary encoding itself fails here — and because the whole pipeline is
-// deterministic under CUISINE_THREADS, the same bytes must come out at
-// any thread count (asserted directly below).
+// against the checked-in tests/golden/snapshot_v2_small.golden. Any
+// drift in the generator, miners, clustering, authenticity arithmetic,
+// the section codecs, or the binary encoding itself fails here — and
+// because the whole pipeline is deterministic under CUISINE_THREADS,
+// the same bytes must come out at any thread count (asserted directly
+// below).
+//
+// A second fixture, tests/golden/snapshot_v1_small.golden, holds the
+// SAME snapshot in the legacy CUSNAP01 layout (raw payloads, per-
+// section CRCs). SerializeSnapshot no longer writes that format, so
+// the fixture is the proof that v1 files keep loading: it must open,
+// serve byte-identical query replies, and re-serialise to the exact v2
+// bytes.
 //
 // Regeneration (after an *intentional* format or pipeline change):
 //   CUISINE_REGEN_GOLDEN=1 ./build/tests/snapshot_golden_test
-// rewrites the fixture in the source tree; commit the result.
+// rewrites both fixtures in the source tree; commit the result.
 
 #include <gtest/gtest.h>
 
@@ -16,18 +24,27 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "common/binio.h"
+#include "common/hash.h"
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "core/pipeline.h"
+#include "serve/codec.h"
+#include "serve/query.h"
 #include "serve/snapshot.h"
 
 namespace cuisine {
 namespace serve {
 namespace {
 
-std::string GoldenPath() {
-  return std::string(CUISINE_GOLDEN_DIR) + "/snapshot_small.golden";
+std::string GoldenPathV2() {
+  return std::string(CUISINE_GOLDEN_DIR) + "/snapshot_v2_small.golden";
+}
+
+std::string GoldenPathV1() {
+  return std::string(CUISINE_GOLDEN_DIR) + "/snapshot_v1_small.golden";
 }
 
 std::string SerializedSmallSnapshot() {
@@ -40,6 +57,56 @@ std::string SerializedSmallSnapshot() {
   auto snap = BuildSnapshot(run->dataset, *run, config);
   CUISINE_CHECK(snap.ok()) << snap.status();
   return SerializeSnapshot(*snap);
+}
+
+// Re-encodes v2 snapshot bytes into the legacy CUSNAP01 layout:
+//   [magic][version u32][section_count u32][file_size u64]
+//   [(id u32, offset u64, size u64, payload crc32c u32) x count]
+//   [raw payloads ...]
+// Built from public pieces only (InspectSnapshot + codec::DecompressFrame),
+// exactly how the old writer laid files out — the regen path for the v1
+// fixture and the corruption tests' v1 source.
+std::string ReencodeAsV1(std::string_view v2_bytes) {
+  auto sections = InspectSnapshot(v2_bytes);
+  CUISINE_CHECK(sections.ok()) << sections.status();
+  std::vector<std::string> payloads;
+  for (const SnapshotSectionInfo& s : *sections) {
+    auto raw = codec::DecompressFrame(
+        s.codec, v2_bytes.substr(s.offset, s.stored_size), s.raw_size);
+    CUISINE_CHECK(raw.ok()) << raw.status();
+    payloads.push_back(std::move(raw).value());
+  }
+  constexpr std::size_t kV1TableEntryBytes = 4 + 8 + 8 + 4;
+  const std::size_t header_bytes =
+      8 + 4 + 4 + 8 + sections->size() * kV1TableEntryBytes + 4;
+  BinaryWriter w;
+  w.WriteBytes(kSnapshotMagicV1);
+  w.WriteU32(kSnapshotVersionV1);
+  w.WriteU32(static_cast<std::uint32_t>(sections->size()));
+  std::uint64_t total = header_bytes;
+  for (const std::string& p : payloads) total += p.size();
+  w.WriteU64(total);
+  std::uint64_t offset = header_bytes;
+  for (std::size_t i = 0; i < sections->size(); ++i) {
+    w.WriteU32((*sections)[i].id);
+    w.WriteU64(offset);
+    w.WriteU64(payloads[i].size());
+    w.WriteU32(Crc32c::Of(payloads[i]));
+    offset += payloads[i].size();
+  }
+  w.WriteU32(Crc32c::Of(w.data()));
+  for (const std::string& p : payloads) w.WriteBytes(p);
+  return std::move(w).Take();
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CUISINE_CHECK(in.good()) << "missing fixture " << path
+                           << " — run with CUISINE_REGEN_GOLDEN=1 to create "
+                              "it";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 TEST(SnapshotGoldenTest, BytesIdenticalAcrossThreadCounts) {
@@ -57,21 +124,17 @@ TEST(SnapshotGoldenTest, SmallFixtureMatchesByteForByte) {
   const std::string actual = SerializedSmallSnapshot();
 
   if (std::getenv("CUISINE_REGEN_GOLDEN") != nullptr) {
-    std::ofstream out(GoldenPath(), std::ios::trunc | std::ios::binary);
-    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPath();
+    std::ofstream out(GoldenPathV2(), std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write " << GoldenPathV2();
     out << actual;
-    GTEST_SKIP() << "regenerated " << GoldenPath()
-                 << " — review and commit the diff";
+    std::ofstream v1(GoldenPathV1(), std::ios::trunc | std::ios::binary);
+    ASSERT_TRUE(v1.good()) << "cannot write " << GoldenPathV1();
+    v1 << ReencodeAsV1(actual);
+    GTEST_SKIP() << "regenerated " << GoldenPathV2() << " and "
+                 << GoldenPathV1() << " — review and commit the diff";
   }
 
-  std::ifstream in(GoldenPath(), std::ios::binary);
-  ASSERT_TRUE(in.good())
-      << "missing fixture " << GoldenPath()
-      << " — run with CUISINE_REGEN_GOLDEN=1 to create it";
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string expected = buffer.str();
-
+  const std::string expected = ReadFileOrDie(GoldenPathV2());
   if (actual == expected) return;
 
   // Binary fixture: report the first divergent offset and both bytes
@@ -79,7 +142,7 @@ TEST(SnapshotGoldenTest, SmallFixtureMatchesByteForByte) {
   std::size_t first = 0;
   const std::size_t limit = std::min(actual.size(), expected.size());
   while (first < limit && actual[first] == expected[first]) ++first;
-  FAIL() << "snapshot bytes drifted from " << GoldenPath()
+  FAIL() << "snapshot bytes drifted from " << GoldenPathV2()
          << "\n  expected size " << expected.size() << ", actual "
          << actual.size() << "\n  first difference at offset " << first
          << (first < limit
@@ -93,6 +156,53 @@ TEST(SnapshotGoldenTest, SmallFixtureMatchesByteForByte) {
                  : " (one file is a prefix of the other)")
          << "\nIf the change is intentional, regenerate with "
             "CUISINE_REGEN_GOLDEN=1 and commit the new fixture.";
+}
+
+// The back-compat contract, pinned against a real checked-in CUSNAP01
+// file: it opens (eagerly — every section reads as decoded), serves the
+// same query replies byte-for-byte as the v2 fixture, and re-serialises
+// to exactly the canonical v2 bytes.
+TEST(SnapshotGoldenTest, V1FixtureLoadsAndServesIdentically) {
+  if (std::getenv("CUISINE_REGEN_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "fixtures regenerated by SmallFixtureMatchesByteForByte";
+  }
+  const std::string v2_bytes = ReadFileOrDie(GoldenPathV2());
+  const std::string v1_bytes = ReadFileOrDie(GoldenPathV1());
+  EXPECT_EQ(v1_bytes.substr(0, 8), kSnapshotMagicV1);
+
+  auto v1 = SnapshotHandle::Open(v1_bytes);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  EXPECT_EQ(v1->version(), kSnapshotVersionV1);
+  EXPECT_EQ(v1->decoded_section_count(), kSnapshotSectionCount);
+
+  auto v2 = SnapshotHandle::Open(v2_bytes);
+  ASSERT_TRUE(v2.ok()) << v2.status();
+
+  // A v1 file upgraded through Save comes out as the canonical v2 bytes.
+  auto reloaded = ParseSnapshot(v1_bytes);
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status();
+  EXPECT_EQ(SerializeSnapshot(*reloaded), v2_bytes);
+
+  QueryEngine old_engine(std::move(v1).value());
+  QueryEngine new_engine(std::move(v2).value());
+  const auto compare = [&](Result<std::string> a, Result<std::string> b) {
+    ASSERT_TRUE(a.ok()) << a.status();
+    ASSERT_TRUE(b.ok()) << b.status();
+    EXPECT_EQ(*a, *b);
+  };
+  compare(old_engine.Table1Row("Korean"), new_engine.Table1Row("Korean"));
+  compare(old_engine.TopPatterns("French", 5),
+          new_engine.TopPatterns("French", 5));
+  compare(old_engine.CuisineDistance(DistanceMetric::kCosine, "Thai",
+                                     "Japanese"),
+          new_engine.CuisineDistance(DistanceMetric::kCosine, "Thai",
+                                     "Japanese"));
+  compare(old_engine.TreeNewick("jaccard"), new_engine.TreeNewick("jaccard"));
+  compare(old_engine.AuthenticityTopK("Korean", 3, true),
+          new_engine.AuthenticityTopK("Korean", 3, true));
+  compare(old_engine.NearestCuisines(DistanceMetric::kEuclidean, "Italian", 5),
+          new_engine.NearestCuisines(DistanceMetric::kEuclidean, "Italian",
+                                     5));
 }
 
 }  // namespace

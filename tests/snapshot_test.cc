@@ -57,7 +57,61 @@ TEST_F(SnapshotTest, BuildPopulatesEverySection) {
 
 TEST_F(SnapshotTest, MagicLeadsTheFile) {
   ASSERT_GE(bytes_->size(), 8u);
-  EXPECT_EQ(bytes_->substr(0, 8), "CUSNAP01");
+  EXPECT_EQ(bytes_->substr(0, 8), "CUSNAP02");
+}
+
+TEST_F(SnapshotTest, InspectReportsEverySectionWithoutDecoding) {
+  auto info = InspectSnapshot(*bytes_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  ASSERT_EQ(info->size(), kSnapshotSectionCount);
+  std::uint64_t expected_offset = kSnapshotHeaderBytes;
+  for (std::size_t i = 0; i < info->size(); ++i) {
+    const SnapshotSectionInfo& s = (*info)[i];
+    EXPECT_EQ(s.id, i + 1);
+    EXPECT_EQ(s.codec, DefaultSectionCodec(s.id));
+    EXPECT_EQ(s.offset, expected_offset);
+    EXPECT_GT(s.stored_size, 0u);
+    EXPECT_GT(s.raw_size, 0u);
+    expected_offset += s.stored_size;
+  }
+  EXPECT_EQ(expected_offset, bytes_->size());
+}
+
+TEST_F(SnapshotTest, HandleDecodesSectionsOnlyOnTouch) {
+  auto handle = SnapshotHandle::Open(*bytes_);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_EQ(handle->version(), kSnapshotVersion);
+  EXPECT_EQ(handle->decoded_section_count(), 0u);
+  auto meta = handle->meta();
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  EXPECT_EQ((*meta)->at("generator.seed"), "2020");
+  EXPECT_EQ(handle->decoded_section_count(), 1u);
+  // A section needing summary cross-checks pulls the summary in too.
+  auto trees = handle->trees();
+  ASSERT_TRUE(trees.ok()) << trees.status();
+  EXPECT_EQ(handle->decoded_section_count(), 2u);
+  auto patterns = handle->patterns();
+  ASSERT_TRUE(patterns.ok()) << patterns.status();
+  EXPECT_EQ(handle->decoded_section_count(), 4u);  // + summary
+  auto full = handle->Full();
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_EQ(handle->decoded_section_count(), kSnapshotSectionCount);
+  EXPECT_EQ((*full)->summary, snapshot_->summary);
+}
+
+TEST_F(SnapshotTest, CodecOverridesRoundTripIdentically) {
+  for (codec::CodecId id : {codec::CodecId::kNone, codec::CodecId::kDelta,
+                            codec::CodecId::kLz}) {
+    SnapshotWriteOptions options;
+    options.codec_override = id;
+    const std::string bytes = SerializeSnapshot(*snapshot_, options);
+    auto loaded = ParseSnapshot(bytes);
+    ASSERT_TRUE(loaded.ok())
+        << codec::CodecName(id) << ": " << loaded.status();
+    // Re-serialising with default options must reproduce the canonical
+    // bytes regardless of which codec carried the sections.
+    EXPECT_EQ(SerializeSnapshot(*loaded), *bytes_) << codec::CodecName(id);
+  }
 }
 
 TEST_F(SnapshotTest, SerializeIsDeterministic) {

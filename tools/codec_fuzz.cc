@@ -1,0 +1,77 @@
+// Time-boxed fuzz loop over the serve/codec.h block codecs — the same
+// deterministic battery tests/codec_test.cc runs for a fixed 500 seeds,
+// here run open-ended so the sanitizer CI jobs can soak it:
+//
+//   codec_fuzz [--seconds N] [--start-seed S] [--max-seeds N]
+//
+// Every seed fully determines its input and its corruption probes, so a
+// failure report ("seed 12345: ...") reproduces anywhere with
+//   codec_fuzz --start-seed 12345 --max-seeds 1
+// Exits 0 when every seed in the budget passed, 1 on the first failure.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/codec_fuzz.h"
+
+namespace {
+
+std::uint64_t ParseU64Or(const char* text, std::uint64_t fallback) {
+  if (text == nullptr || *text == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seconds = 5;
+  std::uint64_t start_seed = 0;
+  std::uint64_t max_seeds = 0;  // 0 = until the clock runs out
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = ParseU64Or(argv[++i], seconds);
+    } else if (std::strcmp(argv[i], "--start-seed") == 0 && i + 1 < argc) {
+      start_seed = ParseU64Or(argv[++i], start_seed);
+    } else if (std::strcmp(argv[i], "--max-seeds") == 0 && i + 1 < argc) {
+      max_seeds = ParseU64Or(argv[++i], max_seeds);
+    } else {
+      std::fprintf(stderr,
+                   "usage: codec_fuzz [--seconds N] [--start-seed S] "
+                   "[--max-seeds N]\n");
+      return 2;
+    }
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(static_cast<long>(seconds));
+  std::uint64_t seed = start_seed;
+  std::uint64_t ran = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (max_seeds != 0 && ran >= max_seeds) break;
+    const auto status = cuisine::serve::codec::RunFuzzSeed(seed);
+    if (!status.ok()) {
+      std::fprintf(stderr, "FAIL: %s\n",
+                   std::string(status.message()).c_str());
+      return 1;
+    }
+    ++seed;
+    ++ran;
+    if (ran % 500 == 0) {
+      std::printf("codec_fuzz: %llu seeds clean (at seed %llu)\n",
+                  static_cast<unsigned long long>(ran),
+                  static_cast<unsigned long long>(seed));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("codec_fuzz: OK — %llu seeds ([%llu, %llu)), 0 failures\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(start_seed),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}
