@@ -13,6 +13,7 @@
 #include "obs/flight.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/request_trace.h"
 
 namespace cuisine {
 namespace {
@@ -128,6 +129,73 @@ void BM_FlightCounterEnabled(benchmark::State& state) {
   obs::ResetFlight();
 }
 BENCHMARK(BM_FlightCounterEnabled);
+
+// Request-tracing cost tiers (serve/request_trace.h). The acceptance
+// bound for the serve path is the *disabled* tier: with --trace-capacity
+// 0 the only per-request tracing cost is the TraceRing::enabled() branch
+// at the top of Service::HandleLine (the TCP front end hides its two
+// sites behind the same check) — this row must stay ≤ ~50ns/request,
+// and in practice is a fraction of one ns.
+void BM_RequestTraceDisabledCheck(benchmark::State& state) {
+  serve::TraceRing ring(serve::TraceRingOptions{0, 0.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.enabled());
+  }
+}
+BENCHMARK(BM_RequestTraceDisabledCheck);
+
+// The active-but-uncommitted tier: tracing on, request neither sampled
+// nor slow/errored. The scratch records every stage (a handful of
+// steady-clock reads) and is then simply abandoned — no lock, no copy.
+void BM_RequestTraceScratchRecord(benchmark::State& state) {
+  serve::RequestTrace trace;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const std::int64_t begin = serve::RequestTrace::NowNs();
+    trace.Begin(serve::DeterministicTraceId(1, seq++), 1, begin);
+    const std::int64_t parse = serve::RequestTrace::NowNs();
+    trace.RecordStage(serve::TraceStage::kParse, begin, parse);
+    const std::int64_t lookup = serve::RequestTrace::NowNs();
+    trace.RecordStage(serve::TraceStage::kCacheLookup, parse, lookup);
+    const std::int64_t done = serve::RequestTrace::NowNs();
+    trace.RecordStage(serve::TraceStage::kExecute, lookup, done);
+    trace.RecordStage(serve::TraceStage::kWrite, done,
+                      serve::RequestTrace::NowNs());
+    benchmark::DoNotOptimize(trace.trace_id());
+  }
+}
+BENCHMARK(BM_RequestTraceScratchRecord);
+
+// The deterministic head-sampling decision (id mix + compare), taken
+// once per request while tracing is active.
+void BM_RequestTraceHeadSampleDecision(benchmark::State& state) {
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::TraceRing::HeadSampled(
+        serve::DeterministicTraceId(1, seq++), 0.01));
+  }
+}
+BENCHMARK(BM_RequestTraceHeadSampleDecision);
+
+// The committed tier: scratch copy into the mutex-guarded ring plus the
+// per-reason counter bump. Paid only by sampled/slow/error/shed/timeout
+// requests; the ring stays at capacity, so eviction is in the loop.
+void BM_RequestTraceCommit(benchmark::State& state) {
+  ObsStateGuard guard;
+  obs::SetMetricsEnabled(true);
+  serve::TraceRing ring(serve::TraceRingOptions{64, 0.0});
+  serve::RequestTrace trace;
+  std::uint64_t seq = 0;
+  for (auto _ : state) {
+    const std::int64_t begin = serve::RequestTrace::NowNs();
+    trace.Begin(serve::DeterministicTraceId(1, seq++), 1, begin);
+    trace.RecordStage(serve::TraceStage::kExecute, begin,
+                      serve::RequestTrace::NowNs());
+    ring.Commit(trace, "table1", "head", 1000, true, true,
+                serve::RequestTrace::NowNs());
+  }
+}
+BENCHMARK(BM_RequestTraceCommit);
 
 // A pdist-shaped ParallelFor (chunked counter adds inside the body) with
 // the whole obs layer off vs on: the end-to-end overhead bound the PR 2

@@ -17,7 +17,11 @@
 //      reject instead of executing;
 //   4. a stdin-vs-TCP byte-identity check — the same canned lines
 //      through Service::HandleLine and through a socket must produce
-//      identical bytes.
+//      identical bytes;
+//   5. a tail-sampled tracing demonstration — head sampling off, slow
+//      threshold 0 ms, so every request tail-commits a trace: tracez
+//      holds one per request with stage sums within wall-clock totals,
+//      and every slowz entry joins to tracez by trace_id.
 //
 // BENCH_serve_tcp.json captures serve.tcp.* and serve.cache.* counters;
 // at CUISINE_THREADS=1 the ladder collapses to one client and every
@@ -36,6 +40,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -130,7 +135,10 @@ class ServerFixture {
  public:
   explicit ServerFixture(TcpServerOptions options,
                          std::size_t cache_capacity = 512)
-      : engine_(PaperServeSnapshot(), MakeEngineOptions(cache_capacity)),
+      : ServerFixture(options, MakeEngineOptions(cache_capacity)) {}
+
+  ServerFixture(TcpServerOptions options, QueryEngineOptions engine_options)
+      : engine_(PaperServeSnapshot(), engine_options),
         server_(&engine_, options) {
     auto st = server_.Start();
     CUISINE_CHECK(st.ok()) << st;
@@ -418,6 +426,80 @@ void PrintIntrospectionDemo() {
             << " exposition lines to # EOF, admin scrapes unmetered\n";
 }
 
+/// Tail-sampled request tracing over the wire: with head sampling off
+/// (rate 0) and the slow-query threshold at 0 ms, every metered request
+/// is tail-committed, so tracez must hold one trace per request, each
+/// with stage spans summing within its wall-clock total, and every slowz
+/// entry's trace_id must resolve against tracez — the exemplar-to-trace
+/// join the observability story promises.
+void PrintTraceDemo() {
+  constexpr std::size_t kOps = 24;
+  const std::vector<std::string> kBadLines = {
+      "no_such_command", "distance bogus Korean Thai", "table1"};
+  QueryEngineOptions engine_options;
+  engine_options.cache_capacity = 512;
+  engine_options.live.slow_query_threshold_ms = 0;  // everything is "slow"
+  engine_options.live.trace_capacity = 256;
+  engine_options.live.trace_sample_rate = 0.0;  // tail rules only
+  ServerFixture fixture{TcpServerOptions{}, engine_options};
+  LineClient client(fixture.port());
+  SkewedQueryMix mix(PaperServeSnapshot(), 0x7247CE);
+  for (std::size_t i = 0; i < kOps; ++i) {
+    const std::string response = client.RoundTrip(mix.NextLine());
+    CUISINE_CHECK(response.rfind("{\"ok\":true", 0) == 0) << response;
+  }
+  for (const std::string& line : kBadLines) client.RoundTrip(line);
+
+  auto tracez = Json::Parse(client.RoundTrip("tracez"));
+  CUISINE_CHECK(tracez.ok() && tracez->Find("ok")->bool_value());
+  const Json* data = tracez->Find("data");
+  const Json* traces = data->Find("traces");
+  const std::size_t total = kOps + kBadLines.size();
+  CUISINE_CHECK(data->Find("committed_total")->int_value() ==
+                static_cast<std::int64_t>(total))
+      << data->Find("committed_total")->int_value();
+  CUISINE_CHECK(traces->size() == total) << traces->size();
+  std::set<std::string> ids;
+  std::size_t slow = 0, error = 0;
+  for (std::size_t i = 0; i < traces->size(); ++i) {
+    const Json& t = traces->at(i);
+    ids.insert(t.Find("trace_id")->string_value());
+    const std::string reason = t.Find("reason")->string_value();
+    if (reason == "slow") ++slow;
+    if (reason == "error") ++error;
+    std::int64_t stage_sum = 0;
+    for (const auto& [stage, span] : t.Find("stages")->members()) {
+      stage_sum += span.Find("ns")->int_value();
+    }
+    CUISINE_CHECK(stage_sum <= t.Find("total_ns")->int_value())
+        << t.Dump(0) << " stage sum " << stage_sum;
+  }
+  CUISINE_CHECK(ids.size() == total) << "trace ids collide";
+  CUISINE_CHECK(slow == kOps && error == kBadLines.size())
+      << slow << " slow / " << error << " error";
+
+  // Every slowz entry must join against a committed trace by id.
+  auto slowz = Json::Parse(client.RoundTrip("slowz"));
+  CUISINE_CHECK(slowz.ok() && slowz->Find("ok")->bool_value());
+  const Json* entries = slowz->Find("data")->Find("entries");
+  CUISINE_CHECK(entries->size() > 0);
+  std::size_t joined = 0;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    const std::string id = entries->at(i).Find("trace_id")->string_value();
+    CUISINE_CHECK(id != std::string(16, '0')) << "slowz entry without trace";
+    CUISINE_CHECK(ids.count(id) == 1) << "slowz trace_id " << id
+                                      << " not in tracez";
+    ++joined;
+  }
+  std::cout << "request tracing (rate 0, slow threshold 0 ms => tail "
+               "commits only): "
+            << total << "/" << total << " requests committed (" << slow
+            << " slow, " << error << " error), stage sums within "
+               "wall-clock totals, "
+            << joined << "/" << entries->size()
+            << " slowz entries joined to tracez by trace_id\n";
+}
+
 void PrintArtifact() {
   bench::PrintArtifactHeader(
       "Epoll TCP front end under skewed (NURand hot-cuisine) load — "
@@ -449,6 +531,7 @@ void PrintArtifact() {
   PrintTimeoutDemo();
   PrintByteIdentityCheck();
   PrintIntrospectionDemo();
+  PrintTraceDemo();
 }
 
 void BM_TcpRoundTrip(benchmark::State& state) {

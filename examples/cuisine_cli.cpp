@@ -16,7 +16,8 @@
 //   cuisine_cli snapshot inspect [--in snapshot.bin]
 //   cuisine_cli serve      [--snapshot snapshot.bin] [--cache N]
 //                          [--port P] [--max-pending N] [--timeout-ms T]
-//                          [--slow-query-ms T]
+//                          [--slow-query-ms T] [--trace-capacity N]
+//                          [--trace-sample-rate R]
 //
 // Every command generates (or loads) the calibrated corpus first; use
 // --scale to work with a smaller one. `serve` instead answers queries
@@ -441,9 +442,15 @@ bool ParseServeFlag(const Args& args, const std::string& key,
 
 /// Preserves the slow-query ring in the run report: the `slowz` payload
 /// lands under context."serve.slow_query_log" when the session flushes.
+/// The committed-trace ring rides along under "serve.trace_log", so a
+/// post-mortem can join slowz trace_ids against full stage breakdowns.
 void FlushSlowQueryLog(const cuisine::serve::QueryEngine& engine) {
   cuisine::obs::SetRunContext("serve.slow_query_log",
                               engine.live().SlowQueriesJson().Dump(0));
+  if (engine.live().traces().enabled()) {
+    cuisine::obs::SetRunContext("serve.trace_log",
+                                engine.live().traces().TracezJson().Dump(0));
+  }
 }
 
 int CmdServe(const Args& args) {
@@ -451,10 +458,24 @@ int CmdServe(const Args& args) {
   std::uint64_t max_pending = 0;
   std::uint64_t timeout_ms = 0;
   std::uint64_t slow_query_ms = 0;
+  std::uint64_t trace_capacity = 0;
   if (!ParseServeFlag(args, "port", 65535, 0, &port) ||
       !ParseServeFlag(args, "max-pending", 1u << 20, 1024, &max_pending) ||
       !ParseServeFlag(args, "timeout-ms", 86400000, 5000, &timeout_ms) ||
-      !ParseServeFlag(args, "slow-query-ms", 86400000, 100, &slow_query_ms)) {
+      !ParseServeFlag(args, "slow-query-ms", 86400000, 100, &slow_query_ms) ||
+      !ParseServeFlag(args, "trace-capacity", 1u << 20, 64, &trace_capacity)) {
+    return 2;
+  }
+  // Strict like ParseServeFlag: lenient GetDouble would turn
+  // "--trace-sample-rate garbage" into the 0.0 fallback and silently
+  // serve with head sampling off. A bare flag keeps the fallback.
+  double trace_sample_rate = 0.0;
+  const std::string rate_str = args.Get("trace-sample-rate", "");
+  if (!rate_str.empty() &&
+      (!cuisine::ParseDouble(rate_str, &trace_sample_rate) ||
+       trace_sample_rate < 0.0 || trace_sample_rate > 1.0)) {
+    std::cerr << "error: invalid --trace-sample-rate '" << rate_str
+              << "' (want 0..1)\n";
     return 2;
   }
   // Handlers go in before the (possibly slow) snapshot load so a SIGTERM
@@ -473,6 +494,8 @@ int CmdServe(const Args& args) {
       static_cast<std::size_t>(args.GetDouble("cache", 1024));
   qopt.live.slow_query_threshold_ms =
       static_cast<std::int64_t>(slow_query_ms);
+  qopt.live.trace_capacity = static_cast<std::size_t>(trace_capacity);
+  qopt.live.trace_sample_rate = trace_sample_rate;
   cuisine::serve::QueryEngine engine(std::move(handle).value(), qopt);
   if (!args.Has("port")) {
     cuisine::serve::Service service(&engine);
@@ -543,7 +566,7 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"snapshot", {"out", "support", "codec"}},
       {"snapshot inspect", {}},
       {"serve", {"snapshot", "cache", "port", "max-pending", "timeout-ms",
-                 "slow-query-ms"}},
+                 "slow-query-ms", "trace-capacity", "trace-sample-rate"}},
   };
   return kFlags;
 }

@@ -20,10 +20,16 @@ namespace {
 
 // One buffered event. 32 bytes so a default ring is 2 MiB per thread.
 struct Event {
-  enum class Type : std::uint8_t { kBegin, kEnd, kCounter, kInstant };
+  enum class Type : std::uint8_t {
+    kBegin,
+    kEnd,
+    kCounter,
+    kInstant,
+    kComplete,  // pre-paired span; `value` carries the duration
+  };
   const char* name = nullptr;  // literal or interned; never owned
   std::int64_t ts_ns = 0;      // since the process epoch
-  std::int64_t value = 0;      // kCounter only
+  std::int64_t value = 0;      // kCounter value / kComplete duration
   Type type = Type::kBegin;
 };
 
@@ -236,6 +242,12 @@ class FlightRegistry {
         case Event::Type::kInstant:
           finished.push_back({e.name, e.ts_ns, 0, e.value, e.type});
           break;
+        case Event::Type::kComplete:
+          // Already paired at record time; renders exactly like a
+          // begin/end pair folded into one "X" event.
+          finished.push_back(
+              {e.name, e.ts_ns, e.value, 0, Event::Type::kBegin});
+          break;
       }
     }
     // Spans still open at flush (e.g. the scope enclosing the writer)
@@ -275,6 +287,7 @@ class FlightRegistry {
           break;
         }
         case Event::Type::kEnd:
+        case Event::Type::kComplete:  // folded into kBegin above
           break;  // never stored in `finished`
       }
     }
@@ -340,6 +353,15 @@ void FlightCounterSample(const char* name, std::int64_t value) {
   if (!FlightEnabled()) return;
   LocalRing().Record({name, NowNs(), value, Event::Type::kCounter});
 }
+
+void FlightCompleteSpan(const char* name, std::int64_t start_ns,
+                        std::int64_t dur_ns) {
+  if (!FlightEnabled()) return;
+  if (dur_ns < 0) dur_ns = 0;
+  LocalRing().Record({name, start_ns, dur_ns, Event::Type::kComplete});
+}
+
+std::int64_t FlightNowNs() { return NowNs(); }
 
 void FlightInstant(const char* name) {
   if (!FlightEnabled()) return;

@@ -74,6 +74,11 @@ void FlightSpanBegin(const char* name);
 void FlightSpanEnd(const char* name);
 /// Records a counter sample (rendered as a counter track in Perfetto).
 void FlightCounterSample(const char* name, std::int64_t value);
+/// Records an already-finished span with explicit timestamps on the
+/// flight epoch (see FlightNowNs) — for callers that buffered their own
+/// timings and flush after the fact (serve/request_trace.h commits).
+void FlightCompleteSpan(const char* name, std::int64_t start_ns,
+                        std::int64_t dur_ns);
 /// Records an instant event (a labelled vertical marker on the thread
 /// track), e.g. a phase boundary.
 void FlightInstant(const char* name);
@@ -81,6 +86,11 @@ void FlightInstant(const char* name);
 /// Copies `name` into a process-lifetime intern table and returns a
 /// stable pointer, for callers whose names are not literals.
 const char* InternFlightName(std::string_view name);
+
+/// Nanoseconds on the recorder's process-wide epoch — what every
+/// buffered event is stamped with. Exposed so FlightCompleteSpan callers
+/// can translate their own monotonic timestamps onto the same epoch.
+std::int64_t FlightNowNs();
 
 /// Assembles the Chrome trace-event document from every ring: process /
 /// thread metadata ("M"), complete spans ("X", microsecond ts/dur on the

@@ -33,6 +33,18 @@ MetricClass Classify(std::string_view key) {
       key.find("_window_") != std::string_view::npos) {
     return MetricClass::kTiming;
   }
+  // Request-trace rows that move with wall time rather than with the
+  // request stream: exemplar gauges (which trace happened to land in the
+  // p99 bucket), slow-commit counts (whether a request crossed the
+  // slow-query threshold is a timing fact), and ring evictions (whose
+  // schedule inherits the slow-commit nondeterminism). The remaining
+  // serve.trace.committed_* counters are pure functions of the request
+  // stream and stay on the gating counter lane.
+  if (key.find("exemplar") != std::string_view::npos ||
+      key.find("trace.committed_slow") != std::string_view::npos ||
+      key.find("trace.dropped") != std::string_view::npos) {
+    return MetricClass::kTiming;
+  }
   if (key.find("_bytes") != std::string_view::npos) return MetricClass::kMemory;
   return MetricClass::kCounter;
 }

@@ -29,6 +29,16 @@ std::string HexDigest(std::uint64_t value) {
   return std::string(buf);
 }
 
+/// Index of the WindowEdges bucket holding `value` (same semantics as
+/// the histogram: bucket i counts values < edges[i], last = overflow).
+std::size_t BucketIndex(std::int64_t value) {
+  const std::vector<std::int64_t>& edges = WindowEdges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (value < edges[i]) return i;
+  }
+  return edges.size();
+}
+
 }  // namespace
 
 const std::vector<std::string>& LiveStats::TrackedVerbs() {
@@ -45,11 +55,16 @@ std::int64_t LiveStats::NowNs() {
 }
 
 LiveStats::LiveStats(Options options)
-    : options_(options), start_ns_(NowNs()) {
+    : options_(options),
+      start_ns_(NowNs()),
+      trace_ring_(TraceRingOptions{options.trace_capacity,
+                                   options.trace_sample_rate}) {
   windows_.reserve(TrackedVerbs().size());
+  exemplars_.reserve(TrackedVerbs().size());
   for (std::size_t i = 0; i < TrackedVerbs().size(); ++i) {
     windows_.emplace_back(WindowEdges(), options_.window_slot_ns,
                           options_.window_slots);
+    exemplars_.emplace_back(WindowEdges().size() + 1);
   }
   // Live gauges sampled at CollectMetrics() time: these reach `metricsz`
   // and any run report written while this engine is alive, and vanish
@@ -71,6 +86,20 @@ LiveStats::LiveStats(Options options)
         base + "p90_ns", [this, i] { return WindowGauge(i, 0.90); }));
     gauge_tokens_.push_back(obs::RegisterCallbackGauge(
         base + "p99_ns", [this, i] { return WindowGauge(i, 0.99); }));
+    // Trace-id exemplars on the p99 bucket: the id fits a gauge because
+    // DeterministicTraceId masks to 63 bits. report_diff classifies
+    // "exemplar" rows as timing-advisory.
+    gauge_tokens_.push_back(
+        obs::RegisterCallbackGauge(base + "p99_exemplar_trace_id", [this, i] {
+          std::lock_guard<std::mutex> lock(mu_);
+          return static_cast<std::int64_t>(
+              P99ExemplarUnderLock(i, NowNs()).trace_id);
+        }));
+    gauge_tokens_.push_back(obs::RegisterCallbackGauge(
+        base + "p99_exemplar_latency_ns", [this, i] {
+          std::lock_guard<std::mutex> lock(mu_);
+          return P99ExemplarUnderLock(i, NowNs()).latency_ns;
+        }));
   }
 }
 
@@ -97,22 +126,54 @@ void LiveStats::RecordRequest(const RequestContext& ctx,
   const bool slow =
       options_.slow_query_threshold_ms >= 0 &&
       latency_ns >= options_.slow_query_threshold_ms * 1'000'000;
-  std::lock_guard<std::mutex> lock(mu_);
-  windows_[index].Observe(latency_ns, now_ns);
-  if (!slow || options_.slow_query_capacity == 0) return;
-  slow_recorded_.fetch_add(1, std::memory_order_relaxed);
-  if (slow_ring_.size() >= options_.slow_query_capacity) {
-    slow_ring_.pop_front();
+  // One commit decision covers the trace ring, the slowz trace_id
+  // guarantee, and the exemplar: error beats slow for the reason label,
+  // head sampling applies only to requests the tail rules passed over.
+  RequestTrace* trace = ctx.trace;
+  const char* commit_reason = nullptr;
+  if (trace != nullptr && trace->active() && trace_ring_.enabled()) {
+    if (!ok) {
+      commit_reason = "error";
+    } else if (slow) {
+      commit_reason = "slow";
+    } else if (TraceRing::HeadSampled(trace->trace_id(),
+                                      trace_ring_.options().sample_rate)) {
+      commit_reason = "head";
+    }
   }
-  SlowQueryEntry entry;
-  entry.request_id = ctx.request_id;
-  entry.connection_id = ctx.connection_id;
-  entry.verb = std::string(verb);
-  entry.arg_digest = HexDigest(Fnv1a(args));
-  entry.latency_ns = latency_ns;
-  entry.ok = ok;
-  entry.cache_hit = ctx.cache_hit;
-  slow_ring_.push_back(std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    windows_[index].Observe(latency_ns, now_ns);
+    if (commit_reason != nullptr) {
+      // Only committed traces make exemplars: an exemplar that cannot be
+      // resolved against tracez would be a dangling pointer.
+      exemplars_[index][BucketIndex(latency_ns)] =
+          TraceExemplar{trace->trace_id(), latency_ns};
+    }
+    if (slow && options_.slow_query_capacity > 0) {
+      slow_recorded_.fetch_add(1, std::memory_order_relaxed);
+      if (slow_ring_.size() >= options_.slow_query_capacity) {
+        slow_ring_.pop_front();
+      }
+      SlowQueryEntry entry;
+      entry.request_id = ctx.request_id;
+      entry.connection_id = ctx.connection_id;
+      entry.trace_id = trace != nullptr && trace->active() &&
+                               trace_ring_.enabled()
+                           ? trace->trace_id()
+                           : 0;
+      entry.verb = std::string(verb);
+      entry.arg_digest = HexDigest(Fnv1a(args));
+      entry.latency_ns = latency_ns;
+      entry.ok = ok;
+      entry.cache_hit = ctx.cache_hit;
+      slow_ring_.push_back(std::move(entry));
+    }
+  }
+  if (commit_reason != nullptr) {
+    trace_ring_.Commit(*trace, verb, commit_reason, latency_ns, ok,
+                       ctx.cache_hit, RequestTrace::NowNs());
+  }
 }
 
 void LiveStats::ConnectionOpened() {
@@ -153,6 +214,22 @@ std::int64_t LiveStats::WindowCount(std::size_t verb_index) const {
   return windows_[verb_index].WindowSnapshot(NowNs()).count;
 }
 
+TraceExemplar LiveStats::P99ExemplarUnderLock(std::size_t verb_index,
+                                              std::int64_t now_ns) const {
+  const std::int64_t p99 = obs::HistogramQuantile(
+      windows_[verb_index].WindowSnapshot(now_ns), 0.99);
+  const std::vector<TraceExemplar>& buckets = exemplars_[verb_index];
+  const std::size_t target = BucketIndex(p99);
+  if (buckets[target].trace_id != 0) return buckets[target];
+  // The p99 bucket may not have seen a committed trace yet (head
+  // sampling is probabilistic); fall back to the slowest bucket that
+  // has one, which is still "the trace nearest the tail".
+  for (std::size_t i = buckets.size(); i-- > 0;) {
+    if (buckets[i].trace_id != 0) return buckets[i];
+  }
+  return TraceExemplar{};
+}
+
 std::vector<VerbLatencyStats> LiveStats::VerbStats(
     std::int64_t now_ns) const {
   std::vector<VerbLatencyStats> out;
@@ -170,6 +247,7 @@ std::vector<VerbLatencyStats> LiveStats::VerbStats(
     stats.total_count = total.count;
     stats.total_p50_ns = obs::HistogramQuantile(total, 0.50);
     stats.total_p99_ns = obs::HistogramQuantile(total, 0.99);
+    stats.p99_exemplar = P99ExemplarUnderLock(i, now_ns);
     out.push_back(std::move(stats));
   }
   return out;
@@ -189,6 +267,7 @@ Json LiveStats::SlowQueriesJson() const {
                  Json::Int(static_cast<std::int64_t>(e.request_id)))
             .Set("connection_id",
                  Json::Int(static_cast<std::int64_t>(e.connection_id)))
+            .Set("trace_id", Json::Str(TraceIdHex(e.trace_id)))
             .Set("verb", Json::Str(e.verb))
             .Set("arg_digest", Json::Str(e.arg_digest))
             .Set("latency_ns", Json::Int(e.latency_ns))

@@ -30,6 +30,7 @@
 #include "common/json.h"
 #include "obs/metrics.h"
 #include "obs/window.h"
+#include "serve/request_trace.h"
 
 namespace cuisine {
 namespace serve {
@@ -38,24 +39,36 @@ namespace serve {
 /// through the QueryEngine. The id is unique per engine and strictly
 /// increasing; connection_id is the TCP connection (0 for the stdin
 /// transport); cache_hit is set by the engine when the answer came from
-/// the LRU cache.
+/// the LRU cache; trace points at the request's scratch while tracing
+/// is active (null otherwise — record sites check).
 struct RequestContext {
   std::uint64_t request_id = 0;
   std::uint64_t connection_id = 0;
   bool cache_hit = false;
+  RequestTrace* trace = nullptr;
 };
 
 /// One slow-query ring entry. The argument digest (FNV-1a of the
 /// argument bytes, hex) correlates repeats of one query without storing
-/// unbounded user input.
+/// unbounded user input. trace_id resolves against `tracez`: a slow
+/// request's trace is always committed (tail sampling), so a non-zero
+/// id here is retrievable until the trace ring evicts it.
 struct SlowQueryEntry {
   std::uint64_t request_id = 0;
   std::uint64_t connection_id = 0;
+  std::uint64_t trace_id = 0;
   std::string verb;
   std::string arg_digest;
   std::int64_t latency_ns = 0;
   bool ok = false;
   bool cache_hit = false;
+};
+
+/// A trace-id exemplar: one concrete committed trace that landed in a
+/// latency bucket, linking a histogram percentile to `tracez`.
+struct TraceExemplar {
+  std::uint64_t trace_id = 0;
+  std::int64_t latency_ns = 0;
 };
 
 /// Rolling + cumulative latency summary for one verb, in nanoseconds.
@@ -68,6 +81,9 @@ struct VerbLatencyStats {
   std::int64_t total_count = 0;
   std::int64_t total_p50_ns = 0;
   std::int64_t total_p99_ns = 0;
+  /// The exemplar attached to the bucket holding the window p99 (falling
+  /// back to the slowest populated bucket); trace_id 0 = none yet.
+  TraceExemplar p99_exemplar;
 };
 
 struct LiveStatsOptions {
@@ -80,6 +96,12 @@ struct LiveStatsOptions {
   /// Requests at least this slow enter the ring. 0 records every
   /// request; < 0 disables the ring entirely.
   std::int64_t slow_query_threshold_ms = 100;
+  /// Committed-trace ring capacity (0 turns request tracing off — the
+  /// serve path then skips every stage-record site).
+  std::size_t trace_capacity = 64;
+  /// Head sampling probability for request traces, in [0, 1]. Tail
+  /// commits (slow / error / shed / timeout) happen regardless.
+  double trace_sample_rate = 0.0;
 };
 
 class LiveStats {
@@ -129,6 +151,10 @@ class LiveStats {
   /// verb order (query verbs first, "other" last).
   std::vector<VerbLatencyStats> VerbStats(std::int64_t now_ns) const;
 
+  /// The committed-trace ring shared by every transport on this engine.
+  TraceRing& traces() { return trace_ring_; }
+  const TraceRing& traces() const { return trace_ring_; }
+
   /// Slow-ring contents, oldest first.
   std::vector<SlowQueryEntry> SlowQueries() const;
 
@@ -146,6 +172,9 @@ class LiveStats {
  private:
   std::int64_t WindowGauge(std::size_t verb_index, double quantile) const;
   std::int64_t WindowCount(std::size_t verb_index) const;
+  /// The p99-bucket exemplar for one verb; caller must hold mu_.
+  TraceExemplar P99ExemplarUnderLock(std::size_t verb_index,
+                                     std::int64_t now_ns) const;
 
   Options options_;
   std::int64_t start_ns_ = 0;
@@ -161,6 +190,11 @@ class LiveStats {
   mutable std::mutex mu_;
   std::vector<obs::WindowedHistogram> windows_;  // one per tracked verb
   std::deque<SlowQueryEntry> slow_ring_;
+  /// Per-verb, per-latency-bucket exemplars (last committed trace to
+  /// land in that bucket); one extra slot for the overflow bucket.
+  std::vector<std::vector<TraceExemplar>> exemplars_;
+
+  TraceRing trace_ring_;
 
   std::vector<obs::CallbackGaugeToken> gauge_tokens_;
 };

@@ -92,11 +92,34 @@ const Snapshot& QueryEngine::snapshot() const {
 template <typename Fn>
 Result<std::string> QueryEngine::Cached(const std::string& key,
                                         RequestContext* ctx, Fn render) {
-  if (auto hit = cache_.Get(key); hit.has_value()) {
+  RequestTrace* trace =
+      ctx != nullptr && ctx->trace != nullptr && ctx->trace->active()
+          ? ctx->trace
+          : nullptr;
+  const std::int64_t lookup_start =
+      trace != nullptr ? RequestTrace::NowNs() : 0;
+  auto hit = cache_.Get(key);
+  if (trace != nullptr) {
+    trace->RecordStage(TraceStage::kCacheLookup, lookup_start,
+                       RequestTrace::NowNs());
+  }
+  if (hit.has_value()) {
     if (ctx != nullptr) ctx->cache_hit = true;
     return *std::move(hit);
   }
+  // The render stage excludes time spent paging sections in — decodes
+  // record themselves under section_decode via the thread-local trace,
+  // so the stages stay non-overlapping and sum within the request.
+  const std::int64_t render_start =
+      trace != nullptr ? RequestTrace::NowNs() : 0;
+  const std::int64_t decode_before =
+      trace != nullptr ? trace->StageTotalNs(TraceStage::kSectionDecode) : 0;
   Result<std::string> rendered = render();
+  if (trace != nullptr) {
+    trace->RecordStage(
+        TraceStage::kRender, render_start, RequestTrace::NowNs(),
+        trace->StageTotalNs(TraceStage::kSectionDecode) - decode_before);
+  }
   if (rendered.ok()) cache_.Put(key, *rendered);
   return rendered;
 }

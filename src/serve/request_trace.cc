@@ -1,0 +1,228 @@
+#include "serve/request_trace.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/flight.h"
+#include "obs/metrics.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+thread_local RequestTrace* g_current_trace = nullptr;
+
+/// splitmix64 finisher — a cheap, well-mixed bijection, so distinct
+/// (connection, sequence) pairs land far apart even though the inputs
+/// are tiny sequential integers.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+const char* kStageNames[kTraceStageCount] = {
+    "read_frame", "parse",  "cache_lookup", "section_decode",
+    "execute",    "render", "write",
+};
+
+}  // namespace
+
+std::string_view TraceStageName(TraceStage stage) {
+  return kStageNames[static_cast<std::size_t>(stage)];
+}
+
+std::uint64_t DeterministicTraceId(std::uint64_t connection_id,
+                                   std::uint64_t sequence) {
+  // Two mix rounds keep connection and sequence from cancelling; the
+  // mask keeps ids inside Json::Int / gauge range (63 bits), and 0 is
+  // reserved for "no trace".
+  std::uint64_t id =
+      Mix64(Mix64(connection_id) ^ sequence) & 0x7FFFFFFFFFFFFFFFULL;
+  return id == 0 ? 1 : id;
+}
+
+std::string TraceIdHex(std::uint64_t trace_id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, trace_id);
+  return std::string(buf);
+}
+
+std::int64_t RequestTrace::NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void RequestTrace::Begin(std::uint64_t trace_id, std::uint64_t connection_id,
+                         std::int64_t begin_ns) {
+  trace_id_ = trace_id;
+  connection_id_ = connection_id;
+  begin_ns_ = begin_ns;
+  sections_decoded_ = 0;
+  request_id = 0;
+  active_ = true;
+  stages_.fill(TraceStageSpan{});
+}
+
+void RequestTrace::RecordStage(TraceStage stage, std::int64_t start_ns,
+                               std::int64_t end_ns, std::int64_t exclude_ns) {
+  if (!active_) return;
+  TraceStageSpan& span = stages_[static_cast<std::size_t>(stage)];
+  if (span.offset_ns < 0) span.offset_ns = start_ns - begin_ns_;
+  std::int64_t dur = end_ns - start_ns - exclude_ns;
+  if (dur < 0) dur = 0;
+  span.total_ns += dur;
+  ++span.count;
+}
+
+RequestTrace* CurrentRequestTrace() { return g_current_trace; }
+
+ScopedCurrentRequestTrace::ScopedCurrentRequestTrace(RequestTrace* trace)
+    : previous_(g_current_trace) {
+  g_current_trace = trace;
+}
+
+ScopedCurrentRequestTrace::~ScopedCurrentRequestTrace() {
+  g_current_trace = previous_;
+}
+
+TraceRing::TraceRing(Options options) : options_(options) {
+  if (options_.sample_rate < 0.0) options_.sample_rate = 0.0;
+  if (options_.sample_rate > 1.0) options_.sample_rate = 1.0;
+}
+
+bool TraceRing::HeadSampled(std::uint64_t trace_id, double rate) {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // One more mix decorrelates the decision from the id's own bit
+  // pattern; comparing against rate * 2^64 makes the accept fraction
+  // match the rate over any id population.
+  const double scaled =
+      rate * 18446744073709551616.0;  // 2^64, exactly representable
+  return static_cast<double>(Mix64(trace_id)) < scaled;
+}
+
+void TraceRing::Commit(const RequestTrace& trace, std::string_view verb,
+                       std::string_view reason, std::int64_t latency_ns,
+                       bool ok, bool cache_hit, std::int64_t end_ns) {
+  if (!enabled() || !trace.active()) return;
+  CommittedTrace entry;
+  entry.trace_id = trace.trace_id();
+  entry.request_id = trace.request_id;
+  entry.connection_id = trace.connection_id();
+  entry.verb = std::string(verb);
+  entry.reason = std::string(reason);
+  entry.latency_ns = latency_ns;
+  entry.total_ns = end_ns - trace.begin_ns();
+  if (entry.total_ns < 0) entry.total_ns = 0;
+  entry.ok = ok;
+  entry.cache_hit = cache_hit;
+  entry.sections_decoded = trace.sections_decoded();
+  entry.begin_ns = trace.begin_ns();
+  entry.stages = trace.stages();
+
+  committed_.fetch_add(1, std::memory_order_relaxed);
+  // Per-reason counters instead of one total: head/error/shed/timeout
+  // counts are deterministic for a fixed request stream, while the slow
+  // count moves with wall time — report_diff keeps the latter advisory
+  // (the "slow" classification rule) without muddying the rest. Separate
+  // macro sites because CUISINE_COUNTER_ADD caches one id per site.
+  if (reason == "head") {
+    CUISINE_COUNTER_ADD("serve.trace.committed_head", 1);
+  } else if (reason == "slow") {
+    CUISINE_COUNTER_ADD("serve.trace.committed_slow", 1);
+  } else if (reason == "error") {
+    CUISINE_COUNTER_ADD("serve.trace.committed_error", 1);
+  } else if (reason == "shed") {
+    CUISINE_COUNTER_ADD("serve.trace.committed_shed", 1);
+  } else if (reason == "timeout") {
+    CUISINE_COUNTER_ADD("serve.trace.committed_timeout", 1);
+  } else {
+    CUISINE_COUNTER_ADD("serve.trace.committed_other", 1);
+  }
+
+  // Flush onto the flight timeline while the data is hot: one complete
+  // span for the request, one per touched stage, stamped by translating
+  // the steady-clock trace timestamps onto the flight epoch.
+  if (obs::FlightEnabled()) {
+    const std::int64_t offset = obs::FlightNowNs() - RequestTrace::NowNs();
+    const char* name = obs::InternFlightName("serve req " + entry.verb);
+    obs::FlightCompleteSpan(name, entry.begin_ns + offset, entry.total_ns);
+    for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+      const TraceStageSpan& span = entry.stages[i];
+      if (span.count == 0) continue;
+      const char* stage_name = obs::InternFlightName(
+          "serve stage " +
+          std::string(TraceStageName(static_cast<TraceStage>(i))));
+      obs::FlightCompleteSpan(stage_name,
+                              entry.begin_ns + span.offset_ns + offset,
+                              span.total_ns);
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() >= options_.capacity) {
+    ring_.pop_front();
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    CUISINE_COUNTER_ADD("serve.trace.dropped", 1);
+  }
+  ring_.push_back(std::move(entry));
+}
+
+std::vector<CommittedTrace> TraceRing::Traces() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<CommittedTrace>(ring_.begin(), ring_.end());
+}
+
+bool TraceRing::Contains(std::uint64_t trace_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const CommittedTrace& t : ring_) {
+    if (t.trace_id == trace_id) return true;
+  }
+  return false;
+}
+
+Json TraceRing::TracezJson() const {
+  Json traces = Json::Array();
+  for (const CommittedTrace& t : Traces()) {
+    Json stages = Json::Object();
+    for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+      const TraceStageSpan& span = t.stages[i];
+      if (span.count == 0) continue;
+      stages.Set(std::string(TraceStageName(static_cast<TraceStage>(i))),
+                 Json::Object()
+                     .Set("offset_ns", Json::Int(span.offset_ns))
+                     .Set("ns", Json::Int(span.total_ns))
+                     .Set("count", Json::Int(span.count)));
+    }
+    traces.Push(
+        Json::Object()
+            .Set("trace_id", Json::Str(TraceIdHex(t.trace_id)))
+            .Set("request_id",
+                 Json::Int(static_cast<std::int64_t>(t.request_id)))
+            .Set("connection_id",
+                 Json::Int(static_cast<std::int64_t>(t.connection_id)))
+            .Set("verb", Json::Str(t.verb))
+            .Set("reason", Json::Str(t.reason))
+            .Set("latency_ns", Json::Int(t.latency_ns))
+            .Set("total_ns", Json::Int(t.total_ns))
+            .Set("ok", Json::Bool(t.ok))
+            .Set("cache_hit", Json::Bool(t.cache_hit))
+            .Set("sections_decoded", Json::Int(t.sections_decoded))
+            .Set("stages", std::move(stages)));
+  }
+  return Json::Object()
+      .Set("capacity",
+           Json::Int(static_cast<std::int64_t>(options_.capacity)))
+      .Set("sample_rate", Json::Double(options_.sample_rate))
+      .Set("committed_total", Json::Int(committed_total()))
+      .Set("dropped_total", Json::Int(dropped_total()))
+      .Set("traces", std::move(traces));
+}
+
+}  // namespace serve
+}  // namespace cuisine

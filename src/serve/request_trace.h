@@ -1,0 +1,240 @@
+// Per-request tracing for the serve path: a deterministic 64-bit trace
+// id per request, timestamped stage spans recorded into a bounded
+// per-connection scratch (RequestTrace — single writer, no locks), and a
+// global bounded ring of *committed* traces (TraceRing) that the `tracez`
+// admin verb and the slow-query ring resolve against.
+//
+// Sampling is head-probabilistic plus tail-based. The head decision is a
+// pure function of the trace id and the configured sample rate, so a
+// replayed request stream samples identically. The tail rules always
+// commit: any request at or above the slow-query threshold, any request
+// that errors, and any request the TCP front end sheds or times out —
+// which is what makes a `slowz` entry's trace_id a guarantee, not a
+// lottery ticket.
+//
+// Stage model (read/frame, parse, cache lookup, section decode, query
+// execute, render, write): stages are non-overlapping by construction —
+// nested work (cache lookup, render, section decode) is subtracted from
+// its enclosing stage — so the per-stage totals of a committed trace sum
+// to at most the request's wall-clock total. Section decodes happen deep
+// inside SnapshotHandle, below any context plumbing, and report through
+// a thread-local current-trace pointer (ScopedCurrentRequestTrace).
+//
+// Ids are derived from (connection id, per-connection request sequence)
+// via a splitmix64 finisher, masked to 63 bits so an id survives a round
+// trip through Json::Int and a metrics gauge (the exemplar export).
+//
+// Cost: with tracing disabled (ring capacity 0) the serve path skips
+// every record site behind one branch; with tracing active but a request
+// unsampled, the cost is the scratch recording itself — a handful of
+// steady-clock reads, measured in bench_obs_overhead.
+//
+// Committed traces are also flushed into the flight recorder (when it is
+// enabled) as complete Chrome-trace spans, so serving requests land on
+// the same timeline as the offline pipeline in `<report>.trace.json`.
+
+#ifndef CUISINE_SERVE_REQUEST_TRACE_H_
+#define CUISINE_SERVE_REQUEST_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace cuisine {
+namespace serve {
+
+/// The request lifecycle stages a trace can attribute time to.
+enum class TraceStage : std::uint8_t {
+  kReadFrame = 0,    // TCP recv + line framing batch
+  kParse,            // request-line tokenization
+  kCacheLookup,      // LRU probe
+  kSectionDecode,    // lazy snapshot section paging
+  kExecute,          // verb dispatch outside lookup/render/decode
+  kRender,           // cold JSON render outside section decode
+  kWrite,            // wire envelope construction
+};
+inline constexpr std::size_t kTraceStageCount = 7;
+
+/// "read_frame", "parse", ... — the tracez/Chrome-trace stage labels.
+std::string_view TraceStageName(TraceStage stage);
+
+/// Accumulated time in one stage. `offset_ns` is the first entry into
+/// the stage relative to the trace begin (-1 until the stage is hit);
+/// repeated entries (e.g. two section decodes) accumulate into
+/// `total_ns` / `count`.
+struct TraceStageSpan {
+  std::int64_t offset_ns = -1;
+  std::int64_t total_ns = 0;
+  std::int64_t count = 0;
+};
+
+/// Deterministic id for the request with per-connection `sequence` on
+/// connection `connection_id` (0 = the stdin transport). Never 0; top
+/// bit always clear.
+std::uint64_t DeterministicTraceId(std::uint64_t connection_id,
+                                   std::uint64_t sequence);
+
+/// The bounded per-connection scratch: plain stores by the one thread
+/// handling the request, reset and reused per request. Discarding a
+/// trace is simply not committing it.
+class RequestTrace {
+ public:
+  /// Monotonic nanoseconds on the same steady-clock epoch as
+  /// LiveStats::NowNs, so transport timestamps and stage spans compare.
+  static std::int64_t NowNs();
+
+  /// Re-arms the scratch for a new request starting at `begin_ns`.
+  void Begin(std::uint64_t trace_id, std::uint64_t connection_id,
+             std::int64_t begin_ns);
+
+  /// Adds [start_ns, end_ns) minus `exclude_ns` (time already attributed
+  /// to nested stages) to `stage`. No-op when the scratch is inactive.
+  void RecordStage(TraceStage stage, std::int64_t start_ns,
+                   std::int64_t end_ns, std::int64_t exclude_ns = 0);
+
+  /// Total already attributed to `stage` — the "before" reading callers
+  /// use to compute a nested-stage exclusion delta.
+  std::int64_t StageTotalNs(TraceStage stage) const {
+    return stages_[static_cast<std::size_t>(stage)].total_ns;
+  }
+
+  void AddSectionDecoded() { ++sections_decoded_; }
+
+  bool active() const { return active_; }
+  std::uint64_t trace_id() const { return trace_id_; }
+  std::uint64_t connection_id() const { return connection_id_; }
+  std::int64_t begin_ns() const { return begin_ns_; }
+  std::int64_t sections_decoded() const { return sections_decoded_; }
+  const std::array<TraceStageSpan, kTraceStageCount>& stages() const {
+    return stages_;
+  }
+
+  std::uint64_t request_id = 0;  // filled once the request is metered
+
+ private:
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t connection_id_ = 0;
+  std::int64_t begin_ns_ = 0;
+  std::int64_t sections_decoded_ = 0;
+  bool active_ = false;
+  std::array<TraceStageSpan, kTraceStageCount> stages_{};
+};
+
+/// The thread's current request scratch, for record sites below the
+/// context plumbing (SnapshotHandle section decode). Null when the
+/// thread is not inside a traced request.
+RequestTrace* CurrentRequestTrace();
+
+/// Scope guard installing `trace` (may be null) as the thread's current
+/// trace; restores the previous pointer on exit.
+class ScopedCurrentRequestTrace {
+ public:
+  explicit ScopedCurrentRequestTrace(RequestTrace* trace);
+  ~ScopedCurrentRequestTrace();
+
+  ScopedCurrentRequestTrace(const ScopedCurrentRequestTrace&) = delete;
+  ScopedCurrentRequestTrace& operator=(const ScopedCurrentRequestTrace&) =
+      delete;
+
+ private:
+  RequestTrace* previous_;
+};
+
+/// One committed trace, as served by `tracez`.
+struct CommittedTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t connection_id = 0;
+  std::string verb;
+  /// Why the trace was kept: "head" (probabilistic), "slow", "error",
+  /// "shed", "timeout".
+  std::string reason;
+  /// The metered service latency (what the latency windows and slowz
+  /// saw); 0 for shed requests, the queue age for timeouts.
+  std::int64_t latency_ns = 0;
+  /// Wall-clock from trace begin (framing for TCP) to commit — the bound
+  /// the per-stage totals sum within.
+  std::int64_t total_ns = 0;
+  bool ok = false;
+  bool cache_hit = false;
+  std::int64_t sections_decoded = 0;
+  std::int64_t begin_ns = 0;
+  std::array<TraceStageSpan, kTraceStageCount> stages{};
+};
+
+struct TraceRingOptions {
+  /// Committed-trace ring capacity; 0 disables tracing entirely (the
+  /// serve path then skips every record site).
+  std::size_t capacity = 64;
+  /// Head sampling probability in [0, 1]. Evaluated deterministically
+  /// from the trace id, so 0 commits only tail traces and 1 commits
+  /// every request.
+  double sample_rate = 0.0;
+};
+
+/// The global bounded ring of committed traces (one per QueryEngine,
+/// shared by every transport bound to it). Commits are off the
+/// per-request common path — only sampled/slow/error/shed/timeout
+/// requests pay for the mutex and the copy.
+class TraceRing {
+ public:
+  using Options = TraceRingOptions;
+
+  explicit TraceRing(Options options = {});
+
+  TraceRing(const TraceRing&) = delete;
+  TraceRing& operator=(const TraceRing&) = delete;
+
+  bool enabled() const { return options_.capacity > 0; }
+  const Options& options() const { return options_; }
+
+  /// The deterministic head-sampling decision for `trace_id` at `rate`.
+  static bool HeadSampled(std::uint64_t trace_id, double rate);
+
+  /// Copies the scratch into the ring (evicting the oldest entry when
+  /// full) and bumps the serve.trace.* registry counters. Also emits the
+  /// request and its stages as complete spans into the flight recorder
+  /// when that is enabled.
+  void Commit(const RequestTrace& trace, std::string_view verb,
+              std::string_view reason, std::int64_t latency_ns, bool ok,
+              bool cache_hit, std::int64_t end_ns);
+
+  /// Ring contents, oldest first.
+  std::vector<CommittedTrace> Traces() const;
+  /// True when a committed trace with this id is still in the ring.
+  bool Contains(std::uint64_t trace_id) const;
+
+  std::int64_t committed_total() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  std::int64_t dropped_total() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// The `tracez` payload: ring configuration, totals, and the committed
+  /// traces with per-stage nanoseconds.
+  Json TracezJson() const;
+
+ private:
+  Options options_;
+  std::atomic<std::int64_t> committed_{0};
+  std::atomic<std::int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::deque<CommittedTrace> ring_;
+};
+
+/// Formats a trace id the way tracez/slowz print it (16 hex digits).
+std::string TraceIdHex(std::uint64_t trace_id);
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_REQUEST_TRACE_H_

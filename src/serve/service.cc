@@ -34,14 +34,14 @@ const char kHelpText[] =
     "auth_topk <cuisine> <k> <most|least> | "
     "nearest <metric> <cuisine> <k> | stats | help | quit "
     "(quote multi-word cuisine names); "
-    "admin: healthz | statsz | metricsz | slowz";
+    "admin: healthz | statsz | metricsz | slowz | tracez";
 
 /// The introspection verbs. Deliberately outside the metered request
 /// path: a scraper polling statsz every few seconds must not inflate
 /// serve.requests.* or the per-verb latency windows it is reading.
 bool IsAdminVerb(std::string_view cmd) {
   return cmd == "healthz" || cmd == "statsz" || cmd == "metricsz" ||
-         cmd == "slowz";
+         cmd == "slowz" || cmd == "tracez";
 }
 
 Status ArityError(std::string_view command, std::string_view usage) {
@@ -106,20 +106,63 @@ Result<std::vector<std::string>> TokenizeRequestLine(std::string_view line) {
 }
 
 std::string Service::HandleLine(std::string_view line) {
+  TransportTiming timing;
+  timing.sequence = stdin_sequence_++;
+  return HandleLine(line, timing);
+}
+
+std::string Service::HandleLine(std::string_view line,
+                                const TransportTiming& timing) {
   // CRLF clients (telnet, Windows, anything reading with \r\n line
   // endings) deliver "table1 Italian\r"; the carriage return is part of
   // the terminator, never of the request.
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  LiveStats& live = engine_->live();
+  TraceRing& ring = live.traces();
+  // One branch guards the whole tracing path: with trace_capacity 0 the
+  // scratch is never touched and per-request cost stays at this check.
+  RequestTrace* trace = nullptr;
+  if (ring.enabled()) {
+    const std::int64_t begin_ns = timing.frame_start_ns > 0
+                                      ? timing.frame_start_ns
+                                      : RequestTrace::NowNs();
+    trace_scratch_.Begin(
+        DeterministicTraceId(connection_id_, timing.sequence),
+        connection_id_, begin_ns);
+    trace = &trace_scratch_;
+    if (timing.frame_start_ns > 0) {
+      trace->RecordStage(TraceStage::kReadFrame, timing.frame_start_ns,
+                         timing.frame_end_ns);
+    }
+  }
   if (line.find('\0') != std::string_view::npos) {
     ++requests_;
     CUISINE_COUNTER_ADD("serve.requests.error", 1);
-    return ErrorResponse("request line contains a NUL byte");
+    std::string response = ErrorResponse("request line contains a NUL byte");
+    if (trace != nullptr) {
+      const std::int64_t now = RequestTrace::NowNs();
+      ring.Commit(*trace, "other", "error", now - trace->begin_ns(), false,
+                  false, now);
+    }
+    return response;
   }
+  const std::int64_t parse_start =
+      trace != nullptr ? RequestTrace::NowNs() : 0;
   auto tokens_or = TokenizeRequestLine(line);
+  if (trace != nullptr) {
+    trace->RecordStage(TraceStage::kParse, parse_start,
+                       RequestTrace::NowNs());
+  }
   if (!tokens_or.ok()) {
     ++requests_;
     CUISINE_COUNTER_ADD("serve.requests.error", 1);
-    return ErrorResponse(tokens_or.status().message());
+    std::string response = ErrorResponse(tokens_or.status().message());
+    if (trace != nullptr) {
+      const std::int64_t now = RequestTrace::NowNs();
+      ring.Commit(*trace, "other", "error", now - trace->begin_ns(), false,
+                  false, now);
+    }
+    return response;
   }
   const std::vector<std::string>& t = *tokens_or;
   if (t.empty()) return std::string();
@@ -131,10 +174,14 @@ std::string Service::HandleLine(std::string_view line) {
 
   ++requests_;
   CUISINE_SPAN("serve_request");
-  LiveStats& live = engine_->live();
   RequestContext ctx;
   ctx.request_id = live.NextRequestId();
   ctx.connection_id = connection_id_;
+  ctx.trace = trace;
+  if (trace != nullptr) trace->request_id = ctx.request_id;
+  // Publish the scratch for code below the context plumbing (snapshot
+  // section decode) so decode work lands in the right trace.
+  ScopedCurrentRequestTrace trace_scope(trace);
   const std::int64_t start_ns = LiveStats::NowNs();
 
   Result<std::string> data = [&]() -> Result<std::string> {
@@ -199,18 +246,40 @@ std::string Service::HandleLine(std::string_view line) {
   // Feed the rolling per-verb window and (when slow enough) the
   // slow-query ring; `args` reaches the ring only as a digest.
   const std::int64_t end_ns = LiveStats::NowNs();
+  if (trace != nullptr) {
+    // The execute span is dispatch time minus the nested stages already
+    // recorded inside it (cache lookup, render, decode), so committed
+    // stage spans stay disjoint and their sum bounded by total_ns.
+    trace->RecordStage(
+        TraceStage::kExecute, start_ns, end_ns,
+        trace->StageTotalNs(TraceStage::kCacheLookup) +
+            trace->StageTotalNs(TraceStage::kRender) +
+            trace->StageTotalNs(TraceStage::kSectionDecode));
+  }
   std::string args;
   for (std::size_t i = 1; i < t.size(); ++i) {
     if (i > 1) args += ' ';
     args += t[i];
   }
-  live.RecordRequest(ctx, cmd, args, end_ns - start_ns, data.ok(), end_ns);
-  if (!data.ok()) {
-    CUISINE_COUNTER_ADD("serve.requests.error", 1);
-    return ErrorResponse(data.status().message());
+  // Build the response envelope before RecordRequest so the commit (if
+  // any) already carries the write stage. The metered latency stays
+  // end_ns - start_ns, identical to the pre-tracing definition.
+  const bool ok = data.ok();
+  const std::int64_t write_start =
+      trace != nullptr ? RequestTrace::NowNs() : 0;
+  std::string response = ok ? OkResponse(*std::move(data))
+                            : ErrorResponse(data.status().message());
+  if (trace != nullptr) {
+    trace->RecordStage(TraceStage::kWrite, write_start,
+                       RequestTrace::NowNs());
   }
-  CUISINE_COUNTER_ADD("serve.requests.ok", 1);
-  return OkResponse(*std::move(data));
+  live.RecordRequest(ctx, cmd, args, end_ns - start_ns, ok, end_ns);
+  if (ok) {
+    CUISINE_COUNTER_ADD("serve.requests.ok", 1);
+  } else {
+    CUISINE_COUNTER_ADD("serve.requests.error", 1);
+  }
+  return response;
 }
 
 std::string Service::HandleAdminVerb(const std::vector<std::string>& t) {
@@ -234,6 +303,9 @@ std::string Service::HandleAdminVerb(const std::vector<std::string>& t) {
   if (cmd == "slowz") {
     return OkResponse(live.SlowQueriesJson().Dump(0));
   }
+  if (cmd == "tracez") {
+    return OkResponse(live.traces().TracezJson().Dump(0));
+  }
   return OkResponse(StatszJson());
 }
 
@@ -254,8 +326,15 @@ std::string Service::StatszJson() const {
                   .Set("total", Json::Object()
                                     .Set("count", Json::Int(v.total_count))
                                     .Set("p50_ns", Json::Int(v.total_p50_ns))
-                                    .Set("p99_ns", Json::Int(v.total_p99_ns))));
+                                    .Set("p99_ns", Json::Int(v.total_p99_ns)))
+                  .Set("p99_exemplar",
+                       Json::Object()
+                           .Set("trace_id",
+                                Json::Str(TraceIdHex(v.p99_exemplar.trace_id)))
+                           .Set("latency_ns",
+                                Json::Int(v.p99_exemplar.latency_ns))));
   }
+  const SnapshotDecodeStats decode = engine_->handle().decode_stats();
   return Json::Object()
       .Set("uptime_seconds", Json::Int(live.UptimeSeconds()))
       .Set("window_seconds", Json::Int(live.window_seconds()))
@@ -280,6 +359,31 @@ std::string Service::StatszJson() const {
       .Set("overload", Json::Object()
                            .Set("shed", Json::Int(live.shed_total()))
                            .Set("timeouts", Json::Int(live.timeout_total())))
+      .Set("snapshot",
+           Json::Object()
+               .Set("sections_total",
+                    Json::Int(static_cast<std::int64_t>(
+                        engine_->handle().sections().size())))
+               .Set("sections_decoded",
+                    Json::Int(static_cast<std::int64_t>(
+                        decode.sections_decoded)))
+               .Set("decode_ns", Json::Int(decode.decode_ns))
+               .Set("bytes_compressed",
+                    Json::Int(static_cast<std::int64_t>(
+                        decode.bytes_compressed)))
+               .Set("bytes_raw", Json::Int(static_cast<std::int64_t>(
+                                     decode.bytes_raw))))
+      .Set("trace",
+           Json::Object()
+               .Set("capacity", Json::Int(static_cast<std::int64_t>(
+                                    live.traces().options().capacity)))
+               .Set("sample_rate",
+                    Json::Double(live.traces().options().sample_rate))
+               .Set("committed_total",
+                    Json::Int(static_cast<std::int64_t>(
+                        live.traces().committed_total())))
+               .Set("dropped_total", Json::Int(static_cast<std::int64_t>(
+                                         live.traces().dropped_total()))))
       .Set("verbs", std::move(verbs))
       .Dump(0);
 }

@@ -16,9 +16,11 @@
 // Admin verbs (zero-argument, identical over stdin and TCP) introspect
 // the live server without counting as metered requests: `healthz` and
 // `statsz` answer one JSON envelope line (uptime, connections, rolling
-// per-verb latency percentiles, cache hit rate), `slowz` dumps the
-// slow-query ring, and `metricsz` answers a multi-line Prometheus text
-// exposition terminated by a "# EOF" line.
+// per-verb latency percentiles, cache hit rate, snapshot decode totals,
+// p99 trace exemplars), `slowz` dumps the slow-query ring (entries
+// carry a trace_id), `tracez` dumps the committed request-trace ring
+// (serve/request_trace.h), and `metricsz` answers a multi-line
+// Prometheus text exposition terminated by a "# EOF" line.
 //
 // Multi-word cuisine names are double-quoted ("Indian Subcontinent");
 // errors come back as {"ok":false,"error":"..."} on the same line, and
@@ -36,6 +38,7 @@
 
 #include "common/status.h"
 #include "serve/query.h"
+#include "serve/request_trace.h"
 
 namespace cuisine {
 namespace serve {
@@ -44,6 +47,19 @@ namespace serve {
 /// double quotes group words ("New England") and `\"` / `\\` escape
 /// inside quotes. An unterminated quote is a ParseError.
 Result<std::vector<std::string>> TokenizeRequestLine(std::string_view line);
+
+/// Per-request timing the transport knows and the service does not:
+/// the per-connection request sequence (the trace-id input — TCP passes
+/// its absolute response-slot number so executed, shed and timed-out
+/// requests on one connection never collide) and the recv/frame
+/// interval, which becomes the trace's read_frame stage and its begin
+/// timestamp. frame_start_ns 0 means "no transport timing" (stdin): the
+/// trace then begins at HandleLine entry.
+struct TransportTiming {
+  std::uint64_t sequence = 0;
+  std::int64_t frame_start_ns = 0;
+  std::int64_t frame_end_ns = 0;
+};
 
 class Service {
  public:
@@ -61,7 +77,14 @@ class Service {
   /// containing a NUL byte is rejected with a one-line error. Blank
   /// lines return an empty string (callers emit nothing). The `quit`
   /// command also returns an empty string and flips done().
+  ///
+  /// The one-argument form synthesises TransportTiming from an internal
+  /// sequence counter (the stdin transport); TCP calls the two-argument
+  /// form with its own slot numbers and recv timestamps. Responses are
+  /// byte-identical whether tracing is disabled, sampled, or always-on:
+  /// the trace is a side channel, never an input to rendering.
   std::string HandleLine(std::string_view line);
+  std::string HandleLine(std::string_view line, const TransportTiming& timing);
 
   /// True once a `quit` request has been handled.
   bool done() const { return done_; }
@@ -86,6 +109,11 @@ class Service {
   std::uint64_t connection_id_ = 0;
   bool done_ = false;
   std::uint64_t requests_ = 0;
+  // Bounded per-connection trace scratch: every sampled-in request
+  // reuses it, and only LiveStats::RecordRequest (or an early-error
+  // commit) copies it into the global ring. No allocation per request.
+  RequestTrace trace_scratch_;
+  std::uint64_t stdin_sequence_ = 0;
 };
 
 }  // namespace serve

@@ -13,6 +13,7 @@
 #include "mining/pattern_set.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/request_trace.h"
 
 namespace cuisine {
 namespace serve {
@@ -804,6 +805,15 @@ struct SnapshotHandle::State {
   std::array<std::once_flag, kSnapshotSectionCount> once;
   std::array<Status, kSnapshotSectionCount> section_status;
   std::atomic<std::size_t> decoded_count{0};
+  // Decode totals mirrored outside the metrics registry so statsz can
+  // report them even when metrics are disabled (once per section, so
+  // the relaxed atomics are nowhere near a hot path). lazy_decodes
+  // counts DecodeSectionNow completions only — unlike decoded_count it
+  // stays 0 for eager handles, which page nothing.
+  std::atomic<std::int64_t> lazy_decodes{0};
+  std::atomic<std::int64_t> decode_ns_total{0};
+  std::atomic<std::int64_t> bytes_compressed_total{0};
+  std::atomic<std::int64_t> bytes_raw_total{0};
 };
 
 SnapshotHandle::SnapshotHandle(SnapshotHandle&&) noexcept = default;
@@ -858,6 +868,17 @@ std::size_t SnapshotHandle::decoded_section_count() const {
   return state_->decoded_count.load(std::memory_order_relaxed);
 }
 
+SnapshotDecodeStats SnapshotHandle::decode_stats() const {
+  const State& s = *state_;
+  SnapshotDecodeStats stats;
+  stats.sections_decoded = s.lazy_decodes.load(std::memory_order_relaxed);
+  stats.decode_ns = s.decode_ns_total.load(std::memory_order_relaxed);
+  stats.bytes_compressed =
+      s.bytes_compressed_total.load(std::memory_order_relaxed);
+  stats.bytes_raw = s.bytes_raw_total.load(std::memory_order_relaxed);
+  return stats;
+}
+
 Status SnapshotHandle::DecodeSectionNow(std::size_t index) const {
   State& s = *state_;
   const SnapshotSectionInfo& info = s.sections[index];
@@ -875,15 +896,34 @@ Status SnapshotHandle::DecodeSectionNow(std::size_t index) const {
   CUISINE_RETURN_NOT_OK(
       WithSectionContext(info.id, DecodeSection(info.id, *raw, &s.data)));
   CUISINE_RETURN_NOT_OK(CrossCheckAgainstSummary(info.id, s.data));
-  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const auto end = std::chrono::steady_clock::now();
+  const std::int64_t elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+          .count();
   CUISINE_COUNTER_ADD("serve.snapshot.sections_decoded", 1);
   CUISINE_COUNTER_ADD("serve.snapshot.bytes_compressed",
                       static_cast<std::int64_t>(info.stored_size));
   CUISINE_COUNTER_ADD("serve.snapshot.bytes_raw",
                       static_cast<std::int64_t>(info.raw_size));
-  CUISINE_HISTOGRAM_OBSERVE(
-      "serve.snapshot.decode_ns",
-      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+  CUISINE_HISTOGRAM_OBSERVE("serve.snapshot.decode_ns", elapsed_ns);
+  s.lazy_decodes.fetch_add(1, std::memory_order_relaxed);
+  s.decode_ns_total.fetch_add(elapsed_ns, std::memory_order_relaxed);
+  s.bytes_compressed_total.fetch_add(
+      static_cast<std::int64_t>(info.stored_size), std::memory_order_relaxed);
+  s.bytes_raw_total.fetch_add(static_cast<std::int64_t>(info.raw_size),
+                              std::memory_order_relaxed);
+  // Attribute the decode to the in-flight request trace, if any: the
+  // once-latch means only the paying request records it, which is
+  // exactly the attribution tracez wants.
+  if (RequestTrace* trace = CurrentRequestTrace()) {
+    const std::int64_t end_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            end.time_since_epoch())
+            .count();
+    trace->RecordStage(TraceStage::kSectionDecode, end_ns - elapsed_ns,
+                       end_ns);
+    trace->AddSectionDecoded();
+  }
   s.decoded_count.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }

@@ -206,6 +206,17 @@ Status SaveSnapshot(const Snapshot& snapshot, const std::string& path,
                     const SnapshotWriteOptions& options = {});
 Result<Snapshot> LoadSnapshot(const std::string& path);
 
+/// Cumulative lazy-decode totals for one SnapshotHandle — the live
+/// (statsz) view of the serve.snapshot.* registry counters, maintained
+/// unconditionally so it works with metrics disabled. All zero for
+/// eager handles (FromSnapshot, v1 files): they page nothing.
+struct SnapshotDecodeStats {
+  std::int64_t sections_decoded = 0;
+  std::int64_t decode_ns = 0;
+  std::int64_t bytes_compressed = 0;
+  std::int64_t bytes_raw = 0;
+};
+
 /// Lazily-paged read handle over serialized snapshot bytes.
 ///
 /// Open() verifies the header and section table only — O(header), no
@@ -241,6 +252,8 @@ class SnapshotHandle {
   std::uint32_t version() const;
   /// Sections decoded so far — the laziness observable the tests pin.
   std::size_t decoded_section_count() const;
+  /// Lazy-decode work done through this handle so far.
+  SnapshotDecodeStats decode_stats() const;
 
   /// Per-section accessors; each pages in (at most) its own section plus
   /// the summary for cross-checks.

@@ -31,6 +31,23 @@ std::string ErrorBody(std::string_view message) {
       .Dump(0);
 }
 
+/// Verb label for requests that never reach the tokenizer (shed or timed
+/// out before execution): the first whitespace-delimited word, or
+/// "other" for a blank line. Quoting does not matter for a label.
+std::string_view RejectedVerb(std::string_view line) {
+  std::size_t begin = line.find_first_not_of(" \t\r");
+  if (begin == std::string_view::npos) return "other";
+  std::size_t end = line.find_first_of(" \t\r", begin);
+  return line.substr(begin, end == std::string_view::npos ? line.size() - begin
+                                                          : end - begin);
+}
+
+std::int64_t SteadyNs(Clock::time_point tp) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             tp.time_since_epoch())
+      .count();
+}
+
 }  // namespace
 
 std::string OverloadedResponseBody() { return ErrorBody("overloaded"); }
@@ -60,6 +77,10 @@ struct TcpServer::Connection {
   std::uint64_t slots_consumed = 0;
   std::string write_buf;
   std::size_t write_pos = 0;
+  /// When the recv batch currently being framed started — becomes the
+  /// read_frame stage and the trace-begin timestamp of every request
+  /// framed out of that batch. 0 between batches.
+  std::int64_t read_started_ns = 0;
   bool want_writable = false;  // EPOLLOUT currently registered
   bool peer_eof = false;       // client half-closed; finish then close
   bool close_after_flush = false;
@@ -75,6 +96,10 @@ struct TcpServer::PendingRequest {
   std::string line;
   Clock::time_point admitted;
   Clock::time_point deadline;
+  // Transport timing forwarded to Service::HandleLine (and used directly
+  // for the trace of a request that times out before executing).
+  std::int64_t frame_start_ns = 0;
+  std::int64_t frame_end_ns = 0;
 };
 
 TcpServer::TcpServer(QueryEngine* engine, TcpServerOptions options)
@@ -210,7 +235,14 @@ void TcpServer::AcceptNew() {
 void TcpServer::AdmitLine(Connection* conn, std::string line) {
   requests_.fetch_add(1);
   CUISINE_COUNTER_ADD("serve.tcp.requests", 1);
+  // The slot number is this request's absolute per-connection sequence —
+  // also the trace-id input, so executed, shed and timed-out requests on
+  // one connection get distinct, replay-stable ids.
   const std::uint64_t sequence = conn->slots_consumed + conn->slots.size();
+  const bool tracing = engine_->live().traces().enabled();
+  const std::int64_t frame_end_ns = tracing ? RequestTrace::NowNs() : 0;
+  const std::int64_t frame_start_ns =
+      conn->read_started_ns > 0 ? conn->read_started_ns : frame_end_ns;
   conn->slots.emplace_back();
   if (pending_.size() >= options_.max_pending_requests) {
     shed_.fetch_add(1);
@@ -218,6 +250,17 @@ void TcpServer::AdmitLine(Connection* conn, std::string line) {
     CUISINE_COUNTER_ADD("serve.tcp.shed", 1);
     conn->slots.back().ready = true;
     conn->slots.back().bytes = OverloadedResponseBody() + "\n";
+    // Tail rule: a shed request always commits a trace. It never reaches
+    // the Service, so the transport owns the commit.
+    TraceRing& ring = engine_->live().traces();
+    if (ring.enabled()) {
+      RequestTrace trace;
+      trace.Begin(DeterministicTraceId(conn->id, sequence), conn->id,
+                  frame_start_ns);
+      trace.RecordStage(TraceStage::kReadFrame, frame_start_ns, frame_end_ns);
+      ring.Commit(trace, RejectedVerb(line), "shed", 0, false, false,
+                  RequestTrace::NowNs());
+    }
     return;
   }
   PendingRequest req;
@@ -229,6 +272,8 @@ void TcpServer::AdmitLine(Connection* conn, std::string line) {
                      ? req.admitted +
                            std::chrono::milliseconds(options_.request_timeout_ms)
                      : Clock::time_point::max();
+  req.frame_start_ns = frame_start_ns;
+  req.frame_end_ns = frame_end_ns;
   pending_.push_back(std::move(req));
 }
 
@@ -265,6 +310,8 @@ void TcpServer::FrameLines(Connection* conn) {
 
 void TcpServer::HandleReadable(Connection* conn) {
   char buf[16 * 1024];
+  conn->read_started_ns =
+      engine_->live().traces().enabled() ? RequestTrace::NowNs() : 0;
   while (true) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n > 0) {
@@ -282,6 +329,7 @@ void TcpServer::HandleReadable(Connection* conn) {
     return;
   }
   FrameLines(conn);
+  conn->read_started_ns = 0;
   if (conn->peer_eof && conn->slots.empty() && conn->write_buf.empty()) {
     CloseConnection(conn);
     return;
@@ -307,8 +355,25 @@ void TcpServer::DrainPending() {
       engine_->live().RecordTimeout();
       CUISINE_COUNTER_ADD("serve.tcp.timeout", 1);
       slot.bytes = TimeoutResponseBody() + "\n";
+      // Tail rule: an admission-deadline timeout always commits a trace;
+      // its latency is the queue age (the time the client waited).
+      TraceRing& ring = engine_->live().traces();
+      if (ring.enabled()) {
+        RequestTrace trace;
+        trace.Begin(DeterministicTraceId(req.conn_id, req.slot), req.conn_id,
+                    req.frame_start_ns);
+        trace.RecordStage(TraceStage::kReadFrame, req.frame_start_ns,
+                          req.frame_end_ns);
+        ring.Commit(trace, RejectedVerb(req.line), "timeout",
+                    SteadyNs(now) - SteadyNs(req.admitted), false, false,
+                    RequestTrace::NowNs());
+      }
     } else {
-      std::string response = conn->service.HandleLine(req.line);
+      TransportTiming timing;
+      timing.sequence = req.slot;
+      timing.frame_start_ns = req.frame_start_ns;
+      timing.frame_end_ns = req.frame_end_ns;
+      std::string response = conn->service.HandleLine(req.line, timing);
       if (!response.empty()) slot.bytes = std::move(response) + "\n";
       if (conn->service.done()) conn->close_after_flush = true;
     }

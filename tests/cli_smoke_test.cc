@@ -104,7 +104,11 @@ TEST(CliSmokeTest, ServeRejectsMalformedTcpFlags) {
        {std::string("--port notanumber"), std::string("--port 99999999"),
         std::string("--max-pending -5"), std::string("--timeout-ms abc"),
         std::string("--slow-query-ms abc"),
-        std::string("--slow-query-ms 99999999999")}) {
+        std::string("--slow-query-ms 99999999999"),
+        std::string("--trace-capacity abc"), std::string("--trace-capacity -3"),
+        std::string("--trace-sample-rate abc"),
+        std::string("--trace-sample-rate 1.5"),
+        std::string("--trace-sample-rate -0.1")}) {
     RunResult r = RunCli("serve --snapshot /nonexistent/snap.bin " + flags);
     EXPECT_NE(r.exit_code, 0) << flags;
     EXPECT_NE(r.stderr_text.find("invalid --"), std::string::npos)

@@ -308,6 +308,54 @@ TEST(ReportDiffTest, RollingPercentileGaugesAreTimingClass) {
   }
 }
 
+TEST(ReportDiffTest, TraceExemplarAndSlowCommitRowsAreTimingClass) {
+  // Request-trace rows that move with wall time rather than the request
+  // stream: exemplar ids/latencies (which trace landed in the p99
+  // bucket), slow-commit counts (threshold crossings are timing facts),
+  // and trace-ring evictions. All must ride the advisory timing lane.
+  // The remaining serve.trace.committed_* counters are deterministic
+  // functions of the request stream and must keep hard-gating.
+  Json base = MakeReport({{"serve.trace.committed_slow", 3},
+                          {"serve.trace.dropped", 0},
+                          {"serve.trace.committed_error", 7}},
+                         {{"serve.table1_window_p99_exemplar_trace_id", 12345},
+                          {"serve.table1_window_p99_exemplar_latency_ns", 80}});
+  Json current =
+      MakeReport({{"serve.trace.committed_slow", 90},
+                  {"serve.trace.dropped", 40},
+                  {"serve.trace.committed_error", 7}},
+                 {{"serve.table1_window_p99_exemplar_trace_id", 98765},
+                  {"serve.table1_window_p99_exemplar_latency_ns", 8000}});
+
+  DiffOptions lenient;
+  lenient.timing_advisory = true;
+  auto advisory = obs::DiffRunReports(base, current, lenient);
+  ASSERT_TRUE(advisory.ok()) << advisory.status();
+  EXPECT_FALSE(advisory->regression);
+  for (const char* key :
+       {"counter/serve.trace.committed_slow", "counter/serve.trace.dropped",
+        "gauge/serve.table1_window_p99_exemplar_trace_id",
+        "gauge/serve.table1_window_p99_exemplar_latency_ns"}) {
+    const DiffRow* row = FindRow(*advisory, key);
+    ASSERT_NE(row, nullptr) << key;
+    EXPECT_EQ(row->metric_class, MetricClass::kTiming) << key;
+    EXPECT_TRUE(row->advisory) << key;
+  }
+
+  // A deterministic committed_* counter changing still hard-gates.
+  Json regressed = MakeReport({{"serve.trace.committed_slow", 3},
+                               {"serve.trace.dropped", 0},
+                               {"serve.trace.committed_error", 10}});
+  auto gated = obs::DiffRunReports(base, regressed, lenient);
+  ASSERT_TRUE(gated.ok()) << gated.status();
+  EXPECT_TRUE(gated->regression);
+  const DiffRow* error_row =
+      FindRow(*gated, "counter/serve.trace.committed_error");
+  ASSERT_NE(error_row, nullptr);
+  EXPECT_EQ(error_row->metric_class, MetricClass::kCounter);
+  EXPECT_FALSE(error_row->advisory);
+}
+
 TEST(ReportDiffTest, RejectsNonReportDocuments) {
   Json not_a_report = Json::Object();
   not_a_report.Set("hello", Json::Str("world"));

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -352,7 +353,8 @@ TEST_F(ServiceTest, AdminVerbsAreUnmetered) {
 
 TEST_F(ServiceTest, AdminVerbsEnforceZeroArity) {
   Service service(engine_);
-  for (const char* verb : {"healthz", "statsz", "metricsz", "slowz"}) {
+  for (const char* verb : {"healthz", "statsz", "metricsz", "slowz",
+                           "tracez"}) {
     const std::string response =
         service.HandleLine(std::string(verb) + " extra");
     EXPECT_FALSE(IsOk(response)) << verb;
@@ -395,6 +397,107 @@ TEST_F(ServiceTest, SlowzRecordsEveryRequestAtThresholdZero) {
             items[1].Find("arg_digest")->string_value());
   EXPECT_EQ(items[2].Find("verb")->string_value(), "tree");
   EXPECT_FALSE(items[2].Find("ok")->bool_value());
+}
+
+TEST_F(ServiceTest, TracezAnswersCommittedRingOnStdinPath) {
+  QueryEngineOptions options;
+  options.live.trace_sample_rate = 1.0;  // head-commit everything
+  QueryEngine engine(*snapshot_, options);
+  Service service(&engine);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  EXPECT_FALSE(IsOk(service.HandleLine("tree warp")));
+
+  auto json = Json::Parse(service.HandleLine("tracez"));
+  ASSERT_TRUE(json.ok());
+  const Json* data = json->Find("data");
+  EXPECT_EQ(data->Find("capacity")->int_value(), 64);
+  EXPECT_EQ(data->Find("sample_rate")->double_value(), 1.0);
+  EXPECT_EQ(data->Find("committed_total")->int_value(), 2);
+  EXPECT_EQ(data->Find("dropped_total")->int_value(), 0);
+  const Json* traces = data->Find("traces");
+  ASSERT_EQ(traces->size(), 2u);
+  // The stdin transport is connection 0 with its own request sequence,
+  // so ids are DeterministicTraceId(0, 0) and (0, 1).
+  for (std::size_t i = 0; i < 2; ++i) {
+    const Json& t = traces->at(i);
+    EXPECT_EQ(t.Find("trace_id")->string_value(),
+              TraceIdHex(DeterministicTraceId(0, i)));
+    EXPECT_EQ(t.Find("connection_id")->int_value(), 0);
+    EXPECT_GT(t.Find("request_id")->int_value(), 0);
+    // Stdin has no transport framing: no read_frame stage, but parse,
+    // execute and write must all be present with sane offsets.
+    const Json* stages = t.Find("stages");
+    EXPECT_EQ(stages->Find("read_frame"), nullptr);
+    for (const char* stage : {"parse", "execute", "write"}) {
+      ASSERT_NE(stages->Find(stage), nullptr) << stage;
+      EXPECT_GE(stages->Find(stage)->Find("offset_ns")->int_value(), 0);
+      EXPECT_EQ(stages->Find(stage)->Find("count")->int_value(), 1);
+    }
+  }
+  EXPECT_EQ(traces->at(0).Find("reason")->string_value(), "head");
+  EXPECT_TRUE(traces->at(0).Find("ok")->bool_value());
+  EXPECT_EQ(traces->at(1).Find("reason")->string_value(), "error");
+  EXPECT_FALSE(traces->at(1).Find("ok")->bool_value());
+}
+
+TEST_F(ServiceTest, TracingDisabledAtCapacityZero) {
+  QueryEngineOptions options;
+  options.live.trace_capacity = 0;
+  options.live.trace_sample_rate = 1.0;  // irrelevant: ring disabled
+  QueryEngine engine(*snapshot_, options);
+  Service service(&engine);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  EXPECT_FALSE(IsOk(service.HandleLine("tree warp")));
+  auto json = Json::Parse(service.HandleLine("tracez"));
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->Find("data")->Find("capacity")->int_value(), 0);
+  EXPECT_EQ(json->Find("data")->Find("committed_total")->int_value(), 0);
+  EXPECT_TRUE(json->Find("data")->Find("traces")->items().empty());
+}
+
+TEST_F(ServiceTest, SnapshotDecodeStatsSurfaceInStatszAndAdvance) {
+  // Decode stats only move on a lazily-paged handle, so round-trip the
+  // corpus through a real snapshot file.
+  const std::string path =
+      ::testing::TempDir() + "/serve_service_decode_stats.bin";
+  ASSERT_TRUE(SaveSnapshot(*snapshot_, path).ok());
+  auto handle = SnapshotHandle::OpenFile(path);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  QueryEngine engine(std::move(handle).value());
+  Service service(&engine);
+
+  auto scrape = [&](const char* field) {
+    auto json = Json::Parse(service.HandleLine("statsz"));
+    CUISINE_CHECK(json.ok());
+    return json->Find("data")->Find("snapshot")->Find(field)->int_value();
+  };
+  const std::int64_t total = scrape("sections_total");
+  EXPECT_GT(total, 0);
+  EXPECT_EQ(scrape("sections_decoded"), 0);  // nothing touched yet
+  EXPECT_EQ(scrape("decode_ns"), 0);
+
+  const bool metrics_were_enabled = obs::MetricsEnabled();
+  obs::SetMetricsEnabled(true);
+  EXPECT_TRUE(IsOk(service.HandleLine("table1 Korean")));
+  const std::int64_t decoded = scrape("sections_decoded");
+  EXPECT_GT(decoded, 0);
+  EXPECT_LE(decoded, total);
+  EXPECT_GT(scrape("decode_ns"), 0);
+  EXPECT_GT(scrape("bytes_compressed"), 0);
+  EXPECT_GT(scrape("bytes_raw"), 0);
+
+  // A second query touching more sections advances, never regresses.
+  EXPECT_TRUE(IsOk(service.HandleLine("tree euclidean")));
+  EXPECT_GE(scrape("sections_decoded"), decoded);
+
+  // The same counters reach the Prometheus exposition via the registry.
+  const std::string exposition = service.HandleLine("metricsz");
+  obs::SetMetricsEnabled(metrics_were_enabled);
+  EXPECT_NE(exposition.find("cuisine_serve_snapshot_sections_decoded"),
+            std::string::npos);
+  EXPECT_NE(exposition.find("cuisine_serve_snapshot_bytes_raw"),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST_F(ServiceTest, SlowRingStaysDisabledAtNegativeThreshold) {

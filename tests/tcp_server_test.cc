@@ -463,6 +463,201 @@ TEST_F(TcpServerTest, ShedAndTimeoutFeedLiveTotals) {
             1);
 }
 
+/// Stage spans of one tracez entry must sum within its wall-clock total
+/// (stages are non-overlapping by construction).
+void ExpectStageSumWithinTotal(const Json& trace) {
+  std::int64_t sum = 0;
+  for (const auto& [stage, span] : trace.Find("stages")->members()) {
+    sum += span.Find("ns")->int_value();
+  }
+  EXPECT_LE(sum, trace.Find("total_ns")->int_value()) << trace.Dump(0);
+}
+
+Json ScrapeTracez(TestClient& client) {
+  client.Send("tracez\n");
+  auto json = Json::Parse(client.ReadLine());
+  CUISINE_CHECK(json.ok() && json->Find("ok")->bool_value());
+  return *json->Find("data");
+}
+
+TEST_F(TcpServerTest, TraceIdsUniqueAndStableAcrossPipelinedRequests) {
+  QueryEngineOptions engine_options;
+  engine_options.live.trace_sample_rate = 1.0;  // head-commit everything
+  RunningServer fixture(*snapshot_, {}, engine_options);
+  TestClient client(fixture.port());
+  constexpr int kRequests = 10;
+  std::string batch;
+  for (int i = 0; i < kRequests; ++i) batch += "table1 Korean\n";
+  client.Send(batch);
+  for (int i = 0; i < kRequests; ++i) {
+    EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0) << i;
+  }
+  const Json tracez = ScrapeTracez(client);
+  const Json* traces = tracez.Find("traces");
+  ASSERT_EQ(traces->size(), static_cast<std::size_t>(kRequests));
+  // Ids are a pure function of (connection, slot): the first connection
+  // gets id 1, pipelined requests get slots 0..N-1, so the committed ids
+  // must equal DeterministicTraceId(1, i) in request order — stable
+  // across runs and replays, and necessarily unique.
+  for (int i = 0; i < kRequests; ++i) {
+    const Json& t = traces->at(static_cast<std::size_t>(i));
+    EXPECT_EQ(t.Find("trace_id")->string_value(),
+              TraceIdHex(DeterministicTraceId(1, static_cast<std::uint64_t>(i))))
+        << i;
+    EXPECT_EQ(t.Find("reason")->string_value(), "head");
+    EXPECT_TRUE(t.Find("ok")->bool_value());
+    ExpectStageSumWithinTotal(t);
+  }
+  // The admin scrape itself is never traced, even at rate 1.
+  EXPECT_EQ(tracez.Find("committed_total")->int_value(), kRequests);
+}
+
+TEST_F(TcpServerTest, ErrorsAlwaysCommitTracesAtRateZero) {
+  QueryEngineOptions engine_options;
+  engine_options.live.trace_sample_rate = 0.0;
+  RunningServer fixture(*snapshot_, {}, engine_options);
+  TestClient client(fixture.port());
+  // A fast, healthy request commits nothing at rate 0...
+  client.Send("table1 Korean\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  // ...but every flavor of failure tail-commits: unknown verb, arity
+  // error, and a parse error that never reaches dispatch.
+  client.Send("no_such_command\ntable1\n\"unterminated\n");
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":false", 0) == 0) << i;
+  }
+  const Json tracez = ScrapeTracez(client);
+  const Json* traces = tracez.Find("traces");
+  ASSERT_EQ(traces->size(), 3u);
+  for (std::size_t i = 0; i < traces->size(); ++i) {
+    const Json& t = traces->at(i);
+    EXPECT_EQ(t.Find("reason")->string_value(), "error") << i;
+    EXPECT_FALSE(t.Find("ok")->bool_value()) << i;
+    ExpectStageSumWithinTotal(t);
+  }
+  // The parse error had no verb to classify.
+  EXPECT_EQ(traces->at(2).Find("verb")->string_value(), "other");
+}
+
+TEST_F(TcpServerTest, ShedAndTimeoutAlwaysCommitTraces) {
+  TcpServerOptions options;
+  options.max_pending_requests = 1;
+  options.request_timeout_ms = 20;
+  QueryEngineOptions engine_options;
+  engine_options.live.trace_sample_rate = 0.0;
+  RunningServer fixture(*snapshot_, options, engine_options);
+  fixture.server().set_paused(true);
+  TestClient client(fixture.port());
+  client.Send("table1 Korean\ntree euclidean\nstats\n");
+  fixture.AwaitRequests(3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  fixture.server().set_paused(false);
+  // Slot 0 timed out in queue; slots 1 and 2 were shed at admission.
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":false", 0) == 0);
+  EXPECT_EQ(client.ReadLine(), OverloadedResponseBody());
+  EXPECT_EQ(client.ReadLine(), OverloadedResponseBody());
+  const Json tracez = ScrapeTracez(client);
+  const Json* traces = tracez.Find("traces");
+  ASSERT_EQ(traces->size(), 3u);
+  // Shed commits happen at admission (slots 1, 2), the timeout commit at
+  // drain (slot 0) — so the ring order is shed, shed, timeout.
+  EXPECT_EQ(traces->at(0).Find("reason")->string_value(), "shed");
+  EXPECT_EQ(traces->at(0).Find("verb")->string_value(), "tree");
+  EXPECT_EQ(traces->at(1).Find("reason")->string_value(), "shed");
+  EXPECT_EQ(traces->at(1).Find("verb")->string_value(), "stats");
+  EXPECT_EQ(traces->at(2).Find("reason")->string_value(), "timeout");
+  EXPECT_EQ(traces->at(2).Find("verb")->string_value(), "table1");
+  // The timeout's latency is the queue age — at least the 50ms sleep.
+  EXPECT_GE(traces->at(2).Find("latency_ns")->int_value(), 20'000'000);
+  // All three carry distinct slot-derived ids from the same connection.
+  EXPECT_EQ(traces->at(0).Find("trace_id")->string_value(),
+            TraceIdHex(DeterministicTraceId(1, 1)));
+  EXPECT_EQ(traces->at(1).Find("trace_id")->string_value(),
+            TraceIdHex(DeterministicTraceId(1, 2)));
+  EXPECT_EQ(traces->at(2).Find("trace_id")->string_value(),
+            TraceIdHex(DeterministicTraceId(1, 0)));
+  for (std::size_t i = 0; i < traces->size(); ++i) {
+    ExpectStageSumWithinTotal(traces->at(i));
+  }
+}
+
+TEST_F(TcpServerTest, SlowRequestsAlwaysCommitResolvableTraces) {
+  QueryEngineOptions engine_options;
+  engine_options.live.slow_query_threshold_ms = 0;  // everything is slow
+  engine_options.live.trace_sample_rate = 0.0;
+  RunningServer fixture(*snapshot_, {}, engine_options);
+  TestClient client(fixture.port());
+  client.Send("table1 Korean\ntree euclidean\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  // Every slowz entry's trace_id must resolve against the trace ring.
+  client.Send("slowz\n");
+  auto slowz = Json::Parse(client.ReadLine());
+  ASSERT_TRUE(slowz.ok());
+  const Json* entries = slowz->Find("data")->Find("entries");
+  ASSERT_EQ(entries->size(), 2u);
+  const TraceRing& ring = fixture.engine().live().traces();
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    const std::string hex = entries->at(i).Find("trace_id")->string_value();
+    ASSERT_NE(hex, std::string(16, '0')) << i;
+    EXPECT_TRUE(ring.Contains(std::stoull(hex, nullptr, 16))) << hex;
+  }
+  const Json tracez = ScrapeTracez(client);
+  const Json* traces = tracez.Find("traces");
+  ASSERT_EQ(traces->size(), 2u);
+  for (std::size_t i = 0; i < traces->size(); ++i) {
+    const Json& t = traces->at(i);
+    EXPECT_EQ(t.Find("reason")->string_value(), "slow") << i;
+    ExpectStageSumWithinTotal(t);
+    // The metered latency is bounded by the trace's wall-clock window
+    // (begin at framing, commit after the reply was built).
+    EXPECT_LE(t.Find("latency_ns")->int_value(),
+              t.Find("total_ns")->int_value())
+        << i;
+  }
+  // The p99 exemplar in statsz points at one of the committed traces.
+  client.Send("statsz\n");
+  auto statsz = Json::Parse(client.ReadLine());
+  ASSERT_TRUE(statsz.ok());
+  const std::string exemplar = statsz->Find("data")
+                                   ->Find("verbs")
+                                   ->Find("table1")
+                                   ->Find("p99_exemplar")
+                                   ->Find("trace_id")
+                                   ->string_value();
+  EXPECT_TRUE(ring.Contains(std::stoull(exemplar, nullptr, 16))) << exemplar;
+}
+
+TEST_F(TcpServerTest, RepliesByteIdenticalAcrossTracingModes) {
+  const std::vector<std::string> lines = {
+      "stats",           "table1 Korean",  "table1 Korean",
+      "tree euclidean",  "no_such_command", "auth_topk Korean 3 most",
+      "\"unterminated",  "distance cosine Korean Thai"};
+  // Same request history against tracing disabled / tail-only / 100%
+  // head sampling: the trace layer must never leak into the bytes.
+  std::vector<QueryEngineOptions> modes(3);
+  modes[0].live.trace_capacity = 0;
+  modes[1].live.trace_capacity = 64;
+  modes[1].live.trace_sample_rate = 0.0;
+  modes[2].live.trace_capacity = 64;
+  modes[2].live.trace_sample_rate = 1.0;
+  std::vector<std::vector<std::string>> replies(modes.size());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    RunningServer fixture(*snapshot_, {}, modes[m]);
+    TestClient client(fixture.port());
+    for (const std::string& line : lines) {
+      client.Send(line + "\n");
+      replies[m].push_back(client.ReadLine());
+    }
+  }
+  for (std::size_t m = 1; m < replies.size(); ++m) {
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      EXPECT_EQ(replies[0][i], replies[m][i])
+          << "mode " << m << " diverged on '" << lines[i] << "'";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace cuisine
