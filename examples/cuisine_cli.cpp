@@ -12,9 +12,16 @@
 //   cuisine_cli validate
 //   cuisine_cli export     [--patterns out.csv] [--features out.csv]
 //   cuisine_cli snapshot   [--out snapshot.bin] [--support P]
-//                          [--codec none|delta|lz]
+//                          [--codec none|delta|lz] [--created-unix T]
 //   cuisine_cli snapshot inspect [--in snapshot.bin]
-//   cuisine_cli serve      [--snapshot snapshot.bin] [--cache N]
+//   cuisine_cli store publish [--store DIR] [--support P] [--codec C]
+//                          [--retain N] [--created-unix T]
+//   cuisine_cli store remine --cuisines a,b,c [--store DIR] [--retain N]
+//                          [--created-unix T]
+//   cuisine_cli store list [--store DIR]
+//   cuisine_cli store gc   [--store DIR]
+//   cuisine_cli serve      [--snapshot snapshot.bin | --store DIR]
+//                          [--cache N]
 //                          [--port P] [--max-pending N] [--timeout-ms T]
 //                          [--slow-query-ms T] [--trace-capacity N]
 //                          [--trace-sample-rate R]
@@ -25,9 +32,15 @@
 // "Serving & snapshots"); it opens the snapshot lazily, so startup cost
 // is the header read, and sections decode on first use. `snapshot
 // inspect` prints the section index (codec, sizes, compression ratio)
-// without decoding any payload. Unknown commands or flags print usage
-// to stderr and exit non-zero. Flags accept both "--flag value" and
-// "--flag=value".
+// without decoding any payload. The `store` subcommands manage a
+// directory of snapshot generations (serve/store.h): `publish` mines
+// and atomically appends a generation, `remine` re-mines only the named
+// cuisines against the latest generation's corpus and publishes the
+// splice (byte-identical to a full re-mine), `list` prints the
+// manifest, `gc` deletes unreferenced files. `serve --store DIR` serves
+// the latest generation and hot-swaps to newer ones on `reloadz` or
+// SIGHUP. Unknown commands or flags print usage to stderr and exit
+// non-zero. Flags accept both "--flag value" and "--flag=value".
 //
 // Common flags: --quiet raises the log threshold to errors; --report
 // out.json writes an observability run report (span tree + metrics, see
@@ -37,8 +50,10 @@
 #include <signal.h>
 
 #include <atomic>
+#include <ctime>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -59,6 +74,7 @@
 #include "serve/query.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "serve/store.h"
 #include "serve/tcp_server.h"
 
 namespace {
@@ -324,6 +340,48 @@ int CmdExport(const Args& args) {
   return 0;
 }
 
+/// Strictly parses --created-unix (reproducible provenance timestamps
+/// for tests and the remine byte-identity check); absent or bare keeps
+/// the wall clock.
+bool ParseCreatedUnix(const Args& args, std::int64_t* out) {
+  *out = static_cast<std::int64_t>(std::time(nullptr));
+  if (!args.Has("created-unix")) return true;
+  const std::string raw = args.Get("created-unix", "");
+  if (raw.empty()) return true;
+  std::size_t value = 0;
+  if (!cuisine::ParseSizeT(raw, &value)) {
+    std::cerr << "error: invalid --created-unix '" << raw
+              << "' (want an integer)\n";
+    return false;
+  }
+  *out = static_cast<std::int64_t>(value);
+  return true;
+}
+
+/// The shared serialization options of `snapshot`, `store publish` and
+/// `store remine`: optional --codec override plus a CUPROV01 provenance
+/// trailer. All three go through here so a re-mined generation is
+/// byte-comparable against a fully mined one.
+bool SnapshotWriteOptionsFromFlags(const Args& args, std::int64_t created,
+                                   const std::string& corpus_digest,
+                                   cuisine::serve::SnapshotWriteOptions* wopt,
+                                   cuisine::Status* error) {
+  if (args.Has("codec")) {
+    auto id = cuisine::serve::codec::ParseCodecId(args.Get("codec", ""));
+    if (!id.ok()) {
+      *error = id.status();
+      return false;
+    }
+    wopt->codec_override = *id;
+  }
+  cuisine::serve::SnapshotProvenance prov;
+  prov.created_unix = created;
+  prov.corpus_digest = corpus_digest;
+  prov.tool_version = cuisine::serve::StoreToolVersion();
+  wopt->provenance = prov;
+  return true;
+}
+
 int CmdSnapshot(const Args& args) {
   cuisine::PipelineConfig config;
   config.generator.scale = args.GetDouble("scale", 1.0);
@@ -331,16 +389,19 @@ int CmdSnapshot(const Args& args) {
       static_cast<std::uint64_t>(args.GetDouble("seed", 2020));
   config.miner.min_support = args.GetDouble("support", 0.2);
   config.run_elbow = false;
+  std::int64_t created = 0;
+  if (!ParseCreatedUnix(args, &created)) return 2;
   auto run = cuisine::RunPipeline(config);
   if (!run.ok()) return Fail(run.status());
   auto snap = cuisine::serve::BuildSnapshot(run->dataset, *run, config);
   if (!snap.ok()) return Fail(snap.status());
   std::string out = args.Get("out", "snapshot.bin");
   cuisine::serve::SnapshotWriteOptions wopt;
-  if (args.Has("codec")) {
-    auto id = cuisine::serve::codec::ParseCodecId(args.Get("codec", ""));
-    if (!id.ok()) return Fail(id.status());
-    wopt.codec_override = *id;
+  cuisine::Status werr;
+  if (!SnapshotWriteOptionsFromFlags(
+          args, created, cuisine::serve::DatasetDigest(run->dataset), &wopt,
+          &werr)) {
+    return Fail(werr);
   }
   std::string bytes = cuisine::serve::SerializeSnapshot(*snap, wopt);
   cuisine::Status st = cuisine::WriteStringToFile(out, bytes);
@@ -353,24 +414,38 @@ int CmdSnapshot(const Args& args) {
 }
 
 // `snapshot inspect`: the section index straight off the header — codec,
-// placement and per-section compression ratio, no payload decoded.
+// placement and per-section compression ratio, no payload decoded — plus
+// the provenance trailer (absent fields print '-').
 int CmdSnapshotInspect(const Args& args) {
   const std::string path = args.Get("in", "snapshot.bin");
   auto bytes = cuisine::ReadFileToString(path);
   if (!bytes.ok()) return Fail(bytes.status());
-  auto sections = cuisine::serve::InspectSnapshot(*bytes);
-  if (!sections.ok()) {
-    return Fail(cuisine::Status(sections.status().code(),
-                                path + ": " + sections.status().message()));
+  auto info = cuisine::serve::InspectSnapshotFile(*bytes);
+  if (!info.ok()) {
+    return Fail(cuisine::Status(info.status().code(),
+                                path + ": " + info.status().message()));
   }
+  const std::vector<cuisine::serve::SnapshotSectionInfo>& sections =
+      info->sections;
   std::cout << path << ": " << bytes->substr(0, 8) << ", "
             << cuisine::FormatCount(bytes->size()) << " bytes, "
-            << sections->size() << " sections\n";
+            << sections.size() << " sections\n";
+  const auto& prov = info->provenance;
+  std::cout << "provenance: created="
+            << (prov && prov->created_unix != 0
+                    ? std::to_string(prov->created_unix)
+                    : "-")
+            << " corpus="
+            << (prov && !prov->corpus_digest.empty() ? prov->corpus_digest
+                                                     : "-")
+            << " tool="
+            << (prov && !prov->tool_version.empty() ? prov->tool_version : "-")
+            << "\n";
   cuisine::TextTable table(
       {"Section", "Codec", "Offset", "Stored", "Raw", "Ratio"});
   std::uint64_t stored_total = 0;
   std::uint64_t raw_total = 0;
-  for (const cuisine::serve::SnapshotSectionInfo& s : *sections) {
+  for (const cuisine::serve::SnapshotSectionInfo& s : sections) {
     stored_total += s.stored_size;
     raw_total += s.raw_size;
     const double ratio =
@@ -390,32 +465,6 @@ int CmdSnapshotInspect(const Args& args) {
                 std::to_string(raw_total), FormatDouble(total_ratio, 2)});
   std::cout << table.Render();
   return 0;
-}
-
-// SIGINT/SIGTERM must end `serve` the same way a clean `quit` does, so
-// the RunReportSession still flushes the run report and flight trace.
-// The handler flips a stop flag (checked by the stdin loop) and wakes
-// the TCP event loop; TcpServer::Shutdown is async-signal-safe (one
-// eventfd write).
-std::atomic<bool> g_serve_interrupted{false};
-cuisine::serve::TcpServer* g_tcp_server = nullptr;
-
-void HandleServeSignal(int) {
-  g_serve_interrupted.store(true);
-  if (g_tcp_server != nullptr) g_tcp_server->Shutdown();
-}
-
-// Installed via sigaction WITHOUT SA_RESTART (std::signal on glibc
-// implies restart): the stdin transport spends its life blocked in a
-// read, and only an EINTR lets that read fail so the serve loop can
-// observe g_serve_interrupted and unwind through the report flush.
-void InstallServeSignalHandlers() {
-  struct sigaction action {};
-  action.sa_handler = HandleServeSignal;
-  sigemptyset(&action.sa_mask);
-  action.sa_flags = 0;
-  ::sigaction(SIGINT, &action, nullptr);
-  ::sigaction(SIGTERM, &action, nullptr);
 }
 
 /// Strictly parses a numeric serve flag into [0, max]. The lenient
@@ -438,6 +487,182 @@ bool ParseServeFlag(const Args& args, const std::string& key,
   }
   *out = value;
   return true;
+}
+
+/// Opens (creating if needed) the snapshot store named by --store, with
+/// --retain bounding how many generations publishes keep.
+cuisine::Result<std::unique_ptr<cuisine::serve::SnapshotStore>> OpenStore(
+    const Args& args) {
+  std::uint64_t retain = 0;
+  if (!ParseServeFlag(args, "retain", 1u << 20, 4, &retain)) {
+    return cuisine::Status::InvalidArgument("invalid --retain");
+  }
+  cuisine::serve::SnapshotStoreOptions sopt;
+  sopt.retain = static_cast<std::size_t>(retain == 0 ? 1 : retain);
+  return cuisine::serve::SnapshotStore::Open(args.Get("store", "store"),
+                                             sopt);
+}
+
+void PrintPublished(const cuisine::serve::SnapshotStore& store,
+                    const cuisine::serve::GenerationInfo& info) {
+  std::cout << "published generation " << info.id << " (" << info.file
+            << ", " << cuisine::FormatCount(info.file_size) << " bytes"
+            << (info.parent_id != 0
+                    ? ", parent " + std::to_string(info.parent_id)
+                    : std::string())
+            << ") to " << store.dir() << " [" << store.GenerationCount()
+            << " retained]\n";
+}
+
+// `store publish`: full mine → snapshot with provenance → atomic append
+// to the store (retention-trimmed).
+int CmdStorePublish(const Args& args) {
+  std::int64_t created = 0;
+  if (!ParseCreatedUnix(args, &created)) return 2;
+  auto store = OpenStore(args);
+  if (!store.ok()) return Fail(store.status());
+  cuisine::PipelineConfig config;
+  config.generator.scale = args.GetDouble("scale", 1.0);
+  config.generator.seed =
+      static_cast<std::uint64_t>(args.GetDouble("seed", 2020));
+  config.miner.min_support = args.GetDouble("support", 0.2);
+  config.run_elbow = false;
+  auto run = cuisine::RunPipeline(config);
+  if (!run.ok()) return Fail(run.status());
+  auto snap = cuisine::serve::BuildSnapshot(run->dataset, *run, config);
+  if (!snap.ok()) return Fail(snap.status());
+  cuisine::serve::SnapshotWriteOptions wopt;
+  cuisine::Status werr;
+  if (!SnapshotWriteOptionsFromFlags(
+          args, created, cuisine::serve::DatasetDigest(run->dataset), &wopt,
+          &werr)) {
+    return Fail(werr);
+  }
+  const std::string bytes = cuisine::serve::SerializeSnapshot(*snap, wopt);
+  cuisine::serve::PublishOptions popt;
+  popt.codec = args.Get("codec", "defaults");
+  auto info = (*store)->Publish(bytes, popt);
+  if (!info.ok()) return Fail(info.status());
+  PrintPublished(**store, *info);
+  return 0;
+}
+
+// `store remine`: incremental ingestion. Re-mines only --cuisines
+// against the latest generation's corpus, splices the rest from the
+// parent, and publishes the delta generation — byte-identical to a full
+// re-mine under the same write options.
+int CmdStoreRemine(const Args& args) {
+  std::int64_t created = 0;
+  if (!ParseCreatedUnix(args, &created)) return 2;
+  const std::vector<std::string> cuisines =
+      cuisine::SplitAndTrim(args.Get("cuisines", ""), ',');
+  if (cuisines.empty()) {
+    return Fail(cuisine::Status::InvalidArgument(
+        "store remine needs --cuisines a,b,c (at least one name)"));
+  }
+  auto store = OpenStore(args);
+  if (!store.ok()) return Fail(store.status());
+  auto latest = (*store)->OpenLatest();
+  if (!latest.ok()) return Fail(latest.status());
+  auto remined = cuisine::serve::RemineSnapshot(latest->handle, cuisines);
+  if (!remined.ok()) return Fail(remined.status());
+  cuisine::serve::SnapshotWriteOptions wopt;
+  cuisine::Status werr;
+  if (!SnapshotWriteOptionsFromFlags(args, created, remined->corpus_digest,
+                                     &wopt, &werr)) {
+    return Fail(werr);
+  }
+  const std::string bytes =
+      cuisine::serve::SerializeSnapshot(remined->snapshot, wopt);
+  cuisine::serve::PublishOptions popt;
+  popt.parent_id = latest->info.id;
+  popt.codec = args.Get("codec", "defaults");
+  popt.remined_cuisines = cuisine::Join(remined->remined, ",");
+  auto info = (*store)->Publish(bytes, popt);
+  if (!info.ok()) return Fail(info.status());
+  std::cout << "re-mined " << cuisine::Join(remined->remined, ", ") << "\n";
+  PrintPublished(**store, *info);
+  return 0;
+}
+
+// `store list`: the manifest as a table; '-' for absent provenance.
+int CmdStoreList(const Args& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) return Fail(store.status());
+  const cuisine::serve::Manifest manifest = (*store)->manifest();
+  std::cout << (*store)->dir() << ": " << manifest.generations.size()
+            << " generations, latest "
+            << (manifest.latest_id != 0 ? std::to_string(manifest.latest_id)
+                                        : "-")
+            << "\n";
+  cuisine::TextTable table({"Gen", "Parent", "File", "Bytes", "Codec",
+                            "Created", "Tool", "Remined"});
+  for (const cuisine::serve::GenerationInfo& g : manifest.generations) {
+    table.AddRow(
+        {std::to_string(g.id) +
+             (g.id == manifest.latest_id ? "*" : ""),
+         g.parent_id != 0 ? std::to_string(g.parent_id) : "-", g.file,
+         std::to_string(g.file_size), g.codec.empty() ? "-" : g.codec,
+         g.created_unix != 0 ? std::to_string(g.created_unix) : "-",
+         g.tool_version.empty() ? "-" : g.tool_version,
+         g.remined_cuisines.empty() ? "-" : g.remined_cuisines});
+  }
+  std::cout << table.Render();
+  return 0;
+}
+
+// `store gc`: unlink every file the manifest no longer references.
+int CmdStoreGc(const Args& args) {
+  auto store = OpenStore(args);
+  if (!store.ok()) return Fail(store.status());
+  auto gc = (*store)->CollectGarbage();
+  if (!gc.ok()) return Fail(gc.status());
+  if (gc->deleted.empty()) {
+    std::cout << "nothing to collect in " << (*store)->dir() << "\n";
+    return 0;
+  }
+  for (const std::string& name : gc->deleted) {
+    std::cout << "deleted " << name << "\n";
+  }
+  std::cout << gc->deleted.size() << " files collected, "
+            << (*store)->GenerationCount() << " generations retained\n";
+  return 0;
+}
+
+// SIGINT/SIGTERM must end `serve` the same way a clean `quit` does, so
+// the RunReportSession still flushes the run report and flight trace.
+// The handler flips a stop flag (checked by the stdin loop) and wakes
+// the TCP event loop; TcpServer::Shutdown is async-signal-safe (one
+// eventfd write). SIGHUP instead flips a reload flag: both transports
+// consume it (the EINTR alone wakes them) and swap to the store's
+// latest generation.
+std::atomic<bool> g_serve_interrupted{false};
+std::atomic<bool> g_serve_reload{false};
+cuisine::serve::TcpServer* g_tcp_server = nullptr;
+
+void HandleServeSignal(int signum) {
+  if (signum == SIGHUP) {
+    g_serve_reload.store(true);
+    return;
+  }
+  g_serve_interrupted.store(true);
+  if (g_tcp_server != nullptr) g_tcp_server->Shutdown();
+}
+
+// Installed via sigaction WITHOUT SA_RESTART (std::signal on glibc
+// implies restart): the stdin transport spends its life blocked in a
+// read, and only an EINTR lets that read fail so the serve loop can
+// observe g_serve_interrupted (or the reload flag) and act. SIGHUP is
+// only claimed when a store is attached — without one a HUP keeps its
+// default disposition (terminate), the traditional daemon contract.
+void InstallServeSignalHandlers(bool handle_sighup) {
+  struct sigaction action {};
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+  if (handle_sighup) ::sigaction(SIGHUP, &action, nullptr);
 }
 
 /// Preserves the slow-query ring in the run report: the `slowz` payload
@@ -478,17 +703,17 @@ int CmdServe(const Args& args) {
               << "' (want 0..1)\n";
     return 2;
   }
+  if (args.Has("store") && args.Has("snapshot")) {
+    std::cerr << "error: --store and --snapshot are mutually exclusive\n";
+    return 2;
+  }
   // Handlers go in before the (possibly slow) snapshot load so a SIGTERM
   // at any point after this line still unwinds through the report flush.
-  InstallServeSignalHandlers();
+  // SIGHUP (reload) is claimed only when a store backs the server.
+  InstallServeSignalHandlers(/*handle_sighup=*/args.Has("store"));
   // A long-running server wants scrape-able counters: metricsz renders
   // whatever the registry recorded, so recording must be on.
   cuisine::obs::SetMetricsEnabled(true);
-  // Lazy open: header + section table only. Sections (and their decode
-  // cost) are paged in by the first query that touches them.
-  auto handle = cuisine::serve::SnapshotHandle::OpenFile(
-      args.Get("snapshot", "snapshot.bin"));
-  if (!handle.ok()) return Fail(handle.status());
   cuisine::serve::QueryEngineOptions qopt;
   qopt.cache_capacity =
       static_cast<std::size_t>(args.GetDouble("cache", 1024));
@@ -496,11 +721,34 @@ int CmdServe(const Args& args) {
       static_cast<std::int64_t>(slow_query_ms);
   qopt.live.trace_capacity = static_cast<std::size_t>(trace_capacity);
   qopt.live.trace_sample_rate = trace_sample_rate;
-  cuisine::serve::QueryEngine engine(std::move(handle).value(), qopt);
+  std::shared_ptr<cuisine::serve::SnapshotStore> store;
+  std::optional<cuisine::serve::QueryEngine> engine_slot;
+  if (args.Has("store")) {
+    // --store DIR: serve the latest generation and keep the store
+    // attached so reloadz / SIGHUP can hot-swap to newer publishes.
+    auto opened = OpenStore(args);
+    if (!opened.ok()) return Fail(opened.status());
+    store = std::shared_ptr<cuisine::serve::SnapshotStore>(
+        std::move(opened).value());
+    auto latest = store->OpenLatest();
+    if (!latest.ok()) return Fail(latest.status());
+    const std::uint64_t generation_id = latest->info.id;
+    engine_slot.emplace(std::move(latest->handle), qopt, generation_id);
+    engine_slot->AttachStore(store);
+  } else {
+    // Lazy open: header + section table only. Sections (and their
+    // decode cost) are paged in by the first query that touches them.
+    auto handle = cuisine::serve::SnapshotHandle::OpenFile(
+        args.Get("snapshot", "snapshot.bin"));
+    if (!handle.ok()) return Fail(handle.status());
+    engine_slot.emplace(std::move(handle).value(), qopt);
+  }
+  cuisine::serve::QueryEngine& engine = *engine_slot;
+  std::atomic<bool>* reload = store != nullptr ? &g_serve_reload : nullptr;
   if (!args.Has("port")) {
     cuisine::serve::Service service(&engine);
     cuisine::Status st =
-        service.Serve(std::cin, std::cout, &g_serve_interrupted);
+        service.Serve(std::cin, std::cout, &g_serve_interrupted, reload);
     FlushSlowQueryLog(engine);
     if (!st.ok()) return Fail(st);
     return 0;
@@ -510,6 +758,7 @@ int CmdServe(const Args& args) {
   topt.port = static_cast<std::uint16_t>(port);
   topt.max_pending_requests = static_cast<std::size_t>(max_pending);
   topt.request_timeout_ms = static_cast<std::int64_t>(timeout_ms);
+  topt.reload_flag = reload;
   cuisine::serve::TcpServer server(&engine, topt);
   cuisine::Status st = server.Start();
   if (!st.ok()) return Fail(st);
@@ -541,10 +790,19 @@ void Usage() {
       "  export       patterns / feature matrix CSVs\n"
       "  snapshot     run the pipeline and persist a serveable snapshot\n"
       "               (--codec none|delta|lz overrides per-section codecs)\n"
-      "  snapshot inspect  print a snapshot's section index (codec,\n"
-      "               sizes, compression ratio) without decoding it\n"
+      "  snapshot inspect  print a snapshot's section index and\n"
+      "               provenance without decoding any payload\n"
+      "  store publish  mine and atomically publish a generation into a\n"
+      "               snapshot store directory (--store DIR --retain N)\n"
+      "  store remine --cuisines a,b,c  re-mine only the named cuisines\n"
+      "               against the latest generation and publish the\n"
+      "               splice (byte-identical to a full re-mine)\n"
+      "  store list   print the store manifest (lineage + provenance)\n"
+      "  store gc     delete files the manifest no longer references\n"
       "  serve        answer queries from a snapshot (stdin/stdout, or\n"
-      "               a multi-client TCP server with --port)\n"
+      "               a multi-client TCP server with --port); --store\n"
+      "               DIR serves the latest generation and hot-swaps on\n"
+      "               reloadz or SIGHUP\n"
       "common flags: --scale S --seed N --in recipes.csv\n"
       "              --quiet (errors only) --report out.json (run report)\n"
       "              --flight (record a Perfetto timeline next to the\n"
@@ -563,10 +821,17 @@ const std::map<std::string, std::set<std::string>>& CommandFlags() {
       {"fingerprint", {"cuisine", "top"}},
       {"validate", {}},
       {"export", {"patterns", "features", "support"}},
-      {"snapshot", {"out", "support", "codec"}},
+      {"snapshot", {"out", "support", "codec", "created-unix"}},
       {"snapshot inspect", {}},
-      {"serve", {"snapshot", "cache", "port", "max-pending", "timeout-ms",
-                 "slow-query-ms", "trace-capacity", "trace-sample-rate"}},
+      {"store publish",
+       {"store", "retain", "support", "codec", "created-unix"}},
+      {"store remine",
+       {"store", "retain", "cuisines", "codec", "created-unix"}},
+      {"store list", {"store", "retain"}},
+      {"store gc", {"store", "retain"}},
+      {"serve", {"snapshot", "store", "retain", "cache", "port",
+                 "max-pending", "timeout-ms", "slow-query-ms",
+                 "trace-capacity", "trace-sample-rate"}},
   };
   return kFlags;
 }
@@ -585,11 +850,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string command = argv[1];
-  // `snapshot inspect` is the one two-word command; the Args parser
-  // already skips the positional word.
+  // Two-word commands; the Args parser already skips the positional
+  // word (it does not start with "--").
   if (command == "snapshot" && argc >= 3 &&
       std::string(argv[2]) == "inspect") {
     command = "snapshot inspect";
+  }
+  if (command == "store" && argc >= 3) {
+    const std::string sub = argv[2];
+    if (sub == "publish" || sub == "remine" || sub == "list" ||
+        sub == "gc") {
+      command = "store " + sub;
+    }
   }
   auto flags_it = CommandFlags().find(command);
   if (flags_it == CommandFlags().end()) {
@@ -633,6 +905,10 @@ int main(int argc, char** argv) {
   if (command == "export") return CmdExport(args);
   if (command == "snapshot inspect") return CmdSnapshotInspect(args);
   if (command == "snapshot") return CmdSnapshot(args);
+  if (command == "store publish") return CmdStorePublish(args);
+  if (command == "store remine") return CmdStoreRemine(args);
+  if (command == "store list") return CmdStoreList(args);
+  if (command == "store gc") return CmdStoreGc(args);
   if (command == "serve") return CmdServe(args);
   Usage();
   return 2;

@@ -64,18 +64,31 @@ Result<HistoricalDeviationCheck> CheckHistoricalDeviations(
 
 Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
                                             const PipelineConfig& config) {
-  PipelineResult result;
-  result.dataset = std::move(dataset);
-  const Dataset& ds = result.dataset;
-
-  // RSS snapshots at every stage boundary below feed the run report's
-  // mem.* gauges and mark the flight-recorder timeline.
+  // RSS snapshots at every stage boundary feed the run report's mem.*
+  // gauges and mark the flight-recorder timeline.
   obs::SampleMemory("pipeline_start");
 
   // Table I: per-cuisine mining.
   CUISINE_ASSIGN_OR_RETURN(
-      result.mined, MineAllCuisines(ds, config.miner, config.algorithm));
+      std::vector<CuisinePatterns> mined,
+      MineAllCuisines(dataset, config.miner, config.algorithm));
   obs::SampleMemory("after_mine");
+  return RunPipelineWithMined(std::move(dataset), std::move(mined), config);
+}
+
+Result<PipelineResult> RunPipelineWithMined(Dataset dataset,
+                                            std::vector<CuisinePatterns> mined,
+                                            const PipelineConfig& config) {
+  if (mined.size() != dataset.num_cuisines()) {
+    return Status::InvalidArgument(
+        "mined pattern sets cover " + std::to_string(mined.size()) +
+        " cuisines; dataset has " + std::to_string(dataset.num_cuisines()));
+  }
+  PipelineResult result;
+  result.dataset = std::move(dataset);
+  result.mined = std::move(mined);
+  const Dataset& ds = result.dataset;
+
   {
     // Specs matched by name; unmatched cuisines get empty expectations.
     std::vector<CuisineSpec> specs = BuildWorldCuisineSpecs();

@@ -93,6 +93,17 @@ Result<PipelineResult> RunPipeline(const PipelineConfig& config = {});
 Result<PipelineResult> RunPipelineOnDataset(Dataset dataset,
                                             const PipelineConfig& config = {});
 
+/// Runs every stage downstream of mining on an already-mined pattern
+/// set (`mined` must align with the dataset's cuisine order). This is
+/// the single code path shared by a full mine and an incremental
+/// re-mine (serve/store.h `RemineSnapshot`): because each cuisine mines
+/// independently, splicing re-mined cuisines into a parent's patterns
+/// and running this produces results — and snapshot bytes — identical
+/// to mining everything from scratch.
+Result<PipelineResult> RunPipelineWithMined(Dataset dataset,
+                                            std::vector<CuisinePatterns> mined,
+                                            const PipelineConfig& config = {});
+
 /// Computes the three geo-similarity scores of `tree` against `geo`.
 Result<TreeGeoSimilarity> CompareTreeToGeo(const std::string& name,
                                            const Dendrogram& tree,

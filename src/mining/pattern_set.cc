@@ -57,6 +57,38 @@ std::vector<FrequentItemset> CuisinePatterns::TopK(std::size_t k) const {
   return out;
 }
 
+Result<CuisinePatterns> MineCuisine(const Dataset& dataset, CuisineId cuisine,
+                                    const MinerOptions& options,
+                                    MinerAlgorithm algo) {
+  CUISINE_SPAN("mine_cuisine");
+  if (static_cast<std::size_t>(cuisine) >= dataset.num_cuisines()) {
+    return Status::InvalidArgument("cuisine id " + std::to_string(cuisine) +
+                                   " out of range (dataset has " +
+                                   std::to_string(dataset.num_cuisines()) +
+                                   " cuisines)");
+  }
+  TransactionDb db = TransactionDb::FromCuisine(dataset, cuisine);
+  auto patterns = Mine(algo, db, options);
+  if (!patterns.ok()) return patterns.status();
+  CuisinePatterns cp;
+  cp.cuisine = cuisine;
+  cp.cuisine_name = dataset.CuisineName(cuisine);
+  cp.num_recipes = db.size();
+  cp.patterns = std::move(patterns).value();
+  SortPatternsBySupport(&cp.patterns);
+  CUISINE_COUNTER_ADD("mining.transactions",
+                      static_cast<std::int64_t>(db.size()));
+  CUISINE_COUNTER_ADD("mining.patterns_mined",
+                      static_cast<std::int64_t>(cp.patterns.size()));
+  CUISINE_GAUGE_MAX("mining.pattern_set.peak_bytes",
+                    PatternsBytes(cp.patterns));
+  CUISINE_HISTOGRAM_OBSERVE(
+      "mining.patterns_per_cuisine",
+      static_cast<std::int64_t>(cp.patterns.size()), 10, 30, 100, 300,
+      1000, 3000);
+  return cp;
+}
+
 Result<std::vector<CuisinePatterns>> MineAllCuisines(
     const Dataset& dataset, const MinerOptions& options,
     MinerAlgorithm algo) {
@@ -68,30 +100,13 @@ Result<std::vector<CuisinePatterns>> MineAllCuisines(
   CUISINE_SPAN("mine");
   ParallelFor(0, num, 1, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t idx = lo; idx < hi; ++idx) {
-      CUISINE_SPAN("mine_cuisine");
-      CuisineId c = static_cast<CuisineId>(idx);
-      TransactionDb db = TransactionDb::FromCuisine(dataset, c);
-      auto patterns = Mine(algo, db, options);
-      if (!patterns.ok()) {
-        errors[idx] = patterns.status();
+      auto mined =
+          MineCuisine(dataset, static_cast<CuisineId>(idx), options, algo);
+      if (!mined.ok()) {
+        errors[idx] = mined.status();
         continue;
       }
-      CuisinePatterns& cp = all[idx];
-      cp.cuisine = c;
-      cp.cuisine_name = dataset.CuisineName(c);
-      cp.num_recipes = db.size();
-      cp.patterns = std::move(patterns).value();
-      SortPatternsBySupport(&cp.patterns);
-      CUISINE_COUNTER_ADD("mining.transactions",
-                          static_cast<std::int64_t>(db.size()));
-      CUISINE_COUNTER_ADD("mining.patterns_mined",
-                          static_cast<std::int64_t>(cp.patterns.size()));
-      CUISINE_GAUGE_MAX("mining.pattern_set.peak_bytes",
-                        PatternsBytes(cp.patterns));
-      CUISINE_HISTOGRAM_OBSERVE(
-          "mining.patterns_per_cuisine",
-          static_cast<std::int64_t>(cp.patterns.size()), 10, 30, 100, 300,
-          1000, 3000);
+      all[idx] = std::move(mined).value();
     }
   });
   for (const Status& st : errors) {

@@ -35,6 +35,16 @@ struct CuisinePatterns {
   std::vector<FrequentItemset> TopK(std::size_t k) const;
 };
 
+/// Mines one cuisine's transactions. Deterministic given the dataset and
+/// options — the building block MineAllCuisines parallelises over, and
+/// what incremental re-mining (serve/store.h) calls per affected
+/// cuisine: mining cuisine c in isolation yields exactly the
+/// CuisinePatterns a full MineAllCuisines run produces for c.
+Result<CuisinePatterns> MineCuisine(const Dataset& dataset, CuisineId cuisine,
+                                    const MinerOptions& options,
+                                    MinerAlgorithm algo =
+                                        MinerAlgorithm::kFpGrowth);
+
 /// Mines each cuisine separately (the paper's per-region FP-Growth runs).
 Result<std::vector<CuisinePatterns>> MineAllCuisines(
     const Dataset& dataset, const MinerOptions& options,

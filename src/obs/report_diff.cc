@@ -45,6 +45,11 @@ MetricClass Classify(std::string_view key) {
       key.find("trace.dropped") != std::string_view::npos) {
     return MetricClass::kTiming;
   }
+  // Wall-clock gauges (e.g. serve.store.generation_age_seconds): their
+  // value is "now minus an epoch", pure timing.
+  if (key.find("_seconds") != std::string_view::npos) {
+    return MetricClass::kTiming;
+  }
   if (key.find("_bytes") != std::string_view::npos) return MetricClass::kMemory;
   return MetricClass::kCounter;
 }

@@ -1,0 +1,122 @@
+#include "serve/generation.h"
+
+#include <cstdio>
+
+#include "common/binio.h"
+#include "common/hash.h"
+
+namespace cuisine {
+namespace serve {
+
+const GenerationInfo* Manifest::Find(std::uint64_t id) const {
+  for (const GenerationInfo& g : generations) {
+    if (g.id == id) return &g;
+  }
+  return nullptr;
+}
+
+std::string GenerationFileName(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "gen-%06llu.snap",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string SerializeManifest(const Manifest& manifest) {
+  BinaryWriter w;
+  w.WriteBytes(kManifestMagic);
+  w.WriteU32(kManifestVersion);
+  w.WriteU64(manifest.latest_id);
+  w.WriteU64(manifest.generations.size());
+  for (const GenerationInfo& g : manifest.generations) {
+    w.WriteU64(g.id);
+    w.WriteU64(g.parent_id);
+    w.WriteString(g.file);
+    w.WriteU64(g.file_size);
+    w.WriteU32(g.file_crc32c);
+    w.WriteString(g.codec);
+    w.WriteI64(g.created_unix);
+    w.WriteString(g.corpus_digest);
+    w.WriteString(g.tool_version);
+    w.WriteString(g.remined_cuisines);
+  }
+  w.WriteU32(Crc32c::Of(w.data()));
+  return w.Take();
+}
+
+Result<Manifest> ParseManifest(std::string_view bytes) {
+  if (bytes.size() < kManifestMagic.size() ||
+      bytes.substr(0, kManifestMagic.size()) != kManifestMagic) {
+    return Status::ParseError(
+        "not a snapshot store manifest (bad magic; expected 'CUMANI01')");
+  }
+  // The trailing CRC clears the whole body before any field is trusted:
+  // a torn write or a bit flip anywhere fails here, never as a
+  // misdecoded generation list.
+  if (bytes.size() < kManifestMagic.size() + 4 + 8 + 8 + 4) {
+    return Status::ParseError("manifest truncated (no room for the header)");
+  }
+  const std::size_t crc_offset = bytes.size() - 4;
+  BinaryReader crc_reader(bytes.substr(crc_offset));
+  std::uint32_t crc = 0;
+  CUISINE_RETURN_NOT_OK(crc_reader.ReadU32(&crc));
+  if (Crc32c::Of(bytes.substr(0, crc_offset)) != crc) {
+    return Status::ParseError(
+        "manifest checksum mismatch (torn write or bit flip)");
+  }
+
+  BinaryReader r(bytes.substr(0, crc_offset));
+  std::string skip_magic;
+  std::uint32_t version = 0;
+  Manifest m;
+  std::uint64_t count = 0;
+  CUISINE_RETURN_NOT_OK(r.ReadBytes(kManifestMagic.size(), &skip_magic));
+  CUISINE_RETURN_NOT_OK(r.ReadU32(&version));
+  if (version != kManifestVersion) {
+    return Status::ParseError("unsupported manifest version " +
+                              std::to_string(version) + " (expected " +
+                              std::to_string(kManifestVersion) + ")");
+  }
+  CUISINE_RETURN_NOT_OK(r.ReadU64(&m.latest_id));
+  CUISINE_RETURN_NOT_OK(r.ReadU64(&count));
+  m.generations.reserve(count < 1024 ? count : 1024);
+  std::uint64_t previous_id = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    GenerationInfo g;
+    CUISINE_RETURN_NOT_OK(r.ReadU64(&g.id));
+    CUISINE_RETURN_NOT_OK(r.ReadU64(&g.parent_id));
+    CUISINE_RETURN_NOT_OK(r.ReadString(&g.file));
+    CUISINE_RETURN_NOT_OK(r.ReadU64(&g.file_size));
+    CUISINE_RETURN_NOT_OK(r.ReadU32(&g.file_crc32c));
+    CUISINE_RETURN_NOT_OK(r.ReadString(&g.codec));
+    CUISINE_RETURN_NOT_OK(r.ReadI64(&g.created_unix));
+    CUISINE_RETURN_NOT_OK(r.ReadString(&g.corpus_digest));
+    CUISINE_RETURN_NOT_OK(r.ReadString(&g.tool_version));
+    CUISINE_RETURN_NOT_OK(r.ReadString(&g.remined_cuisines));
+    if (g.id == 0 || g.id <= previous_id) {
+      return Status::ParseError("manifest generation ids out of order at id " +
+                                std::to_string(g.id));
+    }
+    previous_id = g.id;
+    if (g.file.empty() || g.file.find('/') != std::string::npos) {
+      return Status::ParseError("manifest generation " + std::to_string(g.id) +
+                                " has an invalid file name '" + g.file + "'");
+    }
+    m.generations.push_back(std::move(g));
+  }
+  CUISINE_RETURN_NOT_OK(r.ExpectEnd());
+  if (!m.generations.empty() && m.Find(m.latest_id) == nullptr) {
+    return Status::ParseError(
+        "manifest latest generation " + std::to_string(m.latest_id) +
+        " is not in the generation list (dangling latest pointer)");
+  }
+  if (m.generations.empty() && m.latest_id != 0) {
+    return Status::ParseError(
+        "manifest is empty but records latest generation " +
+        std::to_string(m.latest_id));
+  }
+  return m;
+}
+
+}  // namespace serve
+}  // namespace cuisine

@@ -1,0 +1,98 @@
+// Generation records and the snapshot store's manifest — the metadata
+// half of serve/store.h (after SeamlessDB's versioned-state idea: state
+// lives in immutable per-generation files, and one small mutable
+// manifest names which of them exist and which is live).
+//
+// MANIFEST format (all integers little-endian; common/binio.h):
+//
+//   [magic "CUMANI01"][version u32][latest_id u64][count u64]
+//   [entry: id u64, parent_id u64, file str, file_size u64,
+//           file_crc32c u32, codec str, created_unix i64,
+//           corpus_digest str, tool_version str, remined str] x count
+//   [manifest crc32c u32]
+//
+// The trailing CRC covers every byte before it, so a torn or bit-flipped
+// manifest is rejected as a whole — the store then refuses to open
+// rather than trusting a half-written generation list (publishes replace
+// the manifest atomically via rename, so the previous intact manifest is
+// what a crashed publish leaves behind). Entries are ordered by strictly
+// ascending id and `latest_id` must name one of them. Serialisation is
+// deterministic: equal manifests produce equal bytes.
+
+#ifndef CUISINE_SERVE_GENERATION_H_
+#define CUISINE_SERVE_GENERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace cuisine {
+namespace serve {
+
+inline constexpr std::string_view kManifestMagic = "CUMANI01";
+inline constexpr std::uint32_t kManifestVersion = 1;
+/// The manifest's file name inside a store directory.
+inline constexpr std::string_view kManifestFileName = "MANIFEST";
+
+/// One retained generation: where its snapshot lives, how to verify it,
+/// and where it came from (lineage + provenance, mirrored from the
+/// snapshot's CUPROV01 trailer at publish time so `store list` never has
+/// to open a snapshot).
+struct GenerationInfo {
+  /// Strictly increasing across the store's lifetime; never reused,
+  /// even after GC (cache keys and lineage both rely on uniqueness).
+  std::uint64_t id = 0;
+  /// The generation this one was derived from (`store remine`), or 0
+  /// for a full mine. Lineage is provenance, not a load dependency —
+  /// snapshots are self-contained, so a GC'd parent id may dangle here.
+  std::uint64_t parent_id = 0;
+  /// Snapshot file name, relative to the store directory.
+  std::string file;
+  std::uint64_t file_size = 0;
+  /// CRC32C of the entire snapshot file (header + frames).
+  std::uint32_t file_crc32c = 0;
+  /// "defaults" or a forced per-section codec name ("none"/"delta"/"lz").
+  std::string codec;
+  /// Provenance (0 / "" when the snapshot carries no trailer).
+  std::int64_t created_unix = 0;
+  std::string corpus_digest;
+  std::string tool_version;
+  /// Comma-joined cuisine names re-mined into this delta generation
+  /// ("" for a full mine).
+  std::string remined_cuisines;
+
+  bool operator==(const GenerationInfo&) const = default;
+};
+
+struct Manifest {
+  /// The generation the serve path should open; always the max id.
+  std::uint64_t latest_id = 0;
+  /// Ascending by id.
+  std::vector<GenerationInfo> generations;
+
+  bool operator==(const Manifest&) const = default;
+
+  /// Entry for `id`, or nullptr.
+  const GenerationInfo* Find(std::uint64_t id) const;
+  /// Entry for latest_id, or nullptr for an empty manifest.
+  const GenerationInfo* Latest() const { return Find(latest_id); }
+};
+
+/// Canonical snapshot file name for a generation ("gen-000042.snap").
+std::string GenerationFileName(std::uint64_t id);
+
+/// Deterministic, CRC-terminated encoding of the manifest.
+std::string SerializeManifest(const Manifest& manifest);
+
+/// Strict inverse: verifies magic, version, the trailing CRC, ascending
+/// ids, unique non-empty file names and that latest_id names an entry.
+/// Every corruption class maps to a distinct descriptive ParseError.
+Result<Manifest> ParseManifest(std::string_view bytes);
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_GENERATION_H_

@@ -79,14 +79,59 @@ ShardedLruCache::Stats ShardedLruCache::stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
   return s;
 }
 
-void ShardedLruCache::Clear() {
+std::string ShardedLruCache::GenerationPrefix(std::uint64_t generation) {
+  std::string prefix = "g";
+  prefix += std::to_string(generation);
+  prefix += '|';
+  return prefix;
+}
+
+std::string ShardedLruCache::GenerationKey(std::uint64_t generation,
+                                           std::string_view key) {
+  std::string full = GenerationPrefix(generation);
+  full += key;
+  return full;
+}
+
+std::size_t ShardedLruCache::EraseGeneration(std::uint64_t generation) {
+  const std::string prefix = GenerationPrefix(generation);
+  std::size_t erased = 0;
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.rfind(prefix, 0) == 0) {
+        shard.index.erase(std::string_view(it->key));
+        it = shard.lru.erase(it);
+        ++erased;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (erased > 0) {
+    invalidations_.fetch_add(erased, std::memory_order_relaxed);
+    CUISINE_COUNTER_ADD("serve.cache.invalidation",
+                        static_cast<std::int64_t>(erased));
+  }
+  return erased;
+}
+
+void ShardedLruCache::Clear() {
+  std::size_t erased = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    erased += shard.lru.size();
     shard.index.clear();
     shard.lru.clear();
+  }
+  if (erased > 0) {
+    invalidations_.fetch_add(erased, std::memory_order_relaxed);
+    CUISINE_COUNTER_ADD("serve.cache.invalidation",
+                        static_cast<std::int64_t>(erased));
   }
 }
 

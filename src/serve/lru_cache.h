@@ -7,7 +7,10 @@
 // divided evenly across shards (each shard gets at least one slot).
 // Hits, misses and evictions are mirrored into the obs metrics registry
 // under serve.cache.{hit,miss,eviction} so run reports capture cache
-// effectiveness.
+// effectiveness. Drops that are NOT capacity pressure — a generation
+// swap erasing a retired generation's entries (EraseGeneration) or a
+// wholesale Clear() — count separately as serve.cache.invalidation, so
+// dashboards can tell "cache too small" from "snapshot republished".
 
 #ifndef CUISINE_SERVE_LRU_CACHE_H_
 #define CUISINE_SERVE_LRU_CACHE_H_
@@ -30,7 +33,10 @@ class ShardedLruCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    /// Capacity-pressure drops only (LRU victim on Put).
     std::uint64_t evictions = 0;
+    /// Swap-driven drops (EraseGeneration / Clear).
+    std::uint64_t invalidations = 0;
   };
 
   /// `capacity` is the total entry budget across all shards. A capacity
@@ -57,7 +63,20 @@ class ShardedLruCache {
 
   Stats stats() const;
 
-  /// Drops every entry (stats survive).
+  /// Canonical per-generation key prefix ("g<id>|"). The query engine
+  /// prefixes every cache key with its generation, which is what makes
+  /// EraseGeneration possible and guarantees a post-swap request can
+  /// never hit bytes rendered from an older snapshot.
+  static std::string GenerationPrefix(std::uint64_t generation);
+  /// `GenerationPrefix(generation) + key` — the full cache key.
+  static std::string GenerationKey(std::uint64_t generation,
+                                   std::string_view key);
+
+  /// Drops every entry whose key carries `generation`'s prefix and
+  /// returns how many were dropped (counted as invalidations).
+  std::size_t EraseGeneration(std::uint64_t generation);
+
+  /// Drops every entry (counted as invalidations; other stats survive).
   void Clear();
 
  private:
@@ -80,6 +99,7 @@ class ShardedLruCache {
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::uint64_t> invalidations_{0};
 };
 
 }  // namespace serve

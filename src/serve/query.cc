@@ -1,6 +1,8 @@
 #include "serve/query.h"
 
 #include <algorithm>
+#include <chrono>
+#include <ctime>
 #include <initializer_list>
 #include <string_view>
 #include <utility>
@@ -10,6 +12,7 @@
 #include "common/json.h"
 #include "common/logging.h"
 #include "obs/trace.h"
+#include "serve/store.h"
 
 namespace cuisine {
 namespace serve {
@@ -27,7 +30,9 @@ Json PatternJson(const SnapshotPattern& p) {
 /// separator would let a cuisine literally named "a/b" collide with a
 /// different request whose components merely concatenate the same way
 /// (e.g. distance(a/b, c) vs distance(a, b/c)); a length prefix makes
-/// the component boundaries part of the key.
+/// the component boundaries part of the key. The generation id is
+/// prepended by Cached() (ShardedLruCache::GenerationKey), so entries
+/// from different generations never collide either.
 std::string CacheKey(std::string_view verb,
                      std::initializer_list<std::string_view> parts) {
   std::string key(verb);
@@ -40,35 +45,169 @@ std::string CacheKey(std::string_view verb,
   return key;
 }
 
+std::int64_t ProvenanceCreated(const SnapshotHandle& handle) {
+  const std::optional<SnapshotProvenance>& prov = handle.provenance();
+  return prov.has_value() ? prov->created_unix : 0;
+}
+
 }  // namespace
 
-QueryEngine::QueryEngine(SnapshotHandle handle, QueryEngineOptions options)
-    : handle_(std::move(handle)),
-      cache_(options.cache_capacity, options.cache_shards),
-      live_(options.live) {}
+QueryEngine::QueryEngine(SnapshotHandle handle, QueryEngineOptions options,
+                         std::uint64_t generation_id)
+    : cache_(options.cache_capacity, options.cache_shards),
+      live_(options.live),
+      gen_id_value_(std::make_shared<std::atomic<std::int64_t>>(0)),
+      activated_unix_(std::make_shared<std::atomic<std::int64_t>>(0)) {
+  const std::int64_t created = ProvenanceCreated(handle);
+  gen_ = std::make_shared<Generation>(std::move(handle), generation_id,
+                                      created);
+  gen_id_value_->store(static_cast<std::int64_t>(generation_id));
+  activated_unix_->store(static_cast<std::int64_t>(std::time(nullptr)));
+  std::shared_ptr<std::atomic<std::int64_t>> id_value = gen_id_value_;
+  id_gauge_ = obs::RegisterCallbackGauge("serve.store.generation_id",
+                                         [id_value]() {
+                                           return id_value->load();
+                                         });
+  std::shared_ptr<std::atomic<std::int64_t>> activated = activated_unix_;
+  age_gauge_ = obs::RegisterCallbackGauge(
+      "serve.store.generation_age_seconds", [activated]() {
+        return static_cast<std::int64_t>(std::time(nullptr)) -
+               activated->load();
+      });
+}
 
 QueryEngine::QueryEngine(Snapshot snapshot, QueryEngineOptions options)
     : QueryEngine(SnapshotHandle::FromSnapshot(std::move(snapshot)),
                   std::move(options)) {}
 
-Status QueryEngine::EnsureCuisineIndex() const {
-  std::call_once(index_once_, [this] {
-    auto sm = handle_.summary();
+QueryEngine::~QueryEngine() {
+  obs::UnregisterCallbackGauge(age_gauge_);
+  obs::UnregisterCallbackGauge(id_gauge_);
+}
+
+std::shared_ptr<QueryEngine::Generation> QueryEngine::Current() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  ReapRetiredLocked();
+  return gen_;
+}
+
+void QueryEngine::ReapRetiredLocked() const {
+  for (auto it = retired_.begin(); it != retired_.end();) {
+    // use_count == 1 means retired_ holds the only reference: the last
+    // in-flight request on that generation has finished, so its cache
+    // entries can never be read again.
+    if (it->use_count() == 1) {
+      cache_.EraseGeneration((*it)->id);
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void QueryEngine::AttachStore(std::shared_ptr<SnapshotStore> store) {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  store_ = std::move(store);
+}
+
+bool QueryEngine::has_store() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return store_ != nullptr;
+}
+
+void QueryEngine::SwapTo(SnapshotHandle handle, std::uint64_t id,
+                         std::int64_t created_unix) {
+  if (created_unix == 0) created_unix = ProvenanceCreated(handle);
+  auto next = std::make_shared<Generation>(std::move(handle), id,
+                                           created_unix);
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    retired_.push_back(std::move(gen_));
+    gen_ = std::move(next);
+    gen_id_value_->store(static_cast<std::int64_t>(id));
+    activated_unix_->store(static_cast<std::int64_t>(std::time(nullptr)));
+    ReapRetiredLocked();
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  CUISINE_COUNTER_ADD("serve.store.swaps", 1);
+}
+
+Result<bool> QueryEngine::ReloadLatest() {
+  std::shared_ptr<SnapshotStore> store;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    store = store_;
+  }
+  if (store == nullptr) {
+    return Status::FailedPrecondition(
+        "no snapshot store attached (the server was started from a bare "
+        "snapshot, not --store)");
+  }
+  CUISINE_RETURN_NOT_OK(store->Refresh());
+  Manifest manifest = store->manifest();
+  if (manifest.generations.empty()) {
+    return Status::FailedPrecondition("snapshot store at '" + store->dir() +
+                                      "' has no generations");
+  }
+  if (manifest.latest_id == generation_id()) return false;
+  const auto swap_start = std::chrono::steady_clock::now();
+  CUISINE_ASSIGN_OR_RETURN(SnapshotHandle handle,
+                           store->OpenGeneration(manifest.latest_id));
+  const GenerationInfo* info = manifest.Find(manifest.latest_id);
+  SwapTo(std::move(handle), manifest.latest_id,
+         info != nullptr ? info->created_unix : 0);
+  const std::int64_t swap_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - swap_start)
+          .count();
+  CUISINE_HISTOGRAM_OBSERVE("serve.store.swap_ns", swap_ns, 100000, 1000000,
+                            10000000, 100000000, 1000000000);
+  return true;
+}
+
+std::uint64_t QueryEngine::generation_id() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return gen_->id;
+}
+
+std::int64_t QueryEngine::generation_created_unix() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return gen_->created_unix;
+}
+
+std::int64_t QueryEngine::generation_activated_unix() const {
+  return activated_unix_->load();
+}
+
+std::uint64_t QueryEngine::swap_count() const {
+  return swaps_.load(std::memory_order_relaxed);
+}
+
+std::size_t QueryEngine::retired_generation_count() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  ReapRetiredLocked();
+  return retired_.size();
+}
+
+Status QueryEngine::EnsureCuisineIndex(Generation& gen) {
+  std::call_once(gen.index_once, [&gen] {
+    auto sm = gen.handle.summary();
     if (!sm.ok()) {
-      index_status_ = sm.status();
+      gen.index_status = sm.status();
       return;
     }
     for (std::size_t i = 0; i < (*sm)->cuisine_names.size(); ++i) {
-      cuisine_index_.emplace((*sm)->cuisine_names[i], i);
+      gen.cuisine_index.emplace((*sm)->cuisine_names[i], i);
     }
   });
-  return index_status_;
+  return gen.index_status;
 }
 
-Result<std::size_t> QueryEngine::CuisineIndex(std::string_view cuisine) const {
-  CUISINE_RETURN_NOT_OK(EnsureCuisineIndex());
-  auto it = cuisine_index_.find(std::string(cuisine));
-  if (it == cuisine_index_.end()) {
+Result<std::size_t> QueryEngine::CuisineIndex(Generation& gen,
+                                              std::string_view cuisine) {
+  CUISINE_RETURN_NOT_OK(EnsureCuisineIndex(gen));
+  auto it = gen.cuisine_index.find(std::string(cuisine));
+  if (it == gen.cuisine_index.end()) {
     return Status::NotFound("unknown cuisine '" + std::string(cuisine) +
                             "'; see the stats request for the full list");
   }
@@ -83,22 +222,30 @@ const SnapshotPdist* QueryEngine::FindPdist(
   return nullptr;
 }
 
+const SnapshotHandle& QueryEngine::handle() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return gen_->handle;
+}
+
 const Snapshot& QueryEngine::snapshot() const {
-  auto full = handle_.Full();
+  std::shared_ptr<Generation> gen = Current();
+  auto full = gen->handle.Full();
   CUISINE_CHECK(full.ok());
   return **full;
 }
 
 template <typename Fn>
-Result<std::string> QueryEngine::Cached(const std::string& key,
+Result<std::string> QueryEngine::Cached(const Generation& gen,
+                                        const std::string& key,
                                         RequestContext* ctx, Fn render) {
+  const std::string gen_key = ShardedLruCache::GenerationKey(gen.id, key);
   RequestTrace* trace =
       ctx != nullptr && ctx->trace != nullptr && ctx->trace->active()
           ? ctx->trace
           : nullptr;
   const std::int64_t lookup_start =
       trace != nullptr ? RequestTrace::NowNs() : 0;
-  auto hit = cache_.Get(key);
+  auto hit = cache_.Get(gen_key);
   if (trace != nullptr) {
     trace->RecordStage(TraceStage::kCacheLookup, lookup_start,
                        RequestTrace::NowNs());
@@ -120,19 +267,20 @@ Result<std::string> QueryEngine::Cached(const std::string& key,
         TraceStage::kRender, render_start, RequestTrace::NowNs(),
         trace->StageTotalNs(TraceStage::kSectionDecode) - decode_before);
   }
-  if (rendered.ok()) cache_.Put(key, *rendered);
+  if (rendered.ok()) cache_.Put(gen_key, *rendered);
   return rendered;
 }
 
 Result<std::string> QueryEngine::Table1Row(std::string_view cuisine,
                                            RequestContext* ctx) {
   CUISINE_SPAN("query_table1");
-  return Cached(CacheKey("table1", {cuisine}), ctx,
+  std::shared_ptr<Generation> gen = Current();
+  return Cached(*gen, CacheKey("table1", {cuisine}), ctx,
                 [&]() -> Result<std::string> {
-    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(*gen, cuisine));
+    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, gen->handle.summary());
     CUISINE_ASSIGN_OR_RETURN(const std::vector<cuisine::Table1Row>* table1,
-                             handle_.table1());
+                             gen->handle.table1());
     const std::string& name = sm->cuisine_names[idx];
     for (const cuisine::Table1Row& row : *table1) {
       if (row.region != name) continue;
@@ -169,15 +317,17 @@ Result<std::string> QueryEngine::TopPatterns(std::string_view cuisine,
                                              std::size_t k,
                                              RequestContext* ctx) {
   CUISINE_SPAN("query_top_patterns");
+  std::shared_ptr<Generation> gen = Current();
   return Cached(
-      CacheKey("top_patterns", {cuisine, std::to_string(k)}), ctx,
+      *gen, CacheKey("top_patterns", {cuisine, std::to_string(k)}), ctx,
       [&]() -> Result<std::string> {
         if (k == 0) return Status::InvalidArgument("k must be positive");
-        CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-        CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+        CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(*gen, cuisine));
+        CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm,
+                                 gen->handle.summary());
         CUISINE_ASSIGN_OR_RETURN(
             const std::vector<std::vector<SnapshotPattern>>* patterns,
-            handle_.patterns());
+            gen->handle.patterns());
         const std::vector<SnapshotPattern>& all = (*patterns)[idx];
         Json arr = Json::Array();
         const std::size_t take = std::min(k, all.size());
@@ -197,14 +347,16 @@ Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
                                                  RequestContext* ctx) {
   CUISINE_SPAN("query_distance");
   const std::string metric_name(DistanceMetricName(metric));
+  std::shared_ptr<Generation> gen = Current();
   return Cached(
-      CacheKey("distance", {metric_name, a, b}), ctx,
+      *gen, CacheKey("distance", {metric_name, a, b}), ctx,
       [&]() -> Result<std::string> {
-        CUISINE_ASSIGN_OR_RETURN(std::size_t ia, CuisineIndex(a));
-        CUISINE_ASSIGN_OR_RETURN(std::size_t ib, CuisineIndex(b));
-        CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+        CUISINE_ASSIGN_OR_RETURN(std::size_t ia, CuisineIndex(*gen, a));
+        CUISINE_ASSIGN_OR_RETURN(std::size_t ib, CuisineIndex(*gen, b));
+        CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm,
+                                 gen->handle.summary());
         CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotPdist>* pdists,
-                                 handle_.pdists());
+                                 gen->handle.pdists());
         const SnapshotPdist* pdist = FindPdist(*pdists, metric);
         if (pdist == nullptr) {
           return Status::NotFound("snapshot carries no '" + metric_name +
@@ -224,10 +376,11 @@ Result<std::string> QueryEngine::CuisineDistance(DistanceMetric metric,
 Result<std::string> QueryEngine::TreeNewick(std::string_view tree,
                                             RequestContext* ctx) {
   CUISINE_SPAN("query_tree");
-  return Cached(CacheKey("tree", {tree}), ctx,
+  std::shared_ptr<Generation> gen = Current();
+  return Cached(*gen, CacheKey("tree", {tree}), ctx,
                 [&]() -> Result<std::string> {
     CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotTree>* trees,
-                             handle_.trees());
+                             gen->handle.trees());
     for (const SnapshotTree& t : *trees) {
       if (t.name != tree) continue;
       CUISINE_ASSIGN_OR_RETURN(Dendrogram d,
@@ -252,15 +405,16 @@ Result<std::string> QueryEngine::AuthenticityTopK(std::string_view cuisine,
                                                   std::size_t k, bool most,
                                                   RequestContext* ctx) {
   CUISINE_SPAN("query_auth_topk");
-  return Cached(CacheKey("auth_topk", {cuisine, std::to_string(k),
-                                       most ? "most" : "least"}),
+  std::shared_ptr<Generation> gen = Current();
+  return Cached(*gen, CacheKey("auth_topk", {cuisine, std::to_string(k),
+                                             most ? "most" : "least"}),
                 ctx, [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
-    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(*gen, cuisine));
+    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, gen->handle.summary());
     CUISINE_ASSIGN_OR_RETURN(const std::vector<std::string>* items,
-                             handle_.authenticity_items());
-    CUISINE_ASSIGN_OR_RETURN(const Matrix* matrix, handle_.authenticity());
+                             gen->handle.authenticity_items());
+    CUISINE_ASSIGN_OR_RETURN(const Matrix* matrix, gen->handle.authenticity());
     std::vector<std::size_t> order(items->size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     const Matrix& m = *matrix;
@@ -292,14 +446,15 @@ Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
                                                  RequestContext* ctx) {
   CUISINE_SPAN("query_nearest");
   const std::string metric_name(DistanceMetricName(metric));
-  return Cached(CacheKey("nearest", {metric_name, cuisine,
-                                     std::to_string(k)}),
+  std::shared_ptr<Generation> gen = Current();
+  return Cached(*gen, CacheKey("nearest", {metric_name, cuisine,
+                                           std::to_string(k)}),
                 ctx, [&]() -> Result<std::string> {
     if (k == 0) return Status::InvalidArgument("k must be positive");
-    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(cuisine));
-    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+    CUISINE_ASSIGN_OR_RETURN(std::size_t idx, CuisineIndex(*gen, cuisine));
+    CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, gen->handle.summary());
     CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotPdist>* pdists,
-                             handle_.pdists());
+                             gen->handle.pdists());
     const SnapshotPdist* pdist = FindPdist(*pdists, metric);
     if (pdist == nullptr) {
       return Status::NotFound("snapshot carries no '" + metric_name +
@@ -336,11 +491,12 @@ Result<std::string> QueryEngine::NearestCuisines(DistanceMetric metric,
 
 Result<std::string> QueryEngine::StatsJson() const {
   CUISINE_SPAN("query_stats");
-  CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, handle_.summary());
+  std::shared_ptr<Generation> gen = Current();
+  CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* sm, gen->handle.summary());
   CUISINE_ASSIGN_OR_RETURN(const std::vector<SnapshotTree>* snapshot_trees,
-                           handle_.trees());
+                           gen->handle.trees());
   const std::map<std::string, std::string>* snapshot_meta = nullptr;
-  CUISINE_ASSIGN_OR_RETURN(snapshot_meta, handle_.meta());
+  CUISINE_ASSIGN_OR_RETURN(snapshot_meta, gen->handle.meta());
   Json cuisines = Json::Array();
   for (const std::string& name : sm->cuisine_names) {
     cuisines.Push(Json::Str(name));

@@ -9,6 +9,16 @@
 // answered cold, from cache, or under any CUISINE_THREADS width — the
 // cache stores the exact bytes a cold evaluation produces.
 //
+// Generations and hot swap: the engine serves from a ref-counted
+// generation (snapshot handle + cuisine index). A request pins its
+// generation for its whole lifetime, so a concurrent SwapTo /
+// ReloadLatest never changes the data a half-answered query reads —
+// in-flight requests finish on the old generation, new requests start
+// on the new one, and no request ever sees a mix. Cache keys carry the
+// generation id (ShardedLruCache::GenerationKey), and a retired
+// generation's entries are dropped (EraseGeneration) once its last
+// in-flight request drains.
+//
 // Requests (mirroring the line protocol):
 //   Table1Row(cuisine)                  one reproduced Table-I row
 //   TopPatterns(cuisine, k)             k highest-support mined patterns
@@ -20,20 +30,27 @@
 #ifndef CUISINE_SERVE_QUERY_H_
 #define CUISINE_SERVE_QUERY_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/distance.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "serve/live_stats.h"
 #include "serve/lru_cache.h"
 #include "serve/snapshot.h"
 
 namespace cuisine {
 namespace serve {
+
+class SnapshotStore;
 
 struct QueryEngineOptions {
   /// Total LRU entry budget (0 disables caching).
@@ -47,11 +64,14 @@ class QueryEngine {
  public:
   /// Serves straight off a (possibly lazily-paged) handle: no section is
   /// decoded at construction — each request pages in only what it needs,
-  /// so a server is accepting queries after an O(header) open.
-  explicit QueryEngine(SnapshotHandle handle, QueryEngineOptions options = {});
+  /// so a server is accepting queries after an O(header) open. The
+  /// handle becomes generation `generation_id` (0 = storeless).
+  explicit QueryEngine(SnapshotHandle handle, QueryEngineOptions options = {},
+                       std::uint64_t generation_id = 0);
   /// Convenience for an already-decoded in-memory snapshot.
   explicit QueryEngine(Snapshot snapshot, QueryEngineOptions options = {});
 
+  ~QueryEngine();
   QueryEngine(const QueryEngine&) = delete;
   QueryEngine& operator=(const QueryEngine&) = delete;
 
@@ -80,10 +100,12 @@ class QueryEngine {
   /// Pages in the meta, summary and tree sections.
   Result<std::string> StatsJson() const;
 
-  /// The underlying handle (section table, decoded-section count).
-  const SnapshotHandle& handle() const { return handle_; }
-  /// Forces every section in and returns the full snapshot — bench/test
-  /// convenience; CHECK-fails if any section is corrupt.
+  /// The current generation's handle (section table, decoded-section
+  /// count). Valid until the next swap.
+  const SnapshotHandle& handle() const;
+  /// Forces every section of the current generation in and returns the
+  /// full snapshot — bench/test convenience; CHECK-fails if any section
+  /// is corrupt. Valid until the next swap.
   const Snapshot& snapshot() const;
   ShardedLruCache::Stats cache_stats() const { return cache_.stats(); }
 
@@ -92,29 +114,88 @@ class QueryEngine {
   LiveStats& live() { return live_; }
   const LiveStats& live() const { return live_; }
 
+  /// --- Generations & hot swap (serve/store.h) ---
+
+  /// Attaches the store ReloadLatest re-reads. Does not swap by itself.
+  void AttachStore(std::shared_ptr<SnapshotStore> store);
+  bool has_store() const;
+
+  /// Re-reads the store manifest; when its latest generation is newer
+  /// than the current one, opens it and swaps. Returns true iff a swap
+  /// happened. FailedPrecondition without an attached store. Counts
+  /// serve.store.swaps and observes serve.store.swap_ns (open + swap).
+  Result<bool> ReloadLatest();
+
+  /// Makes `handle` the current generation. In-flight requests finish
+  /// on the generation they started with; its cache entries are
+  /// dropped once the last of them drains.
+  void SwapTo(SnapshotHandle handle, std::uint64_t id,
+              std::int64_t created_unix);
+
+  std::uint64_t generation_id() const;
+  /// The current generation's provenance creation time (0 if unknown).
+  std::int64_t generation_created_unix() const;
+  /// When the current generation was activated (unix seconds).
+  std::int64_t generation_activated_unix() const;
+  /// Total swaps since construction.
+  std::uint64_t swap_count() const;
+  /// Retired generations still pinned by in-flight requests.
+  std::size_t retired_generation_count() const;
+
  private:
-  /// Builds the name → row lookup from the summary section on first use
-  /// (keeping construction decode-free); sticky like a section decode.
-  Status EnsureCuisineIndex() const;
+  /// One immutable serving state: a snapshot handle plus the lazily
+  /// built name → row index. Requests pin it via shared_ptr.
+  struct Generation {
+    Generation(SnapshotHandle h, std::uint64_t generation_id,
+               std::int64_t created)
+        : id(generation_id), created_unix(created), handle(std::move(h)) {}
+    const std::uint64_t id;
+    const std::int64_t created_unix;
+    SnapshotHandle handle;
+    /// Built from the summary section on first use (keeping swap and
+    /// construction decode-free); sticky like a section decode.
+    std::once_flag index_once;
+    Status index_status;
+    std::unordered_map<std::string, std::size_t> cuisine_index;
+  };
+
+  /// Pins the current generation (and opportunistically reaps retired
+  /// generations whose last request has drained).
+  std::shared_ptr<Generation> Current() const;
+  void ReapRetiredLocked() const;
+
+  static Status EnsureCuisineIndex(Generation& gen);
   /// Index of `cuisine` in summary.cuisine_names, or NotFound listing the
   /// valid names.
-  Result<std::size_t> CuisineIndex(std::string_view cuisine) const;
+  static Result<std::size_t> CuisineIndex(Generation& gen,
+                                          std::string_view cuisine);
   static const SnapshotPdist* FindPdist(const std::vector<SnapshotPdist>& ps,
                                         DistanceMetric metric);
 
-  /// Cache-through helper: returns the cached value for `key` or renders
-  /// via `render()` (a Result<std::string> producer) and caches success.
-  /// A cache hit is reported through `ctx` when one is supplied.
+  /// Cache-through helper: returns the cached value for `key` (scoped
+  /// to `gen`'s id) or renders via `render()` (a Result<std::string>
+  /// producer) and caches success. A cache hit is reported through
+  /// `ctx` when one is supplied.
   template <typename Fn>
-  Result<std::string> Cached(const std::string& key, RequestContext* ctx,
-                             Fn render);
+  Result<std::string> Cached(const Generation& gen, const std::string& key,
+                             RequestContext* ctx, Fn render);
 
-  SnapshotHandle handle_;
-  mutable std::once_flag index_once_;
-  mutable Status index_status_;
-  mutable std::unordered_map<std::string, std::size_t> cuisine_index_;
-  ShardedLruCache cache_;
+  mutable std::mutex gen_mu_;
+  std::shared_ptr<Generation> gen_;
+  /// Swapped-out generations still pinned by in-flight requests.
+  mutable std::vector<std::shared_ptr<Generation>> retired_;
+  std::shared_ptr<SnapshotStore> store_;
+
+  mutable ShardedLruCache cache_;
   LiveStats live_;
+
+  std::atomic<std::uint64_t> swaps_{0};
+  /// Shared with the serve.store.generation_id / generation_age_seconds
+  /// callback gauges (which may briefly outlive a racing collection).
+  std::shared_ptr<std::atomic<std::int64_t>> gen_id_value_;
+  std::shared_ptr<std::atomic<std::int64_t>> activated_unix_;
+  obs::CallbackGaugeToken id_gauge_ = 0;
+  obs::CallbackGaugeToken age_gauge_ = 0;
 };
 
 }  // namespace serve

@@ -2,10 +2,12 @@
 
 #include <cctype>
 #include <chrono>
+#include <ctime>
 #include <istream>
 #include <ostream>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
@@ -34,14 +36,14 @@ const char kHelpText[] =
     "auth_topk <cuisine> <k> <most|least> | "
     "nearest <metric> <cuisine> <k> | stats | help | quit "
     "(quote multi-word cuisine names); "
-    "admin: healthz | statsz | metricsz | slowz | tracez";
+    "admin: healthz | statsz | metricsz | slowz | tracez | reloadz";
 
 /// The introspection verbs. Deliberately outside the metered request
 /// path: a scraper polling statsz every few seconds must not inflate
 /// serve.requests.* or the per-verb latency windows it is reading.
 bool IsAdminVerb(std::string_view cmd) {
   return cmd == "healthz" || cmd == "statsz" || cmd == "metricsz" ||
-         cmd == "slowz" || cmd == "tracez";
+         cmd == "slowz" || cmd == "tracez" || cmd == "reloadz";
 }
 
 Status ArityError(std::string_view command, std::string_view usage) {
@@ -306,6 +308,20 @@ std::string Service::HandleAdminVerb(const std::vector<std::string>& t) {
   if (cmd == "tracez") {
     return OkResponse(live.traces().TracezJson().Dump(0));
   }
+  if (cmd == "reloadz") {
+    // Swap to the store's latest generation. Requests already admitted
+    // ahead of this verb were answered from the old generation; every
+    // later request sees the new one — the hot-swap E2E test pins the
+    // exact boundary.
+    auto swapped = engine_->ReloadLatest();
+    if (!swapped.ok()) return ErrorResponse(swapped.status().message());
+    return OkResponse(
+        Json::Object()
+            .Set("generation", Json::Int(static_cast<std::int64_t>(
+                                   engine_->generation_id())))
+            .Set("swapped", Json::Bool(*swapped))
+            .Dump(0));
+  }
   return OkResponse(StatszJson());
 }
 
@@ -373,6 +389,20 @@ std::string Service::StatszJson() const {
                         decode.bytes_compressed)))
                .Set("bytes_raw", Json::Int(static_cast<std::int64_t>(
                                      decode.bytes_raw))))
+      .Set("store",
+           Json::Object()
+               .Set("generation", Json::Int(static_cast<std::int64_t>(
+                                      engine_->generation_id())))
+               .Set("created_unix",
+                    Json::Int(engine_->generation_created_unix()))
+               .Set("age_seconds",
+                    Json::Int(static_cast<std::int64_t>(std::time(nullptr)) -
+                              engine_->generation_activated_unix()))
+               .Set("swaps", Json::Int(static_cast<std::int64_t>(
+                                 engine_->swap_count())))
+               .Set("retired", Json::Int(static_cast<std::int64_t>(
+                                   engine_->retired_generation_count())))
+               .Set("attached", Json::Bool(engine_->has_store())))
       .Set("trace",
            Json::Object()
                .Set("capacity", Json::Int(static_cast<std::int64_t>(
@@ -389,11 +419,29 @@ std::string Service::StatszJson() const {
 }
 
 Status Service::Serve(std::istream& in, std::ostream& out,
-                      const std::atomic<bool>* stop) {
+                      const std::atomic<bool>* stop,
+                      std::atomic<bool>* reload) {
   CUISINE_SPAN("serve_loop");
   std::string line;
-  while (!done_ && !(stop != nullptr && stop->load()) &&
-         std::getline(in, line)) {
+  while (!done_ && !(stop != nullptr && stop->load())) {
+    if (reload != nullptr && reload->exchange(false)) {
+      auto swapped = engine_->ReloadLatest();
+      if (!swapped.ok()) {
+        CUISINE_LOG(Warning) << "reload failed: "
+                             << swapped.status().ToString();
+      }
+    }
+    if (!std::getline(in, line)) {
+      // A SIGHUP interrupting the blocked read (handler installed
+      // without SA_RESTART) fails the stream with EINTR — failbit, not
+      // eofbit. Clear and loop so the reload above runs; real EOF and
+      // other errors still end the loop.
+      if (!in.eof() && reload != nullptr && reload->load()) {
+        in.clear();
+        continue;
+      }
+      break;
+    }
     std::string response = HandleLine(line);
     if (response.empty()) continue;
     out << response << '\n';

@@ -19,8 +19,11 @@
 // per-verb latency percentiles, cache hit rate, snapshot decode totals,
 // p99 trace exemplars), `slowz` dumps the slow-query ring (entries
 // carry a trace_id), `tracez` dumps the committed request-trace ring
-// (serve/request_trace.h), and `metricsz` answers a multi-line
-// Prometheus text exposition terminated by a "# EOF" line.
+// (serve/request_trace.h), `metricsz` answers a multi-line Prometheus
+// text exposition terminated by a "# EOF" line, and `reloadz` swaps the
+// engine to the snapshot store's latest generation (serve/store.h) —
+// {"generation":N,"swapped":bool}, or an error when the server was
+// started without a store.
 //
 // Multi-word cuisine names are double-quoted ("Indian Subcontinent");
 // errors come back as {"ok":false,"error":"..."} on the same line, and
@@ -97,8 +100,13 @@ class Service {
   /// loop also exits once it becomes true — checked before each read,
   /// and a signal handler that sets it interrupts a blocked read via
   /// EINTR when installed without SA_RESTART (see cuisine_cli serve).
+  /// When `reload` is supplied, the loop consumes it (exchange false)
+  /// before each read and swaps the engine to the store's latest
+  /// generation — the SIGHUP re-open path; a failed reload logs a
+  /// warning and keeps serving the current generation.
   Status Serve(std::istream& in, std::ostream& out,
-               const std::atomic<bool>* stop = nullptr);
+               const std::atomic<bool>* stop = nullptr,
+               std::atomic<bool>* reload = nullptr);
 
  private:
   /// Zero-argument introspection verbs; never metered, never cached.

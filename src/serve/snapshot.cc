@@ -520,11 +520,72 @@ Result<Snapshot> BuildSnapshot(const Dataset& dataset,
 
 namespace {
 
+// Trailer layout: [magic "CUPROV01"][payload_len u32][payload][crc32c u32]
+// where the payload is (created_unix i64, corpus_digest str, tool str)
+// and the CRC covers magic + length + payload. The trailer sits between
+// the header CRC and the first frame; presence is detected purely from
+// the first section's offset exceeding the header size, so absent
+// trailers cost nothing and old files parse unchanged.
+constexpr std::size_t kProvenanceEnvelopeBytes = 8 + 4 + 4;
+
+std::string EncodeProvenanceTrailer(const SnapshotProvenance& p) {
+  BinaryWriter payload;
+  payload.WriteI64(p.created_unix);
+  payload.WriteString(p.corpus_digest);
+  payload.WriteString(p.tool_version);
+  BinaryWriter w;
+  w.WriteBytes(kSnapshotProvenanceMagic);
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteBytes(payload.data());
+  w.WriteU32(Crc32c::Of(w.data()));
+  return w.Take();
+}
+
+// Strict parse of the bytes between header and first frame: the region
+// must be exactly one well-formed trailer, or the file is corrupt.
+Result<SnapshotProvenance> ParseProvenanceTrailer(std::string_view region) {
+  if (region.size() < kProvenanceEnvelopeBytes ||
+      region.substr(0, kSnapshotProvenanceMagic.size()) !=
+          kSnapshotProvenanceMagic) {
+    return Status::ParseError(
+        "snapshot provenance trailer is corrupt (bad magic)");
+  }
+  BinaryReader r(region);
+  std::string skip_magic;
+  std::uint32_t payload_len = 0;
+  CUISINE_RETURN_NOT_OK(
+      r.ReadBytes(kSnapshotProvenanceMagic.size(), &skip_magic));
+  CUISINE_RETURN_NOT_OK(r.ReadU32(&payload_len));
+  if (payload_len != region.size() - kProvenanceEnvelopeBytes) {
+    return Status::ParseError(
+        "snapshot provenance trailer length disagrees with the section "
+        "offsets (truncated trailer?)");
+  }
+  const std::size_t crc_offset = region.size() - 4;
+  BinaryReader crc_reader(region.substr(crc_offset));
+  std::uint32_t crc = 0;
+  CUISINE_RETURN_NOT_OK(crc_reader.ReadU32(&crc));
+  if (Crc32c::Of(region.substr(0, crc_offset)) != crc) {
+    return Status::ParseError(
+        "snapshot provenance trailer checksum mismatch");
+  }
+  SnapshotProvenance p;
+  CUISINE_RETURN_NOT_OK(r.ReadI64(&p.created_unix));
+  CUISINE_RETURN_NOT_OK(r.ReadString(&p.corpus_digest));
+  CUISINE_RETURN_NOT_OK(r.ReadString(&p.tool_version));
+  if (r.position() != crc_offset) {
+    return Status::ParseError(
+        "snapshot provenance trailer carries trailing bytes");
+  }
+  return p;
+}
+
 // Everything ParseHeaderInfo learns without touching a payload byte.
 struct HeaderInfo {
   std::uint32_t version = 0;
   std::vector<SnapshotSectionInfo> sections;
   std::vector<std::uint32_t> v1_crcs;  // per-section payload CRCs (v1 only)
+  std::optional<SnapshotProvenance> provenance;
 };
 
 // Validates magic, version, section count, file size, the section table
@@ -625,6 +686,17 @@ Result<HeaderInfo> ParseHeaderInfo(std::string_view bytes) {
           std::string(SnapshotSectionName(e.id)) + "') has unknown codec id " +
           std::to_string(static_cast<std::uint32_t>(e.codec)));
     }
+  }
+  // A gap between the header and the first frame is the provenance
+  // trailer (v2 only; v1 predates it). Pre-trailer files place the first
+  // frame flush against the header and take neither branch.
+  if (!v1 && !info.sections.empty() &&
+      info.sections.front().offset > header_bytes) {
+    const std::string_view region = bytes.substr(
+        header_bytes, info.sections.front().offset - header_bytes);
+    auto prov = ParseProvenanceTrailer(region);
+    if (!prov.ok()) return prov.status();
+    info.provenance = *std::move(prov);
   }
   return info;
 }
@@ -761,15 +833,20 @@ std::string SerializeSnapshot(const Snapshot& snapshot,
                                           options.block_bytes));
   }
 
+  const std::string trailer =
+      options.provenance.has_value()
+          ? EncodeProvenanceTrailer(*options.provenance)
+          : std::string();
+
   BinaryWriter w;
   w.WriteBytes(kSnapshotMagic);
   w.WriteU32(kSnapshotVersion);
   w.WriteU32(static_cast<std::uint32_t>(kNumSections));
-  std::uint64_t file_size = kSnapshotHeaderBytes;
+  std::uint64_t file_size = kSnapshotHeaderBytes + trailer.size();
   for (const std::string& f : frames) file_size += f.size();
   w.WriteU64(file_size);
 
-  std::uint64_t offset = kSnapshotHeaderBytes;
+  std::uint64_t offset = kSnapshotHeaderBytes + trailer.size();
   for (std::size_t i = 0; i < kNumSections; ++i) {
     w.WriteU32(kSectionIds[i]);
     w.WriteU32(static_cast<std::uint32_t>(codecs[i]));
@@ -780,6 +857,7 @@ std::string SerializeSnapshot(const Snapshot& snapshot,
   }
   w.WriteU32(Crc32c::Of(w.data()));  // header CRC over all bytes so far
 
+  w.WriteBytes(trailer);
   for (const std::string& f : frames) w.WriteBytes(f);
   CUISINE_GAUGE_MAX("serve.snapshot.file_bytes",
                     static_cast<std::int64_t>(w.size()));
@@ -792,12 +870,22 @@ Result<std::vector<SnapshotSectionInfo>> InspectSnapshot(
   return std::move(info.sections);
 }
 
+Result<SnapshotFileInfo> InspectSnapshotFile(std::string_view bytes) {
+  CUISINE_ASSIGN_OR_RETURN(HeaderInfo info, ParseHeaderInfo(bytes));
+  SnapshotFileInfo out;
+  out.version = info.version;
+  out.sections = std::move(info.sections);
+  out.provenance = std::move(info.provenance);
+  return out;
+}
+
 // ---- SnapshotHandle -------------------------------------------------
 
 struct SnapshotHandle::State {
   std::string bytes;  // owned file image; frames are views into it
   std::uint32_t version = kSnapshotVersion;
   std::vector<SnapshotSectionInfo> sections;
+  std::optional<SnapshotProvenance> provenance;
   Snapshot data;
   // True for v1 files and FromSnapshot handles: `data` is complete and
   // the latches below are never consulted.
@@ -835,6 +923,7 @@ Result<SnapshotHandle> SnapshotHandle::Open(std::string bytes) {
     s.decoded_count.store(kSnapshotSectionCount, std::memory_order_relaxed);
   }
   s.sections = std::move(info.sections);
+  s.provenance = std::move(info.provenance);
   return handle;
 }
 
@@ -863,6 +952,10 @@ const std::vector<SnapshotSectionInfo>& SnapshotHandle::sections() const {
 }
 
 std::uint32_t SnapshotHandle::version() const { return state_->version; }
+
+const std::optional<SnapshotProvenance>& SnapshotHandle::provenance() const {
+  return state_->provenance;
+}
 
 std::size_t SnapshotHandle::decoded_section_count() const {
   return state_->decoded_count.load(std::memory_order_relaxed);

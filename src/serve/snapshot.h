@@ -110,6 +110,25 @@ struct SnapshotSectionInfo {
 /// material, while IEEE-754 bit patterns delta poorly).
 codec::CodecId DefaultSectionCodec(std::uint32_t id);
 
+/// Magic of the optional file-level provenance trailer, written between
+/// the header CRC and the first section frame. Section offsets are
+/// absolute, so a reader that predates the trailer skips it without
+/// noticing; files written without provenance are byte-identical to the
+/// pre-trailer format (the golden fixtures stay valid).
+inline constexpr std::string_view kSnapshotProvenanceMagic = "CUPROV01";
+
+/// File-level provenance for the snapshot store's manifest and
+/// `snapshot inspect`: when the snapshot was built, a digest of the
+/// source corpus, and the writing tool's version. Deliberately kept out
+/// of the meta section: equal snapshots must serialise to equal bytes,
+/// and a timestamp inside a section would break that determinism.
+struct SnapshotProvenance {
+  std::int64_t created_unix = 0;   // seconds since the epoch
+  std::string corpus_digest;       // DatasetDigest() of the source corpus
+  std::string tool_version;
+  bool operator==(const SnapshotProvenance&) const = default;
+};
+
 struct SnapshotWriteOptions {
   /// Forces every section through one codec (kNone produces a file whose
   /// decoded bytes are trivially identical to the raw payloads — the
@@ -117,6 +136,9 @@ struct SnapshotWriteOptions {
   std::optional<codec::CodecId> codec_override;
   /// Block granularity inside each section frame.
   std::size_t block_bytes = codec::kDefaultBlockBytes;
+  /// When set, a CRC-guarded provenance trailer is written after the
+  /// header (absent by default: no trailer, bytes unchanged).
+  std::optional<SnapshotProvenance> provenance;
 };
 
 /// §III corpus summary plus the cuisine index.
@@ -201,6 +223,16 @@ Result<Snapshot> ParseSnapshot(std::string_view bytes);
 Result<std::vector<SnapshotSectionInfo>> InspectSnapshot(
     std::string_view bytes);
 
+/// Everything a header-only peek can report: version, section table and
+/// the provenance trailer when the file carries one (pre-trailer files
+/// and v1 files report nullopt — `snapshot inspect` prints '-').
+struct SnapshotFileInfo {
+  std::uint32_t version = 0;
+  std::vector<SnapshotSectionInfo> sections;
+  std::optional<SnapshotProvenance> provenance;
+};
+Result<SnapshotFileInfo> InspectSnapshotFile(std::string_view bytes);
+
 /// File convenience wrappers around Serialize/Parse.
 Status SaveSnapshot(const Snapshot& snapshot, const std::string& path,
                     const SnapshotWriteOptions& options = {});
@@ -250,6 +282,9 @@ class SnapshotHandle {
   const std::vector<SnapshotSectionInfo>& sections() const;
   /// kSnapshotVersion, or kSnapshotVersionV1 for a back-compat file.
   std::uint32_t version() const;
+  /// The provenance trailer, when the file carries one (nullopt for
+  /// pre-trailer files, v1 files and FromSnapshot handles).
+  const std::optional<SnapshotProvenance>& provenance() const;
   /// Sections decoded so far — the laziness observable the tests pin.
   std::size_t decoded_section_count() const;
   /// Lazy-decode work done through this handle so far.

@@ -1,0 +1,499 @@
+#include "serve/store.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "common/binio.h"
+#include "common/csv.h"
+#include "common/hash.h"
+#include "common/string_util.h"
+#include "data/generator.h"
+#include "mining/pattern_set.h"
+
+#ifndef CUISINE_VERSION
+#define CUISINE_VERSION "0.0.0"
+#endif
+
+namespace cuisine {
+namespace serve {
+
+namespace {
+
+Status ErrnoStatus(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// write() + fsync() before close: the bytes are durable before the
+// rename that makes them visible can possibly be.
+Status WriteFileDurable(const std::string& path, std::string_view contents) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) return ErrnoStatus("cannot create '" + path + "'");
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = ErrnoStatus("cannot write '" + path + "'");
+      ::close(fd);
+      return st;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = ErrnoStatus("cannot fsync '" + path + "'");
+    ::close(fd);
+    return st;
+  }
+  if (::close(fd) != 0) return ErrnoStatus("cannot close '" + path + "'");
+  return Status::OK();
+}
+
+// The rename itself is atomic; fsyncing the directory makes it durable.
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("cannot open directory '" + dir + "'");
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) {
+    st = ErrnoStatus("cannot fsync directory '" + dir + "'");
+  }
+  ::close(fd);
+  return st;
+}
+
+Result<MinerAlgorithm> ParseMinerAlgorithm(std::string_view name) {
+  for (MinerAlgorithm algo :
+       {MinerAlgorithm::kFpGrowth, MinerAlgorithm::kApriori,
+        MinerAlgorithm::kEclat, MinerAlgorithm::kPrefixSpan}) {
+    if (MinerAlgorithmName(algo) == name) return algo;
+  }
+  return Status::ParseError("snapshot meta names unknown miner algorithm '" +
+                            std::string(name) + "'");
+}
+
+Result<std::string> RequireMeta(const std::map<std::string, std::string>& meta,
+                                const std::string& key) {
+  auto it = meta.find(key);
+  if (it == meta.end()) {
+    return Status::InvalidArgument("snapshot meta is missing '" + key +
+                                   "' (cannot reconstruct the pipeline "
+                                   "config)");
+  }
+  return it->second;
+}
+
+// Lossless inverse of BuildSnapshot's pattern rendering: every stored
+// "a + b + c" string resolves back through the vocabulary into the
+// itemset it came from. SortPatternsBySupport afterwards restores
+// exactly the order MineCuisine would have produced, so a spliced
+// pattern list is indistinguishable from a freshly mined one.
+Result<CuisinePatterns> PatternsFromSnapshot(
+    const Vocabulary& vocab, CuisineId cuisine, const std::string& name,
+    std::uint64_t num_recipes, const std::vector<SnapshotPattern>& stored) {
+  CuisinePatterns cp;
+  cp.cuisine = cuisine;
+  cp.cuisine_name = name;
+  cp.num_recipes = static_cast<std::size_t>(num_recipes);
+  cp.patterns.reserve(stored.size());
+  for (const SnapshotPattern& sp : stored) {
+    std::vector<ItemId> ids;
+    std::size_t pos = 0;
+    while (true) {
+      std::size_t next = sp.pattern.find(" + ", pos);
+      std::string part =
+          sp.pattern.substr(pos, next == std::string::npos ? std::string::npos
+                                                           : next - pos);
+      auto id = vocab.Require(part);
+      if (!id.ok()) {
+        return Status::ParseError(
+            "stored pattern '" + sp.pattern + "' of cuisine '" + name +
+            "' names an item the corpus vocabulary lacks: " +
+            id.status().message());
+      }
+      ids.push_back(id.value());
+      if (next == std::string::npos) break;
+      pos = next + 3;
+    }
+    FrequentItemset f;
+    f.items = Itemset(std::move(ids));
+    f.count = static_cast<std::size_t>(sp.count);
+    f.support = sp.support;
+    cp.patterns.push_back(std::move(f));
+  }
+  SortPatternsBySupport(&cp.patterns);
+  return cp;
+}
+
+}  // namespace
+
+std::string DatasetDigest(const Dataset& dataset) {
+  BinaryWriter w;
+  w.WriteBytes("CUDIGST1");
+  w.WriteU64(dataset.num_cuisines());
+  for (const std::string& name : dataset.cuisine_names()) {
+    w.WriteString(name);
+  }
+  w.WriteU64(dataset.num_recipes());
+  for (const Recipe& r : dataset.recipes()) {
+    w.WriteU32(r.cuisine);
+    w.WriteU64(r.items.size());
+    for (ItemId item : r.items) w.WriteU32(item);
+  }
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "crc32c:%08x", Crc32c::Of(w.data()));
+  return buf;
+}
+
+std::string StoreToolVersion() { return "cuisine/" CUISINE_VERSION; }
+
+Result<PipelineConfig> PipelineConfigFromMeta(
+    const std::map<std::string, std::string>& meta) {
+  PipelineConfig config;
+  CUISINE_ASSIGN_OR_RETURN(std::string seed,
+                           RequireMeta(meta, "generator.seed"));
+  std::size_t seed_value = 0;
+  if (!ParseSizeT(seed, &seed_value)) {
+    return Status::ParseError("snapshot meta generator.seed '" + seed +
+                              "' is not an integer");
+  }
+  config.generator.seed = seed_value;
+  CUISINE_ASSIGN_OR_RETURN(std::string scale,
+                           RequireMeta(meta, "generator.scale"));
+  if (!ParseDouble(scale, &config.generator.scale)) {
+    return Status::ParseError("snapshot meta generator.scale '" + scale +
+                              "' is not a number");
+  }
+  CUISINE_ASSIGN_OR_RETURN(std::string support,
+                           RequireMeta(meta, "miner.min_support"));
+  if (!ParseDouble(support, &config.miner.min_support)) {
+    return Status::ParseError("snapshot meta miner.min_support '" + support +
+                              "' is not a number");
+  }
+  CUISINE_ASSIGN_OR_RETURN(std::string algo,
+                           RequireMeta(meta, "miner.algorithm"));
+  CUISINE_ASSIGN_OR_RETURN(config.algorithm, ParseMinerAlgorithm(algo));
+  CUISINE_ASSIGN_OR_RETURN(std::string linkage, RequireMeta(meta, "linkage"));
+  CUISINE_ASSIGN_OR_RETURN(config.linkage, ParseLinkageMethod(linkage));
+  config.run_elbow = false;
+  return config;
+}
+
+Result<RemineOutput> RemineSnapshot(const SnapshotHandle& parent,
+                                    const std::vector<std::string>& cuisines) {
+  if (cuisines.empty()) {
+    return Status::InvalidArgument(
+        "re-mine needs at least one cuisine (use a full mine to refresh "
+        "everything)");
+  }
+  CUISINE_ASSIGN_OR_RETURN(const auto* meta, parent.meta());
+  CUISINE_ASSIGN_OR_RETURN(const SnapshotSummary* summary, parent.summary());
+  CUISINE_ASSIGN_OR_RETURN(const auto* stored, parent.patterns());
+  CUISINE_ASSIGN_OR_RETURN(PipelineConfig config,
+                           PipelineConfigFromMeta(*meta));
+
+  CUISINE_ASSIGN_OR_RETURN(Dataset dataset,
+                           GenerateRecipeDb(config.generator));
+  if (dataset.cuisine_names() != summary->cuisine_names) {
+    return Status::FailedPrecondition(
+        "regenerated corpus disagrees with the parent snapshot's cuisine "
+        "list — the parent was not built from these generator settings");
+  }
+  RemineOutput out;
+  out.config = config;
+  out.corpus_digest = DatasetDigest(dataset);
+  // When the parent recorded its corpus digest, a mismatch means the
+  // generator drifted since the parent was built; splicing its patterns
+  // would silently mix corpora.
+  const std::optional<SnapshotProvenance>& prov = parent.provenance();
+  if (prov.has_value() && !prov->corpus_digest.empty() &&
+      prov->corpus_digest != out.corpus_digest) {
+    return Status::FailedPrecondition(
+        "regenerated corpus digest " + out.corpus_digest +
+        " does not match the parent snapshot's recorded digest " +
+        prov->corpus_digest);
+  }
+
+  const std::size_t num = dataset.num_cuisines();
+  std::vector<bool> remine(num, false);
+  for (const std::string& name : cuisines) {
+    CuisineId id = dataset.FindCuisine(name);
+    if (id == kInvalidCuisineId) {
+      return Status::NotFound("cuisine '" + name +
+                              "' is not in the corpus, cannot re-mine it");
+    }
+    remine[id] = true;
+  }
+  if (stored->size() != num || summary->cuisine_recipe_counts.size() != num) {
+    return Status::FailedPrecondition(
+        "parent snapshot's pattern lists do not align with its cuisine "
+        "list");
+  }
+
+  std::vector<CuisinePatterns> mined;
+  mined.reserve(num);
+  for (std::size_t c = 0; c < num; ++c) {
+    CuisineId id = static_cast<CuisineId>(c);
+    if (remine[c]) {
+      CUISINE_ASSIGN_OR_RETURN(
+          CuisinePatterns cp,
+          MineCuisine(dataset, id, config.miner, config.algorithm));
+      mined.push_back(std::move(cp));
+      out.remined.push_back(dataset.CuisineName(id));
+    } else {
+      CUISINE_ASSIGN_OR_RETURN(
+          CuisinePatterns cp,
+          PatternsFromSnapshot(dataset.vocabulary(), id,
+                               dataset.CuisineName(id),
+                               summary->cuisine_recipe_counts[c],
+                               (*stored)[c]));
+      mined.push_back(std::move(cp));
+    }
+  }
+
+  CUISINE_ASSIGN_OR_RETURN(
+      PipelineResult result,
+      RunPipelineWithMined(std::move(dataset), std::move(mined), config));
+  CUISINE_ASSIGN_OR_RETURN(out.snapshot,
+                           BuildSnapshot(result.dataset, result, config));
+  return out;
+}
+
+SnapshotStore::SnapshotStore(std::string dir, SnapshotStoreOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      retained_(std::make_shared<std::atomic<std::int64_t>>(0)) {
+  std::shared_ptr<std::atomic<std::int64_t>> retained = retained_;
+  gauge_token_ = obs::RegisterCallbackGauge(
+      "serve.store.generations_retained",
+      [retained]() { return retained->load(); });
+}
+
+SnapshotStore::~SnapshotStore() { obs::UnregisterCallbackGauge(gauge_token_); }
+
+Result<std::unique_ptr<SnapshotStore>> SnapshotStore::Open(
+    std::string dir, SnapshotStoreOptions options) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("snapshot store directory is empty");
+  }
+  if (options.retain == 0) options.retain = 1;
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return ErrnoStatus("cannot create store directory '" + dir + "'");
+  }
+  struct stat st;
+  if (::stat(dir.c_str(), &st) != 0 || !S_ISDIR(st.st_mode)) {
+    return Status::IOError("snapshot store path '" + dir +
+                           "' is not a directory");
+  }
+  std::unique_ptr<SnapshotStore> store(
+      new SnapshotStore(std::move(dir), options));
+  const std::string manifest_path =
+      store->dir_ + "/" + std::string(kManifestFileName);
+  if (::access(manifest_path.c_str(), F_OK) == 0) {
+    CUISINE_RETURN_NOT_OK(store->Refresh());
+  } else {
+    // Seed a fresh directory with a committed (empty) manifest so every
+    // later reader — and every crash recovery — finds a valid state.
+    std::lock_guard<std::mutex> lock(store->mu_);
+    CUISINE_RETURN_NOT_OK(store->WriteManifestLocked());
+  }
+  return store;
+}
+
+Manifest SnapshotStore::manifest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_;
+}
+
+std::size_t SnapshotStore::GenerationCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return manifest_.generations.size();
+}
+
+Status SnapshotStore::Refresh() {
+  const std::string path = dir_ + "/" + std::string(kManifestFileName);
+  CUISINE_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  CUISINE_ASSIGN_OR_RETURN(Manifest m, ParseManifest(bytes));
+  std::lock_guard<std::mutex> lock(mu_);
+  manifest_ = std::move(m);
+  retained_->store(static_cast<std::int64_t>(manifest_.generations.size()));
+  return Status::OK();
+}
+
+Status SnapshotStore::WriteFileAtomic(const std::string& name,
+                                      const std::string& tmp_name,
+                                      std::string_view contents) const {
+  const std::string tmp_path = dir_ + "/" + tmp_name;
+  CUISINE_RETURN_NOT_OK(WriteFileDurable(tmp_path, contents));
+  const std::string final_path = dir_ + "/" + name;
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return ErrnoStatus("cannot rename '" + tmp_path + "' to '" + final_path +
+                       "'");
+  }
+  return FsyncDir(dir_);
+}
+
+Status SnapshotStore::WriteManifestLocked() {
+  const std::string name(kManifestFileName);
+  CUISINE_RETURN_NOT_OK(
+      WriteFileAtomic(name, name + ".tmp", SerializeManifest(manifest_)));
+  retained_->store(static_cast<std::int64_t>(manifest_.generations.size()));
+  return Status::OK();
+}
+
+Result<GenerationInfo> SnapshotStore::Publish(std::string_view snapshot_bytes,
+                                              const PublishOptions& options) {
+  // Reject malformed bytes before anything touches disk; the header
+  // peek also surfaces the provenance trailer for the manifest entry.
+  CUISINE_ASSIGN_OR_RETURN(SnapshotFileInfo info,
+                           InspectSnapshotFile(snapshot_bytes));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  GenerationInfo entry;
+  entry.id = manifest_.latest_id;
+  for (const GenerationInfo& g : manifest_.generations) {
+    entry.id = std::max(entry.id, g.id);
+  }
+  entry.id += 1;
+  entry.parent_id = options.parent_id;
+  entry.file = GenerationFileName(entry.id);
+  entry.file_size = snapshot_bytes.size();
+  entry.file_crc32c = Crc32c::Of(snapshot_bytes);
+  entry.codec = options.codec;
+  entry.remined_cuisines = options.remined_cuisines;
+  if (info.provenance.has_value()) {
+    entry.created_unix = info.provenance->created_unix;
+    entry.corpus_digest = info.provenance->corpus_digest;
+    entry.tool_version = info.provenance->tool_version;
+  }
+
+  // Step 1+2: the snapshot file becomes durable under its final name.
+  // A crash after this leaves an unreferenced file GC will sweep.
+  CUISINE_RETURN_NOT_OK(
+      WriteFileAtomic(entry.file, entry.file + ".tmp", snapshot_bytes));
+
+  // Step 3+4: the manifest rename is the commit point.
+  Manifest previous = manifest_;
+  manifest_.generations.push_back(entry);
+  manifest_.latest_id = entry.id;
+  while (manifest_.generations.size() > options_.retain) {
+    manifest_.generations.erase(manifest_.generations.begin());
+  }
+  Status st = WriteManifestLocked();
+  if (!st.ok()) {
+    manifest_ = std::move(previous);
+    return st;
+  }
+  CUISINE_COUNTER_ADD("serve.store.publishes", 1);
+  return entry;
+}
+
+Result<SnapshotHandle> SnapshotStore::OpenGeneration(std::uint64_t id) const {
+  GenerationInfo entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const GenerationInfo* found = manifest_.Find(id);
+    if (found == nullptr) {
+      return Status::NotFound("generation " + std::to_string(id) +
+                              " is not in the store manifest (published and "
+                              "already retired, or never published?)");
+    }
+    entry = *found;
+  }
+  auto bytes = ReadFileToString(dir_ + "/" + entry.file);
+  if (!bytes.ok()) {
+    return Status::NotFound(
+        "generation " + std::to_string(id) + " file '" + entry.file +
+        "' is missing from the store (dangling manifest entry?): " +
+        bytes.status().message());
+  }
+  if (bytes.value().size() != entry.file_size) {
+    return Status::ParseError(
+        "generation " + std::to_string(id) + " file '" + entry.file + "' is " +
+        std::to_string(bytes.value().size()) + " bytes; the manifest records " +
+        std::to_string(entry.file_size) + " (truncated or overwritten?)");
+  }
+  if (Crc32c::Of(bytes.value()) != entry.file_crc32c) {
+    return Status::ParseError("generation " + std::to_string(id) + " file '" +
+                              entry.file +
+                              "' fails its manifest checksum (bit flip or "
+                              "torn write)");
+  }
+  return SnapshotHandle::Open(std::move(bytes).value());
+}
+
+Result<SnapshotStore::LatestGeneration> SnapshotStore::OpenLatest() const {
+  GenerationInfo entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (manifest_.generations.empty()) {
+      return Status::FailedPrecondition("snapshot store at '" + dir_ +
+                                        "' has no generations (publish one "
+                                        "first)");
+    }
+    const GenerationInfo* found = manifest_.Find(manifest_.latest_id);
+    if (found == nullptr) {
+      return Status::Internal("manifest latest generation " +
+                              std::to_string(manifest_.latest_id) +
+                              " has no entry");
+    }
+    entry = *found;
+  }
+  CUISINE_ASSIGN_OR_RETURN(SnapshotHandle handle, OpenGeneration(entry.id));
+  return LatestGeneration{std::move(entry), std::move(handle)};
+}
+
+Result<SnapshotStore::GcResult> SnapshotStore::CollectGarbage() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::set<std::string> referenced;
+  for (const GenerationInfo& g : manifest_.generations) {
+    referenced.insert(g.file);
+  }
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) {
+    return ErrnoStatus("cannot list store directory '" + dir_ + "'");
+  }
+  std::vector<std::string> candidates;
+  while (struct dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == ".." || name == kManifestFileName) continue;
+    const bool is_tmp =
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0;
+    const bool is_generation =
+        name.rfind("gen-", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".snap") == 0;
+    // Stale .tmp files are debris from an interrupted publish;
+    // unreferenced .snap files fell out of retention. Anything else in
+    // the directory is not ours to delete.
+    if (is_tmp || (is_generation && referenced.count(name) == 0)) {
+      candidates.push_back(name);
+    }
+  }
+  ::closedir(d);
+  std::sort(candidates.begin(), candidates.end());
+  GcResult result;
+  for (const std::string& name : candidates) {
+    const std::string path = dir_ + "/" + name;
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return ErrnoStatus("cannot delete '" + path + "'");
+    }
+    result.deleted.push_back(name);
+  }
+  if (!result.deleted.empty()) {
+    CUISINE_RETURN_NOT_OK(FsyncDir(dir_));
+    CUISINE_COUNTER_ADD("serve.store.gc_deleted",
+                        static_cast<std::int64_t>(result.deleted.size()));
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace cuisine

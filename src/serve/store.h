@@ -1,0 +1,188 @@
+// Directory-backed snapshot store with generations, atomic publish and
+// bounded retention — the durability half of snapshot hot swap (after
+// SeamlessDB's persisted-state handover; DESIGN).
+//
+// Layout of a store directory:
+//
+//   MANIFEST          serve/generation.h CUMANI01 blob (CRC-guarded)
+//   gen-000001.snap   CUSNAP02 snapshot, one per retained generation
+//   gen-000002.snap
+//   ...
+//
+// Publish protocol (crash-safe at every step):
+//
+//   1. write gen-NNNNNN.snap.tmp, fsync it
+//   2. rename to gen-NNNNNN.snap, fsync the directory
+//   3. write MANIFEST.tmp (new entry appended, retention trimmed), fsync
+//   4. rename to MANIFEST, fsync the directory
+//
+// The manifest rename is the commit point: a crash before it leaves the
+// previous manifest — and therefore the previous latest generation —
+// fully live, with at worst an orphaned .tmp or an unreferenced .snap
+// that the next CollectGarbage() sweeps. A crash after it leaves the new
+// generation durable and referenced. Readers never see a torn state
+// because the manifest's trailing CRC rejects partial writes.
+//
+// Retention: Publish keeps the newest `retain` generations in the
+// manifest and drops older entries; the dropped files stay on disk until
+// CollectGarbage() unlinks everything the manifest no longer references
+// (including stale *.tmp from interrupted publishes).
+//
+// Metrics: serve.store.publishes and serve.store.gc_deleted counters;
+// serve.store.generations_retained callback gauge (manifest entry count
+// of the most recently opened store).
+//
+// Concurrency: one SnapshotStore instance is thread-safe (all state
+// sits behind a mutex). Multiple *processes* may read a store
+// concurrently with one publisher (readers re-open MANIFEST and only
+// ever see a committed state); concurrent publishers are not supported.
+
+#ifndef CUISINE_SERVE_STORE_H_
+#define CUISINE_SERVE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/dataset.h"
+#include "obs/metrics.h"
+#include "serve/generation.h"
+#include "serve/snapshot.h"
+
+namespace cuisine {
+namespace serve {
+
+struct SnapshotStoreOptions {
+  /// Newest generations kept in the manifest; older entries are dropped
+  /// at publish time (their files linger until CollectGarbage).
+  std::size_t retain = 4;
+};
+
+/// Caller-supplied provenance recorded in the manifest entry alongside
+/// what Publish derives from the snapshot bytes themselves.
+struct PublishOptions {
+  /// Parent generation for an incremental re-mine; 0 = full mine.
+  std::uint64_t parent_id = 0;
+  /// Codec label for `store list` ("defaults", "none", "delta", "lz").
+  std::string codec = "defaults";
+  /// Comma-joined cuisine names a re-mine refreshed; "" for a full mine.
+  std::string remined_cuisines;
+};
+
+class SnapshotStore {
+ public:
+  /// Opens (creating if absent) the store at `dir`. A fresh directory
+  /// gets an empty MANIFEST written immediately, so every later reader
+  /// finds a committed state. Fails with the manifest's ParseError if
+  /// an existing MANIFEST is corrupt — corruption is never silently
+  /// reset (the generations on disk may still be salvageable by hand).
+  static Result<std::unique_ptr<SnapshotStore>> Open(
+      std::string dir, SnapshotStoreOptions options = {});
+
+  const std::string& dir() const { return dir_; }
+
+  /// Copy of the in-memory manifest.
+  Manifest manifest() const;
+  std::size_t GenerationCount() const;
+
+  /// Re-reads MANIFEST from disk (another process may have published).
+  Status Refresh();
+
+  /// Atomically publishes `snapshot_bytes` (a serialized CUSNAP02 file)
+  /// as the next generation, following the crash-safe protocol above.
+  /// The entry's created/digest/tool fields come from the snapshot's
+  /// provenance trailer when present. Returns the new entry.
+  Result<GenerationInfo> Publish(std::string_view snapshot_bytes,
+                                 const PublishOptions& options = {});
+
+  /// Opens generation `id`: NotFound when the manifest has no such
+  /// entry, NotFound (naming the file) when the entry's file is missing
+  /// from disk (dangling manifest entry), ParseError on a whole-file
+  /// size or CRC mismatch against the manifest — each failure is
+  /// precise, and none of them affects other generations.
+  Result<SnapshotHandle> OpenGeneration(std::uint64_t id) const;
+
+  struct LatestGeneration {
+    GenerationInfo info;
+    SnapshotHandle handle;
+  };
+  /// Opens the manifest's latest generation; FailedPrecondition when
+  /// the store is empty.
+  Result<LatestGeneration> OpenLatest() const;
+
+  /// Unlinks every gen-*.snap the manifest does not reference and every
+  /// stale *.tmp, returning the deleted names (sorted). Counts
+  /// serve.store.gc_deleted.
+  struct GcResult {
+    std::vector<std::string> deleted;
+  };
+  Result<GcResult> CollectGarbage();
+
+  ~SnapshotStore();
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+ private:
+  SnapshotStore(std::string dir, SnapshotStoreOptions options);
+
+  /// Writes `contents` to dir_/name via tmp + fsync + rename + dir
+  /// fsync. `tmp_name` must live in dir_ as well.
+  Status WriteFileAtomic(const std::string& name, const std::string& tmp_name,
+                         std::string_view contents) const;
+  Status WriteManifestLocked();
+
+  const std::string dir_;
+  const SnapshotStoreOptions options_;
+  mutable std::mutex mu_;
+  Manifest manifest_;
+  obs::CallbackGaugeToken gauge_token_ = 0;
+  std::shared_ptr<std::atomic<std::int64_t>> retained_;
+};
+
+/// Deterministic digest of a corpus (cuisine names, per-recipe cuisine
+/// and item ids) — the provenance `corpus_digest` field. Two datasets
+/// digest equal iff the mining layer sees identical input.
+std::string DatasetDigest(const Dataset& dataset);
+
+/// The writing tool's version string for provenance trailers.
+std::string StoreToolVersion();
+
+/// Reconstructs the PipelineConfig a snapshot was built with from its
+/// meta section (generator.seed/scale, miner.min_support/algorithm,
+/// linkage). Fields the meta does not record keep their defaults; the
+/// elbow sweep is off (snapshots never carry it). Both the full-mine
+/// and re-mine paths build their config through this, which is what
+/// makes the two byte-comparable.
+Result<PipelineConfig> PipelineConfigFromMeta(
+    const std::map<std::string, std::string>& meta);
+
+/// Everything an incremental re-mine produces.
+struct RemineOutput {
+  Snapshot snapshot;
+  PipelineConfig config;
+  /// DatasetDigest of the regenerated corpus.
+  std::string corpus_digest;
+  /// The re-mined cuisines, canonicalised to dataset order.
+  std::vector<std::string> remined;
+};
+
+/// Incremental ingestion: regenerates the corpus from `parent`'s meta,
+/// re-mines only `cuisines` (each must name a cuisine of the corpus),
+/// losslessly converts the parent's stored patterns for every other
+/// cuisine, and runs the shared downstream pipeline
+/// (RunPipelineWithMined). Because per-cuisine mining is independent
+/// and the downstream path is shared, the resulting snapshot is
+/// byte-identical to a full re-mine under the same write options —
+/// store_test proves it with cmp-level equality.
+Result<RemineOutput> RemineSnapshot(const SnapshotHandle& parent,
+                                    const std::vector<std::string>& cuisines);
+
+}  // namespace serve
+}  // namespace cuisine
+
+#endif  // CUISINE_SERVE_STORE_H_

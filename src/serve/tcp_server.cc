@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/json.h"
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -453,6 +454,19 @@ Status TcpServer::Run() {
   epoll_event events[64];
   bool stop = false;
   while (!stop) {
+    // SIGHUP reload, checked only while the pending FIFO is empty so
+    // every already-admitted request is answered from the generation it
+    // was admitted under — the reply stream never mixes generations
+    // mid-pipeline. A signal interrupting epoll_wait lands here via the
+    // EINTR continue below.
+    if (pending_.empty() && options_.reload_flag != nullptr &&
+        options_.reload_flag->exchange(false)) {
+      auto swapped = engine_->ReloadLatest();
+      if (!swapped.ok()) {
+        CUISINE_LOG(Warning) << "reload failed: "
+                             << swapped.status().ToString();
+      }
+    }
     // Work left in the queue (possible only while paused, or when a
     // deadline must be re-checked) polls on a short tick; otherwise
     // block until a socket or Shutdown() wakes us.

@@ -67,6 +67,12 @@ struct TcpServerOptions {
   /// Admission deadline: a request still queued this long is answered
   /// with the timeout reject instead of executing. <= 0 disables.
   std::int64_t request_timeout_ms = 5000;
+  /// When set, the loop consumes it (exchange false) between drains —
+  /// only once the pending FIFO is empty — and swaps the engine to the
+  /// store's latest generation (QueryEngine::ReloadLatest). The SIGHUP
+  /// re-open path for the TCP transport: requests admitted before the
+  /// flag was consumed are answered from the old generation.
+  std::atomic<bool>* reload_flag = nullptr;
 };
 
 /// The canonical reject envelopes (without the trailing '\n').

@@ -381,6 +381,109 @@ TEST_F(QueryTest, RequestContextReportsCacheHits) {
   EXPECT_FALSE(error_again.cache_hit);
 }
 
+// ---------------------------------------------------------------------
+// Generations and hot swap.
+
+TEST(GenerationKeyTest, KeysArePrefixedAndUnambiguousAcrossGenerations) {
+  EXPECT_EQ(ShardedLruCache::GenerationKey(7, "table1|Korean"),
+            "g7|table1|Korean");
+  EXPECT_NE(ShardedLruCache::GenerationKey(1, "x"),
+            ShardedLruCache::GenerationKey(11, "x"));
+  // A key whose payload starts with a digit cannot alias another
+  // generation's prefix: the '|' terminator is part of the prefix.
+  EXPECT_NE(ShardedLruCache::GenerationKey(1, "1|x"),
+            ShardedLruCache::GenerationKey(11, "x"));
+}
+
+TEST(GenerationCacheTest, EraseGenerationDropsOnlyThatGeneration) {
+  ShardedLruCache cache(64);
+  cache.Put(ShardedLruCache::GenerationKey(1, "a"), "old-a");
+  cache.Put(ShardedLruCache::GenerationKey(1, "b"), "old-b");
+  cache.Put(ShardedLruCache::GenerationKey(2, "a"), "new-a");
+  EXPECT_EQ(cache.EraseGeneration(1), 2u);
+  EXPECT_FALSE(cache.Get(ShardedLruCache::GenerationKey(1, "a")).has_value());
+  auto survivor = cache.Get(ShardedLruCache::GenerationKey(2, "a"));
+  ASSERT_TRUE(survivor.has_value());
+  EXPECT_EQ(*survivor, "new-a");
+  // Swap-driven drops are invalidations, not evictions.
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.invalidations, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST_F(QueryTest, SwapToServesNewGenerationAndRetiresTheOld) {
+  auto handle = SnapshotHandle::Open(SerializeSnapshot(*snapshot_));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  QueryEngine engine(std::move(handle).value(), {}, 1);
+  EXPECT_EQ(engine.generation_id(), 1u);
+  EXPECT_EQ(engine.swap_count(), 0u);
+  auto before = engine.Table1Row("Korean");
+  ASSERT_TRUE(before.ok()) << before.status();
+
+  auto next = SnapshotHandle::Open(SerializeSnapshot(*snapshot_));
+  ASSERT_TRUE(next.ok()) << next.status();
+  engine.SwapTo(std::move(next).value(), 2, 1700000000);
+  EXPECT_EQ(engine.generation_id(), 2u);
+  EXPECT_EQ(engine.generation_created_unix(), 1700000000);
+  EXPECT_EQ(engine.swap_count(), 1u);
+
+  // Same snapshot content ⇒ byte-identical answers, but through the new
+  // generation: the warm pre-swap entry must not be served, so the
+  // first post-swap request is a cache miss.
+  RequestContext ctx;
+  auto after = engine.Table1Row("Korean", &ctx);
+  ASSERT_TRUE(after.ok()) << after.status();
+  EXPECT_EQ(*after, *before);
+  EXPECT_FALSE(ctx.cache_hit);
+
+  // Nothing pins the old generation, so the reap has dropped it and
+  // invalidated its cache entries.
+  EXPECT_EQ(engine.retired_generation_count(), 0u);
+  EXPECT_GT(engine.cache_stats().invalidations, 0u);
+}
+
+TEST_F(QueryTest, ReloadLatestWithoutAStoreIsAPreciseError) {
+  QueryEngine engine(*snapshot_);
+  EXPECT_FALSE(engine.has_store());
+  auto swapped = engine.ReloadLatest();
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_EQ(swapped.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(QueryTest, ConcurrentQueriesAcrossASwapStayCoherent) {
+  auto handle = SnapshotHandle::Open(SerializeSnapshot(*snapshot_));
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  QueryEngine engine(std::move(handle).value(), {}, 1);
+  auto canonical = engine.Table1Row("Korean");
+  ASSERT_TRUE(canonical.ok()) << canonical.status();
+
+  // Readers hammer one verb while the main thread swaps repeatedly
+  // between identical-content generations: every reply must equal the
+  // canonical bytes — a torn swap would surface as a mismatch or a
+  // sanitizer report.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<bool> mismatch{false};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto r = engine.Table1Row("Korean");
+        if (!r.ok() || *r != *canonical) mismatch.store(true);
+      }
+    });
+  }
+  for (std::uint64_t id = 2; id < 10; ++id) {
+    auto next = SnapshotHandle::Open(SerializeSnapshot(*snapshot_));
+    ASSERT_TRUE(next.ok()) << next.status();
+    engine.SwapTo(std::move(next).value(), id, 0);
+  }
+  stop.store(true);
+  for (auto& r : readers) r.join();
+  EXPECT_FALSE(mismatch.load());
+  EXPECT_EQ(engine.generation_id(), 9u);
+  EXPECT_EQ(engine.swap_count(), 8u);
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace cuisine

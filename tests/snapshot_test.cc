@@ -220,6 +220,80 @@ TEST_F(SnapshotTest, FileRoundTripAndPathInErrors) {
   EXPECT_FALSE(missing.ok());
 }
 
+// ---------------------------------------------------------------------
+// CUPROV01 provenance trailer.
+
+TEST_F(SnapshotTest, ProvenanceTrailerRoundTripsThroughEveryReader) {
+  SnapshotWriteOptions wopt;
+  const SnapshotProvenance prov{1700000000, "crc32c:cafef00d",
+                                "cuisine/test"};
+  wopt.provenance = prov;
+  const std::string with = SerializeSnapshot(*snapshot_, wopt);
+  EXPECT_GT(with.size(), bytes_->size());
+
+  auto info = InspectSnapshotFile(with);
+  ASSERT_TRUE(info.ok()) << info.status();
+  ASSERT_TRUE(info->provenance.has_value());
+  EXPECT_EQ(*info->provenance, prov);
+
+  auto handle = SnapshotHandle::Open(with);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  ASSERT_TRUE(handle->provenance().has_value());
+  EXPECT_EQ(*handle->provenance(), prov);
+
+  // Content is unchanged by the trailer: re-serialising the parse
+  // without provenance reproduces the trailer-less file exactly.
+  auto parsed = ParseSnapshot(with);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(SerializeSnapshot(*parsed), *bytes_);
+}
+
+TEST_F(SnapshotTest, AbsentTrailerIsNulloptAndBytesStayPreTrailer) {
+  // The default write path emits no trailer: golden fixtures and every
+  // pre-trailer reader stay valid, and readers report nullopt.
+  auto info = InspectSnapshotFile(*bytes_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_FALSE(info->provenance.has_value());
+  auto handle = SnapshotHandle::Open(*bytes_);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  EXPECT_FALSE(handle->provenance().has_value());
+}
+
+TEST_F(SnapshotTest, ProvenanceTrailerCorruptionIsRejected) {
+  SnapshotWriteOptions wopt;
+  wopt.provenance =
+      SnapshotProvenance{1700000000, "crc32c:cafef00d", "cuisine/test"};
+  const std::string with = SerializeSnapshot(*snapshot_, wopt);
+
+  // A flipped payload byte inside the trailer region trips its CRC.
+  std::string flipped = with;
+  flipped[kSnapshotHeaderBytes + 14] ^= 0x40;
+  auto payload = InspectSnapshotFile(flipped);
+  ASSERT_FALSE(payload.ok());
+  EXPECT_NE(payload.status().message().find("checksum"), std::string::npos)
+      << payload.status();
+
+  // A flipped magic byte is its own precise error.
+  std::string bad_magic = with;
+  bad_magic[kSnapshotHeaderBytes] ^= 0x40;
+  auto magic = InspectSnapshotFile(bad_magic);
+  ASSERT_FALSE(magic.ok());
+  EXPECT_NE(magic.status().message().find("magic"), std::string::npos)
+      << magic.status();
+
+  // The eager parser applies the same validation.
+  EXPECT_FALSE(ParseSnapshot(flipped).ok());
+  EXPECT_FALSE(SnapshotHandle::Open(flipped).ok());
+}
+
+TEST_F(SnapshotTest, ProvenanceSerializationIsDeterministic) {
+  SnapshotWriteOptions wopt;
+  wopt.provenance =
+      SnapshotProvenance{1700000000, "crc32c:cafef00d", "cuisine/test"};
+  EXPECT_EQ(SerializeSnapshot(*snapshot_, wopt),
+            SerializeSnapshot(*snapshot_, wopt));
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace cuisine

@@ -1,0 +1,466 @@
+// Battery for the snapshot store (serve/store.h) and its CUMANI01
+// manifest (serve/generation.h): round-trip determinism, the corruption
+// matrix (truncated manifest, bit-flipped checksum, dangling generation
+// entry, torn generation file, a publish killed between temp-write and
+// rename), retention + GC, concurrent publish vs open, and the
+// incremental-ingestion contract — a re-mine spliced into a delta
+// generation is byte-identical to a full mine under the same write
+// options. Every corruption case must fail with a precise Status and
+// leave every other generation loadable; the sanitizer CI jobs run this
+// file under ASan/UBSan and TSan.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/csv.h"
+#include "core/pipeline.h"
+#include "serve/generation.h"
+#include "serve/snapshot.h"
+#include "serve/store.h"
+
+namespace cuisine {
+namespace serve {
+namespace {
+
+constexpr std::int64_t kCreated = 1700000000;
+
+// One pipeline run shared by the whole suite (mining dominates test
+// time); each test opens its own store directory.
+class StoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PipelineConfig config;
+    config.generator.scale = 0.02;
+    config.run_elbow = false;
+    auto run = RunPipeline(config);
+    ASSERT_TRUE(run.ok()) << run.status();
+    auto snap = BuildSnapshot(run->dataset, *run, config);
+    ASSERT_TRUE(snap.ok()) << snap.status();
+    digest_ = new std::string(DatasetDigest(run->dataset));
+    SnapshotWriteOptions wopt;
+    wopt.provenance =
+        SnapshotProvenance{kCreated, *digest_, StoreToolVersion()};
+    bytes_ = new std::string(SerializeSnapshot(*snap, wopt));
+    // A second, distinguishable snapshot (tighter support → fewer
+    // patterns) for multi-generation tests.
+    PipelineConfig config2 = config;
+    config2.miner.min_support = 0.35;
+    auto run2 = RunPipeline(config2);
+    ASSERT_TRUE(run2.ok()) << run2.status();
+    auto snap2 = BuildSnapshot(run2->dataset, *run2, config2);
+    ASSERT_TRUE(snap2.ok()) << snap2.status();
+    SnapshotWriteOptions wopt2;
+    wopt2.provenance =
+        SnapshotProvenance{kCreated + 100, *digest_, StoreToolVersion()};
+    bytes2_ = new std::string(SerializeSnapshot(*snap2, wopt2));
+    ASSERT_NE(*bytes_, *bytes2_);
+  }
+  static void TearDownTestSuite() {
+    delete bytes_;
+    delete bytes2_;
+    delete digest_;
+    bytes_ = nullptr;
+    bytes2_ = nullptr;
+    digest_ = nullptr;
+  }
+
+  static std::string NewStoreDir(const std::string& tag) {
+    std::string templ = ::testing::TempDir() + "/store_" + tag + ".XXXXXX";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    EXPECT_NE(::mkdtemp(buf.data()), nullptr);
+    return std::string(buf.data());
+  }
+
+  static std::string* bytes_;
+  static std::string* bytes2_;
+  static std::string* digest_;
+};
+
+std::string* StoreTest::bytes_ = nullptr;
+std::string* StoreTest::bytes2_ = nullptr;
+std::string* StoreTest::digest_ = nullptr;
+
+// ---------------------------------------------------------------------
+// Manifest encoding.
+
+TEST(ManifestTest, RoundTripIsExactAndDeterministic) {
+  Manifest m;
+  m.latest_id = 7;
+  GenerationInfo a;
+  a.id = 3;
+  a.file = "gen-000003.snap";
+  a.file_size = 123;
+  a.file_crc32c = 0xdeadbeef;
+  a.codec = "defaults";
+  a.created_unix = kCreated;
+  a.corpus_digest = "crc32c:0102aabb";
+  a.tool_version = "cuisine/1.0.0";
+  GenerationInfo b;
+  b.id = 7;
+  b.parent_id = 3;
+  b.file = "gen-000007.snap";
+  b.file_size = 99;
+  b.file_crc32c = 1;
+  b.codec = "lz";
+  b.remined_cuisines = "Thai,Korean";
+  m.generations = {a, b};
+  const std::string bytes = SerializeManifest(m);
+  EXPECT_EQ(bytes, SerializeManifest(m)) << "serialisation must be pure";
+  auto parsed = ParseManifest(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, m);
+}
+
+TEST(ManifestTest, EmptyManifestRoundTrips) {
+  auto parsed = ParseManifest(SerializeManifest(Manifest{}));
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(*parsed, Manifest{});
+}
+
+TEST(ManifestTest, TruncationAtEveryLengthIsRejected) {
+  Manifest m;
+  m.latest_id = 1;
+  GenerationInfo g;
+  g.id = 1;
+  g.file = "gen-000001.snap";
+  m.generations = {g};
+  const std::string bytes = SerializeManifest(m);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    auto parsed = ParseManifest(bytes.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "length " << len;
+  }
+}
+
+TEST(ManifestTest, EveryBitFlipIsCaughtByTheTrailingCrc) {
+  Manifest m;
+  m.latest_id = 2;
+  GenerationInfo a;
+  a.id = 1;
+  a.file = "gen-000001.snap";
+  GenerationInfo b;
+  b.id = 2;
+  b.parent_id = 1;
+  b.file = "gen-000002.snap";
+  m.generations = {a, b};
+  const std::string bytes = SerializeManifest(m);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x40);
+    auto parsed = ParseManifest(flipped);
+    EXPECT_FALSE(parsed.ok()) << "byte " << i << " flip parsed";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Store lifecycle.
+
+TEST_F(StoreTest, FreshDirectoryGetsCommittedEmptyManifest) {
+  const std::string dir = NewStoreDir("fresh");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->GenerationCount(), 0u);
+  auto manifest_bytes = ReadFileToString(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest_bytes.ok()) << "empty MANIFEST must be durable";
+  EXPECT_TRUE(ParseManifest(*manifest_bytes).ok());
+  auto latest = (*store)->OpenLatest();
+  EXPECT_EQ(latest.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StoreTest, PublishMirrorsProvenanceIntoTheManifest) {
+  const std::string dir = NewStoreDir("publish");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  PublishOptions popt;
+  popt.codec = "defaults";
+  auto info = (*store)->Publish(*bytes_, popt);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->id, 1u);
+  EXPECT_EQ(info->parent_id, 0u);
+  EXPECT_EQ(info->file, "gen-000001.snap");
+  EXPECT_EQ(info->file_size, bytes_->size());
+  EXPECT_EQ(info->created_unix, kCreated);
+  EXPECT_EQ(info->corpus_digest, *digest_);
+  EXPECT_EQ(info->tool_version, StoreToolVersion());
+
+  // A second Open (a new reader process) sees the committed state.
+  auto reader = SnapshotStore::Open(dir);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+  EXPECT_EQ((*reader)->manifest(), (*store)->manifest());
+  auto latest = (*reader)->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_EQ(latest->info.id, 1u);
+  ASSERT_TRUE(latest->handle.summary().ok());
+}
+
+TEST_F(StoreTest, PublishRejectsGarbageWithoutTouchingTheManifest) {
+  const std::string dir = NewStoreDir("garbage");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  auto bad = (*store)->Publish("definitely not a snapshot");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ((*store)->GenerationCount(), 1u);
+  EXPECT_EQ((*store)->manifest().latest_id, 1u);
+}
+
+TEST_F(StoreTest, RetentionTrimsOldestAndGcDeletesTheirFiles) {
+  const std::string dir = NewStoreDir("retain");
+  SnapshotStoreOptions sopt;
+  sopt.retain = 2;
+  auto store = SnapshotStore::Open(dir, sopt);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  ASSERT_TRUE((*store)->Publish(*bytes2_).ok());
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  const Manifest m = (*store)->manifest();
+  ASSERT_EQ(m.generations.size(), 2u);
+  EXPECT_EQ(m.generations[0].id, 2u);
+  EXPECT_EQ(m.generations[1].id, 3u);
+  EXPECT_EQ(m.latest_id, 3u);
+  // The dropped entry's id is never reused even though its file is gone
+  // from the manifest.
+  EXPECT_EQ((*store)->OpenGeneration(1).status().code(),
+            StatusCode::kNotFound);
+  // Its bytes linger until GC.
+  EXPECT_TRUE(ReadFileToString(dir + "/gen-000001.snap").ok());
+  auto gc = (*store)->CollectGarbage();
+  ASSERT_TRUE(gc.ok()) << gc.status();
+  EXPECT_EQ(gc->deleted, std::vector<std::string>{"gen-000001.snap"});
+  EXPECT_FALSE(ReadFileToString(dir + "/gen-000001.snap").ok());
+  // Referenced generations and the manifest survive.
+  EXPECT_TRUE((*store)->OpenGeneration(2).ok());
+  EXPECT_TRUE((*store)->OpenGeneration(3).ok());
+  // Idempotent.
+  auto again = (*store)->CollectGarbage();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->deleted.empty());
+}
+
+// ---------------------------------------------------------------------
+// Corruption matrix.
+
+TEST_F(StoreTest, CorruptManifestRefusesToOpenInsteadOfResetting) {
+  const std::string dir = NewStoreDir("manifest_flip");
+  {
+    auto store = SnapshotStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  }
+  auto manifest_bytes = ReadFileToString(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest_bytes.ok());
+  std::string flipped = *manifest_bytes;
+  flipped[flipped.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteStringToFile(dir + "/MANIFEST", flipped).ok());
+  auto reopened = SnapshotStore::Open(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kParseError);
+  // The generation file is untouched — salvageable by hand.
+  EXPECT_TRUE(ReadFileToString(dir + "/gen-000001.snap").ok());
+}
+
+TEST_F(StoreTest, TruncatedManifestRefusesToOpen) {
+  const std::string dir = NewStoreDir("manifest_trunc");
+  {
+    auto store = SnapshotStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  }
+  auto manifest_bytes = ReadFileToString(dir + "/MANIFEST");
+  ASSERT_TRUE(manifest_bytes.ok());
+  ASSERT_TRUE(WriteStringToFile(
+                  dir + "/MANIFEST",
+                  manifest_bytes->substr(0, manifest_bytes->size() / 2))
+                  .ok());
+  auto reopened = SnapshotStore::Open(dir);
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_EQ(reopened.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(StoreTest, DanglingEntryFailsAloneOtherGenerationsLoad) {
+  const std::string dir = NewStoreDir("dangling");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  ASSERT_TRUE((*store)->Publish(*bytes2_).ok());
+  ASSERT_EQ(::unlink((dir + "/gen-000001.snap").c_str()), 0);
+  auto gone = (*store)->OpenGeneration(1);
+  ASSERT_FALSE(gone.ok());
+  EXPECT_EQ(gone.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(gone.status().message().find("gen-000001.snap"),
+            std::string::npos)
+      << gone.status();
+  auto latest = (*store)->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_TRUE(latest->handle.summary().ok());
+}
+
+TEST_F(StoreTest, TruncatedGenerationFileIsAPreciseParseError) {
+  const std::string dir = NewStoreDir("gen_trunc");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  ASSERT_TRUE(
+      WriteStringToFile(dir + "/gen-000001.snap",
+                        bytes_->substr(0, bytes_->size() - 7))
+          .ok());
+  auto opened = (*store)->OpenGeneration(1);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("truncated"), std::string::npos)
+      << opened.status();
+}
+
+TEST_F(StoreTest, BitFlippedGenerationFileFailsItsManifestChecksum) {
+  const std::string dir = NewStoreDir("gen_flip");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  std::string flipped = *bytes_;
+  flipped[flipped.size() - 10] ^= 0x20;  // payload byte: header stays valid
+  ASSERT_TRUE(WriteStringToFile(dir + "/gen-000001.snap", flipped).ok());
+  auto opened = (*store)->OpenGeneration(1);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kParseError);
+  EXPECT_NE(opened.status().message().find("checksum"), std::string::npos)
+      << opened.status();
+}
+
+TEST_F(StoreTest, PublishKilledBeforeManifestRenameLeavesPreviousLive) {
+  const std::string dir = NewStoreDir("crash");
+  {
+    auto store = SnapshotStore::Open(dir);
+    ASSERT_TRUE(store.ok()) << store.status();
+    ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  }
+  // Simulate a publisher killed at each pre-commit point: after the
+  // temp write (stale .tmp) and after the snapshot rename but before
+  // the manifest rename (unreferenced .snap).
+  ASSERT_TRUE(
+      WriteStringToFile(dir + "/gen-000002.snap.tmp", "partial").ok());
+  ASSERT_TRUE(WriteStringToFile(dir + "/gen-000002.snap", *bytes2_).ok());
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  EXPECT_EQ((*store)->manifest().latest_id, 1u) << "debris must not commit";
+  auto latest = (*store)->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  EXPECT_TRUE(latest->handle.summary().ok());
+  // GC sweeps both debris classes and nothing else.
+  auto gc = (*store)->CollectGarbage();
+  ASSERT_TRUE(gc.ok()) << gc.status();
+  EXPECT_EQ(gc->deleted,
+            (std::vector<std::string>{"gen-000002.snap",
+                                      "gen-000002.snap.tmp"}));
+  EXPECT_TRUE(ReadFileToString(dir + "/gen-000001.snap").ok());
+  EXPECT_TRUE(ReadFileToString(dir + "/MANIFEST").ok());
+  // The next publish continues the id sequence past the debris.
+  auto info = (*store)->Publish(*bytes2_);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->id, 2u);
+}
+
+TEST_F(StoreTest, ConcurrentPublishAndOpenNeverTear) {
+  const std::string dir = NewStoreDir("concurrent");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  SnapshotStore* s = store->get();
+  std::atomic<bool> done{false};
+  std::atomic<int> reads{0};
+  std::thread reader([&] {
+    while (!done.load()) {
+      auto latest = s->OpenLatest();
+      ASSERT_TRUE(latest.ok()) << latest.status();
+      auto summary = latest->handle.summary();
+      ASSERT_TRUE(summary.ok()) << summary.status();
+      reads.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 8; ++i) {
+    auto info = s->Publish(i % 2 == 0 ? *bytes2_ : *bytes_);
+    ASSERT_TRUE(info.ok()) << info.status();
+  }
+  done.store(true);
+  reader.join();
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(s->manifest().latest_id, 9u);
+}
+
+// ---------------------------------------------------------------------
+// Incremental ingestion.
+
+TEST_F(StoreTest, RemineSpliceIsByteIdenticalToAFullMine) {
+  const std::string dir = NewStoreDir("remine");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  auto latest = (*store)->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  auto summary = latest->handle.summary();
+  ASSERT_TRUE(summary.ok());
+  // Re-mine a third of the cuisines (order deliberately scrambled and
+  // duplicated: the output list is canonicalised to dataset order).
+  const std::vector<std::string>& names = (*summary)->cuisine_names;
+  ASSERT_GE(names.size(), 3u);
+  std::vector<std::string> targets = {names[2], names[0], names[2]};
+  auto out = RemineSnapshot(latest->handle, targets);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ(out->remined, (std::vector<std::string>{names[0], names[2]}));
+  EXPECT_EQ(out->corpus_digest, *digest_);
+  // Same write options + same provenance as the parent ⇒ the spliced
+  // snapshot reproduces the parent's bytes exactly: per-cuisine mining
+  // is independent and the downstream pipeline path is shared.
+  SnapshotWriteOptions wopt;
+  wopt.provenance =
+      SnapshotProvenance{kCreated, out->corpus_digest, StoreToolVersion()};
+  const std::string respun = SerializeSnapshot(out->snapshot, wopt);
+  ASSERT_EQ(respun.size(), bytes_->size());
+  EXPECT_EQ(respun, *bytes_);
+  // And publishing it records lineage.
+  PublishOptions popt;
+  popt.parent_id = latest->info.id;
+  popt.remined_cuisines = names[0] + "," + names[2];
+  auto info = (*store)->Publish(respun, popt);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info->parent_id, 1u);
+  EXPECT_EQ(info->remined_cuisines, names[0] + "," + names[2]);
+}
+
+TEST_F(StoreTest, RemineRejectsUnknownAndEmptyCuisineLists) {
+  const std::string dir = NewStoreDir("remine_bad");
+  auto store = SnapshotStore::Open(dir);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Publish(*bytes_).ok());
+  auto latest = (*store)->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  auto unknown = RemineSnapshot(latest->handle, {"Atlantis"});
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+  auto empty = RemineSnapshot(latest->handle, {});
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(StoreTest, PipelineConfigFromMetaRoundTripsTheBuildConfig) {
+  auto handle = SnapshotHandle::Open(*bytes_);
+  ASSERT_TRUE(handle.ok()) << handle.status();
+  auto meta = handle->meta();
+  ASSERT_TRUE(meta.ok()) << meta.status();
+  auto config = PipelineConfigFromMeta(**meta);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_DOUBLE_EQ(config->generator.scale, 0.02);
+  EXPECT_EQ(config->generator.seed, 2020u);
+  EXPECT_DOUBLE_EQ(config->miner.min_support, 0.2);
+  EXPECT_FALSE(config->run_elbow);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace cuisine

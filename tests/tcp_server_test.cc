@@ -16,7 +16,9 @@
 
 #include <cerrno>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "serve/query.h"
 #include "serve/service.h"
 #include "serve/snapshot.h"
+#include "serve/store.h"
 
 namespace cuisine {
 namespace serve {
@@ -656,6 +659,147 @@ TEST_F(TcpServerTest, RepliesByteIdenticalAcrossTracingModes) {
           << "mode " << m << " diverged on '" << lines[i] << "'";
     }
   }
+}
+
+// Hot swap end-to-end over real sockets: with the drain gate closed, a
+// client pipelines [query, query, reloadz, query, query] into one
+// connection while generation 2 is already published. Every request
+// admitted before the reloadz executes must answer from generation 1
+// byte-for-byte, everything after from generation 2 — never a mix —
+// and exactly one swap happens.
+TEST_F(TcpServerTest, HotSwapUnderPipelinedLoadNeverMixesGenerations) {
+  // A store with generation 1 = the shared suite snapshot, and a
+  // distinguishable generation 2 (tighter support → different feature
+  // space, so the probe query answers differently).
+  std::string templ = ::testing::TempDir() + "/tcp_swap.XXXXXX";
+  std::vector<char> dirbuf(templ.begin(), templ.end());
+  dirbuf.push_back('\0');
+  ASSERT_NE(::mkdtemp(dirbuf.data()), nullptr);
+  auto store = SnapshotStore::Open(dirbuf.data());
+  ASSERT_TRUE(store.ok()) << store.status();
+  std::shared_ptr<SnapshotStore> shared(std::move(*store));
+  ASSERT_TRUE(shared->Publish(SerializeSnapshot(*snapshot_)).ok());
+
+  PipelineConfig config2;
+  config2.generator.scale = 0.02;
+  config2.miner.min_support = 0.35;
+  config2.run_elbow = false;
+  auto run2 = RunPipeline(config2);
+  ASSERT_TRUE(run2.ok()) << run2.status();
+  auto snap2 = BuildSnapshot(run2->dataset, *run2, config2);
+  ASSERT_TRUE(snap2.ok()) << snap2.status();
+
+  auto latest = shared->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  QueryEngine engine(std::move(latest->handle), {}, latest->info.id);
+  engine.AttachStore(shared);
+  TcpServer server(&engine, {});
+  ASSERT_TRUE(server.Start().ok());
+  std::thread loop([&] {
+    auto run = server.Run();
+    CUISINE_CHECK(run.ok()) << run;
+  });
+
+  const std::string probe = "distance euclidean Korean Thai\n";
+  TestClient client(server.port());
+  client.Send(probe);
+  const std::string gen1_reply = client.ReadLine();
+  ASSERT_TRUE(gen1_reply.rfind("{\"ok\":true", 0) == 0) << gen1_reply;
+
+  // Generation 2 is published while the server is live; nothing swaps
+  // until a reloadz (or SIGHUP) says so.
+  ASSERT_TRUE(shared->Publish(SerializeSnapshot(*snap2)).ok());
+  EXPECT_EQ(engine.generation_id(), 1u);
+
+  server.set_paused(true);
+  client.Send(probe + probe + "reloadz\n" + probe + probe);
+  // +1: the warm-up probe above was the first framed request.
+  for (int spin = 0; spin < 5000 && server.stats().requests < 6; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.stats().requests, 6u);
+  server.set_paused(false);
+
+  const std::string before_a = client.ReadLine();
+  const std::string before_b = client.ReadLine();
+  const std::string reload_reply = client.ReadLine();
+  const std::string after_a = client.ReadLine();
+  const std::string after_b = client.ReadLine();
+
+  // Pre-swap requests answer from generation 1, byte-identical to the
+  // warm-up reply.
+  EXPECT_EQ(before_a, gen1_reply);
+  EXPECT_EQ(before_b, gen1_reply);
+  auto reload_json = Json::Parse(reload_reply);
+  ASSERT_TRUE(reload_json.ok()) << reload_reply;
+  EXPECT_EQ(reload_json->Find("data")->Find("generation")->int_value(), 2);
+  EXPECT_TRUE(reload_json->Find("data")->Find("swapped")->bool_value());
+  // Post-swap requests answer from generation 2 — different bytes, and
+  // both identical to a fresh post-swap probe (no mixed reply).
+  EXPECT_NE(after_a, gen1_reply);
+  EXPECT_EQ(after_a, after_b);
+  client.Send(probe);
+  EXPECT_EQ(client.ReadLine(), after_a);
+
+  EXPECT_EQ(engine.generation_id(), 2u);
+  EXPECT_EQ(engine.swap_count(), 1u);
+
+  // statsz carries the new generation over the wire.
+  client.Send("statsz\n");
+  auto statsz = Json::Parse(client.ReadLine());
+  ASSERT_TRUE(statsz.ok());
+  const Json* store_block = statsz->Find("data")->Find("store");
+  ASSERT_NE(store_block, nullptr);
+  EXPECT_EQ(store_block->Find("generation")->int_value(), 2);
+  EXPECT_EQ(store_block->Find("swaps")->int_value(), 1);
+  EXPECT_TRUE(store_block->Find("attached")->bool_value());
+
+  server.Shutdown();
+  loop.join();
+}
+
+// The transport-level reload flag (the SIGHUP path): consumed only
+// between drains, so a flag raised mid-burst still never splits a
+// pipelined batch.
+TEST_F(TcpServerTest, ReloadFlagSwapsBetweenDrains) {
+  std::string templ = ::testing::TempDir() + "/tcp_hup.XXXXXX";
+  std::vector<char> dirbuf(templ.begin(), templ.end());
+  dirbuf.push_back('\0');
+  ASSERT_NE(::mkdtemp(dirbuf.data()), nullptr);
+  auto store = SnapshotStore::Open(dirbuf.data());
+  ASSERT_TRUE(store.ok()) << store.status();
+  std::shared_ptr<SnapshotStore> shared(std::move(*store));
+  ASSERT_TRUE(shared->Publish(SerializeSnapshot(*snapshot_)).ok());
+
+  auto latest = shared->OpenLatest();
+  ASSERT_TRUE(latest.ok()) << latest.status();
+  QueryEngine engine(std::move(latest->handle), {}, latest->info.id);
+  engine.AttachStore(shared);
+  std::atomic<bool> reload{false};
+  TcpServerOptions options;
+  options.reload_flag = &reload;
+  TcpServer server(&engine, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::thread loop([&] {
+    auto run = server.Run();
+    CUISINE_CHECK(run.ok()) << run;
+  });
+
+  ASSERT_TRUE(shared->Publish(SerializeSnapshot(*snapshot_)).ok());
+  reload.store(true);
+  // Any traffic wakes the loop; the flag is consumed at the loop top.
+  TestClient client(server.port());
+  client.Send("table1 Korean\n");
+  EXPECT_TRUE(client.ReadLine().rfind("{\"ok\":true", 0) == 0);
+  for (int spin = 0; spin < 5000 && engine.generation_id() != 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(engine.generation_id(), 2u);
+  EXPECT_EQ(engine.swap_count(), 1u);
+  EXPECT_FALSE(reload.load());
+
+  server.Shutdown();
+  loop.join();
 }
 
 }  // namespace
